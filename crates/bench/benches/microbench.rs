@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks backing the paper's performance claims:
+//!
+//! * simulator throughput (the substrate for all vector counts);
+//! * checkpoint snapshot-restore vs full reset + input replay — the
+//!   §5.5.2 claim that "checkpoint replays finish in microseconds,
+//!   avoiding full reboots";
+//! * SMT solving latency for dependency-equation targets (§4.7);
+//! * bit-blasting + CDCL on adder equivalence (solver substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use symbfuzz_designs::processor_benchmarks;
+use symbfuzz_logic::LogicVec;
+use symbfuzz_sim::Simulator;
+use symbfuzz_smt::{BvSolver, SatOutcome};
+use symbfuzz_symexec::SymbolicEngine;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    for b in processor_benchmarks() {
+        let design = b.design().unwrap();
+        group.bench_with_input(BenchmarkId::new("100_cycles", b.name), &design, |bench, d| {
+            let mut sim = Simulator::new(Arc::clone(d));
+            sim.reset(2);
+            let word = LogicVec::from_u64(d.fuzz_width().max(1), 0x5A5A);
+            bench.iter(|| {
+                sim.apply_input_word(&word);
+                for _ in 0..100 {
+                    sim.step();
+                }
+                sim.cycle()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// §5.5.2: snapshot restore must be dramatically cheaper than reset +
+/// replaying the recorded input path.
+fn checkpoint_reentry(c: &mut Criterion) {
+    let b = &processor_benchmarks()[0];
+    let design = b.design().unwrap();
+    let mut sim = Simulator::new(Arc::clone(&design));
+    sim.reset(2);
+    // Walk 200 cycles into the design and checkpoint.
+    let path: Vec<LogicVec> = (0..200u64)
+        .map(|i| LogicVec::from_u64(design.fuzz_width().max(1), i.wrapping_mul(0x9E37)))
+        .collect();
+    for w in &path {
+        sim.apply_input_word(w);
+        sim.step();
+    }
+    let snap = sim.snapshot();
+
+    let mut group = c.benchmark_group("checkpoint_reentry");
+    group.bench_function("snapshot_restore", |bench| {
+        bench.iter(|| {
+            sim.restore(&snap);
+            sim.cycle()
+        });
+    });
+    group.bench_function("full_reset_plus_replay", |bench| {
+        bench.iter(|| {
+            sim.reset(2);
+            for w in &path {
+                sim.apply_input_word(w);
+                sim.step();
+            }
+            sim.cycle()
+        });
+    });
+    group.finish();
+}
+
+fn symbolic_solving(c: &mut Criterion) {
+    let b = &processor_benchmarks()[0];
+    let design = b.design().unwrap();
+    let engine = SymbolicEngine::new(Arc::clone(&design));
+    let state: Vec<LogicVec> = design
+        .signals
+        .iter()
+        .map(|s| LogicVec::zeros(s.width))
+        .collect();
+    let target = design.signal_by_name("if_state").unwrap();
+    let mut group = c.benchmark_group("symbolic_guidance");
+    group.bench_function("solve_step_ibex_state", |bench| {
+        bench.iter(|| engine.solve_step(&state, &[(target, LogicVec::from_u64(3, 1))]))
+    });
+    group.bench_function("build_engine_ibex", |bench| {
+        bench.iter(|| SymbolicEngine::new(Arc::clone(&design)).num_equations())
+    });
+    group.finish();
+}
+
+fn sat_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt");
+    group.bench_function("adder_equation_16bit", |bench| {
+        bench.iter(|| {
+            let mut s = BvSolver::new();
+            let a = s.pool_mut().var("a", 16);
+            let b = s.pool_mut().var("b", 16);
+            let goal = {
+                let p = s.pool_mut();
+                let sum = p.add(a, b);
+                let c1 = p.const_u64(16, 0xBEEF);
+                let e1 = p.eq(sum, c1);
+                let c2 = p.const_u64(16, 0x1234);
+                let e2 = p.eq(a, c2);
+                p.and(e1, e2)
+            };
+            s.assert(goal);
+            matches!(s.check(), SatOutcome::Sat(_))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sim_throughput,
+    checkpoint_reentry,
+    symbolic_solving,
+    sat_solver
+);
+criterion_main!(benches);

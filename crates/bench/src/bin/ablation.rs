@@ -1,0 +1,75 @@
+//! Ablation study for the §5.5.1 design choices:
+//!
+//! * full SymbFuzz (checkpoints + SMT guidance);
+//! * no checkpoints — guidance solves from reset only;
+//! * shallow solving — one-cycle dependency equations only;
+//! * no solver — coverage-guided random (feedback without guidance).
+//!
+//! Usage: `ablation [budget] [bench_index]` (defaults 30000, 0).
+
+use std::sync::Arc;
+use symbfuzz_bench::render::save_json;
+use symbfuzz_core::{CampaignResult, FuzzConfig, Strategy, SymbFuzz};
+use symbfuzz_designs::processor_benchmarks;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let b = &processor_benchmarks()[bench];
+    let design = b.design().expect("benchmark elaborates");
+    let props = b.property_specs();
+
+    let base = FuzzConfig {
+        interval: 100,
+        threshold: 2,
+        max_vectors: budget,
+        seed: 0xAB1A7E,
+        ..FuzzConfig::default()
+    };
+    let variants: Vec<(&str, FuzzConfig)> = vec![
+        ("full SymbFuzz", base.clone()),
+        (
+            "no checkpoints",
+            FuzzConfig {
+                use_checkpoints: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "shallow solver (depth 1)",
+            FuzzConfig {
+                solve_depth: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "no solver",
+            FuzzConfig {
+                use_solver: false,
+                ..base.clone()
+            },
+        ),
+    ];
+
+    println!("# Ablation on `{}` — {budget} vectors each\n", b.name);
+    println!("| Variant | nodes | edges | coverage points | solver calls | rollbacks |");
+    println!("|---|---|---|---|---|---|");
+    let mut results: Vec<(String, CampaignResult)> = Vec::new();
+    for (name, cfg) in variants {
+        let mut fuzzer = SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, cfg, &props)
+            .expect("properties compile");
+        let r = fuzzer.run();
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            name,
+            r.nodes,
+            r.edges,
+            r.coverage_points,
+            r.resources.solver_calls,
+            r.resources.rollbacks
+        );
+        results.push((name.to_string(), r));
+    }
+    save_json("ablation", &results).expect("write results/ablation.json");
+}

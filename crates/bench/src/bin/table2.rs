@@ -1,0 +1,16 @@
+//! Regenerates Table 2: the detection matrix across all four fuzzers.
+//! Usage: `table2 [budget]` (default 30000).
+
+use symbfuzz_bench::experiments::detection_matrix;
+use symbfuzz_bench::render::{render_table2, save_json};
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000);
+    let m = detection_matrix(14, budget);
+    println!("# Table 2 — bug detection by fuzzer (budget {budget}; paper value in parens)\n");
+    println!("{}", render_table2(&m));
+    save_json("table2", &m).expect("write results/table2.json");
+}

@@ -1,0 +1,36 @@
+//! Experiment harness: regenerates every table and figure of the
+//! SymbFuzz paper's evaluation (§5).
+//!
+//! Each experiment is a pure function returning a structured result
+//! plus a Markdown rendering; the `src/bin/*` binaries print the
+//! Markdown and drop a JSON copy under `results/`. The per-experiment
+//! index lives in the repository's `DESIGN.md`; paper-vs-measured
+//! numbers are recorded in `EXPERIMENTS.md`.
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — bugs detected by SymbFuzz with vectors-to-detection |
+//! | `table2` | Table 2 — detection matrix across the four fuzzers |
+//! | `table3` | Table 3 — benchmark statistics (LoC, CFG, equations, constraints) |
+//! | `fig4a` | Figure 4a — coverage vs input vectors, five strategies |
+//! | `fig4b` | Figure 4b — coverage variance across repeated runs |
+//! | `speedup` | §5.3 — time-to-coverage speed-up vs UVM random |
+//! | `resources` | §5.2 — relative memory/CPU profile |
+//!
+//! # Examples
+//!
+//! ```
+//! use symbfuzz_bench::experiments;
+//! // A miniature Table 2 on the first two bugs only (fast).
+//! let m = experiments::detection_matrix(2, 4_000);
+//! assert_eq!(m.rows.len(), 2);
+//! assert!(m.rows.iter().all(|r| r.symbfuzz));
+//! ```
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::{
+    coverage_race, detection_matrix, table1_rows, table3_rows, variance_profile, DetectionRow,
+    RaceResult, Table1Row, Table3Row, VariancePoint,
+};

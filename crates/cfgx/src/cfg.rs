@@ -1,0 +1,402 @@
+//! The dynamic CFG over control-register tuples.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::{Design, SignalId};
+
+/// Identifier of a CFG node (dense, in discovery order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One CFG node key: the sampled values of every control register, in
+/// the CFG's fixed register order (the paper's `C_(i1,i2,…)`, Eqn. 5).
+/// `X`-containing values are legal keys — the all-X tuple is the
+/// power-up node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateTuple(pub Vec<LogicVec>);
+
+/// What [`Cfg::observe`] discovered at one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveOutcome {
+    /// The node the design is in after the sample.
+    pub node: NodeId,
+    /// This node was seen for the first time.
+    pub new_node: bool,
+    /// The (previous node → node) edge was seen for the first time.
+    pub new_edge: bool,
+}
+
+#[derive(Debug, Clone)]
+struct NodeInfo {
+    state: StateTuple,
+    /// Outgoing edges: successor → edge id.
+    out: HashMap<NodeId, u32>,
+    /// Input-word sequence that first reached this node from reset.
+    path: Vec<LogicVec>,
+    first_cycle: u64,
+}
+
+/// Dynamic CFG, coverage map, checkpoint table and replay recorder.
+///
+/// See the [crate docs](crate) for the model.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    design: Arc<Design>,
+    ctrl: Vec<SignalId>,
+    nodes: Vec<NodeInfo>,
+    index: HashMap<StateTuple, NodeId>,
+    edge_count: usize,
+    /// Node the design was in at the previous observation.
+    current: Option<NodeId>,
+    /// Input words driven since the last reset.
+    input_log: Vec<LogicVec>,
+    /// Values seen per control register (for target enumeration).
+    seen_values: Vec<BTreeSet<u64>>,
+}
+
+impl Cfg {
+    /// Creates a CFG over the given control registers (order fixes the
+    /// tuple layout).
+    pub fn new(design: Arc<Design>, ctrl: Vec<SignalId>) -> Cfg {
+        let n = ctrl.len();
+        Cfg {
+            design,
+            ctrl,
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            edge_count: 0,
+            current: None,
+            input_log: Vec::new(),
+            seen_values: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// The control registers in tuple order.
+    pub fn control_registers(&self) -> &[SignalId] {
+        &self.ctrl
+    }
+
+    /// Extracts the state tuple from a full simulator value table.
+    pub fn tuple_of(&self, values: &[LogicVec]) -> StateTuple {
+        StateTuple(self.ctrl.iter().map(|s| values[s.index()].clone()).collect())
+    }
+
+    /// Ingests one post-cycle sample: the full value table and the
+    /// input word that was driven this cycle.
+    pub fn observe(&mut self, values: &[LogicVec], input_word: &LogicVec, cycle: u64) -> ObserveOutcome {
+        self.input_log.push(input_word.clone());
+        let tuple = self.tuple_of(values);
+        let (node, new_node) = match self.index.get(&tuple) {
+            Some(id) => (*id, false),
+            None => {
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(NodeInfo {
+                    state: tuple.clone(),
+                    out: HashMap::new(),
+                    path: self.input_log.clone(),
+                    first_cycle: cycle,
+                });
+                self.index.insert(tuple.clone(), id);
+                for (i, v) in tuple.0.iter().enumerate() {
+                    if !v.has_unknown() {
+                        if let Some(x) = v.to_u64() {
+                            self.seen_values[i].insert(x);
+                        }
+                    }
+                }
+                (id, true)
+            }
+        };
+        let mut new_edge = false;
+        if let Some(prev) = self.current {
+            if prev != node {
+                let out = &mut self.nodes[prev.index()].out;
+                if !out.contains_key(&node) {
+                    let edge_id = self.edge_count as u32;
+                    out.insert(node, edge_id);
+                    self.edge_count += 1;
+                    new_edge = true;
+                }
+            }
+        }
+        self.current = Some(node);
+        ObserveOutcome {
+            node,
+            new_node,
+            new_edge,
+        }
+    }
+
+    /// Tells the CFG a reset happened: the input log restarts and the
+    /// next observation starts a fresh path (no edge from the pre-reset
+    /// node).
+    pub fn note_reset(&mut self) {
+        self.current = None;
+        self.input_log.clear();
+    }
+
+    /// Tells the CFG the simulator was rolled back to `node` (snapshot
+    /// restore): subsequent edges originate there, and the input log
+    /// resumes from that node's recorded path.
+    pub fn note_rollback(&mut self, node: NodeId) {
+        self.input_log = self.nodes[node.index()].path.clone();
+        self.current = Some(node);
+    }
+
+    /// Number of distinct nodes observed.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct edges observed.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The paper's coverage-point count: exercised `⟨edge, node⟩`
+    /// tuples — edges plus nodes (a node is a degenerate tuple with no
+    /// incoming edge yet).
+    pub fn coverage_points(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// The node currently occupied, if known.
+    pub fn current(&self) -> Option<NodeId> {
+        self.current
+    }
+
+    /// The state tuple of a node.
+    pub fn state(&self, node: NodeId) -> &StateTuple {
+        &self.nodes[node.index()].state
+    }
+
+    /// Cycle at which the node was first reached.
+    pub fn first_cycle(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].first_cycle
+    }
+
+    /// Observed fanout of a node.
+    pub fn fanout(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].out.len()
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[node.index()].out.keys().copied()
+    }
+
+    /// Checkpoints: nodes whose fanout is at least `threshold`
+    /// (the paper uses 3, §4.5), newest first.
+    pub fn checkpoints(&self, threshold: usize) -> Vec<NodeId> {
+        let mut cps: Vec<NodeId> = (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.fanout(*n) >= threshold)
+            .collect();
+        cps.sort_by_key(|n| std::cmp::Reverse(self.first_cycle(*n)));
+        cps
+    }
+
+    /// The input-word sequence that first reached `node` from reset —
+    /// the checkpoint replay sequence of §4.5.
+    pub fn replay_sequence(&self, node: NodeId) -> &[LogicVec] {
+        &self.nodes[node.index()].path
+    }
+
+    /// Values of control register `i` (tuple position) never observed,
+    /// bounded by the register's legal encodings and capped at
+    /// `limit` candidates — the paper's "unexplored nodes" the solver
+    /// is pointed at (§4.7).
+    pub fn unseen_values(&self, i: usize, limit: usize) -> Vec<LogicVec> {
+        let sig = self.ctrl[i];
+        let s = self.design.signal(sig);
+        let total = s
+            .legal_encodings
+            .unwrap_or_else(|| 1u64.checked_shl(s.width.min(16)).unwrap_or(u64::MAX));
+        let mut out = Vec::new();
+        for v in 0..total {
+            if out.len() >= limit {
+                break;
+            }
+            if !self.seen_values[i].contains(&v) {
+                out.push(LogicVec::from_u64(s.width, v));
+            }
+        }
+        out
+    }
+
+    /// Fraction of the Eqn.-3 node population covered, in `[0, 1]`.
+    pub fn node_coverage_ratio(&self) -> f64 {
+        let mut population: f64 = 1.0;
+        for sig in &self.ctrl {
+            let s = self.design.signal(*sig);
+            let n = s
+                .legal_encodings
+                .unwrap_or_else(|| 1u64.checked_shl(s.width.min(20)).unwrap_or(u64::MAX));
+            population *= n as f64;
+        }
+        if population == 0.0 {
+            return 1.0;
+        }
+        (self.node_count() as f64 / population).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_netlist::{classify_registers, elaborate_src};
+
+    fn setup() -> (Arc<Design>, Cfg) {
+        let d = Arc::new(
+            elaborate_src(
+                "module m(input clk, input rst_n, input [1:0] go, output logic [1:0] st);
+                   always_ff @(posedge clk or negedge rst_n)
+                     if (!rst_n) st <= 2'd0;
+                     else begin
+                       case (st)
+                         2'd0: if (go == 2'd1) st <= 2'd1;
+                               else begin if (go == 2'd2) st <= 2'd2; else st <= 2'd3; end
+                         default: st <= 2'd0;
+                       endcase
+                     end
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let ctrl = classify_registers(&d).control;
+        let cfg = Cfg::new(Arc::clone(&d), ctrl);
+        (d, cfg)
+    }
+
+    fn frame(d: &Design, st: u64, go: u64) -> Vec<LogicVec> {
+        let mut vals: Vec<LogicVec> = d.signals.iter().map(|s| LogicVec::zeros(s.width)).collect();
+        let sti = d.signal_by_name("st").unwrap();
+        let goi = d.signal_by_name("go").unwrap();
+        vals[sti.index()] = LogicVec::from_u64(2, st);
+        vals[goi.index()] = LogicVec::from_u64(2, go);
+        vals
+    }
+
+    #[test]
+    fn nodes_and_edges_accumulate() {
+        let (d, mut cfg) = setup();
+        let w = LogicVec::from_u64(2, 0);
+        let o0 = cfg.observe(&frame(&d, 0, 0), &w, 0);
+        assert!(o0.new_node && !o0.new_edge);
+        let o1 = cfg.observe(&frame(&d, 1, 1), &w, 1);
+        assert!(o1.new_node && o1.new_edge);
+        // Re-observing the same transition adds nothing.
+        cfg.note_reset();
+        cfg.observe(&frame(&d, 0, 0), &w, 2);
+        let o = cfg.observe(&frame(&d, 1, 1), &w, 3);
+        assert!(!o.new_node && !o.new_edge);
+        assert_eq!(cfg.node_count(), 2);
+        assert_eq!(cfg.edge_count(), 1);
+        assert_eq!(cfg.coverage_points(), 3);
+    }
+
+    #[test]
+    fn self_loops_are_not_edges() {
+        let (d, mut cfg) = setup();
+        let w = LogicVec::from_u64(2, 0);
+        cfg.observe(&frame(&d, 0, 0), &w, 0);
+        cfg.observe(&frame(&d, 0, 0), &w, 1);
+        assert_eq!(cfg.edge_count(), 0);
+    }
+
+    #[test]
+    fn checkpoints_require_fanout_three() {
+        let (d, mut cfg) = setup();
+        let w = LogicVec::from_u64(2, 0);
+        // Node 0 fans out to 1, 2, 3 (via resets between runs).
+        for target in [1u64, 2, 3] {
+            cfg.note_reset();
+            cfg.observe(&frame(&d, 0, 0), &w, 0);
+            cfg.observe(&frame(&d, target, 0), &w, 1);
+        }
+        let n0 = cfg.current().map(|_| NodeId(0)).unwrap();
+        assert_eq!(cfg.fanout(n0), 3);
+        assert_eq!(cfg.checkpoints(3), vec![n0]);
+        assert!(cfg.checkpoints(4).is_empty());
+    }
+
+    #[test]
+    fn replay_sequences_record_reset_to_node_paths() {
+        let (d, mut cfg) = setup();
+        let w1 = LogicVec::from_u64(2, 1);
+        let w2 = LogicVec::from_u64(2, 2);
+        cfg.note_reset();
+        cfg.observe(&frame(&d, 0, 0), &w1, 0);
+        let o = cfg.observe(&frame(&d, 1, 1), &w2, 1);
+        let path = cfg.replay_sequence(o.node);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].to_u64(), Some(1));
+        assert_eq!(path[1].to_u64(), Some(2));
+    }
+
+    #[test]
+    fn rollback_resumes_edge_attribution_and_path() {
+        let (d, mut cfg) = setup();
+        let w = LogicVec::from_u64(2, 0);
+        cfg.observe(&frame(&d, 0, 0), &w, 0);
+        let at1 = cfg.observe(&frame(&d, 1, 0), &w, 1);
+        cfg.observe(&frame(&d, 2, 0), &w, 2);
+        // Roll back to node "1" and branch somewhere new.
+        cfg.note_rollback(at1.node);
+        let o = cfg.observe(&frame(&d, 3, 0), &w, 3);
+        assert!(o.new_node && o.new_edge);
+        // The new node's path = path-to-1 plus one more word.
+        assert_eq!(cfg.replay_sequence(o.node).len(), cfg.replay_sequence(at1.node).len() + 1);
+    }
+
+    #[test]
+    fn unseen_values_shrink_as_coverage_grows() {
+        let (d, mut cfg) = setup();
+        assert_eq!(cfg.unseen_values(0, 10).len(), 4);
+        let w = LogicVec::from_u64(2, 0);
+        cfg.observe(&frame(&d, 0, 0), &w, 0);
+        cfg.observe(&frame(&d, 2, 0), &w, 1);
+        let unseen = cfg.unseen_values(0, 10);
+        assert_eq!(unseen.len(), 2);
+        assert!(unseen.iter().all(|v| {
+            let x = v.to_u64().unwrap();
+            x == 1 || x == 3
+        }));
+    }
+
+    #[test]
+    fn x_state_is_its_own_node() {
+        let (d, mut cfg) = setup();
+        let sti = d.signal_by_name("st").unwrap();
+        let mut vals = frame(&d, 0, 0);
+        vals[sti.index()] = LogicVec::xes(2);
+        let w = LogicVec::from_u64(2, 0);
+        let o = cfg.observe(&vals, &w, 0);
+        assert!(o.new_node);
+        cfg.observe(&frame(&d, 0, 0), &w, 1);
+        assert_eq!(cfg.node_count(), 2);
+        // The X node contributes no seen value.
+        assert_eq!(cfg.unseen_values(0, 10).len(), 3);
+    }
+
+    #[test]
+    fn coverage_ratio_bounded() {
+        let (d, mut cfg) = setup();
+        assert_eq!(cfg.node_coverage_ratio(), 0.0);
+        let w = LogicVec::from_u64(2, 0);
+        for st in 0..4 {
+            cfg.note_reset();
+            cfg.observe(&frame(&d, st, 0), &w, st);
+        }
+        assert!((cfg.node_coverage_ratio() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Control-flow-graph coverage model.
+//!
+//! SymbFuzz redefines coverage "in terms of control-register
+//! interaction tuples" (§3, §4.6): a CFG *node* is one assignment of
+//! values to the design's control registers (the Cartesian product of
+//! Eqn. 3 bounds the node population), an *edge* is an observed
+//! transition between two nodes, and coverage is the set of exercised
+//! `⟨edge ID, node⟩` tuples. Nodes whose observed fanout reaches the
+//! checkpoint threshold (≥ 3 outgoing edges, §4.5) are *checkpoints*;
+//! for every node the [`Cfg`] also records the input-word sequence that
+//! first reached it from reset, so the fuzzer can replay its way back
+//! to a checkpoint instead of re-randomising from scratch.
+//!
+//! The same structure powers the stagnation detector of Algorithm 1
+//! (lines 13–22): [`Cfg::observe`] reports whether anything new was
+//! covered, and the caller counts quiet intervals against the
+//! threshold `Th`.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use symbfuzz_cfgx::Cfg;
+//! use symbfuzz_logic::LogicVec;
+//!
+//! let d = Arc::new(symbfuzz_netlist::elaborate_src(
+//!     "module m(input clk, input rst_n, input go, output logic [1:0] st);
+//!        always_ff @(posedge clk or negedge rst_n)
+//!          if (!rst_n) st <= 2'd0;
+//!          else begin
+//!            // `st` steers a branch, making it a control register.
+//!            if (st != 2'd3 && go) st <= st + 2'd1;
+//!          end
+//!      endmodule", "m")?);
+//! let ctrl = symbfuzz_netlist::classify_registers(&d).control;
+//! let st = d.signal_by_name("st").unwrap();
+//! assert_eq!(ctrl, vec![st]);
+//! let mut cfg = Cfg::new(Arc::clone(&d), ctrl);
+//! // Observe states 0 → 1 → 2 (frames carry the full value table).
+//! let mut frame: Vec<LogicVec> =
+//!     d.signals.iter().map(|s| LogicVec::zeros(s.width)).collect();
+//! for v in 0..3 {
+//!     frame[st.index()] = LogicVec::from_u64(2, v);
+//!     cfg.observe(&frame, &LogicVec::from_u64(1, 1), v);
+//! }
+//! assert_eq!(cfg.node_count(), 3);
+//! assert_eq!(cfg.edge_count(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cfg;
+
+pub use cfg::{Cfg, NodeId, ObserveOutcome, StateTuple};

@@ -1,0 +1,44 @@
+//! Benchmark designs for the SymbFuzz reproduction.
+//!
+//! The paper evaluates on the HACK@DAC'24 buggy OpenTitan SoC plus
+//! CVA6, Rocket-Chip and Mor1kx (§5). Those RTL bases are millions of
+//! lines of SystemVerilog outside our subset, so this crate provides
+//! scaled-down re-implementations that preserve what SymbFuzz actually
+//! exercises: the *control structure* around each planted bug.
+//!
+//! * [`bug_benchmarks`] — the 14 buggy IPs of Table 1. Each bug is
+//!   re-implemented from the paper's listing (Listings 4–31) with the
+//!   same flaw semantics, paired with the paper's detection property
+//!   (Listings 5–32) and annotated with its CWE id and Table 2 oracle
+//!   visibility.
+//! * [`processor_benchmarks`] — four processor-scale designs
+//!   (`ibex_like`, `cva6_like`, `rocket_like`, `mor1kx_like`) with
+//!   pipelines, CSR files and bus FSMs, used for the Table 3 statistics
+//!   and the Figure 4 coverage comparison.
+//! * [`toy_alu`] — the paper's Listing 1 ALU, used in the docs and the
+//!   quickstart example.
+//!
+//! # Examples
+//!
+//! ```
+//! let bugs = symbfuzz_designs::bug_benchmarks();
+//! assert_eq!(bugs.len(), 14);
+//! // Every benchmark elaborates cleanly.
+//! for b in &bugs {
+//!     let d = b.design()?;
+//!     assert!(!d.signals.is_empty(), "{}", b.name);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod alu;
+mod bugs;
+mod peripherals;
+mod processors;
+mod soc;
+
+pub use alu::toy_alu;
+pub use bugs::{bug_benchmarks, BugBenchmark};
+pub use peripherals::peripheral_benchmarks;
+pub use processors::{processor_benchmarks, Benchmark};
+pub use soc::buggy_soc;

@@ -1,0 +1,316 @@
+//! Peripheral IP benchmarks (bug-free).
+//!
+//! §3 of the paper claims SymbFuzz "drives RTL inputs directly and
+//! works across processor types and peripheral IPs without changes".
+//! These three peripherals — an SPI controller, a programmable timer
+//! and a GPIO block with interrupt matching — exercise that claim: the
+//! same harness fuzzes them with no ISA or design-specific glue, and
+//! their holding properties double as regression assertions for the
+//! simulator/property stack.
+
+use crate::processors::Benchmark;
+
+/// SPI master: clock divider, shift register, chip-select FSM.
+const SPI_CTRL_RTL: &str = "
+module spi_ctrl(
+  input clk, input rst_n,
+  input start, input [7:0] tx_data, input [1:0] clk_div, input miso,
+  output logic sclk, output logic mosi, output logic cs_n,
+  output logic busy, output logic [7:0] rx_data, output logic [1:0] spi_state);
+  // IDLE=0, ASSERT=1, SHIFT=2, DONE=3
+  logic [7:0] shreg;
+  logic [2:0] bitcnt;
+  logic [1:0] divcnt;
+  always_comb busy = spi_state != 2'd0;
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      spi_state <= 2'd0; shreg <= 8'd0; bitcnt <= 3'd0; divcnt <= 2'd0;
+      sclk <= 1'b0; mosi <= 1'b0; cs_n <= 1'b1; rx_data <= 8'd0;
+    end else begin
+      case (spi_state)
+        2'd0: begin
+          if (start) begin
+            shreg <= tx_data;
+            bitcnt <= 3'd0;
+            divcnt <= 2'd0;
+            cs_n <= 1'b0;
+            spi_state <= 2'd1;
+          end
+        end
+        2'd1: spi_state <= 2'd2;
+        2'd2: begin
+          if (divcnt == clk_div) begin
+            divcnt <= 2'd0;
+            sclk <= !sclk;
+            if (sclk) begin
+              // Falling edge: shift out next bit, capture miso.
+              mosi <= shreg[7];
+              shreg <= {shreg[6:0], miso};
+              if (bitcnt == 3'd7) spi_state <= 2'd3;
+              else bitcnt <= bitcnt + 3'd1;
+            end
+          end else divcnt <= divcnt + 2'd1;
+        end
+        2'd3: begin
+          rx_data <= shreg;
+          cs_n <= 1'b1;
+          sclk <= 1'b0;
+          spi_state <= 2'd0;
+        end
+        default: spi_state <= 2'd0;
+      endcase
+    end
+  end
+endmodule";
+
+/// Programmable down-counter with one-shot and periodic modes.
+const TIMER_RTL: &str = "
+module timer(
+  input clk, input rst_n,
+  input load, input [7:0] preset, input periodic, input clear_irq,
+  output logic [7:0] count, output logic irq, output logic [1:0] tmr_state);
+  // STOPPED=0, RUNNING=1, EXPIRED=2
+  logic [7:0] preset_q;
+  logic periodic_q;
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      tmr_state <= 2'd0; count <= 8'd0; irq <= 1'b0;
+      preset_q <= 8'd0; periodic_q <= 1'b0;
+    end else begin
+      if (clear_irq) irq <= 1'b0;
+      case (tmr_state)
+        2'd0: begin
+          if (load && preset != 8'd0) begin
+            count <= preset;
+            preset_q <= preset;
+            periodic_q <= periodic;
+            tmr_state <= 2'd1;
+          end
+        end
+        2'd1: begin
+          if (count == 8'd1) begin
+            irq <= 1'b1;
+            if (periodic_q) count <= preset_q;
+            else tmr_state <= 2'd2;
+          end else count <= count - 8'd1;
+        end
+        2'd2: begin
+          if (load && preset != 8'd0) begin
+            count <= preset;
+            preset_q <= preset;
+            tmr_state <= 2'd1;
+          end
+        end
+        default: tmr_state <= 2'd0;
+      endcase
+    end
+  end
+endmodule";
+
+/// GPIO block: direction register, output latch, level/edge interrupt
+/// matcher built with an unrolled per-pin loop.
+const GPIO_RTL: &str = "
+module gpio(
+  input clk, input rst_n,
+  input we, input [1:0] reg_sel, input [7:0] wdata, input [7:0] pins_in,
+  output logic [7:0] dir, output logic [7:0] out_latch,
+  output logic [7:0] irq_pending, output logic any_irq);
+  logic [7:0] irq_mask;
+  logic [7:0] pins_q;
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      dir <= 8'd0; out_latch <= 8'd0; irq_mask <= 8'd0;
+      irq_pending <= 8'd0; pins_q <= 8'd0;
+    end else begin
+      pins_q <= pins_in;
+      if (we) begin
+        case (reg_sel)
+          2'd0: dir <= wdata;
+          2'd1: out_latch <= wdata;
+          2'd2: irq_mask <= wdata;
+          default: irq_pending <= irq_pending & ~wdata;
+        endcase
+      end
+      // Rising-edge detector per input pin, gated by direction and mask.
+      for (int i = 0; i < 8; i = i + 1) begin
+        if (!dir[i] && irq_mask[i] && pins_in[i] && !pins_q[i])
+          irq_pending[i] <= 1'b1;
+      end
+    end
+  end
+  always_comb any_irq = |irq_pending;
+endmodule";
+
+/// Returns the three peripheral benchmarks.
+pub fn peripheral_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "spi_ctrl",
+            paper_counterpart: "peripheral IP (§3)",
+            rtl: SPI_CTRL_RTL,
+            top: "spi_ctrl",
+            properties: &[
+                ("cs_matches_fsm", "cs_n |-> spi_state == 2'd0 || spi_state == 2'd3"),
+                ("busy_iff_active", "busy == (spi_state != 2'd0)"),
+                ("sclk_quiet_when_idle", "spi_state == 2'd0 && $past(spi_state) == 2'd0 |-> !sclk"),
+            ],
+            paper_table3: (0, 0, 0, 0, 0),
+        },
+        Benchmark {
+            name: "timer",
+            paper_counterpart: "peripheral IP (§3)",
+            rtl: TIMER_RTL,
+            top: "timer",
+            properties: &[
+                ("irq_has_cause", "$rose(irq) |-> $past(count) == 8'd1"),
+                ("running_nonzero", "tmr_state == 2'd1 |-> count != 8'd0"),
+            ],
+            paper_table3: (0, 0, 0, 0, 0),
+        },
+        Benchmark {
+            name: "gpio",
+            paper_counterpart: "peripheral IP (§3)",
+            rtl: GPIO_RTL,
+            top: "gpio",
+            properties: &[
+                ("any_irq_consistent", "any_irq == |irq_pending"),
+                ("masked_pins_quiet", "$past(irq_mask) == 8'd0 && $past(irq_pending) == 8'd0 && !$past(we) |-> irq_pending == 8'd0"),
+            ],
+            paper_table3: (0, 0, 0, 0, 0),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use symbfuzz_core::{FuzzConfig, Strategy, SymbFuzz};
+    use symbfuzz_logic::LogicVec;
+    use symbfuzz_props::Property;
+    use symbfuzz_sim::Simulator;
+
+    #[test]
+    fn peripherals_elaborate_and_properties_parse() {
+        for b in peripheral_benchmarks() {
+            let d = b.design().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            for (n, t) in b.properties {
+                Property::parse(n, t, &d).unwrap_or_else(|e| panic!("{}/{n}: {e}", b.name));
+            }
+        }
+    }
+
+    #[test]
+    fn spi_transfers_a_byte() {
+        let b = &peripheral_benchmarks()[0];
+        let d = b.design().unwrap();
+        let mut sim = Simulator::new(d.clone());
+        sim.reset(2);
+        let set = |sim: &mut Simulator, name: &str, v: u64| {
+            let s = d.signal_by_name(name).unwrap();
+            let w = d.signal(s).width;
+            sim.set_input(s, &LogicVec::from_u64(w, v)).unwrap();
+        };
+        set(&mut sim, "start", 1);
+        set(&mut sim, "tx_data", 0xA7);
+        set(&mut sim, "clk_div", 0);
+        set(&mut sim, "miso", 1); // slave answers all-ones
+        sim.step();
+        set(&mut sim, "start", 0);
+        let state = d.signal_by_name("spi_state").unwrap();
+        let mut cycles = 0;
+        while sim.get(state).to_u64() != Some(0) && cycles < 100 {
+            sim.step();
+            cycles += 1;
+        }
+        assert!(cycles < 100, "SPI transfer never completed");
+        let rx = d.signal_by_name("rx_data").unwrap();
+        assert_eq!(sim.get(rx).to_u64(), Some(0xFF), "all-ones slave data");
+        let cs = d.signal_by_name("cs_n").unwrap();
+        assert_eq!(sim.get(cs).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn timer_counts_and_fires() {
+        let b = &peripheral_benchmarks()[1];
+        let d = b.design().unwrap();
+        let mut sim = Simulator::new(d.clone());
+        sim.reset(2);
+        let set = |sim: &mut Simulator, name: &str, v: u64| {
+            let s = d.signal_by_name(name).unwrap();
+            let w = d.signal(s).width;
+            sim.set_input(s, &LogicVec::from_u64(w, v)).unwrap();
+        };
+        set(&mut sim, "load", 1);
+        set(&mut sim, "preset", 5);
+        set(&mut sim, "periodic", 0);
+        set(&mut sim, "clear_irq", 0);
+        sim.step();
+        set(&mut sim, "load", 0);
+        let irq = d.signal_by_name("irq").unwrap();
+        // Counts 5 → 4 → 3 → 2 → 1; the IRQ fires on the edge that
+        // consumes the final tick.
+        for _ in 0..4 {
+            assert_eq!(sim.get(irq).to_u64(), Some(0));
+            sim.step();
+        }
+        sim.step();
+        assert_eq!(sim.get(irq).to_u64(), Some(1), "one-shot expiry");
+        set(&mut sim, "clear_irq", 1);
+        sim.step();
+        assert_eq!(sim.get(irq).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn gpio_edge_detector_respects_mask_and_direction() {
+        let b = &peripheral_benchmarks()[2];
+        let d = b.design().unwrap();
+        let mut sim = Simulator::new(d.clone());
+        sim.reset(2);
+        let set = |sim: &mut Simulator, name: &str, v: u64| {
+            let s = d.signal_by_name(name).unwrap();
+            let w = d.signal(s).width;
+            sim.set_input(s, &LogicVec::from_u64(w, v)).unwrap();
+        };
+        // Unmask pin 3 only; all pins are inputs (dir = 0).
+        set(&mut sim, "we", 1);
+        set(&mut sim, "reg_sel", 2);
+        set(&mut sim, "wdata", 0b0000_1000);
+        set(&mut sim, "pins_in", 0);
+        sim.step();
+        set(&mut sim, "we", 0);
+        sim.step();
+        // Rising edges on pins 3 and 5: only pin 3 pends.
+        set(&mut sim, "pins_in", 0b0010_1000);
+        sim.step();
+        sim.step();
+        let pending = d.signal_by_name("irq_pending").unwrap();
+        assert_eq!(sim.get(pending).to_u64(), Some(0b0000_1000));
+        let any = d.signal_by_name("any_irq").unwrap();
+        assert_eq!(sim.get(any).to_u64(), Some(1));
+    }
+
+    /// The §3 portability claim: one harness, zero per-design glue.
+    #[test]
+    fn same_harness_fuzzes_every_peripheral() {
+        for b in peripheral_benchmarks() {
+            let d = b.design().unwrap();
+            let config = FuzzConfig {
+                interval: 64,
+                threshold: 2,
+                max_vectors: 3_000,
+                ..FuzzConfig::default()
+            };
+            let mut fuzzer =
+                SymbFuzz::new(d, Strategy::SymbFuzz, config, &b.property_specs()).unwrap();
+            let r = fuzzer.run();
+            assert!(r.nodes > 1, "{}: nothing explored", b.name);
+            assert!(
+                r.bugs.is_empty(),
+                "{}: holding property fired: {:?}",
+                b.name,
+                r.bugs
+            );
+        }
+    }
+}

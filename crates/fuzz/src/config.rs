@@ -1,0 +1,132 @@
+//! Fuzzing configuration and strategy selection.
+
+use serde::{Deserialize, Serialize};
+
+/// Which fuzzing algorithm drives the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// The paper's contribution: coverage-guided fuzzing with
+    /// checkpoint rollback and SMT-solved constraints on stagnation.
+    SymbFuzz,
+    /// Plain UVM constrained-random testing (no feedback).
+    UvmRandom,
+    /// RFuzz-style: mux-toggle-coverage-guided bit-flip mutation
+    /// (Laeufer et al., ICCAD 2018).
+    RFuzz,
+    /// DifuzzRTL-style: control-register-value coverage with word-level
+    /// mutation (Hur et al., S&P 2021).
+    DifuzzRtl,
+    /// HWFP-style ("Fuzzing Hardware Like Software", Trippel et al.,
+    /// USENIX Sec 2022): byte-granular mutation, two-state coverage
+    /// view (X collapses to 0).
+    Hwfp,
+}
+
+impl Strategy {
+    /// Human-readable name used in reports and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::SymbFuzz => "SymbFuzz",
+            Strategy::UvmRandom => "UVM-random",
+            Strategy::RFuzz => "RFuzz",
+            Strategy::DifuzzRtl => "DifuzzRTL",
+            Strategy::Hwfp => "HWFP",
+        }
+    }
+
+    /// All strategies, SymbFuzz first (the order used in tables).
+    pub fn all() -> [Strategy; 5] {
+        [
+            Strategy::SymbFuzz,
+            Strategy::RFuzz,
+            Strategy::DifuzzRtl,
+            Strategy::Hwfp,
+            Strategy::UvmRandom,
+        ]
+    }
+}
+
+/// Campaign parameters (paper defaults in §5 "Parameter Setup": 300
+/// cycles per interval, dumps every 3 intervals, stagnation threshold
+/// of a few intervals).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzConfig {
+    /// Clock cycles per interval `I` (one VCD dump / coverage scan).
+    pub interval: u32,
+    /// Stagnation threshold `Th`: intervals without new coverage before
+    /// symbolic guidance kicks in.
+    pub threshold: u32,
+    /// Checkpoint fanout threshold (§4.5; the paper uses 3).
+    pub checkpoint_fanout: usize,
+    /// Total input-vector budget for the campaign.
+    pub max_vectors: u64,
+    /// RNG seed (campaigns are deterministic given a seed).
+    pub seed: u64,
+    /// Cycles to hold reset at campaign start and on full resets.
+    pub reset_cycles: u32,
+    /// Maximum cycles the symbolic engine may unroll when solving for
+    /// a target state (§4.7 search depth limit).
+    pub solve_depth: u32,
+    /// Maximum distinct targets tried per guidance round.
+    pub targets_per_round: usize,
+    /// Cap on cached per-node snapshots (memory bound).
+    pub snapshot_cap: usize,
+    /// Testcase length (cycles per reset-to-reset test) for the
+    /// baseline fuzzers and UVM random testing. SymbFuzz itself runs
+    /// continuously, using checkpoints instead of per-test resets
+    /// (§4.5).
+    pub testcase_len: usize,
+    /// Ablation: disable checkpoint rollback (guidance restarts from a
+    /// full reset instead, §4.5's alternative).
+    pub use_checkpoints: bool,
+    /// Ablation: disable the SMT-guided mutation entirely (stagnation
+    /// is ignored; exploration stays purely random).
+    pub use_solver: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            interval: 300,
+            threshold: 3,
+            checkpoint_fanout: 3,
+            max_vectors: 100_000,
+            seed: 0xC0FFEE,
+            reset_cycles: 2,
+            solve_depth: 8,
+            targets_per_round: 8,
+            snapshot_cap: 256,
+            testcase_len: 32,
+            use_checkpoints: true,
+            use_solver: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = FuzzConfig::default();
+        assert_eq!(c.interval, 300);
+        assert_eq!(c.threshold, 3);
+        assert_eq!(c.checkpoint_fanout, 3);
+    }
+
+    #[test]
+    fn strategy_names_unique() {
+        let names: std::collections::HashSet<&str> =
+            Strategy::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = FuzzConfig::default();
+        let j = serde_json::to_string(&c).unwrap();
+        let back: FuzzConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(c, back);
+    }
+}

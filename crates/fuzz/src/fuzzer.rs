@@ -1,0 +1,589 @@
+//! The fuzzing engine: Algorithm 1 and the baseline strategies.
+
+use crate::config::{FuzzConfig, Strategy};
+use crate::mutate::{Granularity, Mutator};
+use crate::report::{BugRecord, CampaignResult, CoverageSample, PropertySpec, ResourceStats};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use symbfuzz_cfgx::{Cfg, NodeId};
+use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::{classify_registers, Design};
+use symbfuzz_props::{PropError, Property, PropertyChecker};
+use symbfuzz_ruvm::{Driver, SequenceItem, Sequencer};
+use symbfuzz_sim::{Simulator, Snapshot};
+use symbfuzz_symexec::SymbolicEngine;
+
+/// One fuzzing campaign over one design with one strategy.
+///
+/// Despite the name the struct drives every [`Strategy`]; the paper's
+/// algorithm corresponds to [`Strategy::SymbFuzz`]. See the
+/// [crate docs](crate) for an end-to-end example.
+pub struct SymbFuzz {
+    design: Arc<Design>,
+    strategy: Strategy,
+    config: FuzzConfig,
+    sim: Simulator,
+    sequencer: Sequencer,
+    driver: Driver,
+    mutator: Mutator,
+    cfg: Cfg,
+    checker: PropertyChecker,
+    engine: Option<SymbolicEngine>,
+    snapshots: HashMap<NodeId, Snapshot>,
+    /// Two-state coverage view for the HWFP baseline.
+    twostate_nodes: HashSet<Vec<u64>>,
+    vectors: u64,
+    stagnation: u32,
+    bugs: Vec<BugRecord>,
+    seen_bugs: HashSet<String>,
+    series: Vec<CoverageSample>,
+    resources: ResourceStats,
+    /// Coverage points at the end of the previous interval.
+    last_coverage: usize,
+    /// RFuzz guidance metric at the previous step.
+    last_toggles: usize,
+    /// Current baseline testcase being driven, and the cursor into it.
+    case: Vec<LogicVec>,
+    case_pos: usize,
+    /// Whether the current testcase produced any new coverage.
+    case_had_new: bool,
+}
+
+impl SymbFuzz {
+    /// Builds a campaign. Properties are filtered by the strategy's
+    /// oracle visibility (see [`PropertySpec`]); SymbFuzz and
+    /// UVM-random use the full in-RTL assertion set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PropError`] if a property fails to parse against the
+    /// design.
+    pub fn new(
+        design: Arc<Design>,
+        strategy: Strategy,
+        config: FuzzConfig,
+        props: &[PropertySpec],
+    ) -> Result<SymbFuzz, PropError> {
+        let mut compiled = Vec::new();
+        for p in props {
+            let visible = match strategy {
+                Strategy::SymbFuzz | Strategy::UvmRandom => true,
+                Strategy::RFuzz => p.rfuzz_visible,
+                Strategy::DifuzzRtl => p.difuzz_visible,
+                Strategy::Hwfp => p.hwfp_visible,
+            };
+            if visible {
+                compiled.push(Property::parse(&p.name, &p.text, &design)?);
+            }
+        }
+        let mut ctrl = classify_registers(&design).control;
+        // §4.6 of the paper: predicates over wide registers (e.g.
+        // `r1 == 0` on a 32-bit register) do not divide the space into
+        // a small outcome set, so such registers cannot enumerate into
+        // the node tuple. Keep registers with a bounded encoding set
+        // (enums, or ≤ 8 bits); wider ones are treated as data.
+        ctrl.retain(|s| {
+            let sig = design.signal(*s);
+            sig.legal_encodings.is_some() || sig.width <= 8
+        });
+        let mut sim = Simulator::new(Arc::clone(&design));
+        sim.reset(config.reset_cycles);
+        let granularity = match strategy {
+            Strategy::RFuzz => Granularity::Bit,
+            Strategy::Hwfp => Granularity::Byte,
+            _ => Granularity::Word,
+        };
+        Ok(SymbFuzz {
+            sequencer: Sequencer::new(Arc::clone(&design), config.seed),
+            mutator: Mutator::new(design.fuzz_width(), granularity, config.seed),
+            cfg: Cfg::new(Arc::clone(&design), ctrl),
+            checker: PropertyChecker::new(compiled),
+            engine: None,
+            snapshots: HashMap::new(),
+            twostate_nodes: HashSet::new(),
+            vectors: 0,
+            stagnation: 0,
+            bugs: Vec::new(),
+            seen_bugs: HashSet::new(),
+            series: Vec::new(),
+            resources: ResourceStats::default(),
+            last_coverage: 0,
+            last_toggles: 0,
+            case: Vec::new(),
+            case_pos: 0,
+            case_had_new: false,
+            driver: Driver,
+            sim,
+            design,
+            strategy,
+            config,
+        })
+    }
+
+    /// The strategy driving this campaign.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Mutable access to the sequencer (to pre-install constraints,
+    /// e.g. Listing 3's `OPmode == 1`).
+    pub fn sequencer_mut(&mut self) -> &mut Sequencer {
+        &mut self.sequencer
+    }
+
+    /// Input vectors consumed so far.
+    pub fn vectors(&self) -> u64 {
+        self.vectors
+    }
+
+    /// Current coverage points.
+    pub fn coverage_points(&self) -> usize {
+        self.cfg.coverage_points()
+    }
+
+    /// Runs until the vector budget is exhausted and returns the
+    /// campaign result.
+    pub fn run(&mut self) -> CampaignResult {
+        while self.vectors < self.config.max_vectors {
+            self.run_interval();
+            self.series.push(CoverageSample {
+                vectors: self.vectors,
+                coverage: self.cfg.coverage_points() as u64,
+            });
+            let now = self.cfg.coverage_points();
+            if now > self.last_coverage {
+                self.stagnation = 0;
+            } else {
+                self.stagnation += 1;
+            }
+            self.last_coverage = now;
+            if self.stagnation > self.config.threshold {
+                self.on_stagnation();
+                self.stagnation = 0;
+            }
+        }
+        self.result()
+    }
+
+    /// Runs until `property` fires or the budget is exhausted; returns
+    /// the vectors spent (used by the Table 1 per-bug measurements).
+    pub fn run_until_bug(&mut self, property: &str) -> Option<u64> {
+        while self.vectors < self.config.max_vectors {
+            self.run_interval();
+            if let Some(b) = self.bugs.iter().find(|b| b.property == property) {
+                return Some(b.vectors);
+            }
+            let now = self.cfg.coverage_points();
+            if now > self.last_coverage {
+                self.stagnation = 0;
+            } else {
+                self.stagnation += 1;
+            }
+            self.last_coverage = now;
+            if self.stagnation > self.config.threshold {
+                self.on_stagnation();
+                self.stagnation = 0;
+            }
+        }
+        None
+    }
+
+    /// Assembles the final report without running further.
+    pub fn result(&self) -> CampaignResult {
+        let mut resources = self.resources;
+        resources.peak_snapshots = self.snapshots.len();
+        let state_bytes: u64 = self
+            .design
+            .signals
+            .iter()
+            .map(|s| (s.width as u64).div_ceil(8))
+            .sum();
+        // Live simulator state, plus per-node snapshots (SymbFuzz), plus
+        // the mutation corpus (corpus baselines).
+        let word_bytes = (self.design.fuzz_width() as u64).div_ceil(8);
+        let corpus_bytes = (self.mutator.corpus_len() as u64
+            + self.mutator.case_corpus_len() as u64 * self.config.testcase_len as u64)
+            * word_bytes;
+        resources.peak_state_bytes =
+            state_bytes * (1 + self.snapshots.len() as u64) + corpus_bytes;
+        CampaignResult {
+            fuzzer: self.strategy.name().to_string(),
+            design: self.design.name.clone(),
+            vectors: self.vectors,
+            coverage_points: self.cfg.coverage_points() as u64,
+            nodes: self.cfg.node_count() as u64,
+            edges: self.cfg.edge_count() as u64,
+            node_coverage_ratio: self.cfg.node_coverage_ratio(),
+            bugs: self.bugs.clone(),
+            series: self.series.clone(),
+            resources,
+        }
+    }
+
+    // ---- the per-interval drive loop (Algorithm 1 lines 8–12) ----------
+
+    fn run_interval(&mut self) {
+        for _ in 0..self.config.interval {
+            if self.vectors >= self.config.max_vectors {
+                return;
+            }
+            let word = match self.strategy {
+                Strategy::SymbFuzz => self.sequencer.next_item().word,
+                // Baselines and UVM random drive multi-cycle testcases
+                // from reset, the standard hardware-fuzzing harness;
+                // only SymbFuzz runs continuously via checkpoints.
+                _ => {
+                    if self.case_pos >= self.case.len() {
+                        self.finish_case();
+                    }
+                    let w = self.case[self.case_pos].clone();
+                    self.case_pos += 1;
+                    w
+                }
+            };
+            self.vectors += 1;
+            self.resources.cycles += 1;
+            self.driver.drive(&mut self.sim, &SequenceItem::new(word.clone()));
+            let outcome = self.cfg.observe(self.sim.values(), &word, self.sim.cycle());
+
+            match self.strategy {
+                Strategy::SymbFuzz => {
+                    if outcome.new_node && self.snapshots.len() < self.config.snapshot_cap {
+                        self.snapshots.insert(outcome.node, self.sim.snapshot());
+                    }
+                }
+                Strategy::RFuzz => {
+                    // Mux-toggle coverage only.
+                    let toggles = self.sim.toggled_outcomes();
+                    self.case_had_new |= toggles > self.last_toggles;
+                    self.last_toggles = toggles;
+                }
+                Strategy::DifuzzRtl => {
+                    // Control-register value coverage.
+                    self.case_had_new |= outcome.new_node;
+                }
+                Strategy::Hwfp => {
+                    // Software-fuzzer edge coverage over the translated
+                    // design: branch toggles plus register states, both
+                    // seen through a two-state lens (X collapses to 0,
+                    // hiding X-distinct states from the feedback).
+                    let key: Vec<u64> = self
+                        .cfg
+                        .control_registers()
+                        .iter()
+                        .map(|s| self.sim.get(*s).to_u64_x_as_zero())
+                        .collect();
+                    let toggles = self.sim.toggled_outcomes();
+                    self.case_had_new |= self.twostate_nodes.insert(key) || toggles > self.last_toggles;
+                    self.last_toggles = toggles;
+                }
+                Strategy::UvmRandom => {}
+            }
+
+            let violations = self.checker.on_cycle(self.sim.cycle(), self.sim.values());
+            for v in violations {
+                if self.seen_bugs.insert(v.property.clone()) {
+                    self.bugs.push(BugRecord {
+                        property: v.property,
+                        cycle: v.cycle,
+                        vectors: self.vectors,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- stagnation handling (Algorithm 1 lines 13–22) -----------------
+
+    fn on_stagnation(&mut self) {
+        // Baselines already reset between testcases; only SymbFuzz has
+        // a stagnation response (the symbolic step of Algorithm 1).
+        if self.strategy == Strategy::SymbFuzz {
+            self.symbolic_guidance();
+        }
+    }
+
+    /// Retires the finished testcase (keeping it as a corpus seed if it
+    /// covered anything new), resets the DUV, and schedules the next
+    /// case — the per-test harness every baseline pays for and SymbFuzz
+    /// replaces with checkpoints.
+    fn finish_case(&mut self) {
+        if self.case_had_new && self.strategy != Strategy::UvmRandom {
+            self.mutator.keep_case(std::mem::take(&mut self.case));
+        }
+        self.full_reset();
+        self.case = self.mutator.next_case(self.config.testcase_len.max(1));
+        self.case_pos = 0;
+        self.case_had_new = false;
+    }
+
+    fn full_reset(&mut self) {
+        self.resources.cycles += self.config.reset_cycles as u64;
+        self.sim.reset(self.config.reset_cycles);
+        self.cfg.note_reset();
+        self.checker.reset_history();
+        self.resources.full_resets += 1;
+    }
+
+    /// The paper's symbolic step: find the nearest checkpoint with
+    /// unexplored descendants, roll back to it, solve the dependency
+    /// equations for an unvisited control-register value, and install
+    /// the solved input sequence into the sequencer.
+    fn symbolic_guidance(&mut self) {
+        if !self.config.use_solver {
+            return;
+        }
+        if self.engine.is_none() {
+            self.engine = Some(SymbolicEngine::new(Arc::clone(&self.design)));
+        }
+        // Candidate rollback points: checkpoints newest-first (§4.5),
+        // then the current node, then a plain reset state. The
+        // checkpoint ablation always solves from the reset state.
+        let mut candidates = if self.config.use_checkpoints {
+            self.cfg.checkpoints(self.config.checkpoint_fanout)
+        } else {
+            Vec::new()
+        };
+        if self.config.use_checkpoints {
+            if let Some(cur) = self.cfg.current() {
+                if !candidates.contains(&cur) {
+                    candidates.push(cur);
+                }
+            }
+        }
+        for cp in candidates {
+            self.rollback_to(cp);
+            if self.try_solve_from_here() {
+                return;
+            }
+        }
+        // No checkpoint produced a solvable target: reset and try from
+        // the reset state (line 19 of Algorithm 1 resets before solving).
+        self.full_reset();
+        self.try_solve_from_here();
+    }
+
+    /// Attempts to solve for any unseen control-register value from the
+    /// simulator's current state; on success queues the input sequence.
+    fn try_solve_from_here(&mut self) -> bool {
+        let Some(engine) = &self.engine else { return false };
+        let nregs = self.cfg.control_registers().len();
+        let mut tried = 0usize;
+        for i in 0..nregs {
+            let reg = self.cfg.control_registers()[i];
+            for value in self.cfg.unseen_values(i, self.config.targets_per_round) {
+                if tried >= self.config.targets_per_round {
+                    return false;
+                }
+                tried += 1;
+                self.resources.solver_calls += 1;
+                if let Some(seq) = engine.solve_reach(
+                    self.sim.values(),
+                    &[(reg, value)],
+                    self.config.solve_depth,
+                ) {
+                    let items = seq
+                        .iter()
+                        .map(|a| SequenceItem::new(a.to_word(&self.design)));
+                    self.sequencer.clear_replay();
+                    self.sequencer.push_replay(items);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Re-enters a CFG node: snapshot restore when cached (microseconds,
+    /// §5.5.2), otherwise reset plus recorded input replay (§4.5).
+    fn rollback_to(&mut self, node: NodeId) {
+        self.resources.rollbacks += 1;
+        if let Some(snap) = self.snapshots.get(&node) {
+            self.sim.restore(snap);
+        } else {
+            self.resources.cycles += self.config.reset_cycles as u64;
+            self.sim.reset(self.config.reset_cycles);
+            self.resources.full_resets += 1;
+            let path: Vec<LogicVec> = self.cfg.replay_sequence(node).to_vec();
+            self.resources.cycles += path.len() as u64;
+            for word in path {
+                self.sim.apply_input_word(&word);
+                self.sim.step();
+            }
+        }
+        self.cfg.note_rollback(node);
+        self.checker.reset_history();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_netlist::elaborate_src;
+
+    /// A lock FSM with a magic 16-bit key split over two steps — random
+    /// fuzzing needs ~2^16 tries per stage; the solver needs two
+    /// queries.
+    const LOCK: &str = "
+        module lock(input clk, input rst_n, input [15:0] code,
+                    output logic [1:0] st, output logic open);
+          always_ff @(posedge clk or negedge rst_n) begin
+            if (!rst_n) st <= 2'd0;
+            else begin
+              case (st)
+                2'd0: if (code == 16'hBEEF) st <= 2'd1;
+                2'd1: if (code == 16'hCAFE) st <= 2'd2; else st <= 2'd0;
+                default: st <= 2'd2;
+              endcase
+            end
+          end
+          always_comb open = st == 2'd2;
+        endmodule";
+
+    fn lock_design() -> Arc<Design> {
+        Arc::new(elaborate_src(LOCK, "lock").unwrap())
+    }
+
+    fn lock_props() -> Vec<PropertySpec> {
+        vec![PropertySpec::assertion_only("never_open", "open == 1'b0")]
+    }
+
+    fn small_cfg(max_vectors: u64) -> FuzzConfig {
+        FuzzConfig {
+            interval: 32,
+            threshold: 1,
+            max_vectors,
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn symbfuzz_cracks_the_lock() {
+        let d = lock_design();
+        let mut f =
+            SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, small_cfg(20_000), &lock_props())
+                .unwrap();
+        let r = f.run();
+        assert!(
+            r.detected("never_open"),
+            "SymbFuzz should reach the locked state via the solver (coverage {})",
+            r.coverage_points
+        );
+        assert!(r.resources.solver_calls > 0);
+    }
+
+    #[test]
+    fn uvm_random_misses_the_lock_in_budget() {
+        let d = lock_design();
+        let mut f =
+            SymbFuzz::new(Arc::clone(&d), Strategy::UvmRandom, small_cfg(20_000), &lock_props())
+                .unwrap();
+        let r = f.run();
+        assert!(
+            !r.detected("never_open"),
+            "a 2^-16-per-try magic constant should not fall to 20k random vectors twice in a row"
+        );
+        assert_eq!(r.resources.solver_calls, 0);
+    }
+
+    #[test]
+    fn coverage_series_is_monotone() {
+        let d = lock_design();
+        let mut f =
+            SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, small_cfg(3_000), &lock_props())
+                .unwrap();
+        let r = f.run();
+        assert!(!r.series.is_empty());
+        for w in r.series.windows(2) {
+            assert!(w[1].coverage >= w[0].coverage);
+            assert!(w[1].vectors >= w[0].vectors);
+        }
+        assert_eq!(r.vectors, 3_000);
+    }
+
+    #[test]
+    fn baselines_filter_invisible_properties() {
+        let d = lock_design();
+        // The lock property is assertion-only: baselines must not even
+        // check it.
+        for s in [Strategy::RFuzz, Strategy::DifuzzRtl, Strategy::Hwfp] {
+            let mut f = SymbFuzz::new(Arc::clone(&d), s, small_cfg(500), &lock_props()).unwrap();
+            let r = f.run();
+            assert!(r.bugs.is_empty(), "{} saw an invisible property", s.name());
+        }
+    }
+
+    #[test]
+    fn arch_visible_bug_caught_by_baselines_when_shallow() {
+        // Shallow bug: any nonzero input sets the flag.
+        let d = Arc::new(
+            elaborate_src(
+                "module m(input clk, input rst_n, input [3:0] x, output logic bad, output logic [3:0] st);
+                   always_ff @(posedge clk or negedge rst_n)
+                     if (!rst_n) begin bad <= 1'b0; st <= 4'd0; end
+                     else begin
+                       if (x == 4'd3) bad <= 1'b1;
+                       case (st)
+                         4'd0: st <= x;
+                         default: st <= 4'd0;
+                       endcase
+                     end
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let props = vec![PropertySpec::arch_visible("no_bad", "bad == 1'b0")];
+        for s in Strategy::all() {
+            let mut f = SymbFuzz::new(Arc::clone(&d), s, small_cfg(5_000), &props).unwrap();
+            let r = f.run();
+            assert!(r.detected("no_bad"), "{} missed a shallow visible bug", s.name());
+        }
+    }
+
+    #[test]
+    fn run_until_bug_reports_vector_count() {
+        let d = lock_design();
+        let mut f =
+            SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, small_cfg(20_000), &lock_props())
+                .unwrap();
+        let v = f.run_until_bug("never_open");
+        assert!(v.is_some());
+        assert!(v.unwrap() <= 20_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = lock_design();
+        let run = || {
+            let mut f = SymbFuzz::new(
+                Arc::clone(&d),
+                Strategy::DifuzzRtl,
+                small_cfg(2_000),
+                &lock_props(),
+            )
+            .unwrap();
+            f.run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.coverage_points, b.coverage_points);
+        assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn symbfuzz_beats_random_on_coverage() {
+        let d = lock_design();
+        let budget = 10_000;
+        let mut sf = SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, small_cfg(budget), &lock_props())
+            .unwrap();
+        let mut rnd = SymbFuzz::new(Arc::clone(&d), Strategy::UvmRandom, small_cfg(budget), &lock_props())
+            .unwrap();
+        let (a, b) = (sf.run(), rnd.run());
+        assert!(
+            a.coverage_points > b.coverage_points,
+            "SymbFuzz {} vs random {}",
+            a.coverage_points,
+            b.coverage_points
+        );
+    }
+}

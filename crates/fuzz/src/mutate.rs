@@ -1,0 +1,281 @@
+//! Corpus-based mutation engines for the baseline fuzzers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symbfuzz_logic::{Bit, LogicVec};
+
+/// Mutation granularity, distinguishing the baselines' styles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Single-bit flips (RFuzz drives FPGA pins bit by bit).
+    Bit,
+    /// Whole-word splices (DifuzzRTL mutates register-sized chunks).
+    Word,
+    /// Byte-level havoc (HWFP treats stimuli as software fuzzer bytes).
+    Byte,
+}
+
+/// A coverage-guided corpus mutator: words (or whole multi-cycle
+/// testcases) that produced new coverage are kept as seeds; subsequent
+/// stimuli mutate a random seed.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    rng: StdRng,
+    width: u32,
+    corpus: Vec<LogicVec>,
+    /// Multi-cycle testcase corpus (hardware fuzzers mutate input
+    /// *programs*, not single cycles).
+    case_corpus: Vec<Vec<LogicVec>>,
+    granularity: Granularity,
+    /// Probability (percent) of emitting a fresh random word instead of
+    /// mutating a seed.
+    explore_pct: u32,
+}
+
+impl Mutator {
+    /// Creates a mutator for stimulus words of `width` bits.
+    pub fn new(width: u32, granularity: Granularity, seed: u64) -> Mutator {
+        Mutator {
+            rng: StdRng::seed_from_u64(seed),
+            width: width.max(1),
+            corpus: Vec::new(),
+            case_corpus: Vec::new(),
+            granularity,
+            explore_pct: 34,
+        }
+    }
+
+    /// Number of testcase seeds retained.
+    pub fn case_corpus_len(&self) -> usize {
+        self.case_corpus.len()
+    }
+
+    /// Records a multi-cycle testcase that produced new coverage.
+    pub fn keep_case(&mut self, case: Vec<LogicVec>) {
+        if self.case_corpus.len() < 1024 {
+            self.case_corpus.push(case);
+        }
+    }
+
+    /// Produces the next testcase of `len` cycles: a mutation of a
+    /// kept seed (a few words rewritten at the seed's granularity), or
+    /// a fresh random case while the corpus is empty / for exploration.
+    pub fn next_case(&mut self, len: usize) -> Vec<LogicVec> {
+        if self.case_corpus.is_empty() || self.rng.gen_range(0..100) < self.explore_pct {
+            return (0..len).map(|_| self.random_word()).collect();
+        }
+        let idx = self.rng.gen_range(0..self.case_corpus.len());
+        let mut case = self.case_corpus[idx].clone();
+        case.resize_with(len, || LogicVec::zeros(self.width));
+        let edits = 1 + self.rng.gen_range(0..3);
+        for _ in 0..edits {
+            let pos = self.rng.gen_range(0..case.len());
+            let word = case[pos].clone();
+            case[pos] = self.mutate_word(word);
+        }
+        case
+    }
+
+    fn mutate_word(&mut self, mut w: LogicVec) -> LogicVec {
+        match self.granularity {
+            Granularity::Bit => {
+                let flips = 1 + self.rng.gen_range(0..3);
+                for _ in 0..flips {
+                    let i = self.rng.gen_range(0..self.width);
+                    w.set_bit(i, !w.bit(i));
+                }
+                w
+            }
+            Granularity::Word => {
+                // Re-randomise a contiguous span (DifuzzRTL splices
+                // register-sized chunks rather than whole inputs).
+                let lo = self.rng.gen_range(0..self.width);
+                let len = self.rng.gen_range(1..=(self.width - lo));
+                for i in lo..lo + len {
+                    w.set_bit(i, Bit::from_bool(self.rng.gen::<bool>()));
+                }
+                w
+            }
+            Granularity::Byte => {
+                let byte = self.rng.gen_range(0..self.width.div_ceil(8));
+                let lo = byte * 8;
+                let val: u8 = self.rng.gen();
+                for i in 0..8.min(self.width - lo) {
+                    w.set_bit(lo + i, Bit::from_bool((val >> i) & 1 == 1));
+                }
+                w
+            }
+        }
+    }
+
+    /// Number of seeds retained.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Records a word that produced new coverage.
+    pub fn keep(&mut self, word: LogicVec) {
+        if self.corpus.len() < 4096 {
+            self.corpus.push(word);
+        }
+    }
+
+    fn random_word(&mut self) -> LogicVec {
+        let mut w = LogicVec::zeros(self.width);
+        for i in 0..self.width {
+            w.set_bit(i, Bit::from_bool(self.rng.gen::<bool>()));
+        }
+        w
+    }
+
+    /// Produces the next stimulus word.
+    pub fn next_word(&mut self) -> LogicVec {
+        if self.corpus.is_empty() || self.rng.gen_range(0..100) < self.explore_pct {
+            return self.random_word();
+        }
+        let idx = self.rng.gen_range(0..self.corpus.len());
+        let mut w = self.corpus[idx].clone();
+        match self.granularity {
+            Granularity::Bit => {
+                let flips = 1 + self.rng.gen_range(0..3);
+                for _ in 0..flips {
+                    let i = self.rng.gen_range(0..self.width);
+                    w.set_bit(i, !w.bit(i));
+                }
+            }
+            Granularity::Word => {
+                // Splice halves of two seeds or re-randomise a span.
+                if self.corpus.len() > 1 && self.rng.gen::<bool>() {
+                    let other = &self.corpus[self.rng.gen_range(0..self.corpus.len())];
+                    let cut = self.rng.gen_range(0..self.width);
+                    for i in cut..self.width {
+                        w.set_bit(i, other.bit(i));
+                    }
+                } else {
+                    let lo = self.rng.gen_range(0..self.width);
+                    let len = self.rng.gen_range(1..=(self.width - lo));
+                    for i in lo..lo + len {
+                        w.set_bit(i, Bit::from_bool(self.rng.gen::<bool>()));
+                    }
+                }
+            }
+            Granularity::Byte => {
+                let byte = self.rng.gen_range(0..self.width.div_ceil(8));
+                let lo = byte * 8;
+                let val: u8 = self.rng.gen();
+                for i in 0..8.min(self.width - lo) {
+                    w.set_bit(lo + i, Bit::from_bool((val >> i) & 1 == 1));
+                }
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Mutator::new(32, Granularity::Bit, 5);
+        let mut b = Mutator::new(32, Granularity::Bit, 5);
+        for _ in 0..10 {
+            assert_eq!(a.next_word(), b.next_word());
+        }
+    }
+
+    #[test]
+    fn words_have_requested_width_and_are_defined() {
+        for g in [Granularity::Bit, Granularity::Word, Granularity::Byte] {
+            let mut m = Mutator::new(13, g, 1);
+            m.keep(LogicVec::from_u64(13, 0x1234 & 0x1FFF));
+            for _ in 0..50 {
+                let w = m.next_word();
+                assert_eq!(w.width(), 13);
+                assert!(!w.has_unknown());
+            }
+        }
+    }
+
+    #[test]
+    fn bit_mutations_stay_close_to_seed() {
+        let mut m = Mutator::new(64, Granularity::Bit, 2);
+        m.explore_pct = 0;
+        let seed = LogicVec::from_u64(64, 0xDEAD_BEEF_CAFE_F00D);
+        m.keep(seed.clone());
+        for _ in 0..50 {
+            let w = m.next_word();
+            let diff = (&w ^ &seed).iter_bits().filter(|b| *b == Bit::One).count();
+            assert!(diff <= 3, "bit mutation flipped {diff} bits");
+        }
+    }
+
+    #[test]
+    fn byte_mutations_touch_one_byte() {
+        let mut m = Mutator::new(64, Granularity::Byte, 3);
+        m.explore_pct = 0;
+        let seed = LogicVec::from_u64(64, 0);
+        m.keep(seed.clone());
+        for _ in 0..50 {
+            let w = m.next_word();
+            let v = w.to_u64().unwrap();
+            // All set bits confined to one aligned byte.
+            let mut bytes_touched = 0;
+            for b in 0..8 {
+                if (v >> (b * 8)) & 0xFF != 0 {
+                    bytes_touched += 1;
+                }
+            }
+            assert!(bytes_touched <= 1);
+        }
+    }
+
+    #[test]
+    fn corpus_is_bounded() {
+        let mut m = Mutator::new(8, Granularity::Word, 4);
+        for i in 0..5000 {
+            m.keep(LogicVec::from_u64(8, i % 256));
+        }
+        assert!(m.corpus_len() <= 4096);
+    }
+
+    #[test]
+    fn cases_have_requested_length_and_width() {
+        let mut m = Mutator::new(9, Granularity::Word, 11);
+        let case = m.next_case(32);
+        assert_eq!(case.len(), 32);
+        assert!(case.iter().all(|w| w.width() == 9 && !w.has_unknown()));
+    }
+
+    #[test]
+    fn case_mutants_stay_close_to_their_seed() {
+        let mut m = Mutator::new(16, Granularity::Bit, 12);
+        m.explore_pct = 0;
+        let seed: Vec<LogicVec> = (0..32).map(|i| LogicVec::from_u64(16, i * 3)).collect();
+        m.keep_case(seed.clone());
+        for _ in 0..20 {
+            let case = m.next_case(32);
+            let changed = case.iter().zip(&seed).filter(|(a, b)| a != b).count();
+            assert!(changed <= 3, "mutated {changed} of 32 words");
+        }
+    }
+
+    #[test]
+    fn empty_case_corpus_yields_random_cases() {
+        let mut m = Mutator::new(8, Granularity::Byte, 13);
+        assert_eq!(m.case_corpus_len(), 0);
+        let a = m.next_case(8);
+        let b = m.next_case(8);
+        assert_ne!(a, b, "fresh random cases should differ");
+    }
+
+    #[test]
+    fn case_corpus_is_bounded() {
+        let mut m = Mutator::new(8, Granularity::Word, 14);
+        for i in 0..2000 {
+            m.keep_case(vec![LogicVec::from_u64(8, i % 256); 4]);
+        }
+        assert!(m.case_corpus_len() <= 1024);
+    }
+}

@@ -1,0 +1,197 @@
+//! Campaign results, bug records and property specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// A security property plus its *oracle visibility*: which detection
+/// models can observe a violation of it.
+///
+/// SymbFuzz binds SVA assertions directly into the RTL, so it sees
+/// every class. The baselines use golden-reference-model (GRM)
+/// differential testing (§5.2, "Observation"): a violation is only
+/// visible to them when it perturbs architecturally visible state, and
+/// HWFP's Verilator-based two-state simulation additionally cannot see
+/// X-state violations (§3). These flags encode, per property, the
+/// paper's per-bug reasoning for Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropertySpec {
+    /// Property name (doubles as the bug identifier).
+    pub name: String,
+    /// Property source text (the crate `symbfuzz-props` language).
+    pub text: String,
+    /// Visible to a mux-coverage + differential oracle (RFuzz).
+    pub rfuzz_visible: bool,
+    /// Visible to a register-coverage + differential oracle (DifuzzRTL).
+    pub difuzz_visible: bool,
+    /// Visible to a two-state software-fuzzer oracle (HWFP).
+    pub hwfp_visible: bool,
+}
+
+impl PropertySpec {
+    /// A property only an in-RTL assertion can see (all baselines
+    /// blind) — e.g. key-share leakage that matches the golden model.
+    pub fn assertion_only(name: &str, text: &str) -> PropertySpec {
+        PropertySpec {
+            name: name.into(),
+            text: text.into(),
+            rfuzz_visible: false,
+            difuzz_visible: false,
+            hwfp_visible: false,
+        }
+    }
+
+    /// A property whose violation perturbs architectural state, visible
+    /// to every differential oracle.
+    pub fn arch_visible(name: &str, text: &str) -> PropertySpec {
+        PropertySpec {
+            name: name.into(),
+            text: text.into(),
+            rfuzz_visible: true,
+            difuzz_visible: true,
+            hwfp_visible: true,
+        }
+    }
+
+    /// Sets per-oracle visibility explicitly.
+    pub fn with_visibility(
+        name: &str,
+        text: &str,
+        rfuzz: bool,
+        difuzz: bool,
+        hwfp: bool,
+    ) -> PropertySpec {
+        PropertySpec {
+            name: name.into(),
+            text: text.into(),
+            rfuzz_visible: rfuzz,
+            difuzz_visible: difuzz,
+            hwfp_visible: hwfp,
+        }
+    }
+}
+
+/// One detected bug (Algorithm 1 lines 23–25: property, timestamp, and
+/// the input-vector count at detection — Table 1's last column).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugRecord {
+    /// Violated property name.
+    pub property: String,
+    /// Simulation cycle of the first violation.
+    pub cycle: u64,
+    /// Input vectors generated before detection.
+    pub vectors: u64,
+}
+
+/// One point of the coverage-vs-vectors curve (Fig. 4a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageSample {
+    /// Input vectors generated so far.
+    pub vectors: u64,
+    /// Coverage points (nodes + edges) at that time.
+    pub coverage: u64,
+}
+
+/// Work and memory accounting for the §5.2 resource comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceStats {
+    /// Clock cycles simulated.
+    pub cycles: u64,
+    /// SMT solver invocations.
+    pub solver_calls: u64,
+    /// Snapshots held at peak.
+    pub peak_snapshots: usize,
+    /// Rough peak state memory in bytes (snapshots × state size).
+    pub peak_state_bytes: u64,
+    /// Checkpoint rollbacks performed.
+    pub rollbacks: u64,
+    /// Full resets performed.
+    pub full_resets: u64,
+}
+
+/// The outcome of one fuzzing campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Strategy name.
+    pub fuzzer: String,
+    /// Design name.
+    pub design: String,
+    /// Input vectors consumed.
+    pub vectors: u64,
+    /// Final coverage points (nodes + edges).
+    pub coverage_points: u64,
+    /// Distinct CFG nodes covered.
+    pub nodes: u64,
+    /// Distinct CFG edges covered.
+    pub edges: u64,
+    /// Fraction of the Eqn.-3 node population covered.
+    pub node_coverage_ratio: f64,
+    /// Bugs detected, in detection order.
+    pub bugs: Vec<BugRecord>,
+    /// Coverage curve samples (one per interval).
+    pub series: Vec<CoverageSample>,
+    /// Resource accounting.
+    pub resources: ResourceStats,
+}
+
+impl CampaignResult {
+    /// Whether a bug with this property name was detected.
+    pub fn detected(&self, property: &str) -> bool {
+        self.bugs.iter().any(|b| b.property == property)
+    }
+
+    /// Input vectors needed to reach `coverage` points, if ever reached.
+    pub fn vectors_to_reach(&self, coverage: u64) -> Option<u64> {
+        self.series
+            .iter()
+            .find(|s| s.coverage >= coverage)
+            .map(|s| s.vectors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_constructors() {
+        let a = PropertySpec::assertion_only("p", "x == 1'b0");
+        assert!(!a.rfuzz_visible && !a.difuzz_visible && !a.hwfp_visible);
+        let b = PropertySpec::arch_visible("p", "x == 1'b0");
+        assert!(b.rfuzz_visible && b.difuzz_visible && b.hwfp_visible);
+        let c = PropertySpec::with_visibility("p", "x", false, true, true);
+        assert!(!c.rfuzz_visible && c.difuzz_visible && c.hwfp_visible);
+    }
+
+    #[test]
+    fn vectors_to_reach_scans_series() {
+        let r = CampaignResult {
+            fuzzer: "x".into(),
+            design: "d".into(),
+            vectors: 100,
+            coverage_points: 50,
+            nodes: 20,
+            edges: 30,
+            node_coverage_ratio: 0.5,
+            bugs: vec![],
+            series: vec![
+                CoverageSample { vectors: 10, coverage: 5 },
+                CoverageSample { vectors: 50, coverage: 30 },
+                CoverageSample { vectors: 100, coverage: 50 },
+            ],
+            resources: ResourceStats::default(),
+        };
+        assert_eq!(r.vectors_to_reach(30), Some(50));
+        assert_eq!(r.vectors_to_reach(51), None);
+        assert!(!r.detected("p"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let b = BugRecord {
+            property: "leak".into(),
+            cycle: 1234,
+            vectors: 99,
+        };
+        let j = serde_json::to_string(&b).unwrap();
+        assert_eq!(serde_json::from_str::<BugRecord>(&j).unwrap(), b);
+    }
+}

@@ -1,0 +1,522 @@
+//! Abstract syntax tree for the accepted SystemVerilog subset.
+
+use std::fmt;
+
+/// A parsed source file: one or more module definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceFile {
+    /// Modules in declaration order; the last one is conventionally the top.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module identifier.
+    pub name: String,
+    /// `#(parameter N = …)` header parameters.
+    pub params: Vec<ParamDecl>,
+    /// ANSI port declarations in header order.
+    pub ports: Vec<PortDecl>,
+    /// Body items in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&PortDecl> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+}
+
+/// A `parameter`/`localparam` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// Parameter identifier.
+    pub name: String,
+    /// Default / assigned value (a constant expression).
+    pub value: Expr,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Driven by the testbench.
+    Input,
+    /// Driven by the design.
+    Output,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Input => write!(f, "input"),
+            Direction::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// A `[msb:lsb]` packed range; both bounds are constant expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Range {
+    /// Most-significant bit index.
+    pub msb: Expr,
+    /// Least-significant bit index.
+    pub lsb: Expr,
+}
+
+/// An ANSI port declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Port direction.
+    pub dir: Direction,
+    /// Port identifier.
+    pub name: String,
+    /// Packed range; `None` means a one-bit scalar.
+    pub range: Option<Range>,
+    /// Named (typedef'd enum) type, if declared with one.
+    pub type_name: Option<String>,
+}
+
+/// Net/variable declaration keyword. The simulator treats all three
+/// identically (SystemVerilog `logic` semantics); the distinction is kept
+/// for faithful pretty-printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `logic`
+    Logic,
+    /// `reg`
+    Reg,
+}
+
+/// A net/variable declaration: `logic [3:0] a, b;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetDecl {
+    /// Declaration keyword.
+    pub kind: NetKind,
+    /// Packed range; `None` for scalars (or when a named type is used).
+    pub range: Option<Range>,
+    /// Named (typedef'd enum) type, if declared with one.
+    pub type_name: Option<String>,
+    /// Declared identifiers.
+    pub names: Vec<String>,
+}
+
+/// A `typedef enum logic [N:0] { A = 0, B, … } name;` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumTypedef {
+    /// Typedef name.
+    pub name: String,
+    /// Base-type packed range; `None` means the width is inferred from
+    /// the variant count.
+    pub range: Option<Range>,
+    /// Variants with optional explicit values (implicit values increment
+    /// from the previous variant, starting at zero).
+    pub variants: Vec<(String, Option<Expr>)>,
+}
+
+/// Clock/reset edge polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Edge {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+/// One `posedge sig` / `negedge sig` entry of a sensitivity list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSpec {
+    /// Triggering edge.
+    pub edge: Edge,
+    /// Signal name.
+    pub signal: String,
+}
+
+/// The flavour of an always block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlwaysKind {
+    /// `always_comb` or `always @*`.
+    Comb,
+    /// `always_ff @(posedge clk [or negedge rst])` (or plain `always`
+    /// with an edge list). The first entry is the clock; an optional
+    /// second entry is an asynchronous reset.
+    Ff {
+        /// Clock edge.
+        clock: EdgeSpec,
+        /// Asynchronous reset edge, if present.
+        reset: Option<EdgeSpec>,
+    },
+}
+
+/// An always block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlwaysBlock {
+    /// Comb vs. ff and its sensitivity.
+    pub kind: AlwaysKind,
+    /// `begin : label` name, if present.
+    pub label: Option<String>,
+    /// Body statement (usually a block).
+    pub body: Stmt,
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Net/variable declaration.
+    Net(NetDecl),
+    /// `typedef enum … ;`
+    Typedef(EnumTypedef),
+    /// `localparam NAME = expr;`
+    Localparam(ParamDecl),
+    /// `assign lhs = rhs;`
+    Assign {
+        /// Target of the continuous assignment.
+        lhs: LValue,
+        /// Driving expression.
+        rhs: Expr,
+    },
+    /// An always block.
+    Always(AlwaysBlock),
+    /// A module instantiation with named port connections.
+    Instance(Instance),
+}
+
+/// `submodule #(.P(expr)…) inst_name (.port(expr)…);`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instantiated module name.
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// Parameter overrides.
+    pub params: Vec<(String, Expr)>,
+    /// Named port connections. Output ports must connect to lvalue-shaped
+    /// expressions (checked during elaboration).
+    pub conns: Vec<(String, Expr)>,
+}
+
+/// A procedural or continuous assignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// Whole signal.
+    Ident(String),
+    /// Single bit: `sig[expr]` (index may be non-constant).
+    BitSelect {
+        /// Signal name.
+        base: String,
+        /// Bit index expression.
+        index: Box<Expr>,
+    },
+    /// Constant part select: `sig[msb:lsb]`.
+    PartSelect {
+        /// Signal name.
+        base: String,
+        /// Most-significant bit (constant).
+        msb: Box<Expr>,
+        /// Least-significant bit (constant).
+        lsb: Box<Expr>,
+    },
+}
+
+impl LValue {
+    /// The signal this lvalue (partially) assigns.
+    pub fn base(&self) -> &str {
+        match self {
+            LValue::Ident(s) => s,
+            LValue::BitSelect { base, .. } | LValue::PartSelect { base, .. } => base,
+        }
+    }
+}
+
+/// A case-statement arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseArm {
+    /// Match labels (comma separated in source).
+    pub labels: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `begin … end`, with optional label.
+    Block {
+        /// `begin : label` name.
+        label: Option<String>,
+        /// Contained statements.
+        stmts: Vec<Stmt>,
+    },
+    /// `if (cond) then [else els]`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken branch.
+        then: Box<Stmt>,
+        /// `else` branch, if present.
+        els: Option<Box<Stmt>>,
+    },
+    /// `case`/`unique case` with arms and optional `default`.
+    Case {
+        /// `unique` qualifier present.
+        unique: bool,
+        /// Scrutinised expression.
+        subject: Expr,
+        /// Non-default arms.
+        arms: Vec<CaseArm>,
+        /// `default:` body, if present.
+        default: Option<Box<Stmt>>,
+    },
+    /// Blocking (`=`) or non-blocking (`<=`) assignment.
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assigned expression.
+        rhs: Expr,
+        /// `true` for `=`, `false` for `<=`.
+        blocking: bool,
+    },
+    /// `for (int i = init; cond; i = step) body` with constant bounds,
+    /// unrolled at elaboration (the paper's Listings 12/13 iterate over
+    /// register arrays this way).
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Initial value (constant expression).
+        init: Expr,
+        /// Continue condition (evaluated with the loop variable bound).
+        cond: Expr,
+        /// Next value of the loop variable per iteration.
+        step: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// The null statement `;`.
+    Nop,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `!` — logical negation (1-bit result).
+    LogNot,
+    /// `~` — bitwise complement.
+    BitNot,
+    /// `&` — AND reduction.
+    RedAnd,
+    /// `|` — OR reduction.
+    RedOr,
+    /// `^` — XOR reduction.
+    RedXor,
+    /// `~&` — NAND reduction.
+    RedNand,
+    /// `~|` — NOR reduction.
+    RedNor,
+    /// `-` — arithmetic negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `===`
+    CaseEq,
+    /// `!==`
+    CaseNe,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal, stored as its source text (`4'b10x0`, `42`, `'0`) and
+    /// parsed into a value during elaboration where the context width is
+    /// known.
+    Literal(String),
+    /// Identifier: signal, parameter or enum variant.
+    Ident(String),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? then : els`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        els: Box<Expr>,
+    },
+    /// `base[index]` with a possibly dynamic index.
+    BitSelect {
+        /// Signal name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `base[msb:lsb]` with constant bounds.
+    PartSelect {
+        /// Signal name.
+        base: String,
+        /// Most-significant bit (constant).
+        msb: Box<Expr>,
+        /// Least-significant bit (constant).
+        lsb: Box<Expr>,
+    },
+    /// `{a, b, …}` — first element is most significant.
+    Concat(Vec<Expr>),
+    /// `{count{value}}`.
+    Replicate {
+        /// Constant repetition count.
+        count: Box<Expr>,
+        /// Replicated expression.
+        value: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an identifier expression.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Convenience constructor for a literal expression.
+    pub fn literal(text: impl Into<String>) -> Expr {
+        Expr::Literal(text.into())
+    }
+
+    /// Iterates over the identifiers referenced by this expression
+    /// (signals, parameters and enum variants alike).
+    pub fn idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out
+    }
+
+    fn collect_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Ident(s) => out.push(s),
+            Expr::Unary { operand, .. } => operand.collect_idents(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_idents(out);
+                rhs.collect_idents(out);
+            }
+            Expr::Ternary { cond, then, els } => {
+                cond.collect_idents(out);
+                then.collect_idents(out);
+                els.collect_idents(out);
+            }
+            Expr::BitSelect { base, index } => {
+                out.push(base);
+                index.collect_idents(out);
+            }
+            Expr::PartSelect { base, msb, lsb } => {
+                out.push(base);
+                msb.collect_idents(out);
+                lsb.collect_idents(out);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.collect_idents(out);
+                }
+            }
+            Expr::Replicate { count, value } => {
+                count.collect_idents(out);
+                value.collect_idents(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_idents_walks_every_node() {
+        let e = Expr::Ternary {
+            cond: Box::new(Expr::Binary {
+                op: BinaryOp::Eq,
+                lhs: Box::new(Expr::ident("a")),
+                rhs: Box::new(Expr::literal("1'b1")),
+            }),
+            then: Box::new(Expr::Concat(vec![
+                Expr::ident("b"),
+                Expr::BitSelect {
+                    base: "c".into(),
+                    index: Box::new(Expr::ident("i")),
+                },
+            ])),
+            els: Box::new(Expr::Replicate {
+                count: Box::new(Expr::literal("2")),
+                value: Box::new(Expr::ident("d")),
+            }),
+        };
+        assert_eq!(e.idents(), vec!["a", "b", "c", "i", "d"]);
+    }
+
+    #[test]
+    fn lvalue_base() {
+        assert_eq!(LValue::Ident("q".into()).base(), "q");
+        let bs = LValue::BitSelect {
+            base: "q".into(),
+            index: Box::new(Expr::literal("0")),
+        };
+        assert_eq!(bs.base(), "q");
+    }
+}

@@ -1,0 +1,258 @@
+//! Hand-written lexer for the SystemVerilog subset.
+
+use std::fmt;
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Numeric literal, kept as source text: `42`, `4'b10x0`, `'0`.
+    Number(String),
+    /// Punctuation or operator symbol, e.g. `(`, `<=`, `===`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Number(s) => write!(f, "number `{s}`"),
+            TokenKind::Symbol(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification and text.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Multi-character symbols, longest first so greedy matching is correct.
+const SYMBOLS: &[&str] = &[
+    "===", "!==", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~&", "~|", "~^", "->",
+    "(", ")", "[", "]", "{", "}", ";", ",", ":", ".", "#", "?", "=", "+", "-", "*", "/",
+    "%", "!", "~", "&", "|", "^", "<", ">", "@",
+];
+
+/// Error produced when the input contains a character that starts no token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises `src`, skipping whitespace and `//`/`/* */` comments.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on a character that cannot start any token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(chars.len());
+            continue;
+        }
+        // Identifier / keyword / system identifier ($past etc.).
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(chars[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        // Number: digits, optionally followed by 'b/'h/'d/'o and digits.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'\'') {
+                i += 1; // tick
+                if i < chars.len() && chars[i].is_ascii_alphabetic() {
+                    i += 1; // base
+                    while i < chars.len()
+                        && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '?')
+                    {
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number(chars[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        // Unsized fill literal: '0 '1 'x 'z
+        if c == '\'' && chars.get(i + 1).is_some_and(|n| n.is_ascii_alphanumeric()) {
+            let text: String = chars[i..i + 2].iter().collect();
+            tokens.push(Token {
+                kind: TokenKind::Number(text),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        // Operator / punctuation.
+        let mut matched = false;
+        for sym in SYMBOLS {
+            let sym_chars: Vec<char> = sym.chars().collect();
+            if chars[i..].starts_with(&sym_chars) {
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    line,
+                });
+                i += sym_chars.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError { ch: c, line });
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_symbols() {
+        let toks = kinds("assign y = a & b;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("assign".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Symbol("="),
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol("&"),
+                TokenKind::Ident("b".into()),
+                TokenKind::Symbol(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_based_literals_as_single_tokens() {
+        let toks = kinds("4'b10x0 16'hdead 8'd25 '0 'z 42");
+        let nums: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Number(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["4'b10x0", "16'hdead", "8'd25", "'0", "'z", "42"]);
+    }
+
+    #[test]
+    fn greedy_multi_char_symbols() {
+        assert_eq!(
+            kinds("a <= b === c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol("<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Symbol("==="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("a<b")[1], TokenKind::Symbol("<"));
+        assert_eq!(kinds("x!==y")[1], TokenKind::Symbol("!=="));
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("// top\nmodule /* inline\nspanning */ m;\n").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("module".into()));
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[1].kind, TokenKind::Ident("m".into()));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn system_identifiers() {
+        let toks = kinds("$past(x)");
+        assert_eq!(toks[0], TokenKind::Ident("$past".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a ` b").unwrap_err();
+        assert_eq!(err.ch, '`');
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn underscored_numbers() {
+        let toks = kinds("16'b1010_0101 1_000");
+        assert_eq!(toks[0], TokenKind::Number("16'b1010_0101".into()));
+        assert_eq!(toks[1], TokenKind::Number("1_000".into()));
+    }
+}

@@ -1,0 +1,34 @@
+//! HDL frontend: lexer, AST and parser for a synthesizable
+//! SystemVerilog subset.
+//!
+//! The SymbFuzz paper drives its whole pipeline — interface extraction,
+//! control-flow-graph generation and dependency-equation construction —
+//! from parsed RTL (it uses Pyverilog; we build the equivalent frontend
+//! here). The accepted subset covers everything the benchmark designs
+//! need: modules with ANSI port lists, parameters, `typedef enum`,
+//! `logic`/`wire`/`reg` vectors, continuous assignment, `always_comb`,
+//! `always_ff` with posedge/negedge clock and optional asynchronous
+//! reset, `if`/`case`/`unique case`, blocking and non-blocking
+//! assignment, module instantiation with named connections, and the full
+//! operator expression grammar including concatenation, replication,
+//! bit/part selects, reductions and the ternary operator.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "module inv(input a, output y); assign y = !a; endmodule";
+//! let file = symbfuzz_hdl::parse(src)?;
+//! assert_eq!(file.modules[0].name, "inv");
+//! assert_eq!(file.modules[0].ports.len(), 2);
+//! # Ok::<(), symbfuzz_hdl::ParseError>(())
+//! ```
+
+pub mod ast;
+mod lexer;
+mod parser;
+pub mod printer;
+
+pub use ast::*;
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use parser::{parse, parse_expr, ParseError};
+pub use printer::{print_expr, print_module, print_source};

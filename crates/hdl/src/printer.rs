@@ -1,0 +1,346 @@
+//! Pretty-printer: AST → SystemVerilog source.
+//!
+//! Printing then re-parsing yields a structurally identical AST (up to
+//! literal spelling, which is preserved verbatim); the property tests
+//! rely on this round trip.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a full source file.
+pub fn print_source(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for m in &file.modules {
+        print_module(m, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one module.
+pub fn print_module(m: &Module, out: &mut String) {
+    write!(out, "module {}", m.name).unwrap();
+    if !m.params.is_empty() {
+        let params: Vec<String> = m
+            .params
+            .iter()
+            .map(|p| format!("parameter {} = {}", p.name, print_expr(&p.value)))
+            .collect();
+        write!(out, " #({})", params.join(", ")).unwrap();
+    }
+    let ports: Vec<String> = m.ports.iter().map(print_port).collect();
+    writeln!(out, "({});", ports.join(", ")).unwrap();
+    for item in &m.items {
+        print_item(item, out);
+    }
+    writeln!(out, "endmodule").unwrap();
+}
+
+fn print_port(p: &PortDecl) -> String {
+    let mut s = format!("{} ", p.dir);
+    if let Some(t) = &p.type_name {
+        s.push_str(t);
+        s.push(' ');
+    } else if let Some(r) = &p.range {
+        write!(s, "logic [{}:{}] ", print_expr(&r.msb), print_expr(&r.lsb)).unwrap();
+    }
+    s.push_str(&p.name);
+    s
+}
+
+fn print_item(item: &Item, out: &mut String) {
+    match item {
+        Item::Net(n) => {
+            let kw = match n.kind {
+                NetKind::Wire => "wire",
+                NetKind::Logic => "logic",
+                NetKind::Reg => "reg",
+            };
+            if let Some(t) = &n.type_name {
+                writeln!(out, "  {} {};", t, n.names.join(", ")).unwrap();
+            } else if let Some(r) = &n.range {
+                writeln!(
+                    out,
+                    "  {kw} [{}:{}] {};",
+                    print_expr(&r.msb),
+                    print_expr(&r.lsb),
+                    n.names.join(", ")
+                )
+                .unwrap();
+            } else {
+                writeln!(out, "  {kw} {};", n.names.join(", ")).unwrap();
+            }
+        }
+        Item::Typedef(t) => {
+            let range = match &t.range {
+                Some(r) => format!(" logic [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb)),
+                None => String::new(),
+            };
+            let variants: Vec<String> = t
+                .variants
+                .iter()
+                .map(|(n, v)| match v {
+                    Some(e) => format!("{n} = {}", print_expr(e)),
+                    None => n.clone(),
+                })
+                .collect();
+            writeln!(out, "  typedef enum{range} {{{}}} {};", variants.join(", "), t.name).unwrap();
+        }
+        Item::Localparam(p) => {
+            writeln!(out, "  localparam {} = {};", p.name, print_expr(&p.value)).unwrap();
+        }
+        Item::Assign { lhs, rhs } => {
+            writeln!(out, "  assign {} = {};", print_lvalue(lhs), print_expr(rhs)).unwrap();
+        }
+        Item::Always(a) => {
+            match &a.kind {
+                AlwaysKind::Comb => write!(out, "  always_comb ").unwrap(),
+                AlwaysKind::Ff { clock, reset } => {
+                    let mut sens = format!("{} {}", edge_kw(clock.edge), clock.signal);
+                    if let Some(r) = reset {
+                        write!(sens, " or {} {}", edge_kw(r.edge), r.signal).unwrap();
+                    }
+                    write!(out, "  always_ff @({sens}) ").unwrap();
+                }
+            }
+            print_stmt(&a.body, a.label.as_deref(), 1, out);
+        }
+        Item::Instance(i) => {
+            write!(out, "  {}", i.module).unwrap();
+            if !i.params.is_empty() {
+                let ps: Vec<String> = i
+                    .params
+                    .iter()
+                    .map(|(n, e)| format!(".{n}({})", print_expr(e)))
+                    .collect();
+                write!(out, " #({})", ps.join(", ")).unwrap();
+            }
+            let cs: Vec<String> = i
+                .conns
+                .iter()
+                .map(|(n, e)| format!(".{n}({})", print_expr(e)))
+                .collect();
+            writeln!(out, " {} ({});", i.name, cs.join(", ")).unwrap();
+        }
+    }
+}
+
+fn edge_kw(e: Edge) -> &'static str {
+    match e {
+        Edge::Pos => "posedge",
+        Edge::Neg => "negedge",
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(s: &Stmt, label: Option<&str>, depth: usize, out: &mut String) {
+    match s {
+        Stmt::Block { stmts, label: block_label } => {
+            let label = label.or(block_label.as_deref());
+            match label {
+                Some(l) => writeln!(out, "begin : {l}").unwrap(),
+                None => writeln!(out, "begin").unwrap(),
+            }
+            for st in stmts {
+                indent(depth + 1, out);
+                print_stmt(st, None, depth + 1, out);
+            }
+            indent(depth, out);
+            writeln!(out, "end").unwrap();
+        }
+        Stmt::If { cond, then, els } => {
+            write!(out, "if ({}) ", print_expr(cond)).unwrap();
+            print_stmt(then, None, depth, out);
+            if let Some(e) = els {
+                indent(depth, out);
+                write!(out, "else ").unwrap();
+                print_stmt(e, None, depth, out);
+            }
+        }
+        Stmt::Case {
+            unique,
+            subject,
+            arms,
+            default,
+        } => {
+            if *unique {
+                write!(out, "unique ").unwrap();
+            }
+            writeln!(out, "case ({})", print_expr(subject)).unwrap();
+            for arm in arms {
+                indent(depth + 1, out);
+                let labels: Vec<String> = arm.labels.iter().map(print_expr).collect();
+                write!(out, "{}: ", labels.join(", ")).unwrap();
+                print_stmt(&arm.body, None, depth + 1, out);
+            }
+            if let Some(d) = default {
+                indent(depth + 1, out);
+                write!(out, "default: ").unwrap();
+                print_stmt(d, None, depth + 1, out);
+            }
+            indent(depth, out);
+            writeln!(out, "endcase").unwrap();
+        }
+        Stmt::Assign { lhs, rhs, blocking } => {
+            let op = if *blocking { "=" } else { "<=" };
+            writeln!(out, "{} {op} {};", print_lvalue(lhs), print_expr(rhs)).unwrap();
+        }
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            write!(
+                out,
+                "for (int {var} = {}; {}; {var} = {}) ",
+                print_expr(init),
+                print_expr(cond),
+                print_expr(step)
+            )
+            .unwrap();
+            print_stmt(body, None, depth, out);
+        }
+        Stmt::Nop => writeln!(out, ";").unwrap(),
+    }
+}
+
+fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Ident(n) => n.clone(),
+        LValue::BitSelect { base, index } => format!("{base}[{}]", print_expr(index)),
+        LValue::PartSelect { base, msb, lsb } => {
+            format!("{base}[{}:{}]", print_expr(msb), print_expr(lsb))
+        }
+    }
+}
+
+/// Renders an expression with full parenthesisation (round-trip safe
+/// without tracking precedence).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(t) => t.clone(),
+        Expr::Ident(n) => n.clone(),
+        Expr::Unary { op, operand } => {
+            let sym = match op {
+                UnaryOp::LogNot => "!",
+                UnaryOp::BitNot => "~",
+                UnaryOp::RedAnd => "&",
+                UnaryOp::RedOr => "|",
+                UnaryOp::RedXor => "^",
+                UnaryOp::RedNand => "~&",
+                UnaryOp::RedNor => "~|",
+                UnaryOp::Neg => "-",
+            };
+            format!("({sym}{})", print_expr(operand))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let sym = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::And => "&",
+                BinaryOp::Or => "|",
+                BinaryOp::Xor => "^",
+                BinaryOp::LogAnd => "&&",
+                BinaryOp::LogOr => "||",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::CaseEq => "===",
+                BinaryOp::CaseNe => "!==",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+            };
+            format!("({} {sym} {})", print_expr(lhs), print_expr(rhs))
+        }
+        Expr::Ternary { cond, then, els } => format!(
+            "({} ? {} : {})",
+            print_expr(cond),
+            print_expr(then),
+            print_expr(els)
+        ),
+        Expr::BitSelect { base, index } => format!("{base}[{}]", print_expr(index)),
+        Expr::PartSelect { base, msb, lsb } => {
+            format!("{base}[{}:{}]", print_expr(msb), print_expr(lsb))
+        }
+        Expr::Concat(parts) => {
+            let ps: Vec<String> = parts.iter().map(print_expr).collect();
+            format!("{{{}}}", ps.join(", "))
+        }
+        Expr::Replicate { count, value } => {
+            format!("{{{}{{{}}}}}", print_expr(count), print_expr(value))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    #[test]
+    fn expr_round_trips() {
+        for src in [
+            "a + b * c",
+            "(a | b) & ~c",
+            "sel ? x[7:0] : {y, 2'b01}",
+            "&bus == 1'b1 && !err",
+            "{4{nibble}}",
+            "mem[idx + 1]",
+        ] {
+            let ast = parse_expr(src).unwrap();
+            let printed = print_expr(&ast);
+            let reparsed = parse_expr(&printed).unwrap();
+            assert_eq!(ast, reparsed, "round trip failed for `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn module_round_trips() {
+        let src = "
+            module m #(parameter W = 4)(input clk, input rst_n,
+                                        input [W-1:0] d, output logic [W-1:0] q);
+              typedef enum logic [1:0] {A = 0, B = 1, C} st_t;
+              st_t st;
+              logic [3:0] t, u;
+              localparam MAGIC = 7;
+              assign t = d & 4'hF;
+              always_ff @(posedge clk or negedge rst_n) begin : main
+                if (!rst_n) q <= 4'd0;
+                else begin
+                  unique case (st)
+                    A: q <= t;
+                    B, C: q[3:0] <= d + 4'd1;
+                    default: ;
+                  endcase
+                end
+              end
+            endmodule";
+        let ast = parse(src).unwrap();
+        let printed = print_source(&ast);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(ast, reparsed, "module round trip failed:\n{printed}");
+    }
+
+    #[test]
+    fn printed_instances_reparse() {
+        let src = "
+            module sub(input a, output y); assign y = a; endmodule
+            module top(input a, output y);
+              sub #(.X(1)) u0 (.a(a), .y(y));
+            endmodule";
+        let ast = parse(src).unwrap();
+        let printed = print_source(&ast);
+        assert_eq!(parse(&printed).unwrap(), ast);
+    }
+}

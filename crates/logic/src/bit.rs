@@ -1,0 +1,244 @@
+//! Scalar four-state logic bit.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A single four-state logic value.
+///
+/// Encoding follows the VPI `aval`/`bval` convention used by
+/// [`LogicVec`](crate::LogicVec): a (value, unknown) pair where
+/// `(0,0) = 0`, `(1,0) = 1`, `(0,1) = Z`, `(1,1) = X`.
+///
+/// # Examples
+///
+/// ```
+/// use symbfuzz_logic::Bit;
+/// assert_eq!(Bit::Zero & Bit::X, Bit::Zero); // 0 dominates AND
+/// assert_eq!(Bit::One | Bit::X, Bit::One);   // 1 dominates OR
+/// assert_eq!(!Bit::Z, Bit::X);               // Z degrades to X
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bit {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown value.
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Bit {
+    /// Returns `true` for `X` or `Z` (any non-two-state value).
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Bit::X | Bit::Z)
+    }
+
+    /// Interprets the bit as a boolean, if it has a defined value.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Builds a bit from a boolean.
+    pub fn from_bool(b: bool) -> Bit {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// The (value, unknown) plane pair for this bit.
+    pub(crate) fn planes(self) -> (bool, bool) {
+        match self {
+            Bit::Zero => (false, false),
+            Bit::One => (true, false),
+            Bit::Z => (false, true),
+            Bit::X => (true, true),
+        }
+    }
+
+    /// Reconstructs a bit from its (value, unknown) plane pair.
+    pub(crate) fn from_planes(val: bool, unk: bool) -> Bit {
+        match (val, unk) {
+            (false, false) => Bit::Zero,
+            (true, false) => Bit::One,
+            (false, true) => Bit::Z,
+            (true, true) => Bit::X,
+        }
+    }
+
+    /// The character used in Verilog source and VCD files.
+    pub fn to_char(self) -> char {
+        match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+            Bit::X => 'x',
+            Bit::Z => 'z',
+        }
+    }
+
+    /// Parses a Verilog bit character (case-insensitive, `?` is `Z`).
+    pub fn from_char(c: char) -> Option<Bit> {
+        match c.to_ascii_lowercase() {
+            '0' => Some(Bit::Zero),
+            '1' => Some(Bit::One),
+            'x' => Some(Bit::X),
+            'z' | '?' => Some(Bit::Z),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Bit {
+        Bit::from_bool(b)
+    }
+}
+
+impl BitAnd for Bit {
+    type Output = Bit;
+    fn bitand(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+            (Bit::One, Bit::One) => Bit::One,
+            _ => Bit::X,
+        }
+    }
+}
+
+impl BitOr for Bit {
+    type Output = Bit;
+    fn bitor(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::One, _) | (_, Bit::One) => Bit::One,
+            (Bit::Zero, Bit::Zero) => Bit::Zero,
+            _ => Bit::X,
+        }
+    }
+}
+
+impl BitXor for Bit {
+    type Output = Bit;
+    fn bitxor(self, rhs: Bit) -> Bit {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Bit::from_bool(a ^ b),
+            _ => Bit::X,
+        }
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+    fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            _ => Bit::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Bit; 4] = [Bit::Zero, Bit::One, Bit::X, Bit::Z];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Bit::Zero & Bit::X, Bit::Zero);
+        assert_eq!(Bit::X & Bit::Zero, Bit::Zero);
+        assert_eq!(Bit::One & Bit::One, Bit::One);
+        assert_eq!(Bit::One & Bit::X, Bit::X);
+        assert_eq!(Bit::Z & Bit::One, Bit::X);
+        assert_eq!(Bit::X & Bit::X, Bit::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Bit::One | Bit::X, Bit::One);
+        assert_eq!(Bit::X | Bit::One, Bit::One);
+        assert_eq!(Bit::Zero | Bit::Zero, Bit::Zero);
+        assert_eq!(Bit::Zero | Bit::X, Bit::X);
+        assert_eq!(Bit::Z | Bit::Zero, Bit::X);
+    }
+
+    #[test]
+    fn xor_poisons_on_unknown() {
+        for b in ALL {
+            if b.is_unknown() {
+                assert_eq!(Bit::One ^ b, Bit::X);
+                assert_eq!(b ^ Bit::Zero, Bit::X);
+            }
+        }
+        assert_eq!(Bit::One ^ Bit::One, Bit::Zero);
+        assert_eq!(Bit::One ^ Bit::Zero, Bit::One);
+    }
+
+    #[test]
+    fn not_table() {
+        assert_eq!(!Bit::Zero, Bit::One);
+        assert_eq!(!Bit::One, Bit::Zero);
+        assert_eq!(!Bit::X, Bit::X);
+        assert_eq!(!Bit::Z, Bit::X);
+    }
+
+    #[test]
+    fn planes_round_trip() {
+        for b in ALL {
+            let (v, u) = b.planes();
+            assert_eq!(Bit::from_planes(v, u), b);
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for b in ALL {
+            assert_eq!(Bit::from_char(b.to_char()), Some(b));
+        }
+        assert_eq!(Bit::from_char('?'), Some(Bit::Z));
+        assert_eq!(Bit::from_char('q'), None);
+    }
+
+    #[test]
+    fn kleene_ops_commute() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a & b, b & a);
+                assert_eq!(a | b, b | a);
+                assert_eq!(a ^ b, b ^ a);
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_kleene_logic() {
+        for a in ALL {
+            for b in ALL {
+                // Z degrades to X under any operator, so normalise both
+                // sides through an op before comparing.
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Four-state logic values for RTL simulation.
+//!
+//! Hardware simulation distinguishes four scalar states: `0`, `1`, `X`
+//! (unknown) and `Z` (high impedance). Registers without reset circuitry
+//! power up as `X`, and the SymbFuzz paper relies on four-state semantics
+//! both for register initialisation (§4.4) and for detecting bugs such as
+//! an FSM entering an undefined state (Bug 2). This crate provides the
+//! scalar type [`Bit`] and the packed vector type [`LogicVec`] with
+//! Verilog-conformant operator semantics (IEEE 1800 §11.4): bitwise
+//! operators use Kleene logic, arithmetic and relational operators
+//! X-poison the whole result when any input bit is unknown, and `Z`
+//! degrades to `X` when it participates in any computation.
+//!
+//! # Examples
+//!
+//! ```
+//! use symbfuzz_logic::{Bit, LogicVec};
+//!
+//! let a = LogicVec::parse_literal("4'b10x0").unwrap();
+//! assert_eq!(a.bit(1), Bit::X);
+//! let b = LogicVec::from_u64(4, 0b0110);
+//! // 0 & X == 0, so the X at index 1 survives only where b is 1:
+//! assert_eq!((&a & &b).bit(1), Bit::X);
+//! assert_eq!((&a & &b).bit(0), Bit::Zero);
+//! ```
+
+mod bit;
+mod parse;
+mod vec;
+
+pub use bit::Bit;
+pub use parse::ParseLiteralError;
+pub use vec::LogicVec;

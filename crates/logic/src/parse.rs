@@ -1,0 +1,233 @@
+//! Parsing of Verilog-style sized literals into [`LogicVec`].
+
+use crate::{Bit, LogicVec};
+use std::fmt;
+
+/// Error returned when a Verilog literal cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLiteralError {
+    text: String,
+    reason: &'static str,
+}
+
+impl ParseLiteralError {
+    fn new(text: &str, reason: &'static str) -> ParseLiteralError {
+        ParseLiteralError {
+            text: text.to_string(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseLiteralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid verilog literal `{}`: {}", self.text, self.reason)
+    }
+}
+
+impl std::error::Error for ParseLiteralError {}
+
+impl LogicVec {
+    /// Parses a Verilog literal: `4'b10x0`, `16'hdead`, `8'd255`, `12'o777`,
+    /// a bare decimal (`42`, 32 bits), or the unsized fills `'0`, `'1`,
+    /// `'x`, `'z` (one bit wide; callers resize to context width).
+    ///
+    /// Underscores are ignored. Digits beyond the stated width are
+    /// rejected; literals narrower than the stated width zero-extend
+    /// (x/z-extend if the leading digit is `x`/`z`, per IEEE 1800).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLiteralError`] for malformed bases, digits that do
+    /// not fit the base, zero widths, or overflowing values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use symbfuzz_logic::LogicVec;
+    /// assert_eq!(LogicVec::parse_literal("16'hBEEF")?.to_u64(), Some(0xBEEF));
+    /// assert_eq!(LogicVec::parse_literal("8'd200")?.to_u64(), Some(200));
+    /// assert!(LogicVec::parse_literal("4'b1xz0")?.has_unknown());
+    /// # Ok::<(), symbfuzz_logic::ParseLiteralError>(())
+    /// ```
+    pub fn parse_literal(text: &str) -> Result<LogicVec, ParseLiteralError> {
+        let raw = text.trim();
+        let cleaned: String = raw.chars().filter(|c| *c != '_').collect();
+        let s = cleaned.as_str();
+
+        if let Some(rest) = s.strip_prefix('\'') {
+            // Unsized fill literal: '0 '1 'x 'z
+            let mut chars = rest.chars();
+            let (Some(c), None) = (chars.next(), chars.next()) else {
+                return Err(ParseLiteralError::new(raw, "malformed fill literal"));
+            };
+            let bit = Bit::from_char(c)
+                .ok_or(ParseLiteralError::new(raw, "unknown fill character"))?;
+            return Ok(LogicVec::from_bit(bit));
+        }
+
+        let Some(tick) = s.find('\'') else {
+            // Bare decimal, 32 bits per the LRM.
+            let v: u64 = s
+                .parse()
+                .map_err(|_| ParseLiteralError::new(raw, "not a decimal number"))?;
+            if v > u32::MAX as u64 {
+                return Err(ParseLiteralError::new(raw, "bare decimal exceeds 32 bits"));
+            }
+            return Ok(LogicVec::from_u64(32, v));
+        };
+
+        let width: u32 = s[..tick]
+            .parse()
+            .map_err(|_| ParseLiteralError::new(raw, "invalid width"))?;
+        if width == 0 {
+            return Err(ParseLiteralError::new(raw, "zero width"));
+        }
+        let rest = &s[tick + 1..];
+        let mut chars = rest.chars();
+        let base = chars
+            .next()
+            .ok_or(ParseLiteralError::new(raw, "missing base"))?
+            .to_ascii_lowercase();
+        let digits: String = chars.collect();
+        if digits.is_empty() {
+            return Err(ParseLiteralError::new(raw, "missing digits"));
+        }
+
+        let bits_per_digit = match base {
+            'b' => 1,
+            'o' => 3,
+            'h' => 4,
+            'd' => {
+                let v: u64 = digits
+                    .parse()
+                    .map_err(|_| ParseLiteralError::new(raw, "invalid decimal digits"))?;
+                if width < 64 && v >= (1u64 << width) {
+                    return Err(ParseLiteralError::new(raw, "value exceeds width"));
+                }
+                return Ok(LogicVec::from_u64(width, v));
+            }
+            _ => return Err(ParseLiteralError::new(raw, "unknown base")),
+        };
+
+        let mut bits: Vec<Bit> = Vec::new();
+        for c in digits.chars().rev() {
+            match Bit::from_char(c) {
+                // x/z digit: fills the whole digit with x/z
+                Some(b) if b.is_unknown() => {
+                    for _ in 0..bits_per_digit {
+                        bits.push(b);
+                    }
+                }
+                _ => {
+                    let d = c
+                        .to_digit(16)
+                        .ok_or(ParseLiteralError::new(raw, "invalid digit"))?;
+                    if d >= (1 << bits_per_digit) {
+                        return Err(ParseLiteralError::new(raw, "digit exceeds base"));
+                    }
+                    for i in 0..bits_per_digit {
+                        bits.push(Bit::from_bool((d >> i) & 1 == 1));
+                    }
+                }
+            }
+        }
+        // Extension rule: leading x/z extends, otherwise zero-extend.
+        let fill = match bits.last() {
+            Some(b) if b.is_unknown() => *b,
+            _ => Bit::Zero,
+        };
+        while (bits.len() as u32) < width {
+            bits.push(fill);
+        }
+        if bits.len() as u32 > width {
+            for b in bits.drain(width as usize..) {
+                if b != Bit::Zero && b != fill {
+                    return Err(ParseLiteralError::new(raw, "value exceeds width"));
+                }
+            }
+        }
+        Ok(LogicVec::from_bits(&bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_literals() {
+        let v = LogicVec::parse_literal("4'b1010").unwrap();
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.to_u64(), Some(0b1010));
+    }
+
+    #[test]
+    fn hex_and_octal() {
+        assert_eq!(LogicVec::parse_literal("16'hdead").unwrap().to_u64(), Some(0xdead));
+        assert_eq!(LogicVec::parse_literal("9'o777").unwrap().to_u64(), Some(0o777));
+    }
+
+    #[test]
+    fn decimal_sized_and_bare() {
+        assert_eq!(LogicVec::parse_literal("8'd255").unwrap().to_u64(), Some(255));
+        let bare = LogicVec::parse_literal("42").unwrap();
+        assert_eq!(bare.width(), 32);
+        assert_eq!(bare.to_u64(), Some(42));
+    }
+
+    #[test]
+    fn underscores_ignored() {
+        assert_eq!(
+            LogicVec::parse_literal("16'b1010_0101_0011_1100").unwrap().to_u64(),
+            Some(0b1010_0101_0011_1100)
+        );
+    }
+
+    #[test]
+    fn x_and_z_digits() {
+        let v = LogicVec::parse_literal("4'b1x0z").unwrap();
+        assert_eq!(v.bit(3), Bit::One);
+        assert_eq!(v.bit(2), Bit::X);
+        assert_eq!(v.bit(1), Bit::Zero);
+        assert_eq!(v.bit(0), Bit::Z);
+        // A hex x digit fills 4 bits.
+        let h = LogicVec::parse_literal("8'hxF").unwrap();
+        assert_eq!(h.slice(0, 4).to_u64(), Some(0xF));
+        assert!(h.slice(4, 4).iter_bits().all(|b| b == Bit::X));
+    }
+
+    #[test]
+    fn leading_x_extends() {
+        let v = LogicVec::parse_literal("8'bx1").unwrap();
+        assert_eq!(v.bit(0), Bit::One);
+        assert!((1..8).all(|i| v.bit(i) == Bit::X));
+        let z = LogicVec::parse_literal("8'bz").unwrap();
+        assert!(z.iter_bits().all(|b| b == Bit::Z));
+        // Leading 0/1 zero-extends.
+        let p = LogicVec::parse_literal("8'b11").unwrap();
+        assert_eq!(p.to_u64(), Some(3));
+    }
+
+    #[test]
+    fn fill_literals() {
+        assert_eq!(LogicVec::parse_literal("'0").unwrap().bit(0), Bit::Zero);
+        assert_eq!(LogicVec::parse_literal("'1").unwrap().bit(0), Bit::One);
+        assert_eq!(LogicVec::parse_literal("'x").unwrap().bit(0), Bit::X);
+        assert_eq!(LogicVec::parse_literal("'z").unwrap().bit(0), Bit::Z);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["4'q1010", "0'b1", "4'b", "'ab", "4'b12", "2'd9", "xyz", "4'd999"] {
+            assert!(LogicVec::parse_literal(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn overflow_digits_rejected_unless_zero() {
+        assert!(LogicVec::parse_literal("4'b11111").is_err());
+        // Extra zero digits are fine.
+        assert_eq!(LogicVec::parse_literal("4'b00001111").unwrap().to_u64(), Some(15));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: on X-free values, `LogicVec` operations must
+//! agree with plain two-state `u64` arithmetic; in the presence of X, the
+//! algebraic dominance laws must hold.
+
+use proptest::prelude::*;
+use symbfuzz_logic::{Bit, LogicVec};
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u64(a: u64, b: u64, width in 1u32..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a & m);
+        let vb = LogicVec::from_u64(width, b & m);
+        prop_assert_eq!(va.add(&vb).to_u64(), Some((a & m).wrapping_add(b & m) & m));
+    }
+
+    #[test]
+    fn sub_matches_u64(a: u64, b: u64, width in 1u32..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a & m);
+        let vb = LogicVec::from_u64(width, b & m);
+        prop_assert_eq!(va.sub(&vb).to_u64(), Some((a & m).wrapping_sub(b & m) & m));
+    }
+
+    #[test]
+    fn mul_matches_u64(a: u64, b: u64, width in 1u32..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a & m);
+        let vb = LogicVec::from_u64(width, b & m);
+        prop_assert_eq!(va.mul(&vb).to_u64(), Some((a & m).wrapping_mul(b & m) & m));
+    }
+
+    #[test]
+    fn bitwise_matches_u64(a: u64, b: u64, width in 1u32..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a & m);
+        let vb = LogicVec::from_u64(width, b & m);
+        prop_assert_eq!((&va & &vb).to_u64(), Some(a & b & m));
+        prop_assert_eq!((&va | &vb).to_u64(), Some((a | b) & m));
+        prop_assert_eq!((&va ^ &vb).to_u64(), Some((a ^ b) & m));
+        prop_assert_eq!((!&va).to_u64(), Some(!a & m));
+    }
+
+    #[test]
+    fn comparison_matches_u64(a: u64, b: u64, width in 1u32..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a & m);
+        let vb = LogicVec::from_u64(width, b & m);
+        prop_assert_eq!(va.ult(&vb), Bit::from_bool((a & m) < (b & m)));
+        prop_assert_eq!(va.logic_eq(&vb), Bit::from_bool((a & m) == (b & m)));
+    }
+
+    #[test]
+    fn shift_matches_u64(a: u64, amt in 0u32..70, width in 1u32..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a & m);
+        let expect_shl = if amt >= 64 { 0 } else { ((a & m) << amt) & m };
+        let expect_shr = if amt >= 64 { 0 } else { (a & m) >> amt };
+        prop_assert_eq!(va.shl(amt).to_u64(), Some(expect_shl));
+        prop_assert_eq!(va.lshr(amt).to_u64(), Some(expect_shr));
+    }
+
+    #[test]
+    fn concat_then_slice_round_trips(a: u64, b: u64, wa in 1u32..=32, wb in 1u32..=32) {
+        let va = LogicVec::from_u64(wa, a & mask(wa));
+        let vb = LogicVec::from_u64(wb, b & mask(wb));
+        let c = LogicVec::concat(&va, &vb);
+        prop_assert_eq!(c.width(), wa + wb);
+        prop_assert!(c.slice(0, wb).case_eq(&vb));
+        prop_assert!(c.slice(wb, wa).case_eq(&va));
+    }
+
+    #[test]
+    fn reductions_match_u64(a: u64, width in 1u32..=64) {
+        let m = mask(width);
+        let v = LogicVec::from_u64(width, a & m);
+        prop_assert_eq!(v.reduce_and(), Bit::from_bool(a & m == m));
+        prop_assert_eq!(v.reduce_or(), Bit::from_bool(a & m != 0));
+        prop_assert_eq!(v.reduce_xor(), Bit::from_bool((a & m).count_ones() % 2 == 1));
+    }
+
+    #[test]
+    fn x_dominance_laws(a: u64, width in 1u32..=64) {
+        let m = mask(width);
+        let v = LogicVec::from_u64(width, a & m);
+        let x = LogicVec::xes(width);
+        // 0 & X = 0 where v is 0; elsewhere X.
+        let and = &v & &x;
+        let or = &v | &x;
+        for i in 0..width {
+            match v.bit(i) {
+                Bit::Zero => {
+                    prop_assert_eq!(and.bit(i), Bit::Zero);
+                    prop_assert_eq!(or.bit(i), Bit::X);
+                }
+                Bit::One => {
+                    prop_assert_eq!(and.bit(i), Bit::X);
+                    prop_assert_eq!(or.bit(i), Bit::One);
+                }
+                _ => unreachable!(),
+            }
+        }
+        // Arithmetic with X poisons everything.
+        prop_assert!(v.add(&x).iter_bits().all(|b| b == Bit::X));
+        prop_assert_eq!(v.logic_eq(&x), Bit::X);
+    }
+
+    #[test]
+    fn literal_print_parse_round_trip(bits in proptest::collection::vec(0u8..4, 1..80)) {
+        let bits: Vec<Bit> = bits.iter().map(|b| match b {
+            0 => Bit::Zero,
+            1 => Bit::One,
+            2 => Bit::X,
+            _ => Bit::Z,
+        }).collect();
+        let v = LogicVec::from_bits(&bits);
+        let printed = format!("{v}");
+        let reparsed = LogicVec::parse_literal(&printed).unwrap();
+        prop_assert!(v.case_eq(&reparsed));
+        prop_assert_eq!(v.width(), reparsed.width());
+    }
+
+    #[test]
+    fn resize_preserves_low_bits(a: u64, w1 in 1u32..=64, w2 in 1u32..=96) {
+        let v = LogicVec::from_u64(w1, a & mask(w1));
+        let r = v.resized(w2);
+        for i in 0..w1.min(w2) {
+            prop_assert_eq!(r.bit(i), v.bit(i));
+        }
+        for i in w1.min(w2)..w2 {
+            prop_assert_eq!(r.bit(i), Bit::Zero);
+        }
+    }
+}

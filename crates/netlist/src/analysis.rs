@@ -1,0 +1,316 @@
+//! Register classification, reset-tree extraction and design statistics.
+//!
+//! These are the pre-fuzzing analyses of the paper's Algorithm 1, lines
+//! 1–4: categorise registers (§4.4.1), extract the reset distribution
+//! tree (§4.3) and gather the static design statistics reported in
+//! Table 3.
+
+use crate::ir::*;
+use std::collections::{BTreeMap, BTreeSet};
+use symbfuzz_hdl::Edge;
+
+/// The control/data split of a design's registers (§4.4.1).
+///
+/// A register is a *control register* when it is read by at least one
+/// branch predicate or case head — its value steers the design through
+/// the control-flow graph, so the paper's node-coverage model (Eqn. 3)
+/// is the Cartesian product of exactly these registers' encodings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegClass {
+    /// Registers appearing in branch predicates, sorted by id.
+    pub control: Vec<SignalId>,
+    /// State-holding registers that never steer a branch.
+    pub data: Vec<SignalId>,
+}
+
+impl RegClass {
+    /// Number of CFG node encodings: `∏ n_j` over control registers
+    /// (paper Eqn. 3), where `n_j` is the register's legal-encoding
+    /// count (enum variants, or `2^width` capped at `2^20` per register
+    /// to keep the product finite for wide registers).
+    pub fn node_population(&self, design: &Design) -> u128 {
+        let mut product: u128 = 1;
+        for &r in &self.control {
+            let s = design.signal(r);
+            let n = s
+                .legal_encodings
+                .unwrap_or_else(|| 1u64.checked_shl(s.width.min(20)).unwrap_or(u64::MAX));
+            product = product.saturating_mul(n as u128);
+        }
+        product
+    }
+}
+
+/// Classifies every register of `design` as control or data.
+///
+/// # Examples
+///
+/// ```
+/// let d = symbfuzz_netlist::elaborate(&symbfuzz_hdl::parse(
+///     "module m(input clk, input [1:0] d, output logic [1:0] q, output logic y);
+///        always_ff @(posedge clk) q <= d;
+///        always_comb if (q == 2'd3) y = 1'b1; else y = 1'b0;
+///      endmodule")?, "m")?;
+/// let rc = symbfuzz_netlist::classify_registers(&d);
+/// assert_eq!(rc.control.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn classify_registers(design: &Design) -> RegClass {
+    let mut in_branch: BTreeSet<SignalId> = BTreeSet::new();
+    for b in &design.branches {
+        in_branch.extend(b.cond_signals.iter().copied());
+    }
+    // A register may feed a branch through combinational logic; follow
+    // comb drivers transitively so e.g. `wire t = state == IDLE;
+    // if (t) …` still marks `state` as control.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &design.processes {
+            if !matches!(p.kind, ProcKind::Comb) {
+                continue;
+            }
+            if p.writes.iter().any(|w| in_branch.contains(w)) {
+                for r in &p.reads {
+                    if in_branch.insert(*r) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut control = Vec::new();
+    let mut data = Vec::new();
+    for r in design.registers() {
+        if in_branch.contains(&r) {
+            control.push(r);
+        } else {
+            data.push(r);
+        }
+    }
+    RegClass { control, data }
+}
+
+/// One reset domain: a reset signal and the registers it initialises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetDomain {
+    /// The reset signal.
+    pub reset: SignalId,
+    /// Edge on which the reset branch triggers (`Neg` ⇒ active low).
+    pub active: Edge,
+    /// Registers written by processes in this domain.
+    pub registers: Vec<SignalId>,
+}
+
+/// The reset distribution tree (§4.3): which registers each reset
+/// signal initialises, plus the registers that no reset reaches and
+/// therefore power up as `X` (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResetTree {
+    /// One domain per reset signal.
+    pub domains: Vec<ResetDomain>,
+    /// Registers not covered by any reset domain.
+    pub unreset: Vec<SignalId>,
+}
+
+impl ResetTree {
+    /// All reset signals in the design.
+    pub fn reset_signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.domains.iter().map(|d| d.reset)
+    }
+
+    /// The domain a register belongs to, if any.
+    pub fn domain_of(&self, reg: SignalId) -> Option<&ResetDomain> {
+        self.domains.iter().find(|d| d.registers.contains(&reg))
+    }
+}
+
+/// Builds the reset tree of a design.
+///
+/// Registers written by a sequential process with an asynchronous reset
+/// belong to that reset's domain; the rest are listed as unreset.
+pub fn reset_tree(design: &Design) -> ResetTree {
+    let mut domains: BTreeMap<(SignalId, Edge), BTreeSet<SignalId>> = BTreeMap::new();
+    let mut covered: BTreeSet<SignalId> = BTreeSet::new();
+    for p in &design.processes {
+        if let ProcKind::Seq {
+            reset: Some((rst, edge)),
+            ..
+        } = p.kind
+        {
+            let entry = domains.entry((rst, edge)).or_default();
+            for w in &p.writes {
+                entry.insert(*w);
+                covered.insert(*w);
+            }
+        }
+    }
+    let unreset: Vec<SignalId> = design.registers().filter(|r| !covered.contains(r)).collect();
+    ResetTree {
+        domains: domains
+            .into_iter()
+            .map(|((reset, active), regs)| ResetDomain {
+                reset,
+                active,
+                registers: regs.into_iter().collect(),
+            })
+            .collect(),
+        unreset,
+    }
+}
+
+/// Static design statistics (the left half of the paper's Table 3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DesignStats {
+    /// Design name.
+    pub name: String,
+    /// Non-empty source lines.
+    pub loc: u32,
+    /// Total flattened signals.
+    pub signals: usize,
+    /// Top-level inputs (including clock/reset pins).
+    pub inputs: usize,
+    /// Top-level outputs.
+    pub outputs: usize,
+    /// State-holding registers.
+    pub registers: usize,
+    /// Control registers (branch-steering).
+    pub control_registers: usize,
+    /// Static branch points.
+    pub branches: usize,
+    /// Sum of branch outcomes — the static edge population.
+    pub branch_outcomes: u32,
+    /// Fuzzable input width in bits.
+    pub fuzz_width: u32,
+}
+
+impl DesignStats {
+    /// Gathers statistics for `design`.
+    pub fn of(design: &Design) -> DesignStats {
+        let rc = classify_registers(design);
+        DesignStats {
+            name: design.name.clone(),
+            loc: design.source_loc,
+            signals: design.signals.len(),
+            inputs: design.inputs().count(),
+            outputs: design.outputs().count(),
+            registers: design.registers().count(),
+            control_registers: rc.control.len(),
+            branches: design.branches.len(),
+            branch_outcomes: design.branches.iter().map(|b| b.outcomes).sum(),
+            fuzz_width: design.fuzz_width(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::elaborate;
+    use symbfuzz_hdl::parse;
+
+    fn design(src: &str, top: &str) -> Design {
+        elaborate(&parse(src).unwrap(), top).unwrap()
+    }
+
+    const FSM: &str = "
+        module fsm(input clk, input rst_n, input [1:0] cmd,
+                   output logic [1:0] state, output logic [7:0] data);
+          logic [7:0] acc;
+          always_ff @(posedge clk or negedge rst_n) begin
+            if (!rst_n) state <= 2'd0;
+            else begin
+              case (state)
+                2'd0: if (cmd == 2'd1) state <= 2'd1;
+                2'd1: state <= 2'd2;
+                default: state <= 2'd0;
+              endcase
+            end
+          end
+          always_ff @(posedge clk) acc <= acc + 8'd1;
+          always_comb data = acc;
+        endmodule";
+
+    #[test]
+    fn control_vs_data_registers() {
+        let d = design(FSM, "fsm");
+        let rc = classify_registers(&d);
+        let state = d.signal_by_name("state").unwrap();
+        let acc = d.signal_by_name("acc").unwrap();
+        assert_eq!(rc.control, vec![state]);
+        assert_eq!(rc.data, vec![acc]);
+    }
+
+    #[test]
+    fn node_population_follows_eqn3() {
+        let d = design(FSM, "fsm");
+        let rc = classify_registers(&d);
+        // One 2-bit control register without enum typing: 4 encodings.
+        assert_eq!(rc.node_population(&d), 4);
+    }
+
+    #[test]
+    fn transitive_control_through_comb() {
+        let d = design(
+            "module m(input clk, input d, output logic y);
+               logic q;
+               logic t;
+               always_ff @(posedge clk) q <= d;
+               always_comb t = !q;
+               always_comb if (t) y = 1'b1; else y = 1'b0;
+             endmodule",
+            "m",
+        );
+        let rc = classify_registers(&d);
+        let q = d.signal_by_name("q").unwrap();
+        assert_eq!(rc.control, vec![q]);
+    }
+
+    #[test]
+    fn reset_tree_partitions_registers() {
+        let d = design(FSM, "fsm");
+        let rt = reset_tree(&d);
+        assert_eq!(rt.domains.len(), 1);
+        let state = d.signal_by_name("state").unwrap();
+        let acc = d.signal_by_name("acc").unwrap();
+        assert_eq!(rt.domains[0].registers, vec![state]);
+        assert_eq!(rt.domains[0].active, Edge::Neg);
+        assert_eq!(rt.unreset, vec![acc]);
+        assert!(rt.domain_of(state).is_some());
+        assert!(rt.domain_of(acc).is_none());
+    }
+
+    #[test]
+    fn stats_capture_structure() {
+        let d = design(FSM, "fsm");
+        let s = DesignStats::of(&d);
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.registers, 2);
+        assert_eq!(s.control_registers, 1);
+        assert_eq!(s.branches, 3); // if(!rst), case, nested if(cmd)
+        assert_eq!(s.branch_outcomes, 2 + 3 + 2);
+        assert_eq!(s.fuzz_width, 2);
+    }
+
+    #[test]
+    fn enum_legal_encodings_bound_population() {
+        let d = design(
+            "module m(input clk, input [2:0] n, output logic o);
+               typedef enum logic [2:0] {A = 0, B = 1, C = 2} st_t;
+               st_t s;
+               always_ff @(posedge clk) begin
+                 case (s)
+                   A: s <= n;
+                   default: s <= A;
+                 endcase
+               end
+               always_comb o = s == A;
+             endmodule",
+            "m",
+        );
+        let rc = classify_registers(&d);
+        // 3 legal encodings, not 2^3.
+        assert_eq!(rc.node_population(&d), 3);
+    }
+}

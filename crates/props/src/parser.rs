@@ -1,0 +1,481 @@
+//! Parser for the property language, reusing the HDL lexer.
+
+use crate::ast::{PExpr, Property};
+use std::fmt;
+use symbfuzz_hdl::{lex, BinaryOp, Token, TokenKind, UnaryOp};
+use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::Design;
+
+/// Error from property parsing or name resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropError {
+    msg: String,
+}
+
+impl PropError {
+    fn new(msg: impl Into<String>) -> PropError {
+        PropError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for PropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "property error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for PropError {}
+
+impl Property {
+    /// Parses and compiles a property against `design`.
+    ///
+    /// Identifiers resolve first to signals (hierarchical names with
+    /// dots are written as-is, e.g. `u0.state`), then to design
+    /// constants (enum variants / parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PropError`] for syntax errors, unknown names or
+    /// out-of-range selects.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use symbfuzz_props::Property;
+    /// let d = symbfuzz_netlist::elaborate_src(
+    ///     "module m(input a, output y); assign y = a; endmodule", "m")?;
+    /// let p = Property::parse("p", "y == a", &d)?;
+    /// assert_eq!(p.history_depth(), 0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn parse(name: &str, source: &str, design: &Design) -> Result<Property, PropError> {
+        let tokens = lex(source).map_err(|e| PropError::new(e.to_string()))?;
+        let mut p = PParser {
+            tokens,
+            pos: 0,
+            design,
+        };
+        let first = p.expr()?;
+        let (antecedent, consequent) = if p.eat_symbol("|") && p.eat_symbol("->") {
+            // `|->` lexes as `|` then `->`.
+            (Some(first), p.expr()?)
+        } else if p.eat_implication_nonoverlap() {
+            // `|=>` lexes as `|` `=` `>`: rewrite a |=> c as $past(a) |-> c.
+            (
+                Some(PExpr::Past {
+                    expr: Box::new(first),
+                    depth: 1,
+                }),
+                p.expr()?,
+            )
+        } else {
+            (None, first)
+        };
+        if !p.at_eof() {
+            return Err(PropError::new(format!(
+                "trailing input after property: {}",
+                p.peek()
+            )));
+        }
+        Ok(Property::new(
+            name.to_string(),
+            source.to_string(),
+            antecedent,
+            consequent,
+        ))
+    }
+}
+
+struct PParser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    design: &'a Design,
+}
+
+impl<'a> PParser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Symbol(t) if *t == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_implication_nonoverlap(&mut self) -> bool {
+        // `|=>` arrives as `|`, `=`, `>` (after `|` failed to pair with `->`).
+        let save = self.pos;
+        if self.eat_symbol("=") && self.eat_symbol(">") {
+            return true;
+        }
+        self.pos = save;
+        // Or the full `|` `=` `>` from the start.
+        if matches!(self.peek(), TokenKind::Symbol("|")) {
+            let save = self.pos;
+            self.bump();
+            if self.eat_symbol("=") && self.eat_symbol(">") {
+                return true;
+            }
+            self.pos = save;
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), PropError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(PropError::new(format!("expected `{s}`, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PropError {
+        PropError::new(msg)
+    }
+
+    // Precedence: ternary > || > && > | > ^ > & > == > rel > shift > add > mul > unary.
+    fn expr(&mut self) -> Result<PExpr, PropError> {
+        let cond = self.log_or()?;
+        if self.eat_symbol("?") {
+            let then = self.expr()?;
+            self.expect_symbol(":")?;
+            let els = self.expr()?;
+            return Ok(PExpr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(&str, BinaryOp)],
+        next: fn(&mut Self) -> Result<PExpr, PropError>,
+    ) -> Result<PExpr, PropError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (sym, op) in ops {
+                // `|` must not consume the `|->` / `|=>` implication.
+                if *sym == "|" {
+                    if let (TokenKind::Symbol("|"), Some(nt)) =
+                        (self.peek(), self.tokens.get(self.pos + 1))
+                    {
+                        if matches!(nt.kind, TokenKind::Symbol("->") | TokenKind::Symbol("=")) {
+                            continue;
+                        }
+                    }
+                }
+                if matches!(self.peek(), TokenKind::Symbol(s) if s == sym) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = PExpr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn log_or(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(&[("||", BinaryOp::LogOr)], Self::log_and)
+    }
+
+    fn log_and(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(&[("&&", BinaryOp::LogAnd)], Self::bit_or)
+    }
+
+    fn bit_or(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(&[("|", BinaryOp::Or)], Self::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(&[("^", BinaryOp::Xor)], Self::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(&[("&", BinaryOp::And)], Self::equality)
+    }
+
+    fn equality(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(
+            &[
+                ("===", BinaryOp::CaseEq),
+                ("!==", BinaryOp::CaseNe),
+                ("==", BinaryOp::Eq),
+                ("!=", BinaryOp::Ne),
+            ],
+            Self::relational,
+        )
+    }
+
+    fn relational(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(
+            &[
+                ("<=", BinaryOp::Le),
+                (">=", BinaryOp::Ge),
+                ("<", BinaryOp::Lt),
+                (">", BinaryOp::Gt),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(&[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)], Self::additive)
+    }
+
+    fn additive(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(&[("+", BinaryOp::Add), ("-", BinaryOp::Sub)], Self::multiplicative)
+    }
+
+    fn multiplicative(&mut self) -> Result<PExpr, PropError> {
+        self.binary_level(&[("*", BinaryOp::Mul)], Self::unary)
+    }
+
+    fn unary(&mut self) -> Result<PExpr, PropError> {
+        let ops: &[(&str, UnaryOp)] = &[
+            ("!", UnaryOp::LogNot),
+            ("~&", UnaryOp::RedNand),
+            ("~|", UnaryOp::RedNor),
+            ("~", UnaryOp::BitNot),
+            ("&", UnaryOp::RedAnd),
+            ("|", UnaryOp::RedOr),
+            ("^", UnaryOp::RedXor),
+            ("-", UnaryOp::Neg),
+        ];
+        for (sym, op) in ops {
+            // `|` as reduction only when not part of an implication.
+            if *sym == "|" {
+                if let Some(nt) = self.tokens.get(self.pos + 1) {
+                    if matches!(nt.kind, TokenKind::Symbol("->") | TokenKind::Symbol("=")) {
+                        continue;
+                    }
+                }
+            }
+            if matches!(self.peek(), TokenKind::Symbol(s) if s == sym) {
+                self.bump();
+                let operand = self.unary()?;
+                return Ok(PExpr::Unary {
+                    op: *op,
+                    operand: Box::new(operand),
+                });
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<PExpr, PropError> {
+        let mut base = self.primary()?;
+        while self.eat_symbol("[") {
+            let msb = self.const_u32()?;
+            if self.eat_symbol(":") {
+                let lsb = self.const_u32()?;
+                self.expect_symbol("]")?;
+                base = PExpr::Slice {
+                    base: Box::new(base),
+                    msb,
+                    lsb,
+                };
+            } else {
+                self.expect_symbol("]")?;
+                base = PExpr::Index {
+                    base: Box::new(base),
+                    bit: msb,
+                };
+            }
+        }
+        Ok(base)
+    }
+
+    fn const_u32(&mut self) -> Result<u32, PropError> {
+        match self.bump() {
+            TokenKind::Number(n) => {
+                let v = LogicVec::parse_literal(&n).map_err(|e| self.err(e.to_string()))?;
+                v.to_u64()
+                    .map(|x| x as u32)
+                    .ok_or_else(|| self.err("select index must be a defined constant"))
+            }
+            other => Err(self.err(format!("expected constant index, found {other}"))),
+        }
+    }
+
+    fn primary(&mut self) -> Result<PExpr, PropError> {
+        if self.eat_symbol("(") {
+            let e = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(e);
+        }
+        if self.eat_symbol("{") {
+            let mut parts = vec![self.expr()?];
+            while self.eat_symbol(",") {
+                parts.push(self.expr()?);
+            }
+            self.expect_symbol("}")?;
+            return Ok(PExpr::Concat(parts));
+        }
+        match self.bump() {
+            TokenKind::Number(n) => {
+                let v = LogicVec::parse_literal(&n).map_err(|e| self.err(e.to_string()))?;
+                Ok(PExpr::Const(v))
+            }
+            TokenKind::Ident(id) if id.starts_with('$') => {
+                self.expect_symbol("(")?;
+                let arg = self.expr()?;
+                let out = match id.as_str() {
+                    "$past" => {
+                        let depth = if self.eat_symbol(",") {
+                            self.const_u32()?
+                        } else {
+                            1
+                        };
+                        if depth == 0 {
+                            return Err(self.err("$past depth must be ≥ 1"));
+                        }
+                        PExpr::Past {
+                            expr: Box::new(arg),
+                            depth,
+                        }
+                    }
+                    "$isunknown" => PExpr::IsUnknown(Box::new(arg)),
+                    "$stable" => PExpr::Stable(Box::new(arg)),
+                    "$rose" => PExpr::Rose(Box::new(arg)),
+                    "$fell" => PExpr::Fell(Box::new(arg)),
+                    other => return Err(self.err(format!("unknown system function `{other}`"))),
+                };
+                self.expect_symbol(")")?;
+                Ok(out)
+            }
+            TokenKind::Ident(mut id) => {
+                // Hierarchical names: a.b.c
+                while self.eat_symbol(".") {
+                    match self.bump() {
+                        TokenKind::Ident(part) => {
+                            id.push('.');
+                            id.push_str(&part);
+                        }
+                        other => return Err(self.err(format!("expected identifier after `.`, found {other}"))),
+                    }
+                }
+                if let Some(sig) = self.design.signal_by_name(&id) {
+                    Ok(PExpr::Sig(sig))
+                } else if let Some(v) = self.design.consts.get(&id) {
+                    Ok(PExpr::Const(v.clone()))
+                } else {
+                    Err(self.err(format!("unknown signal or constant `{id}`")))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_netlist::elaborate_src;
+
+    fn design() -> Design {
+        elaborate_src(
+            "module m(input clk, input rst_n, input [3:0] cmd, output logic [2:0] st, output logic err);
+               typedef enum logic [2:0] {IDLE = 0, RUN = 1, DONE = 2} state_t;
+               state_t sr;
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) sr <= IDLE;
+                 else begin
+                   case (sr)
+                     IDLE: if (cmd == 4'd5) sr <= RUN;
+                     RUN: sr <= DONE;
+                     default: sr <= IDLE;
+                   endcase
+                 end
+               always_comb st = sr;
+               always_comb err = 1'b0;
+             endmodule",
+            "m",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_plain_boolean() {
+        let d = design();
+        let p = Property::parse("p", "err == 1'b0", &d).unwrap();
+        assert_eq!(p.history_depth(), 0);
+    }
+
+    #[test]
+    fn parses_implication_and_past() {
+        let d = design();
+        let p = Property::parse("p", "st == RUN |-> $past(cmd) == 4'd5", &d).unwrap();
+        assert_eq!(p.history_depth(), 1);
+        let p2 = Property::parse("p2", "$past(st, 3) == IDLE |-> 1'b1", &d).unwrap();
+        assert_eq!(p2.history_depth(), 3);
+    }
+
+    #[test]
+    fn nonoverlap_implication_rewrites_to_past() {
+        let d = design();
+        let p = Property::parse("p", "st == RUN |=> st == DONE", &d).unwrap();
+        assert_eq!(p.history_depth(), 1);
+    }
+
+    #[test]
+    fn enum_constants_resolve() {
+        let d = design();
+        assert!(Property::parse("p", "st != DONE || err == 1'b0", &d).is_ok());
+        assert!(Property::parse("p", "st == NOSUCH", &d).is_err());
+    }
+
+    #[test]
+    fn system_functions_parse() {
+        let d = design();
+        for src in [
+            "!$isunknown(st)",
+            "$rose(err) |-> $past(cmd[3])",
+            "$stable(st) || $fell(err)",
+            "$past(cmd[3:1], 2) == 3'd0",
+        ] {
+            Property::parse("p", src, &d).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let d = design();
+        assert!(Property::parse("p", "st ==", &d).is_err());
+        assert!(Property::parse("p", "st == IDLE extra", &d).is_err());
+        assert!(Property::parse("p", "$bogus(st)", &d).is_err());
+        assert!(Property::parse("p", "$past(st, 0)", &d).is_err());
+    }
+
+    #[test]
+    fn reduction_or_vs_implication_disambiguation() {
+        let d = design();
+        // `|cmd` is a reduction; `cmd |-> x` is an implication.
+        assert!(Property::parse("p", "|cmd", &d).is_ok());
+        let p = Property::parse("p", "|cmd |-> st == IDLE", &d).unwrap();
+        assert!(p.history_depth() == 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Sequence items and sequencer constraints.
+
+use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::{Design, SignalId};
+
+/// One transaction: the flat stimulus word applied to the DUV's
+/// fuzzable inputs for one clock cycle (§4.2: "test inputs are packed
+/// into bit vectors").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceItem {
+    /// The packed stimulus, fuzz-width bits.
+    pub word: LogicVec,
+}
+
+impl SequenceItem {
+    /// Wraps a stimulus word.
+    pub fn new(word: LogicVec) -> SequenceItem {
+        SequenceItem { word }
+    }
+}
+
+/// A sequencer constraint, mirroring SystemVerilog `constraint` blocks
+/// (Listing 3 of the paper pins `OPmode == 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// Pin an entire input port to a fixed value.
+    FixInput {
+        /// The input port.
+        sig: SignalId,
+        /// The pinned value.
+        value: LogicVec,
+    },
+    /// Pin a bit range of the packed stimulus word.
+    FixBits {
+        /// Low bit of the range within the word.
+        lo: u32,
+        /// The pinned bits.
+        value: LogicVec,
+    },
+}
+
+impl Constraint {
+    /// Pins input port `sig` to `value`.
+    pub fn fix_input(sig: SignalId, value: LogicVec) -> Constraint {
+        Constraint::FixInput { sig, value }
+    }
+
+    /// Pins `value.width()` bits of the stimulus word starting at `lo`.
+    pub fn fix_bits(lo: u32, value: LogicVec) -> Constraint {
+        Constraint::FixBits { lo, value }
+    }
+
+    /// Applies the constraint to a stimulus word for `design`.
+    pub fn apply(&self, design: &Design, word: &mut LogicVec) {
+        match self {
+            Constraint::FixBits { lo, value } => {
+                for i in 0..value.width().min(word.width().saturating_sub(*lo)) {
+                    word.set_bit(lo + i, value.bit(i));
+                }
+            }
+            Constraint::FixInput { sig, value } => {
+                if let Some(lo) = word_offset(design, *sig) {
+                    let w = design.signal(*sig).width;
+                    let v = value.resized(w);
+                    for i in 0..w.min(word.width().saturating_sub(lo)) {
+                        word.set_bit(lo + i, v.bit(i));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The bit offset of `sig` within the packed stimulus word, matching
+/// [`Simulator::apply_input_word`](symbfuzz_sim::Simulator::apply_input_word)
+/// packing. `None` if the signal is not a fuzzable input.
+pub fn word_offset(design: &Design, sig: SignalId) -> Option<u32> {
+    let mut lo = 0u32;
+    for s in design.fuzzable_inputs() {
+        if s == sig {
+            return Some(lo);
+        }
+        lo += design.signal(s).width;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_netlist::elaborate_src;
+
+    fn design() -> Design {
+        elaborate_src(
+            "module m(input clk, input rst_n, input [3:0] a, input [7:0] b, output [11:0] y);
+               assign y = {b, a};
+             endmodule",
+            "m",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn word_offsets_follow_signal_order() {
+        let d = design();
+        let a = d.signal_by_name("a").unwrap();
+        let b = d.signal_by_name("b").unwrap();
+        let clk = d.signal_by_name("clk").unwrap();
+        // This design is pure comb, so no signal is marked clock/reset
+        // and clk/rst_n are fuzzable too, occupying bits 0 and 1.
+        assert_eq!(word_offset(&d, clk), Some(0));
+        assert_eq!(word_offset(&d, a), Some(2));
+        assert_eq!(word_offset(&d, b), Some(6));
+    }
+
+    #[test]
+    fn fix_bits_overwrites_range() {
+        let d = design();
+        let mut w = LogicVec::zeros(14);
+        Constraint::fix_bits(2, LogicVec::from_u64(4, 0xF)).apply(&d, &mut w);
+        assert_eq!(w.to_u64(), Some(0b0011_1100));
+    }
+
+    #[test]
+    fn fix_input_targets_port_slot() {
+        let d = design();
+        let b = d.signal_by_name("b").unwrap();
+        let lo = word_offset(&d, b).unwrap();
+        let mut w = LogicVec::zeros(d.fuzz_width());
+        Constraint::fix_input(b, LogicVec::from_u64(8, 0xA5)).apply(&d, &mut w);
+        assert_eq!(w.slice(lo, 8).to_u64(), Some(0xA5));
+    }
+
+    #[test]
+    fn clipped_at_word_boundary() {
+        let d = design();
+        let mut w = LogicVec::zeros(6);
+        // Range partially beyond the word: silently clipped.
+        Constraint::fix_bits(4, LogicVec::from_u64(4, 0xF)).apply(&d, &mut w);
+        assert_eq!(w.to_u64(), Some(0b11_0000));
+    }
+}

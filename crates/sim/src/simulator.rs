@@ -1,0 +1,886 @@
+//! The cycle-based simulation engine.
+
+use std::fmt;
+use std::sync::Arc;
+use symbfuzz_hdl::{BinaryOp, Edge, UnaryOp};
+use symbfuzz_logic::{Bit, LogicVec};
+use symbfuzz_netlist::{
+    reset_tree, BranchId, Design, NExpr, NLValue, NStmt, ProcKind, ResetTree, SignalId, SignalKind,
+};
+
+/// Error raised by simulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A combinational fixpoint failed to converge (combinational loop).
+    CombLoop,
+    /// `set_input` was called on a non-input signal.
+    NotAnInput(SignalId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombLoop => write!(f, "combinational loop: fixpoint did not converge"),
+            SimError::NotAnInput(s) => write!(f, "signal {s} is not a top-level input"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A saved simulator state — the paper's lightweight checkpoint
+/// snapshot (§4.5): "only the essential transaction history and
+/// architectural state", i.e. every signal value plus the cycle count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    values: Vec<LogicVec>,
+    cycle: u64,
+}
+
+impl Snapshot {
+    /// The cycle count at which this snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// A recorded branch execution, for coverage instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchOutcome {
+    /// Which branch executed.
+    pub branch: BranchId,
+    /// Outcome index: for an `if`, 0 = then, 1 = else; for a `case`,
+    /// the arm index, with `default` (or no match) = arm count.
+    pub outcome: u32,
+}
+
+/// The cycle-based four-state simulator for one elaborated design.
+///
+/// See the [crate docs](crate) for the simulation semantics.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Arc<Design>,
+    rtree: ResetTree,
+    values: Vec<LogicVec>,
+    cycle: u64,
+    /// Hit counters per branch, indexed `[branch][outcome]`.
+    branch_hits: Vec<Vec<u64>>,
+    /// Branch outcomes recorded since the last `take_outcomes` call.
+    recent_outcomes: Vec<BranchOutcome>,
+    /// Record outcomes into `recent_outcomes` (hit counters always run).
+    record_outcomes: bool,
+    comb_unstable: bool,
+}
+
+/// Non-blocking assignment pending commit.
+struct Nba {
+    sig: SignalId,
+    lo: u32,
+    width: u32,
+    value: LogicVec,
+    /// Whole-signal X smear for unknown dynamic indices.
+    smear_x: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator with every signal initialised to `X`
+    /// (registers stay `X` until reset; combinational nets settle at the
+    /// first evaluation).
+    pub fn new(design: Arc<Design>) -> Simulator {
+        let values = design.signals.iter().map(|s| LogicVec::xes(s.width)).collect();
+        let branch_hits = design
+            .branches
+            .iter()
+            .map(|b| vec![0u64; b.outcomes.max(2) as usize + 1])
+            .collect();
+        let rtree = reset_tree(&design);
+        let mut sim = Simulator {
+            design,
+            rtree,
+            values,
+            cycle: 0,
+            branch_hits,
+            recent_outcomes: Vec::new(),
+            record_outcomes: false,
+            comb_unstable: false,
+        };
+        let _ = sim.comb_fixpoint();
+        sim
+    }
+
+    /// The design being simulated.
+    pub fn design(&self) -> &Arc<Design> {
+        &self.design
+    }
+
+    /// The reset tree extracted for this design.
+    pub fn reset_tree(&self) -> &ResetTree {
+        &self.rtree
+    }
+
+    /// Elapsed simulated cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the last combinational settle hit the iteration cap.
+    pub fn comb_unstable(&self) -> bool {
+        self.comb_unstable
+    }
+
+    /// Current value of a signal.
+    pub fn get(&self, sig: SignalId) -> &LogicVec {
+        &self.values[sig.index()]
+    }
+
+    /// All current signal values, in [`SignalId`] order.
+    pub fn values(&self) -> &[LogicVec] {
+        &self.values
+    }
+
+    /// Drives a top-level input. The value is zero-extended or truncated
+    /// to the port width. Combinational logic is *not* re-settled here;
+    /// it settles at the next [`step`](Self::step) (or explicit
+    /// [`settle`](Self::settle)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotAnInput`] for non-input signals.
+    pub fn set_input(&mut self, sig: SignalId, value: &LogicVec) -> Result<(), SimError> {
+        if self.design.signal(sig).kind != SignalKind::Input {
+            return Err(SimError::NotAnInput(sig));
+        }
+        let w = self.design.signal(sig).width;
+        self.values[sig.index()] = value.resized(w);
+        Ok(())
+    }
+
+    /// Distributes a flat bit vector across the fuzzable inputs (every
+    /// input that is not a clock or reset), LSB first in `SignalId`
+    /// order — the driver-side packing of §4.2 ("test inputs are packed
+    /// into bit vectors").
+    pub fn apply_input_word(&mut self, word: &LogicVec) {
+        let mut lo = 0u32;
+        let inputs: Vec<SignalId> = self.design.fuzzable_inputs().collect();
+        for sig in inputs {
+            let w = self.design.signal(sig).width;
+            let part = if lo >= word.width() {
+                LogicVec::zeros(w)
+            } else {
+                let take = w.min(word.width() - lo);
+                word.slice(lo, take).resized(w)
+            };
+            self.values[sig.index()] = part;
+            lo += w;
+        }
+    }
+
+    /// Enables or disables recording of individual branch outcomes
+    /// (hit counters always accumulate).
+    pub fn set_record_outcomes(&mut self, on: bool) {
+        self.record_outcomes = on;
+    }
+
+    /// Drains the branch outcomes recorded since the last call.
+    pub fn take_outcomes(&mut self) -> Vec<BranchOutcome> {
+        std::mem::take(&mut self.recent_outcomes)
+    }
+
+    /// Cumulative hit counts for one branch, indexed by outcome.
+    pub fn branch_hits(&self, branch: BranchId) -> &[u64] {
+        &self.branch_hits[branch.index()]
+    }
+
+    /// Number of (branch, outcome) pairs exercised at least once — the
+    /// mux/branch toggle coverage used by the RFuzz-style baseline.
+    pub fn toggled_outcomes(&self) -> usize {
+        self.branch_hits
+            .iter()
+            .map(|h| h.iter().filter(|&&c| c > 0).count())
+            .sum()
+    }
+
+    /// Settles combinational logic to a fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombLoop`] if the fixpoint does not converge
+    /// (the values are left at the last iteration and
+    /// [`comb_unstable`](Self::comb_unstable) is set).
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        self.comb_fixpoint()
+    }
+
+    fn comb_fixpoint(&mut self) -> Result<(), SimError> {
+        let design = Arc::clone(&self.design);
+        let max_iters = design.processes.len() + 8;
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for p in &design.processes {
+                if !matches!(p.kind, ProcKind::Comb) {
+                    continue;
+                }
+                // Convergence is judged on the process's *final* outputs,
+                // not on intermediate writes (a body like `w = 0;
+                // w[i] = 1;` mutates w twice per evaluation but is
+                // perfectly stable).
+                let before: Vec<LogicVec> =
+                    p.writes.iter().map(|w| self.values[w.index()].clone()).collect();
+                let mut nba = Vec::new();
+                self.exec_stmt(&p.body, &mut nba, true);
+                // Comb processes should not contain non-blocking
+                // assigns; treat them as blocking if they appear.
+                self.commit_nbas(nba);
+                changed |= p
+                    .writes
+                    .iter()
+                    .zip(&before)
+                    .any(|(w, b)| self.values[w.index()] != *b);
+            }
+            if !changed {
+                self.comb_unstable = false;
+                return Ok(());
+            }
+        }
+        self.comb_unstable = true;
+        Err(SimError::CombLoop)
+    }
+
+    /// Advances one full clock cycle: rising phase (clocks 0→1,
+    /// posedge processes) then falling phase (clocks 1→0, negedge
+    /// processes), with combinational settling around each.
+    ///
+    /// Inputs set via [`set_input`](Self::set_input) /
+    /// [`apply_input_word`](Self::apply_input_word) are sampled by the
+    /// rising edge, matching a testbench that drives inputs while the
+    /// clock is low.
+    pub fn step(&mut self) {
+        self.clock_phase(Edge::Pos);
+        self.clock_phase(Edge::Neg);
+        self.cycle += 1;
+    }
+
+    fn clock_phase(&mut self, edge: Edge) {
+        let design = Arc::clone(&self.design);
+        // Snapshot clock bits before driving the edge.
+        let before: Vec<(usize, Bit)> = design
+            .signals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_clock)
+            .map(|(i, _)| (i, self.values[i].bit(0)))
+            .collect();
+        let level = match edge {
+            Edge::Pos => LogicVec::from_u64(1, 1),
+            Edge::Neg => LogicVec::from_u64(1, 0),
+        };
+        for c in design.inputs().filter(|s| design.signal(*s).is_clock) {
+            self.values[c.index()] = level.clone();
+        }
+        let _ = self.comb_fixpoint();
+
+        // Fire sequential processes whose clock saw the right edge.
+        let mut nba = Vec::new();
+        for p in &design.processes {
+            let (clock, clock_edge) = match p.kind {
+                ProcKind::Seq { clock, clock_edge, .. } => (clock, clock_edge),
+                _ => continue,
+            };
+            let prev = before
+                .iter()
+                .find(|(i, _)| *i == clock.index())
+                .map(|(_, b)| *b)
+                .unwrap_or(Bit::X);
+            let now = self.values[clock.index()].bit(0);
+            let fired = match clock_edge {
+                Edge::Pos => prev != Bit::One && now == Bit::One,
+                Edge::Neg => prev != Bit::Zero && now == Bit::Zero,
+            };
+            if fired {
+                self.exec_stmt(&p.body, &mut nba, false);
+            }
+        }
+        self.commit_nbas(nba);
+        let _ = self.comb_fixpoint();
+    }
+
+    /// Applies a full reset: asserts every reset signal at its active
+    /// level, runs `cycles` clock cycles, then deasserts.
+    pub fn reset(&mut self, cycles: u32) {
+        let domains: Vec<(SignalId, Edge)> =
+            self.rtree.domains.iter().map(|d| (d.reset, d.active)).collect();
+        self.apply_resets(&domains, cycles);
+    }
+
+    /// Partial reset (§4.5): asserts only the domain rooted at `reset`,
+    /// leaving other domains' registers untouched.
+    pub fn reset_domain(&mut self, reset: SignalId, cycles: u32) {
+        let Some(domain) = self.rtree.domains.iter().find(|d| d.reset == reset) else {
+            return;
+        };
+        let pair = (domain.reset, domain.active);
+        self.apply_resets(&[pair], cycles);
+    }
+
+    fn apply_resets(&mut self, domains: &[(SignalId, Edge)], cycles: u32) {
+        for (rst, active) in domains {
+            let lvl = match active {
+                Edge::Neg => LogicVec::from_u64(1, 0),
+                Edge::Pos => LogicVec::from_u64(1, 1),
+            };
+            if self.design.signal(*rst).kind == SignalKind::Input {
+                self.values[rst.index()] = lvl;
+            }
+        }
+        for _ in 0..cycles {
+            self.step();
+        }
+        for (rst, active) in domains {
+            let lvl = match active {
+                Edge::Neg => LogicVec::from_u64(1, 1),
+                Edge::Pos => LogicVec::from_u64(1, 0),
+            };
+            if self.design.signal(*rst).kind == SignalKind::Input {
+                self.values[rst.index()] = lvl;
+            }
+        }
+        let _ = self.comb_fixpoint();
+    }
+
+    /// Takes a checkpoint snapshot of the full state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            values: self.values.clone(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Restores a snapshot taken on the same design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's signal count differs from the design's.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        assert_eq!(
+            snap.values.len(),
+            self.values.len(),
+            "snapshot belongs to a different design"
+        );
+        self.values = snap.values.clone();
+        self.cycle = snap.cycle;
+    }
+
+    // ---- execution ----------------------------------------------------------
+
+    fn record_branch(&mut self, branch: BranchId, outcome: u32) {
+        let hits = &mut self.branch_hits[branch.index()];
+        let idx = (outcome as usize).min(hits.len() - 1);
+        hits[idx] += 1;
+        if self.record_outcomes {
+            self.recent_outcomes.push(BranchOutcome { branch, outcome });
+        }
+    }
+
+    /// Executes a statement. Blocking assigns mutate `self.values`
+    /// directly; non-blocking assigns accumulate into `nba`. Returns
+    /// whether any blocking write changed a value (for fixpointing).
+    fn exec_stmt(&mut self, stmt: &NStmt, nba: &mut Vec<Nba>, comb: bool) -> bool {
+        match stmt {
+            NStmt::Block(stmts) => {
+                let mut changed = false;
+                for s in stmts {
+                    changed |= self.exec_stmt(s, nba, comb);
+                }
+                changed
+            }
+            NStmt::If {
+                branch,
+                cond,
+                then,
+                els,
+            } => {
+                let c = self.eval(cond).to_condition();
+                if c == Bit::One {
+                    self.record_branch(*branch, 0);
+                    self.exec_stmt(then, nba, comb)
+                } else {
+                    self.record_branch(*branch, 1);
+                    match els {
+                        Some(e) => self.exec_stmt(e, nba, comb),
+                        None => false,
+                    }
+                }
+            }
+            NStmt::Case {
+                branch,
+                subject,
+                arms,
+                default,
+            } => {
+                let subj = self.eval(subject);
+                for (i, (labels, body)) in arms.iter().enumerate() {
+                    for label in labels {
+                        let lv = self.eval(label);
+                        if subj.case_eq(&lv) {
+                            self.record_branch(*branch, i as u32);
+                            return self.exec_stmt(body, nba, comb);
+                        }
+                    }
+                }
+                self.record_branch(*branch, arms.len() as u32);
+                match default {
+                    Some(d) => self.exec_stmt(d, nba, comb),
+                    None => false,
+                }
+            }
+            NStmt::Assign { lhs, rhs, blocking } => {
+                let value = self.eval(rhs);
+                let (sig, lo, width, smear_x) = self.resolve_lvalue(lhs);
+                if *blocking || comb {
+                    self.write(sig, lo, width, value, smear_x)
+                } else {
+                    nba.push(Nba {
+                        sig,
+                        lo,
+                        width,
+                        value,
+                        smear_x,
+                    });
+                    false
+                }
+            }
+            NStmt::Nop => false,
+        }
+    }
+
+    fn commit_nbas(&mut self, nbas: Vec<Nba>) -> bool {
+        let mut changed = false;
+        for n in nbas {
+            changed |= self.write(n.sig, n.lo, n.width, n.value, n.smear_x);
+        }
+        changed
+    }
+
+    /// Resolves an lvalue to (signal, lo, width, smear-X) — smear-X set
+    /// when a dynamic index is unknown, poisoning the whole signal.
+    fn resolve_lvalue(&mut self, lhs: &NLValue) -> (SignalId, u32, u32, bool) {
+        match lhs {
+            NLValue::Full(sig) => (*sig, 0, self.design.signal(*sig).width, false),
+            NLValue::Part { sig, lo, width } => (*sig, *lo, *width, false),
+            NLValue::DynBit { sig, index } => {
+                let idx = self.eval(index);
+                let w = self.design.signal(*sig).width;
+                match idx.to_u64() {
+                    Some(i) if (i as u32) < w => (*sig, i as u32, 1, false),
+                    _ => (*sig, 0, w, true),
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, sig: SignalId, lo: u32, width: u32, value: LogicVec, smear_x: bool) -> bool {
+        let w = self.design.signal(sig).width;
+        let new = if smear_x {
+            LogicVec::xes(w)
+        } else if lo == 0 && width == w {
+            value.resized(w)
+        } else {
+            let mut cur = self.values[sig.index()].clone();
+            let part = value.resized(width);
+            for i in 0..width {
+                cur.set_bit(lo + i, part.bit(i));
+            }
+            cur
+        };
+        if self.values[sig.index()] != new {
+            self.values[sig.index()] = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- expression evaluation ------------------------------------------------
+
+    /// Evaluates an expression against the current signal values.
+    pub fn eval(&self, e: &NExpr) -> LogicVec {
+        match e {
+            NExpr::Const(v) => v.clone(),
+            NExpr::Sig(s) => self.values[s.index()].clone(),
+            NExpr::Unary { op, operand, width } => {
+                let v = self.eval(operand);
+                let out = match op {
+                    UnaryOp::LogNot => LogicVec::from_bit(!v.to_condition()),
+                    UnaryOp::BitNot => !&v,
+                    UnaryOp::RedAnd => LogicVec::from_bit(v.reduce_and()),
+                    UnaryOp::RedOr => LogicVec::from_bit(v.reduce_or()),
+                    UnaryOp::RedXor => LogicVec::from_bit(v.reduce_xor()),
+                    UnaryOp::RedNand => LogicVec::from_bit(!v.reduce_and()),
+                    UnaryOp::RedNor => LogicVec::from_bit(!v.reduce_or()),
+                    UnaryOp::Neg => v.neg(),
+                };
+                out.resized(*width)
+            }
+            NExpr::Binary { op, lhs, rhs, width } => {
+                let a = self.eval(lhs);
+                let b = self.eval(rhs);
+                let out = match op {
+                    BinaryOp::Add => a.add(&b),
+                    BinaryOp::Sub => a.sub(&b),
+                    BinaryOp::Mul => a.mul(&b),
+                    BinaryOp::And => &a & &b,
+                    BinaryOp::Or => &a | &b,
+                    BinaryOp::Xor => &a ^ &b,
+                    BinaryOp::LogAnd => LogicVec::from_bit(a.to_condition() & b.to_condition()),
+                    BinaryOp::LogOr => LogicVec::from_bit(a.to_condition() | b.to_condition()),
+                    BinaryOp::Eq => LogicVec::from_bit(a.logic_eq(&b)),
+                    BinaryOp::Ne => LogicVec::from_bit(!a.logic_eq(&b)),
+                    BinaryOp::CaseEq => LogicVec::from_bit(Bit::from_bool(a.case_eq(&b))),
+                    BinaryOp::CaseNe => LogicVec::from_bit(Bit::from_bool(!a.case_eq(&b))),
+                    BinaryOp::Lt => LogicVec::from_bit(a.ult(&b)),
+                    BinaryOp::Le => LogicVec::from_bit(a.ule(&b)),
+                    BinaryOp::Gt => LogicVec::from_bit(b.ult(&a)),
+                    BinaryOp::Ge => LogicVec::from_bit(b.ule(&a)),
+                    BinaryOp::Shl => a.shl_vec(&b),
+                    BinaryOp::Shr => a.lshr_vec(&b),
+                };
+                out.resized(*width)
+            }
+            NExpr::Ternary {
+                cond,
+                then,
+                els,
+                width,
+            } => {
+                let c = self.eval(cond).to_condition();
+                let t = self.eval(then).resized(*width);
+                let e = self.eval(els).resized(*width);
+                match c {
+                    Bit::One => t,
+                    Bit::Zero => e,
+                    _ => {
+                        // X condition: bits agreeing in both arms keep
+                        // their value, others become X (IEEE 1800 11.4.11).
+                        let mut out = LogicVec::zeros(*width);
+                        for i in 0..*width {
+                            let (tb, eb) = (t.bit(i), e.bit(i));
+                            out.set_bit(i, if tb == eb && !tb.is_unknown() { tb } else { Bit::X });
+                        }
+                        out
+                    }
+                }
+            }
+            NExpr::BitSelect { sig, index } => {
+                let idx = self.eval(index);
+                let v = &self.values[sig.index()];
+                match idx.to_u64() {
+                    Some(i) if (i as u32) < v.width() => LogicVec::from_bit(v.bit(i as u32)),
+                    _ => LogicVec::from_bit(Bit::X),
+                }
+            }
+            NExpr::PartSelect { sig, lo, width } => self.values[sig.index()].slice(*lo, *width),
+            NExpr::Concat { parts, width } => {
+                let mut out = LogicVec::zeros(0);
+                for p in parts {
+                    let v = self.eval(p);
+                    out = LogicVec::concat(&out, &v);
+                }
+                out.resized(*width)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_netlist::elaborate_src;
+
+    fn sim(src: &str, top: &str) -> Simulator {
+        Simulator::new(Arc::new(elaborate_src(src, top).unwrap()))
+    }
+
+    #[test]
+    fn comb_logic_settles() {
+        let mut s = sim(
+            "module m(input [3:0] a, input [3:0] b, output [3:0] y, output z);
+               wire [3:0] t;
+               assign t = a & b;
+               assign y = t | 4'b0001;
+               assign z = &y;
+             endmodule",
+            "m",
+        );
+        let a = s.design().signal_by_name("a").unwrap();
+        let b = s.design().signal_by_name("b").unwrap();
+        let y = s.design().signal_by_name("y").unwrap();
+        s.set_input(a, &LogicVec::from_u64(4, 0b1100)).unwrap();
+        s.set_input(b, &LogicVec::from_u64(4, 0b1010)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.get(y).to_u64(), Some(0b1001));
+    }
+
+    #[test]
+    fn registers_power_up_x_and_reset_clears() {
+        let mut s = sim(
+            "module m(input clk, input rst_n, output logic [3:0] q);
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 4'd0; else q <= q + 4'd1;
+             endmodule",
+            "m",
+        );
+        let q = s.design().signal_by_name("q").unwrap();
+        assert!(s.get(q).has_unknown());
+        s.reset(2);
+        assert_eq!(s.get(q).to_u64(), Some(0));
+        s.step();
+        s.step();
+        assert_eq!(s.get(q).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn x_propagates_through_arithmetic_without_reset() {
+        let mut s = sim(
+            "module m(input clk, output logic [3:0] q);
+               always_ff @(posedge clk) q <= q + 4'd1;
+             endmodule",
+            "m",
+        );
+        let q = s.design().signal_by_name("q").unwrap();
+        for _ in 0..3 {
+            s.step();
+        }
+        // Never reset: q stays all-X forever.
+        assert!(s.get(q).iter_bits().all(|b| b == Bit::X));
+    }
+
+    #[test]
+    fn nonblocking_swap_is_simultaneous() {
+        let mut s = sim(
+            "module m(input clk, input rst_n, output logic a, output logic b);
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) begin a <= 1'b0; b <= 1'b1; end
+                 else begin a <= b; b <= a; end
+             endmodule",
+            "m",
+        );
+        s.reset(1);
+        let a = s.design().signal_by_name("a").unwrap();
+        let b = s.design().signal_by_name("b").unwrap();
+        assert_eq!((s.get(a).to_u64(), s.get(b).to_u64()), (Some(0), Some(1)));
+        s.step();
+        assert_eq!((s.get(a).to_u64(), s.get(b).to_u64()), (Some(1), Some(0)));
+        s.step();
+        assert_eq!((s.get(a).to_u64(), s.get(b).to_u64()), (Some(0), Some(1)));
+    }
+
+    #[test]
+    fn blocking_in_seq_process_is_ordered() {
+        let mut s = sim(
+            "module m(input clk, input rst_n, input [3:0] d, output logic [3:0] q);
+               logic [3:0] t;
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 4'd0;
+                 else begin
+                   t = d + 4'd1;
+                   q <= t;
+                 end
+             endmodule",
+            "m",
+        );
+        s.reset(1);
+        let d = s.design().signal_by_name("d").unwrap();
+        let q = s.design().signal_by_name("q").unwrap();
+        s.set_input(d, &LogicVec::from_u64(4, 5)).unwrap();
+        s.step();
+        assert_eq!(s.get(q).to_u64(), Some(6));
+    }
+
+    #[test]
+    fn case_matching_and_default() {
+        let mut s = sim(
+            "module m(input [1:0] sel, output logic [3:0] y);
+               always_comb
+                 case (sel)
+                   2'd0: y = 4'd1;
+                   2'd1: y = 4'd2;
+                   default: y = 4'd15;
+                 endcase
+             endmodule",
+            "m",
+        );
+        let sel = s.design().signal_by_name("sel").unwrap();
+        let y = s.design().signal_by_name("y").unwrap();
+        for (input, expect) in [(0u64, 1u64), (1, 2), (2, 15), (3, 15)] {
+            s.set_input(sel, &LogicVec::from_u64(2, input)).unwrap();
+            s.settle().unwrap();
+            assert_eq!(s.get(y).to_u64(), Some(expect));
+        }
+        // An X subject falls to default (case equality matches nothing).
+        s.set_input(sel, &LogicVec::xes(2)).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.get(y).to_u64(), Some(15));
+    }
+
+    #[test]
+    fn branch_outcomes_are_recorded() {
+        let mut s = sim(
+            "module m(input c, output logic y);
+               always_comb if (c) y = 1'b1; else y = 1'b0;
+             endmodule",
+            "m",
+        );
+        let c = s.design().signal_by_name("c").unwrap();
+        s.set_record_outcomes(true);
+        s.set_input(c, &LogicVec::from_u64(1, 1)).unwrap();
+        s.settle().unwrap();
+        let outs = s.take_outcomes();
+        assert!(outs.iter().any(|o| o.outcome == 0));
+        s.set_input(c, &LogicVec::from_u64(1, 0)).unwrap();
+        s.settle().unwrap();
+        let outs = s.take_outcomes();
+        assert!(outs.iter().any(|o| o.outcome == 1));
+        assert_eq!(s.toggled_outcomes(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut s = sim(
+            "module m(input clk, input rst_n, output logic [7:0] q);
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 8'd0; else q <= q + 8'd1;
+             endmodule",
+            "m",
+        );
+        s.reset(1);
+        for _ in 0..5 {
+            s.step();
+        }
+        let snap = s.snapshot();
+        let q = s.design().signal_by_name("q").unwrap();
+        assert_eq!(s.get(q).to_u64(), Some(5));
+        for _ in 0..7 {
+            s.step();
+        }
+        assert_eq!(s.get(q).to_u64(), Some(12));
+        s.restore(&snap);
+        assert_eq!(s.get(q).to_u64(), Some(5));
+        assert_eq!(s.cycle(), snap.cycle());
+        // Resuming from the snapshot is deterministic.
+        s.step();
+        assert_eq!(s.get(q).to_u64(), Some(6));
+    }
+
+    #[test]
+    fn partial_reset_touches_only_one_domain() {
+        let mut s = sim(
+            "module m(input clk, input rst_a_n, input rst_b_n,
+                      output logic [3:0] qa, output logic [3:0] qb);
+               always_ff @(posedge clk or negedge rst_a_n)
+                 if (!rst_a_n) qa <= 4'd0; else qa <= qa + 4'd1;
+               always_ff @(posedge clk or negedge rst_b_n)
+                 if (!rst_b_n) qb <= 4'd0; else qb <= qb + 4'd1;
+             endmodule",
+            "m",
+        );
+        s.reset(1);
+        for _ in 0..3 {
+            s.step();
+        }
+        let qa = s.design().signal_by_name("qa").unwrap();
+        let qb = s.design().signal_by_name("qb").unwrap();
+        assert_eq!(s.get(qa).to_u64(), Some(3));
+        let rst_a = s.design().signal_by_name("rst_a_n").unwrap();
+        s.reset_domain(rst_a, 1);
+        assert_eq!(s.get(qa).to_u64(), Some(0));
+        // Domain B kept counting through the partial reset cycle.
+        assert_eq!(s.get(qb).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn hierarchical_designs_simulate() {
+        let mut s = sim(
+            "module stage(input clk, input rst_n, input [3:0] d, output logic [3:0] q);
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 4'd0; else q <= d;
+             endmodule
+             module pipe(input clk, input rst_n, input [3:0] d, output [3:0] q);
+               wire [3:0] mid;
+               stage s0 (.clk(clk), .rst_n(rst_n), .d(d), .q(mid));
+               stage s1 (.clk(clk), .rst_n(rst_n), .d(mid), .q(q));
+             endmodule",
+            "pipe",
+        );
+        s.reset(1);
+        let d = s.design().signal_by_name("d").unwrap();
+        let q = s.design().signal_by_name("q").unwrap();
+        s.set_input(d, &LogicVec::from_u64(4, 9)).unwrap();
+        s.step();
+        assert_eq!(s.get(q).to_u64(), Some(0));
+        s.step();
+        assert_eq!(s.get(q).to_u64(), Some(9));
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        // From all-X state a Kleene fixpoint always exists, so first
+        // settle with the loop disabled, then enable it so a defined
+        // value oscillates.
+        let mut s = sim(
+            "module m(input a, output y);
+               wire t;
+               assign t = a ? !y : 1'b0;
+               assign y = t;
+             endmodule",
+            "m",
+        );
+        let a = s.design().signal_by_name("a").unwrap();
+        s.set_input(a, &LogicVec::from_u64(1, 0)).unwrap();
+        s.settle().unwrap();
+        s.set_input(a, &LogicVec::from_u64(1, 1)).unwrap();
+        assert_eq!(s.settle(), Err(SimError::CombLoop));
+        assert!(s.comb_unstable());
+    }
+
+    #[test]
+    fn input_word_distribution() {
+        let mut s = sim(
+            "module m(input [3:0] a, input [3:0] b, output [7:0] y);
+               assign y = {b, a};
+             endmodule",
+            "m",
+        );
+        s.apply_input_word(&LogicVec::from_u64(8, 0xA5));
+        s.settle().unwrap();
+        let y = s.design().signal_by_name("y").unwrap();
+        assert_eq!(s.get(y).to_u64(), Some(0xA5));
+    }
+
+    #[test]
+    fn dynamic_bit_select_read_and_write() {
+        let mut s = sim(
+            "module m(input [2:0] idx, input [7:0] d, output logic o, output logic [7:0] w);
+               always_comb begin
+                 o = d[idx];
+                 w = 8'd0;
+                 w[idx] = 1'b1;
+               end
+             endmodule",
+            "m",
+        );
+        let idx = s.design().signal_by_name("idx").unwrap();
+        let d = s.design().signal_by_name("d").unwrap();
+        s.set_input(idx, &LogicVec::from_u64(3, 5)).unwrap();
+        s.set_input(d, &LogicVec::from_u64(8, 0b0010_0000)).unwrap();
+        s.settle().unwrap();
+        let o = s.design().signal_by_name("o").unwrap();
+        let w = s.design().signal_by_name("w").unwrap();
+        assert_eq!(s.get(o).to_u64(), Some(1));
+        assert_eq!(s.get(w).to_u64(), Some(0b0010_0000));
+        // Unknown index: read is X, write smears X.
+        s.set_input(idx, &LogicVec::xes(3)).unwrap();
+        let _ = s.settle();
+        assert!(s.get(o).has_unknown());
+        assert!(s.get(w).has_unknown());
+    }
+}

@@ -1,0 +1,232 @@
+//! Minimal VCD (value change dump) reader.
+//!
+//! Algorithm 1 of the paper is file-based: each interval the simulator
+//! dumps a VCD (`SimFile`) and the coverage monitor *reads it back*
+//! (line 9, `Coverage ← Read(SimFile)`). The in-memory observation path
+//! is faster, but this reader closes the loop so the file-based
+//! workflow of the paper can be reproduced verbatim — and so traces
+//! from external four-state simulators can feed the coverage model.
+
+use std::collections::HashMap;
+use std::fmt;
+use symbfuzz_logic::{Bit, LogicVec};
+
+/// A parsed VCD: variable declarations and per-timestamp sample frames.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VcdTrace {
+    /// Declared variables: `(name, width)` in declaration order.
+    pub vars: Vec<(String, u32)>,
+    /// Sample frames: `(time, values)` with values in `vars` order.
+    /// Values carry forward between timestamps (standard VCD deltas).
+    pub frames: Vec<(u64, Vec<LogicVec>)>,
+}
+
+impl VcdTrace {
+    /// Index of a variable by name.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|(n, _)| n == name)
+    }
+
+    /// The value of `name` at frame `frame`.
+    pub fn value_at(&self, name: &str, frame: usize) -> Option<&LogicVec> {
+        let i = self.var_index(name)?;
+        self.frames.get(frame).map(|(_, vals)| &vals[i])
+    }
+}
+
+/// Error from VCD parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdParseError {
+    msg: String,
+}
+
+impl VcdParseError {
+    fn new(msg: impl Into<String>) -> VcdParseError {
+        VcdParseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for VcdParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcd parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for VcdParseError {}
+
+/// Parses VCD text (the subset emitted by
+/// [`VcdWriter`](crate::VcdWriter): `$var` declarations, `#time`
+/// stamps, scalar and `b...` vector changes).
+///
+/// # Errors
+///
+/// Returns [`VcdParseError`] on malformed declarations, unknown
+/// identifier codes, or value changes before the first timestamp.
+///
+/// # Examples
+///
+/// ```
+/// let text = "$timescale 1ns $end\n$scope module m $end\n\
+///             $var wire 4 ! q $end\n$upscope $end\n\
+///             $enddefinitions $end\n#0\nbxxxx !\n#1\nb1010 !\n";
+/// let trace = symbfuzz_sim::read_vcd(text)?;
+/// assert_eq!(trace.vars, vec![("q".to_string(), 4)]);
+/// assert_eq!(trace.frames.len(), 2);
+/// assert_eq!(trace.value_at("q", 1).unwrap().to_u64(), Some(0b1010));
+/// # Ok::<(), symbfuzz_sim::VcdParseError>(())
+/// ```
+pub fn read_vcd(text: &str) -> Result<VcdTrace, VcdParseError> {
+    let mut vars: Vec<(String, u32)> = Vec::new();
+    let mut codes: HashMap<String, usize> = HashMap::new();
+    let mut frames: Vec<(u64, Vec<LogicVec>)> = Vec::new();
+    let mut current: Vec<LogicVec> = Vec::new();
+    let mut in_defs = true;
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if in_defs {
+            if line.starts_with("$var") {
+                // $var wire <width> <code> <name> $end
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() < 6 {
+                    return Err(VcdParseError::new(format!("malformed $var: `{line}`")));
+                }
+                let width: u32 = parts[2]
+                    .parse()
+                    .map_err(|_| VcdParseError::new(format!("bad width in `{line}`")))?;
+                let code = parts[3].to_string();
+                let name = parts[4].to_string();
+                codes.insert(code, vars.len());
+                vars.push((name, width));
+                current.push(LogicVec::xes(width));
+            } else if line.starts_with("$enddefinitions") {
+                in_defs = false;
+            }
+            continue;
+        }
+        if let Some(ts) = line.strip_prefix('#') {
+            let time: u64 = ts
+                .trim()
+                .parse()
+                .map_err(|_| VcdParseError::new(format!("bad timestamp `{line}`")))?;
+            frames.push((time, current.clone()));
+            continue;
+        }
+        if frames.is_empty() {
+            return Err(VcdParseError::new(format!(
+                "value change before first timestamp: `{line}`"
+            )));
+        }
+        let idx;
+        let value;
+        if let Some(rest) = line.strip_prefix('b') {
+            // b<bits> <code>
+            let mut it = rest.split_whitespace();
+            let bits = it
+                .next()
+                .ok_or_else(|| VcdParseError::new(format!("missing bits in `{line}`")))?;
+            let code = it
+                .next()
+                .ok_or_else(|| VcdParseError::new(format!("missing code in `{line}`")))?;
+            idx = *codes
+                .get(code)
+                .ok_or_else(|| VcdParseError::new(format!("unknown code `{code}`")))?;
+            let width = vars[idx].1;
+            let mut v = LogicVec::zeros(width);
+            // MSB first in the file.
+            for (i, c) in bits.chars().rev().enumerate() {
+                if (i as u32) < width {
+                    let b = Bit::from_char(c)
+                        .ok_or_else(|| VcdParseError::new(format!("bad bit `{c}`")))?;
+                    v.set_bit(i as u32, b);
+                }
+            }
+            value = v;
+        } else {
+            // Scalar: <bit><code> with no space.
+            let mut chars = line.chars();
+            let c = chars.next().unwrap();
+            let b = Bit::from_char(c)
+                .ok_or_else(|| VcdParseError::new(format!("bad scalar change `{line}`")))?;
+            let code: String = chars.collect();
+            idx = *codes
+                .get(code.trim())
+                .ok_or_else(|| VcdParseError::new(format!("unknown code `{code}`")))?;
+            value = LogicVec::from_bit(b).resized(vars[idx].1);
+        }
+        current[idx] = value;
+        // Apply to the open frame (changes follow their timestamp).
+        if let Some((_, vals)) = frames.last_mut() {
+            vals[idx] = current[idx].clone();
+        }
+    }
+    Ok(VcdTrace { vars, frames })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulator, VcdWriter};
+    use std::sync::Arc;
+    use symbfuzz_netlist::elaborate_src;
+
+    /// Write-then-read round trip through a real simulation.
+    #[test]
+    fn round_trips_through_writer() {
+        let d = Arc::new(
+            elaborate_src(
+                "module m(input clk, input rst_n, input [3:0] d, output logic [3:0] q);
+                   always_ff @(posedge clk or negedge rst_n)
+                     if (!rst_n) q <= 4'd0; else q <= d;
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let mut sim = Simulator::new(Arc::clone(&d));
+        let watch: Vec<_> = d.inputs().chain(d.outputs()).collect();
+        let mut buf = Vec::new();
+        {
+            let mut w = VcdWriter::new(&mut buf, &d, &watch).unwrap();
+            sim.reset(1);
+            let din = d.signal_by_name("d").unwrap();
+            for (t, v) in [(0u64, 3u64), (1, 9), (2, 9), (3, 0)] {
+                sim.set_input(din, &symbfuzz_logic::LogicVec::from_u64(4, v)).unwrap();
+                sim.step();
+                w.sample(t, sim.values()).unwrap();
+            }
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let trace = read_vcd(&text).unwrap();
+        assert_eq!(trace.frames.len(), 4);
+        // q tracks d with the drive pattern above.
+        assert_eq!(trace.value_at("q", 0).unwrap().to_u64(), Some(3));
+        assert_eq!(trace.value_at("q", 1).unwrap().to_u64(), Some(9));
+        // Unchanged at t=2: the carried-forward value is still there.
+        assert_eq!(trace.value_at("q", 2).unwrap().to_u64(), Some(9));
+        assert_eq!(trace.value_at("q", 3).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn parses_x_and_scalar_changes() {
+        let text = "$var wire 1 ! rdy $end\n$var wire 2 \" st $end\n$enddefinitions $end\n\
+                    #0\nx!\nbzx \"\n#5\n1!\nb10 \"\n";
+        let t = read_vcd(text).unwrap();
+        assert_eq!(t.frames[0].0, 0);
+        assert!(t.value_at("rdy", 0).unwrap().has_unknown());
+        assert!(t.value_at("st", 0).unwrap().has_unknown());
+        assert_eq!(t.frames[1].0, 5);
+        assert_eq!(t.value_at("rdy", 1).unwrap().to_u64(), Some(1));
+        assert_eq!(t.value_at("st", 1).unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_vcd("$var wire x ! n $end\n$enddefinitions $end\n#0\n").is_err());
+        assert!(read_vcd("$enddefinitions $end\n1!\n").is_err());
+        assert!(read_vcd("$enddefinitions $end\n#0\n1?\n").is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Bit-vector SMT solving for SymbFuzz's guidance engine.
+//!
+//! The paper feeds *dependency equations* — control-register next-state
+//! values expressed as functions of input pins (§4.4.2) — to an SMT
+//! solver (z3) and turns the models into UVM sequencer constraints.
+//! z3 is not available offline, so this crate implements the QF_BV
+//! fragment the paper actually needs, the textbook way:
+//!
+//! * [`TermPool`] — hash-consed bit-vector terms with constant folding
+//!   and identity simplification;
+//! * [`bitblast`](BitBlaster) — Tseitin transformation of terms into
+//!   CNF (ripple-carry adders, shift-and-add multipliers, mux trees);
+//! * [`SatSolver`] — a CDCL SAT solver with two-watched-literal
+//!   propagation, VSIDS decision ordering, first-UIP clause learning
+//!   and Luby restarts;
+//! * [`BvSolver`] — the user-facing facade: assert 1-bit terms, check
+//!   satisfiability, read back a [`Model`] mapping variables to
+//!   concrete [`LogicVec`](symbfuzz_logic::LogicVec) values.
+//!
+//! # Examples
+//!
+//! Solve the paper's Eqn. 1, `((in1 & in2) + in3) && !in3`:
+//!
+//! ```
+//! use symbfuzz_smt::{BvSolver, SatOutcome};
+//!
+//! let mut s = BvSolver::new();
+//! let in1 = s.pool_mut().var("in1", 8);
+//! let in2 = s.pool_mut().var("in2", 8);
+//! let in3 = s.pool_mut().var("in3", 8);
+//! let p = s.pool_mut();
+//! let sum = { let a = p.and(in1, in2); p.add(a, in3) };
+//! let nonzero = p.red_or(sum);
+//! let in3_zero = { let nz = p.red_or(in3); p.not(nz) };
+//! let goal = p.and(nonzero, in3_zero);
+//! s.assert(goal);
+//! let SatOutcome::Sat(model) = s.check() else { panic!("must be satisfiable") };
+//! let v3 = model.value("in3").unwrap().to_u64().unwrap();
+//! assert_eq!(v3, 0); // in3 must be zero, in1&in2 nonzero
+//! ```
+
+mod bitblast;
+mod sat;
+mod solver;
+mod term;
+
+pub use bitblast::{BitBlaster, Cnf};
+pub use sat::{Lit, SatResult, SatSolver};
+pub use solver::{render_term, BvSolver, Model, SatOutcome};
+pub use term::{TermId, TermKind, TermPool};

@@ -1,0 +1,611 @@
+//! CDCL SAT solver: two-watched-literal propagation, VSIDS decisions,
+//! first-UIP learning, phase saving and Luby restarts.
+
+use std::fmt;
+
+/// A literal: a propositional variable (0-based) with a polarity.
+///
+/// Encoded as `var << 1 | negated`, so `Lit` doubles as an index into
+/// watch lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// A literal for `var` with the given polarity (`true` = positive).
+    pub fn new(var: u32, positive: bool) -> Lit {
+        Lit(var << 1 | (!positive as u32))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The negated literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The watch-list index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_pos() { "" } else { "¬" }, self.var())
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with one polarity per variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// `true` when satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+const INVALID: usize = usize::MAX;
+
+/// A CDCL SAT solver over clauses of [`Lit`]s.
+///
+/// # Examples
+///
+/// ```
+/// use symbfuzz_smt::{Lit, SatSolver, SatResult};
+///
+/// let mut s = SatSolver::new();
+/// let (a, b) = (s.new_var(), s.new_var());
+/// s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
+/// s.add_clause(&[Lit::new(a, false)]);
+/// let SatResult::Sat(model) = s.solve() else { panic!() };
+/// assert!(!model[a as usize] && model[b as usize]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SatSolver {
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<usize>>,
+    /// 0 = unassigned, 1 = true, -1 = false.
+    assign: Vec<i8>,
+    /// Saved phase for phase-saving decisions.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    unsat: bool,
+    conflicts: u64,
+    decisions: u64,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            var_inc: 1.0,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(0);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(INVALID);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of conflicts seen so far (diagnostics).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions made so far (diagnostics).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    fn value(&self, l: Lit) -> i8 {
+        let v = self.assign[l.var() as usize];
+        if l.is_pos() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Adds a clause. Tautologies are dropped; duplicate literals are
+    /// merged; the empty clause makes the instance trivially UNSAT.
+    ///
+    /// Clauses must be added before [`solve`](Self::solve) at decision
+    /// level 0.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        // A previous solve() may have left decisions on the trail;
+        // clauses must be integrated at decision level 0.
+        if self.decision_level() > 0 {
+            self.cancel_until(0);
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology: both polarities of one var.
+        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        // Remove literals already false at level 0; satisfied clause is dropped.
+        c.retain(|l| !(self.value(*l) == -1 && self.level[l.var() as usize] == 0));
+        if c.iter().any(|l| self.value(*l) == 1 && self.level[l.var() as usize] == 0) {
+            return;
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(c[0], INVALID) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                self.attach(c);
+            }
+        }
+    }
+
+    fn attach(&mut self, c: Vec<Lit>) -> usize {
+        let idx = self.clauses.len();
+        self.watches[c[0].negated().code()].push(idx);
+        self.watches[c[1].negated().code()].push(idx);
+        self.clauses.push(c);
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: usize) -> bool {
+        match self.value(l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let v = l.var() as usize;
+                self.assign[v] = if l.is_pos() { 1 } else { -1 };
+                self.phase[v] = l.is_pos();
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses that watch ¬l may become unit/conflicting now
+            // that l is true.
+            let mut ws = std::mem::take(&mut self.watches[l.code()]);
+            let mut keep = Vec::with_capacity(ws.len());
+            let mut conflict = None;
+            for (wi, &ci) in ws.iter().enumerate() {
+                let falsified = l.negated();
+                // Normalise: watched literals are clause[0] and clause[1].
+                {
+                    let c = &mut self.clauses[ci];
+                    if c[0] == falsified {
+                        c.swap(0, 1);
+                    }
+                }
+                if self.value(self.clauses[ci][0]) == 1 {
+                    keep.push(ci);
+                    continue;
+                }
+                // Find a replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != -1 {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1].negated().code();
+                        self.watches[new_watch].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                keep.push(ci);
+                let first = self.clauses[ci][0];
+                if !self.enqueue(first, ci) {
+                    // Conflict: keep remaining watches and bail out.
+                    keep.extend_from_slice(&ws[wi + 1..]);
+                    conflict = Some(ci);
+                    break;
+                }
+            }
+            ws.clear();
+            let slot = &mut self.watches[l.code()];
+            keep.append(slot);
+            *slot = keep;
+            if let Some(ci) = conflict {
+                return Some(ci);
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, var: u32) {
+        let a = &mut self.activity[var as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backjump level).
+    fn analyze(&mut self, confl: usize) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::new(0, true)]; // placeholder for the asserting literal
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0u32;
+        let mut lit: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let mut clause = confl;
+        loop {
+            let start = if lit.is_none() { 0 } else { 1 };
+            let lits: Vec<Lit> = self.clauses[clause][start..].to_vec();
+            for q in lits {
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if seen[self.trail[idx].var() as usize] {
+                    break;
+                }
+            }
+            let p = self.trail[idx];
+            seen[p.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                lit = Some(p);
+                break;
+            }
+            clause = self.reason[p.var() as usize];
+            lit = Some(p);
+            debug_assert_ne!(clause, INVALID);
+        }
+        learned[0] = lit.unwrap().negated();
+        // Backjump level: highest level among the non-asserting literals.
+        let bj = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level in watch position 1.
+        if learned.len() > 1 {
+            let pos = learned[1..]
+                .iter()
+                .position(|l| self.level[l.var() as usize] == bj)
+                .unwrap()
+                + 1;
+            learned.swap(1, pos);
+        }
+        (learned, bj)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.decision_level() > lvl {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                self.assign[l.var() as usize] = 0;
+                self.reason[l.var() as usize] = INVALID;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&self) -> Option<u32> {
+        let mut best: Option<(u32, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == 0 {
+                let act = self.activity[v];
+                if best.map(|(_, a)| act > a).unwrap_or(true) {
+                    best = Some((v as u32, act));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Solves the instance.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under `assumptions` (literals forced as the first
+    /// decisions). Returns [`SatResult::Unsat`] if the assumptions are
+    /// inconsistent with the clauses.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut restart_count = 0u32;
+        let mut conflicts_until_restart = luby(restart_count) * 128;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                if self.decision_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                // A conflict while only assumption decisions are on the
+                // trail is implied by clauses + assumptions alone: the
+                // query is UNSAT under these assumptions.
+                if self.decision_level() <= assumptions.len() as u32 {
+                    self.cancel_until(0);
+                    return SatResult::Unsat;
+                }
+                let _ = confl;
+                let (learned, bj) = self.analyze(confl);
+                let bj = bj.max(assumptions.len() as u32);
+                self.cancel_until(bj);
+                let assert_lit = learned[0];
+                if learned.len() == 1 {
+                    if !self.enqueue(assert_lit, INVALID) {
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let ci = self.attach(learned);
+                    if !self.enqueue(assert_lit, ci) {
+                        return SatResult::Unsat;
+                    }
+                }
+                self.var_inc /= 0.95;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+            } else {
+                if conflicts_until_restart == 0 {
+                    restart_count += 1;
+                    conflicts_until_restart = luby(restart_count) * 128;
+                    self.cancel_until(assumptions.len() as u32);
+                }
+                // Install pending assumptions as decisions.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value(a) {
+                        1 => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        -1 => return SatResult::Unsat,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, INVALID);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => {
+                        let model = self.assign.iter().map(|&v| v == 1).collect();
+                        return SatResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let l = Lit::new(v, self.phase[v as usize]);
+                        self.enqueue(l, INVALID);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+fn luby(i: u32) -> u64 {
+    let mut k = 1u32;
+    while (1u64 << k) < (i as u64 + 2) {
+        k += 1;
+    }
+    if (1u64 << k) - 1 == i as u64 + 1 {
+        return 1u64 << (k - 1);
+    }
+    luby(i + 1 - (1 << (k - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Lit::new(v, pos)
+    }
+
+    #[test]
+    fn literal_encoding() {
+        let l = lit(3, true);
+        assert_eq!(l.var(), 3);
+        assert!(l.is_pos());
+        assert_eq!(l.negated().var(), 3);
+        assert!(!l.negated().is_pos());
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        assert!(s.solve().is_sat());
+
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        s.new_var();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn implication_chain_forces_model() {
+        // a, a→b, b→c, c→d : all true.
+        let mut s = SatSolver::new();
+        let vars: Vec<u32> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[lit(vars[0], true)]);
+        for w in vars.windows(2) {
+            s.add_clause(&[lit(w[0], false), lit(w[1], true)]);
+        }
+        let SatResult::Sat(m) = s.solve() else { panic!() };
+        assert!(vars.iter().all(|&v| m[v as usize]));
+    }
+
+    #[test]
+    fn xor_constraint() {
+        // a ⊕ b encoded as (a∨b)(¬a∨¬b), plus a → model must set b=¬a.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        s.add_clause(&[lit(a, false), lit(b, false)]);
+        s.add_clause(&[lit(a, true)]);
+        let SatResult::Sat(m) = s.solve() else { panic!() };
+        assert!(m[a as usize] && !m[b as usize]);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = SatSolver::new();
+        let mut p = [[0u32; 2]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                p[i][j] = s.new_var();
+            }
+        }
+        for i in 0..3 {
+            s.add_clause(&[lit(p[i][0], true), lit(p[i][1], true)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[lit(p[i1][j], false), lit(p[i2][j], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.conflicts() > 0);
+    }
+
+    #[test]
+    fn assumptions_restrict_models() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        let SatResult::Sat(m) = s.solve_with(&[lit(a, false)]) else { panic!() };
+        assert!(!m[a as usize] && m[b as usize]);
+        // Assumptions conflicting with clauses yield UNSAT but the
+        // instance stays solvable without them.
+        s.add_clause(&[lit(b, false)]);
+        assert_eq!(s.solve_with(&[lit(a, false)]), SatResult::Unsat);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(a, true), lit(b, false)]);
+        s.add_clause(&[lit(a, true), lit(a, false)]); // tautology, dropped
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn moderately_hard_random_instance() {
+        // Deterministic pseudo-random 3-SAT at ratio ~4.0 (40 vars,
+        // 160 clauses): solvable either way, must terminate.
+        let mut s = SatSolver::new();
+        let vars: Vec<u32> = (0..40).map(|_| s.new_var()).collect();
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..160 {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| {
+                    let v = vars[(next() % 40) as usize];
+                    lit(v, next() % 2 == 0)
+                })
+                .collect();
+            s.add_clause(&c);
+        }
+        // Just ensure a decision is reached.
+        let _ = s.solve();
+    }
+}

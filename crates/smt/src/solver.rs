@@ -1,0 +1,323 @@
+//! User-facing bit-vector solver facade.
+
+use crate::bitblast::BitBlaster;
+use crate::sat::{Lit, SatResult};
+use crate::term::{TermId, TermKind, TermPool};
+use std::collections::HashMap;
+use symbfuzz_logic::{Bit, LogicVec};
+
+/// A satisfying assignment: every pool variable mapped to a concrete
+/// value (variables unconstrained by the assertions default to zero).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Model {
+    values: HashMap<String, LogicVec>,
+}
+
+impl Model {
+    /// The value assigned to `name`, if the variable exists.
+    pub fn value(&self, name: &str) -> Option<&LogicVec> {
+        self.values.get(name)
+    }
+
+    /// Iterates over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &LogicVec)> {
+        self.values.iter()
+    }
+
+    /// Converts into an evaluation environment for
+    /// [`TermPool::eval`].
+    pub fn into_env(self) -> HashMap<String, LogicVec> {
+        self.values
+    }
+
+    /// Borrowing view usable with [`TermPool::eval`].
+    pub fn env(&self) -> &HashMap<String, LogicVec> {
+        &self.values
+    }
+}
+
+/// Outcome of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// Satisfiable with the given model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatOutcome {
+    /// `true` when satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatOutcome::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SatOutcome::Sat(m) => Some(m),
+            SatOutcome::Unsat => None,
+        }
+    }
+}
+
+/// Incremental QF_BV solver: build terms via [`pool_mut`](Self::pool_mut),
+/// [`assert`](Self::assert) 1-bit facts, then [`check`](Self::check) or
+/// [`check_assuming`](Self::check_assuming).
+///
+/// Assertions are blasted eagerly, so repeated checks with different
+/// assumptions reuse the existing CNF — this is how SymbFuzz tries
+/// several candidate CFG targets cheaply (§4.7, picking the constraint
+/// that unlocks the most new nodes).
+///
+/// See the [crate docs](crate) for a worked example.
+#[derive(Debug, Default, Clone)]
+pub struct BvSolver {
+    pool: TermPool,
+    blaster: BitBlaster,
+    asserted: Vec<TermId>,
+}
+
+impl BvSolver {
+    /// Creates an empty solver.
+    pub fn new() -> BvSolver {
+        BvSolver {
+            pool: TermPool::new(),
+            blaster: BitBlaster::new(),
+            asserted: Vec::new(),
+        }
+    }
+
+    /// The term pool, for building formulas.
+    pub fn pool_mut(&mut self) -> &mut TermPool {
+        &mut self.pool
+    }
+
+    /// Immutable access to the term pool.
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Asserts a 1-bit term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not one bit wide.
+    pub fn assert(&mut self, t: TermId) {
+        self.blaster.assert_true(&self.pool, t);
+        self.asserted.push(t);
+    }
+
+    /// Checks satisfiability of the asserted conjunction.
+    pub fn check(&mut self) -> SatOutcome {
+        self.check_assuming(&[])
+    }
+
+    /// Checks satisfiability under extra 1-bit `assumptions` that are
+    /// not permanently asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption is not one bit wide.
+    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> SatOutcome {
+        let mut assumption_lits: Vec<Lit> = Vec::with_capacity(assumptions.len());
+        for &a in assumptions {
+            assert_eq!(self.pool.width(a), 1, "assumptions must be one bit wide");
+            let l = self.blaster.lits(&self.pool, a)[0];
+            assumption_lits.push(l);
+        }
+        match self.blaster.solver_mut().solve_with(&assumption_lits) {
+            SatResult::Unsat => SatOutcome::Unsat,
+            SatResult::Sat(raw) => {
+                let mut values = HashMap::new();
+                for (name, width) in self.pool.vars() {
+                    let vt = self.pool.var(name.clone(), width);
+                    let mut v = LogicVec::zeros(width);
+                    if let Some(lits) = self.blaster.lits_of(vt) {
+                        for (i, l) in lits.iter().enumerate() {
+                            let b = raw[l.var() as usize] == l.is_pos();
+                            v.set_bit(i as u32, Bit::from_bool(b));
+                        }
+                    }
+                    values.insert(name, v);
+                }
+                SatOutcome::Sat(Model { values })
+            }
+        }
+    }
+
+    /// Validates a model against the asserted terms by direct
+    /// evaluation (defence in depth for the fuzzer: a bad model would
+    /// silently misguide mutation).
+    pub fn validate(&self, model: &Model) -> bool {
+        self.asserted.iter().all(|t| {
+            self.pool
+                .eval(*t, model.env())
+                .to_u64()
+                .map(|v| v == 1)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Number of variables declared in the pool.
+    pub fn var_count(&self) -> usize {
+        self.pool
+            .vars()
+            .len()
+    }
+
+    /// CNF statistics from the blaster (vars, clauses).
+    pub fn cnf_stats(&self) -> (usize, usize) {
+        let s = self.blaster.stats();
+        (s.num_vars, s.num_clauses)
+    }
+}
+
+/// Pretty-prints a term for diagnostics (prefix form).
+pub fn render_term(pool: &TermPool, t: TermId) -> String {
+    match pool.kind(t) {
+        TermKind::Const(v) => format!("{v}"),
+        TermKind::Var(n, w) => format!("{n}:{w}"),
+        TermKind::Not(a) => format!("(not {})", render_term(pool, *a)),
+        TermKind::And(a, b) => format!("(and {} {})", render_term(pool, *a), render_term(pool, *b)),
+        TermKind::Or(a, b) => format!("(or {} {})", render_term(pool, *a), render_term(pool, *b)),
+        TermKind::Xor(a, b) => format!("(xor {} {})", render_term(pool, *a), render_term(pool, *b)),
+        TermKind::Add(a, b) => format!("(add {} {})", render_term(pool, *a), render_term(pool, *b)),
+        TermKind::Sub(a, b) => format!("(sub {} {})", render_term(pool, *a), render_term(pool, *b)),
+        TermKind::Mul(a, b) => format!("(mul {} {})", render_term(pool, *a), render_term(pool, *b)),
+        TermKind::Eq(a, b) => format!("(= {} {})", render_term(pool, *a), render_term(pool, *b)),
+        TermKind::Ult(a, b) => format!("(ult {} {})", render_term(pool, *a), render_term(pool, *b)),
+        TermKind::Ite(c, a, b) => format!(
+            "(ite {} {} {})",
+            render_term(pool, *c),
+            render_term(pool, *a),
+            render_term(pool, *b)
+        ),
+        TermKind::Extract { arg, lo, width } => {
+            format!("(extract {} {} {})", render_term(pool, *arg), lo, width)
+        }
+        TermKind::ConcatPair(h, l) => {
+            format!("(concat {} {})", render_term(pool, *h), render_term(pool, *l))
+        }
+        TermKind::ShlConst(a, n) => format!("(shl {} {n})", render_term(pool, *a)),
+        TermKind::LshrConst(a, n) => format!("(lshr {} {n})", render_term(pool, *a)),
+        TermKind::RedAnd(a) => format!("(rand {})", render_term(pool, *a)),
+        TermKind::RedOr(a) => format!("(ror {})", render_term(pool, *a)),
+        TermKind::RedXor(a) => format!("(rxor {})", render_term(pool, *a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sat_with_model_validation() {
+        let mut s = BvSolver::new();
+        let a = s.pool_mut().var("a", 8);
+        let goal = {
+            let p = s.pool_mut();
+            let five = p.const_u64(8, 5);
+            let sum = p.add(a, five);
+            let hundred = p.const_u64(8, 100);
+            p.eq(sum, hundred)
+        };
+        s.assert(goal);
+        let SatOutcome::Sat(m) = s.check() else { panic!("sat expected") };
+        assert_eq!(m.value("a").unwrap().to_u64(), Some(95));
+        assert!(s.validate(&m));
+    }
+
+    #[test]
+    fn unsat_conjunction() {
+        let mut s = BvSolver::new();
+        let a = s.pool_mut().var("a", 4);
+        let (e1, e2) = {
+            let p = s.pool_mut();
+            let three = p.const_u64(4, 3);
+            let seven = p.const_u64(4, 7);
+            (p.eq(a, three), p.eq(a, seven))
+        };
+        s.assert(e1);
+        s.assert(e2);
+        assert_eq!(s.check(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn incremental_assumptions() {
+        let mut s = BvSolver::new();
+        let a = s.pool_mut().var("a", 4);
+        let lt8 = {
+            let p = s.pool_mut();
+            let eight = p.const_u64(4, 8);
+            p.ult(a, eight)
+        };
+        s.assert(lt8);
+        let targets: Vec<TermId> = (0..10)
+            .map(|v| {
+                let p = s.pool_mut();
+                let c = p.const_u64(4, v);
+                p.eq(a, c)
+            })
+            .collect();
+        // Values 0..8 reachable, 8..10 not — same CNF reused each time.
+        for (v, &t) in targets.iter().enumerate() {
+            let out = s.check_assuming(&[t]);
+            if v < 8 {
+                let m = out.model().expect("reachable");
+                assert_eq!(m.value("a").unwrap().to_u64(), Some(v as u64));
+            } else {
+                assert_eq!(out, SatOutcome::Unsat);
+            }
+        }
+        // Plain check still satisfiable after all those assumptions.
+        assert!(s.check().is_sat());
+    }
+
+    #[test]
+    fn unconstrained_variables_default_to_zero() {
+        let mut s = BvSolver::new();
+        let _unused = s.pool_mut().var("unused", 16);
+        let t = s.pool_mut().tru();
+        s.assert(t);
+        let SatOutcome::Sat(m) = s.check() else { panic!() };
+        assert_eq!(m.value("unused").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut p = TermPool::new();
+        let a = p.var("a", 4);
+        let t = {
+            let c = p.const_u64(4, 3);
+            let s = p.add(a, c);
+            p.eq(s, c)
+        };
+        let txt = render_term(&p, t);
+        assert!(txt.contains("a:4"));
+        assert!(txt.contains("(add"));
+    }
+
+    #[test]
+    fn paper_eqn1_example() {
+        // ((in1 & in2) + in3) && !in3  — Eqn. 1 of the paper.
+        let mut s = BvSolver::new();
+        let in1 = s.pool_mut().var("in1", 4);
+        let in2 = s.pool_mut().var("in2", 4);
+        let in3 = s.pool_mut().var("in3", 4);
+        let goal = {
+            let p = s.pool_mut();
+            let anded = p.and(in1, in2);
+            let sum = p.add(anded, in3);
+            let truthy = p.red_or(sum);
+            let n3 = p.red_or(in3);
+            let not3 = p.not(n3);
+            p.and(truthy, not3)
+        };
+        s.assert(goal);
+        let m = s.check().model().expect("satisfiable");
+        assert_eq!(m.value("in3").unwrap().to_u64(), Some(0));
+        let v1 = m.value("in1").unwrap().to_u64().unwrap();
+        let v2 = m.value("in2").unwrap().to_u64().unwrap();
+        assert_ne!(v1 & v2, 0);
+    }
+}

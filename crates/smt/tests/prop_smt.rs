@@ -1,0 +1,137 @@
+//! Property tests: the CDCL solver must agree with brute force on small
+//! random CNFs, and bit-blasted arithmetic must agree with `u64`
+//! semantics.
+
+use proptest::prelude::*;
+use symbfuzz_smt::{BvSolver, Lit, SatOutcome, SatResult, SatSolver};
+
+/// Brute-force satisfiability for ≤ 16 variables.
+fn brute_force(num_vars: u32, clauses: &[Vec<(u32, bool)>]) -> bool {
+    for m in 0u32..(1 << num_vars) {
+        let ok = clauses.iter().all(|c| {
+            c.iter()
+                .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(
+        num_vars in 1u32..10,
+        clause_data in proptest::collection::vec(
+            proptest::collection::vec((0u32..10, any::<bool>()), 1..4), 1..30),
+    ) {
+        let clauses: Vec<Vec<(u32, bool)>> = clause_data
+            .into_iter()
+            .map(|c| c.into_iter().map(|(v, p)| (v % num_vars, p)).collect())
+            .collect();
+        let mut solver = SatSolver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for c in &clauses {
+            let lits: Vec<Lit> = c.iter().map(|&(v, p)| Lit::new(v, p)).collect();
+            solver.add_clause(&lits);
+        }
+        let expected = brute_force(num_vars, &clauses);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                prop_assert!(expected, "solver said SAT, brute force says UNSAT");
+                // The model must actually satisfy every clause.
+                for c in &clauses {
+                    prop_assert!(c.iter().any(|&(v, p)| model[v as usize] == p),
+                        "model does not satisfy clause {c:?}");
+                }
+            }
+            SatResult::Unsat => prop_assert!(!expected, "solver said UNSAT, brute force says SAT"),
+        }
+    }
+
+    #[test]
+    fn blasted_add_sub_mul_match_u64(a: u64, b: u64, width in 1u32..=10) {
+        let m = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let (a, b) = (a & m, b & m);
+        for op in 0..3 {
+            let mut s = BvSolver::new();
+            let va = s.pool_mut().var("a", width);
+            let vb = s.pool_mut().var("b", width);
+            let expected = match op {
+                0 => a.wrapping_add(b) & m,
+                1 => a.wrapping_sub(b) & m,
+                _ => a.wrapping_mul(b) & m,
+            };
+            let goal = {
+                let p = s.pool_mut();
+                let ca = p.const_u64(width, a);
+                let cb = p.const_u64(width, b);
+                let ea = p.eq(va, ca);
+                let eb = p.eq(vb, cb);
+                let r = match op {
+                    0 => p.add(va, vb),
+                    1 => p.sub(va, vb),
+                    _ => p.mul(va, vb),
+                };
+                let ce = p.const_u64(width, expected);
+                let er = p.eq(r, ce);
+                let both = p.and(ea, eb);
+                p.and(both, er)
+            };
+            s.assert(goal);
+            prop_assert!(s.check().is_sat(), "op {op}: {a} ? {b} != {expected} at width {width}");
+        }
+    }
+
+    #[test]
+    fn blasted_comparison_matches_u64(a: u64, b: u64, width in 1u32..=12) {
+        let m = (1u64 << width) - 1;
+        let (a, b) = (a & m, b & m);
+        let mut s = BvSolver::new();
+        let va = s.pool_mut().var("a", width);
+        let goal = {
+            let p = s.pool_mut();
+            let ca = p.const_u64(width, a);
+            let cb = p.const_u64(width, b);
+            let ea = p.eq(va, ca);
+            let lt = p.ult(va, cb);
+            let expect = p.const_u64(1, (a < b) as u64);
+            let e = p.eq(lt, expect);
+            p.and(ea, e)
+        };
+        s.assert(goal);
+        prop_assert!(s.check().is_sat());
+    }
+
+    #[test]
+    fn solved_models_validate_by_evaluation(target: u8, width in 4u32..=8) {
+        // Find inputs with (a ^ b) + (a & b) == target (mod 2^w); such
+        // inputs always exist (a = target, b = 0).
+        let t = target as u64 & ((1u64 << width) - 1);
+        let mut s = BvSolver::new();
+        let a = s.pool_mut().var("a", width);
+        let b = s.pool_mut().var("b", width);
+        let goal = {
+            let p = s.pool_mut();
+            let x = p.xor(a, b);
+            let n = p.and(a, b);
+            let sum = p.add(x, n);
+            let c = p.const_u64(width, t);
+            p.eq(sum, c)
+        };
+        s.assert(goal);
+        let SatOutcome::Sat(model) = s.check() else {
+            return Err(TestCaseError::fail("expected SAT"));
+        };
+        prop_assert!(s.validate(&model));
+        let va = model.value("a").unwrap().to_u64().unwrap();
+        let vb = model.value("b").unwrap().to_u64().unwrap();
+        let m = (1u64 << width) - 1;
+        prop_assert_eq!(((va ^ vb) + (va & vb)) & m, t);
+    }
+}

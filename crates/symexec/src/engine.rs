@@ -1,0 +1,902 @@
+//! Dependency-equation construction and SMT-backed input search.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use symbfuzz_hdl::{BinaryOp, Edge, UnaryOp};
+use symbfuzz_logic::{Bit, LogicVec};
+use symbfuzz_netlist::{
+    reset_tree, Design, NExpr, NLValue, NStmt, ProcKind, ResetTree, SignalId, SignalKind,
+};
+use symbfuzz_smt::{BitBlaster, SatResult, TermId, TermKind, TermPool};
+
+/// A concrete input stimulus produced by the solver: one value per
+/// top-level input (clocks excluded, resets held inactive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputAssignment {
+    values: Vec<(SignalId, LogicVec)>,
+}
+
+impl InputAssignment {
+    /// The value for one input signal.
+    pub fn value(&self, sig: SignalId) -> Option<&LogicVec> {
+        self.values
+            .iter()
+            .find(|(s, _)| *s == sig)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterates over `(signal, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SignalId, &LogicVec)> {
+        self.values.iter().map(|(s, v)| (*s, v))
+    }
+
+    /// Packs the fuzzable inputs into one flat word in `SignalId` order
+    /// — the inverse of
+    /// [`Simulator::apply_input_word`](symbfuzz_sim::Simulator::apply_input_word)
+    /// (`symbfuzz-sim` documents the packing; duplicated here to avoid a
+    /// dependency cycle).
+    pub fn to_word(&self, design: &Design) -> LogicVec {
+        let mut word = LogicVec::zeros(design.fuzz_width().max(1));
+        let mut lo = 0u32;
+        for sig in design.fuzzable_inputs() {
+            let w = design.signal(sig).width;
+            if let Some(v) = self.value(sig) {
+                let v = v.resized(w);
+                for i in 0..w {
+                    word.set_bit(lo + i, v.bit(i));
+                }
+            }
+            lo += w;
+        }
+        word
+    }
+}
+
+/// Builds and solves dependency equations for one design.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct SymbolicEngine {
+    design: Arc<Design>,
+    rtree: ResetTree,
+    pool: TermPool,
+    /// Canonical next-state term per register.
+    eqs: HashMap<SignalId, TermId>,
+    /// Input symbol per top-level input (clocks excluded).
+    input_vars: HashMap<SignalId, TermId>,
+    /// Current-state symbol per register.
+    cur_vars: HashMap<SignalId, TermId>,
+}
+
+impl SymbolicEngine {
+    /// Symbolically executes every process of `design` and records one
+    /// dependency equation per register.
+    pub fn new(design: Arc<Design>) -> SymbolicEngine {
+        let rtree = reset_tree(&design);
+        let mut pool = TermPool::new();
+        let mut store: HashMap<SignalId, TermId> = HashMap::new();
+        let mut input_vars = HashMap::new();
+        let mut cur_vars = HashMap::new();
+
+        for sig in design.inputs() {
+            let s = design.signal(sig);
+            if s.is_clock {
+                continue;
+            }
+            let v = pool.var(format!("in.{}", s.name), s.width);
+            store.insert(sig, v);
+            input_vars.insert(sig, v);
+        }
+        for reg in design.registers() {
+            let s = design.signal(reg);
+            let v = pool.var(format!("cur.{}", s.name), s.width);
+            store.insert(reg, v);
+            cur_vars.insert(reg, v);
+        }
+
+        let mut engine = SymbolicEngine {
+            design: Arc::clone(&design),
+            rtree,
+            pool,
+            eqs: HashMap::new(),
+            input_vars,
+            cur_vars,
+        };
+
+        // Settle combinational logic symbolically (bounded fixpoint —
+        // the terms are hash-consed so stabilisation is cheap to test).
+        for _ in 0..design.processes.len() + 2 {
+            let mut changed = false;
+            for p in &design.processes {
+                if !matches!(p.kind, ProcKind::Comb) {
+                    continue;
+                }
+                let mut next = HashMap::new();
+                engine.exec_sym(&p.body, &mut store, &mut next);
+                // Comb processes should not use NBAs; fold them in anyway.
+                for (s, t) in next {
+                    if store.get(&s) != Some(&t) {
+                        store.insert(s, t);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Sequential processes: next-state equations.
+        let mut eqs: HashMap<SignalId, TermId> = HashMap::new();
+        for p in &design.processes {
+            if !matches!(p.kind, ProcKind::Seq { .. }) {
+                continue;
+            }
+            let mut local = store.clone();
+            let mut next: HashMap<SignalId, TermId> = HashMap::new();
+            engine.exec_sym(&p.body, &mut local, &mut next);
+            for (reg, term) in next {
+                eqs.insert(reg, term);
+            }
+        }
+        // Registers never assigned a next value hold their current value.
+        for reg in design.registers() {
+            eqs.entry(reg).or_insert_with(|| engine.cur_vars[&reg]);
+        }
+        engine.eqs = eqs;
+        engine
+    }
+
+    /// The design this engine analyses.
+    pub fn design(&self) -> &Arc<Design> {
+        &self.design
+    }
+
+    /// The dependency equation (next-state term) for a register.
+    pub fn equation(&self, reg: SignalId) -> Option<TermId> {
+        self.eqs.get(&reg).copied()
+    }
+
+    /// Number of dependency equations generated (Table 3 column).
+    pub fn num_equations(&self) -> usize {
+        self.eqs.len()
+    }
+
+    /// The term pool (for rendering/diagnostics).
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Solves for inputs that drive `targets` (register, value) pairs on
+    /// the *next* clock edge, starting from the concrete state in
+    /// `current` (the simulator's full value table). Returns `None` if
+    /// the SMT query is unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target value contains `X` bits or a target is not a
+    /// register.
+    pub fn solve_step(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+    ) -> Option<InputAssignment> {
+        self.solve_reach(current, targets, 1).map(|mut seq| {
+            debug_assert_eq!(seq.len(), 1);
+            seq.pop().unwrap()
+        })
+    }
+
+    /// Unrolls the dependency equations up to `max_steps` cycles and
+    /// returns the shortest input sequence that reaches `targets`, if
+    /// one exists within the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target value contains `X` bits or a target is not a
+    /// register.
+    pub fn solve_reach(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+        max_steps: u32,
+    ) -> Option<Vec<InputAssignment>> {
+        for t in targets {
+            assert!(
+                !t.1.has_unknown(),
+                "target value for {} contains X",
+                self.design.signal(t.0).name
+            );
+            assert!(
+                self.design.signal(t.0).is_register,
+                "target {} is not a register",
+                self.design.signal(t.0).name
+            );
+        }
+        // Geometric depth schedule: deep plans pad with idle cycles, so
+        // exact-k solving at 1, 2, 4, … plus the bound itself finds any
+        // plan within the bound at a fraction of the solver calls.
+        let mut k = 1;
+        while k < max_steps {
+            if let Some(seq) = self.solve_exact(current, targets, k) {
+                return Some(seq);
+            }
+            k *= 2;
+        }
+        self.solve_exact(current, targets, max_steps)
+    }
+
+    fn solve_exact(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+        steps: u32,
+    ) -> Option<Vec<InputAssignment>> {
+        let mut pool = self.pool.clone();
+        let mut blaster = BitBlaster::new();
+
+        // State terms at step 0: constants where defined; X bits free.
+        let mut state: HashMap<TermId, TermId> = HashMap::new(); // cur var -> term
+        for (&reg, &var) in &self.cur_vars {
+            let v = &current[reg.index()];
+            if !v.has_unknown() {
+                let c = pool.constant(v.clone());
+                state.insert(var, c);
+            } else {
+                // Fresh symbol; bind the defined bits only.
+                let fresh = pool.var(format!("x0.{}", self.design.signal(reg).name), v.width());
+                for i in 0..v.width() {
+                    let b = v.bit(i);
+                    if !b.is_unknown() {
+                        let bitterm = pool.extract(fresh, i, 1);
+                        let cb = pool.const_u64(1, (b == Bit::One) as u64);
+                        let eqt = pool.eq(bitterm, cb);
+                        blaster.assert_true(&pool, eqt);
+                    }
+                }
+                state.insert(var, fresh);
+            }
+        }
+
+        // Per-step input variables; resets pinned inactive.
+        let mut step_inputs: Vec<Vec<(SignalId, TermId)>> = Vec::new();
+        for t in 0..steps {
+            let mut subst_map = state.clone();
+            let mut these = Vec::new();
+            for (&sig, &var) in &self.input_vars {
+                let s = self.design.signal(sig);
+                let fresh = pool.var(format!("in@{t}.{}", s.name), s.width);
+                subst_map.insert(var, fresh);
+                these.push((sig, fresh));
+                if s.is_reset {
+                    let inactive = self.reset_inactive_level(sig);
+                    let c = pool.const_u64(s.width, inactive);
+                    let eqt = pool.eq(fresh, c);
+                    blaster.assert_true(&pool, eqt);
+                }
+            }
+            // next state = eqs substituted with current state + inputs.
+            let mut memo = HashMap::new();
+            let mut new_state = HashMap::new();
+            for (&reg, &var) in &self.cur_vars {
+                let eq = self.eqs[&reg];
+                let substituted = subst(&mut pool, eq, &subst_map, &mut memo);
+                new_state.insert(var, substituted);
+            }
+            state = new_state;
+            step_inputs.push(these);
+        }
+
+        // Assert the targets on the final state.
+        for (reg, value) in targets {
+            let var = self.cur_vars[reg];
+            let term = state[&var];
+            let c = pool.constant(value.clone());
+            let eqt = pool.eq(term, c);
+            blaster.assert_true(&pool, eqt);
+        }
+
+        match blaster.solver_mut().solve() {
+            SatResult::Unsat => None,
+            SatResult::Sat(raw) => {
+                let mut out = Vec::new();
+                for these in &step_inputs {
+                    let mut values = Vec::new();
+                    for (sig, var) in these {
+                        let s = self.design.signal(*sig);
+                        if s.is_reset || s.is_clock {
+                            continue;
+                        }
+                        let mut v = LogicVec::zeros(s.width);
+                        if let Some(lits) = blaster.lits_of(*var) {
+                            for (i, l) in lits.iter().enumerate() {
+                                let b = raw[l.var() as usize] == l.is_pos();
+                                v.set_bit(i as u32, Bit::from_bool(b));
+                            }
+                        }
+                        values.push((*sig, v));
+                    }
+                    values.sort_by_key(|(s, _)| *s);
+                    out.push(InputAssignment { values });
+                }
+                Some(out)
+            }
+        }
+    }
+
+    fn reset_inactive_level(&self, sig: SignalId) -> u64 {
+        for d in &self.rtree.domains {
+            if d.reset == sig {
+                return match d.active {
+                    Edge::Neg => 1, // active low: inactive = 1
+                    Edge::Pos => 0,
+                };
+            }
+        }
+        1
+    }
+
+    // ---- symbolic statement execution ------------------------------------
+
+    fn exec_sym(
+        &mut self,
+        stmt: &NStmt,
+        store: &mut HashMap<SignalId, TermId>,
+        next: &mut HashMap<SignalId, TermId>,
+    ) {
+        match stmt {
+            NStmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_sym(s, store, next);
+                }
+            }
+            NStmt::If { cond, then, els, .. } => {
+                let c = self.cond_bit(cond, store);
+                let (mut s_then, mut n_then) = (store.clone(), next.clone());
+                self.exec_sym(then, &mut s_then, &mut n_then);
+                let (mut s_els, mut n_els) = (store.clone(), next.clone());
+                if let Some(e) = els {
+                    self.exec_sym(e, &mut s_els, &mut n_els);
+                }
+                self.merge(c, store, s_then, s_els);
+                self.merge(c, next, n_then, n_els);
+            }
+            NStmt::Case {
+                subject,
+                arms,
+                default,
+                ..
+            } => {
+                // Desugar into a cascade of if-else on label equality.
+                let subj = self.eval_sym(subject, store);
+                let mut conds = Vec::new();
+                for (labels, _) in arms {
+                    let mut arm_cond = self.pool.fls();
+                    for l in labels {
+                        let lv = self.eval_sym(l, store);
+                        let e = self.pool.eq(subj, lv);
+                        arm_cond = self.pool.or(arm_cond, e);
+                    }
+                    conds.push(arm_cond);
+                }
+                // Evaluate from the last arm (default) backwards.
+                let (mut s_acc, mut n_acc) = (store.clone(), next.clone());
+                if let Some(d) = default {
+                    self.exec_sym(d, &mut s_acc, &mut n_acc);
+                }
+                for i in (0..arms.len()).rev() {
+                    let (mut s_arm, mut n_arm) = (store.clone(), next.clone());
+                    self.exec_sym(&arms[i].1, &mut s_arm, &mut n_arm);
+                    let c = conds[i];
+                    // Earlier labels take priority, so fold outermost last.
+                    let mut s_new = store.clone();
+                    let mut n_new = next.clone();
+                    self.merge(c, &mut s_new, s_arm, s_acc.clone());
+                    self.merge(c, &mut n_new, n_arm, n_acc.clone());
+                    s_acc = s_new;
+                    n_acc = n_new;
+                }
+                *store = s_acc;
+                *next = n_acc;
+            }
+            NStmt::Assign { lhs, rhs, blocking } => {
+                let value = self.eval_sym(rhs, store);
+                let sig = lhs.sig();
+                let w = self.design.signal(sig).width;
+                // The old value a partial write splices against: the
+                // pending next value (NBA), else the current store value,
+                // else the register's held value / a floating symbol.
+                let old = if *blocking {
+                    store.get(&sig).copied()
+                } else {
+                    next.get(&sig).copied().or_else(|| store.get(&sig).copied())
+                }
+                .unwrap_or_else(|| self.default_term(sig));
+                let new = match lhs {
+                    NLValue::Full(_) => self.pool.resize(value, w),
+                    NLValue::Part { lo, width, .. } => {
+                        self.splice(old, *lo, *width, value, w)
+                    }
+                    NLValue::DynBit { index, .. } => {
+                        let idx = self.eval_sym(index, store);
+                        let one = self.pool.const_u64(w, 1);
+                        let mask = self.pool.shl(one, idx);
+                        let nmask = self.pool.not(mask);
+                        let vbit = self.pool.resize(value, w);
+                        let shifted = self.pool.shl(vbit, idx);
+                        let kept = self.pool.and(old, nmask);
+                        let set = self.pool.and(shifted, mask);
+                        self.pool.or(kept, set)
+                    }
+                };
+                let target = if *blocking { store } else { next };
+                target.insert(sig, new);
+            }
+            NStmt::Nop => {}
+        }
+    }
+
+    fn splice(&mut self, old: TermId, lo: u32, width: u32, value: TermId, total: u32) -> TermId {
+        let val = self.pool.resize(value, width);
+        let mut parts: Vec<TermId> = Vec::new(); // most significant first
+        if lo + width < total {
+            parts.push(self.pool.extract(old, lo + width, total - lo - width));
+        }
+        parts.push(val);
+        if lo > 0 {
+            parts.push(self.pool.extract(old, 0, lo));
+        }
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap();
+        it.fold(first, |acc, p| self.pool.concat(acc, p))
+    }
+
+    fn merge(
+        &mut self,
+        cond: TermId,
+        base: &mut HashMap<SignalId, TermId>,
+        then_map: HashMap<SignalId, TermId>,
+        els_map: HashMap<SignalId, TermId>,
+    ) {
+        let mut keys: Vec<SignalId> = then_map.keys().chain(els_map.keys()).copied().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for k in keys {
+            let fallback = base
+                .get(&k)
+                .copied()
+                .unwrap_or_else(|| self.default_term(k));
+            let t = then_map.get(&k).copied().unwrap_or(fallback);
+            let e = els_map.get(&k).copied().unwrap_or(fallback);
+            let v = if t == e { t } else { self.pool.ite(cond, t, e) };
+            base.insert(k, v);
+        }
+    }
+
+    /// The value a signal holds when read before any symbolic write:
+    /// registers hold their current-state symbol; anything else becomes
+    /// a floating symbol the solver may choose freely.
+    fn default_term(&mut self, sig: SignalId) -> TermId {
+        if let Some(v) = self.cur_vars.get(&sig) {
+            return *v;
+        }
+        let s = self.design.signal(sig);
+        self.pool.var(format!("float.{}", s.name), s.width)
+    }
+
+    fn cond_bit(&mut self, e: &NExpr, store: &HashMap<SignalId, TermId>) -> TermId {
+        let t = self.eval_sym(e, store);
+        self.pool.red_or(t)
+    }
+
+    fn sig_term(&mut self, sig: SignalId, store: &HashMap<SignalId, TermId>) -> TermId {
+        if let Some(t) = store.get(&sig) {
+            return *t;
+        }
+        // An output/wire read before any driver ran this pass, or a
+        // genuinely undriven signal: model as an unconstrained symbol.
+        let s = self.design.signal(sig);
+        if s.kind == SignalKind::Input || s.is_register {
+            // Should have been pre-seeded; fall back to a var.
+        }
+        self.pool.var(format!("float.{}", s.name), s.width)
+    }
+
+    fn eval_sym(&mut self, e: &NExpr, store: &HashMap<SignalId, TermId>) -> TermId {
+        match e {
+            NExpr::Const(v) => {
+                if v.has_unknown() {
+                    // X/Z literals become free choices for the solver.
+                    let n = self.pool.len();
+                    self.pool.var(format!("xlit.{n}"), v.width())
+                } else {
+                    self.pool.constant(v.clone())
+                }
+            }
+            NExpr::Sig(s) => self.sig_term(*s, store),
+            NExpr::Unary { op, operand, width } => {
+                let x = self.eval_sym(operand, store);
+                let t = match op {
+                    UnaryOp::LogNot => {
+                        let r = self.pool.red_or(x);
+                        self.pool.not(r)
+                    }
+                    UnaryOp::BitNot => self.pool.not(x),
+                    UnaryOp::RedAnd => self.pool.red_and(x),
+                    UnaryOp::RedOr => self.pool.red_or(x),
+                    UnaryOp::RedXor => self.pool.red_xor(x),
+                    UnaryOp::RedNand => {
+                        let r = self.pool.red_and(x);
+                        self.pool.not(r)
+                    }
+                    UnaryOp::RedNor => {
+                        let r = self.pool.red_or(x);
+                        self.pool.not(r)
+                    }
+                    UnaryOp::Neg => {
+                        let w = self.pool.width(x);
+                        let z = self.pool.const_u64(w, 0);
+                        self.pool.sub(z, x)
+                    }
+                };
+                self.pool.resize(t, *width)
+            }
+            NExpr::Binary { op, lhs, rhs, width } => {
+                let a = self.eval_sym(lhs, store);
+                let b = self.eval_sym(rhs, store);
+                let t = match op {
+                    BinaryOp::Add => self.pool.add(a, b),
+                    BinaryOp::Sub => self.pool.sub(a, b),
+                    BinaryOp::Mul => self.pool.mul(a, b),
+                    BinaryOp::And => self.pool.and(a, b),
+                    BinaryOp::Or => self.pool.or(a, b),
+                    BinaryOp::Xor => self.pool.xor(a, b),
+                    BinaryOp::LogAnd => {
+                        let ra = self.pool.red_or(a);
+                        let rb = self.pool.red_or(b);
+                        self.pool.and(ra, rb)
+                    }
+                    BinaryOp::LogOr => {
+                        let ra = self.pool.red_or(a);
+                        let rb = self.pool.red_or(b);
+                        self.pool.or(ra, rb)
+                    }
+                    BinaryOp::Eq | BinaryOp::CaseEq => self.pool.eq(a, b),
+                    BinaryOp::Ne | BinaryOp::CaseNe => self.pool.ne(a, b),
+                    BinaryOp::Lt => self.pool.ult(a, b),
+                    BinaryOp::Le => self.pool.ule(a, b),
+                    BinaryOp::Gt => self.pool.ult(b, a),
+                    BinaryOp::Ge => self.pool.ule(b, a),
+                    BinaryOp::Shl => self.pool.shl(a, b),
+                    BinaryOp::Shr => self.pool.lshr(a, b),
+                };
+                self.pool.resize(t, *width)
+            }
+            NExpr::Ternary {
+                cond,
+                then,
+                els,
+                width,
+            } => {
+                let c = self.cond_bit(cond, store);
+                let t = self.eval_sym(then, store);
+                let e = self.eval_sym(els, store);
+                let t = self.pool.resize(t, *width);
+                let e = self.pool.resize(e, *width);
+                self.pool.ite(c, t, e)
+            }
+            NExpr::BitSelect { sig, index } => {
+                let x = self.sig_term(*sig, store);
+                let i = self.eval_sym(index, store);
+                let shifted = self.pool.lshr(x, i);
+                self.pool.extract(shifted, 0, 1)
+            }
+            NExpr::PartSelect { sig, lo, width } => {
+                let x = self.sig_term(*sig, store);
+                self.pool.extract(x, *lo, *width)
+            }
+            NExpr::Concat { parts, width } => {
+                let mut acc: Option<TermId> = None;
+                for p in parts {
+                    let t = self.eval_sym(p, store);
+                    acc = Some(match acc {
+                        None => t,
+                        Some(a) => self.pool.concat(a, t),
+                    });
+                }
+                let t = acc.unwrap_or_else(|| self.pool.const_u64(1, 0));
+                self.pool.resize(t, *width)
+            }
+        }
+    }
+}
+
+/// Substitutes variables in `t` according to `map` (var term → term),
+/// rebuilding through the pool so constants fold on the way.
+fn subst(
+    pool: &mut TermPool,
+    t: TermId,
+    map: &HashMap<TermId, TermId>,
+    memo: &mut HashMap<TermId, TermId>,
+) -> TermId {
+    if let Some(r) = memo.get(&t) {
+        return *r;
+    }
+    if let Some(r) = map.get(&t) {
+        memo.insert(t, *r);
+        return *r;
+    }
+    let kind = pool.kind(t).clone();
+    let r = match kind {
+        TermKind::Const(_) | TermKind::Var(_, _) => t,
+        TermKind::Not(a) => {
+            let a = subst(pool, a, map, memo);
+            pool.not(a)
+        }
+        TermKind::And(a, b) => {
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.and(a, b)
+        }
+        TermKind::Or(a, b) => {
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.or(a, b)
+        }
+        TermKind::Xor(a, b) => {
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.xor(a, b)
+        }
+        TermKind::Add(a, b) => {
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.add(a, b)
+        }
+        TermKind::Sub(a, b) => {
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.sub(a, b)
+        }
+        TermKind::Mul(a, b) => {
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.mul(a, b)
+        }
+        TermKind::Eq(a, b) => {
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.eq(a, b)
+        }
+        TermKind::Ult(a, b) => {
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.ult(a, b)
+        }
+        TermKind::Ite(c, a, b) => {
+            let c = subst(pool, c, map, memo);
+            let (a, b) = (subst(pool, a, map, memo), subst(pool, b, map, memo));
+            pool.ite(c, a, b)
+        }
+        TermKind::Extract { arg, lo, width } => {
+            let a = subst(pool, arg, map, memo);
+            pool.extract(a, lo, width)
+        }
+        TermKind::ConcatPair(h, l) => {
+            let (h, l) = (subst(pool, h, map, memo), subst(pool, l, map, memo));
+            pool.concat(h, l)
+        }
+        TermKind::ShlConst(a, n) => {
+            let a = subst(pool, a, map, memo);
+            pool.shl_const(a, n)
+        }
+        TermKind::LshrConst(a, n) => {
+            let a = subst(pool, a, map, memo);
+            pool.lshr_const(a, n)
+        }
+        TermKind::RedAnd(a) => {
+            let a = subst(pool, a, map, memo);
+            pool.red_and(a)
+        }
+        TermKind::RedOr(a) => {
+            let a = subst(pool, a, map, memo);
+            pool.red_or(a)
+        }
+        TermKind::RedXor(a) => {
+            let a = subst(pool, a, map, memo);
+            pool.red_xor(a)
+        }
+    };
+    memo.insert(t, r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_netlist::elaborate_src;
+
+    fn engine(src: &str, top: &str) -> SymbolicEngine {
+        SymbolicEngine::new(Arc::new(elaborate_src(src, top).unwrap()))
+    }
+
+    fn zero_state(d: &Design) -> Vec<LogicVec> {
+        d.signals.iter().map(|s| LogicVec::zeros(s.width)).collect()
+    }
+
+    const FSM: &str = "
+        module fsm(input clk, input rst_n, input [3:0] cmd,
+                   output logic [2:0] state);
+          always_ff @(posedge clk or negedge rst_n) begin
+            if (!rst_n) state <= 3'd0;
+            else begin
+              case (state)
+                3'd0: if (cmd == 4'd7) state <= 3'd1;
+                3'd1: if (cmd[3]) state <= 3'd2; else state <= 3'd0;
+                3'd2: state <= 3'd3;
+                default: state <= 3'd0;
+              endcase
+            end
+          end
+        endmodule";
+
+    #[test]
+    fn equations_generated_for_all_registers() {
+        let e = engine(FSM, "fsm");
+        assert_eq!(e.num_equations(), 1);
+        let st = e.design().signal_by_name("state").unwrap();
+        assert!(e.equation(st).is_some());
+    }
+
+    #[test]
+    fn solve_step_finds_magic_command() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let cmd = d.signal_by_name("cmd").unwrap();
+        // From state 0, reaching state 1 requires cmd == 7.
+        let sol = e
+            .solve_step(&zero_state(&d), &[(st, LogicVec::from_u64(3, 1))])
+            .expect("reachable");
+        assert_eq!(sol.value(cmd).unwrap().to_u64(), Some(7));
+    }
+
+    #[test]
+    fn solve_step_detects_unreachable_one_step_target() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        // state 3 needs two hops from state 0 — unreachable in one.
+        assert!(e
+            .solve_step(&zero_state(&d), &[(st, LogicVec::from_u64(3, 3))])
+            .is_none());
+    }
+
+    #[test]
+    fn solve_reach_unrolls_multi_cycle_paths() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let seq = e
+            .solve_reach(&zero_state(&d), &[(st, LogicVec::from_u64(3, 3))], 4)
+            .expect("reachable in ≤4 steps");
+        // The geometric depth schedule may pad the 3-cycle plan to 4.
+        assert!(seq.len() == 3 || seq.len() == 4, "got {} steps", seq.len());
+        // Replaying the solved sequence on the real simulator must land
+        // in the target state.
+        let mut sim = symbfuzz_sim::Simulator::new(Arc::clone(&d));
+        sim.reset(1);
+        for step in &seq {
+            sim.apply_input_word(&step.to_word(&d));
+            sim.step();
+        }
+        assert_eq!(sim.get(st).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn x_state_registers_are_unconstrained() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let mut state = zero_state(&d);
+        state[st.index()] = LogicVec::xes(3);
+        // With the register unconstrained the solver may choose state 2,
+        // from which state 3 is reachable in one step.
+        let sol = e.solve_step(&state, &[(st, LogicVec::from_u64(3, 3))]);
+        assert!(sol.is_some());
+    }
+
+    #[test]
+    fn reset_is_held_inactive_in_solutions() {
+        // If the solver were allowed to assert reset it could "reach"
+        // state 0 trivially; from state 2 the FSM forcibly moves to 3,
+        // so reaching 0 in one step is impossible with reset held high.
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let mut state = zero_state(&d);
+        state[st.index()] = LogicVec::from_u64(3, 2);
+        assert!(e
+            .solve_step(&state, &[(st, LogicVec::from_u64(3, 0))])
+            .is_none());
+    }
+
+    #[test]
+    fn comb_logic_is_inlined_into_equations() {
+        let e = engine(
+            "module m(input clk, input rst_n, input [7:0] a, input [7:0] b,
+                      output logic [7:0] acc);
+               wire [7:0] sum;
+               assign sum = a ^ b;
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) acc <= 8'd0; else acc <= sum;
+             endmodule",
+            "m",
+        );
+        let d = Arc::clone(e.design());
+        let acc = d.signal_by_name("acc").unwrap();
+        let a = d.signal_by_name("a").unwrap();
+        let b = d.signal_by_name("b").unwrap();
+        let sol = e
+            .solve_step(&zero_state(&d), &[(acc, LogicVec::from_u64(8, 0xFF))])
+            .expect("reachable");
+        let va = sol.value(a).unwrap().to_u64().unwrap();
+        let vb = sol.value(b).unwrap().to_u64().unwrap();
+        assert_eq!(va ^ vb, 0xFF);
+    }
+
+    #[test]
+    fn blocking_assignment_ordering_respected() {
+        let e = engine(
+            "module m(input clk, input rst_n, input [3:0] d, output logic [3:0] q);
+               logic [3:0] t;
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 4'd0;
+                 else begin
+                   t = d + 4'd1;
+                   q <= t + 4'd1;
+                 end
+             endmodule",
+            "m",
+        );
+        let d_arc = Arc::clone(e.design());
+        let q = d_arc.signal_by_name("q").unwrap();
+        let din = d_arc.signal_by_name("d").unwrap();
+        let sol = e
+            .solve_step(&zero_state(&d_arc), &[(q, LogicVec::from_u64(4, 9))])
+            .expect("reachable");
+        // q' = d + 2, so d must be 7.
+        assert_eq!(sol.value(din).unwrap().to_u64(), Some(7));
+    }
+
+    #[test]
+    fn input_assignment_word_packing() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let sol = e
+            .solve_step(&zero_state(&d), &[(st, LogicVec::from_u64(3, 1))])
+            .unwrap();
+        let word = sol.to_word(&d);
+        assert_eq!(word.width(), d.fuzz_width());
+        assert_eq!(word.to_u64(), Some(7));
+    }
+
+    #[test]
+    fn part_select_assignments_in_equations() {
+        let e = engine(
+            "module m(input clk, input rst_n, input [3:0] d, output logic [7:0] q);
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 8'd0;
+                 else begin
+                   q[3:0] <= d;
+                   q[7:4] <= 4'hA;
+                 end
+             endmodule",
+            "m",
+        );
+        let d_arc = Arc::clone(e.design());
+        let q = d_arc.signal_by_name("q").unwrap();
+        let din = d_arc.signal_by_name("d").unwrap();
+        let sol = e
+            .solve_step(&zero_state(&d_arc), &[(q, LogicVec::from_u64(8, 0xA5))])
+            .expect("reachable");
+        assert_eq!(sol.value(din).unwrap().to_u64(), Some(5));
+        // And 0x55 is unreachable because the high nibble is forced to A.
+        assert!(e
+            .solve_step(&zero_state(&d_arc), &[(q, LogicVec::from_u64(8, 0x55))])
+            .is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! Symbolic execution of the netlist into *dependency equations*.
+//!
+//! This crate implements §4.4.2 and §4.7–4.8 of the SymbFuzz paper: it
+//! walks every process of an elaborated
+//! [`Design`](symbfuzz_netlist::Design) with a symbolic store, producing
+//! for each register a closed-form next-state term
+//! `next(reg) = F(inputs, current registers)` in which every `if`/`case`
+//! of the RTL becomes an if-then-else over the branch condition — the
+//! path constraints of the paper's Eqn. 2 baked into one expression.
+//!
+//! Given the simulator's current state and a target assignment of
+//! control-register values (a CFG node the fuzzer wants to reach), the
+//! [`SymbolicEngine`] binds the current-state symbols to their concrete
+//! values, asserts `next(reg) == target`, and hands the system to the
+//! bit-blasting SMT solver. A model is translated back into an
+//! [`InputAssignment`] — the constraint the UVM sequencer applies on
+//! the next cycle (Fig. 2, blocks 9–11). [`solve_reach`]
+//! (SymbolicEngine::solve_reach) unrolls the equations over several
+//! cycles for targets that need a multi-cycle input sequence.
+//!
+//! Undefined (`X`) bits in the current state are left unconstrained —
+//! the paper's "constrains solving undefined pin values" (§3): the
+//! solver optimistically picks the value that reaches the target.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use symbfuzz_logic::LogicVec;
+//! use symbfuzz_symexec::SymbolicEngine;
+//!
+//! let d = Arc::new(symbfuzz_netlist::elaborate_src(
+//!     "module m(input clk, input rst_n, input [3:0] k, output logic [3:0] st);
+//!        always_ff @(posedge clk or negedge rst_n)
+//!          if (!rst_n) st <= 4'd0;
+//!          else begin if (k == 4'd9) st <= 4'd7; else st <= 4'd1; end
+//!      endmodule", "m")?);
+//! let engine = SymbolicEngine::new(Arc::clone(&d));
+//! let st = d.signal_by_name("st").unwrap();
+//! // Current state: everything zero (as after reset).
+//! let state: Vec<LogicVec> =
+//!     d.signals.iter().map(|s| LogicVec::zeros(s.width)).collect();
+//! let sol = engine.solve_step(&state, &[(st, LogicVec::from_u64(4, 7))]).unwrap();
+//! // The solver found the magic value k = 9.
+//! let k = d.signal_by_name("k").unwrap();
+//! assert_eq!(sol.value(k).unwrap().to_u64(), Some(9));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod engine;
+
+pub use engine::{InputAssignment, SymbolicEngine};

@@ -1,0 +1,69 @@
+//! Coverage race (Figure 4a in miniature): all five strategies on the
+//! Ibex-like processor benchmark.
+//!
+//! ```text
+//! cargo run --release --example coverage_race [budget]
+//! ```
+
+use std::sync::Arc;
+use symbfuzz_core::{FuzzConfig, Strategy, SymbFuzz};
+use symbfuzz_designs::processor_benchmarks;
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(15_000);
+    let bench = &processor_benchmarks()[0];
+    let design = bench.design().expect("benchmark elaborates");
+    let props = bench.property_specs();
+
+    println!("coverage race on `{}` — {budget} vectors each\n", bench.name);
+    let mut rows = Vec::new();
+    for strategy in Strategy::all() {
+        let config = FuzzConfig {
+            interval: 100,
+            threshold: 2,
+            max_vectors: budget,
+            seed: 7,
+            ..FuzzConfig::default()
+        };
+        let mut fuzzer = SymbFuzz::new(Arc::clone(&design), strategy, config, &props)
+            .expect("properties compile");
+        let r = fuzzer.run();
+        rows.push((strategy.name(), r));
+    }
+
+    println!("{:12} {:>8} {:>8} {:>8} {:>10}", "strategy", "nodes", "edges", "points", "solver");
+    for (name, r) in &rows {
+        println!(
+            "{:12} {:>8} {:>8} {:>8} {:>10}",
+            name, r.nodes, r.edges, r.coverage_points, r.resources.solver_calls
+        );
+    }
+
+    // A coarse ASCII rendering of the coverage curves.
+    println!("\ncoverage over time (each column ≈ {} vectors):", budget / 30);
+    let max = rows.iter().map(|(_, r)| r.coverage_points).max().unwrap_or(1);
+    for (name, r) in &rows {
+        let mut line = String::new();
+        for i in 0..30 {
+            let at = budget * (i + 1) / 30;
+            let cov = r
+                .series
+                .iter()
+                .take_while(|s| s.vectors <= at)
+                .last()
+                .map(|s| s.coverage)
+                .unwrap_or(0);
+            let level = cov * 8 / max.max(1);
+            line.push(match level {
+                0 => '.',
+                1..=2 => ':',
+                3..=5 => '+',
+                _ => '#',
+            });
+        }
+        println!("{name:12} {line}");
+    }
+}

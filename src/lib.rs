@@ -1,0 +1,2 @@
+//! Umbrella package: examples and integration tests for the SymbFuzz reproduction.
+pub use symbfuzz_core as fuzz;

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the full pipeline from RTL text to
+//! bug report, spot checks of the paper's headline results.
+
+use std::sync::Arc;
+use symbfuzz_core::{FuzzConfig, PropertySpec, Strategy, SymbFuzz};
+use symbfuzz_designs::{bug_benchmarks, processor_benchmarks, toy_alu};
+use symbfuzz_netlist::{classify_registers, elaborate_src};
+
+fn config(budget: u64) -> FuzzConfig {
+    FuzzConfig {
+        interval: 100,
+        threshold: 2,
+        max_vectors: budget,
+        ..FuzzConfig::default()
+    }
+}
+
+#[test]
+fn alu_reaches_full_defined_node_coverage() {
+    let design = toy_alu();
+    let mut fuzzer = SymbFuzz::new(
+        Arc::clone(&design),
+        Strategy::SymbFuzz,
+        config(4_000),
+        &[],
+    )
+    .unwrap();
+    let result = fuzzer.run();
+    // All 12 defined nodes (6 enum states × 2 modes) plus X-tinged
+    // power-up nodes must be covered.
+    assert!(result.node_coverage_ratio >= 1.0 - 1e-9);
+    assert!(result.nodes >= 12);
+}
+
+#[test]
+fn symbfuzz_detects_table1_bug_subset_quickly() {
+    // Bugs with triggers across the depth spectrum.
+    for id in [1u32, 4, 8, 11, 14] {
+        let bench = bug_benchmarks().into_iter().find(|b| b.id == id).unwrap();
+        let design = bench.design().unwrap();
+        let mut fuzzer = SymbFuzz::new(
+            design,
+            Strategy::SymbFuzz,
+            config(20_000),
+            &[bench.property_spec()],
+        )
+        .unwrap();
+        let result = fuzzer.run();
+        assert!(result.detected(bench.name), "bug {id} not detected");
+    }
+}
+
+#[test]
+fn table2_spot_check_bug4_oracle_visibility() {
+    // Bug 4 (key-share leak) is the paper's flagship case: visible to
+    // RFuzz's oracle, invisible to DifuzzRTL's and HWFP's GRM-style
+    // detection even when they reach the state (§5.2).
+    let bench = bug_benchmarks().into_iter().find(|b| b.id == 4).unwrap();
+    let design = bench.design().unwrap();
+    let spec = [bench.property_spec()];
+    let run = |s: Strategy| {
+        let mut f = SymbFuzz::new(Arc::clone(&design), s, config(15_000), &spec).unwrap();
+        f.run().detected(bench.name)
+    };
+    assert!(run(Strategy::SymbFuzz));
+    assert!(run(Strategy::RFuzz), "RFuzz should see bug 4");
+    assert!(!run(Strategy::DifuzzRtl), "DifuzzRTL must not see bug 4");
+    assert!(!run(Strategy::Hwfp), "HWFP must not see bug 4");
+}
+
+#[test]
+fn assertion_only_bugs_are_symbfuzz_exclusive() {
+    // Bugs 1, 5, 6, 9 are invisible to every differential oracle.
+    for id in [1u32, 5, 6, 9] {
+        let bench = bug_benchmarks().into_iter().find(|b| b.id == id).unwrap();
+        assert_eq!(bench.table2, (false, false, false), "bug {id} gating");
+        let design = bench.design().unwrap();
+        let spec = [bench.property_spec()];
+        for s in [Strategy::RFuzz, Strategy::DifuzzRtl, Strategy::Hwfp] {
+            let mut f = SymbFuzz::new(Arc::clone(&design), s, config(3_000), &spec).unwrap();
+            assert!(
+                !f.run().detected(bench.name),
+                "bug {id} leaked to {}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn processor_campaigns_run_on_all_four_benchmarks() {
+    for bench in processor_benchmarks() {
+        let design = bench.design().unwrap();
+        let mut fuzzer = SymbFuzz::new(
+            design,
+            Strategy::SymbFuzz,
+            config(3_000),
+            &bench.property_specs(),
+        )
+        .unwrap();
+        let result = fuzzer.run();
+        assert!(result.nodes > 1, "{}: no states explored", bench.name);
+        assert!(result.edges > 0, "{}: no transitions", bench.name);
+        assert!(
+            result.bugs.is_empty(),
+            "{}: holding property fired: {:?}",
+            bench.name,
+            result.bugs
+        );
+    }
+}
+
+#[test]
+fn full_pipeline_from_inline_rtl() {
+    // RTL text → parse → elaborate → classify → fuzz → report, with a
+    // planted one-shot bug.
+    let design = Arc::new(
+        elaborate_src(
+            "module dut(input clk, input rst_n, input [7:0] k, output logic alarm,
+                        output logic [1:0] st);
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) begin alarm <= 1'b0; st <= 2'd0; end
+                 else begin
+                   case (st)
+                     2'd0: if (k == 8'h42) st <= 2'd1;
+                     2'd1: begin alarm <= 1'b1; st <= 2'd0; end
+                     default: st <= 2'd0;
+                   endcase
+                 end
+             endmodule",
+            "dut",
+        )
+        .unwrap(),
+    );
+    let rc = classify_registers(&design);
+    assert_eq!(rc.control.len(), 1);
+    let props = vec![PropertySpec::assertion_only("no_alarm", "alarm == 1'b0")];
+    let mut fuzzer =
+        SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, config(20_000), &props).unwrap();
+    let result = fuzzer.run();
+    assert!(result.detected("no_alarm"));
+    let bug = &result.bugs[0];
+    assert!(bug.vectors <= result.vectors);
+    assert!(bug.cycle > 0);
+}

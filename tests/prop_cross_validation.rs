@@ -1,0 +1,175 @@
+//! Cross-crate property tests: the three independent implementations of
+//! RTL semantics — the four-state simulator, the symbolic executor and
+//! the SMT solver — must agree with each other.
+//!
+//! For random designs drawn from a small design-space grammar and
+//! random defined stimulus, the next-state value predicted by
+//! evaluating the dependency equations must equal what the simulator
+//! computes, and every input sequence produced by `solve_reach` must
+//! actually reach its target when replayed.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::{elaborate_src, Design};
+use symbfuzz_sim::Simulator;
+use symbfuzz_symexec::SymbolicEngine;
+
+/// A small parameterised design family: an FSM + datapath whose exact
+/// shape is controlled by the proptest inputs.
+fn design_source(arms: u32, magic: u16, op: u32) -> String {
+    let op_expr = match op % 4 {
+        0 => "d + k",
+        1 => "d ^ k",
+        2 => "d & k",
+        _ => "{d[3:0], k[3:0]}",
+    };
+    let mut arms_src = String::new();
+    for a in 0..arms {
+        arms_src.push_str(&format!(
+            "            3'd{a}: if (k == 16'd{}) st <= 3'd{};\n",
+            (magic as u32 + a) % 997,
+            (a + 1) % arms.max(1),
+        ));
+    }
+    format!(
+        "module gen(input clk, input rst_n, input [7:0] d, input [15:0] k,
+                    output logic [2:0] st, output logic [7:0] acc);
+           always_ff @(posedge clk or negedge rst_n) begin
+             if (!rst_n) begin st <= 3'd0; acc <= 8'd0; end
+             else begin
+               case (st)
+{arms_src}                 default: st <= 3'd0;
+               endcase
+               acc <= {op_expr};
+             end
+           end
+         endmodule"
+    )
+}
+
+fn defined_state(sim: &Simulator) -> bool {
+    sim.values().iter().all(|v| !v.has_unknown())
+}
+
+/// Evaluates the engine's dependency equations under the current
+/// simulator state plus the given inputs, returning predicted
+/// next-state values for every register.
+fn predict(
+    engine: &SymbolicEngine,
+    design: &Design,
+    sim: &Simulator,
+    inputs: &[(&str, u64)],
+) -> HashMap<String, LogicVec> {
+    let mut env: HashMap<String, LogicVec> = HashMap::new();
+    for sig in design.inputs() {
+        let s = design.signal(sig);
+        if s.is_clock {
+            continue;
+        }
+        env.insert(format!("in.{}", s.name), sim.get(sig).clone());
+    }
+    for (name, value) in inputs {
+        let id = design.signal_by_name(name).unwrap();
+        let w = design.signal(id).width;
+        env.insert(format!("in.{name}"), LogicVec::from_u64(w, *value));
+    }
+    for reg in design.registers() {
+        let s = design.signal(reg);
+        env.insert(format!("cur.{}", s.name), sim.get(reg).clone());
+    }
+    let mut out = HashMap::new();
+    for reg in design.registers() {
+        let s = design.signal(reg);
+        let eq = engine.equation(reg).unwrap();
+        out.insert(s.name.clone(), engine.pool().eval(eq, &env));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dependency equations ≡ simulator, over random designs and drives.
+    #[test]
+    fn equations_agree_with_simulator(
+        arms in 2u32..6,
+        magic: u16,
+        op in 0u32..4,
+        drives in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..12),
+    ) {
+        let src = design_source(arms, magic, op);
+        let design = Arc::new(elaborate_src(&src, "gen").unwrap());
+        let engine = SymbolicEngine::new(Arc::clone(&design));
+        let mut sim = Simulator::new(Arc::clone(&design));
+        sim.reset(2);
+        let d_sig = design.signal_by_name("d").unwrap();
+        let k_sig = design.signal_by_name("k").unwrap();
+        // Inputs power up X; give them defined values before comparing.
+        sim.set_input(d_sig, &LogicVec::from_u64(8, 0)).unwrap();
+        sim.set_input(k_sig, &LogicVec::from_u64(16, 0)).unwrap();
+        sim.settle().unwrap();
+        for (d, k) in drives {
+            prop_assert!(defined_state(&sim));
+            let predicted = predict(
+                &engine,
+                &design,
+                &sim,
+                &[("d", d as u64), ("k", k as u64)],
+            );
+            sim.set_input(d_sig, &LogicVec::from_u64(8, d as u64)).unwrap();
+            sim.set_input(k_sig, &LogicVec::from_u64(16, k as u64)).unwrap();
+            sim.step();
+            for reg in design.registers() {
+                let name = &design.signal(reg).name;
+                let actual = sim.get(reg);
+                let pred = &predicted[name];
+                prop_assert!(
+                    actual.case_eq(pred),
+                    "register {name}: simulator {actual}, equations {pred}\nsrc:\n{src}"
+                );
+            }
+        }
+    }
+
+    /// Every solver-produced input sequence reaches its target when
+    /// replayed on the simulator.
+    #[test]
+    fn solved_sequences_replay_correctly(
+        arms in 2u32..6,
+        magic: u16,
+        target in 1u32..5,
+    ) {
+        let target = target % arms.max(1);
+        let src = design_source(arms, magic, 0);
+        let design = Arc::new(elaborate_src(&src, "gen").unwrap());
+        let engine = SymbolicEngine::new(Arc::clone(&design));
+        let mut sim = Simulator::new(Arc::clone(&design));
+        sim.reset(2);
+        let st = design.signal_by_name("st").unwrap();
+        let goal = LogicVec::from_u64(3, target as u64);
+        match engine.solve_reach(sim.values(), &[(st, goal.clone())], 8) {
+            None => {
+                // The ring FSM makes every arm index reachable within
+                // `arms` steps; only target 0 (already there) may be
+                // "unreachable" as a *change*... but reaching the
+                // current state again in k steps is also solvable, so
+                // an UNSAT here is a real failure.
+                prop_assert!(false, "solver claims state {target} of {arms} unreachable");
+            }
+            Some(seq) => {
+                prop_assert!(seq.len() <= 8);
+                for step in &seq {
+                    sim.apply_input_word(&step.to_word(&design));
+                    sim.step();
+                }
+                prop_assert!(
+                    sim.get(st).case_eq(&goal),
+                    "replay landed in {} not {goal}\nsrc:\n{src}",
+                    sim.get(st)
+                );
+            }
+        }
+    }
+}
