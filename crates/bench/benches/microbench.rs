@@ -1,6 +1,8 @@
 //! Criterion microbenchmarks backing the paper's performance claims:
 //!
 //! * simulator throughput (the substrate for all vector counts);
+//! * step and settle throughput under the levelized scheduler vs the
+//!   original global fixpoint (the scheduling tentpole's A/B);
 //! * checkpoint snapshot-restore vs full reset + input replay — the
 //!   §5.5.2 claim that "checkpoint replays finish in microseconds,
 //!   avoiding full reboots";
@@ -11,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use symbfuzz_designs::processor_benchmarks;
 use symbfuzz_logic::LogicVec;
-use symbfuzz_sim::Simulator;
+use symbfuzz_sim::{SettleMode, Simulator};
 use symbfuzz_smt::{BvSolver, SatOutcome};
 use symbfuzz_symexec::SymbolicEngine;
 
@@ -19,18 +21,79 @@ fn sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
     for b in processor_benchmarks() {
         let design = b.design().unwrap();
-        group.bench_with_input(BenchmarkId::new("100_cycles", b.name), &design, |bench, d| {
-            let mut sim = Simulator::new(Arc::clone(d));
-            sim.reset(2);
-            let word = LogicVec::from_u64(d.fuzz_width().max(1), 0x5A5A);
-            bench.iter(|| {
-                sim.apply_input_word(&word);
-                for _ in 0..100 {
+        group.bench_with_input(
+            BenchmarkId::new("100_cycles", b.name),
+            &design,
+            |bench, d| {
+                let mut sim = Simulator::new(Arc::clone(d));
+                sim.reset(2);
+                let word = LogicVec::from_u64(d.fuzz_width().max(1), 0x5A5A);
+                bench.iter(|| {
+                    sim.apply_input_word(&word);
+                    for _ in 0..100 {
+                        sim.step();
+                    }
+                    sim.cycle()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Tentpole A/B: per-step cost (clock + settles) under the levelized
+/// dirty-set sweep vs the global fixpoint, on every processor design.
+fn step_throughput_by_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_throughput");
+    for b in processor_benchmarks() {
+        let design = b.design().unwrap();
+        for (label, mode) in [
+            ("levelized", SettleMode::Levelized),
+            ("fixpoint", SettleMode::Fixpoint),
+        ] {
+            let id = BenchmarkId::new(label, b.name);
+            group.bench_with_input(id, &design, |bench, d| {
+                let mut sim = Simulator::new(Arc::clone(d));
+                sim.set_settle_mode(mode);
+                sim.reset(2);
+                let width = d.fuzz_width().max(1);
+                let mut i = 0u64;
+                bench.iter(|| {
+                    i = i.wrapping_add(0x9E3779B97F4A7C15);
+                    sim.apply_input_word(&LogicVec::from_u64(width.min(64), i));
                     sim.step();
-                }
-                sim.cycle()
+                    sim.cycle()
+                });
             });
-        });
+        }
+    }
+    group.finish();
+}
+
+/// Settle-only cost: one input toggle then a combinational settle, the
+/// unit the dirty-set skipping optimises hardest (few units re-run).
+fn settle_throughput_by_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("settle_throughput");
+    for b in processor_benchmarks() {
+        let design = b.design().unwrap();
+        for (label, mode) in [
+            ("levelized", SettleMode::Levelized),
+            ("fixpoint", SettleMode::Fixpoint),
+        ] {
+            let id = BenchmarkId::new(label, b.name);
+            group.bench_with_input(id, &design, |bench, d| {
+                let mut sim = Simulator::new(Arc::clone(d));
+                sim.set_settle_mode(mode);
+                sim.reset(2);
+                let width = d.fuzz_width().max(1);
+                let mut i = 0u64;
+                bench.iter(|| {
+                    i = i.wrapping_add(1);
+                    sim.apply_input_word(&LogicVec::from_u64(width.min(64), i));
+                    sim.settle().is_ok()
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -118,6 +181,8 @@ fn sat_solver(c: &mut Criterion) {
 criterion_group!(
     benches,
     sim_throughput,
+    step_throughput_by_mode,
+    settle_throughput_by_mode,
     checkpoint_reentry,
     symbolic_solving,
     sat_solver

@@ -5,15 +5,17 @@
 //! * shallow solving — one-cycle dependency equations only;
 //! * no solver — coverage-guided random (feedback without guidance).
 //!
-//! Usage: `ablation [budget] [bench_index]` (defaults 30000, 0).
+//! Usage: `ablation [budget] [bench_index] [--jobs N]` (defaults 30000, 0).
 
 use std::sync::Arc;
+use symbfuzz_bench::pool::{parse_jobs, run_pool};
 use symbfuzz_bench::render::save_json;
 use symbfuzz_core::{CampaignResult, FuzzConfig, Strategy, SymbFuzz};
 use symbfuzz_designs::processor_benchmarks;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, jobs) = parse_jobs();
+    let mut args = args.into_iter();
     let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(30_000);
     let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
     let b = &processor_benchmarks()[bench];
@@ -52,14 +54,17 @@ fn main() {
         ),
     ];
 
+    let results: Vec<(String, CampaignResult)> = run_pool(&variants, jobs, |_, (name, cfg)| {
+        let mut fuzzer =
+            SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, cfg.clone(), &props)
+                .expect("properties compile");
+        (name.to_string(), fuzzer.run())
+    });
+
     println!("# Ablation on `{}` — {budget} vectors each\n", b.name);
     println!("| Variant | nodes | edges | coverage points | solver calls | rollbacks |");
     println!("|---|---|---|---|---|---|");
-    let mut results: Vec<(String, CampaignResult)> = Vec::new();
-    for (name, cfg) in variants {
-        let mut fuzzer = SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, cfg, &props)
-            .expect("properties compile");
-        let r = fuzzer.run();
+    for (name, r) in &results {
         println!(
             "| {} | {} | {} | {} | {} | {} |",
             name,
@@ -69,7 +74,6 @@ fn main() {
             r.resources.solver_calls,
             r.resources.rollbacks
         );
-        results.push((name.to_string(), r));
     }
     save_json("ablation", &results).expect("write results/ablation.json");
 }

@@ -1,14 +1,16 @@
 //! Regenerates the §5.2 resource-profile comparison.
-//! Usage: `resources [budget] [bench_index]`.
+//! Usage: `resources [budget] [bench_index] [--jobs N]`.
 
 use symbfuzz_bench::experiments::resource_profile;
+use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_resources, save_json};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, jobs) = parse_jobs();
+    let mut args = args.into_iter();
     let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
     let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
-    let rows = resource_profile(bench, budget);
+    let rows = resource_profile(bench, budget, jobs);
     println!("# §5.2 — resource profile\n");
     println!("{}", render_resources(&rows));
     save_json("resources", &rows).expect("write results/resources.json");

@@ -1,0 +1,106 @@
+//! Scheduler A/B throughput: simulated cycles per second under the
+//! levelized single sweep vs the original global fixpoint, on every
+//! benchmark design. Emits `results/BENCH_sim.json`.
+//! Usage: `simbench [cycles]` (default 20000).
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+use symbfuzz_bench::render::save_json;
+use symbfuzz_designs::{bug_benchmarks, processor_benchmarks};
+use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::Design;
+use symbfuzz_sim::{SettleMode, Simulator};
+
+/// One design's before/after throughput measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SimBenchRow {
+    design: String,
+    /// Cycles simulated per timed run.
+    cycles: u64,
+    /// Combinational processes in the schedule.
+    comb_procs: u64,
+    /// Cyclic schedule units (0 = pure single sweep).
+    cyclic_units: u64,
+    /// Steps/sec under the original global fixpoint.
+    fixpoint_cps: f64,
+    /// Steps/sec under the levelized dirty-set sweep.
+    levelized_cps: f64,
+    /// levelized_cps / fixpoint_cps.
+    speedup: f64,
+}
+
+fn throughput(design: &Arc<Design>, mode: SettleMode, cycles: u64) -> f64 {
+    let mut sim = Simulator::new(Arc::clone(design));
+    sim.set_settle_mode(mode);
+    sim.reset(2);
+    let width = design.fuzz_width().max(1);
+    let mut state = 0xBEEFu64;
+    // Warm up caches and settle into steady state.
+    for _ in 0..200 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        sim.apply_input_word(&LogicVec::from_u64(width.min(64), state));
+        sim.step();
+    }
+    let start = Instant::now();
+    for _ in 0..cycles {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        sim.apply_input_word(&LogicVec::from_u64(width.min(64), state));
+        sim.step();
+    }
+    cycles as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cycles: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let mut rows = Vec::new();
+    let procs = processor_benchmarks();
+    let bugs = bug_benchmarks();
+    let designs: Vec<(String, Arc<Design>)> = procs
+        .iter()
+        .map(|b| (b.name.to_string(), b.design().expect("elaborates")))
+        .chain(
+            bugs.iter()
+                .map(|b| (b.name.to_string(), b.design().expect("elaborates"))),
+        )
+        .collect();
+    println!("# Simulator scheduling A/B — {cycles} cycles per run\n");
+    println!("| Design | comb procs | cyclic units | fixpoint cyc/s | levelized cyc/s | speedup |");
+    println!("|---|---|---|---|---|---|");
+    for (name, design) in &designs {
+        let sched = Simulator::new(Arc::clone(design)).schedule().clone();
+        let fixpoint_cps = throughput(design, SettleMode::Fixpoint, cycles);
+        let levelized_cps = throughput(design, SettleMode::Levelized, cycles);
+        let row = SimBenchRow {
+            design: name.clone(),
+            cycles,
+            comb_procs: sched.comb_procs() as u64,
+            cyclic_units: sched.cyclic_units as u64,
+            fixpoint_cps,
+            levelized_cps,
+            speedup: levelized_cps / fixpoint_cps,
+        };
+        println!(
+            "| {} | {} | {} | {:.0} | {:.0} | {:.2}× |",
+            row.design,
+            row.comb_procs,
+            row.cyclic_units,
+            row.fixpoint_cps,
+            row.levelized_cps,
+            row.speedup
+        );
+        rows.push(row);
+    }
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("at least one design");
+    println!(
+        "\nbest speedup: {:.2}× on `{}` (acceptance: ≥2× on at least one processor design)",
+        best.speedup, best.design
+    );
+    save_json("BENCH_sim", &rows).expect("write results/BENCH_sim.json");
+}

@@ -1,15 +1,17 @@
 //! Regenerates the §5.3 convergence comparison (the paper's 6.8×
 //! speed-up of SymbFuzz over UVM random testing).
-//! Usage: `speedup [budget] [bench_index]`.
+//! Usage: `speedup [budget] [bench_index] [--jobs N]`.
 
 use symbfuzz_bench::experiments::speedup;
+use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_speedup, save_json};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, jobs) = parse_jobs();
+    let mut args = args.into_iter();
     let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
     let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
-    let s = speedup(bench, budget);
+    let s = speedup(bench, budget, jobs);
     println!("# §5.3 — time-to-coverage speed-up\n");
     println!("{}", render_speedup(&s));
     save_json("speedup", &s).expect("write results/speedup.json");

@@ -1,16 +1,15 @@
 //! Regenerates Table 1: bugs detected by SymbFuzz and the input
-//! vectors needed. Usage: `table1 [budget]` (default 50000).
+//! vectors needed. Usage: `table1 [budget] [--jobs N]` (default 50000).
 
 use symbfuzz_bench::experiments::table1_rows;
+use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_table1, save_json};
 
 fn main() {
-    let budget: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(50_000);
-    let rows = table1_rows(budget);
-    println!("# Table 1 — detected bugs (budget {budget} vectors)\n");
+    let (args, jobs) = parse_jobs();
+    let budget: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let rows = table1_rows(budget, jobs);
+    println!("# Table 1 — detected bugs (budget {budget} vectors, {jobs} jobs)\n");
     println!("{}", render_table1(&rows));
     let found = rows.iter().filter(|r| r.measured_vectors.is_some()).count();
     println!("detected {found}/14 (paper: 14/14 at much larger budgets)");

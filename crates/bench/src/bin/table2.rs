@@ -1,15 +1,14 @@
 //! Regenerates Table 2: the detection matrix across all four fuzzers.
-//! Usage: `table2 [budget]` (default 30000).
+//! Usage: `table2 [budget] [--jobs N]` (default 30000).
 
 use symbfuzz_bench::experiments::detection_matrix;
+use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_table2, save_json};
 
 fn main() {
-    let budget: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(30_000);
-    let m = detection_matrix(14, budget);
+    let (args, jobs) = parse_jobs();
+    let budget: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let m = detection_matrix(14, budget, jobs);
     println!("# Table 2 — bug detection by fuzzer (budget {budget}; paper value in parens)\n");
     println!("{}", render_table2(&m));
     save_json("table2", &m).expect("write results/table2.json");

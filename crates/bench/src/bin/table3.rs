@@ -1,16 +1,16 @@
 //! Regenerates Table 3: benchmark statistics (LoC, CFG size,
 //! dependency equations, constraints, latency).
-//! Usage: `table3 [budget]` (default 20000).
+//! Usage: `table3 [budget] [--jobs N]` (default 20000). Note that the
+//! `latency_s` column is wall-clock, so it varies with `--jobs`.
 
 use symbfuzz_bench::experiments::table3_rows;
+use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_table3, save_json};
 
 fn main() {
-    let budget: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
-    let rows = table3_rows(budget);
+    let (args, jobs) = parse_jobs();
+    let budget: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let rows = table3_rows(budget, jobs);
     println!("# Table 3 — benchmark details (campaign budget {budget})\n");
     println!("{}", render_table3(&rows));
     save_json("table3", &rows).expect("write results/table3.json");

@@ -1,5 +1,12 @@
 //! The experiment implementations.
+//!
+//! Every experiment takes a `jobs` argument and fans its independent
+//! campaigns across a scoped-thread pool ([`crate::pool`]). Campaign
+//! seeds are fixed per task and results are merged in item order, so
+//! reports are byte-identical for any `jobs` value — the single
+//! exception is Table 3's `latency_s` wall-clock column.
 
+use crate::pool::run_pool;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,32 +55,31 @@ pub struct Table1Row {
 }
 
 /// Table 1: run SymbFuzz on each buggy IP until its property fires.
-pub fn table1_rows(budget: u64) -> Vec<Table1Row> {
-    bug_benchmarks()
-        .iter()
-        .map(|b| {
-            let design = b.design().expect("benchmark elaborates");
-            let config = FuzzConfig {
-                interval: 100,
-                threshold: 2,
-                max_vectors: budget,
-                seed: 0x5EED + b.id as u64,
-                ..FuzzConfig::default()
-            };
-            let mut fuzzer = SymbFuzz::new(design, Strategy::SymbFuzz, config, &[b.property_spec()])
-                .expect("property compiles");
-            let measured = fuzzer.run_until_bug(b.name);
-            Table1Row {
-                id: b.id,
-                name: b.name.to_string(),
-                description: b.description.to_string(),
-                submodule: b.submodule.to_string(),
-                cwe: b.cwe.to_string(),
-                paper_vectors: b.paper_vectors,
-                measured_vectors: measured,
-            }
-        })
-        .collect()
+/// Benchmarks run concurrently on up to `jobs` threads.
+pub fn table1_rows(budget: u64, jobs: usize) -> Vec<Table1Row> {
+    let benches = bug_benchmarks();
+    run_pool(&benches, jobs, |_, b| {
+        let design = b.design().expect("benchmark elaborates");
+        let config = FuzzConfig {
+            interval: 100,
+            threshold: 2,
+            max_vectors: budget,
+            seed: 0x5EED + b.id as u64,
+            ..FuzzConfig::default()
+        };
+        let mut fuzzer = SymbFuzz::new(design, Strategy::SymbFuzz, config, &[b.property_spec()])
+            .expect("property compiles");
+        let measured = fuzzer.run_until_bug(b.name);
+        Table1Row {
+            id: b.id,
+            name: b.name.to_string(),
+            description: b.description.to_string(),
+            submodule: b.submodule.to_string(),
+            cwe: b.cwe.to_string(),
+            paper_vectors: b.paper_vectors,
+            measured_vectors: measured,
+        }
+    })
 }
 
 /// One row of Table 2.
@@ -122,34 +128,52 @@ impl DetectionMatrix {
 /// to observe the violation. Following §5 of the paper ("each fuzzer
 /// was run four times"), a fuzzer scores a ✓ if any of four seeded
 /// runs detects the bug.
-pub fn detection_matrix(nbugs: usize, budget: u64) -> DetectionMatrix {
-    let rows = bug_benchmarks()
+///
+/// The bug × fuzzer grid is flattened into independent pool tasks so
+/// small `nbugs` still saturates `jobs` workers; seeds depend only on
+/// the bug id and repeat index, so the matrix is identical at any
+/// parallelism.
+pub fn detection_matrix(nbugs: usize, budget: u64, jobs: usize) -> DetectionMatrix {
+    const FUZZERS: [Strategy; 4] = [
+        Strategy::SymbFuzz,
+        Strategy::RFuzz,
+        Strategy::DifuzzRtl,
+        Strategy::Hwfp,
+    ];
+    let benches = bug_benchmarks();
+    let prep: Vec<_> = benches
         .iter()
         .take(nbugs)
-        .map(|b| {
-            let design = b.design().expect("benchmark elaborates");
-            let spec = [b.property_spec()];
-            let detected = |s: Strategy| {
-                (0..4).any(|r| {
-                    run(
-                        Arc::clone(&design),
-                        s,
-                        &spec,
-                        budget,
-                        0xD1CE + b.id as u64 + r * 7919,
-                    )
-                    .detected(b.name)
-                })
-            };
-            DetectionRow {
-                id: b.id,
-                name: b.name.to_string(),
-                symbfuzz: detected(Strategy::SymbFuzz),
-                rfuzz: detected(Strategy::RFuzz),
-                difuzz: detected(Strategy::DifuzzRtl),
-                hwfp: detected(Strategy::Hwfp),
-                paper: b.table2,
-            }
+        .map(|b| (b, b.design().expect("benchmark elaborates")))
+        .collect();
+    let tasks: Vec<(usize, Strategy)> = (0..prep.len())
+        .flat_map(|i| FUZZERS.iter().map(move |&s| (i, s)))
+        .collect();
+    let hits = run_pool(&tasks, jobs, |_, &(i, s)| {
+        let (b, design) = &prep[i];
+        let spec = [b.property_spec()];
+        (0..4).any(|r| {
+            run(
+                Arc::clone(design),
+                s,
+                &spec,
+                budget,
+                0xD1CE + b.id as u64 + r * 7919,
+            )
+            .detected(b.name)
+        })
+    });
+    let rows = prep
+        .iter()
+        .enumerate()
+        .map(|(i, (b, _))| DetectionRow {
+            id: b.id,
+            name: b.name.to_string(),
+            symbfuzz: hits[i * FUZZERS.len()],
+            rfuzz: hits[i * FUZZERS.len() + 1],
+            difuzz: hits[i * FUZZERS.len() + 2],
+            hwfp: hits[i * FUZZERS.len() + 3],
+            paper: b.table2,
         })
         .collect();
     DetectionMatrix { rows }
@@ -185,12 +209,12 @@ pub struct Table3Row {
 }
 
 /// Table 3: static analysis plus a bounded campaign per processor
-/// benchmark.
-pub fn table3_rows(budget: u64) -> Vec<Table3Row> {
-    processor_benchmarks()
-        .iter()
-        .map(|b| table3_row(b, budget))
-        .collect()
+/// benchmark, fanned across `jobs` workers. `latency_s` is wall-clock
+/// and therefore the one report column that varies with `jobs` (and
+/// between runs); every other column is deterministic.
+pub fn table3_rows(budget: u64, jobs: usize) -> Vec<Table3Row> {
+    let benches = processor_benchmarks();
+    run_pool(&benches, jobs, |_, b| table3_row(b, budget))
 }
 
 fn table3_row(b: &Benchmark, budget: u64) -> Table3Row {
@@ -241,20 +265,25 @@ impl RaceResult {
     }
 }
 
-/// Figure 4a: run all five strategies on a processor benchmark.
-/// `bench_index` selects from [`processor_benchmarks`]; seeds vary per
-/// strategy to avoid accidental correlation.
-pub fn coverage_race(bench_index: usize, budget: u64, seed: u64) -> RaceResult {
+/// Figure 4a: run all five strategies on a processor benchmark,
+/// one pool task per strategy. `bench_index` selects from
+/// [`processor_benchmarks`]; seeds vary per strategy to avoid
+/// accidental correlation.
+pub fn coverage_race(bench_index: usize, budget: u64, seed: u64, jobs: usize) -> RaceResult {
     let b = &processor_benchmarks()[bench_index];
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
-    let curves = Strategy::all()
-        .iter()
-        .map(|s| {
-            let r = run(Arc::clone(&design), *s, &props, budget, seed ^ s.name().len() as u64);
-            (s.name().to_string(), r.series)
-        })
-        .collect();
+    let strategies = Strategy::all();
+    let curves = run_pool(&strategies, jobs, |_, s| {
+        let r = run(
+            Arc::clone(&design),
+            *s,
+            &props,
+            budget,
+            seed ^ s.name().len() as u64,
+        );
+        (s.name().to_string(), r.series)
+    });
     RaceResult {
         design: b.name.to_string(),
         curves,
@@ -277,20 +306,31 @@ pub struct VariancePoint {
 /// Figure 4b: repeated unseeded runs per strategy; variance of coverage
 /// within the mid-campaign window (the paper samples 4–8.5 M of ~10 M
 /// vectors; we use the same 40 %–85 % fraction of the budget).
-pub fn variance_profile(bench_index: usize, budget: u64, runs: u64) -> Vec<VariancePoint> {
+/// The strategy × run grid is flattened into pool tasks; each task's
+/// seed depends only on its run index, so the profile is identical at
+/// any parallelism.
+pub fn variance_profile(
+    bench_index: usize,
+    budget: u64,
+    runs: u64,
+    jobs: usize,
+) -> Vec<VariancePoint> {
     let b = &processor_benchmarks()[bench_index];
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
     let lo = budget * 2 / 5;
     let hi = budget * 17 / 20;
+    let tasks: Vec<(Strategy, u64)> = Strategy::all()
+        .iter()
+        .flat_map(|&s| (0..runs).map(move |r| (s, r)))
+        .collect();
+    let series: Vec<Vec<CoverageSample>> = run_pool(&tasks, jobs, |_, &(s, r)| {
+        run(Arc::clone(&design), s, &props, budget, 0xF00 + r * 7919).series
+    });
     let mut out = Vec::new();
-    for s in Strategy::all() {
-        // Collect per-run curves.
-        let curves: Vec<Vec<CoverageSample>> = (0..runs)
-            .map(|r| {
-                run(Arc::clone(&design), s, &props, budget, 0xF00 + r * 7919).series
-            })
-            .collect();
+    for (si, s) in Strategy::all().iter().enumerate() {
+        // Per-run curves for this strategy, in run order.
+        let curves = &series[si * runs as usize..(si + 1) * runs as usize];
         let nsamples = curves.iter().map(|c| c.len()).min().unwrap_or(0);
         for i in 0..nsamples {
             let vectors = curves[0][i].vectors;
@@ -325,15 +365,16 @@ pub struct SpeedupResult {
     pub rows: Vec<(String, Option<u64>, Option<f64>)>,
 }
 
-/// Computes the §5.3 convergence comparison.
-pub fn speedup(bench_index: usize, budget: u64) -> SpeedupResult {
+/// Computes the §5.3 convergence comparison, one pool task per
+/// strategy.
+pub fn speedup(bench_index: usize, budget: u64, jobs: usize) -> SpeedupResult {
     let b = &processor_benchmarks()[bench_index];
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
-    let results: Vec<(Strategy, CampaignResult)> = Strategy::all()
-        .iter()
-        .map(|s| (*s, run(Arc::clone(&design), *s, &props, budget, 0xACE)))
-        .collect();
+    let strategies = Strategy::all();
+    let results: Vec<(Strategy, CampaignResult)> = run_pool(&strategies, jobs, |_, s| {
+        (*s, run(Arc::clone(&design), *s, &props, budget, 0xACE))
+    });
     let random = results
         .iter()
         .find(|(s, _)| *s == Strategy::UvmRandom)
@@ -356,18 +397,21 @@ pub fn speedup(bench_index: usize, budget: u64) -> SpeedupResult {
     }
 }
 
-/// §5.2 resource profile: per-strategy resource stats on one benchmark.
-pub fn resource_profile(bench_index: usize, budget: u64) -> Vec<(String, CampaignResult)> {
+/// §5.2 resource profile: per-strategy resource stats on one
+/// benchmark, one pool task per strategy.
+pub fn resource_profile(
+    bench_index: usize,
+    budget: u64,
+    jobs: usize,
+) -> Vec<(String, CampaignResult)> {
     let b = &processor_benchmarks()[bench_index];
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
-    Strategy::all()
-        .iter()
-        .map(|s| {
-            let r = run(Arc::clone(&design), *s, &props, budget, 0xCAB);
-            (s.name().to_string(), r)
-        })
-        .collect()
+    let strategies = Strategy::all();
+    run_pool(&strategies, jobs, |_, s| {
+        let r = run(Arc::clone(&design), *s, &props, budget, 0xCAB);
+        (s.name().to_string(), r)
+    })
 }
 
 #[cfg(test)]
@@ -378,7 +422,7 @@ mod tests {
     fn table1_smoke_detects_shallow_bugs() {
         // Bugs 7 and 10 are one-to-two-cycle triggers; a small budget
         // suffices and keeps the test fast.
-        let rows = table1_rows(3_000);
+        let rows = table1_rows(3_000, 4);
         assert_eq!(rows.len(), 14);
         let by_id = |id: u32| rows.iter().find(|r| r.id == id).unwrap();
         assert!(by_id(7).measured_vectors.is_some(), "bug 7 undetected");
@@ -387,7 +431,7 @@ mod tests {
 
     #[test]
     fn detection_matrix_symbfuzz_dominates() {
-        let m = detection_matrix(3, 4_000);
+        let m = detection_matrix(3, 4_000, 4);
         for r in &m.rows {
             assert!(r.symbfuzz, "SymbFuzz missed bug {}", r.id);
             // Baselines never beat their paper visibility gates.
@@ -399,7 +443,7 @@ mod tests {
 
     #[test]
     fn table3_reports_structure() {
-        let rows = table3_rows(1_500);
+        let rows = table3_rows(1_500, 2);
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.loc > 20, "{} too small", r.name);
@@ -411,7 +455,7 @@ mod tests {
 
     #[test]
     fn coverage_race_orders_symbfuzz_first() {
-        let race = coverage_race(0, 6_000, 42);
+        let race = coverage_race(0, 6_000, 42, 4);
         let sf = race.final_coverage("SymbFuzz").unwrap();
         let rnd = race.final_coverage("UVM-random").unwrap();
         assert!(sf >= rnd, "SymbFuzz {sf} < random {rnd}");
@@ -420,7 +464,7 @@ mod tests {
 
     #[test]
     fn variance_profile_produces_window_points() {
-        let pts = variance_profile(1, 2_000, 3);
+        let pts = variance_profile(1, 2_000, 3, 4);
         assert!(!pts.is_empty());
         for p in &pts {
             assert!(p.vectors >= 800 && p.vectors <= 1_700);
@@ -428,9 +472,26 @@ mod tests {
         }
     }
 
+    /// The tentpole determinism guarantee: the rendered JSON report is
+    /// byte-identical whether campaigns run on 1 thread or 8.
+    #[test]
+    fn reports_are_byte_identical_across_job_counts() {
+        let serial = serde_json::to_string(&detection_matrix(2, 2_000, 1)).unwrap();
+        let wide = serde_json::to_string(&detection_matrix(2, 2_000, 8)).unwrap();
+        assert_eq!(serial, wide);
+
+        let serial = serde_json::to_string(&coverage_race(1, 2_000, 7, 1)).unwrap();
+        let wide = serde_json::to_string(&coverage_race(1, 2_000, 7, 8)).unwrap();
+        assert_eq!(serial, wide);
+
+        let serial = serde_json::to_string(&variance_profile(1, 1_500, 2, 1)).unwrap();
+        let wide = serde_json::to_string(&variance_profile(1, 1_500, 2, 8)).unwrap();
+        assert_eq!(serial, wide);
+    }
+
     #[test]
     fn speedup_has_random_baseline_of_one() {
-        let s = speedup(3, 4_000);
+        let s = speedup(3, 4_000, 4);
         let rnd = s.rows.iter().find(|(n, _, _)| n == "UVM-random").unwrap();
         assert!((rnd.2.unwrap() - 1.0).abs() < 1e-9);
         let sf = s.rows.iter().find(|(n, _, _)| n == "SymbFuzz").unwrap();

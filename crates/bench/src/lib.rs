@@ -17,20 +17,27 @@
 //! | `speedup` | §5.3 — time-to-coverage speed-up vs UVM random |
 //! | `resources` | §5.2 — relative memory/CPU profile |
 //!
+//! Every binary accepts a `--jobs N` (or `-j N`) flag that fans
+//! independent campaigns across a scoped-thread pool; reports are
+//! byte-identical for any job count (Table 3's wall-clock `latency_s`
+//! excepted), so parallelism is purely a wall-clock optimisation.
+//!
 //! # Examples
 //!
 //! ```
 //! use symbfuzz_bench::experiments;
-//! // A miniature Table 2 on the first two bugs only (fast).
-//! let m = experiments::detection_matrix(2, 4_000);
+//! // A miniature Table 2 on the first two bugs only (fast), 2 workers.
+//! let m = experiments::detection_matrix(2, 4_000, 2);
 //! assert_eq!(m.rows.len(), 2);
 //! assert!(m.rows.iter().all(|r| r.symbfuzz));
 //! ```
 
 pub mod experiments;
+pub mod pool;
 pub mod render;
 
 pub use experiments::{
     coverage_race, detection_matrix, table1_rows, table3_rows, variance_profile, DetectionRow,
     RaceResult, Table1Row, Table3Row, VariancePoint,
 };
+pub use pool::{default_jobs, parse_jobs, run_pool};

@@ -16,7 +16,10 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     let dir = Path::new("results");
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(path, serde_json::to_string_pretty(value).expect("serializable"))
+    fs::write(
+        path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    )
 }
 
 fn check(b: bool) -> &'static str {
@@ -50,9 +53,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 
 /// Renders Table 2 as Markdown, paper values in parentheses.
 pub fn render_table2(m: &DetectionMatrix) -> String {
-    let mut out = String::from(
-        "| Bug | SymbFuzz | RFuzz | DifuzzRTL | HWFP |\n|---|---|---|---|---|\n",
-    );
+    let mut out =
+        String::from("| Bug | SymbFuzz | RFuzz | DifuzzRTL | HWFP |\n|---|---|---|---|---|\n");
     for r in &m.rows {
         out.push_str(&format!(
             "| {:02}. {} | {} (✓) | {} ({}) | {} ({}) | {} ({}) |\n",
@@ -208,11 +210,17 @@ mod tests {
             curves: vec![
                 (
                     "A".into(),
-                    vec![CoverageSample { vectors: 10, coverage: 5 }],
+                    vec![CoverageSample {
+                        vectors: 10,
+                        coverage: 5,
+                    }],
                 ),
                 (
                     "B".into(),
-                    vec![CoverageSample { vectors: 10, coverage: 7 }],
+                    vec![CoverageSample {
+                        vectors: 10,
+                        coverage: 7,
+                    }],
                 ),
             ],
         };

@@ -86,12 +86,22 @@ impl Cfg {
 
     /// Extracts the state tuple from a full simulator value table.
     pub fn tuple_of(&self, values: &[LogicVec]) -> StateTuple {
-        StateTuple(self.ctrl.iter().map(|s| values[s.index()].clone()).collect())
+        StateTuple(
+            self.ctrl
+                .iter()
+                .map(|s| values[s.index()].clone())
+                .collect(),
+        )
     }
 
     /// Ingests one post-cycle sample: the full value table and the
     /// input word that was driven this cycle.
-    pub fn observe(&mut self, values: &[LogicVec], input_word: &LogicVec, cycle: u64) -> ObserveOutcome {
+    pub fn observe(
+        &mut self,
+        values: &[LogicVec],
+        input_word: &LogicVec,
+        cycle: u64,
+    ) -> ObserveOutcome {
         self.input_log.push(input_word.clone());
         let tuple = self.tuple_of(values);
         let (node, new_node) = match self.index.get(&tuple) {
@@ -118,10 +128,11 @@ impl Cfg {
         let mut new_edge = false;
         if let Some(prev) = self.current {
             if prev != node {
-                let out = &mut self.nodes[prev.index()].out;
-                if !out.contains_key(&node) {
-                    let edge_id = self.edge_count as u32;
-                    out.insert(node, edge_id);
+                let edge_id = self.edge_count as u32;
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    self.nodes[prev.index()].out.entry(node)
+                {
+                    e.insert(edge_id);
                     self.edge_count += 1;
                     new_edge = true;
                 }
@@ -355,7 +366,10 @@ mod tests {
         let o = cfg.observe(&frame(&d, 3, 0), &w, 3);
         assert!(o.new_node && o.new_edge);
         // The new node's path = path-to-1 plus one more word.
-        assert_eq!(cfg.replay_sequence(o.node).len(), cfg.replay_sequence(at1.node).len() + 1);
+        assert_eq!(
+            cfg.replay_sequence(o.node).len(),
+            cfg.replay_sequence(at1.node).len() + 1
+        );
     }
 
     #[test]

@@ -184,7 +184,6 @@ pub fn peripheral_benchmarks() -> Vec<Benchmark> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use symbfuzz_core::{FuzzConfig, Strategy, SymbFuzz};
     use symbfuzz_logic::LogicVec;
     use symbfuzz_props::Property;

@@ -512,7 +512,10 @@ pub fn processor_benchmarks() -> Vec<Benchmark> {
             paper_counterpart: "Mor1kx",
             rtl: MOR1KX_LIKE_RTL,
             top: "mor1kx_like",
-            properties: &[("timer_irq_cause", "$rose(timer_irq) |-> $past(timer) == $past(timer_match)")],
+            properties: &[(
+                "timer_irq_cause",
+                "$rose(timer_irq) |-> $past(timer) == $past(timer_match)",
+            )],
             paper_table3: (589, 1688, 100, 120, 200),
         },
     ]
@@ -522,7 +525,7 @@ pub fn processor_benchmarks() -> Vec<Benchmark> {
 mod tests {
     use super::*;
     use symbfuzz_logic::LogicVec;
-    use symbfuzz_netlist::{classify_registers, DesignStats};
+    use symbfuzz_netlist::DesignStats;
     use symbfuzz_props::Property;
     use symbfuzz_sim::Simulator;
 
@@ -693,6 +696,9 @@ mod tests {
         assert_eq!(ps[0].paper_table3.0, 1424);
         assert_eq!(ps[1].paper_table3.1, 1728);
         let names: Vec<&str> = ps.iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["ibex_like", "cva6_like", "rocket_like", "mor1kx_like"]);
+        assert_eq!(
+            names,
+            vec!["ibex_like", "cva6_like", "rocket_like", "mor1kx_like"]
+        );
     }
 }

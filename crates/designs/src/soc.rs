@@ -54,11 +54,7 @@ endmodule";
 /// ```
 pub fn buggy_soc() -> Result<(Arc<Design>, Vec<PropertySpec>), ElabError> {
     let bugs = bug_benchmarks();
-    let ip = |id: u32| {
-        bugs.iter()
-            .find(|b| b.id == id)
-            .expect("bug id exists")
-    };
+    let ip = |id: u32| bugs.iter().find(|b| b.id == id).expect("bug id exists");
     let source = format!(
         "{}\n{}\n{}\n{}\n{}",
         ip(1).rtl,

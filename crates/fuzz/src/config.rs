@@ -82,6 +82,10 @@ pub struct FuzzConfig {
     /// Ablation: disable the SMT-guided mutation entirely (stagnation
     /// is ignored; exploration stays purely random).
     pub use_solver: bool,
+    /// Settle combinational logic with the levelized single-sweep
+    /// scheduler (`false` falls back to the global fixpoint — the A/B
+    /// control for scheduler-equivalence experiments).
+    pub use_levelized_settle: bool,
 }
 
 impl Default for FuzzConfig {
@@ -99,6 +103,7 @@ impl Default for FuzzConfig {
             testcase_len: 32,
             use_checkpoints: true,
             use_solver: true,
+            use_levelized_settle: true,
         }
     }
 }

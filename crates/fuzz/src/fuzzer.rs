@@ -10,7 +10,7 @@ use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{classify_registers, Design};
 use symbfuzz_props::{PropError, Property, PropertyChecker};
 use symbfuzz_ruvm::{Driver, SequenceItem, Sequencer};
-use symbfuzz_sim::{Simulator, Snapshot};
+use symbfuzz_sim::{SettleMode, Simulator, Snapshot};
 use symbfuzz_symexec::SymbolicEngine;
 
 /// One fuzzing campaign over one design with one strategy.
@@ -87,6 +87,11 @@ impl SymbFuzz {
             sig.legal_encodings.is_some() || sig.width <= 8
         });
         let mut sim = Simulator::new(Arc::clone(&design));
+        sim.set_settle_mode(if config.use_levelized_settle {
+            SettleMode::Levelized
+        } else {
+            SettleMode::Fixpoint
+        });
         sim.reset(config.reset_cycles);
         let granularity = match strategy {
             Strategy::RFuzz => Granularity::Bit,
@@ -204,8 +209,7 @@ impl SymbFuzz {
         let corpus_bytes = (self.mutator.corpus_len() as u64
             + self.mutator.case_corpus_len() as u64 * self.config.testcase_len as u64)
             * word_bytes;
-        resources.peak_state_bytes =
-            state_bytes * (1 + self.snapshots.len() as u64) + corpus_bytes;
+        resources.peak_state_bytes = state_bytes * (1 + self.snapshots.len() as u64) + corpus_bytes;
         CampaignResult {
             fuzzer: self.strategy.name().to_string(),
             design: self.design.name.clone(),
@@ -243,7 +247,8 @@ impl SymbFuzz {
             };
             self.vectors += 1;
             self.resources.cycles += 1;
-            self.driver.drive(&mut self.sim, &SequenceItem::new(word.clone()));
+            self.driver
+                .drive(&mut self.sim, &SequenceItem::new(word.clone()));
             let outcome = self.cfg.observe(self.sim.values(), &word, self.sim.cycle());
 
             match self.strategy {
@@ -274,7 +279,8 @@ impl SymbFuzz {
                         .map(|s| self.sim.get(*s).to_u64_x_as_zero())
                         .collect();
                     let toggles = self.sim.toggled_outcomes();
-                    self.case_had_new |= self.twostate_nodes.insert(key) || toggles > self.last_toggles;
+                    self.case_had_new |=
+                        self.twostate_nodes.insert(key) || toggles > self.last_toggles;
                     self.last_toggles = toggles;
                 }
                 Strategy::UvmRandom => {}
@@ -366,7 +372,9 @@ impl SymbFuzz {
     /// Attempts to solve for any unseen control-register value from the
     /// simulator's current state; on success queues the input sequence.
     fn try_solve_from_here(&mut self) -> bool {
-        let Some(engine) = &self.engine else { return false };
+        let Some(engine) = &self.engine else {
+            return false;
+        };
         let nregs = self.cfg.control_registers().len();
         let mut tried = 0usize;
         for i in 0..nregs {
@@ -377,11 +385,9 @@ impl SymbFuzz {
                 }
                 tried += 1;
                 self.resources.solver_calls += 1;
-                if let Some(seq) = engine.solve_reach(
-                    self.sim.values(),
-                    &[(reg, value)],
-                    self.config.solve_depth,
-                ) {
+                if let Some(seq) =
+                    engine.solve_reach(self.sim.values(), &[(reg, value)], self.config.solve_depth)
+                {
                     let items = seq
                         .iter()
                         .map(|a| SequenceItem::new(a.to_word(&self.design)));
@@ -460,9 +466,13 @@ mod tests {
     #[test]
     fn symbfuzz_cracks_the_lock() {
         let d = lock_design();
-        let mut f =
-            SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, small_cfg(20_000), &lock_props())
-                .unwrap();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(20_000),
+            &lock_props(),
+        )
+        .unwrap();
         let r = f.run();
         assert!(
             r.detected("never_open"),
@@ -475,9 +485,13 @@ mod tests {
     #[test]
     fn uvm_random_misses_the_lock_in_budget() {
         let d = lock_design();
-        let mut f =
-            SymbFuzz::new(Arc::clone(&d), Strategy::UvmRandom, small_cfg(20_000), &lock_props())
-                .unwrap();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::UvmRandom,
+            small_cfg(20_000),
+            &lock_props(),
+        )
+        .unwrap();
         let r = f.run();
         assert!(
             !r.detected("never_open"),
@@ -489,9 +503,13 @@ mod tests {
     #[test]
     fn coverage_series_is_monotone() {
         let d = lock_design();
-        let mut f =
-            SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, small_cfg(3_000), &lock_props())
-                .unwrap();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(3_000),
+            &lock_props(),
+        )
+        .unwrap();
         let r = f.run();
         assert!(!r.series.is_empty());
         for w in r.series.windows(2) {
@@ -537,16 +555,24 @@ mod tests {
         for s in Strategy::all() {
             let mut f = SymbFuzz::new(Arc::clone(&d), s, small_cfg(5_000), &props).unwrap();
             let r = f.run();
-            assert!(r.detected("no_bad"), "{} missed a shallow visible bug", s.name());
+            assert!(
+                r.detected("no_bad"),
+                "{} missed a shallow visible bug",
+                s.name()
+            );
         }
     }
 
     #[test]
     fn run_until_bug_reports_vector_count() {
         let d = lock_design();
-        let mut f =
-            SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, small_cfg(20_000), &lock_props())
-                .unwrap();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(20_000),
+            &lock_props(),
+        )
+        .unwrap();
         let v = f.run_until_bug("never_open");
         assert!(v.is_some());
         assert!(v.unwrap() <= 20_000);
@@ -574,10 +600,20 @@ mod tests {
     fn symbfuzz_beats_random_on_coverage() {
         let d = lock_design();
         let budget = 10_000;
-        let mut sf = SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, small_cfg(budget), &lock_props())
-            .unwrap();
-        let mut rnd = SymbFuzz::new(Arc::clone(&d), Strategy::UvmRandom, small_cfg(budget), &lock_props())
-            .unwrap();
+        let mut sf = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(budget),
+            &lock_props(),
+        )
+        .unwrap();
+        let mut rnd = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::UvmRandom,
+            small_cfg(budget),
+            &lock_props(),
+        )
+        .unwrap();
         let (a, b) = (sf.run(), rnd.run());
         assert!(
             a.coverage_points > b.coverage_points,

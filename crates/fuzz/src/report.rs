@@ -173,9 +173,18 @@ mod tests {
             node_coverage_ratio: 0.5,
             bugs: vec![],
             series: vec![
-                CoverageSample { vectors: 10, coverage: 5 },
-                CoverageSample { vectors: 50, coverage: 30 },
-                CoverageSample { vectors: 100, coverage: 50 },
+                CoverageSample {
+                    vectors: 10,
+                    coverage: 5,
+                },
+                CoverageSample {
+                    vectors: 50,
+                    coverage: 30,
+                },
+                CoverageSample {
+                    vectors: 100,
+                    coverage: 50,
+                },
             ],
             resources: ResourceStats::default(),
         };

@@ -37,9 +37,9 @@ pub struct Token {
 
 /// Multi-character symbols, longest first so greedy matching is correct.
 const SYMBOLS: &[&str] = &[
-    "===", "!==", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~&", "~|", "~^", "->",
-    "(", ")", "[", "]", "{", "}", ";", ",", ":", ".", "#", "?", "=", "+", "-", "*", "/",
-    "%", "!", "~", "&", "|", "^", "<", ">", "@",
+    "===", "!==", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~&", "~|", "~^", "->", "(", ")",
+    "[", "]", "{", "}", ";", ",", ":", ".", "#", "?", "=", "+", "-", "*", "/", "%", "!", "~", "&",
+    "|", "^", "<", ">", "@",
 ];
 
 /// Error produced when the input contains a character that starts no token.
@@ -53,7 +53,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character `{}` on line {}",
+            self.ch, self.line
+        )
     }
 }
 

@@ -75,10 +75,35 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
 }
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "wire", "logic", "reg", "assign", "always",
-    "always_comb", "always_ff", "begin", "end", "if", "else", "case", "unique", "endcase",
-    "default", "posedge", "negedge", "or", "typedef", "enum", "localparam", "parameter",
-    "int", "integer", "for",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "logic",
+    "reg",
+    "assign",
+    "always",
+    "always_comb",
+    "always_ff",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "unique",
+    "endcase",
+    "default",
+    "posedge",
+    "negedge",
+    "or",
+    "typedef",
+    "enum",
+    "localparam",
+    "parameter",
+    "int",
+    "integer",
+    "for",
 ];
 
 struct Parser {
@@ -225,7 +250,10 @@ impl Parser {
         } else if self.eat_keyword("output") {
             Direction::Output
         } else {
-            return Err(self.err(format!("expected `input` or `output`, found {}", self.peek())));
+            return Err(self.err(format!(
+                "expected `input` or `output`, found {}",
+                self.peek()
+            )));
         };
         let _ = self.eat_keyword("wire") || self.eat_keyword("logic") || self.eat_keyword("reg");
         let mut type_name = None;
@@ -304,7 +332,9 @@ impl Parser {
                     body,
                 }));
             }
-            if matches!(self.peek(), TokenKind::Symbol("(")) && matches!(self.peek_at(1), TokenKind::Symbol("*")) {
+            if matches!(self.peek(), TokenKind::Symbol("("))
+                && matches!(self.peek_at(1), TokenKind::Symbol("*"))
+            {
                 self.bump();
                 self.bump();
                 self.expect_symbol(")")?;
@@ -431,7 +461,10 @@ impl Parser {
         } else if self.eat_keyword("negedge") {
             Edge::Neg
         } else {
-            return Err(self.err(format!("expected `posedge` or `negedge`, found {}", self.peek())));
+            return Err(self.err(format!(
+                "expected `posedge` or `negedge`, found {}",
+                self.peek()
+            )));
         };
         let signal = self.ident()?;
         Ok(EdgeSpec { edge, signal })
@@ -715,11 +748,17 @@ impl Parser {
     }
 
     fn shift(&mut self) -> Result<Expr, ParseError> {
-        self.binary_level(&[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)], Parser::additive)
+        self.binary_level(
+            &[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)],
+            Parser::additive,
+        )
     }
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
-        self.binary_level(&[("+", BinaryOp::Add), ("-", BinaryOp::Sub)], Parser::multiplicative)
+        self.binary_level(
+            &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
+            Parser::multiplicative,
+        )
     }
 
     fn multiplicative(&mut self) -> Result<Expr, ParseError> {
@@ -907,11 +946,17 @@ mod tests {
         .unwrap();
         assert!(matches!(
             &f.modules[0].items[0],
-            Item::Always(AlwaysBlock { kind: AlwaysKind::Ff { .. }, .. })
+            Item::Always(AlwaysBlock {
+                kind: AlwaysKind::Ff { .. },
+                ..
+            })
         ));
         assert!(matches!(
             &f.modules[0].items[1],
-            Item::Always(AlwaysBlock { kind: AlwaysKind::Comb, .. })
+            Item::Always(AlwaysBlock {
+                kind: AlwaysKind::Comb,
+                ..
+            })
         ));
     }
 
@@ -980,15 +1025,37 @@ mod tests {
         let e = parse_expr("a | b & c").unwrap();
         // `&` binds tighter than `|`.
         match e {
-            Expr::Binary { op: BinaryOp::Or, rhs, .. } => {
-                assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::And, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *rhs,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("bad precedence: {other:?}"),
         }
         let e = parse_expr("a + b == c").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Eq, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Eq,
+                ..
+            }
+        ));
         let e = parse_expr("a == b && c == d").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::LogAnd, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::LogAnd,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1016,18 +1083,41 @@ mod tests {
     #[test]
     fn reduction_vs_binary_ops() {
         let e = parse_expr("&a").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::RedAnd, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::RedAnd,
+                ..
+            }
+        ));
         let e = parse_expr("a & ~|b").unwrap();
-        let Expr::Binary { op: BinaryOp::And, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinaryOp::And,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected binary and")
         };
-        assert!(matches!(*rhs, Expr::Unary { op: UnaryOp::RedNor, .. }));
+        assert!(matches!(
+            *rhs,
+            Expr::Unary {
+                op: UnaryOp::RedNor,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn le_in_expression_vs_nonblocking() {
         let e = parse_expr("a <= b").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Le, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Le,
+                ..
+            }
+        ));
         let f = parse(
             "module m(input clk, input d, output reg q);
                always_ff @(posedge clk) q <= d;
@@ -1036,7 +1126,13 @@ mod tests {
         .unwrap();
         match &f.modules[0].items[0] {
             Item::Always(a) => {
-                assert!(matches!(a.body, Stmt::Assign { blocking: false, .. }));
+                assert!(matches!(
+                    a.body,
+                    Stmt::Assign {
+                        blocking: false,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected always, got {other:?}"),
         }

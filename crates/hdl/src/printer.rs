@@ -84,7 +84,13 @@ fn print_item(item: &Item, out: &mut String) {
                     None => n.clone(),
                 })
                 .collect();
-            writeln!(out, "  typedef enum{range} {{{}}} {};", variants.join(", "), t.name).unwrap();
+            writeln!(
+                out,
+                "  typedef enum{range} {{{}}} {};",
+                variants.join(", "),
+                t.name
+            )
+            .unwrap();
         }
         Item::Localparam(p) => {
             writeln!(out, "  localparam {} = {};", p.name, print_expr(&p.value)).unwrap();
@@ -140,7 +146,10 @@ fn indent(depth: usize, out: &mut String) {
 
 fn print_stmt(s: &Stmt, label: Option<&str>, depth: usize, out: &mut String) {
     match s {
-        Stmt::Block { stmts, label: block_label } => {
+        Stmt::Block {
+            stmts,
+            label: block_label,
+        } => {
             let label = label.or(block_label.as_deref());
             match label {
                 Some(l) => writeln!(out, "begin : {l}").unwrap(),

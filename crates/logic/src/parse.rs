@@ -21,7 +21,11 @@ impl ParseLiteralError {
 
 impl fmt::Display for ParseLiteralError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid verilog literal `{}`: {}", self.text, self.reason)
+        write!(
+            f,
+            "invalid verilog literal `{}`: {}",
+            self.text, self.reason
+        )
     }
 }
 
@@ -61,8 +65,8 @@ impl LogicVec {
             let (Some(c), None) = (chars.next(), chars.next()) else {
                 return Err(ParseLiteralError::new(raw, "malformed fill literal"));
             };
-            let bit = Bit::from_char(c)
-                .ok_or(ParseLiteralError::new(raw, "unknown fill character"))?;
+            let bit =
+                Bit::from_char(c).ok_or(ParseLiteralError::new(raw, "unknown fill character"))?;
             return Ok(LogicVec::from_bit(bit));
         }
 
@@ -164,13 +168,22 @@ mod tests {
 
     #[test]
     fn hex_and_octal() {
-        assert_eq!(LogicVec::parse_literal("16'hdead").unwrap().to_u64(), Some(0xdead));
-        assert_eq!(LogicVec::parse_literal("9'o777").unwrap().to_u64(), Some(0o777));
+        assert_eq!(
+            LogicVec::parse_literal("16'hdead").unwrap().to_u64(),
+            Some(0xdead)
+        );
+        assert_eq!(
+            LogicVec::parse_literal("9'o777").unwrap().to_u64(),
+            Some(0o777)
+        );
     }
 
     #[test]
     fn decimal_sized_and_bare() {
-        assert_eq!(LogicVec::parse_literal("8'd255").unwrap().to_u64(), Some(255));
+        assert_eq!(
+            LogicVec::parse_literal("8'd255").unwrap().to_u64(),
+            Some(255)
+        );
         let bare = LogicVec::parse_literal("42").unwrap();
         assert_eq!(bare.width(), 32);
         assert_eq!(bare.to_u64(), Some(42));
@@ -179,7 +192,9 @@ mod tests {
     #[test]
     fn underscores_ignored() {
         assert_eq!(
-            LogicVec::parse_literal("16'b1010_0101_0011_1100").unwrap().to_u64(),
+            LogicVec::parse_literal("16'b1010_0101_0011_1100")
+                .unwrap()
+                .to_u64(),
             Some(0b1010_0101_0011_1100)
         );
     }
@@ -219,7 +234,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["4'q1010", "0'b1", "4'b", "'ab", "4'b12", "2'd9", "xyz", "4'd999"] {
+        for bad in [
+            "4'q1010", "0'b1", "4'b", "'ab", "4'b12", "2'd9", "xyz", "4'd999",
+        ] {
             assert!(LogicVec::parse_literal(bad).is_err(), "{bad} should fail");
         }
     }
@@ -228,6 +245,9 @@ mod tests {
     fn overflow_digits_rejected_unless_zero() {
         assert!(LogicVec::parse_literal("4'b11111").is_err());
         // Extra zero digits are fine.
-        assert_eq!(LogicVec::parse_literal("4'b00001111").unwrap().to_u64(), Some(15));
+        assert_eq!(
+            LogicVec::parse_literal("4'b00001111").unwrap().to_u64(),
+            Some(15)
+        );
     }
 }

@@ -36,11 +36,11 @@ pub struct LogicVec {
 }
 
 fn nwords(width: u32) -> usize {
-    ((width as usize) + 63) / 64
+    (width as usize).div_ceil(64)
 }
 
 fn top_mask(width: u32) -> u64 {
-    let rem = (width % 64) as u32;
+    let rem = width % 64;
     if rem == 0 {
         u64::MAX
     } else {
@@ -127,7 +127,11 @@ impl LogicVec {
     ///
     /// Panics if `index >= self.width()`.
     pub fn bit(&self, index: u32) -> Bit {
-        assert!(index < self.width, "bit index {index} out of range 0..{}", self.width);
+        assert!(
+            index < self.width,
+            "bit index {index} out of range 0..{}",
+            self.width
+        );
         let w = (index / 64) as usize;
         let b = index % 64;
         Bit::from_planes((self.val[w] >> b) & 1 == 1, (self.unk[w] >> b) & 1 == 1)
@@ -139,7 +143,11 @@ impl LogicVec {
     ///
     /// Panics if `index >= self.width()`.
     pub fn set_bit(&mut self, index: u32, bit: Bit) {
-        assert!(index < self.width, "bit index {index} out of range 0..{}", self.width);
+        assert!(
+            index < self.width,
+            "bit index {index} out of range 0..{}",
+            self.width
+        );
         let w = (index / 64) as usize;
         let b = index % 64;
         let (v, u) = bit.planes();
@@ -303,9 +311,7 @@ impl LogicVec {
         for i in 0..n {
             let mut carry = 0u128;
             for j in 0..n - i {
-                let cur = acc[i + j] as u128
-                    + (a.val[i] as u128) * (b.val[j] as u128)
-                    + carry;
+                let cur = acc[i + j] as u128 + (a.val[i] as u128) * (b.val[j] as u128) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -626,7 +632,10 @@ mod tests {
         let xor = &a ^ &b;
         assert_eq!(xor.bit(0), Bit::X);
         assert_eq!(xor.bit(3), Bit::X);
-        assert_eq!((&LogicVec::from_u64(2, 0b01) ^ &LogicVec::from_u64(2, 0b11)).to_u64(), Some(0b10));
+        assert_eq!(
+            (&LogicVec::from_u64(2, 0b01) ^ &LogicVec::from_u64(2, 0b11)).to_u64(),
+            Some(0b10)
+        );
     }
 
     #[test]
@@ -677,9 +686,18 @@ mod tests {
         assert_eq!(LogicVec::from_u64(4, 0b0110).reduce_xor(), Bit::Zero);
         assert_eq!(LogicVec::from_u64(4, 0b0111).reduce_xor(), Bit::One);
         // 0 AND-reduced with X is 0; 1 OR-reduced with X is 1.
-        assert_eq!(LogicVec::parse_literal("2'b0x").unwrap().reduce_and(), Bit::Zero);
-        assert_eq!(LogicVec::parse_literal("2'b1x").unwrap().reduce_or(), Bit::One);
-        assert_eq!(LogicVec::parse_literal("2'b0x").unwrap().reduce_or(), Bit::X);
+        assert_eq!(
+            LogicVec::parse_literal("2'b0x").unwrap().reduce_and(),
+            Bit::Zero
+        );
+        assert_eq!(
+            LogicVec::parse_literal("2'b1x").unwrap().reduce_or(),
+            Bit::One
+        );
+        assert_eq!(
+            LogicVec::parse_literal("2'b0x").unwrap().reduce_or(),
+            Bit::X
+        );
     }
 
     #[test]
@@ -715,7 +733,13 @@ mod tests {
     fn condition_semantics() {
         assert_eq!(LogicVec::from_u64(8, 0).to_condition(), Bit::Zero);
         assert_eq!(LogicVec::from_u64(8, 2).to_condition(), Bit::One);
-        assert_eq!(LogicVec::parse_literal("2'b0x").unwrap().to_condition(), Bit::X);
-        assert_eq!(LogicVec::parse_literal("2'b1x").unwrap().to_condition(), Bit::One);
+        assert_eq!(
+            LogicVec::parse_literal("2'b0x").unwrap().to_condition(),
+            Bit::X
+        );
+        assert_eq!(
+            LogicVec::parse_literal("2'b1x").unwrap().to_condition(),
+            Bit::One
+        );
     }
 }

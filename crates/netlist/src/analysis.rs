@@ -145,7 +145,10 @@ pub fn reset_tree(design: &Design) -> ResetTree {
             }
         }
     }
-    let unreset: Vec<SignalId> = design.registers().filter(|r| !covered.contains(r)).collect();
+    let unreset: Vec<SignalId> = design
+        .registers()
+        .filter(|r| !covered.contains(r))
+        .collect();
     ResetTree {
         domains: domains
             .into_iter()

@@ -4,7 +4,9 @@ use crate::ir::*;
 use std::collections::HashMap;
 use std::fmt;
 use symbfuzz_hdl as hdl;
-use symbfuzz_hdl::{AlwaysKind, BinaryOp, Direction, Expr, Item, LValue, Module, SourceFile, Stmt, UnaryOp};
+use symbfuzz_hdl::{
+    AlwaysKind, BinaryOp, Direction, Expr, Item, LValue, Module, SourceFile, Stmt, UnaryOp,
+};
 use symbfuzz_logic::LogicVec;
 
 /// Error produced during elaboration (unresolved names, width
@@ -105,7 +107,12 @@ struct Elab<'a> {
 }
 
 impl<'a> Elab<'a> {
-    fn add_signal(&mut self, name: String, width: u32, kind: SignalKind) -> Result<SignalId, ElabError> {
+    fn add_signal(
+        &mut self,
+        name: String,
+        width: u32,
+        kind: SignalKind,
+    ) -> Result<SignalId, ElabError> {
         if self.design.by_name.contains_key(&name) {
             return Err(ElabError::new(format!("duplicate signal `{name}`")));
         }
@@ -215,7 +222,8 @@ impl<'a> Elab<'a> {
                 Item::Typedef(t) => {
                     let width = match &t.range {
                         Some(r) => self.range_width(r, &scope)?,
-                        None => (64 - (t.variants.len() as u64).saturating_sub(1).leading_zeros()).max(1),
+                        None => (64 - (t.variants.len() as u64).saturating_sub(1).leading_zeros())
+                            .max(1),
                     };
                     let mut next = 0u64;
                     for (vname, vexpr) in &t.variants {
@@ -230,7 +238,9 @@ impl<'a> Elab<'a> {
                             .insert(format!("{prefix}{vname}"), lv.clone());
                         scope.consts.insert(vname.clone(), lv);
                     }
-                    scope.enums.insert(t.name.clone(), (width, t.variants.len() as u64));
+                    scope
+                        .enums
+                        .insert(t.name.clone(), (width, t.variants.len() as u64));
                 }
                 Item::Localparam(p) => {
                     let v = self.const_value(&p.value, &scope)?;
@@ -251,7 +261,11 @@ impl<'a> Elab<'a> {
                         (None, None) => (1, None),
                     };
                     for name in &n.names {
-                        let id = self.add_signal(format!("{prefix}{name}"), width, SignalKind::Internal)?;
+                        let id = self.add_signal(
+                            format!("{prefix}{name}"),
+                            width,
+                            SignalKind::Internal,
+                        )?;
                         self.design.signals[id.index()].legal_encodings = legal;
                         scope.signals.insert(name.clone(), id);
                     }
@@ -363,7 +377,12 @@ impl<'a> Elab<'a> {
         }
     }
 
-    fn port_width(&self, _module: &Module, port: &hdl::PortDecl, scope: &Scope) -> Result<u32, ElabError> {
+    fn port_width(
+        &self,
+        _module: &Module,
+        port: &hdl::PortDecl,
+        scope: &Scope,
+    ) -> Result<u32, ElabError> {
         if let Some(tn) = &port.type_name {
             // Enum typedefs are declared in the body, which we have not
             // visited yet on the first use; scan the items directly.
@@ -427,9 +446,9 @@ impl<'a> Elab<'a> {
         match expr {
             Expr::Literal(text) => {
                 let v = LogicVec::parse_literal(text).map_err(|e| ElabError::new(e.to_string()))?;
-                v.to_u64()
-                    .map(|x| x as i64)
-                    .ok_or_else(|| ElabError::new(format!("literal `{text}` is not a defined constant")))
+                v.to_u64().map(|x| x as i64).ok_or_else(|| {
+                    ElabError::new(format!("literal `{text}` is not a defined constant"))
+                })
             }
             Expr::Ident(name) => {
                 let v = scope
@@ -455,7 +474,11 @@ impl<'a> Elab<'a> {
                     BinaryOp::Ge => (a >= b) as i64,
                     BinaryOp::Eq => (a == b) as i64,
                     BinaryOp::Ne => (a != b) as i64,
-                    _ => return Err(ElabError::new("non-constant operator in constant expression")),
+                    _ => {
+                        return Err(ElabError::new(
+                            "non-constant operator in constant expression",
+                        ))
+                    }
                 })
             }
             Expr::Unary {

@@ -160,7 +160,9 @@ impl NExpr {
                 lhs.collect_reads(out);
                 rhs.collect_reads(out);
             }
-            NExpr::Ternary { cond, then, els, .. } => {
+            NExpr::Ternary {
+                cond, then, els, ..
+            } => {
                 cond.collect_reads(out);
                 then.collect_reads(out);
                 els.collect_reads(out);
@@ -260,7 +262,9 @@ impl NStmt {
                     s.collect_rw(reads, writes);
                 }
             }
-            NStmt::If { cond, then, els, .. } => {
+            NStmt::If {
+                cond, then, els, ..
+            } => {
                 cond.collect_reads(reads);
                 then.collect_rw(reads, writes);
                 if let Some(e) = els {

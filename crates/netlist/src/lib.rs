@@ -30,7 +30,9 @@
 mod analysis;
 mod elab;
 mod ir;
+mod sched;
 
 pub use analysis::{classify_registers, reset_tree, DesignStats, RegClass, ResetTree};
 pub use elab::{elaborate, elaborate_src, ElabError};
 pub use ir::*;
+pub use sched::{comb_schedule, CombSchedule, SchedUnit};

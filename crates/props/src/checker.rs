@@ -85,7 +85,11 @@ impl PropertyChecker {
 
     /// Names of properties that have fired at least once.
     pub fn violated_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.violations.iter().map(|v| v.property.as_str()).collect();
+        let mut names: Vec<&str> = self
+            .violations
+            .iter()
+            .map(|v| v.property.as_str())
+            .collect();
         names.sort_unstable();
         names.dedup();
         names
@@ -166,7 +170,8 @@ mod tests {
             ("valid", 1),
         ] {
             let s = d.signal_by_name(sig).unwrap();
-            sim.set_input(s, &LogicVec::from_u64(d.signal(s).width, val)).unwrap();
+            sim.set_input(s, &LogicVec::from_u64(d.signal(s).width, val))
+                .unwrap();
         }
         sim.step();
         let v = checker.on_cycle(sim.cycle(), sim.values());
@@ -182,9 +187,15 @@ mod tests {
         let mut checker = PropertyChecker::new(vec![p]);
         sim.reset(1);
         // Matching parity: no error flag, property vacuously true.
-        for (sig, val) in [("rx_data", 3u64), ("parity_bit", 0), ("parity_enable", 0), ("valid", 1)] {
+        for (sig, val) in [
+            ("rx_data", 3u64),
+            ("parity_bit", 0),
+            ("parity_enable", 0),
+            ("valid", 1),
+        ] {
             let s = d.signal_by_name(sig).unwrap();
-            sim.set_input(s, &LogicVec::from_u64(d.signal(s).width, val)).unwrap();
+            sim.set_input(s, &LogicVec::from_u64(d.signal(s).width, val))
+                .unwrap();
         }
         for _ in 0..5 {
             sim.step();
@@ -262,9 +273,15 @@ mod tests {
         let p2 = Property::parse("always_true", "1'b1", &d).unwrap();
         let mut checker = PropertyChecker::new(vec![p1, p2]);
         sim.reset(1);
-        for (sig, val) in [("rx_data", 1u64), ("parity_bit", 0), ("parity_enable", 0), ("valid", 1)] {
+        for (sig, val) in [
+            ("rx_data", 1u64),
+            ("parity_bit", 0),
+            ("parity_enable", 0),
+            ("valid", 1),
+        ] {
             let s = d.signal_by_name(sig).unwrap();
-            sim.set_input(s, &LogicVec::from_u64(d.signal(s).width, val)).unwrap();
+            sim.set_input(s, &LogicVec::from_u64(d.signal(s).width, val))
+                .unwrap();
         }
         sim.step();
         checker.on_cycle(sim.cycle(), sim.values());

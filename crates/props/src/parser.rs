@@ -141,7 +141,10 @@ impl<'a> PParser<'a> {
         if self.eat_symbol(s) {
             Ok(())
         } else {
-            Err(PropError::new(format!("expected `{s}`, found {}", self.peek())))
+            Err(PropError::new(format!(
+                "expected `{s}`, found {}",
+                self.peek()
+            )))
         }
     }
 
@@ -243,11 +246,17 @@ impl<'a> PParser<'a> {
     }
 
     fn shift(&mut self) -> Result<PExpr, PropError> {
-        self.binary_level(&[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)], Self::additive)
+        self.binary_level(
+            &[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)],
+            Self::additive,
+        )
     }
 
     fn additive(&mut self) -> Result<PExpr, PropError> {
-        self.binary_level(&[("+", BinaryOp::Add), ("-", BinaryOp::Sub)], Self::multiplicative)
+        self.binary_level(
+            &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
+            Self::multiplicative,
+        )
     }
 
     fn multiplicative(&mut self) -> Result<PExpr, PropError> {
@@ -375,7 +384,11 @@ impl<'a> PParser<'a> {
                             id.push('.');
                             id.push_str(&part);
                         }
-                        other => return Err(self.err(format!("expected identifier after `.`, found {other}"))),
+                        other => {
+                            return Err(
+                                self.err(format!("expected identifier after `.`, found {other}"))
+                            )
+                        }
                     }
                 }
                 if let Some(sig) = self.design.signal_by_name(&id) {

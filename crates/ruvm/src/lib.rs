@@ -49,6 +49,8 @@ mod components;
 mod item;
 mod sequencer;
 
-pub use components::{run_test, Agent, AnalysisPort, Driver, Env, Monitor, Observation, Phase, Subscriber, UvmTest};
+pub use components::{
+    run_test, Agent, AnalysisPort, Driver, Env, Monitor, Observation, Phase, Subscriber, UvmTest,
+};
 pub use item::{Constraint, SequenceItem};
 pub use sequencer::Sequencer;

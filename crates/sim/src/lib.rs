@@ -44,6 +44,6 @@ mod simulator;
 mod vcd;
 mod vcd_read;
 
-pub use simulator::{BranchOutcome, SimError, Simulator, Snapshot};
+pub use simulator::{BranchOutcome, SettleMode, SimError, Simulator, Snapshot};
 pub use vcd::VcdWriter;
 pub use vcd_read::{read_vcd, VcdParseError, VcdTrace};

@@ -5,8 +5,23 @@ use std::sync::Arc;
 use symbfuzz_hdl::{BinaryOp, Edge, UnaryOp};
 use symbfuzz_logic::{Bit, LogicVec};
 use symbfuzz_netlist::{
-    reset_tree, BranchId, Design, NExpr, NLValue, NStmt, ProcKind, ResetTree, SignalId, SignalKind,
+    comb_schedule, reset_tree, BranchId, CombSchedule, Design, NExpr, NLValue, NStmt, ProcKind,
+    ResetTree, SignalId, SignalKind,
 };
+
+/// How combinational logic is settled between clock edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SettleMode {
+    /// Re-execute every combinational process until a global fixpoint
+    /// (the original strategy; O(processes × iterations) per settle).
+    Fixpoint,
+    /// Single level-order sweep over the precomputed
+    /// [`CombSchedule`], skipping units none of whose signals changed
+    /// since the last settle. Cyclic units fall back to a local
+    /// fixpoint, preserving [`SimError::CombLoop`] detection.
+    #[default]
+    Levelized,
+}
 
 /// Error raised by simulator operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,18 +76,44 @@ pub struct BranchOutcome {
 pub struct Simulator {
     design: Arc<Design>,
     rtree: ResetTree,
+    sched: Arc<CombSchedule>,
+    mode: SettleMode,
     values: Vec<LogicVec>,
     cycle: u64,
     /// Hit counters per branch, indexed `[branch][outcome]`.
     branch_hits: Vec<Vec<u64>>,
+    /// Count of (branch, outcome) pairs with a nonzero hit counter,
+    /// maintained incrementally so `toggled_outcomes` is O(1).
+    toggled_count: usize,
     /// Branch outcomes recorded since the last `take_outcomes` call.
     recent_outcomes: Vec<BranchOutcome>,
     /// Record outcomes into `recent_outcomes` (hit counters always run).
     record_outcomes: bool,
     comb_unstable: bool,
+    /// Per-signal "changed since last settle" flags driving the
+    /// levelized sweep's unit skipping.
+    dirty: Vec<bool>,
+    /// Combinational process indices in declaration order (the
+    /// fixpoint fallback's iteration order).
+    comb_procs: Vec<u32>,
+    /// Cached fuzzable-input packing: (signal, lo bit in the word,
+    /// port width), in `SignalId` order.
+    input_layout: Vec<(SignalId, u32, u32)>,
+    /// Sequential processes: (process index, clock signal index,
+    /// clock edge, clock is tracked as a clock signal).
+    seq_procs: Vec<(u32, u32, Edge, bool)>,
+    /// Input signal indices flagged as clocks (driven each phase).
+    clock_inputs: Vec<u32>,
+    /// Scratch: previous clock bit per entry of `seq_procs`.
+    prev_clock_bits: Vec<Bit>,
+    /// Scratch: pre-execution write values for convergence checks.
+    scratch_before: Vec<LogicVec>,
+    /// Scratch: pending non-blocking assigns.
+    scratch_nba: Vec<Nba>,
 }
 
 /// Non-blocking assignment pending commit.
+#[derive(Debug, Clone)]
 struct Nba {
     sig: SignalId,
     lo: u32,
@@ -87,25 +128,98 @@ impl Simulator {
     /// (registers stay `X` until reset; combinational nets settle at the
     /// first evaluation).
     pub fn new(design: Arc<Design>) -> Simulator {
-        let values = design.signals.iter().map(|s| LogicVec::xes(s.width)).collect();
+        let values: Vec<LogicVec> = design
+            .signals
+            .iter()
+            .map(|s| LogicVec::xes(s.width))
+            .collect();
         let branch_hits = design
             .branches
             .iter()
             .map(|b| vec![0u64; b.outcomes.max(2) as usize + 1])
             .collect();
         let rtree = reset_tree(&design);
+        let sched = Arc::new(comb_schedule(&design));
+        let comb_procs = design
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.kind, ProcKind::Comb))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let input_layout = {
+            let mut layout = Vec::new();
+            let mut lo = 0u32;
+            for sig in design.fuzzable_inputs() {
+                let w = design.signal(sig).width;
+                layout.push((sig, lo, w));
+                lo += w;
+            }
+            layout
+        };
+        let seq_procs: Vec<(u32, u32, Edge, bool)> = design
+            .processes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p.kind {
+                ProcKind::Seq {
+                    clock, clock_edge, ..
+                } => Some((
+                    i as u32,
+                    clock.index() as u32,
+                    clock_edge,
+                    design.signal(clock).is_clock,
+                )),
+                _ => None,
+            })
+            .collect();
+        let clock_inputs = design
+            .inputs()
+            .filter(|s| design.signal(*s).is_clock)
+            .map(|s| s.index() as u32)
+            .collect();
+        let dirty = vec![true; design.signals.len()];
+        let prev_clock_bits = vec![Bit::X; seq_procs.len()];
         let mut sim = Simulator {
             design,
             rtree,
+            sched,
+            mode: SettleMode::default(),
             values,
             cycle: 0,
             branch_hits,
+            toggled_count: 0,
             recent_outcomes: Vec::new(),
             record_outcomes: false,
             comb_unstable: false,
+            dirty,
+            comb_procs,
+            input_layout,
+            seq_procs,
+            clock_inputs,
+            prev_clock_bits,
+            scratch_before: Vec::new(),
+            scratch_nba: Vec::new(),
         };
-        let _ = sim.comb_fixpoint();
+        let _ = sim.settle_comb();
         sim
+    }
+
+    /// The active combinational settling strategy.
+    pub fn settle_mode(&self) -> SettleMode {
+        self.mode
+    }
+
+    /// Switches the settling strategy. All signals are conservatively
+    /// marked changed so the next levelized sweep runs every unit.
+    pub fn set_settle_mode(&mut self, mode: SettleMode) {
+        self.mode = mode;
+        self.mark_all_dirty();
+    }
+
+    /// The levelized schedule computed for this design.
+    pub fn schedule(&self) -> &CombSchedule {
+        &self.sched
     }
 
     /// The design being simulated.
@@ -151,7 +265,7 @@ impl Simulator {
             return Err(SimError::NotAnInput(sig));
         }
         let w = self.design.signal(sig).width;
-        self.values[sig.index()] = value.resized(w);
+        self.force_value(sig.index(), value.resized(w));
         Ok(())
     }
 
@@ -160,18 +274,15 @@ impl Simulator {
     /// order — the driver-side packing of §4.2 ("test inputs are packed
     /// into bit vectors").
     pub fn apply_input_word(&mut self, word: &LogicVec) {
-        let mut lo = 0u32;
-        let inputs: Vec<SignalId> = self.design.fuzzable_inputs().collect();
-        for sig in inputs {
-            let w = self.design.signal(sig).width;
+        for i in 0..self.input_layout.len() {
+            let (sig, lo, w) = self.input_layout[i];
             let part = if lo >= word.width() {
                 LogicVec::zeros(w)
             } else {
                 let take = w.min(word.width() - lo);
                 word.slice(lo, take).resized(w)
             };
-            self.values[sig.index()] = part;
-            lo += w;
+            self.force_value(sig.index(), part);
         }
     }
 
@@ -193,44 +304,99 @@ impl Simulator {
 
     /// Number of (branch, outcome) pairs exercised at least once — the
     /// mux/branch toggle coverage used by the RFuzz-style baseline.
+    /// Maintained incrementally, so this is O(1).
     pub fn toggled_outcomes(&self) -> usize {
-        self.branch_hits
-            .iter()
-            .map(|h| h.iter().filter(|&&c| c > 0).count())
-            .sum()
+        self.toggled_count
     }
 
-    /// Settles combinational logic to a fixpoint.
+    /// Settles combinational logic using the active [`SettleMode`].
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::CombLoop`] if the fixpoint does not converge
+    /// Returns [`SimError::CombLoop`] if settling does not converge
     /// (the values are left at the last iteration and
     /// [`comb_unstable`](Self::comb_unstable) is set).
     pub fn settle(&mut self) -> Result<(), SimError> {
-        self.comb_fixpoint()
+        self.settle_comb()
+    }
+
+    fn settle_comb(&mut self) -> Result<(), SimError> {
+        match self.mode {
+            SettleMode::Fixpoint => self.comb_fixpoint(),
+            SettleMode::Levelized => self.comb_levelized(),
+        }
     }
 
     fn comb_fixpoint(&mut self) -> Result<(), SimError> {
         let design = Arc::clone(&self.design);
+        let procs = std::mem::take(&mut self.comb_procs);
+        let result = self.run_local_fixpoint(&design, &procs);
+        self.comb_procs = procs;
+        match result {
+            Ok(()) => {
+                self.comb_unstable = false;
+                self.clear_dirty();
+                Ok(())
+            }
+            Err(e) => {
+                self.comb_unstable = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Single level-order sweep over the schedule. Units none of whose
+    /// signals changed since the last settle are skipped; cyclic units
+    /// fall back to a local fixpoint with the same iteration cap as the
+    /// global strategy, so combinational loops are still reported.
+    fn comb_levelized(&mut self) -> Result<(), SimError> {
+        let design = Arc::clone(&self.design);
+        let sched = Arc::clone(&self.sched);
+        let mut failed = false;
+        for unit in &sched.units {
+            if !unit.triggers.iter().any(|s| self.dirty[s.index()]) {
+                continue;
+            }
+            if unit.cyclic {
+                failed |= self.run_local_fixpoint(&design, &unit.procs).is_err();
+            } else {
+                let p = &design.processes[unit.procs[0] as usize];
+                let mut nba = std::mem::take(&mut self.scratch_nba);
+                self.exec_stmt(&p.body, &mut nba, true);
+                self.commit_nbas(&mut nba);
+                self.scratch_nba = nba;
+            }
+        }
+        self.clear_dirty();
+        self.comb_unstable = failed;
+        if failed {
+            Err(SimError::CombLoop)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Repeats the given processes, in order, until their outputs stop
+    /// changing.
+    ///
+    /// Convergence is judged on each process's *final* outputs, not on
+    /// intermediate writes (a body like `w = 0; w[i] = 1;` mutates `w`
+    /// twice per evaluation but is perfectly stable).
+    fn run_local_fixpoint(&mut self, design: &Design, procs: &[u32]) -> Result<(), SimError> {
         let max_iters = design.processes.len() + 8;
+        let mut before = std::mem::take(&mut self.scratch_before);
+        let mut nba = std::mem::take(&mut self.scratch_nba);
+        let mut result = Err(SimError::CombLoop);
         for _ in 0..max_iters {
             let mut changed = false;
-            for p in &design.processes {
-                if !matches!(p.kind, ProcKind::Comb) {
-                    continue;
-                }
-                // Convergence is judged on the process's *final* outputs,
-                // not on intermediate writes (a body like `w = 0;
-                // w[i] = 1;` mutates w twice per evaluation but is
-                // perfectly stable).
-                let before: Vec<LogicVec> =
-                    p.writes.iter().map(|w| self.values[w.index()].clone()).collect();
-                let mut nba = Vec::new();
+            for &pi in procs {
+                let p = &design.processes[pi as usize];
+                before.clear();
+                before.extend(p.writes.iter().map(|w| self.values[w.index()].clone()));
                 self.exec_stmt(&p.body, &mut nba, true);
                 // Comb processes should not contain non-blocking
                 // assigns; treat them as blocking if they appear.
-                self.commit_nbas(nba);
+                self.commit_nbas(&mut nba);
                 changed |= p
                     .writes
                     .iter()
@@ -238,12 +404,28 @@ impl Simulator {
                     .any(|(w, b)| self.values[w.index()] != *b);
             }
             if !changed {
-                self.comb_unstable = false;
-                return Ok(());
+                result = Ok(());
+                break;
             }
         }
-        self.comb_unstable = true;
-        Err(SimError::CombLoop)
+        self.scratch_before = before;
+        self.scratch_nba = nba;
+        result
+    }
+
+    fn force_value(&mut self, idx: usize, new: LogicVec) {
+        if self.values[idx] != new {
+            self.values[idx] = new;
+            self.dirty[idx] = true;
+        }
+    }
+
+    fn mark_all_dirty(&mut self) {
+        self.dirty.fill(true);
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.fill(false);
     }
 
     /// Advances one full clock cycle: rising phase (clocks 0→1,
@@ -262,53 +444,56 @@ impl Simulator {
 
     fn clock_phase(&mut self, edge: Edge) {
         let design = Arc::clone(&self.design);
-        // Snapshot clock bits before driving the edge.
-        let before: Vec<(usize, Bit)> = design
-            .signals
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_clock)
-            .map(|(i, _)| (i, self.values[i].bit(0)))
-            .collect();
+        // Snapshot each sequential process's clock bit before driving
+        // the edge. A clock not flagged `is_clock` is never driven here
+        // and reads as X, matching the original lookup's fallback.
+        for i in 0..self.seq_procs.len() {
+            let (_, clk, _, tracked) = self.seq_procs[i];
+            self.prev_clock_bits[i] = if tracked {
+                self.values[clk as usize].bit(0)
+            } else {
+                Bit::X
+            };
+        }
         let level = match edge {
             Edge::Pos => LogicVec::from_u64(1, 1),
             Edge::Neg => LogicVec::from_u64(1, 0),
         };
-        for c in design.inputs().filter(|s| design.signal(*s).is_clock) {
-            self.values[c.index()] = level.clone();
+        for i in 0..self.clock_inputs.len() {
+            let c = self.clock_inputs[i] as usize;
+            self.force_value(c, level.clone());
         }
-        let _ = self.comb_fixpoint();
+        let _ = self.settle_comb();
 
         // Fire sequential processes whose clock saw the right edge.
-        let mut nba = Vec::new();
-        for p in &design.processes {
-            let (clock, clock_edge) = match p.kind {
-                ProcKind::Seq { clock, clock_edge, .. } => (clock, clock_edge),
-                _ => continue,
-            };
-            let prev = before
-                .iter()
-                .find(|(i, _)| *i == clock.index())
-                .map(|(_, b)| *b)
-                .unwrap_or(Bit::X);
-            let now = self.values[clock.index()].bit(0);
+        let mut nba = std::mem::take(&mut self.scratch_nba);
+        for i in 0..self.seq_procs.len() {
+            let (pidx, clk, clock_edge, _) = self.seq_procs[i];
+            let prev = self.prev_clock_bits[i];
+            let now = self.values[clk as usize].bit(0);
             let fired = match clock_edge {
                 Edge::Pos => prev != Bit::One && now == Bit::One,
                 Edge::Neg => prev != Bit::Zero && now == Bit::Zero,
             };
             if fired {
+                let p = &design.processes[pidx as usize];
                 self.exec_stmt(&p.body, &mut nba, false);
             }
         }
-        self.commit_nbas(nba);
-        let _ = self.comb_fixpoint();
+        self.commit_nbas(&mut nba);
+        self.scratch_nba = nba;
+        let _ = self.settle_comb();
     }
 
     /// Applies a full reset: asserts every reset signal at its active
     /// level, runs `cycles` clock cycles, then deasserts.
     pub fn reset(&mut self, cycles: u32) {
-        let domains: Vec<(SignalId, Edge)> =
-            self.rtree.domains.iter().map(|d| (d.reset, d.active)).collect();
+        let domains: Vec<(SignalId, Edge)> = self
+            .rtree
+            .domains
+            .iter()
+            .map(|d| (d.reset, d.active))
+            .collect();
         self.apply_resets(&domains, cycles);
     }
 
@@ -329,7 +514,7 @@ impl Simulator {
                 Edge::Pos => LogicVec::from_u64(1, 1),
             };
             if self.design.signal(*rst).kind == SignalKind::Input {
-                self.values[rst.index()] = lvl;
+                self.force_value(rst.index(), lvl);
             }
         }
         for _ in 0..cycles {
@@ -341,10 +526,10 @@ impl Simulator {
                 Edge::Pos => LogicVec::from_u64(1, 0),
             };
             if self.design.signal(*rst).kind == SignalKind::Input {
-                self.values[rst.index()] = lvl;
+                self.force_value(rst.index(), lvl);
             }
         }
-        let _ = self.comb_fixpoint();
+        let _ = self.settle_comb();
     }
 
     /// Takes a checkpoint snapshot of the full state.
@@ -368,6 +553,8 @@ impl Simulator {
         );
         self.values = snap.values.clone();
         self.cycle = snap.cycle;
+        // Every signal may have changed; the next settle sweeps fully.
+        self.mark_all_dirty();
     }
 
     // ---- execution ----------------------------------------------------------
@@ -375,6 +562,9 @@ impl Simulator {
     fn record_branch(&mut self, branch: BranchId, outcome: u32) {
         let hits = &mut self.branch_hits[branch.index()];
         let idx = (outcome as usize).min(hits.len() - 1);
+        if hits[idx] == 0 {
+            self.toggled_count += 1;
+        }
         hits[idx] += 1;
         if self.record_outcomes {
             self.recent_outcomes.push(BranchOutcome { branch, outcome });
@@ -453,9 +643,9 @@ impl Simulator {
         }
     }
 
-    fn commit_nbas(&mut self, nbas: Vec<Nba>) -> bool {
+    fn commit_nbas(&mut self, nbas: &mut Vec<Nba>) -> bool {
         let mut changed = false;
-        for n in nbas {
+        for n in nbas.drain(..) {
             changed |= self.write(n.sig, n.lo, n.width, n.value, n.smear_x);
         }
         changed
@@ -478,7 +668,14 @@ impl Simulator {
         }
     }
 
-    fn write(&mut self, sig: SignalId, lo: u32, width: u32, value: LogicVec, smear_x: bool) -> bool {
+    fn write(
+        &mut self,
+        sig: SignalId,
+        lo: u32,
+        width: u32,
+        value: LogicVec,
+        smear_x: bool,
+    ) -> bool {
         let w = self.design.signal(sig).width;
         let new = if smear_x {
             LogicVec::xes(w)
@@ -494,6 +691,7 @@ impl Simulator {
         };
         if self.values[sig.index()] != new {
             self.values[sig.index()] = new;
+            self.dirty[sig.index()] = true;
             true
         } else {
             false
@@ -521,7 +719,12 @@ impl Simulator {
                 };
                 out.resized(*width)
             }
-            NExpr::Binary { op, lhs, rhs, width } => {
+            NExpr::Binary {
+                op,
+                lhs,
+                rhs,
+                width,
+            } => {
                 let a = self.eval(lhs);
                 let b = self.eval(rhs);
                 let out = match op {
@@ -564,7 +767,14 @@ impl Simulator {
                         let mut out = LogicVec::zeros(*width);
                         for i in 0..*width {
                             let (tb, eb) = (t.bit(i), e.bit(i));
-                            out.set_bit(i, if tb == eb && !tb.is_unknown() { tb } else { Bit::X });
+                            out.set_bit(
+                                i,
+                                if tb == eb && !tb.is_unknown() {
+                                    tb
+                                } else {
+                                    Bit::X
+                                },
+                            );
                         }
                         out
                     }

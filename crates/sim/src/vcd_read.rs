@@ -194,7 +194,8 @@ mod tests {
             sim.reset(1);
             let din = d.signal_by_name("d").unwrap();
             for (t, v) in [(0u64, 3u64), (1, 9), (2, 9), (3, 0)] {
-                sim.set_input(din, &symbfuzz_logic::LogicVec::from_u64(4, v)).unwrap();
+                sim.set_input(din, &symbfuzz_logic::LogicVec::from_u64(4, v))
+                    .unwrap();
                 sim.step();
                 w.sample(t, sim.values()).unwrap();
             }

@@ -181,15 +181,24 @@ impl BitBlaster {
             TermKind::Not(a) => self.lits(pool, a).iter().map(|l| l.negated()).collect(),
             TermKind::And(a, b) => {
                 let (la, lb) = (self.lits(pool, a), self.lits(pool, b));
-                la.iter().zip(&lb).map(|(&x, &y)| self.and_gate(x, y)).collect()
+                la.iter()
+                    .zip(&lb)
+                    .map(|(&x, &y)| self.and_gate(x, y))
+                    .collect()
             }
             TermKind::Or(a, b) => {
                 let (la, lb) = (self.lits(pool, a), self.lits(pool, b));
-                la.iter().zip(&lb).map(|(&x, &y)| self.or_gate(x, y)).collect()
+                la.iter()
+                    .zip(&lb)
+                    .map(|(&x, &y)| self.or_gate(x, y))
+                    .collect()
             }
             TermKind::Xor(a, b) => {
                 let (la, lb) = (self.lits(pool, a), self.lits(pool, b));
-                la.iter().zip(&lb).map(|(&x, &y)| self.xor_gate(x, y)).collect()
+                la.iter()
+                    .zip(&lb)
+                    .map(|(&x, &y)| self.xor_gate(x, y))
+                    .collect()
             }
             TermKind::Add(a, b) => {
                 let (la, lb) = (self.lits(pool, a), self.lits(pool, b));

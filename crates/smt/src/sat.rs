@@ -165,15 +165,15 @@ impl SatSolver {
         }
         // Remove literals already false at level 0; satisfied clause is dropped.
         c.retain(|l| !(self.value(*l) == -1 && self.level[l.var() as usize] == 0));
-        if c.iter().any(|l| self.value(*l) == 1 && self.level[l.var() as usize] == 0) {
+        if c.iter()
+            .any(|l| self.value(*l) == 1 && self.level[l.var() as usize] == 0)
+        {
             return;
         }
         match c.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(c[0], INVALID) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(c[0], INVALID) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -513,7 +513,9 @@ mod tests {
         for w in vars.windows(2) {
             s.add_clause(&[lit(w[0], false), lit(w[1], true)]);
         }
-        let SatResult::Sat(m) = s.solve() else { panic!() };
+        let SatResult::Sat(m) = s.solve() else {
+            panic!()
+        };
         assert!(vars.iter().all(|&v| m[v as usize]));
     }
 
@@ -526,22 +528,25 @@ mod tests {
         s.add_clause(&[lit(a, true), lit(b, true)]);
         s.add_clause(&[lit(a, false), lit(b, false)]);
         s.add_clause(&[lit(a, true)]);
-        let SatResult::Sat(m) = s.solve() else { panic!() };
+        let SatResult::Sat(m) = s.solve() else {
+            panic!()
+        };
         assert!(m[a as usize] && !m[b as usize]);
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_is_unsat() {
         // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
         let mut s = SatSolver::new();
         let mut p = [[0u32; 2]; 3];
-        for i in 0..3 {
-            for j in 0..2 {
-                p[i][j] = s.new_var();
+        for row in &mut p {
+            for v in row.iter_mut() {
+                *v = s.new_var();
             }
         }
-        for i in 0..3 {
-            s.add_clause(&[lit(p[i][0], true), lit(p[i][1], true)]);
+        for row in &p {
+            s.add_clause(&[lit(row[0], true), lit(row[1], true)]);
         }
         for j in 0..2 {
             for i1 in 0..3 {
@@ -560,7 +565,9 @@ mod tests {
         let a = s.new_var();
         let b = s.new_var();
         s.add_clause(&[lit(a, true), lit(b, true)]);
-        let SatResult::Sat(m) = s.solve_with(&[lit(a, false)]) else { panic!() };
+        let SatResult::Sat(m) = s.solve_with(&[lit(a, false)]) else {
+            panic!()
+        };
         assert!(!m[a as usize] && m[b as usize]);
         // Assumptions conflicting with clauses yield UNSAT but the
         // instance stays solvable without them.
@@ -593,7 +600,9 @@ mod tests {
         let vars: Vec<u32> = (0..40).map(|_| s.new_var()).collect();
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..160 {

@@ -160,9 +160,7 @@ impl BvSolver {
 
     /// Number of variables declared in the pool.
     pub fn var_count(&self) -> usize {
-        self.pool
-            .vars()
-            .len()
+        self.pool.vars().len()
     }
 
     /// CNF statistics from the blaster (vars, clauses).
@@ -196,7 +194,11 @@ pub fn render_term(pool: &TermPool, t: TermId) -> String {
             format!("(extract {} {} {})", render_term(pool, *arg), lo, width)
         }
         TermKind::ConcatPair(h, l) => {
-            format!("(concat {} {})", render_term(pool, *h), render_term(pool, *l))
+            format!(
+                "(concat {} {})",
+                render_term(pool, *h),
+                render_term(pool, *l)
+            )
         }
         TermKind::ShlConst(a, n) => format!("(shl {} {n})", render_term(pool, *a)),
         TermKind::LshrConst(a, n) => format!("(lshr {} {n})", render_term(pool, *a)),
@@ -222,7 +224,9 @@ mod tests {
             p.eq(sum, hundred)
         };
         s.assert(goal);
-        let SatOutcome::Sat(m) = s.check() else { panic!("sat expected") };
+        let SatOutcome::Sat(m) = s.check() else {
+            panic!("sat expected")
+        };
         assert_eq!(m.value("a").unwrap().to_u64(), Some(95));
         assert!(s.validate(&m));
     }
@@ -279,7 +283,9 @@ mod tests {
         let _unused = s.pool_mut().var("unused", 16);
         let t = s.pool_mut().tru();
         s.assert(t);
-        let SatOutcome::Sat(m) = s.check() else { panic!() };
+        let SatOutcome::Sat(m) = s.check() else {
+            panic!()
+        };
         assert_eq!(m.value("unused").unwrap().to_u64(), Some(0));
     }
 

@@ -433,7 +433,7 @@ impl TermPool {
     /// Concatenation `{hi, lo}`.
     pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
         let w = self.width(hi) + self.width(lo);
-        if let Some(t) = self.fold2(hi, lo, |h, l| LogicVec::concat(h, l)) {
+        if let Some(t) = self.fold2(hi, lo, LogicVec::concat) {
             return t;
         }
         self.mk(TermKind::ConcatPair(hi, lo), w)

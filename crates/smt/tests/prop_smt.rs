@@ -8,10 +8,9 @@ use symbfuzz_smt::{BvSolver, Lit, SatOutcome, SatResult, SatSolver};
 /// Brute-force satisfiability for ≤ 16 variables.
 fn brute_force(num_vars: u32, clauses: &[Vec<(u32, bool)>]) -> bool {
     for m in 0u32..(1 << num_vars) {
-        let ok = clauses.iter().all(|c| {
-            c.iter()
-                .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
-        });
+        let ok = clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos));
         if ok {
             return true;
         }

@@ -19,10 +19,7 @@ pub struct InputAssignment {
 impl InputAssignment {
     /// The value for one input signal.
     pub fn value(&self, sig: SignalId) -> Option<&LogicVec> {
-        self.values
-            .iter()
-            .find(|(s, _)| *s == sig)
-            .map(|(_, v)| v)
+        self.values.iter().find(|(s, _)| *s == sig).map(|(_, v)| v)
     }
 
     /// Iterates over `(signal, value)` pairs.
@@ -350,7 +347,9 @@ impl SymbolicEngine {
                     self.exec_sym(s, store, next);
                 }
             }
-            NStmt::If { cond, then, els, .. } => {
+            NStmt::If {
+                cond, then, els, ..
+            } => {
                 let c = self.cond_bit(cond, store);
                 let (mut s_then, mut n_then) = (store.clone(), next.clone());
                 self.exec_sym(then, &mut s_then, &mut n_then);
@@ -414,9 +413,7 @@ impl SymbolicEngine {
                 .unwrap_or_else(|| self.default_term(sig));
                 let new = match lhs {
                     NLValue::Full(_) => self.pool.resize(value, w),
-                    NLValue::Part { lo, width, .. } => {
-                        self.splice(old, *lo, *width, value, w)
-                    }
+                    NLValue::Part { lo, width, .. } => self.splice(old, *lo, *width, value, w),
                     NLValue::DynBit { index, .. } => {
                         let idx = self.eval_sym(index, store);
                         let one = self.pool.const_u64(w, 1);
@@ -541,7 +538,12 @@ impl SymbolicEngine {
                 };
                 self.pool.resize(t, *width)
             }
-            NExpr::Binary { op, lhs, rhs, width } => {
+            NExpr::Binary {
+                op,
+                lhs,
+                rhs,
+                width,
+            } => {
                 let a = self.eval_sym(lhs, store);
                 let b = self.eval_sym(rhs, store);
                 let t = match op {

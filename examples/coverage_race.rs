@@ -18,7 +18,10 @@ fn main() {
     let design = bench.design().expect("benchmark elaborates");
     let props = bench.property_specs();
 
-    println!("coverage race on `{}` — {budget} vectors each\n", bench.name);
+    println!(
+        "coverage race on `{}` — {budget} vectors each\n",
+        bench.name
+    );
     let mut rows = Vec::new();
     for strategy in Strategy::all() {
         let config = FuzzConfig {
@@ -34,7 +37,10 @@ fn main() {
         rows.push((strategy.name(), r));
     }
 
-    println!("{:12} {:>8} {:>8} {:>8} {:>10}", "strategy", "nodes", "edges", "points", "solver");
+    println!(
+        "{:12} {:>8} {:>8} {:>8} {:>10}",
+        "strategy", "nodes", "edges", "points", "solver"
+    );
     for (name, r) in &rows {
         println!(
             "{:12} {:>8} {:>8} {:>8} {:>10}",
@@ -43,8 +49,15 @@ fn main() {
     }
 
     // A coarse ASCII rendering of the coverage curves.
-    println!("\ncoverage over time (each column ≈ {} vectors):", budget / 30);
-    let max = rows.iter().map(|(_, r)| r.coverage_points).max().unwrap_or(1);
+    println!(
+        "\ncoverage over time (each column ≈ {} vectors):",
+        budget / 30
+    );
+    let max = rows
+        .iter()
+        .map(|(_, r)| r.coverage_points)
+        .max()
+        .unwrap_or(1);
     for (name, r) in &rows {
         let mut line = String::new();
         for i in 0..30 {

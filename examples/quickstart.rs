@@ -19,7 +19,10 @@ fn main() {
     let rc = classify_registers(&design);
 
     println!("design `{}`:", design.name);
-    println!("  signals: {}, registers: {}", stats.signals, stats.registers);
+    println!(
+        "  signals: {}, registers: {}",
+        stats.signals, stats.registers
+    );
     println!(
         "  control registers: {:?}",
         rc.control
@@ -27,7 +30,10 @@ fn main() {
             .map(|s| design.signal(*s).name.as_str())
             .collect::<Vec<_>>()
     );
-    println!("  node population (Eqn. 3): {}", rc.node_population(&design));
+    println!(
+        "  node population (Eqn. 3): {}",
+        rc.node_population(&design)
+    );
 
     // A property that holds: INIT mode always outputs zero.
     let props = vec![PropertySpec::assertion_only(

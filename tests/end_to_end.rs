@@ -18,13 +18,8 @@ fn config(budget: u64) -> FuzzConfig {
 #[test]
 fn alu_reaches_full_defined_node_coverage() {
     let design = toy_alu();
-    let mut fuzzer = SymbFuzz::new(
-        Arc::clone(&design),
-        Strategy::SymbFuzz,
-        config(4_000),
-        &[],
-    )
-    .unwrap();
+    let mut fuzzer =
+        SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, config(4_000), &[]).unwrap();
     let result = fuzzer.run();
     // All 12 defined nodes (6 enum states × 2 modes) plus X-tinged
     // power-up nodes must be covered.
@@ -135,8 +130,13 @@ fn full_pipeline_from_inline_rtl() {
     let rc = classify_registers(&design);
     assert_eq!(rc.control.len(), 1);
     let props = vec![PropertySpec::assertion_only("no_alarm", "alarm == 1'b0")];
-    let mut fuzzer =
-        SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, config(20_000), &props).unwrap();
+    let mut fuzzer = SymbFuzz::new(
+        Arc::clone(&design),
+        Strategy::SymbFuzz,
+        config(20_000),
+        &props,
+    )
+    .unwrap();
     let result = fuzzer.run();
     assert!(result.detected("no_alarm"));
     let bug = &result.bugs[0];

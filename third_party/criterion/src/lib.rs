@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`criterion_group!`] and [`criterion_main!`] — measured with plain
+//! wall-clock timing. There are no statistical reports or HTML output;
+//! each benchmark prints `name ... time: <median> ns/iter` to stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How long each benchmark samples for after warm-up.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up time before samples are recorded.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: function name plus a parameter label.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording the median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-call cost so the sample loop
+        // can batch extremely fast routines.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (WARMUP_BUDGET.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        // Aim for ~50 samples; batch iterations so each sample takes
+        // long enough for the clock to resolve.
+        let batch = ((SAMPLE_BUDGET.as_nanos() as f64 / 50.0 / est_ns).ceil() as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::new();
+        let sample_start = Instant::now();
+        while sample_start.elapsed() < SAMPLE_BUDGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        self.criterion
+            .report(&self.name, &id.to_string(), bencher.ns_per_iter);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher, input);
+        self.criterion
+            .report(&self.name, &id.to_string(), bencher.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        self.report("", id, bencher.ns_per_iter);
+        self
+    }
+
+    fn report(&mut self, group: &str, id: &str, ns: f64) {
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if ns >= 1_000_000.0 {
+            println!("{full:<50} time: {:10.3} ms/iter", ns / 1_000_000.0);
+        } else if ns >= 1_000.0 {
+            println!("{full:<50} time: {:10.3} us/iter", ns / 1_000.0);
+        } else {
+            println!("{full:<50} time: {ns:10.1} ns/iter");
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    criterion_group!(smoke, smoke_bench);
+
+    fn smoke_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| black_box(0u64)));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}

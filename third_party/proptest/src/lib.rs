@@ -1,0 +1,489 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the subset of proptest this workspace uses: the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros,
+//! integer range and tuple strategies, `any::<T>()`, and
+//! `collection::vec`. Cases are sampled from a generator seeded by the
+//! test's module path and case index, so failures reproduce exactly
+//! across runs. There is **no shrinking** — a failing case reports its
+//! index and message and panics immediately.
+
+/// Strategies: composable random value sources.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Integers the range strategies can produce.
+    pub trait SampleNum: Copy {
+        /// Widening conversion (signed values sign-extend).
+        fn to_i128(self) -> i128;
+        /// Narrowing conversion; the value is always in range.
+        fn from_i128(v: i128) -> Self;
+    }
+
+    macro_rules! impl_sample_num {
+        ($($t:ty),*) => {$(
+            impl SampleNum for $t {
+                fn to_i128(self) -> i128 {
+                    self as i128
+                }
+                fn from_i128(v: i128) -> $t {
+                    v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    fn uniform_in(lo: i128, hi_incl: i128, rng: &mut TestRng) -> i128 {
+        debug_assert!(lo <= hi_incl);
+        let span = (hi_incl - lo) as u128;
+        if span >= u64::MAX as u128 {
+            return lo + rng.next_u64() as i128;
+        }
+        let bound = span as u64 + 1;
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let raw = rng.next_u64();
+            if raw < zone {
+                return lo + (raw % bound) as i128;
+            }
+        }
+    }
+
+    impl<T: SampleNum> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+            assert!(lo < hi, "empty range strategy");
+            T::from_i128(uniform_in(lo, hi - 1, rng))
+        }
+    }
+
+    impl<T: SampleNum> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+            assert!(lo <= hi, "empty range strategy");
+            T::from_i128(uniform_in(lo, hi, rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($t:ident . $idx:tt),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait backing typed parameters.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (`collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for generated collections (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_incl - self.size.lo;
+            let len = if span == 0 {
+                self.size.lo
+            } else {
+                self.size.lo + (rng.next_u64() as usize % (span + 1))
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Config, RNG and failure plumbing used by the macros.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure with a message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream keyed by (test name, case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one case of one named test. The same (name, case)
+        /// pair always yields the same stream.
+        pub fn for_case(name: &str, case: u32) -> TestRng {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            name.hash(&mut h);
+            let seed = h
+                .finish()
+                .wrapping_add((case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            // Scramble once so adjacent case indices start statistically
+            // unrelated streams (raw SplitMix counters one step apart
+            // would otherwise overlap after a single draw).
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            TestRng {
+                state: z ^ (z >> 31),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The names `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `fn` inside becomes a `#[test]` that
+/// runs `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    $crate::__bind_params!(__rng; ($($params)*) $body);
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest `{}` case {} failed: {}",
+                        stringify!($name),
+                        __case,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one parameter (either
+/// `name in strategy` or `name: Type`) and recurses on the rest.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_params {
+    ($rng:ident; () $body:block) => {
+        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    };
+    ($rng:ident; ($i:ident in $s:expr) $body:block) => {{
+        let $i = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::__bind_params!($rng; () $body)
+    }};
+    ($rng:ident; ($i:ident in $s:expr, $($rest:tt)*) $body:block) => {{
+        let $i = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::__bind_params!($rng; ($($rest)*) $body)
+    }};
+    ($rng:ident; ($i:ident : $t:ty) $body:block) => {{
+        let $i = <$t as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__bind_params!($rng; () $body)
+    }};
+    ($rng:ident; ($i:ident : $t:ty, $($rest:tt)*) $body:block) => {{
+        let $i = <$t as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__bind_params!($rng; ($($rest)*) $body)
+    }};
+}
+
+/// Property assertion: on failure returns a [`TestCaseError`] from the
+/// enclosing case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?} == {:?}` ({} == {})",
+                    __a,
+                    __b,
+                    stringify!($a),
+                    stringify!($b)
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: `{:?} == {:?}`", format!($($fmt)+), __a, __b),
+            ));
+        }
+    }};
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                __a, __b
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_and_strategy_params(a: u64, w in 1u32..=64, flag: bool) {
+            let _ = flag;
+            prop_assert!((1..=64).contains(&w));
+            let _ = a;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn vectors_respect_size_bounds(
+            xs in crate::collection::vec(0u8..4, 1..80),
+            pairs in crate::collection::vec((0u32..10, any::<bool>()), 2..5),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 80);
+            prop_assert!(xs.iter().all(|&x| x < 4));
+            prop_assert!(pairs.len() >= 2 && pairs.len() < 5);
+            prop_assert!(pairs.iter().all(|&(v, _)| v < 10));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

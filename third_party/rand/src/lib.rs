@@ -1,0 +1,237 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the small API subset the workspace actually uses —
+//! [`Rng::gen`], [`Rng::gen_range`], [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`] — backed by xoshiro256** seeded via SplitMix64.
+//! Streams are deterministic per seed but do **not** match upstream
+//! `rand`'s `StdRng` output (which this repository never relies on).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from an RNG's raw 64-bit output.
+pub trait Standard: Sized {
+    /// Derives a value from one raw 64-bit draw.
+    fn from_raw(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_raw(raw: u64) -> $t {
+                raw as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn from_raw(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_raw(raw: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integers `gen_range` can sample.
+pub trait SampleUint: Copy + PartialOrd {
+    /// Widening conversion (signed values sign-extend).
+    fn to_i128(self) -> i128;
+    /// Narrowing conversion; the value is always in range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUint for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+fn uniform_below(bound: u64, rng: &mut dyn FnMut() -> u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling over the largest multiple of `bound`.
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let raw = rng();
+        if raw < zone || zone == 0 {
+            return raw % bound;
+        }
+    }
+}
+
+impl<T: SampleUint> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = (hi - lo) as u128;
+        if span >= u64::MAX as u128 {
+            return T::from_i128(lo + rng() as i128);
+        }
+        T::from_i128(lo + uniform_below(span as u64, rng) as i128)
+    }
+}
+
+impl<T: SampleUint> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = (hi - lo) as u128;
+        if span >= u64::MAX as u128 {
+            return T::from_i128(lo + rng() as i128);
+        }
+        T::from_i128(lo + uniform_below(span as u64 + 1, rng) as i128)
+    }
+}
+
+/// The user-facing RNG trait (the `rand::Rng` subset in use here).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_raw(self.next_u64())
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample_from(&mut draw)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Raw entropy source.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produces the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for `rand`'s
+    /// `StdRng`; streams differ from upstream).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.gen_range(0..5);
+            assert!(w < 5);
+            let i: u32 = rng.gen_range(1..=8);
+            assert!((1..=8).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn full_u64_range_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v: u64 = rng.gen_range(0..=u64::MAX);
+        let _ = v;
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! without syn/quote by walking the raw [`TokenStream`]. Supported
+//! shapes are exactly what this workspace uses: structs with named
+//! fields and enums whose variants are all unit variants. Anything
+//! else panics at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: (name, field identifiers).
+    Struct(String, Vec<String>),
+    /// Unit-variant enum: (name, variant identifiers).
+    Enum(String, Vec<String>),
+}
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility tokens, then parses `struct Name { fields }` or
+/// `enum Name { variants }`.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // Optional `(crate)`-style visibility scope.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!(
+                    "derive: generic type `{name}` is not supported by the offline serde stand-in"
+                )
+            }
+            Some(_) => continue,
+            None => panic!("derive: `{name}` has no braced body (tuple/unit shapes unsupported)"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Shape::Struct(name, named_fields(body.stream())),
+        "enum" => Shape::Enum(name, unit_variants(body.stream())),
+        other => panic!("derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Extracts field names from a named-field struct body. Fields look
+/// like `[attrs] [pub] name : type ,` — the identifier immediately
+/// before each top-level `:` is the field name. Nested generics in
+/// types never contain a top-level `:` at depth 0 because type paths
+/// use `::` (a joint punct pair), which we detect and skip.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && !in_type => {
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                if matches!(
+                    iter.peek(),
+                    Some(TokenTree::Punct(q)) if q.as_char() == ':'
+                ) {
+                    // `::` path separator inside a type.
+                    iter.next();
+                } else if !in_type {
+                    let name = last_ident
+                        .take()
+                        .expect("derive: `:` with no preceding field name");
+                    fields.push(name);
+                    in_type = true;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && !in_type => {}
+            TokenTree::Punct(p) if p.as_char() == ',' && in_type => {
+                // A `,` at depth 0 while reading a type ends the field
+                // (generic args live inside `<...>` punct runs; see below).
+                in_type = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && in_type => {
+                // Consume until the matching `>` so commas inside
+                // generic argument lists don't end the field.
+                let mut depth = 1usize;
+                for inner in iter.by_ref() {
+                    if let TokenTree::Punct(q) = inner {
+                        match q.as_char() {
+                            '<' => depth += 1,
+                            '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, insisting every variant
+/// is a unit variant (no payload group follows the identifier).
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    panic!(
+                        "derive: enum variant `{name}` carries data; only unit \
+                         variants are supported by the offline serde stand-in"
+                    );
+                }
+                variants.push(name);
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize` (the offline stand-in trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{\n{arms}}}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Derives `serde::Deserialize` (the offline stand-in trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{\n{reads}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::DeError::new(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::DeError::new(\n\
+                                 \"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("derive(Deserialize): generated code failed to parse")
+}
