@@ -1,0 +1,131 @@
+//! Shared command-line handling for the bench binaries.
+//!
+//! Every binary accepts, besides its positional arguments:
+//!
+//! * `--jobs N` / `-j N` / `-jN` / `--jobs=N` — worker threads
+//!   (see [`crate::pool::split_jobs`]);
+//! * `--log-level LEVEL` / `--log-level=LEVEL` — stderr logging
+//!   verbosity (`off`, `warn`, `info`, `debug`; default `info`);
+//! * `--trace-out PATH` / `--trace-out=PATH` — stream a wall-clock
+//!   JSONL campaign trace to `PATH` (see [`crate::experiments::enable_tracing`]).
+
+use crate::pool::split_jobs;
+use std::path::PathBuf;
+use symbfuzz_telemetry::{set_log_level, Level};
+
+/// Parsed common bench arguments.
+#[derive(Debug)]
+pub struct BenchArgs {
+    /// Positional arguments, flags removed, in order.
+    pub rest: Vec<String>,
+    /// Worker thread count (≥ 1).
+    pub jobs: usize,
+    /// Requested stderr log level.
+    pub log_level: Level,
+    /// Trace file requested via `--trace-out`, if any.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// The `n`-th positional argument parsed as `T`, else `default`.
+    pub fn pos<T: std::str::FromStr>(&self, n: usize, default: T) -> T {
+        self.rest
+            .get(n)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Splits `--log-level` and `--trace-out` out of `args`, then delegates
+/// the remainder to [`split_jobs`]. Unknown or malformed flag values
+/// fall back to the defaults (`Level::Info`, no trace).
+pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
+    let mut log_level = Level::Info;
+    let mut trace_out = None;
+    let mut passthrough = Vec::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--log-level" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                log_level = v;
+            }
+        } else if let Some(v) = a.strip_prefix("--log-level=") {
+            if let Ok(v) = v.parse() {
+                log_level = v;
+            }
+        } else if a == "--trace-out" {
+            if let Some(v) = args.next() {
+                trace_out = Some(PathBuf::from(v));
+            }
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            trace_out = Some(PathBuf::from(v));
+        } else {
+            passthrough.push(a);
+        }
+    }
+    let (rest, jobs) = split_jobs(passthrough.into_iter());
+    BenchArgs {
+        rest,
+        jobs,
+        log_level,
+        trace_out,
+    }
+}
+
+/// [`split_bench_args`] over the process arguments (program name
+/// skipped), applying side effects: sets the global log level and, when
+/// `--trace-out` was given, opens the trace file via
+/// [`crate::experiments::enable_tracing`].
+pub fn parse_bench_args() -> BenchArgs {
+    let parsed = split_bench_args(std::env::args().skip(1));
+    set_log_level(parsed.log_level);
+    if let Some(path) = &parsed.trace_out {
+        if let Err(e) = crate::experiments::enable_tracing(path) {
+            symbfuzz_telemetry::warn!("cannot open trace file {}: {e}", path.display());
+        }
+    }
+    parsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(s: &str) -> BenchArgs {
+        split_bench_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn extracts_log_level_and_trace_out() {
+        let a = split("5000 --log-level debug --trace-out /tmp/t.jsonl 2 -j 4");
+        assert_eq!(a.rest, vec!["5000".to_string(), "2".to_string()]);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.log_level, Level::Debug);
+        assert_eq!(
+            a.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+    }
+
+    #[test]
+    fn equals_spellings_and_defaults() {
+        let a = split("--log-level=warn --trace-out=trace.jsonl");
+        assert_eq!(a.log_level, Level::Warn);
+        assert_eq!(
+            a.trace_out.as_deref(),
+            Some(std::path::Path::new("trace.jsonl"))
+        );
+        let b = split("1000");
+        assert_eq!(b.log_level, Level::Info);
+        assert!(b.trace_out.is_none());
+        assert_eq!(b.pos(0, 0u64), 1000);
+        assert_eq!(b.pos(1, 7u64), 7);
+    }
+
+    #[test]
+    fn bad_level_falls_back() {
+        let a = split("--log-level chatty 42");
+        assert_eq!(a.log_level, Level::Info);
+        assert_eq!(a.rest, vec!["42".to_string()]);
+    }
+}

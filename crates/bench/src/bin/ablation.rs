@@ -5,19 +5,21 @@
 //! * shallow solving — one-cycle dependency equations only;
 //! * no solver — coverage-guided random (feedback without guidance).
 //!
-//! Usage: `ablation [budget] [bench_index] [--jobs N]` (defaults 30000, 0).
+//! Usage: `ablation [budget] [bench_index] [--jobs N]
+//! [--log-level LEVEL] [--trace-out PATH]` (defaults 30000, 0).
 
 use std::sync::Arc;
-use symbfuzz_bench::pool::{parse_jobs, run_pool};
+use symbfuzz_bench::experiments::attach_telemetry;
+use symbfuzz_bench::pool::run_pool;
 use symbfuzz_bench::render::save_json;
+use symbfuzz_bench::{flush_trace, parse_bench_args};
 use symbfuzz_core::{CampaignResult, FuzzConfig, Strategy, SymbFuzz};
 use symbfuzz_designs::processor_benchmarks;
 
 fn main() {
-    let (args, jobs) = parse_jobs();
-    let mut args = args.into_iter();
-    let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(30_000);
-    let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let args = parse_bench_args();
+    let budget: u64 = args.pos(0, 30_000);
+    let bench: usize = args.pos(1, 0);
     let b = &processor_benchmarks()[bench];
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
@@ -54,12 +56,14 @@ fn main() {
         ),
     ];
 
-    let results: Vec<(String, CampaignResult)> = run_pool(&variants, jobs, |_, (name, cfg)| {
-        let mut fuzzer =
-            SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, cfg.clone(), &props)
-                .expect("properties compile");
-        (name.to_string(), fuzzer.run())
-    });
+    let results: Vec<(String, CampaignResult)> =
+        run_pool(&variants, args.jobs, |task, (name, cfg)| {
+            let mut fuzzer =
+                SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, cfg.clone(), &props)
+                    .expect("properties compile");
+            attach_telemetry(&mut fuzzer, task);
+            (name.to_string(), fuzzer.run())
+        });
 
     println!("# Ablation on `{}` — {budget} vectors each\n", b.name);
     println!("| Variant | nodes | edges | coverage points | solver calls | rollbacks |");
@@ -76,4 +80,5 @@ fn main() {
         );
     }
     save_json("ablation", &results).expect("write results/ablation.json");
+    flush_trace();
 }

@@ -1,29 +1,30 @@
 //! Regenerates Figure 4a: coverage vs input vectors for all five
-//! strategies. Usage: `fig4a [budget] [bench_index] [--jobs N]`
-//! (defaults 40000, 0).
+//! strategies. Usage: `fig4a [budget] [bench_index] [--jobs N]
+//! [--log-level LEVEL] [--trace-out PATH]` (defaults 40000, 0).
 
 use symbfuzz_bench::experiments::coverage_race;
-use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_fig4a_csv, save_json};
+use symbfuzz_bench::{flush_trace, parse_bench_args};
+use symbfuzz_telemetry::info;
 
 fn main() {
-    let (args, jobs) = parse_jobs();
-    let mut args = args.into_iter();
-    let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
-    let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
-    let race = coverage_race(bench, budget, 0x46A, jobs);
+    let args = parse_bench_args();
+    let budget: u64 = args.pos(0, 40_000);
+    let bench: usize = args.pos(1, 0);
+    let race = coverage_race(bench, budget, 0x46A, args.jobs);
     println!(
         "# Figure 4a — coverage vs input vectors on `{}`\n",
         race.design
     );
     print!("{}", render_fig4a_csv(&race));
-    eprintln!("\nfinal coverage:");
+    info!("final coverage:");
     for (name, series) in &race.curves {
-        eprintln!(
+        info!(
             "  {:12} {}",
             name,
             series.last().map(|s| s.coverage).unwrap_or(0)
         );
     }
     save_json("fig4a", &race).expect("write results/fig4a.json");
+    flush_trace();
 }

@@ -1,18 +1,19 @@
 //! Regenerates Figure 4b: coverage variance across repeated runs in the
-//! mid-campaign window. Usage: `fig4b [budget] [runs] [bench_index] [--jobs N]`.
+//! mid-campaign window. Usage: `fig4b [budget] [runs] [bench_index]
+//! [--jobs N] [--log-level LEVEL] [--trace-out PATH]`.
 
 use symbfuzz_bench::experiments::variance_profile;
-use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_fig4b_csv, save_json};
+use symbfuzz_bench::{flush_trace, parse_bench_args};
 
 fn main() {
-    let (args, jobs) = parse_jobs();
-    let mut args = args.into_iter();
-    let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
-    let runs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
-    let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
-    let pts = variance_profile(bench, budget, runs, jobs);
+    let args = parse_bench_args();
+    let budget: u64 = args.pos(0, 10_000);
+    let runs: u64 = args.pos(1, 4);
+    let bench: usize = args.pos(2, 0);
+    let pts = variance_profile(bench, budget, runs, args.jobs);
     println!("# Figure 4b — coverage variance over {runs} runs\n");
     print!("{}", render_fig4b_csv(&pts));
     save_json("fig4b", &pts).expect("write results/fig4b.json");
+    flush_trace();
 }

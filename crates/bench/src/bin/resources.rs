@@ -1,17 +1,30 @@
-//! Regenerates the §5.2 resource-profile comparison.
-//! Usage: `resources [budget] [bench_index] [--jobs N]`.
+//! Regenerates the §5.2 resource-profile comparison, plus the merged
+//! campaign telemetry block (`results/BENCH_telemetry.json`).
+//! Usage: `resources [budget] [bench_index] [--jobs N]
+//! [--log-level LEVEL] [--trace-out PATH]`.
 
 use symbfuzz_bench::experiments::resource_profile;
-use symbfuzz_bench::pool::parse_jobs;
+use symbfuzz_bench::pool::merge_telemetry;
 use symbfuzz_bench::render::{render_resources, save_json};
+use symbfuzz_bench::{flush_trace, parse_bench_args};
+use symbfuzz_telemetry::info;
 
 fn main() {
-    let (args, jobs) = parse_jobs();
-    let mut args = args.into_iter();
-    let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
-    let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
-    let rows = resource_profile(bench, budget, jobs);
+    let args = parse_bench_args();
+    let budget: u64 = args.pos(0, 20_000);
+    let bench: usize = args.pos(1, 0);
+    let rows = resource_profile(bench, budget, args.jobs);
     println!("# §5.2 — resource profile\n");
     println!("{}", render_resources(&rows));
+    let merged = merge_telemetry(rows.iter().map(|(_, r)| &r.telemetry));
+    let snap = merged.to_snapshot();
+    info!(
+        "telemetry: {} vectors, {} solver calls, {} event kinds observed",
+        snap.counter("vectors"),
+        snap.counter("solver_calls"),
+        snap.distinct_event_kinds()
+    );
     save_json("resources", &rows).expect("write results/resources.json");
+    save_json("BENCH_telemetry", &merged).expect("write results/BENCH_telemetry.json");
+    flush_trace();
 }

@@ -1,11 +1,12 @@
 //! Scheduler A/B throughput: simulated cycles per second under the
 //! levelized single sweep vs the original global fixpoint, on every
 //! benchmark design. Emits `results/BENCH_sim.json`.
-//! Usage: `simbench [cycles]` (default 20000).
+//! Usage: `simbench [cycles] [--log-level LEVEL]` (default 20000).
 
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+use symbfuzz_bench::parse_bench_args;
 use symbfuzz_bench::render::save_json;
 use symbfuzz_designs::{bug_benchmarks, processor_benchmarks};
 use symbfuzz_logic::LogicVec;
@@ -52,10 +53,7 @@ fn throughput(design: &Arc<Design>, mode: SettleMode, cycles: u64) -> f64 {
 }
 
 fn main() {
-    let cycles: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
+    let cycles: u64 = parse_bench_args().pos(0, 20_000);
     let mut rows = Vec::new();
     let procs = processor_benchmarks();
     let bugs = bug_benchmarks();

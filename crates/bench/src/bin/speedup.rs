@@ -1,18 +1,19 @@
 //! Regenerates the §5.3 convergence comparison (the paper's 6.8×
 //! speed-up of SymbFuzz over UVM random testing).
-//! Usage: `speedup [budget] [bench_index] [--jobs N]`.
+//! Usage: `speedup [budget] [bench_index] [--jobs N]
+//! [--log-level LEVEL] [--trace-out PATH]`.
 
 use symbfuzz_bench::experiments::speedup;
-use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_speedup, save_json};
+use symbfuzz_bench::{flush_trace, parse_bench_args};
 
 fn main() {
-    let (args, jobs) = parse_jobs();
-    let mut args = args.into_iter();
-    let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
-    let bench: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
-    let s = speedup(bench, budget, jobs);
+    let args = parse_bench_args();
+    let budget: u64 = args.pos(0, 40_000);
+    let bench: usize = args.pos(1, 0);
+    let s = speedup(bench, budget, args.jobs);
     println!("# §5.3 — time-to-coverage speed-up\n");
     println!("{}", render_speedup(&s));
     save_json("speedup", &s).expect("write results/speedup.json");
+    flush_trace();
 }

@@ -1,17 +1,22 @@
 //! Regenerates Table 1: bugs detected by SymbFuzz and the input
-//! vectors needed. Usage: `table1 [budget] [--jobs N]` (default 50000).
+//! vectors needed. Usage: `table1 [budget] [--jobs N]
+//! [--log-level LEVEL] [--trace-out PATH]` (default 50000).
 
 use symbfuzz_bench::experiments::table1_rows;
-use symbfuzz_bench::pool::parse_jobs;
 use symbfuzz_bench::render::{render_table1, save_json};
+use symbfuzz_bench::{flush_trace, parse_bench_args};
 
 fn main() {
-    let (args, jobs) = parse_jobs();
-    let budget: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(50_000);
-    let rows = table1_rows(budget, jobs);
-    println!("# Table 1 — detected bugs (budget {budget} vectors, {jobs} jobs)\n");
+    let args = parse_bench_args();
+    let budget: u64 = args.pos(0, 50_000);
+    let rows = table1_rows(budget, args.jobs);
+    println!(
+        "# Table 1 — detected bugs (budget {budget} vectors, {} jobs)\n",
+        args.jobs
+    );
     println!("{}", render_table1(&rows));
     let found = rows.iter().filter(|r| r.measured_vectors.is_some()).count();
     println!("detected {found}/14 (paper: 14/14 at much larger budgets)");
     save_json("table1", &rows).expect("write results/table1.json");
+    flush_trace();
 }

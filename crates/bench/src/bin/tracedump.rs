@@ -1,0 +1,48 @@
+//! Renders a `--trace-out` JSONL campaign trace: validates every
+//! record against the telemetry schema, then prints a per-phase time
+//! table and the coverage/stagnation/bug timeline.
+//!
+//! Usage: `tracedump <trace.jsonl> [--check]`
+//!
+//! With `--check` the trace is only validated (no rendering); a schema
+//! or syntax violation exits non-zero either way.
+
+use std::process::ExitCode;
+use symbfuzz_bench::trace::{parse_trace, phase_table, timeline};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_only = args.iter().any(|a| a == "--check");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: tracedump <trace.jsonl> [--check]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracedump: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match parse_trace(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tracedump: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if check_only {
+        println!("{path}: {} records, schema OK", records.len());
+        return ExitCode::SUCCESS;
+    }
+    let tasks = records.iter().map(|r| r.task).max().map_or(0, |m| m + 1);
+    println!(
+        "# Trace `{path}` — {} records from {tasks} task(s)\n",
+        records.len()
+    );
+    println!("## Phase breakdown\n");
+    println!("{}", phase_table(&records));
+    println!("## Timeline\n");
+    print!("{}", timeline(&records));
+    ExitCode::SUCCESS
+}

@@ -8,20 +8,71 @@
 
 use crate::pool::run_pool;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use symbfuzz_core::{CampaignResult, CoverageSample, FuzzConfig, PropertySpec, Strategy, SymbFuzz};
 use symbfuzz_designs::{bug_benchmarks, processor_benchmarks, Benchmark};
 use symbfuzz_netlist::{classify_registers, Design, DesignStats};
 use symbfuzz_symexec::SymbolicEngine;
+use symbfuzz_telemetry::{Collector, SharedSink};
 
-/// Builds and runs one campaign.
+/// The process-global trace writer, set once by `--trace-out`. All
+/// pool tasks fan into it through [`SharedSink`] (whole lines under a
+/// lock), attributable via each record's `task` field.
+static TRACE: OnceLock<Arc<Mutex<BufWriter<File>>>> = OnceLock::new();
+
+/// Opens (truncates) the JSONL trace file every subsequent campaign in
+/// this process streams to. First call wins; later calls are no-ops.
+///
+/// # Errors
+///
+/// Propagates file-creation errors.
+pub fn enable_tracing(path: &Path) -> io::Result<()> {
+    let writer = Arc::new(Mutex::new(BufWriter::new(File::create(path)?)));
+    let _ = TRACE.set(writer);
+    Ok(())
+}
+
+/// Whether a `--trace-out` file is active.
+pub fn tracing_enabled() -> bool {
+    TRACE.get().is_some()
+}
+
+/// Flushes the shared trace file (no-op when tracing is off).
+pub fn flush_trace() {
+    if let Some(w) = TRACE.get() {
+        if let Ok(mut w) = w.lock() {
+            use std::io::Write as _;
+            let _ = w.flush();
+        }
+    }
+}
+
+/// When tracing is on, swaps the fuzzer's deterministic collector for
+/// a wall-clock one streaming into the shared trace file, labelled
+/// with the pool `task` index. When tracing is off this is a no-op, so
+/// campaign reports keep the deterministic vector-count clock.
+pub fn attach_telemetry(fuzzer: &mut SymbFuzz, task: usize) {
+    if let Some(writer) = TRACE.get() {
+        let collector = Arc::new(Collector::monotonic());
+        collector.set_task(task as u64);
+        collector.set_sink(Box::new(SharedSink::new(Arc::clone(writer))));
+        fuzzer.install_telemetry(collector);
+    }
+}
+
+/// Builds and runs one campaign (`task` is the pool index, used only
+/// to label trace records).
 fn run(
     design: Arc<Design>,
     strategy: Strategy,
     props: &[PropertySpec],
     budget: u64,
     seed: u64,
+    task: usize,
 ) -> CampaignResult {
     let config = FuzzConfig {
         interval: 100,
@@ -32,7 +83,10 @@ fn run(
     };
     let mut fuzzer =
         SymbFuzz::new(design, strategy, config, props).expect("properties must compile");
-    fuzzer.run()
+    attach_telemetry(&mut fuzzer, task);
+    let result = fuzzer.run();
+    fuzzer.telemetry().flush();
+    result
 }
 
 /// One row of Table 1.
@@ -58,7 +112,7 @@ pub struct Table1Row {
 /// Benchmarks run concurrently on up to `jobs` threads.
 pub fn table1_rows(budget: u64, jobs: usize) -> Vec<Table1Row> {
     let benches = bug_benchmarks();
-    run_pool(&benches, jobs, |_, b| {
+    run_pool(&benches, jobs, |task, b| {
         let design = b.design().expect("benchmark elaborates");
         let config = FuzzConfig {
             interval: 100,
@@ -69,7 +123,9 @@ pub fn table1_rows(budget: u64, jobs: usize) -> Vec<Table1Row> {
         };
         let mut fuzzer = SymbFuzz::new(design, Strategy::SymbFuzz, config, &[b.property_spec()])
             .expect("property compiles");
+        attach_telemetry(&mut fuzzer, task);
         let measured = fuzzer.run_until_bug(b.name);
+        fuzzer.telemetry().flush();
         Table1Row {
             id: b.id,
             name: b.name.to_string(),
@@ -149,7 +205,7 @@ pub fn detection_matrix(nbugs: usize, budget: u64, jobs: usize) -> DetectionMatr
     let tasks: Vec<(usize, Strategy)> = (0..prep.len())
         .flat_map(|i| FUZZERS.iter().map(move |&s| (i, s)))
         .collect();
-    let hits = run_pool(&tasks, jobs, |_, &(i, s)| {
+    let hits = run_pool(&tasks, jobs, |task, &(i, s)| {
         let (b, design) = &prep[i];
         let spec = [b.property_spec()];
         (0..4).any(|r| {
@@ -159,6 +215,7 @@ pub fn detection_matrix(nbugs: usize, budget: u64, jobs: usize) -> DetectionMatr
                 &spec,
                 budget,
                 0xD1CE + b.id as u64 + r * 7919,
+                task,
             )
             .detected(b.name)
         })
@@ -214,10 +271,10 @@ pub struct Table3Row {
 /// between runs); every other column is deterministic.
 pub fn table3_rows(budget: u64, jobs: usize) -> Vec<Table3Row> {
     let benches = processor_benchmarks();
-    run_pool(&benches, jobs, |_, b| table3_row(b, budget))
+    run_pool(&benches, jobs, |task, b| table3_row(b, budget, task))
 }
 
-fn table3_row(b: &Benchmark, budget: u64) -> Table3Row {
+fn table3_row(b: &Benchmark, budget: u64, task: usize) -> Table3Row {
     let start = Instant::now();
     let design = b.design().expect("benchmark elaborates");
     let stats = DesignStats::of(&design);
@@ -229,6 +286,7 @@ fn table3_row(b: &Benchmark, budget: u64) -> Table3Row {
         &b.property_specs(),
         budget,
         0xB3,
+        task,
     );
     Table3Row {
         name: b.name.to_string(),
@@ -274,13 +332,14 @@ pub fn coverage_race(bench_index: usize, budget: u64, seed: u64, jobs: usize) ->
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
     let strategies = Strategy::all();
-    let curves = run_pool(&strategies, jobs, |_, s| {
+    let curves = run_pool(&strategies, jobs, |task, s| {
         let r = run(
             Arc::clone(&design),
             *s,
             &props,
             budget,
             seed ^ s.name().len() as u64,
+            task,
         );
         (s.name().to_string(), r.series)
     });
@@ -324,8 +383,16 @@ pub fn variance_profile(
         .iter()
         .flat_map(|&s| (0..runs).map(move |r| (s, r)))
         .collect();
-    let series: Vec<Vec<CoverageSample>> = run_pool(&tasks, jobs, |_, &(s, r)| {
-        run(Arc::clone(&design), s, &props, budget, 0xF00 + r * 7919).series
+    let series: Vec<Vec<CoverageSample>> = run_pool(&tasks, jobs, |task, &(s, r)| {
+        run(
+            Arc::clone(&design),
+            s,
+            &props,
+            budget,
+            0xF00 + r * 7919,
+            task,
+        )
+        .series
     });
     let mut out = Vec::new();
     for (si, s) in Strategy::all().iter().enumerate() {
@@ -372,8 +439,11 @@ pub fn speedup(bench_index: usize, budget: u64, jobs: usize) -> SpeedupResult {
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
     let strategies = Strategy::all();
-    let results: Vec<(Strategy, CampaignResult)> = run_pool(&strategies, jobs, |_, s| {
-        (*s, run(Arc::clone(&design), *s, &props, budget, 0xACE))
+    let results: Vec<(Strategy, CampaignResult)> = run_pool(&strategies, jobs, |task, s| {
+        (
+            *s,
+            run(Arc::clone(&design), *s, &props, budget, 0xACE, task),
+        )
     });
     let random = results
         .iter()
@@ -408,8 +478,8 @@ pub fn resource_profile(
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
     let strategies = Strategy::all();
-    run_pool(&strategies, jobs, |_, s| {
-        let r = run(Arc::clone(&design), *s, &props, budget, 0xCAB);
+    run_pool(&strategies, jobs, |task, s| {
+        let r = run(Arc::clone(&design), *s, &props, budget, 0xCAB, task);
         (s.name().to_string(), r)
     })
 }

@@ -15,12 +15,16 @@
 //! | `fig4a` | Figure 4a — coverage vs input vectors, five strategies |
 //! | `fig4b` | Figure 4b — coverage variance across repeated runs |
 //! | `speedup` | §5.3 — time-to-coverage speed-up vs UVM random |
-//! | `resources` | §5.2 — relative memory/CPU profile |
+//! | `resources` | §5.2 — relative memory/CPU profile + merged telemetry |
+//! | `tracedump` | renders / validates a `--trace-out` JSONL campaign trace |
 //!
 //! Every binary accepts a `--jobs N` (or `-j N`) flag that fans
 //! independent campaigns across a scoped-thread pool; reports are
 //! byte-identical for any job count (Table 3's wall-clock `latency_s`
 //! excepted), so parallelism is purely a wall-clock optimisation.
+//! They also accept `--log-level LEVEL` (stderr verbosity) and
+//! `--trace-out PATH` (stream a wall-clock JSONL campaign trace, see
+//! [`trace`]); both are handled by [`args::parse_bench_args`].
 //!
 //! # Examples
 //!
@@ -32,12 +36,17 @@
 //! assert!(m.rows.iter().all(|r| r.symbfuzz));
 //! ```
 
+pub mod args;
 pub mod experiments;
 pub mod pool;
 pub mod render;
+pub mod trace;
 
+pub use args::{parse_bench_args, split_bench_args, BenchArgs};
 pub use experiments::{
-    coverage_race, detection_matrix, table1_rows, table3_rows, variance_profile, DetectionRow,
-    RaceResult, Table1Row, Table3Row, VariancePoint,
+    coverage_race, detection_matrix, enable_tracing, flush_trace, table1_rows, table3_rows,
+    tracing_enabled, variance_profile, DetectionRow, RaceResult, Table1Row, Table3Row,
+    VariancePoint,
 };
-pub use pool::{default_jobs, parse_jobs, run_pool};
+pub use pool::{default_jobs, merge_telemetry, parse_jobs, run_pool};
+pub use trace::{parse_line, parse_trace, phase_table, timeline, TraceRecord};

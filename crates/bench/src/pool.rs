@@ -11,6 +11,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use symbfuzz_core::TelemetryBlock;
+use symbfuzz_telemetry::MetricsSnapshot;
 
 /// Number of workers to use when `--jobs` is not given: all available
 /// cores (reports are deterministic regardless, see [`run_pool`]).
@@ -86,6 +88,23 @@ pub fn split_jobs<A: Iterator<Item = String>>(args: A) -> (Vec<String>, usize) {
 /// [`split_jobs`] over the process arguments (program name skipped).
 pub fn parse_jobs() -> (Vec<String>, usize) {
     split_jobs(std::env::args().skip(1))
+}
+
+/// Merges per-task telemetry blocks into one campaign-wide block,
+/// folding in task-index order. Counters, event counts and phase
+/// statistics sum; gauges keep the high-water mark. Because every
+/// per-task block is deterministic (the default [`symbfuzz_telemetry::ManualClock`])
+/// and [`run_pool`] returns results in item order, the merged block is
+/// byte-identical at any `--jobs N`.
+pub fn merge_telemetry<'a, I>(blocks: I) -> TelemetryBlock
+where
+    I: IntoIterator<Item = &'a TelemetryBlock>,
+{
+    let mut acc = MetricsSnapshot::default();
+    for b in blocks {
+        acc.merge(&b.to_snapshot());
+    }
+    TelemetryBlock::from(acc)
 }
 
 #[cfg(test)]

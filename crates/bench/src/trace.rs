@@ -1,0 +1,558 @@
+//! JSONL trace parsing, schema validation and rendering.
+//!
+//! The telemetry layer hand-rolls its JSONL records (it is
+//! dependency-free), so this module is the matching consumer: a small
+//! flat-object JSON parser, a per-kind schema check against the closed
+//! [`Event::KINDS`] taxonomy (plus the synthetic `Phase` spans the
+//! collector emits), and the renderers behind the `tracedump` binary —
+//! a per-phase time table and a coverage/stagnation timeline.
+
+use symbfuzz_telemetry::{Event, Phase, SolveOutcome};
+
+/// One scalar value in a flat trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// Unsigned integer (every numeric trace field is one).
+    Num(u64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// `null` (only `checkpoint` uses it).
+    Null,
+}
+
+impl JsonVal {
+    fn type_name(&self) -> &'static str {
+        match self {
+            JsonVal::Num(_) => "number",
+            JsonVal::Str(_) => "string",
+            JsonVal::Bool(_) => "bool",
+            JsonVal::Null => "null",
+        }
+    }
+}
+
+/// One parsed and schema-validated trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Timestamp (clock units; wall-clock micros under `--trace-out`).
+    pub t: u64,
+    /// Pool task index the record came from.
+    pub task: u64,
+    /// Record kind: an [`Event::KINDS`] entry or `"Phase"`.
+    pub kind: String,
+    /// The kind-specific fields, in record order.
+    pub fields: Vec<(String, JsonVal)>,
+}
+
+impl TraceRecord {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&JsonVal> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// A numeric field, or 0 when absent / non-numeric.
+    pub fn num(&self, name: &str) -> u64 {
+        match self.field(name) {
+            Some(JsonVal::Num(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// A string field, or "" when absent / non-string.
+    pub fn str(&self, name: &str) -> &str {
+        match self.field(name) {
+            Some(JsonVal::Str(s)) => s,
+            _ => "",
+        }
+    }
+}
+
+// --- flat JSON parsing ---------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape".to_string())?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                b => {
+                    // Multi-byte UTF-8 continuation bytes pass through.
+                    out.push(b as char);
+                    if b >= 0x80 {
+                        // Re-decode from the original slice for non-ASCII.
+                        out.pop();
+                        let start = self.pos - 1;
+                        let s =
+                            std::str::from_utf8(&self.bytes[start..]).map_err(|e| e.to_string())?;
+                        let c = s.chars().next().unwrap();
+                        out.push(c);
+                        self.pos = start + c.len_utf8();
+                    }
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonVal::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonVal::Bool(true)),
+            Some(b'f') => self.literal("false", JsonVal::Bool(false)),
+            Some(b'n') => self.literal("null", JsonVal::Null),
+            Some(b) if b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .unwrap()
+                    .parse()
+                    .map(JsonVal::Num)
+                    .map_err(|e| e.to_string())
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, val: JsonVal) -> Result<JsonVal, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k": scalar, ...}` — the entire
+/// trace schema; nested containers are rejected).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    c.expect(b'{')?;
+    let mut fields = Vec::new();
+    if c.peek() == Some(b'}') {
+        c.pos += 1;
+    } else {
+        loop {
+            let key = c.string()?;
+            c.expect(b':')?;
+            let val = c.value()?;
+            if fields.iter().any(|(k, _): &(String, _)| *k == key) {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            fields.push((key, val));
+            match c.peek() {
+                Some(b',') => c.pos += 1,
+                Some(b'}') => {
+                    c.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", c.pos));
+    }
+    Ok(fields)
+}
+
+// --- schema validation ---------------------------------------------------
+
+/// Kind of the synthetic per-span records the collector emits.
+pub const PHASE_KIND: &str = "Phase";
+
+/// The `(field, expected type)` schema of each record kind, beyond the
+/// common `t`/`task`/`kind` header. A `checkpoint` may be number or
+/// null; `solve_result` and `phase` are closed string enums checked
+/// separately.
+fn kind_schema(kind: &str) -> Option<&'static [(&'static str, &'static str)]> {
+    match kind {
+        "CoverageDelta" => Some(&[
+            ("vectors", "number"),
+            ("coverage", "number"),
+            ("delta", "number"),
+        ]),
+        "StagnationEnter" => Some(&[("vectors", "number"), ("intervals", "number")]),
+        "SymbolicEpisode" => Some(&[
+            ("checkpoint", "number|null"),
+            ("eqns", "number"),
+            ("solve_result", "string"),
+        ]),
+        "SmtSolve" => Some(&[
+            ("vars", "number"),
+            ("clauses", "number"),
+            ("sat", "bool"),
+            ("micros", "number"),
+        ]),
+        "PartialReset" => Some(&[("prefix_len", "number")]),
+        "FullReset" => Some(&[]),
+        "BugFired" => Some(&[("property", "string"), ("vector", "number")]),
+        PHASE_KIND => Some(&[("phase", "string"), ("micros", "number")]),
+        _ => None,
+    }
+}
+
+fn type_matches(val: &JsonVal, expected: &str) -> bool {
+    expected.split('|').any(|t| t == val.type_name())
+}
+
+/// Parses and schema-checks one trace line.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema violation.
+pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let mut fields = parse_flat_object(line)?;
+    let take_num = |fields: &mut Vec<(String, JsonVal)>, name: &str| -> Result<u64, String> {
+        let i = fields
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or(format!("missing `{name}`"))?;
+        match fields.remove(i).1 {
+            JsonVal::Num(n) => Ok(n),
+            v => Err(format!("`{name}` must be a number, got {}", v.type_name())),
+        }
+    };
+    let t = take_num(&mut fields, "t")?;
+    let task = take_num(&mut fields, "task")?;
+    let i = fields
+        .iter()
+        .position(|(n, _)| n == "kind")
+        .ok_or("missing `kind`".to_string())?;
+    let kind = match fields.remove(i).1 {
+        JsonVal::Str(s) => s,
+        v => return Err(format!("`kind` must be a string, got {}", v.type_name())),
+    };
+    let schema = kind_schema(&kind).ok_or(format!(
+        "unknown kind `{kind}` (expected one of {:?} or `{PHASE_KIND}`)",
+        Event::KINDS
+    ))?;
+    if fields.len() != schema.len() {
+        return Err(format!(
+            "`{kind}` expects fields {:?}, got {:?}",
+            schema.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            fields.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+        ));
+    }
+    for (name, expected) in schema {
+        let val = fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or(format!("`{kind}` is missing `{name}`"))?;
+        if !type_matches(val, expected) {
+            return Err(format!(
+                "`{kind}.{name}` must be {expected}, got {}",
+                val.type_name()
+            ));
+        }
+    }
+    let rec = TraceRecord {
+        t,
+        task,
+        kind,
+        fields,
+    };
+    if rec.kind == "SymbolicEpisode" {
+        let outcome = rec.str("solve_result");
+        let known = [
+            SolveOutcome::Solved,
+            SolveOutcome::Unsat,
+            SolveOutcome::Skipped,
+        ];
+        if !known.iter().any(|o| o.name() == outcome) {
+            return Err(format!("unknown solve_result `{outcome}`"));
+        }
+    }
+    if rec.kind == PHASE_KIND && Phase::parse(rec.str("phase")).is_none() {
+        return Err(format!("unknown phase `{}`", rec.str("phase")));
+    }
+    Ok(rec)
+}
+
+/// Parses a whole JSONL trace, reporting the first bad line by number.
+///
+/// # Errors
+///
+/// Returns `"line N: <why>"` for the first syntax or schema violation.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+// --- rendering -----------------------------------------------------------
+
+fn fmt_micros(micros: u64) -> String {
+    if micros >= 1_000_000 {
+        format!("{:.2}s", micros as f64 / 1e6)
+    } else if micros >= 1_000 {
+        format!("{:.2}ms", micros as f64 / 1e3)
+    } else {
+        format!("{micros}µs")
+    }
+}
+
+/// Renders the per-phase time table: span counts and self-time per
+/// [`Phase`], with each phase's share of the total accounted time.
+pub fn phase_table(records: &[TraceRecord]) -> String {
+    let mut count = [0u64; Phase::COUNT];
+    let mut micros = [0u64; Phase::COUNT];
+    for r in records.iter().filter(|r| r.kind == PHASE_KIND) {
+        if let Some(p) = Phase::parse(r.str("phase")) {
+            let i = Phase::ALL.iter().position(|q| *q == p).unwrap();
+            count[i] += 1;
+            micros[i] += r.num("micros");
+        }
+    }
+    let total: u64 = micros.iter().sum();
+    let mut out = String::from("| Phase | spans | self time | share |\n|---|---|---|---|\n");
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1}% |\n",
+            p.name(),
+            count[i],
+            fmt_micros(micros[i]),
+            100.0 * micros[i] as f64 / total.max(1) as f64
+        ));
+    }
+    out.push_str(&format!(
+        "| **total** | {} | {} | 100.0% |\n",
+        count.iter().sum::<u64>(),
+        fmt_micros(total)
+    ));
+    out
+}
+
+/// Renders the campaign timeline: coverage growth, stagnation entries,
+/// symbolic episodes, resets and bug detections, in record order.
+pub fn timeline(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let line = match r.kind.as_str() {
+            "CoverageDelta" => format!(
+                "coverage {} (+{}) at {} vectors",
+                r.num("coverage"),
+                r.num("delta"),
+                r.num("vectors")
+            ),
+            "StagnationEnter" => format!(
+                "stagnation after {} flat intervals at {} vectors",
+                r.num("intervals"),
+                r.num("vectors")
+            ),
+            "SymbolicEpisode" => {
+                let cp = match r.field("checkpoint") {
+                    Some(JsonVal::Num(n)) => format!("checkpoint {n}"),
+                    _ => "reset state".into(),
+                };
+                format!(
+                    "symbolic episode from {cp}: {} ({} eqns)",
+                    r.str("solve_result"),
+                    r.num("eqns")
+                )
+            }
+            "PartialReset" => format!("partial reset (replayed {} cycles)", r.num("prefix_len")),
+            "FullReset" => "full reset".into(),
+            "BugFired" => format!(
+                "BUG `{}` fired at vector {}",
+                r.str("property"),
+                r.num("vector")
+            ),
+            _ => continue, // SmtSolve and Phase records stay in the table views.
+        };
+        out.push_str(&format!("t={:<10} task={} {}\n", r.t, r.task, line));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_telemetry::Event;
+
+    #[test]
+    fn event_lines_round_trip_through_parser() {
+        let events = [
+            Event::CoverageDelta {
+                vectors: 100,
+                coverage: 20,
+                delta: 3,
+            },
+            Event::StagnationEnter {
+                vectors: 400,
+                intervals: 2,
+            },
+            Event::SymbolicEpisode {
+                checkpoint: Some(5),
+                eqns: 12,
+                solve_result: symbfuzz_telemetry::SolveOutcome::Solved,
+            },
+            Event::SymbolicEpisode {
+                checkpoint: None,
+                eqns: 12,
+                solve_result: symbfuzz_telemetry::SolveOutcome::Unsat,
+            },
+            Event::SmtSolve {
+                vars: 40,
+                clauses: 90,
+                sat: true,
+                micros: 17,
+            },
+            Event::PartialReset { prefix_len: 9 },
+            Event::FullReset,
+            Event::BugFired {
+                property: "a\"b".into(),
+                vector: 999,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            let line = e.to_json_line(i as u64, 3);
+            let rec = parse_line(&line).expect("valid line");
+            assert_eq!(rec.t, i as u64);
+            assert_eq!(rec.task, 3);
+            assert_eq!(rec.kind, e.kind());
+        }
+        let rec = parse_line(&events[7].to_json_line(0, 0)).unwrap();
+        assert_eq!(rec.str("property"), "a\"b");
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        // Missing field.
+        assert!(parse_line("{\"t\":1,\"task\":0,\"kind\":\"PartialReset\"}").is_err());
+        // Wrong type.
+        assert!(
+            parse_line("{\"t\":1,\"task\":0,\"kind\":\"PartialReset\",\"prefix_len\":\"x\"}")
+                .is_err()
+        );
+        // Unknown kind.
+        assert!(parse_line("{\"t\":1,\"task\":0,\"kind\":\"Nope\"}").is_err());
+        // Extra field.
+        assert!(parse_line("{\"t\":1,\"task\":0,\"kind\":\"FullReset\",\"x\":1}").is_err());
+        // Unknown solve outcome.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"SymbolicEpisode\",\"checkpoint\":null,\
+             \"eqns\":1,\"solve_result\":\"maybe\"}"
+        )
+        .is_err());
+        // Unknown phase name.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"Phase\",\"phase\":\"nap\",\"micros\":4}"
+        )
+        .is_err());
+        // Syntax errors.
+        assert!(parse_flat_object("{\"a\":1").is_err());
+        assert!(parse_flat_object("{\"a\":1} x").is_err());
+        assert!(parse_flat_object("{\"a\":1,\"a\":2}").is_err());
+    }
+
+    #[test]
+    fn trace_errors_carry_line_numbers() {
+        let text = "{\"t\":0,\"task\":0,\"kind\":\"FullReset\"}\n\nnot json\n";
+        let err = parse_trace(text).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+    }
+
+    #[test]
+    fn phase_table_shares_sum_to_total() {
+        let text = "\
+{\"t\":10,\"task\":0,\"kind\":\"Phase\",\"phase\":\"mutate\",\"micros\":30}
+{\"t\":20,\"task\":0,\"kind\":\"Phase\",\"phase\":\"settle\",\"micros\":60}
+{\"t\":30,\"task\":0,\"kind\":\"Phase\",\"phase\":\"solve\",\"micros\":10}
+";
+        let recs = parse_trace(text).unwrap();
+        let table = phase_table(&recs);
+        assert!(table.contains("| mutate | 1 | 30µs | 30.0% |"), "{table}");
+        assert!(table.contains("| settle | 1 | 60µs | 60.0% |"), "{table}");
+        assert!(
+            table.contains("| **total** | 3 | 100µs | 100.0% |"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn timeline_narrates_coverage_and_bugs() {
+        let text = "\
+{\"t\":5,\"task\":1,\"kind\":\"CoverageDelta\",\"vectors\":100,\"coverage\":8,\"delta\":8}
+{\"t\":6,\"task\":1,\"kind\":\"StagnationEnter\",\"vectors\":300,\"intervals\":2}
+{\"t\":7,\"task\":1,\"kind\":\"BugFired\",\"property\":\"leak\",\"vector\":321}
+";
+        let recs = parse_trace(text).unwrap();
+        let tl = timeline(&recs);
+        assert!(tl.contains("coverage 8 (+8) at 100 vectors"));
+        assert!(tl.contains("stagnation after 2 flat intervals"));
+        assert!(tl.contains("BUG `leak` fired at vector 321"));
+    }
+}

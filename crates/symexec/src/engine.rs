@@ -8,6 +8,7 @@ use symbfuzz_netlist::{
     reset_tree, Design, NExpr, NLValue, NStmt, ProcKind, ResetTree, SignalId, SignalKind,
 };
 use symbfuzz_smt::{BitBlaster, SatResult, TermId, TermKind, TermPool};
+use symbfuzz_telemetry::{Collector, Counter, Event};
 
 /// A concrete input stimulus produced by the solver: one value per
 /// top-level input (clocks excluded, resets held inactive).
@@ -63,6 +64,8 @@ pub struct SymbolicEngine {
     input_vars: HashMap<SignalId, TermId>,
     /// Current-state symbol per register.
     cur_vars: HashMap<SignalId, TermId>,
+    /// Optional telemetry collector (SMT solve events + CDCL counters).
+    telemetry: Option<Arc<Collector>>,
 }
 
 impl SymbolicEngine {
@@ -98,6 +101,7 @@ impl SymbolicEngine {
             eqs: HashMap::new(),
             input_vars,
             cur_vars,
+            telemetry: None,
         };
 
         // Settle combinational logic symbolically (bounded fixpoint —
@@ -147,6 +151,13 @@ impl SymbolicEngine {
     /// The design this engine analyses.
     pub fn design(&self) -> &Arc<Design> {
         &self.design
+    }
+
+    /// Attaches (or detaches) a telemetry collector. Each exact-depth
+    /// SMT query then records an [`Event::SmtSolve`] with the blasted
+    /// CNF size and outcome, plus CDCL work counters.
+    pub fn set_collector(&mut self, telemetry: Option<Arc<Collector>>) {
+        self.telemetry = telemetry;
     }
 
     /// The dependency equation (next-state term) for a register.
@@ -293,7 +304,24 @@ impl SymbolicEngine {
             blaster.assert_true(&pool, eqt);
         }
 
-        match blaster.solver_mut().solve() {
+        let t0 = self.telemetry.as_ref().map(|t| t.now_micros());
+        let result = blaster.solver_mut().solve();
+        if let (Some(t), Some(t0)) = (&self.telemetry, t0) {
+            let stats = blaster.stats();
+            let solver = blaster.solver();
+            t.add(Counter::SolverCalls, 1);
+            t.add(Counter::SatVars, stats.num_vars as u64);
+            t.add(Counter::SatClauses, stats.num_clauses as u64);
+            t.add(Counter::SatDecisions, solver.decisions());
+            t.add(Counter::SatConflicts, solver.conflicts());
+            t.record(Event::SmtSolve {
+                vars: stats.num_vars as u64,
+                clauses: stats.num_clauses as u64,
+                sat: matches!(result, SatResult::Sat(_)),
+                micros: t.now_micros().saturating_sub(t0),
+            });
+        }
+        match result {
             SatResult::Unsat => None,
             SatResult::Sat(raw) => {
                 let mut out = Vec::new();

@@ -1,0 +1,283 @@
+//! The campaign event taxonomy and its JSONL encoding.
+
+use std::fmt::Write as _;
+
+/// Outcome of one symbolic-guidance episode (Algorithm 1 lines 13–22).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The solver produced an input sequence and it was installed.
+    Solved,
+    /// Every tried target was unsatisfiable within the depth bound.
+    Unsat,
+    /// Guidance ran without consulting the solver (ablation).
+    Skipped,
+}
+
+impl SolveOutcome {
+    /// Stable string used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveOutcome::Solved => "solved",
+            SolveOutcome::Unsat => "unsat",
+            SolveOutcome::Skipped => "skipped",
+        }
+    }
+}
+
+/// One structured trace event from the fuzz loop.
+///
+/// Each variant maps to one JSONL record kind; [`Event::kind`] is the
+/// schema discriminator and [`Event::KINDS`] the closed set a trace
+/// validator checks against (plus the synthetic `Phase` records the
+/// collector emits when a [`crate::PhaseTimer`] span ends).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An interval ended with more coverage than the previous one.
+    CoverageDelta {
+        /// Input vectors consumed so far.
+        vectors: u64,
+        /// Coverage points after the interval.
+        coverage: u64,
+        /// Newly covered points this interval.
+        delta: u64,
+    },
+    /// The stagnation threshold was crossed (symbolic guidance fires).
+    StagnationEnter {
+        /// Input vectors consumed so far.
+        vectors: u64,
+        /// Consecutive intervals without new coverage.
+        intervals: u64,
+    },
+    /// One rollback-and-solve attempt of the symbolic step.
+    SymbolicEpisode {
+        /// CFG node rolled back to; `None` = solving from reset state.
+        checkpoint: Option<u64>,
+        /// Dependency equations in the engine.
+        eqns: u64,
+        /// Whether the episode installed a solved sequence.
+        solve_result: SolveOutcome,
+    },
+    /// One SMT query (bit-blast + CDCL solve).
+    SmtSolve {
+        /// Propositional variables in the blasted CNF.
+        vars: u64,
+        /// CNF clauses.
+        clauses: u64,
+        /// Satisfiable?
+        sat: bool,
+        /// Solve latency in clock units.
+        micros: u64,
+    },
+    /// Checkpoint re-entry: snapshot restore (`prefix_len == 0`) or
+    /// reset plus replay of a recorded input prefix (§4.5).
+    PartialReset {
+        /// Input cycles replayed to re-reach the checkpoint.
+        prefix_len: u64,
+    },
+    /// A full DUV reset (campaign start, testcase retirement, or
+    /// guidance falling back to the reset state).
+    FullReset,
+    /// A property violation was recorded for the first time.
+    BugFired {
+        /// Violated property name.
+        property: String,
+        /// Input vectors consumed at detection.
+        vector: u64,
+    },
+}
+
+impl Event {
+    /// Number of event kinds.
+    pub const KIND_COUNT: usize = 7;
+
+    /// Every event kind, in `kind_index` order.
+    pub const KINDS: [&'static str; Event::KIND_COUNT] = [
+        "CoverageDelta",
+        "StagnationEnter",
+        "SymbolicEpisode",
+        "SmtSolve",
+        "PartialReset",
+        "FullReset",
+        "BugFired",
+    ];
+
+    /// The schema discriminator for this event.
+    pub fn kind(&self) -> &'static str {
+        Event::KINDS[self.kind_index()]
+    }
+
+    /// Index into [`Event::KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::CoverageDelta { .. } => 0,
+            Event::StagnationEnter { .. } => 1,
+            Event::SymbolicEpisode { .. } => 2,
+            Event::SmtSolve { .. } => 3,
+            Event::PartialReset { .. } => 4,
+            Event::FullReset => 5,
+            Event::BugFired { .. } => 6,
+        }
+    }
+
+    /// Renders one JSONL record (no trailing newline): timestamp,
+    /// task label, kind, then the variant's fields.
+    pub fn to_json_line(&self, t: u64, task: u64) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{t},\"task\":{task},\"kind\":\"{}\"",
+            self.kind()
+        );
+        match self {
+            Event::CoverageDelta {
+                vectors,
+                coverage,
+                delta,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vectors\":{vectors},\"coverage\":{coverage},\"delta\":{delta}"
+                );
+            }
+            Event::StagnationEnter { vectors, intervals } => {
+                let _ = write!(s, ",\"vectors\":{vectors},\"intervals\":{intervals}");
+            }
+            Event::SymbolicEpisode {
+                checkpoint,
+                eqns,
+                solve_result,
+            } => {
+                match checkpoint {
+                    Some(cp) => {
+                        let _ = write!(s, ",\"checkpoint\":{cp}");
+                    }
+                    None => s.push_str(",\"checkpoint\":null"),
+                }
+                let _ = write!(
+                    s,
+                    ",\"eqns\":{eqns},\"solve_result\":\"{}\"",
+                    solve_result.name()
+                );
+            }
+            Event::SmtSolve {
+                vars,
+                clauses,
+                sat,
+                micros,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vars\":{vars},\"clauses\":{clauses},\"sat\":{sat},\"micros\":{micros}"
+                );
+            }
+            Event::PartialReset { prefix_len } => {
+                let _ = write!(s, ",\"prefix_len\":{prefix_len}");
+            }
+            Event::FullReset => {}
+            Event::BugFired { property, vector } => {
+                s.push_str(",\"property\":\"");
+                escape_json_into(property, &mut s);
+                let _ = write!(s, "\",\"vector\":{vector}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// An event plus the timestamp it was recorded at (ring-buffer entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Clock reading at record time.
+    pub micros: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// Appends `s` to `out` with JSON string escaping.
+pub fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_every_variant() {
+        let all = [
+            Event::CoverageDelta {
+                vectors: 1,
+                coverage: 2,
+                delta: 1,
+            },
+            Event::StagnationEnter {
+                vectors: 1,
+                intervals: 3,
+            },
+            Event::SymbolicEpisode {
+                checkpoint: None,
+                eqns: 4,
+                solve_result: SolveOutcome::Unsat,
+            },
+            Event::SmtSolve {
+                vars: 10,
+                clauses: 20,
+                sat: true,
+                micros: 5,
+            },
+            Event::PartialReset { prefix_len: 7 },
+            Event::FullReset,
+            Event::BugFired {
+                property: "p".into(),
+                vector: 9,
+            },
+        ];
+        assert_eq!(all.len(), Event::KIND_COUNT);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.kind_index(), i);
+            assert_eq!(e.kind(), Event::KINDS[i]);
+        }
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let e = Event::SymbolicEpisode {
+            checkpoint: Some(5),
+            eqns: 12,
+            solve_result: SolveOutcome::Solved,
+        };
+        assert_eq!(
+            e.to_json_line(42, 1),
+            "{\"t\":42,\"task\":1,\"kind\":\"SymbolicEpisode\",\"checkpoint\":5,\
+             \"eqns\":12,\"solve_result\":\"solved\"}"
+        );
+        let e = Event::FullReset;
+        assert_eq!(
+            e.to_json_line(0, 0),
+            "{\"t\":0,\"task\":0,\"kind\":\"FullReset\"}"
+        );
+    }
+
+    #[test]
+    fn property_names_are_escaped() {
+        let e = Event::BugFired {
+            property: "a\"b\\c\n".into(),
+            vector: 1,
+        };
+        let line = e.to_json_line(0, 0);
+        assert!(line.contains("a\\\"b\\\\c\\n"));
+    }
+}

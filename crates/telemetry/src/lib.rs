@@ -1,0 +1,35 @@
+//! Dependency-free tracing and metrics for SymbFuzz campaigns.
+//!
+//! The [`Collector`] is shared (via `Arc`) between the fuzz loop, the
+//! simulator, the symbolic engine and the SMT backend. It offers three
+//! cheap primitives:
+//!
+//! * **Counters / gauges** — relaxed atomics ([`Counter`], [`Gauge`]).
+//! * **Phase spans** — RAII [`PhaseTimer`]s decomposing wall time into
+//!   the six [`Phase`]s of Algorithm 1; spans nest, and a parent's
+//!   self-time excludes its children, so the per-phase totals sum to
+//!   at most the campaign total.
+//! * **Events** — the structured [`Event`] taxonomy, appended to a
+//!   bounded in-memory ring and optionally streamed as JSONL through a
+//!   [`TraceSink`].
+//!
+//! Timestamps come from a [`Clock`]. The default is the deterministic
+//! [`ManualClock`] (driven by the input-vector count), which keeps
+//! campaign reports byte-identical across `--jobs` values; wall-clock
+//! traces opt in to [`MonotonicClock`] via `--trace-out`.
+
+mod clock;
+mod collector;
+mod event;
+mod log;
+mod sink;
+mod snapshot;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use collector::{
+    Collector, Counter, Gauge, OwnedPhaseTimer, Phase, PhaseTimer, DEFAULT_RING_CAP, HIST_BUCKETS,
+};
+pub use event::{escape_json_into, Event, SolveOutcome, TimedEvent};
+pub use log::{log_at, log_enabled, log_level, set_log_level, Level};
+pub use sink::{BufferSink, FileSink, NullSink, SharedSink, StderrSink, TraceSink};
+pub use snapshot::{MetricsSnapshot, PhaseStat};

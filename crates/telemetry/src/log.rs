@@ -1,0 +1,128 @@
+//! A tiny leveled logger for the bench binaries.
+//!
+//! Replaces ad-hoc `eprintln!` calls: operator-facing output goes
+//! through [`log_at`] (or the [`info!`]/[`debug!`]/[`warn!`] macros)
+//! and is filtered by a process-global level set from `--log-level`.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is emitted.
+    Off = 0,
+    /// Problems the operator should see.
+    Warn = 1,
+    /// Progress and results (the default).
+    Info = 2,
+    /// Per-campaign detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// Name as accepted by `--log-level` and shown in record prefixes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "quiet" => Ok(Level::Off),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level `{other}` (expected off|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-global log level.
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global log level.
+pub fn log_level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether records at `level` currently pass the filter.
+pub fn log_enabled(level: Level) -> bool {
+    level != Level::Off && level <= log_level()
+}
+
+/// Emits one record to stderr if `level` passes the filter.
+pub fn log_at(level: Level, msg: &str) {
+    if log_enabled(level) {
+        eprintln!("[{}] {msg}", level.name());
+    }
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log_at($crate::Level::Info, &format!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log_at($crate::Level::Warn, &format!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log_at($crate::Level::Debug, &format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("info".parse::<Level>().unwrap(), Level::Info);
+        assert_eq!("WARN".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("quiet".parse::<Level>().unwrap(), Level::Off);
+        assert!("nope".parse::<Level>().is_err());
+        assert!(Level::Warn < Level::Info);
+    }
+
+    #[test]
+    fn filter_respects_global_level() {
+        set_log_level(Level::Warn);
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        set_log_level(Level::Off);
+        assert!(!log_enabled(Level::Warn));
+        set_log_level(Level::Info);
+        assert!(log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+    }
+}

@@ -1,0 +1,172 @@
+//! Trace sinks: where JSONL records stream while a campaign runs.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Receives complete JSONL records (no trailing newline).
+///
+/// The collector holds the sink behind a lock and calls
+/// [`TraceSink::enabled`] first, so a disabled sink costs one branch
+/// and no formatting.
+pub trait TraceSink: Send {
+    /// Whether records should be formatted and delivered at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Delivers one record.
+    fn write_line(&mut self, line: &str);
+
+    /// Flushes buffered records (best effort).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything; the default sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn write_line(&mut self, _line: &str) {}
+}
+
+/// Streams records to stderr, one per line.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn write_line(&mut self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+/// Buffered file sink. Flushed on drop and on [`TraceSink::flush`].
+#[derive(Debug)]
+pub struct FileSink {
+    out: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncates) the trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &Path) -> io::Result<FileSink> {
+        Ok(FileSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl TraceSink for FileSink {
+    fn write_line(&mut self, line: &str) {
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A sink over a shared writer, for fanning several collectors (one
+/// per pool task) into one trace file. Each record is written under
+/// the lock, so lines from concurrent campaigns interleave but never
+/// tear; the per-record `task` field keeps them attributable.
+pub struct SharedSink<W: Write + Send> {
+    out: Arc<Mutex<W>>,
+}
+
+impl<W: Write + Send> SharedSink<W> {
+    /// Wraps a shared writer.
+    pub fn new(out: Arc<Mutex<W>>) -> SharedSink<W> {
+        SharedSink { out }
+    }
+}
+
+impl<W: Write + Send> TraceSink for SharedSink<W> {
+    fn write_line(&mut self, line: &str) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Collects records into a shared in-memory vector (tests).
+#[derive(Debug, Default, Clone)]
+pub struct BufferSink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl BufferSink {
+    /// An empty buffer sink.
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// A handle reading the same buffer this sink appends to.
+    pub fn handle(&self) -> BufferSink {
+        self.clone()
+    }
+
+    /// Copies the captured lines out.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn write_line(&mut self, line: &str) {
+        if let Ok(mut l) = self.lines.lock() {
+            l.push(line.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_sink_captures_lines() {
+        let sink = BufferSink::new();
+        let handle = sink.handle();
+        let mut boxed: Box<dyn TraceSink> = Box::new(sink);
+        boxed.write_line("{\"a\":1}");
+        boxed.write_line("{\"b\":2}");
+        assert_eq!(handle.lines(), vec!["{\"a\":1}", "{\"b\":2}"]);
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(StderrSink.enabled());
+    }
+
+    #[test]
+    fn shared_sink_appends_newlines() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let mut sink = SharedSink::new(Arc::clone(&buf));
+        sink.write_line("x");
+        sink.write_line("y");
+        sink.flush();
+        assert_eq!(&*buf.lock().unwrap(), b"x\ny\n");
+    }
+}

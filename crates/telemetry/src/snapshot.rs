@@ -1,0 +1,170 @@
+//! Mergeable point-in-time snapshots of a collector.
+//!
+//! Snapshots are plain name/value vectors in a fixed order, so the
+//! bench pool can merge per-task snapshots deterministically (fold in
+//! task-index order) and serialize them byte-identically at any
+//! `--jobs N`.
+
+/// Per-phase statistics inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name ([`crate::Phase::name`]).
+    pub phase: String,
+    /// Completed spans.
+    pub count: u64,
+    /// Accumulated self-time (children excluded), clock units.
+    pub self_micros: u64,
+    /// log₄ inclusive-duration histogram ([`crate::HIST_BUCKETS`] wide).
+    pub buckets: Vec<u64>,
+}
+
+/// Everything a collector knows, frozen: counters, gauges, per-kind
+/// event counts and per-phase timings, each in a fixed schema order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per [`crate::Counter`], in `Counter::ALL` order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per [`crate::Gauge`], in `Gauge::ALL` order.
+    pub gauges: Vec<(String, u64)>,
+    /// `(kind, count)` per [`crate::Event`] kind, in `Event::KINDS` order.
+    pub events: Vec<(String, u64)>,
+    /// Per-phase stats, in `Phase::ALL` order.
+    pub phases: Vec<PhaseStat>,
+}
+
+fn merge_pairs(into: &mut Vec<(String, u64)>, from: &[(String, u64)], max: bool) {
+    if into.is_empty() {
+        into.extend(from.iter().cloned());
+        return;
+    }
+    debug_assert_eq!(into.len(), from.len());
+    for (dst, src) in into.iter_mut().zip(from) {
+        debug_assert_eq!(dst.0, src.0);
+        if max {
+            dst.1 = dst.1.max(src.1);
+        } else {
+            dst.1 += src.1;
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Folds another snapshot into this one: counters, event counts,
+    /// phase counts/self-times and histogram buckets sum; gauges take
+    /// the maximum (high-water mark across tasks).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        merge_pairs(&mut self.counters, &other.counters, false);
+        merge_pairs(&mut self.gauges, &other.gauges, true);
+        merge_pairs(&mut self.events, &other.events, false);
+        if self.phases.is_empty() {
+            self.phases = other.phases.clone();
+            return;
+        }
+        debug_assert_eq!(self.phases.len(), other.phases.len());
+        for (dst, src) in self.phases.iter_mut().zip(&other.phases) {
+            debug_assert_eq!(dst.phase, src.phase);
+            dst.count += src.count;
+            dst.self_micros += src.self_micros;
+            for (b, s) in dst.buckets.iter_mut().zip(&src.buckets) {
+                *b += s;
+            }
+        }
+    }
+
+    /// Sum of phase self-times — the accounted share of wall time.
+    pub fn phase_total_micros(&self) -> u64 {
+        self.phases.iter().map(|p| p.self_micros).sum()
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Looks up an event count by kind name.
+    pub fn event_count(&self, kind: &str) -> u64 {
+        self.events
+            .iter()
+            .find(|(n, _)| n == kind)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Number of event kinds observed at least once.
+    pub fn distinct_event_kinds(&self) -> usize {
+        self.events.iter().filter(|(_, v)| *v > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{Collector, Counter, Gauge, Phase};
+    use crate::event::Event;
+
+    fn sample(vectors: u64, cache: u64) -> MetricsSnapshot {
+        let c = Collector::deterministic();
+        c.add(Counter::Vectors, vectors);
+        c.set_gauge(Gauge::SnapshotCache, cache);
+        c.record(Event::FullReset);
+        c.set_time(4);
+        {
+            let _t = c.phase(Phase::Mutate);
+            c.set_time(10);
+        }
+        c.snapshot()
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let mut a = sample(3, 10);
+        let b = sample(5, 7);
+        a.merge(&b);
+        assert_eq!(a.counter("vectors"), 8);
+        assert_eq!(
+            a.gauges
+                .iter()
+                .find(|(n, _)| n == "snapshot_cache")
+                .unwrap()
+                .1,
+            10
+        );
+        assert_eq!(a.event_count("FullReset"), 2);
+        let mutate = &a.phases[0];
+        assert_eq!(mutate.phase, "mutate");
+        assert_eq!(mutate.count, 2);
+        assert_eq!(mutate.self_micros, 12);
+        assert_eq!(mutate.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = MetricsSnapshot::default();
+        let b = sample(2, 1);
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_sums() {
+        let (x, y, z) = (sample(1, 4), sample(2, 9), sample(3, 2));
+        let mut ab = x.clone();
+        ab.merge(&y);
+        ab.merge(&z);
+        let mut ba = z.clone();
+        ba.merge(&y);
+        ba.merge(&x);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn distinct_kinds_counts_nonzero_rows() {
+        let s = sample(1, 1);
+        assert_eq!(s.distinct_event_kinds(), 1);
+        assert_eq!(s.phase_total_micros(), 6);
+    }
+}
