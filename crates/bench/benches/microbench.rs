@@ -171,8 +171,8 @@ fn sat_solver(c: &mut Criterion) {
                 let e2 = p.eq(a, c2);
                 p.and(e1, e2)
             };
-            s.assert(goal);
-            matches!(s.check(), SatOutcome::Sat(_))
+            s.assert(goal).unwrap();
+            matches!(s.check().unwrap(), SatOutcome::Sat(_))
         })
     });
     group.finish();

@@ -7,7 +7,13 @@
 //! * `--log-level LEVEL` / `--log-level=LEVEL` — stderr logging
 //!   verbosity (`off`, `warn`, `info`, `debug`; default `info`);
 //! * `--trace-out PATH` / `--trace-out=PATH` — stream a wall-clock
-//!   JSONL campaign trace to `PATH` (see [`crate::experiments::enable_tracing`]).
+//!   JSONL campaign trace to `PATH` (see [`crate::experiments::enable_tracing`]);
+//! * `--solver-budget N` / `--solver-budget=N` — conflict ceiling per
+//!   symbolic solve; exhausted solves degrade to random mutation
+//!   (see [`crate::experiments::set_solver_budget`]);
+//! * `--solve-wall-ms N` / `--solve-wall-ms=N` — wall-clock ceiling per
+//!   symbolic solve in milliseconds (non-deterministic: reports may
+//!   vary between runs and job counts).
 
 use crate::pool::split_jobs;
 use std::path::PathBuf;
@@ -24,6 +30,10 @@ pub struct BenchArgs {
     pub log_level: Level,
     /// Trace file requested via `--trace-out`, if any.
     pub trace_out: Option<PathBuf>,
+    /// Per-solve conflict ceiling from `--solver-budget`, if any.
+    pub solver_budget: Option<u64>,
+    /// Per-solve wall-clock ceiling (ms) from `--solve-wall-ms`, if any.
+    pub solve_wall_ms: Option<u64>,
 }
 
 impl BenchArgs {
@@ -42,6 +52,8 @@ impl BenchArgs {
 pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
     let mut log_level = Level::Info;
     let mut trace_out = None;
+    let mut solver_budget = None;
+    let mut solve_wall_ms = None;
     let mut passthrough = Vec::new();
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -59,6 +71,14 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
             }
         } else if let Some(v) = a.strip_prefix("--trace-out=") {
             trace_out = Some(PathBuf::from(v));
+        } else if a == "--solver-budget" {
+            solver_budget = args.next().and_then(|v| v.parse().ok()).or(solver_budget);
+        } else if let Some(v) = a.strip_prefix("--solver-budget=") {
+            solver_budget = v.parse().ok().or(solver_budget);
+        } else if a == "--solve-wall-ms" {
+            solve_wall_ms = args.next().and_then(|v| v.parse().ok()).or(solve_wall_ms);
+        } else if let Some(v) = a.strip_prefix("--solve-wall-ms=") {
+            solve_wall_ms = v.parse().ok().or(solve_wall_ms);
         } else {
             passthrough.push(a);
         }
@@ -69,6 +89,8 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
         jobs,
         log_level,
         trace_out,
+        solver_budget,
+        solve_wall_ms,
     }
 }
 
@@ -83,6 +105,9 @@ pub fn parse_bench_args() -> BenchArgs {
         if let Err(e) = crate::experiments::enable_tracing(path) {
             symbfuzz_telemetry::warn!("cannot open trace file {}: {e}", path.display());
         }
+    }
+    if parsed.solver_budget.is_some() || parsed.solve_wall_ms.is_some() {
+        crate::experiments::set_solver_budget(parsed.solver_budget, parsed.solve_wall_ms);
     }
     parsed
 }
@@ -120,6 +145,20 @@ mod tests {
         assert!(b.trace_out.is_none());
         assert_eq!(b.pos(0, 0u64), 1000);
         assert_eq!(b.pos(1, 7u64), 7);
+    }
+
+    #[test]
+    fn extracts_solver_budget_flags() {
+        let a = split("2000 --solver-budget 10000 --solve-wall-ms=250 -j 2");
+        assert_eq!(a.rest, vec!["2000".to_string()]);
+        assert_eq!(a.solver_budget, Some(10_000));
+        assert_eq!(a.solve_wall_ms, Some(250));
+        let b = split("--solver-budget=500");
+        assert_eq!(b.solver_budget, Some(500));
+        assert_eq!(b.solve_wall_ms, None);
+        // Malformed values fall back to unset.
+        let c = split("--solver-budget lots");
+        assert_eq!(c.solver_budget, None);
     }
 
     #[test]

@@ -41,6 +41,43 @@ pub fn tracing_enabled() -> bool {
     TRACE.get().is_some()
 }
 
+/// The process-global solver budget, set once by `--solver-budget` /
+/// `--solve-wall-ms`. `(conflict ceiling, wall-clock ceiling in ms)`.
+static SOLVER_BUDGET: OnceLock<(Option<u64>, Option<u64>)> = OnceLock::new();
+
+/// Caps every symbolic solve of every subsequent campaign in this
+/// process: `conflicts` CDCL conflicts and/or `wall_ms` milliseconds.
+/// Exhausted solves degrade to random mutation instead of blocking the
+/// campaign. First call wins; later calls are no-ops. Wall-clock
+/// ceilings make reports non-deterministic — conflict ceilings do not.
+pub fn set_solver_budget(conflicts: Option<u64>, wall_ms: Option<u64>) {
+    let _ = SOLVER_BUDGET.set((conflicts, wall_ms));
+}
+
+/// The active global solver budget (both `None` when unset).
+pub fn solver_budget() -> (Option<u64>, Option<u64>) {
+    SOLVER_BUDGET.get().copied().unwrap_or((None, None))
+}
+
+/// The shared campaign configuration: the experiments' historical
+/// interval/threshold choices plus whatever global solver budget
+/// [`set_solver_budget`] installed, validated by the builder.
+fn campaign_config(budget: u64, seed: u64) -> FuzzConfig {
+    let (conflicts, wall_ms) = solver_budget();
+    let mut b = FuzzConfig::builder()
+        .interval(100)
+        .threshold(2)
+        .max_vectors(budget)
+        .seed(seed);
+    if let Some(c) = conflicts {
+        b = b.solver_budget(c);
+    }
+    if let Some(ms) = wall_ms {
+        b = b.solve_wall_ms(ms);
+    }
+    b.build().expect("bench campaign config is consistent")
+}
+
 /// Flushes the shared trace file (no-op when tracing is off).
 pub fn flush_trace() {
     if let Some(w) = TRACE.get() {
@@ -74,13 +111,7 @@ fn run(
     seed: u64,
     task: usize,
 ) -> CampaignResult {
-    let config = FuzzConfig {
-        interval: 100,
-        threshold: 2,
-        max_vectors: budget,
-        seed,
-        ..FuzzConfig::default()
-    };
+    let config = campaign_config(budget, seed);
     let mut fuzzer =
         SymbFuzz::new(design, strategy, config, props).expect("properties must compile");
     attach_telemetry(&mut fuzzer, task);
@@ -114,13 +145,7 @@ pub fn table1_rows(budget: u64, jobs: usize) -> Vec<Table1Row> {
     let benches = bug_benchmarks();
     run_pool(&benches, jobs, |task, b| {
         let design = b.design().expect("benchmark elaborates");
-        let config = FuzzConfig {
-            interval: 100,
-            threshold: 2,
-            max_vectors: budget,
-            seed: 0x5EED + b.id as u64,
-            ..FuzzConfig::default()
-        };
+        let config = campaign_config(budget, 0x5EED + b.id as u64);
         let mut fuzzer = SymbFuzz::new(design, Strategy::SymbFuzz, config, &[b.property_spec()])
             .expect("property compiles");
         attach_telemetry(&mut fuzzer, task);
@@ -467,6 +492,95 @@ pub fn speedup(bench_index: usize, budget: u64, jobs: usize) -> SpeedupResult {
     }
 }
 
+/// One coverage-vs-budget row: a full campaign against the factoring
+/// lock at one per-solve conflict ceiling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetProfileRow {
+    /// DUV name (`hard_factor` or `ibex_like`).
+    pub design: String,
+    /// Per-solve conflict ceiling.
+    pub solver_budget: u64,
+    /// Input vectors the campaign consumed (always the full budget —
+    /// the lock is unfactorable, the point is that it terminates).
+    pub vectors: u64,
+    /// Coverage points reached by falling back to random mutation.
+    pub coverage_points: u64,
+    /// Symbolic solves that hit the ceiling.
+    pub budget_exhaustions: u64,
+    /// Goals skipped because a prior attempt already failed.
+    pub neg_cache_hits: u64,
+    /// Non-zero `SolveStatus` tallies, in schema order.
+    pub solve_outcomes: Vec<(String, u64)>,
+}
+
+/// Coverage-vs-budget profile: runs SymbFuzz once per conflict
+/// ceiling in `budgets` on two DUVs, one pool task per campaign. The
+/// deliberately solver-hostile [`symbfuzz_designs::hard_factor`] lock
+/// makes every symbolic goal a 40-bit semiprime factoring instance,
+/// so each of its campaigns demonstrates graceful degradation: the
+/// solver returns unknown, telemetry records `BudgetExhausted`, and
+/// fuzzing continues on random mutation to the full vector budget.
+/// `ibex_like` is the benign control: its dependency equations solve
+/// well inside even the smallest ceiling, showing budgets cost nothing
+/// when the solver succeeds. Seeds are fixed per campaign, so rows
+/// are byte-identical at any `jobs` value.
+pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<BudgetProfileRow> {
+    let hard_props = {
+        let (prop, expr) = symbfuzz_designs::HARD_FACTOR_PROPERTY;
+        vec![PropertySpec::assertion_only(prop, expr)]
+    };
+    let ibex = &processor_benchmarks()[0];
+    let duvs: [(&str, Arc<Design>, Vec<PropertySpec>); 2] = [
+        ("hard_factor", symbfuzz_designs::hard_factor(), hard_props),
+        (
+            ibex.name,
+            ibex.design().expect("benchmark elaborates"),
+            ibex.property_specs(),
+        ),
+    ];
+    let tasks: Vec<(usize, u64)> = (0..duvs.len())
+        .flat_map(|i| budgets.iter().map(move |&b| (i, b)))
+        .collect();
+    run_pool(&tasks, jobs, |task, &(i, ceiling)| {
+        let (name, design, props) = &duvs[i];
+        let config = FuzzConfig::builder()
+            .interval(100)
+            .threshold(1)
+            .max_vectors(max_vectors)
+            .seed(0xB0D6E7)
+            .solver_budget(ceiling)
+            .escalation_cap(1)
+            .build()
+            .expect("budget profile config is consistent");
+        let mut fuzzer = SymbFuzz::new(Arc::clone(design), Strategy::SymbFuzz, config, props)
+            .expect("property compiles");
+        attach_telemetry(&mut fuzzer, task);
+        let r = fuzzer.run();
+        fuzzer.telemetry().flush();
+        let counter = |name: &str| {
+            r.telemetry
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        BudgetProfileRow {
+            design: name.to_string(),
+            solver_budget: ceiling,
+            vectors: r.vectors,
+            coverage_points: r.coverage_points,
+            budget_exhaustions: counter("budget_exhaustions"),
+            neg_cache_hits: counter("neg_cache_hits"),
+            solve_outcomes: r
+                .solve_outcomes
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .cloned()
+                .collect(),
+        }
+    })
+}
+
 /// §5.2 resource profile: per-strategy resource stats on one
 /// benchmark, one pool task per strategy.
 pub fn resource_profile(
@@ -557,6 +671,32 @@ mod tests {
         let serial = serde_json::to_string(&variance_profile(1, 1_500, 2, 1)).unwrap();
         let wide = serde_json::to_string(&variance_profile(1, 1_500, 2, 8)).unwrap();
         assert_eq!(serial, wide);
+    }
+
+    /// The PR's acceptance scenario: a 10k-conflict ceiling against
+    /// the factoring lock terminates (no hang), records at least one
+    /// `BudgetExhausted`, degrades to random mutation for the full
+    /// vector budget, and renders byte-identically at any `--jobs`.
+    #[test]
+    fn budget_profile_degrades_and_is_deterministic_across_jobs() {
+        let serial = serde_json::to_string(&budget_profile(&[10_000], 400, 1)).unwrap();
+        let wide = serde_json::to_string(&budget_profile(&[10_000], 400, 4)).unwrap();
+        assert_eq!(serial, wide);
+        let rows: Vec<BudgetProfileRow> = serde_json::from_str(&serial).unwrap();
+        assert_eq!(rows.len(), 2);
+        let r = rows.iter().find(|r| r.design == "hard_factor").unwrap();
+        assert_eq!(r.vectors, 400, "campaign must run to its full budget");
+        assert!(r.budget_exhaustions >= 1, "no solve hit the ceiling: {r:?}");
+        assert!(
+            r.solve_outcomes
+                .iter()
+                .any(|(s, n)| s.starts_with("unknown:") && *n > 0),
+            "no unknown outcome tallied: {r:?}"
+        );
+        assert!(r.coverage_points >= 1);
+        // The benign control also terminates at its full budget.
+        let ibex = rows.iter().find(|r| r.design == "ibex_like").unwrap();
+        assert_eq!(ibex.vectors, 400);
     }
 
     #[test]

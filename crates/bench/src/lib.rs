@@ -16,15 +16,19 @@
 //! | `fig4b` | Figure 4b — coverage variance across repeated runs |
 //! | `speedup` | §5.3 — time-to-coverage speed-up vs UVM random |
 //! | `resources` | §5.2 — relative memory/CPU profile + merged telemetry |
+//! | `budgetbench` | coverage vs per-solve conflict budget on the factoring lock |
 //! | `tracedump` | renders / validates a `--trace-out` JSONL campaign trace |
 //!
 //! Every binary accepts a `--jobs N` (or `-j N`) flag that fans
 //! independent campaigns across a scoped-thread pool; reports are
 //! byte-identical for any job count (Table 3's wall-clock `latency_s`
 //! excepted), so parallelism is purely a wall-clock optimisation.
-//! They also accept `--log-level LEVEL` (stderr verbosity) and
+//! They also accept `--log-level LEVEL` (stderr verbosity),
 //! `--trace-out PATH` (stream a wall-clock JSONL campaign trace, see
-//! [`trace`]); both are handled by [`args::parse_bench_args`].
+//! [`trace`]), `--solver-budget N` (per-solve conflict ceiling with
+//! graceful degradation to random mutation) and `--solve-wall-ms N`
+//! (per-solve wall-clock ceiling; non-deterministic); all are handled
+//! by [`args::parse_bench_args`].
 //!
 //! # Examples
 //!
@@ -44,9 +48,9 @@ pub mod trace;
 
 pub use args::{parse_bench_args, split_bench_args, BenchArgs};
 pub use experiments::{
-    coverage_race, detection_matrix, enable_tracing, flush_trace, table1_rows, table3_rows,
-    tracing_enabled, variance_profile, DetectionRow, RaceResult, Table1Row, Table3Row,
-    VariancePoint,
+    budget_profile, coverage_race, detection_matrix, enable_tracing, flush_trace,
+    set_solver_budget, table1_rows, table3_rows, tracing_enabled, variance_profile,
+    BudgetProfileRow, DetectionRow, RaceResult, Table1Row, Table3Row, VariancePoint,
 };
 pub use pool::{default_jobs, merge_telemetry, parse_jobs, run_pool};
 pub use trace::{parse_line, parse_trace, phase_table, timeline, TraceRecord};

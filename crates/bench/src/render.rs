@@ -51,6 +51,33 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     out
 }
 
+/// Renders the coverage-vs-budget profile as Markdown.
+pub fn render_budget_profile(rows: &[BudgetProfileRow]) -> String {
+    let mut out = String::from(
+        "| design | conflict budget | vectors | coverage | exhaustions | \
+         neg-cache hits | outcomes |\n|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let outcomes = r
+            .solve_outcomes
+            .iter()
+            .map(|(s, n)| format!("{s}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            r.design,
+            r.solver_budget,
+            r.vectors,
+            r.coverage_points,
+            r.budget_exhaustions,
+            r.neg_cache_hits,
+            outcomes
+        ));
+    }
+    out
+}
+
 /// Renders Table 2 as Markdown, paper values in parentheses.
 pub fn render_table2(m: &DetectionMatrix) -> String {
     let mut out =

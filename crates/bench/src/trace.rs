@@ -7,7 +7,7 @@
 //! collector emits), and the renderers behind the `tracedump` binary —
 //! a per-phase time table and a coverage/stagnation timeline.
 
-use symbfuzz_telemetry::{Event, Phase, SolveOutcome};
+use symbfuzz_telemetry::{Event, Phase, SolveStatus, UnknownReason};
 
 /// One scalar value in a flat trace record.
 #[derive(Debug, Clone, PartialEq)]
@@ -256,6 +256,13 @@ fn kind_schema(kind: &str) -> Option<&'static [(&'static str, &'static str)]> {
         "PartialReset" => Some(&[("prefix_len", "number")]),
         "FullReset" => Some(&[]),
         "BugFired" => Some(&[("property", "string"), ("vector", "number")]),
+        "BudgetExhausted" => Some(&[
+            ("reason", "string"),
+            ("level", "number"),
+            ("conflicts", "number"),
+            ("decisions", "number"),
+            ("propagations", "number"),
+        ]),
         PHASE_KIND => Some(&[("phase", "string"), ("micros", "number")]),
         _ => None,
     }
@@ -322,16 +329,15 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
         kind,
         fields,
     };
-    if rec.kind == "SymbolicEpisode" {
-        let outcome = rec.str("solve_result");
-        let known = [
-            SolveOutcome::Solved,
-            SolveOutcome::Unsat,
-            SolveOutcome::Skipped,
-        ];
-        if !known.iter().any(|o| o.name() == outcome) {
-            return Err(format!("unknown solve_result `{outcome}`"));
-        }
+    if rec.kind == "SymbolicEpisode" && SolveStatus::parse(rec.str("solve_result")).is_none() {
+        return Err(format!(
+            "unknown solve_result `{}` (expected one of {:?})",
+            rec.str("solve_result"),
+            SolveStatus::SERIALS
+        ));
+    }
+    if rec.kind == "BudgetExhausted" && UnknownReason::parse(rec.str("reason")).is_none() {
+        return Err(format!("unknown budget reason `{}`", rec.str("reason")));
     }
     if rec.kind == PHASE_KIND && Phase::parse(rec.str("phase")).is_none() {
         return Err(format!("unknown phase `{}`", rec.str("phase")));
@@ -423,6 +429,14 @@ pub fn timeline(records: &[TraceRecord]) -> String {
                     r.num("eqns")
                 )
             }
+            "BudgetExhausted" => format!(
+                "solver budget exhausted ({}) at escalation level {} \
+                 after {} conflicts / {} decisions",
+                r.str("reason"),
+                r.num("level"),
+                r.num("conflicts"),
+                r.num("decisions")
+            ),
             "PartialReset" => format!("partial reset (replayed {} cycles)", r.num("prefix_len")),
             "FullReset" => "full reset".into(),
             "BugFired" => format!(
@@ -457,12 +471,19 @@ mod tests {
             Event::SymbolicEpisode {
                 checkpoint: Some(5),
                 eqns: 12,
-                solve_result: symbfuzz_telemetry::SolveOutcome::Solved,
+                solve_result: SolveStatus::Sat,
             },
             Event::SymbolicEpisode {
                 checkpoint: None,
                 eqns: 12,
-                solve_result: symbfuzz_telemetry::SolveOutcome::Unsat,
+                solve_result: SolveStatus::Unknown(UnknownReason::Conflicts),
+            },
+            Event::BudgetExhausted {
+                reason: UnknownReason::Conflicts,
+                level: 2,
+                conflicts: 10_000,
+                decisions: 31_407,
+                propagations: 918_222,
             },
             Event::SmtSolve {
                 vars: 40,
@@ -484,7 +505,7 @@ mod tests {
             assert_eq!(rec.task, 3);
             assert_eq!(rec.kind, e.kind());
         }
-        let rec = parse_line(&events[7].to_json_line(0, 0)).unwrap();
+        let rec = parse_line(&events[8].to_json_line(0, 0)).unwrap();
         assert_eq!(rec.str("property"), "a\"b");
     }
 
@@ -505,6 +526,18 @@ mod tests {
         assert!(parse_line(
             "{\"t\":1,\"task\":0,\"kind\":\"SymbolicEpisode\",\"checkpoint\":null,\
              \"eqns\":1,\"solve_result\":\"maybe\"}"
+        )
+        .is_err());
+        // A structured unknown round-trips; an unknown ceiling name does not.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"SymbolicEpisode\",\"checkpoint\":null,\
+             \"eqns\":1,\"solve_result\":\"unknown:conflicts\"}"
+        )
+        .is_ok());
+        // Unknown budget ceiling name.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"BudgetExhausted\",\"reason\":\"patience\",\
+             \"level\":0,\"conflicts\":1,\"decisions\":1,\"propagations\":1}"
         )
         .is_err());
         // Unknown phase name.
@@ -547,12 +580,18 @@ mod tests {
         let text = "\
 {\"t\":5,\"task\":1,\"kind\":\"CoverageDelta\",\"vectors\":100,\"coverage\":8,\"delta\":8}
 {\"t\":6,\"task\":1,\"kind\":\"StagnationEnter\",\"vectors\":300,\"intervals\":2}
-{\"t\":7,\"task\":1,\"kind\":\"BugFired\",\"property\":\"leak\",\"vector\":321}
+{\"t\":7,\"task\":1,\"kind\":\"BudgetExhausted\",\"reason\":\"conflicts\",\"level\":1,\
+\"conflicts\":500,\"decisions\":1200,\"propagations\":9000}
+{\"t\":8,\"task\":1,\"kind\":\"BugFired\",\"property\":\"leak\",\"vector\":321}
 ";
         let recs = parse_trace(text).unwrap();
         let tl = timeline(&recs);
         assert!(tl.contains("coverage 8 (+8) at 100 vectors"));
         assert!(tl.contains("stagnation after 2 flat intervals"));
+        assert!(
+            tl.contains("solver budget exhausted (conflicts) at escalation level 1"),
+            "{tl}"
+        );
         assert!(tl.contains("BUG `leak` fired at vector 321"));
     }
 }

@@ -1,0 +1,122 @@
+//! A deliberately solver-hostile design for budget/degradation tests.
+//!
+//! The lock FSM below advances only when the two 20-bit inputs
+//! multiply to the 40-bit semiprime `676_371_752_677 = 821297 ×
+//! 823541` (both factors prime). The goal *is* satisfiable — exactly
+//! the two factor orderings — but factoring a 40-bit semiprime through
+//! a bit-blasted multiplier is far beyond a 10k-conflict CDCL budget,
+//! so every symbolic solve against the `st` register exhausts its
+//! budget instead of deciding. That makes this the canonical fixture
+//! for graceful degradation: campaigns must fall back to random
+//! mutation, record `BudgetExhausted` telemetry, and terminate.
+
+use std::sync::Arc;
+use symbfuzz_netlist::{elaborate_src, Design};
+
+/// The semiprime the lock compares against (`821297 × 823541`).
+pub const HARD_FACTOR_PRODUCT: u64 = 676_371_752_677;
+
+/// One of the two 20-bit prime factors that open the lock.
+pub const HARD_FACTOR_P: u64 = 821_297;
+
+/// The other 20-bit prime factor.
+pub const HARD_FACTOR_Q: u64 = 823_541;
+
+/// RTL of the factoring lock. The 20-bit inputs are zero-extended to
+/// 40 bits so the product never wraps: the equality has no spurious
+/// modular solutions, only the genuine factor pairs.
+pub const HARD_FACTOR_RTL: &str = "
+module hardlock(
+  input clk, input rst_n,
+  input [19:0] a, input [19:0] b,
+  output logic [1:0] st, output logic unlocked);
+  logic [39:0] aw;
+  logic [39:0] bw;
+  assign aw = a;
+  assign bw = b;
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) st <= 2'd0;
+    else begin
+      case (st)
+        2'd0: if (aw * bw == 40'd676371752677) st <= 2'd1;
+        2'd1: st <= 2'd2;
+        default: st <= st;
+      endcase
+    end
+  end
+  always_comb unlocked = (st == 2'd2);
+endmodule";
+
+/// The detection property: the lock never fully opens. Reaching the
+/// violation requires factoring the semiprime, so within any sane
+/// budget it stays undetected — the campaign's job is merely to keep
+/// making progress, not to crack it.
+pub const HARD_FACTOR_PROPERTY: (&str, &str) = ("never_unlocked", "unlocked == 1'b0");
+
+/// Elaborates the factoring lock.
+///
+/// # Panics
+///
+/// Never — the source is a compile-time constant covered by tests.
+pub fn hard_factor() -> Arc<Design> {
+    Arc::new(elaborate_src(HARD_FACTOR_RTL, "hardlock").expect("hard lock must elaborate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_logic::LogicVec;
+    use symbfuzz_netlist::classify_registers;
+    use symbfuzz_sim::Simulator;
+
+    #[test]
+    fn product_matches_factors() {
+        assert_eq!(HARD_FACTOR_P * HARD_FACTOR_Q, HARD_FACTOR_PRODUCT);
+        // Both factors must fit the 20-bit input ports.
+        for f in [HARD_FACTOR_P, HARD_FACTOR_Q] {
+            assert!(f < (1 << 20), "{f} does not fit 20 bits");
+        }
+    }
+
+    #[test]
+    fn lock_opens_only_for_the_factors() {
+        let d = hard_factor();
+        let a = d.signal_by_name("a").unwrap();
+        let b = d.signal_by_name("b").unwrap();
+        let st = d.signal_by_name("st").unwrap();
+        let unlocked = d.signal_by_name("unlocked").unwrap();
+
+        // A non-factor pair leaves the lock shut.
+        let mut sim = Simulator::new(d.clone());
+        sim.reset(1);
+        sim.set_input(a, &LogicVec::from_u64(20, 12345)).unwrap();
+        sim.set_input(b, &LogicVec::from_u64(20, 54321)).unwrap();
+        sim.step();
+        assert_eq!(sim.get(st).to_u64(), Some(0));
+
+        // The factor pair walks st through 1 to 2 and opens the lock.
+        let mut sim = Simulator::new(d.clone());
+        sim.reset(1);
+        sim.set_input(a, &LogicVec::from_u64(20, HARD_FACTOR_P))
+            .unwrap();
+        sim.set_input(b, &LogicVec::from_u64(20, HARD_FACTOR_Q))
+            .unwrap();
+        sim.step();
+        assert_eq!(sim.get(st).to_u64(), Some(1));
+        sim.step();
+        assert_eq!(sim.get(st).to_u64(), Some(2));
+        assert_eq!(sim.get(unlocked).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn st_is_a_control_register() {
+        let d = hard_factor();
+        let rc = classify_registers(&d);
+        let names: Vec<&str> = rc
+            .control
+            .iter()
+            .map(|s| d.signal(*s).name.as_str())
+            .collect();
+        assert!(names.contains(&"st"), "control registers: {names:?}");
+    }
+}

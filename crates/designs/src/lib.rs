@@ -33,12 +33,17 @@
 
 mod alu;
 mod bugs;
+mod hard;
 mod peripherals;
 mod processors;
 mod soc;
 
 pub use alu::toy_alu;
 pub use bugs::{bug_benchmarks, BugBenchmark};
+pub use hard::{
+    hard_factor, HARD_FACTOR_P, HARD_FACTOR_PRODUCT, HARD_FACTOR_PROPERTY, HARD_FACTOR_Q,
+    HARD_FACTOR_RTL,
+};
 pub use peripherals::peripheral_benchmarks;
 pub use processors::{processor_benchmarks, Benchmark};
 pub use soc::buggy_soc;

@@ -86,6 +86,17 @@ pub struct FuzzConfig {
     /// scheduler (`false` falls back to the global fixpoint — the A/B
     /// control for scheduler-equivalence experiments).
     pub use_levelized_settle: bool,
+    /// Conflict budget per symbolic solve (`None` = unlimited). When
+    /// set, exhausted solves degrade to random mutation instead of
+    /// stalling the campaign.
+    pub solver_budget: Option<u64>,
+    /// Wall-clock budget per symbolic solve in milliseconds (`None` =
+    /// unlimited). The only non-deterministic knob: campaigns using it
+    /// are no longer byte-identical run to run. Operator-facing only.
+    pub solve_wall_ms: Option<u64>,
+    /// Maximum budget-escalation level: after an exhausted solve the
+    /// next attempt doubles the counter ceilings, up to `2^cap`×.
+    pub escalation_cap: u32,
 }
 
 impl Default for FuzzConfig {
@@ -104,7 +115,184 @@ impl Default for FuzzConfig {
             use_checkpoints: true,
             use_solver: true,
             use_levelized_settle: true,
+            solver_budget: None,
+            solve_wall_ms: None,
+            escalation_cap: 3,
         }
+    }
+}
+
+impl FuzzConfig {
+    /// Starts a validating builder seeded with the paper defaults.
+    pub fn builder() -> FuzzConfigBuilder {
+        FuzzConfigBuilder {
+            config: FuzzConfig::default(),
+        }
+    }
+
+    /// Checks the configuration for internal consistency — the same
+    /// checks [`FuzzConfigBuilder::build`] runs, usable on configs
+    /// assembled by hand (e.g. deserialized from disk).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.interval == 0 {
+            return Err(ConfigError::ZeroInterval);
+        }
+        if self.max_vectors == 0 {
+            return Err(ConfigError::ZeroMaxVectors);
+        }
+        if !self.use_solver && (self.solver_budget.is_some() || self.solve_wall_ms.is_some()) {
+            return Err(ConfigError::SolverBudgetWithoutSolver);
+        }
+        if self.use_solver && self.solve_depth == 0 {
+            return Err(ConfigError::ZeroSolveDepth);
+        }
+        if self.solver_budget == Some(0) || self.solve_wall_ms == Some(0) {
+            return Err(ConfigError::ZeroSolverBudget);
+        }
+        Ok(())
+    }
+}
+
+/// An inconsistent [`FuzzConfig`], rejected by
+/// [`FuzzConfig::validate`] / [`FuzzConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `interval` is zero — the campaign would never scan coverage.
+    ZeroInterval,
+    /// `max_vectors` is zero — the campaign would do nothing.
+    ZeroMaxVectors,
+    /// A solver budget was set while `use_solver` is off: the budget
+    /// could never apply, so the intent is contradictory.
+    SolverBudgetWithoutSolver,
+    /// `use_solver` is on but `solve_depth` is zero — every query
+    /// would be vacuously unreachable.
+    ZeroSolveDepth,
+    /// A solver budget of zero: every solve would exhaust immediately;
+    /// use `use_solver: false` to disable guidance instead.
+    ZeroSolverBudget,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroInterval => write!(f, "interval must be at least 1 cycle"),
+            ConfigError::ZeroMaxVectors => write!(f, "max_vectors must be at least 1"),
+            ConfigError::SolverBudgetWithoutSolver => write!(
+                f,
+                "solver budget set while use_solver is false; drop the budget or enable the solver"
+            ),
+            ConfigError::ZeroSolveDepth => {
+                write!(f, "solve_depth must be at least 1 when use_solver is true")
+            }
+            ConfigError::ZeroSolverBudget => write!(
+                f,
+                "solver budget must be nonzero; set use_solver: false to disable guidance"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`FuzzConfig`]:
+/// `FuzzConfig::builder().threshold(2).solver_budget(10_000).build()?`.
+///
+/// Every setter mirrors the field of the same name;
+/// [`build`](Self::build) rejects inconsistent combinations with a
+/// [`ConfigError`] instead of letting them reach the campaign loop.
+#[derive(Debug, Clone)]
+pub struct FuzzConfigBuilder {
+    config: FuzzConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.config.$name = v;
+            self
+        }
+    };
+}
+
+impl FuzzConfigBuilder {
+    setter!(
+        /// Clock cycles per interval (coverage scan period).
+        interval: u32
+    );
+    setter!(
+        /// Stagnation threshold before symbolic guidance kicks in.
+        threshold: u32
+    );
+    setter!(
+        /// Checkpoint fanout threshold (§4.5).
+        checkpoint_fanout: usize
+    );
+    setter!(
+        /// Total input-vector budget.
+        max_vectors: u64
+    );
+    setter!(
+        /// RNG seed.
+        seed: u64
+    );
+    setter!(
+        /// Reset hold cycles.
+        reset_cycles: u32
+    );
+    setter!(
+        /// Maximum symbolic unroll depth.
+        solve_depth: u32
+    );
+    setter!(
+        /// Distinct targets tried per guidance round.
+        targets_per_round: usize
+    );
+    setter!(
+        /// Snapshot cache cap.
+        snapshot_cap: usize
+    );
+    setter!(
+        /// Baseline testcase length in cycles.
+        testcase_len: usize
+    );
+    setter!(
+        /// Enable checkpoint rollback.
+        use_checkpoints: bool
+    );
+    setter!(
+        /// Enable SMT-guided mutation.
+        use_solver: bool
+    );
+    setter!(
+        /// Use the levelized combinational scheduler.
+        use_levelized_settle: bool
+    );
+    setter!(
+        /// Budget-escalation cap (levels of doubling).
+        escalation_cap: u32
+    );
+
+    /// Caps each symbolic solve at `conflicts` CDCL conflicts.
+    #[must_use]
+    pub fn solver_budget(mut self, conflicts: u64) -> Self {
+        self.config.solver_budget = Some(conflicts);
+        self
+    }
+
+    /// Caps each symbolic solve at `ms` wall-clock milliseconds
+    /// (non-deterministic; operator-facing runs only).
+    #[must_use]
+    pub fn solve_wall_ms(mut self, ms: u64) -> Self {
+        self.config.solve_wall_ms = Some(ms);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<FuzzConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -133,5 +321,67 @@ mod tests {
         let j = serde_json::to_string(&c).unwrap();
         let back: FuzzConfig = serde_json::from_str(&j).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn builder_produces_valid_configs() {
+        let c = FuzzConfig::builder()
+            .threshold(2)
+            .solver_budget(10_000)
+            .escalation_cap(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.threshold, 2);
+        assert_eq!(c.solver_budget, Some(10_000));
+        assert_eq!(c.escalation_cap, 2);
+        // Defaults pass validation as-is.
+        assert_eq!(
+            FuzzConfig::builder().build().unwrap(),
+            FuzzConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_settings() {
+        let err = FuzzConfig::builder()
+            .use_solver(false)
+            .solver_budget(100)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::SolverBudgetWithoutSolver);
+        assert_eq!(
+            FuzzConfig::builder()
+                .use_solver(false)
+                .solve_wall_ms(5)
+                .build()
+                .unwrap_err(),
+            ConfigError::SolverBudgetWithoutSolver
+        );
+        assert_eq!(
+            FuzzConfig::builder().interval(0).build().unwrap_err(),
+            ConfigError::ZeroInterval
+        );
+        assert_eq!(
+            FuzzConfig::builder().max_vectors(0).build().unwrap_err(),
+            ConfigError::ZeroMaxVectors
+        );
+        assert_eq!(
+            FuzzConfig::builder().solve_depth(0).build().unwrap_err(),
+            ConfigError::ZeroSolveDepth
+        );
+        assert_eq!(
+            FuzzConfig::builder().solver_budget(0).build().unwrap_err(),
+            ConfigError::ZeroSolverBudget
+        );
+        // Every arm renders an informative message.
+        for e in [
+            ConfigError::ZeroInterval,
+            ConfigError::ZeroMaxVectors,
+            ConfigError::SolverBudgetWithoutSolver,
+            ConfigError::ZeroSolveDepth,
+            ConfigError::ZeroSolverBudget,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 }

@@ -9,12 +9,13 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use symbfuzz_cfgx::{Cfg, NodeId};
 use symbfuzz_logic::LogicVec;
-use symbfuzz_netlist::{classify_registers, Design};
+use symbfuzz_netlist::{classify_registers, Design, SignalId};
 use symbfuzz_props::{PropError, Property, PropertyChecker};
 use symbfuzz_ruvm::{Driver, SequenceItem, Sequencer};
 use symbfuzz_sim::{SettleMode, Simulator, Snapshot};
-use symbfuzz_symexec::SymbolicEngine;
-use symbfuzz_telemetry::{Collector, Counter, Event, Gauge, Phase, SolveOutcome};
+use symbfuzz_smt::Budget;
+use symbfuzz_symexec::{ReachOutcome, SymbolicEngine};
+use symbfuzz_telemetry::{Collector, Counter, Event, Gauge, Phase, SolveStatus};
 
 /// One fuzzing campaign over one design with one strategy.
 ///
@@ -33,6 +34,15 @@ pub struct SymbFuzz {
     checker: PropertyChecker,
     engine: Option<SymbolicEngine>,
     snapshots: HashMap<NodeId, Snapshot>,
+    /// Goals that proved unsatisfiable or exhausted their budget from a
+    /// given rollback point — never re-attempted this campaign.
+    neg_cache: HashSet<(Option<NodeId>, SignalId, LogicVec)>,
+    /// Current budget-escalation level (0 = base budget; each level
+    /// doubles the counter ceilings, capped by `escalation_cap`).
+    escalation: u32,
+    /// Tally of symbolic-episode outcomes, indexed by
+    /// [`SolveStatus::serial_index`].
+    solve_tally: [u64; SolveStatus::SERIAL_COUNT],
     /// Two-state coverage view for the HWFP baseline.
     twostate_nodes: HashSet<Vec<u64>>,
     vectors: u64,
@@ -114,6 +124,9 @@ impl SymbFuzz {
             checker: PropertyChecker::new(compiled),
             engine: None,
             snapshots: HashMap::new(),
+            neg_cache: HashSet::new(),
+            escalation: 0,
+            solve_tally: [0; SolveStatus::SERIAL_COUNT],
             twostate_nodes: HashSet::new(),
             vectors: 0,
             stagnation: 0,
@@ -176,7 +189,9 @@ impl SymbFuzz {
     /// Runs until the vector budget is exhausted and returns the
     /// campaign result.
     pub fn run(&mut self) -> CampaignResult {
-        while self.vectors < self.config.max_vectors {
+        // A zero interval consumes no vectors per iteration; bail out
+        // rather than loop forever (FuzzConfig::validate rejects it).
+        while self.config.interval > 0 && self.vectors < self.config.max_vectors {
             self.run_interval();
             self.series.push(CoverageSample {
                 vectors: self.vectors,
@@ -190,7 +205,7 @@ impl SymbFuzz {
     /// Runs until `property` fires or the budget is exhausted; returns
     /// the vectors spent (used by the Table 1 per-bug measurements).
     pub fn run_until_bug(&mut self, property: &str) -> Option<u64> {
-        while self.vectors < self.config.max_vectors {
+        while self.config.interval > 0 && self.vectors < self.config.max_vectors {
             self.run_interval();
             if let Some(b) = self.bugs.iter().find(|b| b.property == property) {
                 return Some(b.vectors);
@@ -263,6 +278,11 @@ impl SymbFuzz {
             bugs: self.bugs.clone(),
             series: self.series.clone(),
             resources,
+            solve_outcomes: SolveStatus::SERIALS
+                .iter()
+                .zip(self.solve_tally.iter())
+                .map(|(s, n)| (s.to_string(), *n))
+                .collect(),
             telemetry: TelemetryBlock::from(self.telemetry.snapshot()),
         }
     }
@@ -399,11 +419,7 @@ impl SymbFuzz {
         let telemetry = Arc::clone(&self.telemetry);
         let _span = telemetry.phase_owned(Phase::Symbolic);
         if !self.config.use_solver {
-            telemetry.record(Event::SymbolicEpisode {
-                checkpoint: None,
-                eqns: 0,
-                solve_result: SolveOutcome::Skipped,
-            });
+            self.note_episode(None, 0, SolveStatus::Skipped);
             return;
         }
         if self.engine.is_none() {
@@ -429,66 +445,126 @@ impl SymbFuzz {
         }
         for cp in candidates {
             self.rollback_to(cp);
-            let solved = self.try_solve_from_here();
-            telemetry.record(Event::SymbolicEpisode {
-                checkpoint: Some(cp.0 as u64),
-                eqns,
-                solve_result: if solved {
-                    SolveOutcome::Solved
-                } else {
-                    SolveOutcome::Unsat
-                },
-            });
-            if solved {
-                return;
+            let status = self.try_solve_from_here(Some(cp));
+            self.note_episode(Some(cp.0 as u64), eqns, status);
+            match status {
+                SolveStatus::Sat => return,
+                // Budget exhausted: abandon the episode and fall back
+                // to constrained-random mutation; the next episode
+                // retries with an escalated budget and the negative
+                // cache keeps it off this goal.
+                SolveStatus::Unknown(_) => return,
+                SolveStatus::Unsat | SolveStatus::Skipped => {}
             }
         }
         // No checkpoint produced a solvable target: reset and try from
         // the reset state (line 19 of Algorithm 1 resets before solving).
         self.full_reset();
-        let solved = self.try_solve_from_here();
-        telemetry.record(Event::SymbolicEpisode {
-            checkpoint: None,
+        let status = self.try_solve_from_here(None);
+        self.note_episode(None, eqns, status);
+    }
+
+    /// Records one symbolic episode in the tally and the event stream.
+    fn note_episode(&mut self, checkpoint: Option<u64>, eqns: u64, status: SolveStatus) {
+        self.solve_tally[status.serial_index()] += 1;
+        self.telemetry.record(Event::SymbolicEpisode {
+            checkpoint,
             eqns,
-            solve_result: if solved {
-                SolveOutcome::Solved
-            } else {
-                SolveOutcome::Unsat
-            },
+            solve_result: status,
         });
+    }
+
+    /// The budget for the next symbolic solve: the configured ceilings
+    /// scaled by the current escalation level (2× per level).
+    fn current_budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(conflicts) = self.config.solver_budget {
+            b = b.with_conflicts(conflicts);
+        }
+        b = b.escalate(1u64 << self.escalation.min(62));
+        if let Some(ms) = self.config.solve_wall_ms {
+            let clock = self.telemetry.clock();
+            let deadline = clock.now_micros().saturating_add(ms.saturating_mul(1000));
+            b = b.with_wall_deadline(clock, deadline);
+        }
+        b
     }
 
     /// Attempts to solve for any unseen control-register value from the
     /// simulator's current state; on success queues the input sequence.
-    fn try_solve_from_here(&mut self) -> bool {
-        let Some(engine) = &self.engine else {
-            return false;
-        };
+    ///
+    /// Graceful degradation: an exhausted budget aborts the episode
+    /// with `Unknown` (the caller falls back to random mutation), the
+    /// goal enters the negative cache alongside proven-unsat goals,
+    /// and the escalation level rises so the next episode searches
+    /// harder. A successful solve resets escalation.
+    fn try_solve_from_here(&mut self, checkpoint: Option<NodeId>) -> SolveStatus {
+        if self.engine.is_none() {
+            return SolveStatus::Skipped;
+        }
+        let budget = self.current_budget();
         let nregs = self.cfg.control_registers().len();
         let mut tried = 0usize;
         for i in 0..nregs {
             let reg = self.cfg.control_registers()[i];
             for value in self.cfg.unseen_values(i, self.config.targets_per_round) {
                 if tried >= self.config.targets_per_round {
-                    return false;
+                    return SolveStatus::Unsat;
+                }
+                let key = (checkpoint, reg, value.clone());
+                if self.neg_cache.contains(&key) {
+                    self.telemetry.add(Counter::NegCacheHits, 1);
+                    continue;
                 }
                 tried += 1;
                 self.resources.solver_calls += 1;
-                let solution = {
+                let outcome = {
                     let _span = self.telemetry.phase_owned(Phase::Solve);
-                    engine.solve_reach(self.sim.values(), &[(reg, value)], self.config.solve_depth)
+                    let engine = self.engine.as_ref().expect("checked above");
+                    engine.solve_reach_budgeted(
+                        self.sim.values(),
+                        &[(reg, value)],
+                        self.config.solve_depth,
+                        &budget,
+                    )
                 };
-                if let Some(seq) = solution {
-                    let items = seq
-                        .iter()
-                        .map(|a| SequenceItem::new(a.to_word(&self.design)));
-                    self.sequencer.clear_replay();
-                    self.sequencer.push_replay(items);
-                    return true;
+                match outcome {
+                    Ok(ReachOutcome::Reached(seq)) => {
+                        let items = seq
+                            .iter()
+                            .map(|a| SequenceItem::new(a.to_word(&self.design)));
+                        self.sequencer.clear_replay();
+                        self.sequencer.push_replay(items);
+                        self.escalation = 0;
+                        self.telemetry.set_gauge(Gauge::EscalationLevel, 0);
+                        return SolveStatus::Sat;
+                    }
+                    Ok(ReachOutcome::Unreachable) | Err(_) => {
+                        // Proven unsat (or an unposable goal): never
+                        // worth re-attempting from this rollback point.
+                        self.neg_cache.insert(key);
+                    }
+                    Ok(ReachOutcome::Exhausted { reason, spent }) => {
+                        self.neg_cache.insert(key);
+                        self.telemetry.add(Counter::BudgetExhaustions, 1);
+                        self.telemetry.record(Event::BudgetExhausted {
+                            reason,
+                            level: self.escalation as u64,
+                            conflicts: spent.conflicts,
+                            decisions: spent.decisions,
+                            propagations: spent.propagations,
+                        });
+                        if self.escalation < self.config.escalation_cap {
+                            self.escalation += 1;
+                        }
+                        self.telemetry
+                            .set_gauge(Gauge::EscalationLevel, self.escalation as u64);
+                        return SolveStatus::Unknown(reason);
+                    }
                 }
             }
         }
-        false
+        SolveStatus::Unsat
     }
 
     /// Re-enters a CFG node: snapshot restore when cached (microseconds,
@@ -732,6 +808,99 @@ mod tests {
                 "phase {phase} never recorded"
             );
         }
+    }
+
+    /// The factoring lock of `symbfuzz_designs::hard_factor`, inlined
+    /// (designs depends on this crate, so tests here cannot import
+    /// it): the FSM advances only when the 20-bit inputs multiply to a
+    /// 40-bit semiprime — a goal no sane conflict budget can crack.
+    const HARDLOCK: &str = "
+        module hardlock(
+          input clk, input rst_n,
+          input [19:0] a, input [19:0] b,
+          output logic [1:0] st, output logic unlocked);
+          logic [39:0] aw;
+          logic [39:0] bw;
+          assign aw = a;
+          assign bw = b;
+          always_ff @(posedge clk or negedge rst_n) begin
+            if (!rst_n) st <= 2'd0;
+            else begin
+              case (st)
+                2'd0: if (aw * bw == 40'd676371752677) st <= 2'd1;
+                2'd1: st <= 2'd2;
+                default: st <= st;
+              endcase
+            end
+          end
+          always_comb unlocked = (st == 2'd2);
+        endmodule";
+
+    #[test]
+    fn budget_exhaustion_degrades_to_random_mutation() {
+        let d = Arc::new(elaborate_src(HARDLOCK, "hardlock").unwrap());
+        let cfg = FuzzConfig::builder()
+            .interval(32)
+            .threshold(1)
+            .max_vectors(2_000)
+            .solver_budget(500)
+            .escalation_cap(1)
+            .build()
+            .unwrap();
+        let props = vec![PropertySpec::assertion_only(
+            "never_unlocked",
+            "unlocked == 1'b0",
+        )];
+        let mut f = SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, cfg, &props).unwrap();
+        let r = f.run();
+        // The campaign terminates despite every guided solve being
+        // hopeless, spending its full vector budget on random fuzzing.
+        assert_eq!(r.vectors, 2_000);
+        assert!(!r.detected("never_unlocked"));
+        // At least one solve exhausted its budget and said so.
+        let exhausted = r
+            .telemetry
+            .events
+            .iter()
+            .find(|(k, _)| k == "BudgetExhausted")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert!(exhausted >= 1, "events: {:?}", r.telemetry.events);
+        // The episode tally reports the same outcome in the shared
+        // SolveStatus vocabulary.
+        let unknowns: u64 = r
+            .solve_outcomes
+            .iter()
+            .filter(|(k, _)| k.starts_with("unknown:"))
+            .map(|(_, n)| *n)
+            .sum();
+        assert!(unknowns >= 1, "solve_outcomes: {:?}", r.solve_outcomes);
+        // Exhausted goals enter the negative cache and are never
+        // re-solved; later episodes hit the cache instead.
+        let neg_hits = r
+            .telemetry
+            .counters
+            .iter()
+            .find(|(k, _)| k == "neg_cache_hits")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert!(neg_hits >= 1, "counters: {:?}", r.telemetry.counters);
+        // Budgeted campaigns stay deterministic: same seed, same result.
+        let mut g = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            FuzzConfig::builder()
+                .interval(32)
+                .threshold(1)
+                .max_vectors(2_000)
+                .solver_budget(500)
+                .escalation_cap(1)
+                .build()
+                .unwrap(),
+            &props,
+        )
+        .unwrap();
+        assert_eq!(r, g.run());
     }
 
     #[test]

@@ -202,6 +202,11 @@ pub struct CampaignResult {
     pub series: Vec<CoverageSample>,
     /// Resource accounting.
     pub resources: ResourceStats,
+    /// Symbolic-episode outcomes tallied per
+    /// [`SolveStatus`](symbfuzz_telemetry::SolveStatus) serial, in
+    /// schema order (`sat`, `unsat`, `skipped`, `unknown:<reason>`…) —
+    /// the same vocabulary JSONL traces use for `solve_result`.
+    pub solve_outcomes: Vec<(String, u64)>,
     /// Telemetry metrics (counters, gauges, events, phase timings).
     pub telemetry: TelemetryBlock,
 }
@@ -261,6 +266,7 @@ mod tests {
                 },
             ],
             resources: ResourceStats::default(),
+            solve_outcomes: vec![],
             telemetry: TelemetryBlock::default(),
         };
         assert_eq!(r.vectors_to_reach(30), Some(50));

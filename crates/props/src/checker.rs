@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use symbfuzz_logic::LogicVec;
 
 /// A recorded property violation (paper §4.9: "the simulator logs the
-/// property name [and] simulation timestamp").
+/// property name \[and\] simulation timestamp").
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Name of the violated property.

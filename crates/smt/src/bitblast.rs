@@ -365,7 +365,8 @@ mod tests {
                 }
                 Some(env)
             }
-            SatResult::Unsat => None,
+            // solve() is unlimited, so Unknown cannot occur here.
+            SatResult::Unsat | SatResult::Unknown { .. } => None,
         }
     }
 

@@ -15,15 +15,21 @@
 //!   and Luby restarts;
 //! * [`BvSolver`] — the user-facing facade: assert 1-bit terms, check
 //!   satisfiability, read back a [`Model`] mapping variables to
-//!   concrete [`LogicVec`](symbfuzz_logic::LogicVec) values.
+//!   concrete [`LogicVec`](symbfuzz_logic::LogicVec) values. Misuse
+//!   surfaces as [`SolverError`], never a panic.
+//! * [`Budget`] — optional resource ceilings (conflicts, decisions,
+//!   propagations, term nodes, unroll depth, opt-in wall clock) that
+//!   turn checks into three-valued results with
+//!   [`SatOutcome::Unknown`].
 //!
 //! # Examples
 //!
 //! Solve the paper's Eqn. 1, `((in1 & in2) + in3) && !in3`:
 //!
 //! ```
-//! use symbfuzz_smt::{BvSolver, SatOutcome};
+//! use symbfuzz_smt::{BvSolver, SatOutcome, SolverError};
 //!
+//! # fn main() -> Result<(), SolverError> {
 //! let mut s = BvSolver::new();
 //! let in1 = s.pool_mut().var("in1", 8);
 //! let in2 = s.pool_mut().var("in2", 8);
@@ -33,18 +39,22 @@
 //! let nonzero = p.red_or(sum);
 //! let in3_zero = { let nz = p.red_or(in3); p.not(nz) };
 //! let goal = p.and(nonzero, in3_zero);
-//! s.assert(goal);
-//! let SatOutcome::Sat(model) = s.check() else { panic!("must be satisfiable") };
+//! s.assert(goal)?;
+//! let SatOutcome::Sat(model) = s.check()? else { panic!("must be satisfiable") };
 //! let v3 = model.value("in3").unwrap().to_u64().unwrap();
 //! assert_eq!(v3, 0); // in3 must be zero, in1&in2 nonzero
+//! # Ok(())
+//! # }
 //! ```
 
 mod bitblast;
+mod budget;
 mod sat;
 mod solver;
 mod term;
 
 pub use bitblast::{BitBlaster, Cnf};
+pub use budget::{Budget, BudgetSpent};
 pub use sat::{Lit, SatResult, SatSolver};
-pub use solver::{render_term, BvSolver, Model, SatOutcome};
+pub use solver::{render_term, BvSolver, Model, SatOutcome, SolverError};
 pub use term::{TermId, TermKind, TermPool};

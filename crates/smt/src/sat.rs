@@ -1,7 +1,14 @@
 //! CDCL SAT solver: two-watched-literal propagation, VSIDS decisions,
 //! first-UIP learning, phase saving and Luby restarts.
+//!
+//! Searches can be bounded by a [`Budget`]
+//! ([`solve_budgeted`](SatSolver::solve_budgeted)); a search that hits
+//! a ceiling returns [`SatResult::Unknown`] with the reason and the
+//! work spent, leaving the solver reusable (learned clauses are kept).
 
+use crate::budget::{Budget, BudgetSpent};
 use std::fmt;
+use symbfuzz_telemetry::UnknownReason;
 
 /// A literal: a propositional variable (0-based) with a polarity.
 ///
@@ -51,6 +58,14 @@ pub enum SatResult {
     Sat(Vec<bool>),
     /// Unsatisfiable.
     Unsat,
+    /// The search hit a [`Budget`] ceiling before a verdict. Only
+    /// produced by [`SatSolver::solve_budgeted`].
+    Unknown {
+        /// Ceiling that stopped the search.
+        reason: UnknownReason,
+        /// Work consumed by this call.
+        spent: BudgetSpent,
+    },
 }
 
 impl SatResult {
@@ -94,6 +109,7 @@ pub struct SatSolver {
     unsat: bool,
     conflicts: u64,
     decisions: u64,
+    propagations: u64,
 }
 
 impl SatSolver {
@@ -131,6 +147,11 @@ impl SatSolver {
     /// Number of decisions made so far (diagnostics).
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Number of unit propagations performed so far (diagnostics).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
     }
 
     fn value(&self, l: Lit) -> i8 {
@@ -216,6 +237,7 @@ impl SatSolver {
         while self.qhead < self.trail.len() {
             let l = self.trail[self.qhead];
             self.qhead += 1;
+            self.propagations += 1;
             // Clauses that watch ¬l may become unit/conflicting now
             // that l is true.
             let mut ws = std::mem::take(&mut self.watches[l.code()]);
@@ -371,11 +393,27 @@ impl SatSolver {
 
     /// Solves under `assumptions` (literals forced as the first
     /// decisions). Returns [`SatResult::Unsat`] if the assumptions are
-    /// inconsistent with the clauses.
+    /// inconsistent with the clauses. Never returns
+    /// [`SatResult::Unknown`].
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_budgeted(assumptions, &Budget::unlimited())
+    }
+
+    /// Like [`solve_with`](Self::solve_with), but bounded by `budget`.
+    ///
+    /// The ceilings are checked once per main-loop iteration (i.e. at
+    /// propagation/decision granularity), so a search may overshoot a
+    /// ceiling by the work of one propagation sweep before stopping.
+    /// On exhaustion the trail is cancelled to level 0 and
+    /// [`SatResult::Unknown`] carries the reason plus the conflicts,
+    /// decisions and propagations this call consumed; learned clauses
+    /// are kept, so a retry with a larger budget resumes warm.
+    pub fn solve_budgeted(&mut self, assumptions: &[Lit], budget: &Budget) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
+        let limited = !budget.is_unlimited();
+        let (c0, d0, p0) = (self.conflicts, self.decisions, self.propagations);
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.unsat = true;
@@ -384,6 +422,17 @@ impl SatSolver {
         let mut restart_count = 0u32;
         let mut conflicts_until_restart = luby(restart_count) * 128;
         loop {
+            if limited {
+                let spent = BudgetSpent {
+                    conflicts: self.conflicts - c0,
+                    decisions: self.decisions - d0,
+                    propagations: self.propagations - p0,
+                };
+                if let Some(reason) = budget.check(spent) {
+                    self.cancel_until(0);
+                    return SatResult::Unknown { reason, spent };
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
                 if self.decision_level() == 0 {
@@ -590,6 +639,97 @@ mod tests {
     fn luby_sequence_prefix() {
         let seq: Vec<u64> = (0..15).map(luby).collect();
         assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    fn pigeonhole(s: &mut SatSolver, pigeons: usize, holes: usize) {
+        let p: Vec<Vec<u32>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|&v| lit(v, true)).collect();
+            s.add_clause(&c);
+        }
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                for (&v1, &v2) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause(&[lit(v1, false), lit(v2, false)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown_and_solver_stays_usable() {
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 5, 4);
+        let budget = Budget::unlimited().with_conflicts(2);
+        let r = s.solve_budgeted(&[], &budget);
+        let SatResult::Unknown { reason, spent } = r else {
+            panic!("expected Unknown, got {r:?}");
+        };
+        assert_eq!(reason, UnknownReason::Conflicts);
+        assert!(spent.conflicts >= 2);
+        // Learned clauses are kept; the unlimited retry still decides.
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn decision_budget_yields_unknown() {
+        let mut s = SatSolver::new();
+        // Needs at least one decision: two free vars, one clause.
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        let budget = Budget::unlimited().with_decisions(0);
+        match s.solve_budgeted(&[], &budget) {
+            SatResult::Unknown { reason, .. } => assert_eq!(reason, UnknownReason::Decisions),
+            r => panic!("expected Unknown, got {r:?}"),
+        }
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn propagation_budget_yields_unknown() {
+        let mut s = SatSolver::new();
+        // A decision on v0 propagates a chain; the next iteration's
+        // check sees the spent propagations before v4 is decided.
+        let vars: Vec<u32> = (0..5).map(|_| s.new_var()).collect();
+        s.add_clause(&[lit(vars[0], true), lit(vars[1], true)]);
+        s.add_clause(&[lit(vars[1], false), lit(vars[2], true)]);
+        let budget = Budget::unlimited().with_propagations(1);
+        match s.solve_budgeted(&[], &budget) {
+            SatResult::Unknown { reason, spent } => {
+                assert_eq!(reason, UnknownReason::Propagations);
+                assert!(spent.propagations >= 1);
+            }
+            r => panic!("expected Unknown, got {r:?}"),
+        }
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn expired_wall_deadline_yields_unknown_deterministically() {
+        use std::sync::Arc;
+        use symbfuzz_telemetry::{Clock, ManualClock};
+        let clock = Arc::new(ManualClock::new());
+        clock.set(1000);
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        let budget = Budget::unlimited().with_wall_deadline(clock, 500);
+        match s.solve_budgeted(&[], &budget) {
+            SatResult::Unknown { reason, .. } => assert_eq!(reason, UnknownReason::WallClock),
+            r => panic!("expected Unknown, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_solve() {
+        let mut s1 = SatSolver::new();
+        let mut s2 = SatSolver::new();
+        pigeonhole(&mut s1, 4, 3);
+        pigeonhole(&mut s2, 4, 3);
+        assert_eq!(s1.solve(), s2.solve_budgeted(&[], &Budget::unlimited()));
     }
 
     #[test]

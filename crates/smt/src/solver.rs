@@ -1,12 +1,58 @@
 //! User-facing bit-vector solver facade.
+//!
+//! The facade is fully fallible: misuse (non-1-bit assertions or
+//! assumptions) surfaces as [`SolverError::WidthMismatch`] and
+//! budgeted checks that hit a ceiling surface as
+//! [`SatOutcome::Unknown`] — no public path panics on user input.
+//! The pre-redesign panicking entry points survive one release as
+//! `#[deprecated]` `*_or_panic` shims.
 
 use crate::bitblast::BitBlaster;
+use crate::budget::{Budget, BudgetSpent};
 use crate::sat::{Lit, SatResult};
 use crate::term::{TermId, TermKind, TermPool};
 use std::collections::HashMap;
 use std::sync::Arc;
 use symbfuzz_logic::{Bit, LogicVec};
-use symbfuzz_telemetry::{Collector, Counter, Event};
+use symbfuzz_telemetry::{Collector, Counter, Event, SolveStatus, UnknownReason};
+
+/// A typed error from the [`BvSolver`] facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// A term handed to `assert`/`check_assuming` was not one bit
+    /// wide.
+    WidthMismatch {
+        /// Where the term was used (`"assertion"` or `"assumption"`).
+        context: &'static str,
+        /// Actual width of the offending term.
+        actual: u32,
+    },
+    /// A budgeted check stopped at a resource ceiling and the caller
+    /// required a decision (see [`SatOutcome::decided`]).
+    BudgetExhausted {
+        /// Ceiling that stopped the search.
+        reason: UnknownReason,
+        /// Work consumed by the attempt.
+        spent: BudgetSpent,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::WidthMismatch { context, actual } => {
+                write!(f, "{context} must be one bit wide, got {actual} bits")
+            }
+            SolverError::BudgetExhausted { reason, spent } => write!(
+                f,
+                "budget exhausted ({reason}) after {} conflicts / {} decisions / {} propagations",
+                spent.conflicts, spent.decisions, spent.propagations
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
 
 /// A satisfying assignment: every pool variable mapped to a concrete
 /// value (variables unconstrained by the assertions default to zero).
@@ -38,13 +84,21 @@ impl Model {
     }
 }
 
-/// Outcome of a satisfiability check.
+/// Outcome of a satisfiability check (three-valued).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SatOutcome {
     /// Satisfiable with the given model.
     Sat(Model),
     /// Unsatisfiable.
     Unsat,
+    /// A budgeted check hit a ceiling before a verdict. Only produced
+    /// by [`BvSolver::check_budgeted`].
+    Unknown {
+        /// Ceiling that stopped the search.
+        reason: UnknownReason,
+        /// Work consumed by the attempt.
+        spent: BudgetSpent,
+    },
 }
 
 impl SatOutcome {
@@ -57,7 +111,28 @@ impl SatOutcome {
     pub fn model(self) -> Option<Model> {
         match self {
             SatOutcome::Sat(m) => Some(m),
-            SatOutcome::Unsat => None,
+            _ => None,
+        }
+    }
+
+    /// The shared [`SolveStatus`] this outcome serializes as in
+    /// campaign JSON and JSONL traces.
+    pub fn status(&self) -> SolveStatus {
+        match self {
+            SatOutcome::Sat(_) => SolveStatus::Sat,
+            SatOutcome::Unsat => SolveStatus::Unsat,
+            SatOutcome::Unknown { reason, .. } => SolveStatus::Unknown(*reason),
+        }
+    }
+
+    /// Converts `Unknown` into [`SolverError::BudgetExhausted`], for
+    /// callers that require a definite verdict.
+    pub fn decided(self) -> Result<SatOutcome, SolverError> {
+        match self {
+            SatOutcome::Unknown { reason, spent } => {
+                Err(SolverError::BudgetExhausted { reason, spent })
+            }
+            decided => Ok(decided),
         }
     }
 }
@@ -109,29 +184,63 @@ impl BvSolver {
 
     /// Asserts a 1-bit term.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the term is not one bit wide.
-    pub fn assert(&mut self, t: TermId) {
+    /// [`SolverError::WidthMismatch`] if the term is not one bit wide.
+    pub fn assert(&mut self, t: TermId) -> Result<(), SolverError> {
+        let w = self.pool.width(t);
+        if w != 1 {
+            return Err(SolverError::WidthMismatch {
+                context: "assertion",
+                actual: w,
+            });
+        }
         self.blaster.assert_true(&self.pool, t);
         self.asserted.push(t);
+        Ok(())
     }
 
     /// Checks satisfiability of the asserted conjunction.
-    pub fn check(&mut self) -> SatOutcome {
+    pub fn check(&mut self) -> Result<SatOutcome, SolverError> {
         self.check_assuming(&[])
     }
 
     /// Checks satisfiability under extra 1-bit `assumptions` that are
-    /// not permanently asserted.
+    /// not permanently asserted. Never returns
+    /// [`SatOutcome::Unknown`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an assumption is not one bit wide.
-    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> SatOutcome {
+    /// [`SolverError::WidthMismatch`] if an assumption is not one bit
+    /// wide.
+    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> Result<SatOutcome, SolverError> {
+        self.check_budgeted(assumptions, &Budget::unlimited())
+    }
+
+    /// Like [`check_assuming`](Self::check_assuming), but the CDCL
+    /// search is bounded by `budget`. Hitting a ceiling yields
+    /// `Ok(SatOutcome::Unknown { .. })` — exhaustion is a result, not
+    /// an error; use [`SatOutcome::decided`] when a verdict is
+    /// mandatory.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::WidthMismatch`] if an assumption is not one bit
+    /// wide.
+    pub fn check_budgeted(
+        &mut self,
+        assumptions: &[TermId],
+        budget: &Budget,
+    ) -> Result<SatOutcome, SolverError> {
         let mut assumption_lits: Vec<Lit> = Vec::with_capacity(assumptions.len());
         for &a in assumptions {
-            assert_eq!(self.pool.width(a), 1, "assumptions must be one bit wide");
+            let w = self.pool.width(a);
+            if w != 1 {
+                return Err(SolverError::WidthMismatch {
+                    context: "assumption",
+                    actual: w,
+                });
+            }
             let l = self.blaster.lits(&self.pool, a)[0];
             assumption_lits.push(l);
         }
@@ -139,7 +248,10 @@ impl BvSolver {
             let s = self.blaster.solver();
             (t.now_micros(), s.decisions(), s.conflicts())
         });
-        let result = self.blaster.solver_mut().solve_with(&assumption_lits);
+        let result = self
+            .blaster
+            .solver_mut()
+            .solve_budgeted(&assumption_lits, budget);
         if let (Some(t), Some((t0, d0, c0))) = (&self.telemetry, before) {
             let s = self.blaster.solver();
             let stats = self.blaster.stats();
@@ -155,8 +267,9 @@ impl BvSolver {
                 micros: t.now_micros().saturating_sub(t0),
             });
         }
-        match result {
+        Ok(match result {
             SatResult::Unsat => SatOutcome::Unsat,
+            SatResult::Unknown { reason, spent } => SatOutcome::Unknown { reason, spent },
             SatResult::Sat(raw) => {
                 let mut values = HashMap::new();
                 for (name, width) in self.pool.vars() {
@@ -172,7 +285,34 @@ impl BvSolver {
                 }
                 SatOutcome::Sat(Model { values })
             }
-        }
+        })
+    }
+
+    /// Pre-redesign panicking `assert`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not one bit wide.
+    #[deprecated(since = "0.3.0", note = "use the fallible `assert` instead")]
+    pub fn assert_or_panic(&mut self, t: TermId) {
+        self.assert(t).expect("assertions must be one bit wide");
+    }
+
+    /// Pre-redesign panicking `check`.
+    #[deprecated(since = "0.3.0", note = "use the fallible `check` instead")]
+    pub fn check_or_panic(&mut self) -> SatOutcome {
+        self.check().expect("check without assumptions cannot fail")
+    }
+
+    /// Pre-redesign panicking `check_assuming`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption is not one bit wide.
+    #[deprecated(since = "0.3.0", note = "use the fallible `check_assuming` instead")]
+    pub fn check_assuming_or_panic(&mut self, assumptions: &[TermId]) -> SatOutcome {
+        self.check_assuming(assumptions)
+            .expect("assumptions must be one bit wide")
     }
 
     /// Validates a model against the asserted terms by direct
@@ -253,8 +393,8 @@ mod tests {
             let hundred = p.const_u64(8, 100);
             p.eq(sum, hundred)
         };
-        s.assert(goal);
-        let SatOutcome::Sat(m) = s.check() else {
+        s.assert(goal).unwrap();
+        let SatOutcome::Sat(m) = s.check().unwrap() else {
             panic!("sat expected")
         };
         assert_eq!(m.value("a").unwrap().to_u64(), Some(95));
@@ -271,9 +411,9 @@ mod tests {
             let seven = p.const_u64(4, 7);
             (p.eq(a, three), p.eq(a, seven))
         };
-        s.assert(e1);
-        s.assert(e2);
-        assert_eq!(s.check(), SatOutcome::Unsat);
+        s.assert(e1).unwrap();
+        s.assert(e2).unwrap();
+        assert_eq!(s.check().unwrap(), SatOutcome::Unsat);
     }
 
     #[test]
@@ -285,7 +425,7 @@ mod tests {
             let eight = p.const_u64(4, 8);
             p.ult(a, eight)
         };
-        s.assert(lt8);
+        s.assert(lt8).unwrap();
         let targets: Vec<TermId> = (0..10)
             .map(|v| {
                 let p = s.pool_mut();
@@ -295,7 +435,7 @@ mod tests {
             .collect();
         // Values 0..8 reachable, 8..10 not — same CNF reused each time.
         for (v, &t) in targets.iter().enumerate() {
-            let out = s.check_assuming(&[t]);
+            let out = s.check_assuming(&[t]).unwrap();
             if v < 8 {
                 let m = out.model().expect("reachable");
                 assert_eq!(m.value("a").unwrap().to_u64(), Some(v as u64));
@@ -304,7 +444,7 @@ mod tests {
             }
         }
         // Plain check still satisfiable after all those assumptions.
-        assert!(s.check().is_sat());
+        assert!(s.check().unwrap().is_sat());
     }
 
     #[test]
@@ -312,8 +452,8 @@ mod tests {
         let mut s = BvSolver::new();
         let _unused = s.pool_mut().var("unused", 16);
         let t = s.pool_mut().tru();
-        s.assert(t);
-        let SatOutcome::Sat(m) = s.check() else {
+        s.assert(t).unwrap();
+        let SatOutcome::Sat(m) = s.check().unwrap() else {
             panic!()
         };
         assert_eq!(m.value("unused").unwrap().to_u64(), Some(0));
@@ -349,11 +489,130 @@ mod tests {
             let not3 = p.not(n3);
             p.and(truthy, not3)
         };
-        s.assert(goal);
-        let m = s.check().model().expect("satisfiable");
+        s.assert(goal).unwrap();
+        let m = s.check().unwrap().model().expect("satisfiable");
         assert_eq!(m.value("in3").unwrap().to_u64(), Some(0));
         let v1 = m.value("in1").unwrap().to_u64().unwrap();
         let v2 = m.value("in2").unwrap().to_u64().unwrap();
         assert_ne!(v1 & v2, 0);
+    }
+
+    #[test]
+    fn wide_terms_are_rejected_not_panicked() {
+        let mut s = BvSolver::new();
+        let a = s.pool_mut().var("a", 8);
+        assert_eq!(
+            s.assert(a),
+            Err(SolverError::WidthMismatch {
+                context: "assertion",
+                actual: 8,
+            })
+        );
+        assert_eq!(
+            s.check_assuming(&[a]),
+            Err(SolverError::WidthMismatch {
+                context: "assumption",
+                actual: 8,
+            })
+        );
+        // The solver is still usable after rejected input.
+        let t = s.pool_mut().tru();
+        s.assert(t).unwrap();
+        assert!(s.check().unwrap().is_sat());
+    }
+
+    #[test]
+    fn budgeted_check_degrades_to_unknown() {
+        // Factoring instance: x * y == semiprime with x, y > 1. A few
+        // dozen conflicts cannot crack a 40-bit product.
+        let mut s = BvSolver::new();
+        let x = s.pool_mut().var("x", 20);
+        let y = s.pool_mut().var("y", 20);
+        let goal = {
+            let p = s.pool_mut();
+            let xw = p.resize(x, 40);
+            let yw = p.resize(y, 40);
+            let prod = p.mul(xw, yw);
+            let c = p.const_u64(40, 676_371_752_677); // 821297 * 823541
+            let eq = p.eq(prod, c);
+            let one = p.const_u64(20, 1);
+            let xg = p.ult(one, x);
+            let yg = p.ult(one, y);
+            let guards = p.and(xg, yg);
+            p.and(eq, guards)
+        };
+        s.assert(goal).unwrap();
+        let tiny = Budget::unlimited().with_conflicts(50);
+        let out = s.check_budgeted(&[], &tiny).unwrap();
+        let SatOutcome::Unknown { reason, spent } = &out else {
+            panic!("expected Unknown, got {out:?}")
+        };
+        assert_eq!(*reason, UnknownReason::Conflicts);
+        assert!(spent.conflicts >= 1);
+        assert_eq!(out.status(), SolveStatus::Unknown(UnknownReason::Conflicts));
+        // A decision-demanding caller sees the typed error.
+        assert_eq!(
+            out.clone().decided(),
+            Err(SolverError::BudgetExhausted {
+                reason: *reason,
+                spent: *spent,
+            })
+        );
+        // An escalated retry resumes warm and is still bounded.
+        let bigger = tiny.escalate(2);
+        let retry = s.check_budgeted(&[], &bigger).unwrap();
+        assert!(matches!(retry, SatOutcome::Unknown { .. }));
+    }
+
+    #[test]
+    fn statuses_map_onto_shared_solve_status() {
+        let mut s = BvSolver::new();
+        let t = s.pool_mut().tru();
+        s.assert(t).unwrap();
+        assert_eq!(s.check().unwrap().status(), SolveStatus::Sat);
+        let f = {
+            let p = s.pool_mut();
+            let t = p.tru();
+            p.not(t)
+        };
+        s.assert(f).unwrap();
+        assert_eq!(s.check().unwrap().status(), SolveStatus::Unsat);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SolverError::WidthMismatch {
+            context: "assertion",
+            actual: 4,
+        };
+        assert_eq!(e.to_string(), "assertion must be one bit wide, got 4 bits");
+        let e = SolverError::BudgetExhausted {
+            reason: UnknownReason::Conflicts,
+            spent: BudgetSpent {
+                conflicts: 10,
+                decisions: 20,
+                propagations: 30,
+            },
+        };
+        assert!(e.to_string().contains("conflicts"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_old_behaviour() {
+        let mut s = BvSolver::new();
+        let a = s.pool_mut().var("a", 4);
+        let goal = {
+            let p = s.pool_mut();
+            let c = p.const_u64(4, 9);
+            p.eq(a, c)
+        };
+        s.assert_or_panic(goal);
+        let SatOutcome::Sat(m) = s.check_or_panic() else {
+            panic!()
+        };
+        assert_eq!(m.value("a").unwrap().to_u64(), Some(9));
+        assert!(s.check_assuming_or_panic(&[goal]).is_sat());
     }
 }

@@ -50,6 +50,7 @@ proptest! {
                 }
             }
             SatResult::Unsat => prop_assert!(!expected, "solver said UNSAT, brute force says SAT"),
+            SatResult::Unknown { .. } => prop_assert!(false, "unlimited solve returned Unknown"),
         }
     }
 
@@ -82,8 +83,8 @@ proptest! {
                 let both = p.and(ea, eb);
                 p.and(both, er)
             };
-            s.assert(goal);
-            prop_assert!(s.check().is_sat(), "op {op}: {a} ? {b} != {expected} at width {width}");
+            s.assert(goal).unwrap();
+            prop_assert!(s.check().unwrap().is_sat(), "op {op}: {a} ? {b} != {expected} at width {width}");
         }
     }
 
@@ -103,8 +104,8 @@ proptest! {
             let e = p.eq(lt, expect);
             p.and(ea, e)
         };
-        s.assert(goal);
-        prop_assert!(s.check().is_sat());
+        s.assert(goal).unwrap();
+        prop_assert!(s.check().unwrap().is_sat());
     }
 
     #[test]
@@ -123,8 +124,8 @@ proptest! {
             let c = p.const_u64(width, t);
             p.eq(sum, c)
         };
-        s.assert(goal);
-        let SatOutcome::Sat(model) = s.check() else {
+        s.assert(goal).unwrap();
+        let SatOutcome::Sat(model) = s.check().unwrap() else {
             return Err(TestCaseError::fail("expected SAT"));
         };
         prop_assert!(s.validate(&model));

@@ -7,8 +7,8 @@ use symbfuzz_logic::{Bit, LogicVec};
 use symbfuzz_netlist::{
     reset_tree, Design, NExpr, NLValue, NStmt, ProcKind, ResetTree, SignalId, SignalKind,
 };
-use symbfuzz_smt::{BitBlaster, SatResult, TermId, TermKind, TermPool};
-use symbfuzz_telemetry::{Collector, Counter, Event};
+use symbfuzz_smt::{BitBlaster, Budget, BudgetSpent, SatResult, TermId, TermKind, TermPool};
+use symbfuzz_telemetry::{Collector, Counter, Event, SolveStatus, UnknownReason};
 
 /// A concrete input stimulus produced by the solver: one value per
 /// top-level input (clocks excluded, resets held inactive).
@@ -29,9 +29,8 @@ impl InputAssignment {
     }
 
     /// Packs the fuzzable inputs into one flat word in `SignalId` order
-    /// — the inverse of
-    /// [`Simulator::apply_input_word`](symbfuzz_sim::Simulator::apply_input_word)
-    /// (`symbfuzz-sim` documents the packing; duplicated here to avoid a
+    /// — the inverse of `symbfuzz-sim`'s `Simulator::apply_input_word`
+    /// (that crate documents the packing; duplicated here to avoid a
     /// dependency cycle).
     pub fn to_word(&self, design: &Design) -> LogicVec {
         let mut word = LogicVec::zeros(design.fuzz_width().max(1));
@@ -48,6 +47,76 @@ impl InputAssignment {
         }
         word
     }
+}
+
+/// Invalid reachability request: the caller asked for something the
+/// engine cannot even pose as an SMT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReachError {
+    /// A target value contains `X` bits — there is no concrete value
+    /// to assert.
+    XTarget {
+        /// Name of the offending target signal.
+        signal: String,
+    },
+    /// A target signal is not a register, so it has no next-state
+    /// equation.
+    NotARegister {
+        /// Name of the offending target signal.
+        signal: String,
+    },
+}
+
+impl std::fmt::Display for ReachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReachError::XTarget { signal } => {
+                write!(f, "target value for {signal} contains X bits")
+            }
+            ReachError::NotARegister { signal } => {
+                write!(f, "target {signal} is not a register")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReachError {}
+
+/// Result of a budgeted reachability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReachOutcome {
+    /// The target is reachable; here is the input sequence.
+    Reached(Vec<InputAssignment>),
+    /// Proven unreachable within the requested unroll bound.
+    Unreachable,
+    /// The budget ran out before the query was decided.
+    Exhausted {
+        /// Which ceiling tripped first.
+        reason: UnknownReason,
+        /// Work consumed across the whole depth schedule.
+        spent: BudgetSpent,
+    },
+}
+
+impl ReachOutcome {
+    /// Maps onto the shared campaign-wide [`SolveStatus`] vocabulary.
+    pub fn status(&self) -> SolveStatus {
+        match self {
+            ReachOutcome::Reached(_) => SolveStatus::Sat,
+            ReachOutcome::Unreachable => SolveStatus::Unsat,
+            ReachOutcome::Exhausted { reason, .. } => SolveStatus::Unknown(*reason),
+        }
+    }
+}
+
+/// Outcome of one exact-depth budgeted solve (internal).
+enum ExactOutcome {
+    Sat(Vec<InputAssignment>),
+    Unsat(BudgetSpent),
+    Exhausted {
+        reason: UnknownReason,
+        spent: BudgetSpent,
+    },
 }
 
 /// Builds and solves dependency equations for one design.
@@ -209,37 +278,101 @@ impl SymbolicEngine {
         targets: &[(SignalId, LogicVec)],
         max_steps: u32,
     ) -> Option<Vec<InputAssignment>> {
+        match self.solve_reach_budgeted(current, targets, max_steps, &Budget::unlimited()) {
+            Ok(ReachOutcome::Reached(seq)) => Some(seq),
+            Ok(ReachOutcome::Unreachable) => None,
+            Ok(ReachOutcome::Exhausted { .. }) => {
+                unreachable!("an unlimited budget cannot be exhausted")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Budget-aware variant of [`solve_reach`](Self::solve_reach):
+    /// never panics and never runs away. Invalid requests surface as
+    /// [`ReachError`]; an exhausted [`Budget`] yields
+    /// [`ReachOutcome::Exhausted`] with the tripped ceiling and the
+    /// work spent across the whole depth schedule.
+    ///
+    /// One budget covers the *entire* query: counter ceilings
+    /// (conflicts, decisions, propagations) deplete across the
+    /// geometric depth schedule's exact-depth solves, the term-node
+    /// ceiling bounds the working pool during each unroll, and the
+    /// unroll-depth ceiling truncates `max_steps` (reporting
+    /// `Exhausted` rather than `Unreachable` if nothing was found
+    /// within the truncated bound).
+    pub fn solve_reach_budgeted(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+        max_steps: u32,
+        budget: &Budget,
+    ) -> Result<ReachOutcome, ReachError> {
         for t in targets {
-            assert!(
-                !t.1.has_unknown(),
-                "target value for {} contains X",
-                self.design.signal(t.0).name
-            );
-            assert!(
-                self.design.signal(t.0).is_register,
-                "target {} is not a register",
-                self.design.signal(t.0).name
-            );
+            let s = self.design.signal(t.0);
+            if t.1.has_unknown() {
+                return Err(ReachError::XTarget {
+                    signal: s.name.clone(),
+                });
+            }
+            if !s.is_register {
+                return Err(ReachError::NotARegister {
+                    signal: s.name.clone(),
+                });
+            }
+        }
+        let bound = budget
+            .unroll_depth()
+            .map_or(max_steps, |c| max_steps.min(c));
+        let truncated = bound < max_steps;
+        if bound == 0 {
+            return Ok(ReachOutcome::Exhausted {
+                reason: UnknownReason::UnrollDepth,
+                spent: BudgetSpent::default(),
+            });
         }
         // Geometric depth schedule: deep plans pad with idle cycles, so
         // exact-k solving at 1, 2, 4, … plus the bound itself finds any
         // plan within the bound at a fraction of the solver calls.
+        let mut spent_total = BudgetSpent::default();
         let mut k = 1;
-        while k < max_steps {
-            if let Some(seq) = self.solve_exact(current, targets, k) {
-                return Some(seq);
+        loop {
+            let steps = k.min(bound);
+            let remaining = budget.remaining_after(spent_total);
+            match self.solve_exact_budgeted(current, targets, steps, &remaining) {
+                ExactOutcome::Sat(seq) => return Ok(ReachOutcome::Reached(seq)),
+                ExactOutcome::Unsat(spent) => spent_total = spent_total.saturating_add(spent),
+                ExactOutcome::Exhausted { reason, spent } => {
+                    return Ok(ReachOutcome::Exhausted {
+                        reason,
+                        spent: spent_total.saturating_add(spent),
+                    })
+                }
+            }
+            if steps == bound {
+                break;
             }
             k *= 2;
         }
-        self.solve_exact(current, targets, max_steps)
+        if truncated {
+            Ok(ReachOutcome::Exhausted {
+                reason: UnknownReason::UnrollDepth,
+                spent: spent_total,
+            })
+        } else {
+            Ok(ReachOutcome::Unreachable)
+        }
     }
 
-    fn solve_exact(
+    fn solve_exact_budgeted(
         &self,
         current: &[LogicVec],
         targets: &[(SignalId, LogicVec)],
         steps: u32,
-    ) -> Option<Vec<InputAssignment>> {
+        budget: &Budget,
+    ) -> ExactOutcome {
+        let node_cap = budget.term_nodes();
+        let over_cap = |pool: &TermPool| node_cap.is_some_and(|cap| pool.len() > cap);
         let mut pool = self.pool.clone();
         let mut blaster = BitBlaster::new();
 
@@ -264,6 +397,13 @@ impl SymbolicEngine {
                 }
                 state.insert(var, fresh);
             }
+        }
+
+        if over_cap(&pool) {
+            return ExactOutcome::Exhausted {
+                reason: UnknownReason::TermNodes,
+                spent: BudgetSpent::default(),
+            };
         }
 
         // Per-step input variables; resets pinned inactive.
@@ -293,6 +433,14 @@ impl SymbolicEngine {
             }
             state = new_state;
             step_inputs.push(these);
+            // The working pool grows monotonically with depth; stop
+            // before blasting a formula the budget says is too big.
+            if over_cap(&pool) {
+                return ExactOutcome::Exhausted {
+                    reason: UnknownReason::TermNodes,
+                    spent: BudgetSpent::default(),
+                };
+            }
         }
 
         // Assert the targets on the final state.
@@ -305,7 +453,17 @@ impl SymbolicEngine {
         }
 
         let t0 = self.telemetry.as_ref().map(|t| t.now_micros());
-        let result = blaster.solver_mut().solve();
+        let result = blaster.solver_mut().solve_budgeted(&[], budget);
+        // The blaster's solver is fresh, so its counters are exactly
+        // this call's spend.
+        let spent = {
+            let solver = blaster.solver();
+            BudgetSpent {
+                conflicts: solver.conflicts(),
+                decisions: solver.decisions(),
+                propagations: solver.propagations(),
+            }
+        };
         if let (Some(t), Some(t0)) = (&self.telemetry, t0) {
             let stats = blaster.stats();
             let solver = blaster.solver();
@@ -322,7 +480,8 @@ impl SymbolicEngine {
             });
         }
         match result {
-            SatResult::Unsat => None,
+            SatResult::Unsat => ExactOutcome::Unsat(spent),
+            SatResult::Unknown { reason, spent } => ExactOutcome::Exhausted { reason, spent },
             SatResult::Sat(raw) => {
                 let mut out = Vec::new();
                 for these in &step_inputs {
@@ -344,7 +503,7 @@ impl SymbolicEngine {
                     values.sort_by_key(|(s, _)| *s);
                     out.push(InputAssignment { values });
                 }
-                Some(out)
+                ExactOutcome::Sat(out)
             }
         }
     }
@@ -902,6 +1061,149 @@ mod tests {
         let word = sol.to_word(&d);
         assert_eq!(word.width(), d.fuzz_width());
         assert_eq!(word.to_u64(), Some(7));
+    }
+
+    #[test]
+    fn budgeted_reach_rejects_invalid_targets_without_panicking() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let cmd = d.signal_by_name("cmd").unwrap();
+        let err = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::xes(3))],
+                1,
+                &Budget::unlimited(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ReachError::XTarget { .. }));
+        assert!(err.to_string().contains("state"));
+        let err = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(cmd, LogicVec::from_u64(4, 1))],
+                1,
+                &Budget::unlimited(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ReachError::NotARegister { .. }));
+        assert!(err.to_string().contains("cmd"));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_solve_reach() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let expected = e
+            .solve_reach(&zero_state(&d), &[(st, LogicVec::from_u64(3, 3))], 4)
+            .unwrap();
+        let out = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 3))],
+                4,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(out, ReachOutcome::Reached(expected));
+        assert_eq!(out.status(), SolveStatus::Sat);
+        // A genuinely unreachable one-step target stays `Unreachable`.
+        let out = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 3))],
+                1,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(out, ReachOutcome::Unreachable);
+        assert_eq!(out.status(), SolveStatus::Unsat);
+    }
+
+    #[test]
+    fn unroll_depth_ceiling_reports_exhausted_not_unreachable() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        // State 3 needs three hops, but the budget caps unrolling at 1.
+        let budget = Budget::unlimited().with_unroll_depth(1);
+        let out = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 3))],
+                4,
+                &budget,
+            )
+            .unwrap();
+        assert!(matches!(
+            out,
+            ReachOutcome::Exhausted {
+                reason: UnknownReason::UnrollDepth,
+                ..
+            }
+        ));
+        assert_eq!(
+            out.status(),
+            SolveStatus::Unknown(UnknownReason::UnrollDepth)
+        );
+        // A one-hop target is still found under the same ceiling.
+        let out = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 1))],
+                4,
+                &budget,
+            )
+            .unwrap();
+        assert!(matches!(out, ReachOutcome::Reached(_)));
+    }
+
+    #[test]
+    fn term_node_ceiling_reports_exhausted() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let budget = Budget::unlimited().with_term_nodes(1);
+        let out = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 1))],
+                4,
+                &budget,
+            )
+            .unwrap();
+        assert!(matches!(
+            out,
+            ReachOutcome::Exhausted {
+                reason: UnknownReason::TermNodes,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_conflict_budget_exhausts_immediately() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let budget = Budget::unlimited().with_conflicts(0);
+        let out = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 1))],
+                4,
+                &budget,
+            )
+            .unwrap();
+        assert!(matches!(
+            out,
+            ReachOutcome::Exhausted {
+                reason: UnknownReason::Conflicts,
+                ..
+            }
+        ));
     }
 
     #[test]

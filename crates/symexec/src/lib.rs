@@ -14,9 +14,10 @@
 //! values, asserts `next(reg) == target`, and hands the system to the
 //! bit-blasting SMT solver. A model is translated back into an
 //! [`InputAssignment`] — the constraint the UVM sequencer applies on
-//! the next cycle (Fig. 2, blocks 9–11). [`solve_reach`]
-//! (SymbolicEngine::solve_reach) unrolls the equations over several
-//! cycles for targets that need a multi-cycle input sequence.
+//! the next cycle (Fig. 2, blocks 9–11).
+//! [`solve_reach`](SymbolicEngine::solve_reach) unrolls the equations
+//! over several cycles for targets that need a multi-cycle input
+//! sequence.
 //!
 //! Undefined (`X`) bits in the current state are left unconstrained —
 //! the paper's "constrains solving undefined pin values" (§3): the
@@ -49,4 +50,4 @@
 
 mod engine;
 
-pub use engine::{InputAssignment, SymbolicEngine};
+pub use engine::{InputAssignment, ReachError, ReachOutcome, SymbolicEngine};

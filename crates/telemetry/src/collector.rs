@@ -40,11 +40,15 @@ pub enum Counter {
     SatConflicts,
     /// Events evicted from the bounded ring.
     RingDropped,
+    /// Budgeted solves that stopped at a resource ceiling.
+    BudgetExhaustions,
+    /// Solve goals skipped because the negative cache held them.
+    NegCacheHits,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     /// All counters in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -61,6 +65,8 @@ impl Counter {
         Counter::SatDecisions,
         Counter::SatConflicts,
         Counter::RingDropped,
+        Counter::BudgetExhaustions,
+        Counter::NegCacheHits,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -79,6 +85,8 @@ impl Counter {
             Counter::SatDecisions => "sat_decisions",
             Counter::SatConflicts => "sat_conflicts",
             Counter::RingDropped => "ring_dropped",
+            Counter::BudgetExhaustions => "budget_exhaustions",
+            Counter::NegCacheHits => "neg_cache_hits",
         }
     }
 
@@ -97,15 +105,21 @@ pub enum Gauge {
     CorpusSeeds,
     /// Multi-cycle testcases in the case corpus.
     CaseCorpus,
+    /// Current budget-escalation level (0 = base budget).
+    EscalationLevel,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// All gauges in index order.
-    pub const ALL: [Gauge; Gauge::COUNT] =
-        [Gauge::SnapshotCache, Gauge::CorpusSeeds, Gauge::CaseCorpus];
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::SnapshotCache,
+        Gauge::CorpusSeeds,
+        Gauge::CaseCorpus,
+        Gauge::EscalationLevel,
+    ];
 
     /// Stable snake_case name used in snapshots and reports.
     pub fn name(self) -> &'static str {
@@ -113,6 +127,7 @@ impl Gauge {
             Gauge::SnapshotCache => "snapshot_cache",
             Gauge::CorpusSeeds => "corpus_seeds",
             Gauge::CaseCorpus => "case_corpus",
+            Gauge::EscalationLevel => "escalation_level",
         }
     }
 
@@ -204,7 +219,7 @@ struct Frame {
 /// the fuzzer, the simulator and the symbolic engine, and RAII
 /// [`PhaseTimer`] spans can nest while other telemetry is recorded.
 pub struct Collector {
-    clock: Box<dyn Clock>,
+    clock: Arc<dyn Clock>,
     task: AtomicU64,
     counters: [AtomicU64; Counter::COUNT],
     gauges: [AtomicU64; Gauge::COUNT],
@@ -237,7 +252,7 @@ impl Collector {
     /// A collector over an arbitrary clock, with a null sink.
     pub fn with_clock(clock: Box<dyn Clock>) -> Collector {
         Collector {
-            clock,
+            clock: Arc::from(clock),
             task: AtomicU64::new(0),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             gauges: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -285,6 +300,12 @@ impl Collector {
     /// Current clock reading.
     pub fn now_micros(&self) -> u64 {
         self.clock.now_micros()
+    }
+
+    /// A shared handle to the collector's clock, so other subsystems
+    /// (e.g. solver wall-clock deadlines) observe the same time base.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     /// Drives a settable clock (no-op on wall clocks).
@@ -498,7 +519,7 @@ impl Drop for OwnedPhaseTimer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::SolveOutcome;
+    use crate::event::SolveStatus;
     use crate::sink::BufferSink;
 
     #[test]
@@ -575,7 +596,7 @@ mod tests {
         c.record(Event::SymbolicEpisode {
             checkpoint: None,
             eqns: 1,
-            solve_result: SolveOutcome::Unsat,
+            solve_result: SolveStatus::Unsat,
         });
         let s = c.snapshot();
         assert_eq!(s.counters.len(), Counter::COUNT);

@@ -2,25 +2,133 @@
 
 use std::fmt::Write as _;
 
-/// Outcome of one symbolic-guidance episode (Algorithm 1 lines 13–22).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SolveOutcome {
-    /// The solver produced an input sequence and it was installed.
-    Solved,
-    /// Every tried target was unsatisfiable within the depth bound.
+/// Why a budgeted analysis stopped before reaching a verdict.
+///
+/// Each variant names the ceiling that was hit. The first four are
+/// raised by the CDCL core, the last two by the symbolic engine's
+/// unroller. `WallClock` is the only non-deterministic reason and is
+/// opt-in (see the budget documentation in `symbfuzz-smt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnknownReason {
+    /// The conflict ceiling was reached.
+    Conflicts,
+    /// The decision ceiling was reached.
+    Decisions,
+    /// The propagation ceiling was reached.
+    Propagations,
+    /// The wall-clock deadline passed (opt-in, non-deterministic).
+    WallClock,
+    /// The term-node ceiling was reached while unrolling.
+    TermNodes,
+    /// The unroll-depth ceiling truncated the search.
+    UnrollDepth,
+}
+
+impl UnknownReason {
+    /// Number of reasons.
+    pub const COUNT: usize = 6;
+
+    /// Every reason, in a fixed order.
+    pub const ALL: [UnknownReason; UnknownReason::COUNT] = [
+        UnknownReason::Conflicts,
+        UnknownReason::Decisions,
+        UnknownReason::Propagations,
+        UnknownReason::WallClock,
+        UnknownReason::TermNodes,
+        UnknownReason::UnrollDepth,
+    ];
+
+    /// Stable string used in the JSONL schema and campaign JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnknownReason::Conflicts => "conflicts",
+            UnknownReason::Decisions => "decisions",
+            UnknownReason::Propagations => "propagations",
+            UnknownReason::WallClock => "wall_clock",
+            UnknownReason::TermNodes => "term_nodes",
+            UnknownReason::UnrollDepth => "unroll_depth",
+        }
+    }
+
+    /// Inverse of [`UnknownReason::name`].
+    pub fn parse(s: &str) -> Option<UnknownReason> {
+        UnknownReason::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+impl std::fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The one solve outcome shared by every layer (SAT facade, symbolic
+/// episodes, campaign JSON, JSONL traces).
+///
+/// Serialized through [`SolveStatus::serial`] everywhere so the
+/// campaign report and the trace stream agree byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// A satisfying assignment / input sequence was produced.
+    Sat,
+    /// Proved unsatisfiable within the bound.
     Unsat,
-    /// Guidance ran without consulting the solver (ablation).
+    /// The budget ran out before a verdict.
+    Unknown(UnknownReason),
+    /// The analysis was not consulted at all (ablation).
     Skipped,
 }
 
-impl SolveOutcome {
-    /// Stable string used in the JSONL schema.
-    pub fn name(self) -> &'static str {
+impl SolveStatus {
+    /// Number of distinct serial strings.
+    pub const SERIAL_COUNT: usize = 3 + UnknownReason::COUNT;
+
+    /// Every serial string, in tally order: `sat`, `unsat`,
+    /// `skipped`, then one `unknown:<reason>` per reason.
+    pub const SERIALS: [&'static str; SolveStatus::SERIAL_COUNT] = [
+        "sat",
+        "unsat",
+        "skipped",
+        "unknown:conflicts",
+        "unknown:decisions",
+        "unknown:propagations",
+        "unknown:wall_clock",
+        "unknown:term_nodes",
+        "unknown:unroll_depth",
+    ];
+
+    /// Stable string used in the JSONL schema and campaign JSON.
+    pub fn serial(self) -> &'static str {
+        SolveStatus::SERIALS[self.serial_index()]
+    }
+
+    /// Index into [`SolveStatus::SERIALS`].
+    pub fn serial_index(self) -> usize {
         match self {
-            SolveOutcome::Solved => "solved",
-            SolveOutcome::Unsat => "unsat",
-            SolveOutcome::Skipped => "skipped",
+            SolveStatus::Sat => 0,
+            SolveStatus::Unsat => 1,
+            SolveStatus::Skipped => 2,
+            SolveStatus::Unknown(r) => 3 + UnknownReason::ALL.iter().position(|x| *x == r).unwrap(),
         }
+    }
+
+    /// Inverse of [`SolveStatus::serial`].
+    pub fn parse(s: &str) -> Option<SolveStatus> {
+        match s {
+            "sat" => Some(SolveStatus::Sat),
+            "unsat" => Some(SolveStatus::Unsat),
+            "skipped" => Some(SolveStatus::Skipped),
+            _ => {
+                let reason = s.strip_prefix("unknown:")?;
+                UnknownReason::parse(reason).map(SolveStatus::Unknown)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.serial())
     }
 }
 
@@ -55,7 +163,7 @@ pub enum Event {
         /// Dependency equations in the engine.
         eqns: u64,
         /// Whether the episode installed a solved sequence.
-        solve_result: SolveOutcome,
+        solve_result: SolveStatus,
     },
     /// One SMT query (bit-blast + CDCL solve).
     SmtSolve {
@@ -84,11 +192,25 @@ pub enum Event {
         /// Input vectors consumed at detection.
         vector: u64,
     },
+    /// A budgeted solve stopped at a resource ceiling and the fuzzer
+    /// degraded to constrained-random mutation.
+    BudgetExhausted {
+        /// Ceiling that was hit.
+        reason: UnknownReason,
+        /// Escalation level the attempt ran at (0 = base budget).
+        level: u64,
+        /// Conflicts spent by the attempt.
+        conflicts: u64,
+        /// Decisions spent by the attempt.
+        decisions: u64,
+        /// Propagations spent by the attempt.
+        propagations: u64,
+    },
 }
 
 impl Event {
     /// Number of event kinds.
-    pub const KIND_COUNT: usize = 7;
+    pub const KIND_COUNT: usize = 8;
 
     /// Every event kind, in `kind_index` order.
     pub const KINDS: [&'static str; Event::KIND_COUNT] = [
@@ -99,6 +221,7 @@ impl Event {
         "PartialReset",
         "FullReset",
         "BugFired",
+        "BudgetExhausted",
     ];
 
     /// The schema discriminator for this event.
@@ -116,6 +239,7 @@ impl Event {
             Event::PartialReset { .. } => 4,
             Event::FullReset => 5,
             Event::BugFired { .. } => 6,
+            Event::BudgetExhausted { .. } => 7,
         }
     }
 
@@ -156,7 +280,7 @@ impl Event {
                 let _ = write!(
                     s,
                     ",\"eqns\":{eqns},\"solve_result\":\"{}\"",
-                    solve_result.name()
+                    solve_result.serial()
                 );
             }
             Event::SmtSolve {
@@ -178,6 +302,20 @@ impl Event {
                 s.push_str(",\"property\":\"");
                 escape_json_into(property, &mut s);
                 let _ = write!(s, "\",\"vector\":{vector}");
+            }
+            Event::BudgetExhausted {
+                reason,
+                level,
+                conflicts,
+                decisions,
+                propagations,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"reason\":\"{}\",\"level\":{level},\"conflicts\":{conflicts},\
+                     \"decisions\":{decisions},\"propagations\":{propagations}",
+                    reason.name()
+                );
             }
         }
         s.push('}');
@@ -230,7 +368,7 @@ mod tests {
             Event::SymbolicEpisode {
                 checkpoint: None,
                 eqns: 4,
-                solve_result: SolveOutcome::Unsat,
+                solve_result: SolveStatus::Unsat,
             },
             Event::SmtSolve {
                 vars: 10,
@@ -243,6 +381,13 @@ mod tests {
             Event::BugFired {
                 property: "p".into(),
                 vector: 9,
+            },
+            Event::BudgetExhausted {
+                reason: UnknownReason::Conflicts,
+                level: 1,
+                conflicts: 100,
+                decisions: 200,
+                propagations: 300,
             },
         ];
         assert_eq!(all.len(), Event::KIND_COUNT);
@@ -257,17 +402,29 @@ mod tests {
         let e = Event::SymbolicEpisode {
             checkpoint: Some(5),
             eqns: 12,
-            solve_result: SolveOutcome::Solved,
+            solve_result: SolveStatus::Sat,
         };
         assert_eq!(
             e.to_json_line(42, 1),
             "{\"t\":42,\"task\":1,\"kind\":\"SymbolicEpisode\",\"checkpoint\":5,\
-             \"eqns\":12,\"solve_result\":\"solved\"}"
+             \"eqns\":12,\"solve_result\":\"sat\"}"
         );
         let e = Event::FullReset;
         assert_eq!(
             e.to_json_line(0, 0),
             "{\"t\":0,\"task\":0,\"kind\":\"FullReset\"}"
+        );
+        let e = Event::BudgetExhausted {
+            reason: UnknownReason::WallClock,
+            level: 2,
+            conflicts: 7,
+            decisions: 9,
+            propagations: 11,
+        };
+        assert_eq!(
+            e.to_json_line(3, 0),
+            "{\"t\":3,\"task\":0,\"kind\":\"BudgetExhausted\",\"reason\":\"wall_clock\",\
+             \"level\":2,\"conflicts\":7,\"decisions\":9,\"propagations\":11}"
         );
     }
 
@@ -279,5 +436,19 @@ mod tests {
         };
         let line = e.to_json_line(0, 0);
         assert!(line.contains("a\\\"b\\\\c\\n"));
+    }
+
+    #[test]
+    fn solve_status_serials_round_trip() {
+        for (i, s) in SolveStatus::SERIALS.iter().enumerate() {
+            let parsed = SolveStatus::parse(s).expect("serial parses");
+            assert_eq!(parsed.serial(), *s);
+            assert_eq!(parsed.serial_index(), i);
+        }
+        assert!(SolveStatus::parse("maybe").is_none());
+        assert!(SolveStatus::parse("unknown:gremlins").is_none());
+        for r in UnknownReason::ALL {
+            assert_eq!(UnknownReason::parse(r.name()), Some(r));
+        }
     }
 }

@@ -98,7 +98,7 @@ pub mod strategy {
     }
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait backing typed parameters.
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait backing typed parameters.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -187,7 +187,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
@@ -386,7 +386,7 @@ macro_rules! __bind_params {
     }};
 }
 
-/// Property assertion: on failure returns a [`TestCaseError`] from the
+/// Property assertion: on failure returns a [`TestCaseError`](test_runner::TestCaseError) from the
 /// enclosing case instead of panicking directly.
 #[macro_export]
 macro_rules! prop_assert {
