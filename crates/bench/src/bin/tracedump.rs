@@ -2,19 +2,22 @@
 //! record against the telemetry schema, then prints a per-phase time
 //! table and the coverage/stagnation/bug timeline.
 //!
-//! Usage: `tracedump <trace.jsonl> [--check]`
+//! Usage: `tracedump <trace.jsonl> [--check] [--json]`
 //!
-//! With `--check` the trace is only validated (no rendering); a schema
-//! or syntax violation exits non-zero either way.
+//! With `--check` the trace is only validated (no rendering); with
+//! `--json` the validated records are re-emitted as canonical JSONL
+//! (machine-readable, schema-identical to the input). A schema or
+//! syntax violation exits non-zero in every mode.
 
 use std::process::ExitCode;
-use symbfuzz_bench::trace::{parse_trace, phase_table, timeline};
+use symbfuzz_bench::trace::{parse_trace, phase_table, timeline, to_json_lines};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check_only = args.iter().any(|a| a == "--check");
+    let json_mode = args.iter().any(|a| a == "--json");
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: tracedump <trace.jsonl> [--check]");
+        eprintln!("usage: tracedump <trace.jsonl> [--check] [--json]");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(path) {
@@ -33,6 +36,10 @@ fn main() -> ExitCode {
     };
     if check_only {
         println!("{path}: {} records, schema OK", records.len());
+        return ExitCode::SUCCESS;
+    }
+    if json_mode {
+        print!("{}", to_json_lines(&records));
         return ExitCode::SUCCESS;
     }
     let tasks = records.iter().map(|r| r.task).max().map_or(0, |m| m + 1);

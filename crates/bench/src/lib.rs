@@ -17,7 +17,8 @@
 //! | `speedup` | §5.3 — time-to-coverage speed-up vs UVM random |
 //! | `resources` | §5.2 — relative memory/CPU profile + merged telemetry |
 //! | `budgetbench` | coverage vs per-solve conflict budget on the factoring lock |
-//! | `tracedump` | renders / validates a `--trace-out` JSONL campaign trace |
+//! | `tracedump` | renders / validates / re-emits (`--json`) a `--trace-out` JSONL campaign trace |
+//! | `covreport` | coverage-provenance report: covmaps + joined JSON + self-contained HTML |
 //!
 //! Every binary accepts a `--jobs N` (or `-j N`) flag that fans
 //! independent campaigns across a scoped-thread pool; reports are
@@ -41,16 +42,22 @@
 //! ```
 
 pub mod args;
+pub mod covreport;
 pub mod experiments;
 pub mod pool;
 pub mod render;
 pub mod trace;
 
 pub use args::{parse_bench_args, split_bench_args, BenchArgs};
+pub use covreport::{
+    build_report, render_html, render_markdown, trace_mechanism_counts, validate_covmap,
+    validate_report, BugReport, ChainLink, CovReport, MechanismCount, StrategyReport,
+    COVREPORT_VERSION,
+};
 pub use experiments::{
     budget_profile, coverage_race, detection_matrix, enable_tracing, flush_trace,
     set_solver_budget, table1_rows, table3_rows, tracing_enabled, variance_profile,
     BudgetProfileRow, DetectionRow, RaceResult, Table1Row, Table3Row, VariancePoint,
 };
-pub use pool::{default_jobs, merge_telemetry, parse_jobs, run_pool};
-pub use trace::{parse_line, parse_trace, phase_table, timeline, TraceRecord};
+pub use pool::{default_jobs, merge_covmap_counts, merge_telemetry, parse_jobs, run_pool};
+pub use trace::{parse_line, parse_trace, phase_table, timeline, to_json_lines, TraceRecord};

@@ -11,8 +11,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use symbfuzz_core::TelemetryBlock;
-use symbfuzz_telemetry::MetricsSnapshot;
+use symbfuzz_core::{CovMap, TelemetryBlock};
+use symbfuzz_telemetry::{Mechanism, MetricsSnapshot};
 
 /// Number of workers to use when `--jobs` is not given: all available
 /// cores (reports are deterministic regardless, see [`run_pool`]).
@@ -107,6 +107,29 @@ where
     TelemetryBlock::from(acc)
 }
 
+/// Folds the per-mechanism attribution tallies of several campaigns'
+/// covmap artifacts into one `(mechanism, nodes, edges)` list in
+/// [`Mechanism::ALL`] order, folding in iteration (task) order. Node
+/// ids are campaign-local, so covmaps merge as tallies, not as maps;
+/// like [`merge_telemetry`] the result is byte-identical at any
+/// `--jobs N` because [`run_pool`] returns campaigns in item order.
+pub fn merge_covmap_counts<'a, I>(maps: I) -> Vec<(String, u64, u64)>
+where
+    I: IntoIterator<Item = &'a CovMap>,
+{
+    let mut acc: Vec<(String, u64, u64)> = Mechanism::ALL
+        .iter()
+        .map(|m| (m.name().to_string(), 0, 0))
+        .collect();
+    for m in maps {
+        for (i, (_, nodes, edges)) in m.mechanism_counts().into_iter().enumerate() {
+            acc[i].1 += nodes;
+            acc[i].2 += edges;
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +164,33 @@ mod tests {
         assert!(run_pool(&empty, 8, |_, &x| x).is_empty());
         let one = [7u8];
         assert_eq!(run_pool(&one, 64, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn covmap_counts_merge_in_mechanism_order() {
+        use symbfuzz_core::{NodeCov, ProvenanceRecord};
+        let rec = |mechanism: &str, goal| ProvenanceRecord {
+            vector: 1,
+            mechanism: mechanism.into(),
+            goal,
+            checkpoint: None,
+        };
+        let mut a = CovMap::empty("SymbFuzz", "d");
+        a.nodes.push(NodeCov {
+            id: 0,
+            first_cycle: 1,
+            provenance: rec("random", None),
+        });
+        let mut b = CovMap::empty("SymbFuzz", "d");
+        b.nodes.push(NodeCov {
+            id: 0,
+            first_cycle: 2,
+            provenance: rec("solver", Some(0)),
+        });
+        let merged = merge_covmap_counts([&a, &b]);
+        assert_eq!(merged[0], ("random".to_string(), 1, 0));
+        assert_eq!(merged[1], ("solver".to_string(), 1, 0));
+        assert_eq!(merged[2], ("replay".to_string(), 0, 0));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! collector emits), and the renderers behind the `tracedump` binary —
 //! a per-phase time table and a coverage/stagnation timeline.
 
-use symbfuzz_telemetry::{Event, Phase, SolveStatus, UnknownReason};
+use symbfuzz_telemetry::{escape_json_into, Event, Mechanism, Phase, SolveStatus, UnknownReason};
 
 /// One scalar value in a flat trace record.
 #[derive(Debug, Clone, PartialEq)]
@@ -256,6 +256,20 @@ fn kind_schema(kind: &str) -> Option<&'static [(&'static str, &'static str)]> {
         "PartialReset" => Some(&[("prefix_len", "number")]),
         "FullReset" => Some(&[]),
         "BugFired" => Some(&[("property", "string"), ("vector", "number")]),
+        "NodeCovered" => Some(&[
+            ("node", "number"),
+            ("vector", "number"),
+            ("mechanism", "string"),
+            ("goal", "number|null"),
+            ("checkpoint", "number|null"),
+        ]),
+        "EdgeCovered" => Some(&[
+            ("edge", "number"),
+            ("src", "number"),
+            ("dst", "number"),
+            ("vector", "number"),
+            ("mechanism", "string"),
+        ]),
         "BudgetExhausted" => Some(&[
             ("reason", "string"),
             ("level", "number"),
@@ -341,6 +355,15 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
     }
     if rec.kind == PHASE_KIND && Phase::parse(rec.str("phase")).is_none() {
         return Err(format!("unknown phase `{}`", rec.str("phase")));
+    }
+    if matches!(rec.kind.as_str(), "NodeCovered" | "EdgeCovered")
+        && Mechanism::parse(rec.str("mechanism")).is_none()
+    {
+        return Err(format!(
+            "unknown mechanism `{}` (expected one of {:?})",
+            rec.str("mechanism"),
+            Mechanism::ALL.map(|m| m.name())
+        ));
     }
     Ok(rec)
 }
@@ -444,9 +467,67 @@ pub fn timeline(records: &[TraceRecord]) -> String {
                 r.str("property"),
                 r.num("vector")
             ),
+            "NodeCovered" => {
+                let goal = match r.field("goal") {
+                    Some(JsonVal::Num(g)) => format!(" (goal {g})"),
+                    _ => String::new(),
+                };
+                format!(
+                    "node {} covered via {}{goal} at vector {}",
+                    r.num("node"),
+                    r.str("mechanism"),
+                    r.num("vector")
+                )
+            }
+            "EdgeCovered" => format!(
+                "edge {} -> {} covered via {} at vector {}",
+                r.num("src"),
+                r.num("dst"),
+                r.str("mechanism"),
+                r.num("vector")
+            ),
             _ => continue, // SmtSolve and Phase records stay in the table views.
         };
         out.push_str(&format!("t={:<10} task={} {}\n", r.t, r.task, line));
+    }
+    out
+}
+
+/// Re-serializes one validated record as a canonical flat JSON line:
+/// `t`, `task`, `kind`, then the kind-specific fields in record order.
+/// The output parses back through [`parse_line`] unchanged, so it can
+/// be piped into any consumer of the trace schema.
+pub fn record_to_json(r: &TraceRecord) -> String {
+    let mut out = format!(
+        "{{\"t\":{},\"task\":{},\"kind\":\"{}\"",
+        r.t, r.task, r.kind
+    );
+    for (name, val) in &r.fields {
+        out.push_str(",\"");
+        out.push_str(name);
+        out.push_str("\":");
+        match val {
+            JsonVal::Num(n) => out.push_str(&n.to_string()),
+            JsonVal::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonVal::Null => out.push_str("null"),
+            JsonVal::Str(s) => {
+                out.push('"');
+                escape_json_into(s, &mut out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a whole trace back to canonical JSONL (one
+/// [`record_to_json`] line per record, newline-terminated).
+pub fn to_json_lines(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&record_to_json(r));
+        out.push('\n');
     }
     out
 }
@@ -497,6 +578,27 @@ mod tests {
                 property: "a\"b".into(),
                 vector: 999,
             },
+            Event::NodeCovered {
+                node: 4,
+                vector: 120,
+                mechanism: Mechanism::SolverGuided,
+                goal: Some(2),
+                checkpoint: None,
+            },
+            Event::NodeCovered {
+                node: 5,
+                vector: 121,
+                mechanism: Mechanism::ReplayPrefix,
+                goal: None,
+                checkpoint: Some(3),
+            },
+            Event::EdgeCovered {
+                edge: 9,
+                src: 4,
+                dst: 5,
+                vector: 121,
+                mechanism: Mechanism::ConstrainedRandom,
+            },
         ];
         for (i, e) in events.iter().enumerate() {
             let line = e.to_json_line(i as u64, 3);
@@ -545,10 +647,49 @@ mod tests {
             "{\"t\":1,\"task\":0,\"kind\":\"Phase\",\"phase\":\"nap\",\"micros\":4}"
         )
         .is_err());
+        // Unknown coverage mechanism.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"NodeCovered\",\"node\":1,\"vector\":2,\
+             \"mechanism\":\"telepathy\",\"goal\":null,\"checkpoint\":null}"
+        )
+        .is_err());
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"EdgeCovered\",\"edge\":0,\"src\":1,\"dst\":2,\
+             \"vector\":3,\"mechanism\":\"osmosis\"}"
+        )
+        .is_err());
         // Syntax errors.
         assert!(parse_flat_object("{\"a\":1").is_err());
         assert!(parse_flat_object("{\"a\":1} x").is_err());
         assert!(parse_flat_object("{\"a\":1,\"a\":2}").is_err());
+    }
+
+    #[test]
+    fn canonical_json_round_trips_through_the_schema_checker() {
+        let events = [
+            Event::NodeCovered {
+                node: 7,
+                vector: 42,
+                mechanism: Mechanism::SolverGuided,
+                goal: Some(1),
+                checkpoint: Some(2),
+            },
+            Event::BugFired {
+                property: "needs \"escaping\"".into(),
+                vector: 9,
+            },
+            Event::FullReset,
+        ];
+        let text: String = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.to_json_line(i as u64, 0) + "\n")
+            .collect();
+        let records = parse_trace(&text).unwrap();
+        // The canonical re-serialization is byte-identical to what the
+        // telemetry layer emitted, and re-validates cleanly.
+        assert_eq!(to_json_lines(&records), text);
+        assert_eq!(parse_trace(&to_json_lines(&records)).unwrap(), records);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{Design, SignalId};
+use symbfuzz_telemetry::Mechanism;
 
 /// Identifier of a CFG node (dense, in discovery order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,6 +23,49 @@ impl NodeId {
 /// power-up node.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StateTuple(pub Vec<LogicVec>);
+
+/// Attribution for one covered node or edge: which mechanism generated
+/// the input word that earned it, and under what circumstances.
+///
+/// [`Cfg::observe`] stamps every first-seen node and edge with the
+/// provenance the caller supplies; the fuzzer threads it out of the
+/// mutate / solve / replay paths and the `covmap` artifact persists it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// Input vectors consumed when the point was covered.
+    pub vector: u64,
+    /// The mechanism that generated the covering input word.
+    pub mechanism: Mechanism,
+    /// Goal id of the solve attempt (solver-guided words only).
+    pub goal: Option<u64>,
+    /// Checkpoint node active at the time, if any.
+    pub checkpoint: Option<NodeId>,
+}
+
+impl Provenance {
+    /// Constrained-random provenance (no goal, no active checkpoint).
+    pub fn random(vector: u64) -> Provenance {
+        Provenance {
+            vector,
+            mechanism: Mechanism::ConstrainedRandom,
+            goal: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// One covered edge: endpoints, first-crossing cycle and attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycle at which the edge was first taken.
+    pub cycle: u64,
+    /// Attribution of the first crossing.
+    pub prov: Provenance,
+}
 
 /// What [`Cfg::observe`] discovered at one sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +86,8 @@ struct NodeInfo {
     /// Input-word sequence that first reached this node from reset.
     path: Vec<LogicVec>,
     first_cycle: u64,
+    /// Attribution of the first visit.
+    prov: Provenance,
 }
 
 /// Dynamic CFG, coverage map, checkpoint table and replay recorder.
@@ -53,7 +99,7 @@ pub struct Cfg {
     ctrl: Vec<SignalId>,
     nodes: Vec<NodeInfo>,
     index: HashMap<StateTuple, NodeId>,
-    edge_count: usize,
+    edges: Vec<EdgeRec>,
     /// Node the design was in at the previous observation.
     current: Option<NodeId>,
     /// Input words driven since the last reset.
@@ -72,7 +118,7 @@ impl Cfg {
             ctrl,
             nodes: Vec::new(),
             index: HashMap::new(),
-            edge_count: 0,
+            edges: Vec::new(),
             current: None,
             input_log: Vec::new(),
             seen_values: vec![BTreeSet::new(); n],
@@ -94,13 +140,15 @@ impl Cfg {
         )
     }
 
-    /// Ingests one post-cycle sample: the full value table and the
-    /// input word that was driven this cycle.
+    /// Ingests one post-cycle sample: the full value table, the input
+    /// word that was driven this cycle, and the provenance to stamp on
+    /// anything covered for the first time.
     pub fn observe(
         &mut self,
         values: &[LogicVec],
         input_word: &LogicVec,
         cycle: u64,
+        prov: Provenance,
     ) -> ObserveOutcome {
         self.input_log.push(input_word.clone());
         let tuple = self.tuple_of(values);
@@ -113,6 +161,7 @@ impl Cfg {
                     out: HashMap::new(),
                     path: self.input_log.clone(),
                     first_cycle: cycle,
+                    prov,
                 });
                 self.index.insert(tuple.clone(), id);
                 for (i, v) in tuple.0.iter().enumerate() {
@@ -128,12 +177,17 @@ impl Cfg {
         let mut new_edge = false;
         if let Some(prev) = self.current {
             if prev != node {
-                let edge_id = self.edge_count as u32;
+                let edge_id = self.edges.len() as u32;
                 if let std::collections::hash_map::Entry::Vacant(e) =
                     self.nodes[prev.index()].out.entry(node)
                 {
                     e.insert(edge_id);
-                    self.edge_count += 1;
+                    self.edges.push(EdgeRec {
+                        src: prev,
+                        dst: node,
+                        cycle,
+                        prov,
+                    });
                     new_edge = true;
                 }
             }
@@ -169,14 +223,30 @@ impl Cfg {
 
     /// Number of distinct edges observed.
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.edges.len()
     }
 
-    /// The paper's coverage-point count: exercised `⟨edge, node⟩`
-    /// tuples — edges plus nodes (a node is a degenerate tuple with no
-    /// incoming edge yet).
+    /// The paper's coverage-point count: it counts **nodes + edges**.
+    /// Every distinct node and every distinct edge contributes exactly
+    /// one point (an exercised `⟨edge, node⟩` tuple; a node with no
+    /// incoming edge yet is a degenerate tuple).
     pub fn coverage_points(&self) -> usize {
         self.node_count() + self.edge_count()
+    }
+
+    /// Attribution of a node's first visit.
+    pub fn provenance(&self, node: NodeId) -> Provenance {
+        self.nodes[node.index()].prov
+    }
+
+    /// The record of edge `edge` (dense id, in discovery order).
+    pub fn edge_record(&self, edge: u32) -> EdgeRec {
+        self.edges[edge as usize]
+    }
+
+    /// Every covered edge, in discovery order.
+    pub fn edge_records(&self) -> &[EdgeRec] {
+        &self.edges
     }
 
     /// The node currently occupied, if known.
@@ -243,8 +313,9 @@ impl Cfg {
         out
     }
 
-    /// Fraction of the Eqn.-3 node population covered, in `[0, 1]`.
-    pub fn node_coverage_ratio(&self) -> f64 {
+    /// The Eqn.-3 node population: the product of each control
+    /// register's legal-encoding count.
+    fn node_population(&self) -> f64 {
         let mut population: f64 = 1.0;
         for sig in &self.ctrl {
             let s = self.design.signal(*sig);
@@ -253,10 +324,29 @@ impl Cfg {
                 .unwrap_or_else(|| 1u64.checked_shl(s.width.min(20)).unwrap_or(u64::MAX));
             population *= n as f64;
         }
+        population
+    }
+
+    /// Fraction of the Eqn.-3 node population covered, in `[0, 1]`.
+    pub fn node_coverage_ratio(&self) -> f64 {
+        let population = self.node_population();
         if population == 0.0 {
             return 1.0;
         }
         (self.node_count() as f64 / population).min(1.0)
+    }
+
+    /// Fraction of the edge population covered, in `[0, 1]`: the edge
+    /// population over the Eqn.-3 node population `P` is the ordered
+    /// pairs `P·(P−1)` (self-loops are not edges). Vacuously `1.0`
+    /// when fewer than two nodes are possible.
+    pub fn edge_coverage_ratio(&self) -> f64 {
+        let population = self.node_population();
+        let pairs = population * (population - 1.0);
+        if pairs <= 0.0 {
+            return 1.0;
+        }
+        (self.edge_count() as f64 / pairs).min(1.0)
     }
 }
 
@@ -297,18 +387,22 @@ mod tests {
         vals
     }
 
+    fn pr(vector: u64) -> Provenance {
+        Provenance::random(vector)
+    }
+
     #[test]
     fn nodes_and_edges_accumulate() {
         let (d, mut cfg) = setup();
         let w = LogicVec::from_u64(2, 0);
-        let o0 = cfg.observe(&frame(&d, 0, 0), &w, 0);
+        let o0 = cfg.observe(&frame(&d, 0, 0), &w, 0, pr(0));
         assert!(o0.new_node && !o0.new_edge);
-        let o1 = cfg.observe(&frame(&d, 1, 1), &w, 1);
+        let o1 = cfg.observe(&frame(&d, 1, 1), &w, 1, pr(1));
         assert!(o1.new_node && o1.new_edge);
         // Re-observing the same transition adds nothing.
         cfg.note_reset();
-        cfg.observe(&frame(&d, 0, 0), &w, 2);
-        let o = cfg.observe(&frame(&d, 1, 1), &w, 3);
+        cfg.observe(&frame(&d, 0, 0), &w, 2, pr(2));
+        let o = cfg.observe(&frame(&d, 1, 1), &w, 3, pr(3));
         assert!(!o.new_node && !o.new_edge);
         assert_eq!(cfg.node_count(), 2);
         assert_eq!(cfg.edge_count(), 1);
@@ -319,8 +413,8 @@ mod tests {
     fn self_loops_are_not_edges() {
         let (d, mut cfg) = setup();
         let w = LogicVec::from_u64(2, 0);
-        cfg.observe(&frame(&d, 0, 0), &w, 0);
-        cfg.observe(&frame(&d, 0, 0), &w, 1);
+        cfg.observe(&frame(&d, 0, 0), &w, 0, pr(0));
+        cfg.observe(&frame(&d, 0, 0), &w, 1, pr(1));
         assert_eq!(cfg.edge_count(), 0);
     }
 
@@ -331,8 +425,8 @@ mod tests {
         // Node 0 fans out to 1, 2, 3 (via resets between runs).
         for target in [1u64, 2, 3] {
             cfg.note_reset();
-            cfg.observe(&frame(&d, 0, 0), &w, 0);
-            cfg.observe(&frame(&d, target, 0), &w, 1);
+            cfg.observe(&frame(&d, 0, 0), &w, 0, pr(0));
+            cfg.observe(&frame(&d, target, 0), &w, 1, pr(1));
         }
         let n0 = cfg.current().map(|_| NodeId(0)).unwrap();
         assert_eq!(cfg.fanout(n0), 3);
@@ -346,8 +440,8 @@ mod tests {
         let w1 = LogicVec::from_u64(2, 1);
         let w2 = LogicVec::from_u64(2, 2);
         cfg.note_reset();
-        cfg.observe(&frame(&d, 0, 0), &w1, 0);
-        let o = cfg.observe(&frame(&d, 1, 1), &w2, 1);
+        cfg.observe(&frame(&d, 0, 0), &w1, 0, pr(0));
+        let o = cfg.observe(&frame(&d, 1, 1), &w2, 1, pr(1));
         let path = cfg.replay_sequence(o.node);
         assert_eq!(path.len(), 2);
         assert_eq!(path[0].to_u64(), Some(1));
@@ -358,12 +452,12 @@ mod tests {
     fn rollback_resumes_edge_attribution_and_path() {
         let (d, mut cfg) = setup();
         let w = LogicVec::from_u64(2, 0);
-        cfg.observe(&frame(&d, 0, 0), &w, 0);
-        let at1 = cfg.observe(&frame(&d, 1, 0), &w, 1);
-        cfg.observe(&frame(&d, 2, 0), &w, 2);
+        cfg.observe(&frame(&d, 0, 0), &w, 0, pr(0));
+        let at1 = cfg.observe(&frame(&d, 1, 0), &w, 1, pr(1));
+        cfg.observe(&frame(&d, 2, 0), &w, 2, pr(2));
         // Roll back to node "1" and branch somewhere new.
         cfg.note_rollback(at1.node);
-        let o = cfg.observe(&frame(&d, 3, 0), &w, 3);
+        let o = cfg.observe(&frame(&d, 3, 0), &w, 3, pr(3));
         assert!(o.new_node && o.new_edge);
         // The new node's path = path-to-1 plus one more word.
         assert_eq!(
@@ -377,8 +471,8 @@ mod tests {
         let (d, mut cfg) = setup();
         assert_eq!(cfg.unseen_values(0, 10).len(), 4);
         let w = LogicVec::from_u64(2, 0);
-        cfg.observe(&frame(&d, 0, 0), &w, 0);
-        cfg.observe(&frame(&d, 2, 0), &w, 1);
+        cfg.observe(&frame(&d, 0, 0), &w, 0, pr(0));
+        cfg.observe(&frame(&d, 2, 0), &w, 1, pr(1));
         let unseen = cfg.unseen_values(0, 10);
         assert_eq!(unseen.len(), 2);
         assert!(unseen.iter().all(|v| {
@@ -394,12 +488,105 @@ mod tests {
         let mut vals = frame(&d, 0, 0);
         vals[sti.index()] = LogicVec::xes(2);
         let w = LogicVec::from_u64(2, 0);
-        let o = cfg.observe(&vals, &w, 0);
+        let o = cfg.observe(&vals, &w, 0, pr(0));
         assert!(o.new_node);
-        cfg.observe(&frame(&d, 0, 0), &w, 1);
+        cfg.observe(&frame(&d, 0, 0), &w, 1, pr(1));
         assert_eq!(cfg.node_count(), 2);
         // The X node contributes no seen value.
         assert_eq!(cfg.unseen_values(0, 10).len(), 3);
+    }
+
+    #[test]
+    fn provenance_is_stamped_on_first_visit_only() {
+        let (d, mut cfg) = setup();
+        let w = LogicVec::from_u64(2, 0);
+        cfg.observe(&frame(&d, 0, 0), &w, 0, pr(0));
+        let solved = Provenance {
+            vector: 7,
+            mechanism: Mechanism::SolverGuided,
+            goal: Some(3),
+            checkpoint: Some(NodeId(0)),
+        };
+        let o = cfg.observe(&frame(&d, 1, 0), &w, 1, solved);
+        assert!(o.new_node && o.new_edge);
+        assert_eq!(cfg.provenance(o.node), solved);
+        assert_eq!(cfg.provenance(NodeId(0)), pr(0));
+        // The new edge carries the same attribution and its endpoints.
+        let e = cfg.edge_record(0);
+        assert_eq!(e.src, NodeId(0));
+        assert_eq!(e.dst, o.node);
+        assert_eq!(e.prov, solved);
+        assert_eq!(cfg.edge_records().len(), 1);
+        // Re-visiting does not overwrite the original attribution.
+        cfg.note_reset();
+        cfg.observe(&frame(&d, 0, 0), &w, 2, pr(2));
+        cfg.observe(&frame(&d, 1, 0), &w, 3, pr(3));
+        assert_eq!(cfg.provenance(o.node), solved);
+        assert_eq!(cfg.edge_record(0).prov, solved);
+    }
+
+    #[test]
+    fn checkpoints_are_newest_first_and_respect_threshold() {
+        let (d, mut cfg) = setup();
+        let w = LogicVec::from_u64(2, 0);
+        // Node "0" (first_cycle 0) fans out to 1, 2, 3; node "1"
+        // (first_cycle 1) fans out to 0, 2, 3.
+        for target in [1u64, 2, 3] {
+            cfg.note_reset();
+            cfg.observe(&frame(&d, 0, 0), &w, 0, pr(0));
+            cfg.observe(&frame(&d, target, 0), &w, 1, pr(1));
+        }
+        for target in [0u64, 2, 3] {
+            cfg.note_reset();
+            cfg.observe(&frame(&d, 1, 0), &w, 10, pr(10));
+            cfg.observe(&frame(&d, target, 0), &w, 11, pr(11));
+        }
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        assert_eq!(cfg.fanout(n0), 3);
+        assert_eq!(cfg.fanout(n1), 3);
+        // The paper's threshold is fanout >= 3; newest first.
+        assert_eq!(cfg.checkpoints(3), vec![n1, n0]);
+        // Below threshold nothing qualifies; at 1 everything with any
+        // fanout does.
+        assert!(cfg.checkpoints(4).is_empty());
+        assert_eq!(cfg.checkpoints(1).len(), 2);
+    }
+
+    #[test]
+    fn unseen_values_honour_the_limit_cap() {
+        let (_d, cfg) = setup();
+        // 4 possible encodings, capped at 2 candidates.
+        let unseen = cfg.unseen_values(0, 2);
+        assert_eq!(unseen.len(), 2);
+        assert_eq!(cfg.unseen_values(0, 0).len(), 0);
+    }
+
+    #[test]
+    fn replay_sequence_restarts_after_reset() {
+        let (d, mut cfg) = setup();
+        let w1 = LogicVec::from_u64(2, 1);
+        let w2 = LogicVec::from_u64(2, 2);
+        cfg.observe(&frame(&d, 0, 0), &w1, 0, pr(0));
+        cfg.note_reset();
+        // After a reset the path to a new node starts from scratch.
+        let o = cfg.observe(&frame(&d, 2, 0), &w2, 1, pr(1));
+        let path = cfg.replay_sequence(o.node);
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].to_u64(), Some(2));
+    }
+
+    #[test]
+    fn edge_ratio_bounded_and_grows() {
+        let (d, mut cfg) = setup();
+        assert_eq!(cfg.edge_coverage_ratio(), 0.0);
+        let w = LogicVec::from_u64(2, 0);
+        cfg.observe(&frame(&d, 0, 0), &w, 0, pr(0));
+        cfg.observe(&frame(&d, 1, 0), &w, 1, pr(1));
+        // 1 edge over a 4-node population: 4·3 ordered pairs.
+        let r = cfg.edge_coverage_ratio();
+        assert!((r - 1.0 / 12.0).abs() < 1e-9, "got {r}");
+        assert!(r <= 1.0);
     }
 
     #[test]
@@ -409,7 +596,7 @@ mod tests {
         let w = LogicVec::from_u64(2, 0);
         for st in 0..4 {
             cfg.note_reset();
-            cfg.observe(&frame(&d, st, 0), &w, st);
+            cfg.observe(&frame(&d, st, 0), &w, st, pr(st));
         }
         assert!((cfg.node_coverage_ratio() - 1.0).abs() < 1e-9);
     }

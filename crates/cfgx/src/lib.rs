@@ -16,11 +16,19 @@
 //! covered, and the caller counts quiet intervals against the
 //! threshold `Th`.
 //!
+//! Every first-seen node and edge is additionally stamped with a
+//! [`Provenance`] record — the vector index, generating mechanism
+//! (constrained-random, solver-guided with its goal id, or replay
+//! prefix after a partial reset) and the active checkpoint — so a
+//! campaign can attribute each coverage point to the mechanism that
+//! earned it (the `covmap` artifact and `covreport` bin build on
+//! this).
+//!
 //! # Examples
 //!
 //! ```
 //! use std::sync::Arc;
-//! use symbfuzz_cfgx::Cfg;
+//! use symbfuzz_cfgx::{Cfg, Provenance};
 //! use symbfuzz_logic::LogicVec;
 //!
 //! let d = Arc::new(symbfuzz_netlist::elaborate_src(
@@ -41,7 +49,7 @@
 //!     d.signals.iter().map(|s| LogicVec::zeros(s.width)).collect();
 //! for v in 0..3 {
 //!     frame[st.index()] = LogicVec::from_u64(2, v);
-//!     cfg.observe(&frame, &LogicVec::from_u64(1, 1), v);
+//!     cfg.observe(&frame, &LogicVec::from_u64(1, 1), v, Provenance::random(v));
 //! }
 //! assert_eq!(cfg.node_count(), 3);
 //! assert_eq!(cfg.edge_count(), 2);
@@ -50,4 +58,4 @@
 
 mod cfg;
 
-pub use cfg::{Cfg, NodeId, ObserveOutcome, StateTuple};
+pub use cfg::{Cfg, EdgeRec, NodeId, ObserveOutcome, Provenance, StateTuple};

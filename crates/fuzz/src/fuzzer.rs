@@ -3,11 +3,12 @@
 use crate::config::{FuzzConfig, Strategy};
 use crate::mutate::{Granularity, Mutator};
 use crate::report::{
-    BugRecord, CampaignResult, CoverageSample, PropertySpec, ResourceStats, TelemetryBlock,
+    BugRecord, CampaignResult, CovMap, CoverageSample, EdgeCov, FrontierRow, GoalCov, NodeCov,
+    PropertySpec, ProvenanceRecord, ResourceStats, TelemetryBlock, COVMAP_VERSION,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use symbfuzz_cfgx::{Cfg, NodeId};
+use symbfuzz_cfgx::{Cfg, NodeId, Provenance};
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{classify_registers, Design, SignalId};
 use symbfuzz_props::{PropError, Property, PropertyChecker};
@@ -15,7 +16,20 @@ use symbfuzz_ruvm::{Driver, SequenceItem, Sequencer};
 use symbfuzz_sim::{SettleMode, Simulator, Snapshot};
 use symbfuzz_smt::Budget;
 use symbfuzz_symexec::{ReachOutcome, SymbolicEngine};
-use symbfuzz_telemetry::{Collector, Counter, Event, Gauge, Phase, SolveStatus};
+use symbfuzz_telemetry::{Collector, Counter, Event, Gauge, Mechanism, Phase, SolveStatus};
+
+/// Unseen values listed per control register when building the
+/// uncovered-frontier table of the covmap artifact.
+const FRONTIER_VALUES_PER_REGISTER: usize = 8;
+
+/// One symbolic solve attempt, recorded for the covmap goal log.
+struct GoalAttempt {
+    reg: SignalId,
+    value: u64,
+    checkpoint: Option<NodeId>,
+    status: SolveStatus,
+    vector: u64,
+}
 
 /// One fuzzing campaign over one design with one strategy.
 ///
@@ -43,6 +57,15 @@ pub struct SymbFuzz {
     /// Tally of symbolic-episode outcomes, indexed by
     /// [`SolveStatus::serial_index`].
     solve_tally: [u64; SolveStatus::SERIAL_COUNT],
+    /// Checkpoint node attribution is currently charged to: set on
+    /// rollback, cleared on full reset.
+    active_checkpoint: Option<NodeId>,
+    /// Goal id behind the replay items currently queued in the
+    /// sequencer (solver-guided words), cleared once the queue drains.
+    current_goal: Option<u64>,
+    /// Every symbolic solve attempt, in order; provenance goal ids
+    /// index this log.
+    goals: Vec<GoalAttempt>,
     /// Two-state coverage view for the HWFP baseline.
     twostate_nodes: HashSet<Vec<u64>>,
     vectors: u64,
@@ -127,6 +150,9 @@ impl SymbFuzz {
             neg_cache: HashSet::new(),
             escalation: 0,
             solve_tally: [0; SolveStatus::SERIAL_COUNT],
+            active_checkpoint: None,
+            current_goal: None,
+            goals: Vec::new(),
             twostate_nodes: HashSet::new(),
             vectors: 0,
             stagnation: 0,
@@ -275,6 +301,7 @@ impl SymbFuzz {
             nodes: self.cfg.node_count() as u64,
             edges: self.cfg.edge_count() as u64,
             node_coverage_ratio: self.cfg.node_coverage_ratio(),
+            edge_coverage_ratio: self.cfg.edge_coverage_ratio(),
             bugs: self.bugs.clone(),
             series: self.series.clone(),
             resources,
@@ -284,6 +311,90 @@ impl SymbFuzz {
                 .map(|(s, n)| (s.to_string(), *n))
                 .collect(),
             telemetry: TelemetryBlock::from(self.telemetry.snapshot()),
+            covmap: self.covmap(),
+        }
+    }
+
+    /// Builds the coverage-provenance artifact from the CFG's node and
+    /// edge records plus the symbolic goal log. Everything iterates
+    /// over ordered vectors (never hash maps), so the artifact is a
+    /// byte-stable function of the campaign seed.
+    pub fn covmap(&self) -> CovMap {
+        fn rec(p: Provenance) -> ProvenanceRecord {
+            ProvenanceRecord {
+                vector: p.vector,
+                mechanism: p.mechanism.name().to_string(),
+                goal: p.goal,
+                checkpoint: p.checkpoint.map(|n| n.0 as u64),
+            }
+        }
+        let nodes = (0..self.cfg.node_count() as u32)
+            .map(|i| {
+                let n = NodeId(i);
+                NodeCov {
+                    id: i as u64,
+                    first_cycle: self.cfg.first_cycle(n),
+                    provenance: rec(self.cfg.provenance(n)),
+                }
+            })
+            .collect();
+        let edges = self
+            .cfg
+            .edge_records()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| EdgeCov {
+                id: i as u64,
+                src: e.src.0 as u64,
+                dst: e.dst.0 as u64,
+                cycle: e.cycle,
+                provenance: rec(e.prov),
+            })
+            .collect();
+        let goals = self
+            .goals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| GoalCov {
+                id: i as u64,
+                register: self.design.signal(g.reg).name.clone(),
+                value: g.value,
+                checkpoint: g.checkpoint.map(|n| n.0 as u64),
+                status: g.status.serial().to_string(),
+                vector: g.vector,
+            })
+            .collect();
+        let mut frontier = Vec::new();
+        for (i, reg) in self.cfg.control_registers().iter().enumerate() {
+            let name = &self.design.signal(*reg).name;
+            for v in self.cfg.unseen_values(i, FRONTIER_VALUES_PER_REGISTER) {
+                let value = v.to_u64().unwrap_or(0);
+                let mut attempts = 0u64;
+                let mut last = None;
+                for g in &self.goals {
+                    if g.reg == *reg && g.value == value {
+                        attempts += 1;
+                        last = Some(g.status);
+                    }
+                }
+                frontier.push(FrontierRow {
+                    register: name.clone(),
+                    value,
+                    attempts,
+                    last_status: last
+                        .map(|s| s.serial().to_string())
+                        .unwrap_or_else(|| "unattempted".to_string()),
+                });
+            }
+        }
+        CovMap {
+            version: COVMAP_VERSION,
+            fuzzer: self.strategy.name().to_string(),
+            design: self.design.name.clone(),
+            nodes,
+            edges,
+            goals,
+            frontier,
         }
     }
 
@@ -295,10 +406,23 @@ impl SymbFuzz {
             if self.vectors >= self.config.max_vectors {
                 return;
             }
-            let word = {
+            let (word, mechanism) = {
                 let _span = telemetry.phase_owned(Phase::Mutate);
                 match self.strategy {
-                    Strategy::SymbFuzz => self.sequencer.next_item().word,
+                    Strategy::SymbFuzz => {
+                        // A non-empty replay queue means the next word
+                        // is a solver-produced sequence item; once the
+                        // queue drains, attribution reverts to
+                        // constrained-random and the goal is retired.
+                        let solver_guided = self.sequencer.replay_len() > 0;
+                        let w = self.sequencer.next_item().word;
+                        if solver_guided {
+                            (w, Mechanism::SolverGuided)
+                        } else {
+                            self.current_goal = None;
+                            (w, Mechanism::ConstrainedRandom)
+                        }
+                    }
                     // Baselines and UVM random drive multi-cycle testcases
                     // from reset, the standard hardware-fuzzing harness;
                     // only SymbFuzz runs continuously via checkpoints.
@@ -308,7 +432,7 @@ impl SymbFuzz {
                         }
                         let w = self.case[self.case_pos].clone();
                         self.case_pos += 1;
-                        w
+                        (w, Mechanism::ConstrainedRandom)
                     }
                 }
             };
@@ -317,10 +441,23 @@ impl SymbFuzz {
             // The deterministic clock ticks once per input vector.
             telemetry.set_time(self.vectors);
             telemetry.add(Counter::Vectors, 1);
+            let prov = Provenance {
+                vector: self.vectors,
+                mechanism,
+                goal: if mechanism == Mechanism::SolverGuided {
+                    self.current_goal
+                } else {
+                    None
+                },
+                checkpoint: self.active_checkpoint,
+            };
             let _settle = telemetry.phase_owned(Phase::Settle);
             self.driver
                 .drive(&mut self.sim, &SequenceItem::new(word.clone()));
-            let outcome = self.cfg.observe(self.sim.values(), &word, self.sim.cycle());
+            let outcome = self
+                .cfg
+                .observe(self.sim.values(), &word, self.sim.cycle(), prov);
+            self.note_coverage_events(&outcome, prov);
 
             match self.strategy {
                 Strategy::SymbFuzz => {
@@ -370,9 +507,38 @@ impl SymbFuzz {
                         property: v.property,
                         cycle: v.cycle,
                         vectors: self.vectors,
+                        node: Some(outcome.node.0 as u64),
+                        mechanism: prov.mechanism.name().to_string(),
+                        goal: prov.goal,
+                        checkpoint: prov.checkpoint.map(|n| n.0 as u64),
                     });
                 }
             }
+        }
+    }
+
+    /// Emits the provenance events for anything `observe` saw for the
+    /// first time.
+    fn note_coverage_events(&self, outcome: &symbfuzz_cfgx::ObserveOutcome, prov: Provenance) {
+        if outcome.new_node {
+            self.telemetry.record(Event::NodeCovered {
+                node: outcome.node.0 as u64,
+                vector: prov.vector,
+                mechanism: prov.mechanism,
+                goal: prov.goal,
+                checkpoint: prov.checkpoint.map(|n| n.0 as u64),
+            });
+        }
+        if outcome.new_edge {
+            let id = self.cfg.edge_count() as u64 - 1;
+            let e = self.cfg.edge_record(id as u32);
+            self.telemetry.record(Event::EdgeCovered {
+                edge: id,
+                src: e.src.0 as u64,
+                dst: e.dst.0 as u64,
+                vector: prov.vector,
+                mechanism: prov.mechanism,
+            });
         }
     }
 
@@ -408,6 +574,7 @@ impl SymbFuzz {
         self.cfg.note_reset();
         self.checker.reset_history();
         self.resources.full_resets += 1;
+        self.active_checkpoint = None;
         telemetry.record(Event::FullReset);
     }
 
@@ -464,6 +631,25 @@ impl SymbFuzz {
         self.note_episode(None, eqns, status);
     }
 
+    /// Appends one solve attempt to the goal log and returns its id.
+    fn note_goal(
+        &mut self,
+        reg: SignalId,
+        value: u64,
+        checkpoint: Option<NodeId>,
+        status: SolveStatus,
+    ) -> u64 {
+        let id = self.goals.len() as u64;
+        self.goals.push(GoalAttempt {
+            reg,
+            value,
+            checkpoint,
+            status,
+            vector: self.vectors,
+        });
+        id
+    }
+
     /// Records one symbolic episode in the tally and the event stream.
     fn note_episode(&mut self, checkpoint: Option<u64>, eqns: u64, status: SolveStatus) {
         self.solve_tally[status.serial_index()] += 1;
@@ -518,6 +704,7 @@ impl SymbFuzz {
                 }
                 tried += 1;
                 self.resources.solver_calls += 1;
+                let target_value = value.to_u64().unwrap_or(0);
                 let outcome = {
                     let _span = self.telemetry.phase_owned(Phase::Solve);
                     let engine = self.engine.as_ref().expect("checked above");
@@ -537,15 +724,21 @@ impl SymbFuzz {
                         self.sequencer.push_replay(items);
                         self.escalation = 0;
                         self.telemetry.set_gauge(Gauge::EscalationLevel, 0);
+                        // Words drawn from this replay queue are
+                        // attributed to the goal just solved.
+                        self.current_goal =
+                            Some(self.note_goal(reg, target_value, checkpoint, SolveStatus::Sat));
                         return SolveStatus::Sat;
                     }
                     Ok(ReachOutcome::Unreachable) | Err(_) => {
                         // Proven unsat (or an unposable goal): never
                         // worth re-attempting from this rollback point.
                         self.neg_cache.insert(key);
+                        self.note_goal(reg, target_value, checkpoint, SolveStatus::Unsat);
                     }
                     Ok(ReachOutcome::Exhausted { reason, spent }) => {
                         self.neg_cache.insert(key);
+                        self.note_goal(reg, target_value, checkpoint, SolveStatus::Unknown(reason));
                         self.telemetry.add(Counter::BudgetExhaustions, 1);
                         self.telemetry.record(Event::BudgetExhausted {
                             reason,
@@ -568,30 +761,48 @@ impl SymbFuzz {
     }
 
     /// Re-enters a CFG node: snapshot restore when cached (microseconds,
-    /// §5.5.2), otherwise reset plus recorded input replay (§4.5).
+    /// §5.5.2), otherwise reset plus recorded input replay (§4.5). The
+    /// node becomes the active checkpoint for attribution; anything the
+    /// replayed prefix happens to cover is attributed to the
+    /// replay-prefix mechanism.
     fn rollback_to(&mut self, node: NodeId) {
         let telemetry = Arc::clone(&self.telemetry);
         let _span = telemetry.phase_owned(Phase::Reset);
         self.resources.rollbacks += 1;
         let prefix_len = if let Some(snap) = self.snapshots.get(&node) {
             self.sim.restore(snap);
+            self.cfg.note_rollback(node);
             0u64
         } else {
             self.resources.cycles += self.config.reset_cycles as u64;
             self.sim.reset(self.config.reset_cycles);
+            self.cfg.note_reset();
             self.resources.full_resets += 1;
             let path: Vec<LogicVec> = self.cfg.replay_sequence(node).to_vec();
             self.resources.cycles += path.len() as u64;
             telemetry.add(Counter::ReplayedCycles, path.len() as u64);
             let len = path.len() as u64;
+            let prov = Provenance {
+                vector: self.vectors,
+                mechanism: Mechanism::ReplayPrefix,
+                goal: None,
+                checkpoint: Some(node),
+            };
             for word in path {
                 self.sim.apply_input_word(&word);
                 self.sim.step();
+                // Replay is observed: a deterministic simulator re-walks
+                // known ground, but any divergence is still attributed
+                // (to the replay prefix) rather than lost.
+                let outcome = self
+                    .cfg
+                    .observe(self.sim.values(), &word, self.sim.cycle(), prov);
+                self.note_coverage_events(&outcome, prov);
             }
             len
         };
         telemetry.record(Event::PartialReset { prefix_len });
-        self.cfg.note_rollback(node);
+        self.active_checkpoint = Some(node);
         self.checker.reset_history();
     }
 }
@@ -901,6 +1112,86 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r, g.run());
+    }
+
+    #[test]
+    fn covmap_attributes_lock_states_to_the_solver() {
+        let d = lock_design();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(20_000),
+            &lock_props(),
+        )
+        .unwrap();
+        let r = f.run();
+        let m = &r.covmap;
+        assert_eq!(m.version, crate::report::COVMAP_VERSION);
+        assert_eq!(m.fuzzer, "SymbFuzz");
+        assert_eq!(m.nodes.len() as u64, r.nodes);
+        assert_eq!(m.edges.len() as u64, r.edges);
+        // The lock states are unreachable by random stimulus within
+        // budget; their first visit must be solver-attributed.
+        let solver_nodes = m
+            .nodes
+            .iter()
+            .filter(|n| n.provenance.mechanism == "solver")
+            .count();
+        assert!(solver_nodes >= 1, "covmap nodes: {:?}", m.nodes);
+        // Every solver-attributed point names a goal that exists and
+        // was satisfied.
+        for n in m
+            .nodes
+            .iter()
+            .filter(|n| n.provenance.mechanism == "solver")
+        {
+            let g = n.provenance.goal.expect("solver provenance has a goal");
+            assert_eq!(m.goals[g as usize].status, "sat");
+        }
+        // The bug fired on a solver-guided word, with a chain back to
+        // random ground.
+        let bug = &r.bugs[0];
+        assert_eq!(bug.mechanism, "solver");
+        let chain = m.provenance_chain(bug.node.unwrap());
+        assert!(!chain.is_empty());
+        assert_eq!(chain.last().unwrap().provenance.mechanism, "random");
+        // Both coverage ratios are reported and sane.
+        assert!(r.node_coverage_ratio > 0.0 && r.node_coverage_ratio <= 1.0);
+        assert!(r.edge_coverage_ratio > 0.0 && r.edge_coverage_ratio <= 1.0);
+        // Provenance events streamed alongside (one per node/edge).
+        let node_events = r
+            .telemetry
+            .events
+            .iter()
+            .find(|(k, _)| k == "NodeCovered")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert_eq!(node_events, r.nodes);
+    }
+
+    #[test]
+    fn baselines_report_random_only_covmaps() {
+        let d = lock_design();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::UvmRandom,
+            small_cfg(2_000),
+            &lock_props(),
+        )
+        .unwrap();
+        let r = f.run();
+        assert!(r.covmap.goals.is_empty());
+        assert!(r
+            .covmap
+            .nodes
+            .iter()
+            .all(|n| n.provenance.mechanism == "random" && n.provenance.goal.is_none()));
+        // Unattempted frontier rows: random never consults the solver.
+        assert!(r
+            .covmap
+            .frontier
+            .iter()
+            .all(|f| f.last_status == "unattempted" && f.attempts == 0));
     }
 
     #[test]

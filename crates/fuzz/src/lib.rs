@@ -51,6 +51,6 @@ pub use config::{ConfigError, FuzzConfig, FuzzConfigBuilder, Strategy};
 pub use fuzzer::SymbFuzz;
 pub use mutate::Mutator;
 pub use report::{
-    BugRecord, CampaignResult, CoverageSample, PhaseBlock, PropertySpec, ResourceStats,
-    TelemetryBlock,
+    BugRecord, CampaignResult, CovMap, CoverageSample, EdgeCov, FrontierRow, GoalCov, NodeCov,
+    PhaseBlock, PropertySpec, ProvenanceRecord, ResourceStats, TelemetryBlock, COVMAP_VERSION,
 };

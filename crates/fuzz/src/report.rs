@@ -71,7 +71,9 @@ impl PropertySpec {
 }
 
 /// One detected bug (Algorithm 1 lines 23–25: property, timestamp, and
-/// the input-vector count at detection — Table 1's last column).
+/// the input-vector count at detection — Table 1's last column), plus
+/// the provenance of the detecting input word so a report can explain
+/// which mechanism earned the bug.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BugRecord {
     /// Violated property name.
@@ -80,6 +82,177 @@ pub struct BugRecord {
     pub cycle: u64,
     /// Input vectors generated before detection.
     pub vectors: u64,
+    /// CFG node occupied at detection (dense id), if known.
+    pub node: Option<u64>,
+    /// Mechanism that generated the detecting input word
+    /// ([`symbfuzz_telemetry::Mechanism::name`]).
+    pub mechanism: String,
+    /// Goal id of the solve attempt (solver-guided detection only);
+    /// indexes [`CovMap::goals`].
+    pub goal: Option<u64>,
+    /// Checkpoint node active at detection, if any.
+    pub checkpoint: Option<u64>,
+}
+
+/// Version stamp of the [`CovMap`] artifact schema.
+pub const COVMAP_VERSION: u32 = 1;
+
+/// Serialized [`symbfuzz_cfgx::Provenance`]: the attribution of one
+/// covered node or edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceRecord {
+    /// Input vectors consumed when the point was covered.
+    pub vector: u64,
+    /// Mechanism name ([`symbfuzz_telemetry::Mechanism::name`]):
+    /// `random`, `solver` or `replay`.
+    pub mechanism: String,
+    /// Goal id of the solve attempt (solver-guided only); indexes
+    /// [`CovMap::goals`].
+    pub goal: Option<u64>,
+    /// Checkpoint node active at the time, if any.
+    pub checkpoint: Option<u64>,
+}
+
+/// One covered CFG node in the [`CovMap`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCov {
+    /// Dense node id (discovery order).
+    pub id: u64,
+    /// Cycle at which the node was first reached.
+    pub first_cycle: u64,
+    /// Attribution of the first visit.
+    pub provenance: ProvenanceRecord,
+}
+
+/// One covered CFG edge in the [`CovMap`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeCov {
+    /// Dense edge id (discovery order).
+    pub id: u64,
+    /// Source node id.
+    pub src: u64,
+    /// Destination node id.
+    pub dst: u64,
+    /// Cycle at which the edge was first taken.
+    pub cycle: u64,
+    /// Attribution of the first crossing.
+    pub provenance: ProvenanceRecord,
+}
+
+/// One symbolic solve attempt, in attempt order — the goal ids in
+/// [`ProvenanceRecord`] and [`BugRecord`] index this list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoalCov {
+    /// Goal id (position in the attempt order).
+    pub id: u64,
+    /// Target control-register name.
+    pub register: String,
+    /// Target register value.
+    pub value: u64,
+    /// Rollback node the solve ran from (`None` = reset state).
+    pub checkpoint: Option<u64>,
+    /// Outcome, as a [`symbfuzz_telemetry::SolveStatus`] serial.
+    pub status: String,
+    /// Input vectors consumed when the attempt ran.
+    pub vector: u64,
+}
+
+/// One uncovered-frontier row: a control-register value never
+/// observed — an uncovered node adjacent to the covered region, i.e.
+/// the edge into it is uncovered — with the last blocking solve
+/// status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontierRow {
+    /// Control-register name.
+    pub register: String,
+    /// The unobserved value.
+    pub value: u64,
+    /// Solve attempts that targeted this value.
+    pub attempts: u64,
+    /// Status of the last attempt ([`symbfuzz_telemetry::SolveStatus`]
+    /// serial), or `"unattempted"`.
+    pub last_status: String,
+}
+
+/// The per-campaign coverage-provenance artifact (versioned JSON):
+/// every covered node and edge with its attribution, the symbolic goal
+/// log, and the uncovered frontier. Embedded in [`CampaignResult`] and
+/// persisted standalone by the `covreport` bench bin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CovMap {
+    /// Schema version ([`COVMAP_VERSION`]).
+    pub version: u32,
+    /// Strategy name.
+    pub fuzzer: String,
+    /// Design name.
+    pub design: String,
+    /// Covered nodes, in discovery order.
+    pub nodes: Vec<NodeCov>,
+    /// Covered edges, in discovery order.
+    pub edges: Vec<EdgeCov>,
+    /// Symbolic solve attempts, in attempt order.
+    pub goals: Vec<GoalCov>,
+    /// Uncovered frontier, in control-register tuple order.
+    pub frontier: Vec<FrontierRow>,
+}
+
+impl CovMap {
+    /// An empty covmap for the given campaign identity.
+    pub fn empty(fuzzer: &str, design: &str) -> CovMap {
+        CovMap {
+            version: COVMAP_VERSION,
+            fuzzer: fuzzer.into(),
+            design: design.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            goals: Vec::new(),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// Coverage-point count per mechanism name, in
+    /// [`symbfuzz_telemetry::Mechanism::ALL`] order: `(name, nodes,
+    /// edges)`.
+    pub fn mechanism_counts(&self) -> Vec<(String, u64, u64)> {
+        symbfuzz_telemetry::Mechanism::ALL
+            .iter()
+            .map(|m| {
+                let name = m.name();
+                let n = self
+                    .nodes
+                    .iter()
+                    .filter(|x| x.provenance.mechanism == name)
+                    .count() as u64;
+                let e = self
+                    .edges
+                    .iter()
+                    .filter(|x| x.provenance.mechanism == name)
+                    .count() as u64;
+                (name.to_string(), n, e)
+            })
+            .collect()
+    }
+
+    /// Walks the provenance chain backwards from a node: the node's
+    /// own record, then the record of the checkpoint it was earned
+    /// from, and so on until a record without a checkpoint. Cycles are
+    /// guarded; the chain is capped at the node count.
+    pub fn provenance_chain(&self, node: u64) -> Vec<&NodeCov> {
+        let mut chain = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            if !seen.insert(id) || chain.len() > self.nodes.len() {
+                break;
+            }
+            let Some(rec) = self.nodes.iter().find(|n| n.id == id) else {
+                break;
+            };
+            chain.push(rec);
+            cur = rec.provenance.checkpoint;
+        }
+        chain
+    }
 }
 
 /// One point of the coverage-vs-vectors curve (Fig. 4a).
@@ -196,6 +369,8 @@ pub struct CampaignResult {
     pub edges: u64,
     /// Fraction of the Eqn.-3 node population covered.
     pub node_coverage_ratio: f64,
+    /// Fraction of the ordered-pair edge population covered.
+    pub edge_coverage_ratio: f64,
     /// Bugs detected, in detection order.
     pub bugs: Vec<BugRecord>,
     /// Coverage curve samples (one per interval).
@@ -209,6 +384,8 @@ pub struct CampaignResult {
     pub solve_outcomes: Vec<(String, u64)>,
     /// Telemetry metrics (counters, gauges, events, phase timings).
     pub telemetry: TelemetryBlock,
+    /// The coverage-provenance artifact (versioned).
+    pub covmap: CovMap,
 }
 
 impl CampaignResult {
@@ -250,6 +427,7 @@ mod tests {
             nodes: 20,
             edges: 30,
             node_coverage_ratio: 0.5,
+            edge_coverage_ratio: 0.1,
             bugs: vec![],
             series: vec![
                 CoverageSample {
@@ -268,6 +446,7 @@ mod tests {
             resources: ResourceStats::default(),
             solve_outcomes: vec![],
             telemetry: TelemetryBlock::default(),
+            covmap: CovMap::empty("x", "d"),
         };
         assert_eq!(r.vectors_to_reach(30), Some(50));
         assert_eq!(r.vectors_to_reach(51), None);
@@ -280,8 +459,77 @@ mod tests {
             property: "leak".into(),
             cycle: 1234,
             vectors: 99,
+            node: Some(7),
+            mechanism: "solver".into(),
+            goal: Some(2),
+            checkpoint: Some(1),
         };
         let j = serde_json::to_string(&b).unwrap();
         assert_eq!(serde_json::from_str::<BugRecord>(&j).unwrap(), b);
+    }
+
+    fn prov(mechanism: &str, checkpoint: Option<u64>) -> ProvenanceRecord {
+        ProvenanceRecord {
+            vector: 1,
+            mechanism: mechanism.into(),
+            goal: None,
+            checkpoint,
+        }
+    }
+
+    #[test]
+    fn covmap_round_trips_and_counts_mechanisms() {
+        let mut m = CovMap::empty("SymbFuzz", "lock");
+        m.nodes.push(NodeCov {
+            id: 0,
+            first_cycle: 2,
+            provenance: prov("random", None),
+        });
+        m.nodes.push(NodeCov {
+            id: 1,
+            first_cycle: 9,
+            provenance: prov("solver", Some(0)),
+        });
+        m.edges.push(EdgeCov {
+            id: 0,
+            src: 0,
+            dst: 1,
+            cycle: 9,
+            provenance: prov("solver", Some(0)),
+        });
+        let j = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<CovMap>(&j).unwrap(), m);
+        assert_eq!(m.version, COVMAP_VERSION);
+        let counts = m.mechanism_counts();
+        assert_eq!(counts[0], ("random".to_string(), 1, 0));
+        assert_eq!(counts[1], ("solver".to_string(), 1, 1));
+        assert_eq!(counts[2], ("replay".to_string(), 0, 0));
+    }
+
+    #[test]
+    fn provenance_chain_walks_checkpoints_and_guards_cycles() {
+        let mut m = CovMap::empty("SymbFuzz", "lock");
+        m.nodes.push(NodeCov {
+            id: 0,
+            first_cycle: 0,
+            provenance: prov("random", None),
+        });
+        m.nodes.push(NodeCov {
+            id: 1,
+            first_cycle: 5,
+            provenance: prov("solver", Some(0)),
+        });
+        m.nodes.push(NodeCov {
+            id: 2,
+            first_cycle: 9,
+            provenance: prov("solver", Some(1)),
+        });
+        let chain: Vec<u64> = m.provenance_chain(2).iter().map(|n| n.id).collect();
+        assert_eq!(chain, vec![2, 1, 0]);
+        // A malformed self-referential record terminates.
+        m.nodes[0].provenance.checkpoint = Some(0);
+        let chain: Vec<u64> = m.provenance_chain(2).iter().map(|n| n.id).collect();
+        assert_eq!(chain, vec![2, 1, 0]);
+        assert!(m.provenance_chain(42).is_empty());
     }
 }

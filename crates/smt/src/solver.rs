@@ -4,8 +4,8 @@
 //! assumptions) surfaces as [`SolverError::WidthMismatch`] and
 //! budgeted checks that hit a ceiling surface as
 //! [`SatOutcome::Unknown`] — no public path panics on user input.
-//! The pre-redesign panicking entry points survive one release as
-//! `#[deprecated]` `*_or_panic` shims.
+//! (The transitional `*_or_panic` shims kept one release after the
+//! redesign have been removed.)
 
 use crate::bitblast::BitBlaster;
 use crate::budget::{Budget, BudgetSpent};
@@ -286,33 +286,6 @@ impl BvSolver {
                 SatOutcome::Sat(Model { values })
             }
         })
-    }
-
-    /// Pre-redesign panicking `assert`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the term is not one bit wide.
-    #[deprecated(since = "0.3.0", note = "use the fallible `assert` instead")]
-    pub fn assert_or_panic(&mut self, t: TermId) {
-        self.assert(t).expect("assertions must be one bit wide");
-    }
-
-    /// Pre-redesign panicking `check`.
-    #[deprecated(since = "0.3.0", note = "use the fallible `check` instead")]
-    pub fn check_or_panic(&mut self) -> SatOutcome {
-        self.check().expect("check without assumptions cannot fail")
-    }
-
-    /// Pre-redesign panicking `check_assuming`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an assumption is not one bit wide.
-    #[deprecated(since = "0.3.0", note = "use the fallible `check_assuming` instead")]
-    pub fn check_assuming_or_panic(&mut self, assumptions: &[TermId]) -> SatOutcome {
-        self.check_assuming(assumptions)
-            .expect("assumptions must be one bit wide")
     }
 
     /// Validates a model against the asserted terms by direct
@@ -596,23 +569,5 @@ mod tests {
         };
         assert!(e.to_string().contains("conflicts"));
         assert!(e.to_string().contains("10"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_old_behaviour() {
-        let mut s = BvSolver::new();
-        let a = s.pool_mut().var("a", 4);
-        let goal = {
-            let p = s.pool_mut();
-            let c = p.const_u64(4, 9);
-            p.eq(a, c)
-        };
-        s.assert_or_panic(goal);
-        let SatOutcome::Sat(m) = s.check_or_panic() else {
-            panic!()
-        };
-        assert_eq!(m.value("a").unwrap().to_u64(), Some(9));
-        assert!(s.check_assuming_or_panic(&[goal]).is_sat());
     }
 }

@@ -132,6 +132,58 @@ impl std::fmt::Display for SolveStatus {
     }
 }
 
+/// The generating mechanism a coverage point is attributed to — which
+/// part of Algorithm 1 produced the input word that earned it.
+///
+/// Shared by the CFG provenance records, the `covmap` artifact, the
+/// campaign JSON and the JSONL trace schema, all through
+/// [`Mechanism::name`] so every layer agrees byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Constrained-random stimulus from the UVM sequencer (or a
+    /// baseline's mutated testcase).
+    ConstrainedRandom,
+    /// A solver-produced input sequence installed after a successful
+    /// symbolic episode (§4.7); the goal id names the solve attempt.
+    SolverGuided,
+    /// A recorded input prefix replayed to re-enter a checkpoint after
+    /// a partial reset (§4.5).
+    ReplayPrefix,
+}
+
+impl Mechanism {
+    /// Number of mechanisms.
+    pub const COUNT: usize = 3;
+
+    /// Every mechanism, in a fixed order.
+    pub const ALL: [Mechanism; Mechanism::COUNT] = [
+        Mechanism::ConstrainedRandom,
+        Mechanism::SolverGuided,
+        Mechanism::ReplayPrefix,
+    ];
+
+    /// Stable string used in the JSONL schema, `covmap` and campaign
+    /// JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::ConstrainedRandom => "random",
+            Mechanism::SolverGuided => "solver",
+            Mechanism::ReplayPrefix => "replay",
+        }
+    }
+
+    /// Inverse of [`Mechanism::name`].
+    pub fn parse(s: &str) -> Option<Mechanism> {
+        Mechanism::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One structured trace event from the fuzz loop.
 ///
 /// Each variant maps to one JSONL record kind; [`Event::kind`] is the
@@ -206,11 +258,37 @@ pub enum Event {
         /// Propagations spent by the attempt.
         propagations: u64,
     },
+    /// A CFG node was covered for the first time (provenance record).
+    NodeCovered {
+        /// Dense node id.
+        node: u64,
+        /// Input vectors consumed when the node was first reached.
+        vector: u64,
+        /// The mechanism that generated the covering input word.
+        mechanism: Mechanism,
+        /// Goal id of the solve attempt, for solver-guided words.
+        goal: Option<u64>,
+        /// Checkpoint node active at the time, if any.
+        checkpoint: Option<u64>,
+    },
+    /// A CFG edge was covered for the first time (provenance record).
+    EdgeCovered {
+        /// Dense edge id.
+        edge: u64,
+        /// Source node id.
+        src: u64,
+        /// Destination node id.
+        dst: u64,
+        /// Input vectors consumed when the edge was first taken.
+        vector: u64,
+        /// The mechanism that generated the covering input word.
+        mechanism: Mechanism,
+    },
 }
 
 impl Event {
     /// Number of event kinds.
-    pub const KIND_COUNT: usize = 8;
+    pub const KIND_COUNT: usize = 10;
 
     /// Every event kind, in `kind_index` order.
     pub const KINDS: [&'static str; Event::KIND_COUNT] = [
@@ -222,6 +300,8 @@ impl Event {
         "FullReset",
         "BugFired",
         "BudgetExhausted",
+        "NodeCovered",
+        "EdgeCovered",
     ];
 
     /// The schema discriminator for this event.
@@ -240,6 +320,8 @@ impl Event {
             Event::FullReset => 5,
             Event::BugFired { .. } => 6,
             Event::BudgetExhausted { .. } => 7,
+            Event::NodeCovered { .. } => 8,
+            Event::EdgeCovered { .. } => 9,
         }
     }
 
@@ -317,6 +399,45 @@ impl Event {
                     reason.name()
                 );
             }
+            Event::NodeCovered {
+                node,
+                vector,
+                mechanism,
+                goal,
+                checkpoint,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"node\":{node},\"vector\":{vector},\"mechanism\":\"{}\"",
+                    mechanism.name()
+                );
+                match goal {
+                    Some(g) => {
+                        let _ = write!(s, ",\"goal\":{g}");
+                    }
+                    None => s.push_str(",\"goal\":null"),
+                }
+                match checkpoint {
+                    Some(cp) => {
+                        let _ = write!(s, ",\"checkpoint\":{cp}");
+                    }
+                    None => s.push_str(",\"checkpoint\":null"),
+                }
+            }
+            Event::EdgeCovered {
+                edge,
+                src,
+                dst,
+                vector,
+                mechanism,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"edge\":{edge},\"src\":{src},\"dst\":{dst},\
+                     \"vector\":{vector},\"mechanism\":\"{}\"",
+                    mechanism.name()
+                );
+            }
         }
         s.push('}');
         s
@@ -389,6 +510,20 @@ mod tests {
                 decisions: 200,
                 propagations: 300,
             },
+            Event::NodeCovered {
+                node: 3,
+                vector: 40,
+                mechanism: Mechanism::SolverGuided,
+                goal: Some(2),
+                checkpoint: Some(1),
+            },
+            Event::EdgeCovered {
+                edge: 6,
+                src: 1,
+                dst: 3,
+                vector: 40,
+                mechanism: Mechanism::ReplayPrefix,
+            },
         ];
         assert_eq!(all.len(), Event::KIND_COUNT);
         for (i, e) in all.iter().enumerate() {
@@ -426,6 +561,40 @@ mod tests {
             "{\"t\":3,\"task\":0,\"kind\":\"BudgetExhausted\",\"reason\":\"wall_clock\",\
              \"level\":2,\"conflicts\":7,\"decisions\":9,\"propagations\":11}"
         );
+        let e = Event::NodeCovered {
+            node: 5,
+            vector: 17,
+            mechanism: Mechanism::ConstrainedRandom,
+            goal: None,
+            checkpoint: None,
+        };
+        assert_eq!(
+            e.to_json_line(17, 2),
+            "{\"t\":17,\"task\":2,\"kind\":\"NodeCovered\",\"node\":5,\"vector\":17,\
+             \"mechanism\":\"random\",\"goal\":null,\"checkpoint\":null}"
+        );
+        let e = Event::EdgeCovered {
+            edge: 2,
+            src: 0,
+            dst: 5,
+            vector: 17,
+            mechanism: Mechanism::SolverGuided,
+        };
+        assert_eq!(
+            e.to_json_line(17, 2),
+            "{\"t\":17,\"task\":2,\"kind\":\"EdgeCovered\",\"edge\":2,\"src\":0,\"dst\":5,\
+             \"vector\":17,\"mechanism\":\"solver\"}"
+        );
+    }
+
+    #[test]
+    fn mechanism_names_round_trip() {
+        for m in Mechanism::ALL {
+            assert_eq!(Mechanism::parse(m.name()), Some(m));
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert!(Mechanism::parse("telepathy").is_none());
+        assert_eq!(Mechanism::ALL.len(), Mechanism::COUNT);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use collector::{
     Collector, Counter, Gauge, OwnedPhaseTimer, Phase, PhaseTimer, DEFAULT_RING_CAP, HIST_BUCKETS,
 };
-pub use event::{escape_json_into, Event, SolveStatus, TimedEvent, UnknownReason};
+pub use event::{escape_json_into, Event, Mechanism, SolveStatus, TimedEvent, UnknownReason};
 pub use log::{log_at, log_enabled, log_level, set_log_level, Level};
 pub use sink::{BufferSink, FileSink, NullSink, SharedSink, StderrSink, TraceSink};
 pub use snapshot::{MetricsSnapshot, PhaseStat};

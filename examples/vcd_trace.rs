@@ -8,7 +8,7 @@
 //! ```
 
 use std::sync::Arc;
-use symbfuzz_cfgx::Cfg;
+use symbfuzz_cfgx::{Cfg, Provenance};
 use symbfuzz_designs::toy_alu;
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::classify_registers;
@@ -56,7 +56,7 @@ fn main() {
                 values[sig.index()] = trace.frames[i].1[vi].clone();
             }
         }
-        cfg.observe(&values, &inputs[i], i as u64);
+        cfg.observe(&values, &inputs[i], i as u64, Provenance::random(i as u64));
     }
     println!(
         "coverage from the VCD: {} nodes, {} edges over control registers {:?}",

@@ -3,7 +3,7 @@
 //! re-enter a state, across crate boundaries.
 
 use std::sync::Arc;
-use symbfuzz_cfgx::Cfg;
+use symbfuzz_cfgx::{Cfg, Provenance};
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{classify_registers, elaborate_src, Design};
 use symbfuzz_sim::Simulator;
@@ -39,7 +39,12 @@ fn drive(sim: &mut Simulator, cfg: &mut Cfg, word: u64) {
     let w = LogicVec::from_u64(4, word);
     sim.apply_input_word(&w);
     sim.step();
-    cfg.observe(sim.values(), &w, sim.cycle());
+    cfg.observe(
+        sim.values(),
+        &w,
+        sim.cycle(),
+        Provenance::random(sim.cycle()),
+    );
 }
 
 #[test]
