@@ -1,8 +1,11 @@
 //! Criterion microbenchmarks backing the paper's performance claims:
 //!
 //! * simulator throughput (the substrate for all vector counts);
-//! * step and settle throughput under the levelized scheduler vs the
-//!   original global fixpoint (the scheduling tentpole's A/B);
+//! * step and settle throughput under the compiled word-level VM vs
+//!   the levelized scheduler vs the original global fixpoint (the
+//!   simulation tentpoles' A/B/C);
+//! * netlist-to-bytecode compile time (the compiled kernel's one-off
+//!   construction cost, paid once per `Simulator::new`);
 //! * checkpoint snapshot-restore vs full reset + input replay — the
 //!   §5.5.2 claim that "checkpoint replays finish in microseconds,
 //!   avoiding full reboots";
@@ -13,6 +16,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use symbfuzz_designs::processor_benchmarks;
 use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::{comb_schedule, compile, CompileOpts};
 use symbfuzz_sim::{SettleMode, Simulator};
 use symbfuzz_smt::{BvSolver, SatOutcome};
 use symbfuzz_symexec::SymbolicEngine;
@@ -41,13 +45,15 @@ fn sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-/// Tentpole A/B: per-step cost (clock + settles) under the levelized
-/// dirty-set sweep vs the global fixpoint, on every processor design.
+/// Tentpole A/B/C: per-step cost (clock + settles) under the compiled
+/// word-level VM vs the levelized dirty-set sweep vs the global
+/// fixpoint, on every processor design.
 fn step_throughput_by_mode(c: &mut Criterion) {
     let mut group = c.benchmark_group("step_throughput");
     for b in processor_benchmarks() {
         let design = b.design().unwrap();
         for (label, mode) in [
+            ("compiled", SettleMode::Compiled),
             ("levelized", SettleMode::Levelized),
             ("fixpoint", SettleMode::Fixpoint),
         ] {
@@ -77,6 +83,7 @@ fn settle_throughput_by_mode(c: &mut Criterion) {
     for b in processor_benchmarks() {
         let design = b.design().unwrap();
         for (label, mode) in [
+            ("compiled", SettleMode::Compiled),
             ("levelized", SettleMode::Levelized),
             ("fixpoint", SettleMode::Fixpoint),
         ] {
@@ -94,6 +101,49 @@ fn settle_throughput_by_mode(c: &mut Criterion) {
                 });
             });
         }
+    }
+    group.finish();
+}
+
+/// The compiled kernel's one-off construction cost: lowering the
+/// elaborated netlist + levelized schedule into word bytecode. Paid
+/// once per `Simulator::new`, so it only has to be small next to a
+/// campaign, not next to a step.
+fn bytecode_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bytecode_compile");
+    for b in processor_benchmarks() {
+        let design = b.design().unwrap();
+        let sched = comb_schedule(&design);
+        group.bench_with_input(BenchmarkId::new("compile", b.name), &design, |bench, d| {
+            bench.iter(|| compile(d, &sched, CompileOpts::default()).stats.total_ops)
+        });
+    }
+    group.finish();
+}
+
+/// Per-dispatch cost of one settled process: the VM executing word
+/// bytecode vs the interpreter walking the statement tree, isolated
+/// from clocking by re-settling a single toggled cone.
+fn vm_dispatch(c: &mut Criterion) {
+    let b = &processor_benchmarks()[0];
+    let design = b.design().unwrap();
+    let mut group = c.benchmark_group("vm_dispatch");
+    for (label, mode) in [
+        ("compiled_vm", SettleMode::Compiled),
+        ("interpreted", SettleMode::Levelized),
+    ] {
+        group.bench_function(label, |bench| {
+            let mut sim = Simulator::new(Arc::clone(&design));
+            sim.set_settle_mode(mode);
+            sim.reset(2);
+            let width = design.fuzz_width().max(1);
+            let mut i = 0u64;
+            bench.iter(|| {
+                i = i.wrapping_add(1);
+                sim.apply_input_word(&LogicVec::from_u64(width.min(64), i));
+                sim.settle().is_ok()
+            });
+        });
     }
     group.finish();
 }
@@ -183,6 +233,8 @@ criterion_group!(
     sim_throughput,
     step_throughput_by_mode,
     settle_throughput_by_mode,
+    bytecode_compile,
+    vm_dispatch,
     checkpoint_reentry,
     symbolic_solving,
     sat_solver

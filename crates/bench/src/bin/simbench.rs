@@ -1,9 +1,16 @@
-//! Scheduler A/B throughput: simulated cycles per second under the
-//! levelized single sweep vs the original global fixpoint, on every
-//! benchmark design. Emits `results/BENCH_sim.json`.
-//! Usage: `simbench [cycles] [--log-level LEVEL]` (default 20000).
+//! Settle-engine A/B/C throughput: simulated cycles per second under
+//! the global fixpoint, the levelized dirty-set sweep and the compiled
+//! word-level VM, on every benchmark design. Emits
+//! `results/BENCH_sim.json` with the full three-way table; earlier
+//! row-sets found in that file are preserved under `history` so the
+//! performance trajectory across revisions stays auditable.
+//!
+//! Usage: `simbench [cycles] [--settle-mode MODE] [--log-level LEVEL]`
+//! (default 20000 cycles). With `--settle-mode` only the named engine
+//! is timed — a quick profiling mode that prints cyc/s without
+//! speedups and leaves `results/BENCH_sim.json` untouched.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 use std::time::Instant;
 use symbfuzz_bench::parse_bench_args;
@@ -13,7 +20,7 @@ use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::Design;
 use symbfuzz_sim::{SettleMode, Simulator};
 
-/// One design's before/after throughput measurement.
+/// One design's three-way throughput measurement.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SimBenchRow {
     design: String,
@@ -23,12 +30,18 @@ struct SimBenchRow {
     comb_procs: u64,
     /// Cyclic schedule units (0 = pure single sweep).
     cyclic_units: u64,
+    /// Processes the bytecode compiler lowered (vs interpreted).
+    compiled_procs: u64,
     /// Steps/sec under the original global fixpoint.
     fixpoint_cps: f64,
     /// Steps/sec under the levelized dirty-set sweep.
     levelized_cps: f64,
+    /// Steps/sec under the compiled word-level VM.
+    compiled_cps: f64,
     /// levelized_cps / fixpoint_cps.
-    speedup: f64,
+    speedup_levelized: f64,
+    /// compiled_cps / levelized_cps.
+    speedup_compiled: f64,
 }
 
 fn throughput(design: &Arc<Design>, mode: SettleMode, cycles: u64) -> f64 {
@@ -52,9 +65,34 @@ fn throughput(design: &Arc<Design>, mode: SettleMode, cycles: u64) -> f64 {
     cycles as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Prior row-sets to carry forward: whatever `results/BENCH_sim.json`
+/// currently holds — a bare row array from before the compiled kernel,
+/// or a `{rows, history}` object from this format — flattened into a
+/// single chronological list of row-sets.
+fn load_history() -> Vec<Value> {
+    let mut history = Vec::new();
+    if let Ok(text) = std::fs::read_to_string("results/BENCH_sim.json") {
+        if let Ok(v) = serde_json::from_str::<Value>(&text) {
+            match v {
+                Value::Array(_) => history.push(v),
+                Value::Object(_) => {
+                    if let Ok(Value::Array(h)) = v.field("history") {
+                        history.extend(h.iter().cloned());
+                    }
+                    if let Ok(rows) = v.field("rows") {
+                        history.push(rows.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    history
+}
+
 fn main() {
-    let cycles: u64 = parse_bench_args().pos(0, 20_000);
-    let mut rows = Vec::new();
+    let args = parse_bench_args();
+    let cycles: u64 = args.pos(0, 20_000);
     let procs = processor_benchmarks();
     let bugs = bug_benchmarks();
     let designs: Vec<(String, Arc<Design>)> = procs
@@ -65,40 +103,84 @@ fn main() {
                 .map(|b| (b.name.to_string(), b.design().expect("elaborates"))),
         )
         .collect();
-    println!("# Simulator scheduling A/B — {cycles} cycles per run\n");
-    println!("| Design | comb procs | cyclic units | fixpoint cyc/s | levelized cyc/s | speedup |");
-    println!("|---|---|---|---|---|---|");
+
+    if let Some(policy) = args.settle_mode {
+        // Single-engine profiling mode: no speedups, no JSON.
+        println!(
+            "# Simulator throughput — `{}` engine, {cycles} cycles per run\n",
+            policy.name()
+        );
+        println!("| Design | cyc/s |");
+        println!("|---|---|");
+        for (name, design) in &designs {
+            let cps = throughput(design, policy.to_mode(), cycles);
+            println!("| {name} | {cps:.0} |");
+        }
+        return;
+    }
+
+    let mut rows = Vec::new();
+    println!("# Simulator settle-engine A/B/C — {cycles} cycles per run\n");
+    println!(
+        "| Design | comb procs | compiled procs | fixpoint cyc/s | levelized cyc/s \
+         | compiled cyc/s | lev/fix | cmp/lev |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     for (name, design) in &designs {
-        let sched = Simulator::new(Arc::clone(design)).schedule().clone();
+        let sim = Simulator::new(Arc::clone(design));
+        let sched = sim.schedule().clone();
+        let compiled_procs = sim.compile_stats().compiled as u64;
+        drop(sim);
         let fixpoint_cps = throughput(design, SettleMode::Fixpoint, cycles);
         let levelized_cps = throughput(design, SettleMode::Levelized, cycles);
+        let compiled_cps = throughput(design, SettleMode::Compiled, cycles);
         let row = SimBenchRow {
             design: name.clone(),
             cycles,
             comb_procs: sched.comb_procs() as u64,
             cyclic_units: sched.cyclic_units as u64,
+            compiled_procs,
             fixpoint_cps,
             levelized_cps,
-            speedup: levelized_cps / fixpoint_cps,
+            compiled_cps,
+            speedup_levelized: levelized_cps / fixpoint_cps,
+            speedup_compiled: compiled_cps / levelized_cps,
         };
         println!(
-            "| {} | {} | {} | {:.0} | {:.0} | {:.2}× |",
+            "| {} | {} | {} | {:.0} | {:.0} | {:.0} | {:.2}× | {:.2}× |",
             row.design,
             row.comb_procs,
-            row.cyclic_units,
+            row.compiled_procs,
             row.fixpoint_cps,
             row.levelized_cps,
-            row.speedup
+            row.compiled_cps,
+            row.speedup_levelized,
+            row.speedup_compiled
         );
         rows.push(row);
     }
-    let best = rows
-        .iter()
-        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
-        .expect("at least one design");
+    let geomean =
+        (rows.iter().map(|r| r.speedup_compiled.ln()).sum::<f64>() / rows.len() as f64).exp();
     println!(
-        "\nbest speedup: {:.2}× on `{}` (acceptance: ≥2× on at least one processor design)",
-        best.speedup, best.design
+        "\ngeomean compiled/levelized speedup: {geomean:.2}× across {} designs \
+         (acceptance: ≥3× on ibex_like and cva6_like)",
+        rows.len()
     );
-    save_json("BENCH_sim", &rows).expect("write results/BENCH_sim.json");
+    for want in ["ibex_like", "cva6_like"] {
+        if let Some(r) = rows.iter().find(|r| r.design == want) {
+            println!(
+                "  {want}: {:.2}× compiled over levelized ({:.0} → {:.0} cyc/s)",
+                r.speedup_compiled, r.levelized_cps, r.compiled_cps
+            );
+        }
+    }
+    let out = Value::Object(vec![
+        ("rows".into(), rows.to_value()),
+        (
+            "geomean_compiled_over_levelized".into(),
+            Value::Num(geomean),
+        ),
+        ("history".into(), Value::Array(load_history())),
+    ]);
+    save_json("BENCH_sim", &out).expect("write results/BENCH_sim.json");
 }

@@ -1,6 +1,7 @@
 //! Renders a `--trace-out` JSONL campaign trace: validates every
 //! record against the telemetry schema, then prints a per-phase time
-//! table and the coverage/stagnation/bug timeline.
+//! table, the compiled-settle fast-path hit rate (when the trace has
+//! `Metrics` records) and the coverage/stagnation/bug timeline.
 //!
 //! Usage: `tracedump <trace.jsonl> [--check] [--json]`
 //!
@@ -10,7 +11,7 @@
 //! syntax violation exits non-zero in every mode.
 
 use std::process::ExitCode;
-use symbfuzz_bench::trace::{parse_trace, phase_table, timeline, to_json_lines};
+use symbfuzz_bench::trace::{parse_trace, phase_table, settle_mix_table, timeline, to_json_lines};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +50,11 @@ fn main() -> ExitCode {
     );
     println!("## Phase breakdown\n");
     println!("{}", phase_table(&records));
+    let mix = settle_mix_table(&records);
+    if !mix.is_empty() {
+        println!("## Compiled-settle fast path\n");
+        println!("{mix}");
+    }
     println!("## Timeline\n");
     print!("{}", timeline(&records));
     ExitCode::SUCCESS

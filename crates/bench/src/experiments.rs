@@ -13,7 +13,9 @@ use std::io::{self, BufWriter};
 use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
-use symbfuzz_core::{CampaignResult, CoverageSample, FuzzConfig, PropertySpec, Strategy, SymbFuzz};
+use symbfuzz_core::{
+    CampaignResult, CoverageSample, FuzzConfig, PropertySpec, SettlePolicy, Strategy, SymbFuzz,
+};
 use symbfuzz_designs::{bug_benchmarks, processor_benchmarks, Benchmark};
 use symbfuzz_netlist::{classify_registers, Design, DesignStats};
 use symbfuzz_symexec::SymbolicEngine;
@@ -59,6 +61,23 @@ pub fn solver_budget() -> (Option<u64>, Option<u64>) {
     SOLVER_BUDGET.get().copied().unwrap_or((None, None))
 }
 
+/// The process-global settle engine, set once by `--settle-mode`.
+static SETTLE_POLICY: OnceLock<SettlePolicy> = OnceLock::new();
+
+/// Selects the combinational settle engine every subsequent campaign
+/// in this process simulates with. First call wins; later calls are
+/// no-ops. Campaign reports are identical under every policy (see the
+/// `sched_equiv` suite), so this is a performance knob, not a
+/// semantics knob.
+pub fn set_settle_policy(policy: SettlePolicy) {
+    let _ = SETTLE_POLICY.set(policy);
+}
+
+/// The active settle engine ([`SettlePolicy::Compiled`] when unset).
+pub fn settle_policy() -> SettlePolicy {
+    SETTLE_POLICY.get().copied().unwrap_or_default()
+}
+
 /// The shared campaign configuration: the experiments' historical
 /// interval/threshold choices plus whatever global solver budget
 /// [`set_solver_budget`] installed, validated by the builder.
@@ -68,7 +87,8 @@ fn campaign_config(budget: u64, seed: u64) -> FuzzConfig {
         .interval(100)
         .threshold(2)
         .max_vectors(budget)
-        .seed(seed);
+        .seed(seed)
+        .settle_policy(settle_policy());
     if let Some(c) = conflicts {
         b = b.solver_budget(c);
     }
@@ -116,6 +136,10 @@ fn run(
         SymbFuzz::new(design, strategy, config, props).expect("properties must compile");
     attach_telemetry(&mut fuzzer, task);
     let result = fuzzer.run();
+    // One summary record per campaign with the settle-engine mix so
+    // `tracedump` can report the fast-path hit rate (no-op when the
+    // collector has no sink, i.e. tracing is off).
+    fuzzer.telemetry().emit_settle_metrics();
     fuzzer.telemetry().flush();
     result
 }

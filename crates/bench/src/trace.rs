@@ -230,6 +230,10 @@ pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
 /// Kind of the synthetic per-span records the collector emits.
 pub const PHASE_KIND: &str = "Phase";
 
+/// Kind of the once-per-campaign settle-engine summary record
+/// (`Collector::emit_settle_metrics`).
+pub const METRICS_KIND: &str = "Metrics";
+
 /// The `(field, expected type)` schema of each record kind, beyond the
 /// common `t`/`task`/`kind` header. A `checkpoint` may be number or
 /// null; `solve_result` and `phase` are closed string enums checked
@@ -278,6 +282,12 @@ fn kind_schema(kind: &str) -> Option<&'static [(&'static str, &'static str)]> {
             ("propagations", "number"),
         ]),
         PHASE_KIND => Some(&[("phase", "string"), ("micros", "number")]),
+        METRICS_KIND => Some(&[
+            ("settle_fast_path", "number"),
+            ("settle_escapes", "number"),
+            ("x_island_cones", "number"),
+            ("settle_sweeps", "number"),
+        ]),
         _ => None,
     }
 }
@@ -314,7 +324,7 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
         v => return Err(format!("`kind` must be a string, got {}", v.type_name())),
     };
     let schema = kind_schema(&kind).ok_or(format!(
-        "unknown kind `{kind}` (expected one of {:?} or `{PHASE_KIND}`)",
+        "unknown kind `{kind}` (expected one of {:?}, `{PHASE_KIND}` or `{METRICS_KIND}`)",
         Event::KINDS
     ))?;
     if fields.len() != schema.len() {
@@ -420,6 +430,52 @@ pub fn phase_table(records: &[TraceRecord]) -> String {
         "| **total** | {} | {} | 100.0% |\n",
         count.iter().sum::<u64>(),
         fmt_micros(total)
+    ));
+    out
+}
+
+/// Renders the compiled-settle engine mix: per-task fast-path vs
+/// escaped process executions from the once-per-campaign `Metrics`
+/// records, with the hit rate the fast path achieved, plus a totals
+/// row. Empty when the trace predates the compiled kernel (no
+/// `Metrics` records).
+pub fn settle_mix_table(records: &[TraceRecord]) -> String {
+    let metrics: Vec<&TraceRecord> = records.iter().filter(|r| r.kind == METRICS_KIND).collect();
+    if metrics.is_empty() {
+        return String::new();
+    }
+    let rate = |fast: u64, escapes: u64| -> String {
+        let total = fast + escapes;
+        if total == 0 {
+            "-".into()
+        } else {
+            format!("{:.1}%", 100.0 * fast as f64 / total as f64)
+        }
+    };
+    let mut out = String::from(
+        "| task | fast path | escapes | hit rate | max X-island | sweeps |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    let (mut tf, mut te, mut ti, mut ts) = (0u64, 0u64, 0u64, 0u64);
+    for r in &metrics {
+        let (fast, escapes) = (r.num("settle_fast_path"), r.num("settle_escapes"));
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            r.task,
+            fast,
+            escapes,
+            rate(fast, escapes),
+            r.num("x_island_cones"),
+            r.num("settle_sweeps"),
+        ));
+        tf += fast;
+        te += escapes;
+        ti = ti.max(r.num("x_island_cones"));
+        ts += r.num("settle_sweeps");
+    }
+    out.push_str(&format!(
+        "| **all** | {tf} | {te} | {} | {ti} | {ts} |\n",
+        rate(tf, te)
     ));
     out
 }
@@ -714,6 +770,36 @@ mod tests {
             table.contains("| **total** | 3 | 100µs | 100.0% |"),
             "{table}"
         );
+    }
+
+    #[test]
+    fn metrics_records_validate_and_render_hit_rate() {
+        // The exact shape `Collector::emit_settle_metrics` writes.
+        let text = "\
+{\"t\":1,\"task\":0,\"kind\":\"Metrics\",\"settle_fast_path\":75,\"settle_escapes\":25,\
+\"x_island_cones\":3,\"settle_sweeps\":100}
+{\"t\":2,\"task\":1,\"kind\":\"Metrics\",\"settle_fast_path\":0,\"settle_escapes\":0,\
+\"x_island_cones\":0,\"settle_sweeps\":0}
+";
+        let recs = parse_trace(text).unwrap();
+        let table = settle_mix_table(&recs);
+        assert!(
+            table.contains("| 0 | 75 | 25 | 75.0% | 3 | 100 |"),
+            "{table}"
+        );
+        assert!(table.contains("| 1 | 0 | 0 | - | 0 | 0 |"), "{table}");
+        assert!(
+            table.contains("| **all** | 75 | 25 | 75.0% | 3 | 100 |"),
+            "{table}"
+        );
+        // Canonical re-serialization round-trips.
+        assert_eq!(to_json_lines(&recs), text);
+        // Missing fields are a schema violation.
+        assert!(
+            parse_line("{\"t\":1,\"task\":0,\"kind\":\"Metrics\",\"settle_fast_path\":1}").is_err()
+        );
+        // Traces without Metrics records render nothing.
+        assert_eq!(settle_mix_table(&[]), "");
     }
 
     #[test]

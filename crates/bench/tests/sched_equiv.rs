@@ -1,16 +1,19 @@
-//! A/B equivalence of the levelized scheduler against the global
-//! fixpoint, exercised on every design shipped in `crates/designs`.
+//! Three-way A/B/C equivalence of the settle engines — compiled
+//! bytecode VM vs levelized sweep vs global fixpoint — exercised on
+//! every design shipped in `crates/designs`.
 //!
-//! The levelized single sweep is only an optimisation if it is
-//! *observably identical* to the fixpoint it replaces: same signal
-//! values every cycle (including X-propagation from the all-X power-up
-//! state, with no reset applied), same set of exercised branch
-//! outcomes, same campaign coverage series, and the same `CombLoop`
-//! error on genuinely cyclic designs.
+//! The levelized sweep and the compiled word-level VM are only
+//! optimisations if they are *observably identical* to the fixpoint
+//! they replace: same signal values every cycle (including
+//! X-propagation from the all-X power-up state, with no reset
+//! applied — the compiled VM must escape to the four-state interpreter
+//! for exactly those cones), same set of exercised branch outcomes,
+//! same campaign coverage series, and the same `CombLoop` error on
+//! genuinely cyclic designs.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use symbfuzz_core::{FuzzConfig, Strategy, SymbFuzz};
+use symbfuzz_core::{FuzzConfig, SettlePolicy, Strategy, SymbFuzz};
 use symbfuzz_designs::{bug_benchmarks, processor_benchmarks};
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{elaborate_src, BranchId, Design};
@@ -44,68 +47,99 @@ fn toggled_set(sim: &Simulator) -> BTreeSet<(usize, usize)> {
     set
 }
 
-/// Runs a levelized and a fixpoint simulator in lockstep on one design
-/// and asserts bit-identical signal values at every observation point.
+/// Runs compiled, levelized and fixpoint simulators in lockstep on one
+/// design and asserts bit-identical signal values at every observation
+/// point.
 fn assert_lockstep(design: &Arc<Design>, name: &str, cycles: u32) {
+    let mut cmp = Simulator::new(Arc::clone(design));
+    assert_eq!(cmp.settle_mode(), SettleMode::Compiled);
     let mut lev = Simulator::new(Arc::clone(design));
-    assert_eq!(lev.settle_mode(), SettleMode::Levelized);
+    lev.set_settle_mode(SettleMode::Levelized);
     let mut fix = Simulator::new(Arc::clone(design));
     fix.set_settle_mode(SettleMode::Fixpoint);
     fix.settle().expect("acyclic design settles under fixpoint");
+    lev.settle().expect("acyclic design settles levelized");
     assert_eq!(
-        lev.values(),
+        cmp.values(),
         fix.values(),
-        "{name}: initial all-X settle differs"
+        "{name}: initial all-X settle differs (compiled vs fixpoint)"
     );
+    assert_eq!(lev.values(), fix.values(), "{name}: initial all-X settle");
+
+    let check = |cmp: &Simulator, lev: &Simulator, fix: &Simulator, what: &str| {
+        assert_eq!(
+            cmp.values(),
+            fix.values(),
+            "{name}: {what} (compiled vs fixpoint)"
+        );
+        assert_eq!(
+            lev.values(),
+            fix.values(),
+            "{name}: {what} (levelized vs fixpoint)"
+        );
+    };
 
     // X-propagation phase: clock the un-reset design so register Xes
-    // flow through the combinational logic in both schedulers.
+    // flow through the combinational logic in all three engines (the
+    // compiled VM escapes per cone here).
     for c in 0..4 {
+        cmp.step();
         lev.step();
         fix.step();
-        assert_eq!(lev.values(), fix.values(), "{name}: un-reset cycle {c}");
+        check(&cmp, &lev, &fix, &format!("un-reset cycle {c}"));
     }
 
+    cmp.reset(2);
     lev.reset(2);
     fix.reset(2);
-    assert_eq!(lev.values(), fix.values(), "{name}: post-reset state");
+    check(&cmp, &lev, &fix, "post-reset state");
 
     let width = design.fuzz_width();
     let mut state = 0x5EED_0BAD ^ name.len() as u64;
     let mut snaps = None;
     for c in 0..cycles {
         let word = next_word(width, &mut state);
+        cmp.apply_input_word(&word);
         lev.apply_input_word(&word);
         fix.apply_input_word(&word);
+        cmp.step();
         lev.step();
         fix.step();
-        assert_eq!(lev.values(), fix.values(), "{name}: cycle {c}");
+        check(&cmp, &lev, &fix, &format!("cycle {c}"));
         if c == cycles / 2 {
-            snaps = Some((lev.snapshot(), fix.snapshot()));
+            snaps = Some((cmp.snapshot(), lev.snapshot(), fix.snapshot()));
         }
     }
 
     // Restore the mid-run checkpoints and diverge identically again.
-    let (ls, fs) = snaps.expect("snapshot taken");
+    let (cs, ls, fs) = snaps.expect("snapshot taken");
+    cmp.restore(&cs);
     lev.restore(&ls);
     fix.restore(&fs);
     for c in 0..8 {
         let word = next_word(width, &mut state);
+        cmp.apply_input_word(&word);
         lev.apply_input_word(&word);
         fix.apply_input_word(&word);
+        cmp.step();
         lev.step();
         fix.step();
-        assert_eq!(lev.values(), fix.values(), "{name}: post-restore cycle {c}");
+        check(&cmp, &lev, &fix, &format!("post-restore cycle {c}"));
     }
 
     // Branch-outcome parity: the fixpoint re-executes settled processes
     // while iterating, so raw hit *counters* legitimately differ, but
-    // every outcome the single sweep exercises must also be exercised
-    // by the fixpoint and vice versa.
+    // every outcome any engine exercises must be exercised by all.
+    let toggled = toggled_set(&fix);
+    assert_eq!(
+        toggled_set(&cmp),
+        toggled,
+        "{name}: toggled sets differ (compiled vs fixpoint)"
+    );
     assert_eq!(
         toggled_set(&lev),
-        toggled_set(&fix),
-        "{name}: toggled branch-outcome sets differ"
+        toggled,
+        "{name}: toggled sets differ (levelized vs fixpoint)"
     );
 }
 
@@ -131,7 +165,7 @@ fn processor_designs_match_fixpoint_bit_for_bit() {
 }
 
 #[test]
-fn comb_loop_reported_under_both_modes() {
+fn comb_loop_reported_under_all_modes() {
     let design = Arc::new(
         elaborate_src(
             "module m(input a, output y);
@@ -143,7 +177,11 @@ fn comb_loop_reported_under_both_modes() {
         )
         .unwrap(),
     );
-    for mode in [SettleMode::Levelized, SettleMode::Fixpoint] {
+    for mode in [
+        SettleMode::Compiled,
+        SettleMode::Levelized,
+        SettleMode::Fixpoint,
+    ] {
         let mut s = Simulator::new(Arc::clone(&design));
         s.set_settle_mode(mode);
         let a = s.design().signal_by_name("a").unwrap();
@@ -155,35 +193,65 @@ fn comb_loop_reported_under_both_modes() {
     }
 }
 
-/// Full-campaign A/B: the fuzzer observes signal values and toggled
+/// Full-campaign A/B/C: the fuzzer observes signal values and toggled
 /// outcomes, so a whole campaign — coverage series included — must be
-/// identical under either settling strategy.
+/// identical under every settling strategy, for every fuzzing
+/// strategy.
+///
+/// The only sanctioned divergence is the settle-engine's own
+/// telemetry: `settle_fast_path` / `settle_escapes` counters and the
+/// `x_island_cones` gauge describe *how* the engine settled, not what
+/// the design did, so they are zeroed before comparison (the same
+/// carve-out the once-per-settle `settle_sweeps` invariant covers by
+/// construction).
 #[test]
 fn campaign_coverage_series_match_across_modes() {
-    let run = |levelized: bool, design: &Arc<Design>, props: &[_], strategy| {
+    let run = |policy: SettlePolicy, design: &Arc<Design>, props: &[_], strategy| {
         let config = FuzzConfig {
             interval: 100,
             threshold: 2,
             max_vectors: 2_000,
             seed: 0xAB,
-            use_levelized_settle: levelized,
+            settle_policy: policy,
             ..FuzzConfig::default()
         };
         let mut fuzzer =
             SymbFuzz::new(Arc::clone(design), strategy, config, props).expect("properties compile");
-        fuzzer.run()
+        let mut result = fuzzer.run();
+        for (name, v) in result
+            .telemetry
+            .counters
+            .iter_mut()
+            .chain(result.telemetry.gauges.iter_mut())
+        {
+            if matches!(
+                name.as_str(),
+                "settle_fast_path" | "settle_escapes" | "x_island_cones"
+            ) {
+                *v = 0;
+            }
+        }
+        result
     };
     let procs = processor_benchmarks();
     let b = &procs[0];
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
     for strategy in Strategy::all() {
-        let lev = run(true, &design, &props, strategy);
-        let fix = run(false, &design, &props, strategy);
+        let cmp = run(SettlePolicy::Compiled, &design, &props, strategy);
+        let lev = run(SettlePolicy::Levelized, &design, &props, strategy);
+        let fix = run(SettlePolicy::Fixpoint, &design, &props, strategy);
+        let cmp_json = serde_json::to_string(&cmp).unwrap();
         assert_eq!(
+            cmp_json,
             serde_json::to_string(&lev).unwrap(),
+            "campaign diverged compiled vs levelized for {}",
+            strategy.name()
+        );
+        assert_eq!(
+            cmp_json,
             serde_json::to_string(&fix).unwrap(),
-            "campaign diverged between settle modes for {}",
+            "campaign diverged compiled vs fixpoint for {}",
             strategy.name()
         );
     }

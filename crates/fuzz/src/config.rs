@@ -1,6 +1,62 @@
 //! Fuzzing configuration and strategy selection.
 
 use serde::{Deserialize, Serialize};
+use symbfuzz_sim::SettleMode;
+
+/// Which combinational-settle engine a campaign simulates with. All
+/// three produce bit-identical values, toggles and campaign reports —
+/// this is a performance knob and the A/B control for the
+/// scheduler-equivalence experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SettlePolicy {
+    /// Global fixpoint over every combinational process (original).
+    Fixpoint,
+    /// Levelized single sweep with dirty-set unit skipping (PR 1).
+    Levelized,
+    /// Word-level bytecode VM with the packed two-state fast path,
+    /// escaping per cone on live X/Z (the default).
+    #[default]
+    Compiled,
+}
+
+impl SettlePolicy {
+    /// The simulator mode this policy selects.
+    pub fn to_mode(self) -> SettleMode {
+        match self {
+            SettlePolicy::Fixpoint => SettleMode::Fixpoint,
+            SettlePolicy::Levelized => SettleMode::Levelized,
+            SettlePolicy::Compiled => SettleMode::Compiled,
+        }
+    }
+
+    /// Stable lowercase name (CLI flag values, report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            SettlePolicy::Fixpoint => "fixpoint",
+            SettlePolicy::Levelized => "levelized",
+            SettlePolicy::Compiled => "compiled",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    pub fn parse(s: &str) -> Option<SettlePolicy> {
+        match s {
+            "fixpoint" => Some(SettlePolicy::Fixpoint),
+            "levelized" => Some(SettlePolicy::Levelized),
+            "compiled" => Some(SettlePolicy::Compiled),
+            _ => None,
+        }
+    }
+
+    /// All policies in benchmark-table order.
+    pub fn all() -> [SettlePolicy; 3] {
+        [
+            SettlePolicy::Fixpoint,
+            SettlePolicy::Levelized,
+            SettlePolicy::Compiled,
+        ]
+    }
+}
 
 /// Which fuzzing algorithm drives the campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -82,10 +138,9 @@ pub struct FuzzConfig {
     /// Ablation: disable the SMT-guided mutation entirely (stagnation
     /// is ignored; exploration stays purely random).
     pub use_solver: bool,
-    /// Settle combinational logic with the levelized single-sweep
-    /// scheduler (`false` falls back to the global fixpoint — the A/B
-    /// control for scheduler-equivalence experiments).
-    pub use_levelized_settle: bool,
+    /// Which combinational-settle engine to simulate with (defaults to
+    /// the compiled bytecode VM; all policies are value-equivalent).
+    pub settle_policy: SettlePolicy,
     /// Conflict budget per symbolic solve (`None` = unlimited). When
     /// set, exhausted solves degrade to random mutation instead of
     /// stalling the campaign.
@@ -114,7 +169,7 @@ impl Default for FuzzConfig {
             testcase_len: 32,
             use_checkpoints: true,
             use_solver: true,
-            use_levelized_settle: true,
+            settle_policy: SettlePolicy::default(),
             solver_budget: None,
             solve_wall_ms: None,
             escalation_cap: 3,
@@ -266,8 +321,8 @@ impl FuzzConfigBuilder {
         use_solver: bool
     );
     setter!(
-        /// Use the levelized combinational scheduler.
-        use_levelized_settle: bool
+        /// Select the combinational-settle engine.
+        settle_policy: SettlePolicy
     );
     setter!(
         /// Budget-escalation cap (levels of doubling).

@@ -13,7 +13,7 @@ use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{classify_registers, Design, SignalId};
 use symbfuzz_props::{PropError, Property, PropertyChecker};
 use symbfuzz_ruvm::{Driver, SequenceItem, Sequencer};
-use symbfuzz_sim::{SettleMode, Simulator, Snapshot};
+use symbfuzz_sim::{Simulator, Snapshot};
 use symbfuzz_smt::Budget;
 use symbfuzz_symexec::{ReachOutcome, SymbolicEngine};
 use symbfuzz_telemetry::{Collector, Counter, Event, Gauge, Mechanism, Phase, SolveStatus};
@@ -129,11 +129,7 @@ impl SymbFuzz {
         let telemetry = Arc::new(Collector::deterministic());
         let mut sim = Simulator::new(Arc::clone(&design));
         sim.set_collector(Some(Arc::clone(&telemetry)));
-        sim.set_settle_mode(if config.use_levelized_settle {
-            SettleMode::Levelized
-        } else {
-            SettleMode::Fixpoint
-        });
+        sim.set_settle_mode(config.settle_policy.to_mode());
         sim.reset(config.reset_cycles);
         let granularity = match strategy {
             Strategy::RFuzz => Granularity::Bit,

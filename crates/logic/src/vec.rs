@@ -181,6 +181,68 @@ impl LogicVec {
         v & !u
     }
 
+    /// The low word of the value plane, raw. For a vector of width
+    /// ≤ 64 with [`unk_word`](Self::unk_word) zero this *is* the
+    /// two-state value — the packed view the compiled simulation
+    /// kernel computes on directly.
+    #[inline]
+    pub fn word(&self) -> u64 {
+        self.val.first().copied().unwrap_or(0)
+    }
+
+    /// The low word of the unknown plane. Zero means the low 64 bits
+    /// are fully two-state (no `X`/`Z`).
+    #[inline]
+    pub fn unk_word(&self) -> u64 {
+        self.unk.first().copied().unwrap_or(0)
+    }
+
+    /// Overwrites the low word of both planes in place, masking both
+    /// to the vector width. Intended for vectors of width ≤ 64 (wider
+    /// vectors would keep their upper words untouched).
+    #[inline]
+    pub fn set_word(&mut self, val: u64, unk: u64) {
+        debug_assert!(self.width <= 64, "set_word on a {}-bit vector", self.width);
+        let m = top_mask(self.width.min(64));
+        if let Some(v) = self.val.first_mut() {
+            *v = val & m;
+        }
+        if let Some(u) = self.unk.first_mut() {
+            *u = unk & m;
+        }
+    }
+
+    /// Extracts up to 64 bits of both planes starting at `lo` as packed
+    /// words `(val, unk)` — the allocation-free equivalent of
+    /// `slice(lo, width)` for word-sized spans, crossing storage-word
+    /// boundaries as needed.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `width <= 64` and `lo + width <= self.width`.
+    #[inline]
+    pub fn extract_word(&self, lo: u32, width: u32) -> (u64, u64) {
+        debug_assert!((1..=64).contains(&width), "extract_word of {width} bits");
+        debug_assert!(
+            lo + width <= self.width,
+            "extract_word [{lo}+:{width}] out of range 0..{}",
+            self.width
+        );
+        let wi = (lo / 64) as usize;
+        let sh = lo % 64;
+        let m = top_mask(width);
+        let grab = |plane: &[u64]| {
+            let low = plane.get(wi).copied().unwrap_or(0) >> sh;
+            let high = if sh == 0 {
+                0
+            } else {
+                plane.get(wi + 1).copied().unwrap_or(0) << (64 - sh)
+            };
+            (low | high) & m
+        };
+        (grab(&self.val), grab(&self.unk))
+    }
+
     /// Iterates over bits LSB-first.
     pub fn iter_bits(&self) -> impl Iterator<Item = Bit> + '_ {
         (0..self.width).map(|i| self.bit(i))
@@ -721,6 +783,57 @@ mod tests {
         let amt = LogicVec::from_u64(3, 2);
         assert_eq!(v.shl_vec(&amt).to_u64(), Some(0b0011_0100));
         assert!(v.shl_vec(&LogicVec::xes(3)).has_unknown());
+    }
+
+    #[test]
+    fn packed_word_views_round_trip() {
+        let mut v = LogicVec::from_u64(12, 0xABC);
+        assert_eq!(v.word(), 0xABC);
+        assert_eq!(v.unk_word(), 0);
+        v.set_word(0xFFFF, 0);
+        // Both planes are masked to the declared width.
+        assert_eq!(v.word(), 0xFFF);
+        assert_eq!(v.to_u64(), Some(0xFFF));
+        v.set_word(0x5, 0x3);
+        assert_eq!(v.unk_word(), 0x3);
+        assert!(v.has_unknown());
+        assert_eq!(v.bit(0), Bit::X); // val 1, unk 1
+        assert_eq!(v.bit(1), Bit::Z); // val 0, unk 1
+        assert_eq!(v.bit(2), Bit::One);
+        // The X power-up state is visible through the packed view.
+        let x = LogicVec::xes(8);
+        assert_eq!(x.unk_word(), 0xFF);
+        // Zero-width vectors have no words at all.
+        assert_eq!(LogicVec::zeros(0).word(), 0);
+    }
+
+    #[test]
+    fn extract_word_matches_slice() {
+        // A 130-bit vector with a recognizable pattern and an X span,
+        // so extractions cross both storage-word boundaries.
+        let mut v = LogicVec::zeros(130);
+        for i in 0..130 {
+            if i % 3 == 0 {
+                v.set_bit(i, Bit::One);
+            }
+            if (40..48).contains(&i) {
+                v.set_bit(i, Bit::X);
+            }
+        }
+        for (lo, w) in [
+            (0, 64),
+            (1, 64),
+            (37, 12),
+            (60, 10),
+            (63, 2),
+            (66, 64),
+            (128, 2),
+        ] {
+            let (val, unk) = v.extract_word(lo, w);
+            let s = v.slice(lo, w);
+            assert_eq!(val, s.word(), "val [{lo}+:{w}]");
+            assert_eq!(unk, s.unk_word(), "unk [{lo}+:{w}]");
+        }
     }
 
     #[test]

@@ -28,11 +28,15 @@
 //! ```
 
 mod analysis;
+mod compile;
 mod elab;
 mod ir;
 mod sched;
 
 pub use analysis::{classify_registers, reset_tree, DesignStats, RegClass, ResetTree};
+pub use compile::{
+    compile, word_mask, CompileOpts, CompileStats, CompiledDesign, Observability, Op, WordCode,
+};
 pub use elab::{elaborate, elaborate_src, ElabError};
 pub use ir::*;
 pub use sched::{comb_schedule, CombSchedule, SchedUnit};

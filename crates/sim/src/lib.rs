@@ -43,6 +43,7 @@
 mod simulator;
 mod vcd;
 mod vcd_read;
+mod vm;
 
 pub use simulator::{BranchOutcome, SettleMode, SimError, Simulator, Snapshot};
 pub use vcd::VcdWriter;

@@ -5,10 +5,11 @@ use std::sync::Arc;
 use symbfuzz_hdl::{BinaryOp, Edge, UnaryOp};
 use symbfuzz_logic::{Bit, LogicVec};
 use symbfuzz_netlist::{
-    comb_schedule, reset_tree, BranchId, CombSchedule, Design, NExpr, NLValue, NStmt, ProcKind,
-    ResetTree, SignalId, SignalKind,
+    comb_schedule, compile, reset_tree, word_mask, BranchId, CombSchedule, CompileOpts,
+    CompileStats, CompiledDesign, Design, NExpr, NLValue, NStmt, ProcKind, ResetTree, SignalId,
+    SignalKind, WordCode,
 };
-use symbfuzz_telemetry::{Collector, Counter};
+use symbfuzz_telemetry::{Collector, Counter, Gauge};
 
 /// How combinational logic is settled between clock edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,8 +21,15 @@ pub enum SettleMode {
     /// [`CombSchedule`], skipping units none of whose signals changed
     /// since the last settle. Cyclic units fall back to a local
     /// fixpoint, preserving [`SimError::CombLoop`] detection.
-    #[default]
     Levelized,
+    /// The levelized sweep, dispatching each process through its
+    /// compiled word-level bytecode ([`WordCode`]) whenever no X/Z bit
+    /// is live in the process's input cone — the packed two-state fast
+    /// path. Cones with live unknowns (X-islands), and processes the
+    /// lowering rejected, escape to the four-state interpreter per
+    /// process, so values stay bit-identical to the other modes.
+    #[default]
+    Compiled,
 }
 
 /// Error raised by simulator operations.
@@ -78,8 +86,10 @@ pub struct Simulator {
     design: Arc<Design>,
     rtree: ResetTree,
     sched: Arc<CombSchedule>,
+    /// Bytecode lowering of the design (see `crate::vm`).
+    compiled: Arc<CompiledDesign>,
     mode: SettleMode,
-    values: Vec<LogicVec>,
+    pub(crate) values: Vec<LogicVec>,
     cycle: u64,
     /// Hit counters per branch, indexed `[branch][outcome]`.
     branch_hits: Vec<Vec<u64>>,
@@ -93,7 +103,7 @@ pub struct Simulator {
     comb_unstable: bool,
     /// Per-signal "changed since last settle" flags driving the
     /// levelized sweep's unit skipping.
-    dirty: Vec<bool>,
+    pub(crate) dirty: Vec<bool>,
     /// Combinational process indices in declaration order (the
     /// fixpoint fallback's iteration order).
     comb_procs: Vec<u32>,
@@ -111,19 +121,34 @@ pub struct Simulator {
     scratch_before: Vec<LogicVec>,
     /// Scratch: pending non-blocking assigns.
     scratch_nba: Vec<Nba>,
+    /// Scratch: the compiled VM's word register file.
+    pub(crate) scratch_regs: Vec<u64>,
+    /// High-water mark of cones escaping the fast path in one settle.
+    x_island_hw: u64,
     /// Optional telemetry collector (steps, settles, snapshots).
     telemetry: Option<Arc<Collector>>,
 }
 
 /// Non-blocking assignment pending commit.
 #[derive(Debug, Clone)]
-struct Nba {
-    sig: SignalId,
-    lo: u32,
-    width: u32,
-    value: LogicVec,
+pub(crate) struct Nba {
+    pub(crate) sig: SignalId,
+    pub(crate) lo: u32,
+    pub(crate) width: u32,
+    pub(crate) value: NbaValue,
     /// Whole-signal X smear for unknown dynamic indices.
-    smear_x: bool,
+    pub(crate) smear_x: bool,
+}
+
+/// The pending value of an [`Nba`]: a full four-state vector from the
+/// interpreter, or a packed two-state word from the compiled VM (which
+/// only produces definite values, so the unknown plane is implicitly
+/// zero — and keeping it a bare `u64` keeps the VM's store path free
+/// of per-cycle allocations).
+#[derive(Debug, Clone)]
+pub(crate) enum NbaValue {
+    Vec(LogicVec),
+    Word(u64),
 }
 
 impl Simulator {
@@ -131,6 +156,12 @@ impl Simulator {
     /// (registers stay `X` until reset; combinational nets settle at the
     /// first evaluation).
     pub fn new(design: Arc<Design>) -> Simulator {
+        Simulator::with_compile_opts(design, CompileOpts::default())
+    }
+
+    /// Like [`new`](Self::new), with explicit bytecode-compilation
+    /// options (observability contract for dead-cone elimination).
+    pub fn with_compile_opts(design: Arc<Design>, opts: CompileOpts) -> Simulator {
         let values: Vec<LogicVec> = design
             .signals
             .iter()
@@ -143,6 +174,7 @@ impl Simulator {
             .collect();
         let rtree = reset_tree(&design);
         let sched = Arc::new(comb_schedule(&design));
+        let compiled = Arc::new(compile(&design, &sched, opts));
         let comb_procs = design
             .processes
             .iter()
@@ -187,6 +219,7 @@ impl Simulator {
             design,
             rtree,
             sched,
+            compiled,
             mode: SettleMode::default(),
             values,
             cycle: 0,
@@ -203,6 +236,8 @@ impl Simulator {
             prev_clock_bits,
             scratch_before: Vec::new(),
             scratch_nba: Vec::new(),
+            scratch_regs: Vec::new(),
+            x_island_hw: 0,
             telemetry: None,
         };
         let _ = sim.settle_comb();
@@ -213,9 +248,12 @@ impl Simulator {
     /// counts clock steps, settle sweeps and snapshot traffic on it.
     /// Settle sweeps are counted once per [`settle`](Self::settle)
     /// call regardless of [`SettleMode`], so telemetry is invariant
-    /// across settling strategies.
+    /// across settling strategies. The X-island high-water restarts
+    /// here so the `x_island_cones` gauge describes the observed
+    /// campaign, not the pre-attach power-up settle.
     pub fn set_collector(&mut self, telemetry: Option<Arc<Collector>>) {
         self.telemetry = telemetry;
+        self.x_island_hw = 0;
     }
 
     #[inline]
@@ -240,6 +278,12 @@ impl Simulator {
     /// The levelized schedule computed for this design.
     pub fn schedule(&self) -> &CombSchedule {
         &self.sched
+    }
+
+    /// Statistics from the bytecode lowering (processes compiled vs
+    /// rejected, constants folded, branches pruned, …).
+    pub fn compile_stats(&self) -> &CompileStats {
+        &self.compiled.stats
     }
 
     /// The design being simulated.
@@ -296,6 +340,17 @@ impl Simulator {
     pub fn apply_input_word(&mut self, word: &LogicVec) {
         for i in 0..self.input_layout.len() {
             let (sig, lo, w) = self.input_layout[i];
+            if w <= 64 {
+                // Packed fast path: extract both planes without
+                // allocating (zero-extension falls out of the masking).
+                let (val, unk) = if lo >= word.width() {
+                    (0, 0)
+                } else {
+                    word.extract_word(lo, w.min(word.width() - lo))
+                };
+                self.force_word(sig.index(), val, unk);
+                continue;
+            }
             let part = if lo >= word.width() {
                 LogicVec::zeros(w)
             } else {
@@ -345,6 +400,7 @@ impl Simulator {
         match self.mode {
             SettleMode::Fixpoint => self.comb_fixpoint(),
             SettleMode::Levelized => self.comb_levelized(),
+            SettleMode::Compiled => self.comb_compiled(),
         }
     }
 
@@ -397,6 +453,86 @@ impl Simulator {
         }
     }
 
+    /// The compiled sweep: identical unit walk (and skip rule) to
+    /// [`comb_levelized`](Self::comb_levelized), but each acyclic unit
+    /// dispatches through its word-level bytecode when its whole input
+    /// cone is two-state, escaping to the interpreter per cone
+    /// otherwise. Cyclic units always use the interpreter's local
+    /// fixpoint, preserving [`SimError::CombLoop`] detection.
+    fn comb_compiled(&mut self) -> Result<(), SimError> {
+        let design = Arc::clone(&self.design);
+        let sched = Arc::clone(&self.sched);
+        let compiled = Arc::clone(&self.compiled);
+        let mut failed = false;
+        let mut fast = 0u64;
+        let mut escaped = 0u64;
+        for unit in &sched.units {
+            if !unit.triggers.iter().any(|s| self.dirty[s.index()]) {
+                continue;
+            }
+            if unit.cyclic {
+                failed |= self.run_local_fixpoint(&design, &unit.procs).is_err();
+                continue;
+            }
+            let pi = unit.procs[0] as usize;
+            if compiled.dead[pi] {
+                continue;
+            }
+            let mut nba = std::mem::take(&mut self.scratch_nba);
+            match &compiled.procs[pi] {
+                Some(code) if self.cone_is_two_state(code) => {
+                    fast += 1;
+                    self.exec_wordcode(code, &mut nba);
+                }
+                _ => {
+                    escaped += 1;
+                    let p = &design.processes[pi];
+                    self.exec_stmt(&p.body, &mut nba, true);
+                }
+            }
+            self.commit_nbas(&mut nba);
+            self.scratch_nba = nba;
+        }
+        self.clear_dirty();
+        self.note_settle_mix(fast, escaped);
+        self.comb_unstable = failed;
+        if failed {
+            Err(SimError::CombLoop)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The per-cone X-island check: the fast path is sound only while
+    /// every signal the bytecode loads is free of X/Z bits (lowered
+    /// ops are two-state; stores then never introduce unknowns).
+    #[inline]
+    fn cone_is_two_state(&self, code: &WordCode) -> bool {
+        code.reads
+            .iter()
+            .all(|s| self.values[s.index()].unk_word() == 0)
+    }
+
+    /// Accumulated fast-path telemetry, flushed once per settle to keep
+    /// the counters off the per-cone hot path. The gauge tracks the
+    /// high-water escaped-cone count (the widest X-island seen).
+    fn note_settle_mix(&mut self, fast: u64, escaped: u64) {
+        if escaped > self.x_island_hw {
+            self.x_island_hw = escaped;
+            if let Some(t) = &self.telemetry {
+                t.set_gauge(Gauge::XIslandCones, escaped);
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            if fast > 0 {
+                t.add(Counter::SettleFastPath, fast);
+            }
+            if escaped > 0 {
+                t.add(Counter::SettleEscapes, escaped);
+            }
+        }
+    }
+
     /// Repeats the given processes, in order, until their outputs stop
     /// changing.
     ///
@@ -441,6 +577,18 @@ impl Simulator {
         }
     }
 
+    /// [`force_value`](Self::force_value) through the packed word view
+    /// — valid only for signals of width ≤ 64 (`val`/`unk` pre-masked
+    /// by the caller or masked here by `set_word`).
+    #[inline]
+    fn force_word(&mut self, idx: usize, val: u64, unk: u64) {
+        let cur = &self.values[idx];
+        if cur.word() != val || cur.unk_word() != unk {
+            self.values[idx].set_word(val, unk);
+            self.dirty[idx] = true;
+        }
+    }
+
     fn mark_all_dirty(&mut self) {
         self.dirty.fill(true);
     }
@@ -478,17 +626,24 @@ impl Simulator {
             };
         }
         let level = match edge {
-            Edge::Pos => LogicVec::from_u64(1, 1),
-            Edge::Neg => LogicVec::from_u64(1, 0),
+            Edge::Pos => 1,
+            Edge::Neg => 0,
         };
         for i in 0..self.clock_inputs.len() {
             let c = self.clock_inputs[i] as usize;
-            self.force_value(c, level.clone());
+            self.force_word(c, level, 0);
         }
         let _ = self.settle_comb();
 
         // Fire sequential processes whose clock saw the right edge.
+        // In compiled mode each register process goes through its
+        // bytecode when its input cone is two-state (non-blocking
+        // stores queue into the same NBA list, preserving commit
+        // order); X-island cones escape to the interpreter.
+        let compiled = Arc::clone(&self.compiled);
+        let use_compiled = self.mode == SettleMode::Compiled;
         let mut nba = std::mem::take(&mut self.scratch_nba);
+        let (mut fast, mut escaped) = (0u64, 0u64);
         for i in 0..self.seq_procs.len() {
             let (pidx, clk, clock_edge, _) = self.seq_procs[i];
             let prev = self.prev_clock_bits[i];
@@ -498,8 +653,28 @@ impl Simulator {
                 Edge::Neg => prev != Bit::Zero && now == Bit::Zero,
             };
             if fired {
+                if use_compiled {
+                    if let Some(code) = &compiled.procs[pidx as usize] {
+                        if self.cone_is_two_state(code) {
+                            fast += 1;
+                            self.exec_wordcode(code, &mut nba);
+                            continue;
+                        }
+                    }
+                    escaped += 1;
+                }
                 let p = &design.processes[pidx as usize];
                 self.exec_stmt(&p.body, &mut nba, false);
+            }
+        }
+        if use_compiled {
+            if let Some(t) = &self.telemetry {
+                if fast > 0 {
+                    t.add(Counter::SettleFastPath, fast);
+                }
+                if escaped > 0 {
+                    t.add(Counter::SettleEscapes, escaped);
+                }
             }
         }
         self.commit_nbas(&mut nba);
@@ -583,7 +758,7 @@ impl Simulator {
 
     // ---- execution ----------------------------------------------------------
 
-    fn record_branch(&mut self, branch: BranchId, outcome: u32) {
+    pub(crate) fn record_branch(&mut self, branch: BranchId, outcome: u32) {
         let hits = &mut self.branch_hits[branch.index()];
         let idx = (outcome as usize).min(hits.len() - 1);
         if hits[idx] == 0 {
@@ -657,7 +832,7 @@ impl Simulator {
                         sig,
                         lo,
                         width,
-                        value,
+                        value: NbaValue::Vec(value),
                         smear_x,
                     });
                     false
@@ -670,9 +845,31 @@ impl Simulator {
     fn commit_nbas(&mut self, nbas: &mut Vec<Nba>) -> bool {
         let mut changed = false;
         for n in nbas.drain(..) {
-            changed |= self.write(n.sig, n.lo, n.width, n.value, n.smear_x);
+            changed |= match n.value {
+                NbaValue::Vec(v) => self.write(n.sig, n.lo, n.width, v, n.smear_x),
+                NbaValue::Word(v) => self.write_word(n.sig, n.lo, n.width, v),
+            };
         }
         changed
+    }
+
+    /// Commits a compiled-VM non-blocking store: replaces `width` bits
+    /// at `lo` with the definite word `v`, clearing the span's unknown
+    /// plane. Only reachable for signals the compiler accepted, so the
+    /// whole signal fits one storage word.
+    fn write_word(&mut self, sig: SignalId, lo: u32, width: u32, v: u64) -> bool {
+        let idx = sig.index();
+        let m = word_mask(width) << lo;
+        let cur = &self.values[idx];
+        let nval = (cur.word() & !m) | (v << lo);
+        let nunk = cur.unk_word() & !m;
+        if cur.word() != nval || cur.unk_word() != nunk {
+            self.values[idx].set_word(nval, nunk);
+            self.dirty[idx] = true;
+            true
+        } else {
+            false
+        }
     }
 
     /// Resolves an lvalue to (signal, lo, width, smear-X) — smear-X set

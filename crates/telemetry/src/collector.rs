@@ -44,11 +44,17 @@ pub enum Counter {
     BudgetExhaustions,
     /// Solve goals skipped because the negative cache held them.
     NegCacheHits,
+    /// Compiled-settle cone executions that took the packed two-state
+    /// fast path (no X/Z bit live in the input cone).
+    SettleFastPath,
+    /// Compiled-settle cone executions that escaped to the four-state
+    /// interpreter (X-island live, or lowering rejected).
+    SettleEscapes,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// All counters in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -67,6 +73,8 @@ impl Counter {
         Counter::RingDropped,
         Counter::BudgetExhaustions,
         Counter::NegCacheHits,
+        Counter::SettleFastPath,
+        Counter::SettleEscapes,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -87,6 +95,8 @@ impl Counter {
             Counter::RingDropped => "ring_dropped",
             Counter::BudgetExhaustions => "budget_exhaustions",
             Counter::NegCacheHits => "neg_cache_hits",
+            Counter::SettleFastPath => "settle_fast_path",
+            Counter::SettleEscapes => "settle_escapes",
         }
     }
 
@@ -107,11 +117,14 @@ pub enum Gauge {
     CaseCorpus,
     /// Current budget-escalation level (0 = base budget).
     EscalationLevel,
+    /// High-water mark of cones that escaped the compiled two-state
+    /// fast path within a single settle (the X-island extent).
+    XIslandCones,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// All gauges in index order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -119,6 +132,7 @@ impl Gauge {
         Gauge::CorpusSeeds,
         Gauge::CaseCorpus,
         Gauge::EscalationLevel,
+        Gauge::XIslandCones,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -128,6 +142,7 @@ impl Gauge {
             Gauge::CorpusSeeds => "corpus_seeds",
             Gauge::CaseCorpus => "case_corpus",
             Gauge::EscalationLevel => "escalation_level",
+            Gauge::XIslandCones => "x_island_cones",
         }
     }
 
@@ -333,6 +348,27 @@ impl Collector {
     /// Reads a gauge.
     pub fn gauge(&self, g: Gauge) -> u64 {
         self.gauges[g.index()].load(Ordering::Relaxed)
+    }
+
+    /// Streams one `Metrics` summary record to the sink: the
+    /// compiled-settle fast-path counters alongside the settle-sweep
+    /// total, so `tracedump` can show the fast-path hit rate per
+    /// campaign. Call once at campaign end.
+    pub fn emit_settle_metrics(&self) {
+        let mut sink = self.sink.lock().unwrap();
+        if !sink.enabled() {
+            return;
+        }
+        let t = self.clock.now_micros();
+        let line = format!(
+            "{{\"t\":{t},\"task\":{},\"kind\":\"Metrics\",\"settle_fast_path\":{},\"settle_escapes\":{},\"x_island_cones\":{},\"settle_sweeps\":{}}}",
+            self.task.load(Ordering::Relaxed),
+            self.get(Counter::SettleFastPath),
+            self.get(Counter::SettleEscapes),
+            self.gauge(Gauge::XIslandCones),
+            self.get(Counter::SettleSweeps),
+        );
+        sink.write_line(&line);
     }
 
     /// Records an event: counts it, appends it to the bounded ring and
