@@ -17,7 +17,16 @@
 //! * `--settle-mode MODE` / `--settle-mode=MODE` — combinational
 //!   settling engine for every campaign (`fixpoint`, `levelized` or
 //!   `compiled`; default `compiled`) — see
-//!   [`crate::experiments::set_settle_policy`].
+//!   [`crate::experiments::set_settle_policy`];
+//! * `--sample-every N` / `--sample-every=N` — flight-recorder
+//!   sampling interval in vectors; enables the sampler and the
+//!   per-cone/per-goal profilers
+//!   (see [`crate::experiments::set_sampling`]);
+//! * `--flight-out PATH` / `--flight-out=PATH` — canonical merged
+//!   `flight.jsonl` destination (requires `--sample-every`);
+//! * `--status-out PATH` / `--status-out=PATH` — `status.json`
+//!   heartbeat destination, atomically rewritten and pollable mid-run
+//!   (requires `--sample-every`).
 
 use crate::pool::split_jobs;
 use std::path::PathBuf;
@@ -41,6 +50,12 @@ pub struct BenchArgs {
     pub solve_wall_ms: Option<u64>,
     /// Settle engine from `--settle-mode`, if any.
     pub settle_mode: Option<SettlePolicy>,
+    /// Flight-recorder interval (vectors) from `--sample-every`, if any.
+    pub sample_every: Option<u64>,
+    /// Merged flight-stream file from `--flight-out`, if any.
+    pub flight_out: Option<PathBuf>,
+    /// Status heartbeat file from `--status-out`, if any.
+    pub status_out: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -62,6 +77,9 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
     let mut solver_budget = None;
     let mut solve_wall_ms = None;
     let mut settle_mode = None;
+    let mut sample_every = None;
+    let mut flight_out = None;
+    let mut status_out = None;
     let mut passthrough = Vec::new();
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -94,6 +112,22 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
                 .or(settle_mode);
         } else if let Some(v) = a.strip_prefix("--settle-mode=") {
             settle_mode = SettlePolicy::parse(v).or(settle_mode);
+        } else if a == "--sample-every" {
+            sample_every = args.next().and_then(|v| v.parse().ok()).or(sample_every);
+        } else if let Some(v) = a.strip_prefix("--sample-every=") {
+            sample_every = v.parse().ok().or(sample_every);
+        } else if a == "--flight-out" {
+            if let Some(v) = args.next() {
+                flight_out = Some(PathBuf::from(v));
+            }
+        } else if let Some(v) = a.strip_prefix("--flight-out=") {
+            flight_out = Some(PathBuf::from(v));
+        } else if a == "--status-out" {
+            if let Some(v) = args.next() {
+                status_out = Some(PathBuf::from(v));
+            }
+        } else if let Some(v) = a.strip_prefix("--status-out=") {
+            status_out = Some(PathBuf::from(v));
         } else {
             passthrough.push(a);
         }
@@ -107,6 +141,9 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
         solver_budget,
         solve_wall_ms,
         settle_mode,
+        sample_every,
+        flight_out,
+        status_out,
     }
 }
 
@@ -127,6 +164,15 @@ pub fn parse_bench_args() -> BenchArgs {
     }
     if let Some(policy) = parsed.settle_mode {
         crate::experiments::set_settle_policy(policy);
+    }
+    if let Some(every) = parsed.sample_every {
+        crate::experiments::set_sampling(every);
+    }
+    if parsed.flight_out.is_some() || parsed.status_out.is_some() {
+        crate::experiments::set_flight_outputs(
+            parsed.flight_out.as_deref(),
+            parsed.status_out.as_deref(),
+        );
     }
     parsed
 }
@@ -194,6 +240,36 @@ mod tests {
         let d = split("--settle-mode warp");
         assert_eq!(d.settle_mode, None);
         assert!(split("42").settle_mode.is_none());
+    }
+
+    #[test]
+    fn extracts_flight_recorder_flags() {
+        let a = split("5000 --sample-every 250 --flight-out f.jsonl --status-out s.json -j 2");
+        assert_eq!(a.rest, vec!["5000".to_string()]);
+        assert_eq!(a.sample_every, Some(250));
+        assert_eq!(
+            a.flight_out.as_deref(),
+            Some(std::path::Path::new("f.jsonl"))
+        );
+        assert_eq!(
+            a.status_out.as_deref(),
+            Some(std::path::Path::new("s.json"))
+        );
+        let b = split("--sample-every=1000 --flight-out=r/f.jsonl --status-out=r/s.json");
+        assert_eq!(b.sample_every, Some(1000));
+        assert_eq!(
+            b.flight_out.as_deref(),
+            Some(std::path::Path::new("r/f.jsonl"))
+        );
+        assert_eq!(
+            b.status_out.as_deref(),
+            Some(std::path::Path::new("r/s.json"))
+        );
+        // Defaults and malformed intervals stay off.
+        let c = split("100");
+        assert_eq!(c.sample_every, None);
+        assert!(c.flight_out.is_none() && c.status_out.is_none());
+        assert_eq!(split("--sample-every often").sample_every, None);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Live campaign monitor over the flight-recorder artifacts.
+//!
+//! Reads the `status.json` heartbeat (atomically rewritten by the
+//! campaign, so polling mid-run is always safe) and the `flight.jsonl`
+//! sample stream, and renders a terminal dashboard: campaign headline,
+//! counters, phase self-times, the hottest simulation cones and the
+//! hardest solver goals.
+//!
+//! Usage: `monitor [--status PATH] [--flight PATH] [--once] [--json]
+//! [--check] [--prom-out PATH] [--interval-ms N] [--top K]`
+//!
+//! * default paths: `results/status.json`, `results/flight.jsonl`;
+//! * `--once` — render one snapshot and exit (default: poll forever
+//!   every `--interval-ms`, default 1000);
+//! * `--json` — with `--once`, emit the validated status heartbeat
+//!   plus a flight-stream summary as one JSON object;
+//! * `--check` — validate both artifacts against the flight schema and
+//!   exit; any violation (including an empty or truncated stream)
+//!   exits non-zero naming the first bad line;
+//! * `--prom-out PATH` — additionally write a Prometheus-style text
+//!   exposition of the heartbeat each refresh;
+//! * `--top K` — rows in the hot-cone / hardest-goal tables (default
+//!   10).
+
+use serde::Value;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use symbfuzz_bench::monitor::{check_flight, check_status, render_dashboard, render_prometheus};
+
+struct MonitorArgs {
+    status: PathBuf,
+    flight: PathBuf,
+    once: bool,
+    json: bool,
+    check: bool,
+    prom_out: Option<PathBuf>,
+    interval_ms: u64,
+    top: usize,
+}
+
+fn parse_args() -> Option<MonitorArgs> {
+    let mut out = MonitorArgs {
+        status: PathBuf::from("results/status.json"),
+        flight: PathBuf::from("results/flight.jsonl"),
+        once: false,
+        json: false,
+        check: false,
+        prom_out: None,
+        interval_ms: 1000,
+        top: 10,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        let mut value = |inline: Option<&str>| -> Option<String> {
+            inline.map(String::from).or_else(|| args.next())
+        };
+        if a == "--once" {
+            out.once = true;
+        } else if a == "--json" {
+            out.json = true;
+        } else if a == "--check" {
+            out.check = true;
+        } else if a == "--status" || a.starts_with("--status=") {
+            out.status = PathBuf::from(value(a.strip_prefix("--status="))?);
+        } else if a == "--flight" || a.starts_with("--flight=") {
+            out.flight = PathBuf::from(value(a.strip_prefix("--flight="))?);
+        } else if a == "--prom-out" || a.starts_with("--prom-out=") {
+            out.prom_out = Some(PathBuf::from(value(a.strip_prefix("--prom-out="))?));
+        } else if a == "--interval-ms" || a.starts_with("--interval-ms=") {
+            out.interval_ms = value(a.strip_prefix("--interval-ms="))?.parse().ok()?;
+        } else if a == "--top" || a.starts_with("--top=") {
+            out.top = value(a.strip_prefix("--top="))?.parse().ok()?;
+        } else {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+fn read_artifacts(args: &MonitorArgs) -> Result<(Value, Vec<Value>), String> {
+    let status_text = std::fs::read_to_string(&args.status)
+        .map_err(|e| format!("{}: {e}", args.status.display()))?;
+    let status =
+        check_status(&status_text).map_err(|e| format!("{}: {e}", args.status.display()))?;
+    let flight_text = std::fs::read_to_string(&args.flight)
+        .map_err(|e| format!("{}: {e}", args.flight.display()))?;
+    let flight =
+        check_flight(&flight_text).map_err(|e| format!("{}: {e}", args.flight.display()))?;
+    Ok((status, flight))
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        eprintln!(
+            "usage: monitor [--status PATH] [--flight PATH] [--once] [--json] [--check] \
+             [--prom-out PATH] [--interval-ms N] [--top K]"
+        );
+        return ExitCode::FAILURE;
+    };
+    if args.check {
+        return match read_artifacts(&args) {
+            Ok((_, flight)) => {
+                println!(
+                    "{}: schema OK; {}: {} samples, schema OK",
+                    args.status.display(),
+                    args.flight.display(),
+                    flight.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("monitor: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    loop {
+        match read_artifacts(&args) {
+            Ok((status, flight)) => {
+                if let Some(path) = &args.prom_out {
+                    if let Err(e) = std::fs::write(path, render_prometheus(&status)) {
+                        eprintln!("monitor: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if args.json {
+                    let last = flight.last().cloned().unwrap_or(Value::Null);
+                    let summary = Value::Object(vec![
+                        ("status".into(), status),
+                        (
+                            "flight".into(),
+                            Value::Object(vec![
+                                ("samples".into(), Value::Num(flight.len() as f64)),
+                                ("last".into(), last),
+                            ]),
+                        ),
+                    ]);
+                    println!("{}", serde_json::to_string(&summary).expect("serializable"));
+                } else {
+                    if !args.once {
+                        // Clear the terminal between refreshes.
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    print!("{}", render_dashboard(&status, &flight, args.top));
+                }
+            }
+            Err(e) => {
+                if args.once {
+                    eprintln!("monitor: {e}");
+                    return ExitCode::FAILURE;
+                }
+                // Mid-run the artifacts may not exist yet; keep polling.
+                println!("monitor: waiting — {e}");
+            }
+        }
+        if args.once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms.max(50)));
+    }
+}

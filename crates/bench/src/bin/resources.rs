@@ -1,13 +1,101 @@
-//! Regenerates the §5.2 resource-profile comparison, plus the merged
-//! campaign telemetry block (`results/BENCH_telemetry.json`).
+//! Regenerates the §5.2 resource-profile comparison, the merged
+//! campaign telemetry, and the flight-recorder overhead benchmark
+//! (`results/BENCH_telemetry.json`).
+//!
 //! Usage: `resources [budget] [bench_index] [--jobs N]
-//! [--log-level LEVEL] [--trace-out PATH]`.
+//! [--log-level LEVEL] [--trace-out PATH] [--sample-every N]
+//! [--flight-out PATH] [--status-out PATH]`.
+//!
+//! The overhead benchmark runs the same SymbFuzz campaign per
+//! processor benchmark twice under the compiled settle engine —
+//! recorder off, then recorder on — and reports vectors/sec for each
+//! plus the on/off throughput ratio (acceptance: geomean ≥ 0.95, i.e.
+//! ≤ 5 % overhead). Earlier contents of `BENCH_telemetry.json` are
+//! preserved under the `history` key. With `--sample-every` the
+//! resource-profile campaigns also record flight samples, merged after
+//! the pool into the canonical `--flight-out` / `--status-out`
+//! artifacts (byte-identical at any `--jobs`).
 
-use symbfuzz_bench::experiments::resource_profile;
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
+use std::time::Instant;
+use symbfuzz_bench::experiments::{resource_profile, settle_policy};
 use symbfuzz_bench::pool::merge_telemetry;
-use symbfuzz_bench::render::{render_resources, save_json};
+use symbfuzz_bench::render::{render_resources, save_json, write_flight_artifacts};
 use symbfuzz_bench::{flush_trace, parse_bench_args};
+use symbfuzz_core::{FuzzConfig, Strategy, SymbFuzz};
+use symbfuzz_designs::processor_benchmarks;
 use symbfuzz_telemetry::info;
+
+/// One design's recorder-off vs recorder-on throughput measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SamplingRow {
+    design: String,
+    /// Input vectors per timed campaign.
+    budget: u64,
+    /// Recorder interval of the sampled run (vectors).
+    sample_every: u64,
+    /// Vectors/sec with the flight recorder off.
+    vectors_per_sec_off: f64,
+    /// Vectors/sec with the recorder + profilers on.
+    vectors_per_sec_on: f64,
+    /// on / off — 1.0 means free, ≥ 0.95 is the acceptance bar.
+    ratio: f64,
+    /// Samples the recorder captured in the timed run.
+    flight_samples: u64,
+}
+
+/// Wall-clock vectors/sec of one campaign; `sample_every` arms the
+/// recorder and both profilers. Always the compiled settle engine
+/// (unless `--settle-mode` overrode it) so the A/B isolates recorder
+/// overhead, not engine choice.
+fn throughput(bench_index: usize, budget: u64, sample_every: Option<u64>) -> (f64, u64) {
+    let b = &processor_benchmarks()[bench_index];
+    let design = b.design().expect("benchmark elaborates");
+    let props = b.property_specs();
+    let mut cfg = FuzzConfig::builder()
+        .interval(100)
+        .threshold(2)
+        .max_vectors(budget)
+        .seed(0xCAB)
+        .settle_policy(settle_policy());
+    if let Some(every) = sample_every {
+        cfg = cfg.sample_every(every);
+    }
+    let config = cfg.build().expect("overhead config is consistent");
+    let mut fuzzer = SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, config, &props)
+        .expect("properties compile");
+    let start = Instant::now();
+    let result = fuzzer.run();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (result.vectors as f64 / secs, result.flight.len() as u64)
+}
+
+/// Prior contents of `results/BENCH_telemetry.json`, flattened into a
+/// chronological list: a legacy bare telemetry block, or the `rows` +
+/// `geomean` head of this format, with any nested history carried
+/// forward (same pattern as `simbench`).
+fn load_history() -> Vec<Value> {
+    let mut history = Vec::new();
+    if let Ok(text) = std::fs::read_to_string("results/BENCH_telemetry.json") {
+        if let Ok(v) = serde_json::from_str::<Value>(&text) {
+            if let Ok(Value::Array(h)) = v.field("history") {
+                history.extend(h.iter().cloned());
+            }
+            match v {
+                Value::Object(fields) => {
+                    let head: Vec<(String, Value)> =
+                        fields.into_iter().filter(|(k, _)| k != "history").collect();
+                    if !head.is_empty() {
+                        history.push(Value::Object(head));
+                    }
+                }
+                other => history.push(other),
+            }
+        }
+    }
+    history
+}
 
 fn main() {
     let args = parse_bench_args();
@@ -25,6 +113,55 @@ fn main() {
         snap.distinct_event_kinds()
     );
     save_json("resources", &rows).expect("write results/resources.json");
-    save_json("BENCH_telemetry", &merged).expect("write results/BENCH_telemetry.json");
+
+    // Canonical merged flight artifacts for this run's campaigns
+    // (no-op when `--sample-every` was not given, so nothing sampled).
+    let results: Vec<_> = rows.iter().map(|(_, r)| r).collect();
+    write_flight_artifacts(
+        &results,
+        args.flight_out.as_deref(),
+        args.status_out.as_deref(),
+    )
+    .expect("write flight artifacts");
+
+    // Recorder overhead A/B: same campaign, recorder off vs on.
+    let every = args.sample_every.unwrap_or(100);
+    let mut sampling_rows = Vec::new();
+    println!("## Flight-recorder overhead ({budget} vectors per campaign)\n");
+    println!("| Design | off vec/s | on vec/s | ratio | samples |");
+    println!("|---|---|---|---|---|");
+    for (i, b) in processor_benchmarks().iter().enumerate() {
+        let (off, _) = throughput(i, budget, None);
+        let (on, samples) = throughput(i, budget, Some(every));
+        let row = SamplingRow {
+            design: b.name.to_string(),
+            budget,
+            sample_every: every,
+            vectors_per_sec_off: off,
+            vectors_per_sec_on: on,
+            ratio: on / off,
+            flight_samples: samples,
+        };
+        println!(
+            "| {} | {:.0} | {:.0} | {:.3} | {} |",
+            row.design, off, on, row.ratio, samples
+        );
+        sampling_rows.push(row);
+    }
+    let geomean = (sampling_rows.iter().map(|r| r.ratio.ln()).sum::<f64>()
+        / sampling_rows.len() as f64)
+        .exp();
+    println!(
+        "\ngeomean on/off throughput ratio: {geomean:.3} across {} designs \
+         (acceptance: ≥ 0.95, i.e. ≤ 5% recorder overhead)",
+        sampling_rows.len()
+    );
+    let out = Value::Object(vec![
+        ("rows".into(), sampling_rows.to_value()),
+        ("geomean_sampling_ratio".into(), Value::Num(geomean)),
+        ("telemetry".into(), merged.to_value()),
+        ("history".into(), Value::Array(load_history())),
+    ]);
+    save_json("BENCH_telemetry", &out).expect("write results/BENCH_telemetry.json");
     flush_trace();
 }

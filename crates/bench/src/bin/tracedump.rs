@@ -35,6 +35,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if records.is_empty() {
+        // An empty (or whitespace-only) trace is evidence of a broken
+        // producer — a campaign that wrote nothing, or a truncated
+        // copy — never a healthy run, so `--check` must not bless it.
+        eprintln!("tracedump: {path}: no records (empty or truncated trace)");
+        return ExitCode::FAILURE;
+    }
     if check_only {
         println!("{path}: {} records, schema OK", records.len());
         return ExitCode::SUCCESS;

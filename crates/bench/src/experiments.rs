@@ -10,7 +10,7 @@ use crate::pool::run_pool;
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{self, BufWriter};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use symbfuzz_core::{
@@ -78,6 +78,54 @@ pub fn settle_policy() -> SettlePolicy {
     SETTLE_POLICY.get().copied().unwrap_or_default()
 }
 
+/// The process-global flight-recorder interval, set once by
+/// `--sample-every`.
+static SAMPLING: OnceLock<u64> = OnceLock::new();
+
+/// Arms the flight recorder for every subsequent campaign in this
+/// process: one delta-compressed sample every `every` input vectors
+/// (floored at 1), plus the per-cone VM profiler and the per-goal
+/// solver profiler. First call wins; later calls are no-ops. Sample
+/// streams are keyed to the deterministic vector-count clock, so
+/// recordings are byte-identical at any `--jobs`.
+pub fn set_sampling(every: u64) {
+    let _ = SAMPLING.set(every.max(1));
+}
+
+/// The active flight-recorder interval (`None` when sampling is off).
+pub fn sampling() -> Option<u64> {
+    SAMPLING.get().copied()
+}
+
+/// The live flight/status destinations, set once by `--flight-out` /
+/// `--status-out`. Only pool task 0 streams here mid-run (one writer
+/// per file); the bench bins overwrite both with the canonical merged
+/// artifacts after the pool drains.
+static FLIGHT_OUT: OnceLock<PathBuf> = OnceLock::new();
+static STATUS_OUT: OnceLock<PathBuf> = OnceLock::new();
+
+/// Installs the live flight-stream and status-heartbeat paths. First
+/// call wins; later calls are no-ops. No-op arguments leave the
+/// corresponding output unset.
+pub fn set_flight_outputs(flight: Option<&Path>, status: Option<&Path>) {
+    if let Some(p) = flight {
+        let _ = FLIGHT_OUT.set(p.to_path_buf());
+    }
+    if let Some(p) = status {
+        let _ = STATUS_OUT.set(p.to_path_buf());
+    }
+}
+
+/// The live flight-stream path, if configured.
+pub fn flight_out() -> Option<&'static Path> {
+    FLIGHT_OUT.get().map(PathBuf::as_path)
+}
+
+/// The live status-heartbeat path, if configured.
+pub fn status_out() -> Option<&'static Path> {
+    STATUS_OUT.get().map(PathBuf::as_path)
+}
+
 /// The shared campaign configuration: the experiments' historical
 /// interval/threshold choices plus whatever global solver budget
 /// [`set_solver_budget`] installed, validated by the builder.
@@ -94,6 +142,9 @@ fn campaign_config(budget: u64, seed: u64) -> FuzzConfig {
     }
     if let Some(ms) = wall_ms {
         b = b.solve_wall_ms(ms);
+    }
+    if let Some(every) = sampling() {
+        b = b.sample_every(every);
     }
     b.build().expect("bench campaign config is consistent")
 }
@@ -121,6 +172,21 @@ pub fn attach_telemetry(fuzzer: &mut SymbFuzz, task: usize) {
     }
 }
 
+/// When this is pool task 0 and `--flight-out` / `--status-out` were
+/// given, streams the campaign's live flight samples and status
+/// heartbeat to those paths. Other tasks keep their samples in memory
+/// only (they ride back in the campaign report and are merged by
+/// interval index after the pool), so each live file has exactly one
+/// writer. No-op when the recorder is off.
+pub fn attach_flight_outputs(fuzzer: &mut SymbFuzz, task: usize) {
+    if task != 0 {
+        return;
+    }
+    if let Err(e) = fuzzer.set_flight_outputs(flight_out(), status_out()) {
+        symbfuzz_telemetry::warn!("cannot open flight outputs: {e}");
+    }
+}
+
 /// Builds and runs one campaign (`task` is the pool index, used only
 /// to label trace records).
 fn run(
@@ -135,6 +201,7 @@ fn run(
     let mut fuzzer =
         SymbFuzz::new(design, strategy, config, props).expect("properties must compile");
     attach_telemetry(&mut fuzzer, task);
+    attach_flight_outputs(&mut fuzzer, task);
     let result = fuzzer.run();
     // One summary record per campaign with the settle-engine mix so
     // `tracedump` can report the fast-path hit rate (no-op when the
@@ -173,6 +240,7 @@ pub fn table1_rows(budget: u64, jobs: usize) -> Vec<Table1Row> {
         let mut fuzzer = SymbFuzz::new(design, Strategy::SymbFuzz, config, &[b.property_spec()])
             .expect("property compiles");
         attach_telemetry(&mut fuzzer, task);
+        attach_flight_outputs(&mut fuzzer, task);
         let measured = fuzzer.run_until_bug(b.name);
         fuzzer.telemetry().flush();
         Table1Row {
@@ -567,18 +635,21 @@ pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<Bud
         .collect();
     run_pool(&tasks, jobs, |task, &(i, ceiling)| {
         let (name, design, props) = &duvs[i];
-        let config = FuzzConfig::builder()
+        let mut b = FuzzConfig::builder()
             .interval(100)
             .threshold(1)
             .max_vectors(max_vectors)
             .seed(0xB0D6E7)
             .solver_budget(ceiling)
-            .escalation_cap(1)
-            .build()
-            .expect("budget profile config is consistent");
+            .escalation_cap(1);
+        if let Some(every) = sampling() {
+            b = b.sample_every(every);
+        }
+        let config = b.build().expect("budget profile config is consistent");
         let mut fuzzer = SymbFuzz::new(Arc::clone(design), Strategy::SymbFuzz, config, props)
             .expect("property compiles");
         attach_telemetry(&mut fuzzer, task);
+        attach_flight_outputs(&mut fuzzer, task);
         let r = fuzzer.run();
         fuzzer.telemetry().flush();
         let counter = |name: &str| {

@@ -19,6 +19,7 @@
 //! | `budgetbench` | coverage vs per-solve conflict budget on the factoring lock |
 //! | `tracedump` | renders / validates / re-emits (`--json`) a `--trace-out` JSONL campaign trace |
 //! | `covreport` | coverage-provenance report: covmaps + joined JSON + self-contained HTML |
+//! | `monitor` | live dashboard / `--check` / Prometheus export over `status.json` + `flight.jsonl` |
 //!
 //! Every binary accepts a `--jobs N` (or `-j N`) flag that fans
 //! independent campaigns across a scoped-thread pool; reports are
@@ -27,9 +28,11 @@
 //! They also accept `--log-level LEVEL` (stderr verbosity),
 //! `--trace-out PATH` (stream a wall-clock JSONL campaign trace, see
 //! [`trace`]), `--solver-budget N` (per-solve conflict ceiling with
-//! graceful degradation to random mutation) and `--solve-wall-ms N`
-//! (per-solve wall-clock ceiling; non-deterministic); all are handled
-//! by [`args::parse_bench_args`].
+//! graceful degradation to random mutation), `--solve-wall-ms N`
+//! (per-solve wall-clock ceiling; non-deterministic), and the flight
+//! recorder's `--sample-every N` / `--flight-out PATH` /
+//! `--status-out PATH` (see [`monitor`]); all are handled by
+//! [`args::parse_bench_args`].
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@
 pub mod args;
 pub mod covreport;
 pub mod experiments;
+pub mod monitor;
 pub mod pool;
 pub mod render;
 pub mod trace;
@@ -55,9 +59,13 @@ pub use covreport::{
     COVREPORT_VERSION,
 };
 pub use experiments::{
-    budget_profile, coverage_race, detection_matrix, enable_tracing, flush_trace,
-    set_solver_budget, table1_rows, table3_rows, tracing_enabled, variance_profile,
+    budget_profile, coverage_race, detection_matrix, enable_tracing, flush_trace, sampling,
+    set_sampling, set_solver_budget, table1_rows, table3_rows, tracing_enabled, variance_profile,
     BudgetProfileRow, DetectionRow, RaceResult, Table1Row, Table3Row, VariancePoint,
 };
-pub use pool::{default_jobs, merge_covmap_counts, merge_telemetry, parse_jobs, run_pool};
+pub use monitor::{check_flight, check_status, render_dashboard, render_prometheus};
+pub use pool::{
+    default_jobs, merge_covmap_counts, merge_flight_rows, merge_solver_profiles, merge_telemetry,
+    merge_vm_profiles, parse_jobs, run_pool,
+};
 pub use trace::{parse_line, parse_trace, phase_table, timeline, to_json_lines, TraceRecord};

@@ -1,0 +1,517 @@
+//! Flight-recorder artifact validation and rendering for the
+//! `monitor` binary.
+//!
+//! The fuzzer's [`symbfuzz_telemetry::Sampler`] leaves two artifacts
+//! behind: an append-only `flight.jsonl` stream (one delta-compressed
+//! sample per interval) and an atomically-rewritten `status.json`
+//! heartbeat that is safe to poll mid-run. This module is their
+//! consumer: schema checks that hard-error with the first offending
+//! line, a terminal dashboard, and a Prometheus-style text exposition
+//! for scraping. Everything here is pure text-in/text-out so the
+//! binary stays a thin shell.
+
+use serde::Value;
+use std::fmt::Write as _;
+use symbfuzz_telemetry::FLIGHT_VERSION;
+
+/// The scalar header fields every `status.json` and every
+/// `flight.jsonl` record carries.
+pub const STATUS_SCALARS: [&str; 7] = [
+    "interval", "t", "vectors", "coverage", "nodes", "edges", "stagnant",
+];
+
+/// The cumulative-metrics sections of `status.json`, each an object of
+/// `name → number` pairs.
+pub const STATUS_SECTIONS: [&str; 4] = ["counters", "gauges", "events", "phase_self_micros"];
+
+/// The per-sample delta/gauge vectors of a `flight.jsonl` record.
+pub const FLIGHT_VECTORS: [&str; 4] = ["d_counters", "gauges", "d_events", "d_phase_micros"];
+
+fn field_num(v: &Value, name: &str) -> Result<u64, String> {
+    match v.field(name) {
+        Ok(Value::Num(n)) => Ok(*n as u64),
+        Ok(other) => Err(format!("`{name}` must be a number, got {other:?}")),
+        Err(_) => Err(format!("missing `{name}`")),
+    }
+}
+
+fn check_version(v: &Value) -> Result<(), String> {
+    let got = field_num(v, "v")?;
+    if got != FLIGHT_VERSION {
+        return Err(format!(
+            "unsupported flight schema v{got} (this monitor speaks v{FLIGHT_VERSION})"
+        ));
+    }
+    Ok(())
+}
+
+fn check_pairs_object(v: &Value, name: &str) -> Result<(), String> {
+    match v.field(name) {
+        Ok(Value::Object(fields)) => {
+            for (k, val) in fields {
+                if !matches!(val, Value::Num(_)) {
+                    return Err(format!("`{name}.{k}` must be a number, got {val:?}"));
+                }
+            }
+            Ok(())
+        }
+        Ok(other) => Err(format!("`{name}` must be an object, got {other:?}")),
+        Err(_) => Err(format!("missing `{name}`")),
+    }
+}
+
+fn check_num_array(v: &Value, name: &str) -> Result<(), String> {
+    match v.field(name) {
+        Ok(Value::Array(items)) => {
+            if items.iter().all(|i| matches!(i, Value::Num(_))) {
+                Ok(())
+            } else {
+                Err(format!("`{name}` must contain only numbers"))
+            }
+        }
+        Ok(other) => Err(format!("`{name}` must be an array, got {other:?}")),
+        Err(_) => Err(format!("missing `{name}`")),
+    }
+}
+
+/// Validates a `status.json` heartbeat: schema version, the scalar
+/// header, every cumulative-metrics section, and — when the profiler
+/// sections are present — their internal row shapes.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn check_status(text: &str) -> Result<Value, String> {
+    let v: Value = serde_json::from_str(text.trim()).map_err(|e| format!("not valid JSON: {e}"))?;
+    check_version(&v)?;
+    for name in STATUS_SCALARS {
+        field_num(&v, name)?;
+    }
+    for name in STATUS_SECTIONS {
+        check_pairs_object(&v, name)?;
+    }
+    if let Ok(p) = v.field("vm_profile") {
+        check_vm_profile(p).map_err(|e| format!("vm_profile: {e}"))?;
+    }
+    if let Ok(p) = v.field("solver_profile") {
+        check_solver_profile(p).map_err(|e| format!("solver_profile: {e}"))?;
+    }
+    Ok(v)
+}
+
+fn check_vm_profile(p: &Value) -> Result<(), String> {
+    for total in ["total_execs", "total_fast", "total_escaped"] {
+        field_num(p, total)?;
+    }
+    match p.field("rows") {
+        Ok(Value::Array(rows)) => {
+            for (i, row) in rows.iter().enumerate() {
+                for f in [
+                    "proc_index",
+                    "execs",
+                    "fast",
+                    "escaped_x",
+                    "escaped_uncompiled",
+                    "escaped_cyclic",
+                    "op_units",
+                ] {
+                    field_num(row, f).map_err(|e| format!("rows[{i}]: {e}"))?;
+                }
+                if !matches!(row.field("label"), Ok(Value::Str(_))) {
+                    return Err(format!("rows[{i}]: `label` must be a string"));
+                }
+            }
+            Ok(())
+        }
+        _ => Err("missing `rows` array".into()),
+    }
+}
+
+fn check_solver_profile(p: &Value) -> Result<(), String> {
+    for total in ["total_attempts", "total_neg_cache_hits"] {
+        field_num(p, total)?;
+    }
+    match p.field("goals") {
+        Ok(Value::Array(goals)) => {
+            for (i, g) in goals.iter().enumerate() {
+                for f in [
+                    "value",
+                    "attempts",
+                    "sat",
+                    "unsat",
+                    "exhausted",
+                    "neg_cache_hits",
+                    "conflicts",
+                    "decisions",
+                    "propagations",
+                    "solver_calls",
+                    "deepest_unroll",
+                ] {
+                    field_num(g, f).map_err(|e| format!("goals[{i}]: {e}"))?;
+                }
+                if !matches!(g.field("register"), Ok(Value::Str(_))) {
+                    return Err(format!("goals[{i}]: `register` must be a string"));
+                }
+                check_num_array(g, "escalations").map_err(|e| format!("goals[{i}]: {e}"))?;
+            }
+            Ok(())
+        }
+        _ => Err("missing `goals` array".into()),
+    }
+}
+
+/// Validates a whole `flight.jsonl` stream: at least one record, every
+/// line schema-clean, interval indexes strictly increasing.
+///
+/// # Errors
+///
+/// Returns `"line N: <why>"` for the first bad line, or a description
+/// of an empty/truncated stream.
+pub fn check_flight(text: &str) -> Result<Vec<Value>, String> {
+    let mut samples = Vec::new();
+    let mut last_interval = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |e: String| format!("line {}: {e}", i + 1);
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| at(format!("not valid JSON: {e}")))?;
+        check_version(&v).map_err(at)?;
+        for name in STATUS_SCALARS {
+            field_num(&v, name).map_err(at)?;
+        }
+        field_num(&v, "task").map_err(at)?;
+        for name in FLIGHT_VECTORS {
+            check_num_array(&v, name).map_err(at)?;
+        }
+        let interval = field_num(&v, "interval").map_err(at)?;
+        if let Some(prev) = last_interval {
+            if interval <= prev {
+                return Err(format!(
+                    "line {}: interval {interval} not above previous {prev} \
+                     (stream must be strictly increasing)",
+                    i + 1
+                ));
+            }
+        }
+        last_interval = Some(interval);
+        samples.push(v);
+    }
+    if samples.is_empty() {
+        return Err("no samples (empty or truncated flight stream)".into());
+    }
+    Ok(samples)
+}
+
+fn pairs_of<'v>(v: &'v Value, name: &str) -> Vec<(&'v str, u64)> {
+    match v.field(name) {
+        Ok(Value::Object(fields)) => fields
+            .iter()
+            .filter_map(|(k, val)| match val {
+                Value::Num(n) => Some((k.as_str(), *n as u64)),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Renders the terminal dashboard from a validated status heartbeat
+/// and (possibly empty) flight stream: the headline campaign state,
+/// non-zero counters, phase self-times, the hottest `top` cones with
+/// their fast-path hit rates, and the `top` hardest solver goals with
+/// their escalation histories.
+pub fn render_dashboard(status: &Value, flight: &[Value], top: usize) -> String {
+    let n = |name: &str| field_num(status, name).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "SymbFuzz campaign monitor — interval {} (t={})",
+        n("interval"),
+        n("t")
+    );
+    let _ = writeln!(
+        out,
+        "  vectors {}  coverage {} ({} nodes, {} edges)  stagnant intervals {}",
+        n("vectors"),
+        n("coverage"),
+        n("nodes"),
+        n("edges"),
+        n("stagnant")
+    );
+    let _ = writeln!(out, "  flight samples on disk: {}", flight.len());
+    let counters: Vec<_> = pairs_of(status, "counters")
+        .into_iter()
+        .filter(|(_, v)| *v > 0)
+        .collect();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, v) in counters {
+            let _ = writeln!(out, "  {name:<24} {v}");
+        }
+    }
+    let phases = pairs_of(status, "phase_self_micros");
+    if phases.iter().any(|(_, v)| *v > 0) {
+        let total: u64 = phases.iter().map(|(_, v)| v).sum();
+        let _ = writeln!(out, "\nphase self time:");
+        for (name, v) in phases {
+            let _ = writeln!(
+                out,
+                "  {name:<10} {v:>10}µs  {:>5.1}%",
+                100.0 * v as f64 / total.max(1) as f64
+            );
+        }
+    }
+    if let Ok(p) = status.field("vm_profile") {
+        let _ = writeln!(out, "\nhot cones (by op units):");
+        if let Ok(Value::Array(rows)) = p.field("rows") {
+            for row in rows.iter().take(top) {
+                let label = match row.field("label") {
+                    Ok(Value::Str(s)) => s.as_str(),
+                    _ => "?",
+                };
+                let (execs, fast) = (
+                    field_num(row, "execs").unwrap_or(0),
+                    field_num(row, "fast").unwrap_or(0),
+                );
+                let _ = writeln!(
+                    out,
+                    "  {label:<20} {:>12} op units  {execs:>10} execs  {:>5.1}% fast path",
+                    field_num(row, "op_units").unwrap_or(0),
+                    100.0 * fast as f64 / execs.max(1) as f64
+                );
+            }
+        }
+        let (te, tf) = (
+            field_num(p, "total_execs").unwrap_or(0),
+            field_num(p, "total_fast").unwrap_or(0),
+        );
+        let _ = writeln!(
+            out,
+            "  design-wide fast-path hit rate: {:.1}% of {te} dispatches",
+            100.0 * tf as f64 / te.max(1) as f64
+        );
+    }
+    if let Ok(p) = status.field("solver_profile") {
+        if let Ok(Value::Array(goals)) = p.field("goals") {
+            if !goals.is_empty() {
+                let _ = writeln!(out, "\nhardest solver goals (by cumulative conflicts):");
+                for g in goals.iter().take(top) {
+                    let register = match g.field("register") {
+                        Ok(Value::Str(s)) => s.as_str(),
+                        _ => "?",
+                    };
+                    let escalations = match g.field("escalations") {
+                        Ok(Value::Array(e)) => e
+                            .iter()
+                            .filter_map(|v| match v {
+                                Value::Num(n) => Some(format!("{}", *n as u64)),
+                                _ => None,
+                            })
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        _ => String::new(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  {register}=={:<6} {:>8} conflicts  {:>4} attempts \
+                         ({} sat / {} unsat / {} exhausted)  escalations [{escalations}]",
+                        field_num(g, "value").unwrap_or(0),
+                        field_num(g, "conflicts").unwrap_or(0),
+                        field_num(g, "attempts").unwrap_or(0),
+                        field_num(g, "sat").unwrap_or(0),
+                        field_num(g, "unsat").unwrap_or(0),
+                        field_num(g, "exhausted").unwrap_or(0),
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  solver attempts {}  negative-cache hits {}",
+            field_num(p, "total_attempts").unwrap_or(0),
+            field_num(p, "total_neg_cache_hits").unwrap_or(0)
+        );
+    }
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders the heartbeat as Prometheus text exposition: campaign
+/// scalars as gauges, cumulative counters as `_total` counters,
+/// per-phase self-times and — when present — per-cone and per-goal
+/// profiler series with `label`/`register` label pairs.
+pub fn render_prometheus(status: &Value) -> String {
+    let mut out = String::new();
+    for name in STATUS_SCALARS {
+        if let Ok(v) = field_num(status, name) {
+            let _ = writeln!(out, "# TYPE symbfuzz_{name} gauge");
+            let _ = writeln!(out, "symbfuzz_{name} {v}");
+        }
+    }
+    for (name, v) in pairs_of(status, "counters") {
+        let _ = writeln!(out, "symbfuzz_{}_total {v}", prom_name(name));
+    }
+    for (name, v) in pairs_of(status, "gauges") {
+        let _ = writeln!(out, "symbfuzz_gauge_{} {v}", prom_name(name));
+    }
+    for (name, v) in pairs_of(status, "events") {
+        let _ = writeln!(out, "symbfuzz_event_total{{kind=\"{name}\"}} {v}");
+    }
+    for (name, v) in pairs_of(status, "phase_self_micros") {
+        let _ = writeln!(
+            out,
+            "symbfuzz_phase_self_micros{{phase=\"{}\"}} {v}",
+            prom_name(name)
+        );
+    }
+    if let Ok(p) = status.field("vm_profile") {
+        for total in ["total_execs", "total_fast", "total_escaped"] {
+            if let Ok(v) = field_num(p, total) {
+                let _ = writeln!(out, "symbfuzz_vm_{total} {v}");
+            }
+        }
+        if let Ok(Value::Array(rows)) = p.field("rows") {
+            for row in rows {
+                if let Ok(Value::Str(label)) = row.field("label") {
+                    let _ = writeln!(
+                        out,
+                        "symbfuzz_cone_op_units{{cone=\"{}\"}} {}",
+                        prom_name(label),
+                        field_num(row, "op_units").unwrap_or(0)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "symbfuzz_cone_fast_total{{cone=\"{}\"}} {}",
+                        prom_name(label),
+                        field_num(row, "fast").unwrap_or(0)
+                    );
+                }
+            }
+        }
+    }
+    if let Ok(p) = status.field("solver_profile") {
+        for total in ["total_attempts", "total_neg_cache_hits"] {
+            if let Ok(v) = field_num(p, total) {
+                let _ = writeln!(out, "symbfuzz_solver_{total} {v}");
+            }
+        }
+        if let Ok(Value::Array(goals)) = p.field("goals") {
+            for g in goals {
+                if let Ok(Value::Str(register)) = g.field("register") {
+                    let value = field_num(g, "value").unwrap_or(0);
+                    for f in ["attempts", "conflicts", "exhausted"] {
+                        let _ = writeln!(
+                            out,
+                            "symbfuzz_goal_{f}{{register=\"{}\",value=\"{value}\"}} {}",
+                            prom_name(register),
+                            field_num(g, f).unwrap_or(0)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use symbfuzz_core::{FuzzConfig, Strategy, SymbFuzz};
+
+    /// Drives a real traced campaign so the artifacts under test are
+    /// exactly what the fuzzer writes, not hand-rolled fixtures.
+    fn campaign_artifacts() -> (String, String) {
+        let dir = std::env::temp_dir().join(format!("symbfuzz-monitor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = Arc::new(
+            symbfuzz_netlist::elaborate_src(
+                "module m(input clk, input rst_n, input [7:0] k, output logic ok);
+                   always_ff @(posedge clk or negedge rst_n)
+                     if (!rst_n) ok <= 1'b0;
+                     else begin if (k == 8'h5A) ok <= 1'b1; end
+                 endmodule",
+                "m",
+            )
+            .unwrap(),
+        );
+        let cfg = FuzzConfig::builder()
+            .interval(100)
+            .threshold(2)
+            .max_vectors(5_000)
+            .seed(7)
+            .sample_every(500)
+            .build()
+            .unwrap();
+        let mut fuzzer = SymbFuzz::new(d, Strategy::SymbFuzz, cfg, &[]).unwrap();
+        let flight = dir.join("flight.jsonl");
+        let status = dir.join("status.json");
+        fuzzer
+            .set_flight_outputs(Some(&flight), Some(&status))
+            .unwrap();
+        fuzzer.run();
+        let out = (
+            std::fs::read_to_string(&status).unwrap(),
+            std::fs::read_to_string(&flight).unwrap(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
+    #[test]
+    fn real_campaign_artifacts_pass_the_checks_and_render() {
+        let (status_text, flight_text) = campaign_artifacts();
+        let status = check_status(&status_text).expect("status.json validates");
+        let flight = check_flight(&flight_text).expect("flight.jsonl validates");
+        assert_eq!(flight.len(), 10, "5000 vectors / sample_every 500");
+        let dash = render_dashboard(&status, &flight, 10);
+        assert!(dash.contains("vectors 5000"), "{dash}");
+        assert!(dash.contains("hot cones"), "{dash}");
+        assert!(dash.contains("fast path"), "{dash}");
+        let prom = render_prometheus(&status);
+        assert!(prom.contains("symbfuzz_vectors 5000"), "{prom}");
+        assert!(prom.contains("symbfuzz_vectors_total 5000"), "{prom}");
+        assert!(prom.contains("symbfuzz_vm_total_execs"), "{prom}");
+    }
+
+    #[test]
+    fn status_violations_are_named() {
+        assert!(check_status("").unwrap_err().contains("not valid JSON"));
+        assert!(check_status("{\"v\":2}").unwrap_err().contains("v2"));
+        let err = check_status("{\"v\":1,\"interval\":0}").unwrap_err();
+        assert!(err.contains("missing `t`"), "{err}");
+        // A scalar of the wrong type is rejected.
+        let err = check_status(
+            "{\"v\":1,\"interval\":0,\"t\":0,\"vectors\":\"many\",\"coverage\":0,\
+             \"nodes\":0,\"edges\":0,\"stagnant\":0}",
+        )
+        .unwrap_err();
+        assert!(err.contains("`vectors`"), "{err}");
+    }
+
+    #[test]
+    fn flight_violations_carry_line_numbers() {
+        let good = "{\"v\":1,\"interval\":1,\"t\":5,\"task\":0,\"vectors\":100,\
+                    \"coverage\":3,\"nodes\":2,\"edges\":1,\"stagnant\":0,\
+                    \"d_counters\":[100],\"gauges\":[1],\"d_events\":[0],\"d_phase_micros\":[9]}";
+        assert_eq!(check_flight(&format!("{good}\n")).unwrap().len(), 1);
+        // Empty streams hard-error instead of passing vacuously.
+        let err = check_flight("").unwrap_err();
+        assert!(err.contains("empty or truncated"), "{err}");
+        // Truncated tail line.
+        let err = check_flight(&format!("{good}\n{{\"v\":1,\"interval\":2")).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        // Interval regression (e.g. two raw task streams concatenated
+        // instead of merged): a repeated interval index is rejected.
+        let err = check_flight(&format!("{good}\n{good}\n")).unwrap_err();
+        assert!(err.contains("not above previous"), "{err}");
+    }
+}

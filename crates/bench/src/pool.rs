@@ -11,8 +11,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use symbfuzz_core::{CovMap, TelemetryBlock};
-use symbfuzz_telemetry::{Mechanism, MetricsSnapshot};
+use symbfuzz_core::{CovMap, FlightRow, SolverProfileBlock, TelemetryBlock, VmProfileBlock};
+use symbfuzz_telemetry::{merge_flight, FlightSample, Mechanism, MetricsSnapshot};
 
 /// Number of workers to use when `--jobs` is not given: all available
 /// cores (reports are deterministic regardless, see [`run_pool`]).
@@ -130,9 +130,127 @@ where
     acc
 }
 
+/// Merges per-task flight recordings into one canonical stream, sample
+/// by sample keyed on the interval index (see
+/// [`symbfuzz_telemetry::merge_flight`]): monotone fields sum, gauges
+/// keep the elementwise high-water mark, `task` collapses to 0. Uneven
+/// streams are fine — an interval present in only some tasks merges
+/// what exists. Because every per-task stream is deterministic under
+/// the vector-count clock and [`run_pool`] returns results in item
+/// order, the merged stream — and therefore the rendered
+/// `flight.jsonl` — is byte-identical at any `--jobs N`.
+pub fn merge_flight_rows<'a, I>(streams: I) -> Vec<FlightRow>
+where
+    I: IntoIterator<Item = &'a [FlightRow]>,
+{
+    let streams: Vec<Vec<FlightSample>> = streams
+        .into_iter()
+        .map(|rows| rows.iter().map(FlightRow::to_sample).collect())
+        .collect();
+    merge_flight(&streams).iter().map(FlightRow::from).collect()
+}
+
+/// Merges per-task VM-profiler blocks: cone rows fold by
+/// `(proc_index, label)` with all tallies summed, then re-sort
+/// hottest-first (op units descending, process index breaking ties);
+/// op-class histograms fold by class name in first-seen order; design
+/// totals sum. `None` inputs (campaigns run with the recorder off)
+/// contribute nothing; the merge is `None` only when every input is.
+pub fn merge_vm_profiles<'a, I>(blocks: I) -> Option<VmProfileBlock>
+where
+    I: IntoIterator<Item = Option<&'a VmProfileBlock>>,
+{
+    let mut acc: Option<VmProfileBlock> = None;
+    for b in blocks.into_iter().flatten() {
+        let acc = acc.get_or_insert_with(VmProfileBlock::default);
+        for row in &b.rows {
+            match acc
+                .rows
+                .iter_mut()
+                .find(|r| r.proc_index == row.proc_index && r.label == row.label)
+            {
+                Some(r) => {
+                    r.execs += row.execs;
+                    r.fast += row.fast;
+                    r.escaped_x += row.escaped_x;
+                    r.escaped_uncompiled += row.escaped_uncompiled;
+                    r.escaped_cyclic += row.escaped_cyclic;
+                    r.op_units += row.op_units;
+                }
+                None => acc.rows.push(row.clone()),
+            }
+        }
+        for (class, n) in &b.op_classes {
+            match acc.op_classes.iter_mut().find(|(c, _)| c == class) {
+                Some((_, m)) => *m += n,
+                None => acc.op_classes.push((class.clone(), *n)),
+            }
+        }
+        acc.total_execs += b.total_execs;
+        acc.total_fast += b.total_fast;
+        acc.total_escaped += b.total_escaped;
+    }
+    if let Some(acc) = &mut acc {
+        acc.rows.sort_by(|a, b| {
+            b.op_units
+                .cmp(&a.op_units)
+                .then(a.proc_index.cmp(&b.proc_index))
+        });
+    }
+    acc
+}
+
+/// Merges per-task solver-profiler blocks: goal rows fold by
+/// `(register, value)` — cumulative tallies sum, `deepest_unroll`
+/// keeps the maximum, escalation histories concatenate in task order —
+/// then re-sort hardest-first (cumulative conflicts, then decisions,
+/// then first-seen order, matching
+/// [`symbfuzz_symexec::SolveProfiler::sorted_rows`]). A task that
+/// never solved contributes an empty block and vanishes in the merge.
+pub fn merge_solver_profiles<'a, I>(blocks: I) -> SolverProfileBlock
+where
+    I: IntoIterator<Item = &'a SolverProfileBlock>,
+{
+    let mut acc = SolverProfileBlock::default();
+    for b in blocks {
+        for g in &b.goals {
+            match acc
+                .goals
+                .iter_mut()
+                .find(|r| r.register == g.register && r.value == g.value)
+            {
+                Some(r) => {
+                    r.attempts += g.attempts;
+                    r.sat += g.sat;
+                    r.unsat += g.unsat;
+                    r.exhausted += g.exhausted;
+                    r.neg_cache_hits += g.neg_cache_hits;
+                    r.conflicts += g.conflicts;
+                    r.decisions += g.decisions;
+                    r.propagations += g.propagations;
+                    r.solver_calls += g.solver_calls;
+                    r.deepest_unroll = r.deepest_unroll.max(g.deepest_unroll);
+                    r.escalations.extend_from_slice(&g.escalations);
+                }
+                None => acc.goals.push(g.clone()),
+            }
+        }
+        acc.total_attempts += b.total_attempts;
+        acc.total_neg_cache_hits += b.total_neg_cache_hits;
+    }
+    acc.goals.sort_by_key(|g| {
+        (
+            std::cmp::Reverse(g.conflicts),
+            std::cmp::Reverse(g.decisions),
+        )
+    });
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use symbfuzz_core::GoalRow;
 
     #[test]
     fn pool_preserves_item_order() {
@@ -191,6 +309,179 @@ mod tests {
         assert_eq!(merged[0], ("random".to_string(), 1, 0));
         assert_eq!(merged[1], ("solver".to_string(), 1, 0));
         assert_eq!(merged[2], ("replay".to_string(), 0, 0));
+    }
+
+    #[test]
+    fn merge_telemetry_tolerates_uneven_blocks() {
+        use symbfuzz_core::PhaseBlock;
+        // A full task, a never-solved task whose mutate row is missing
+        // its histogram, and a zero-vector task that serialised an
+        // entirely empty block.
+        let full = TelemetryBlock {
+            counters: vec![("vectors".into(), 100), ("solver_calls".into(), 3)],
+            gauges: vec![("escalation_level".into(), 2)],
+            events: vec![("BugFound".into(), 1)],
+            phases: vec![PhaseBlock {
+                phase: "mutate".into(),
+                count: 4,
+                self_micros: 40,
+                buckets: vec![1, 2, 0],
+            }],
+        };
+        let never_solved = TelemetryBlock {
+            counters: vec![("vectors".into(), 50), ("solver_calls".into(), 0)],
+            gauges: vec![("escalation_level".into(), 0)],
+            events: vec![("BugFound".into(), 0)],
+            phases: vec![PhaseBlock {
+                phase: "mutate".into(),
+                count: 2,
+                self_micros: 10,
+                buckets: Vec::new(),
+            }],
+        };
+        let zero_vectors = TelemetryBlock::default();
+        let merged = merge_telemetry([&full, &never_solved, &zero_vectors]);
+        assert_eq!(merged.counters[0], ("vectors".to_string(), 150));
+        assert_eq!(merged.counters[1], ("solver_calls".to_string(), 3));
+        assert_eq!(merged.gauges[0].1, 2, "gauges keep the high-water mark");
+        assert_eq!(merged.events[0].1, 1);
+        assert_eq!(merged.phases.len(), 1);
+        assert_eq!(merged.phases[0].count, 6);
+        assert_eq!(merged.phases[0].self_micros, 50);
+        assert_eq!(merged.phases[0].buckets, vec![1, 2, 0]);
+        // Merging in the opposite order widens the short histogram
+        // instead of truncating the long one.
+        let flipped = merge_telemetry([&zero_vectors, &never_solved, &full]);
+        assert_eq!(flipped.phases[0].buckets, vec![1, 2, 0]);
+        assert_eq!(flipped, merged, "merge is order-insensitive here");
+    }
+
+    #[test]
+    fn flight_rows_merge_by_interval_across_uneven_streams() {
+        let row = |interval: u64, task: u64, vectors: u64, gauge: u64| FlightRow {
+            interval,
+            t: interval * 10 + task,
+            task,
+            vectors,
+            coverage: vectors / 10,
+            nodes: 1,
+            edges: 1,
+            stagnant: task,
+            d_counters: vec![vectors, 1],
+            gauges: vec![gauge],
+            d_events: vec![1],
+            d_phase_micros: vec![5],
+        };
+        // Task 0 sampled intervals 1–3; task 1 started later and only
+        // has 2–4 (uneven streams are the norm: campaigns end at
+        // different vector counts).
+        let a = vec![row(1, 0, 100, 3), row(2, 0, 100, 4), row(3, 0, 100, 2)];
+        let b = vec![row(2, 1, 80, 9), row(3, 1, 80, 1), row(4, 1, 80, 1)];
+        let merged = merge_flight_rows([a.as_slice(), b.as_slice()]);
+        assert_eq!(
+            merged.iter().map(|r| r.interval).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        for r in &merged {
+            assert_eq!(r.task, 0, "merged stream is task-anonymous");
+        }
+        let at = |i: u64| merged.iter().find(|r| r.interval == i).unwrap();
+        assert_eq!(at(1).vectors, 100);
+        assert_eq!(at(2).vectors, 180, "overlapping intervals sum");
+        assert_eq!(at(2).d_counters, vec![180, 2]);
+        assert_eq!(at(2).gauges, vec![9], "gauges keep the elementwise max");
+        assert_eq!(at(2).stagnant, 1, "stagnation keeps the max");
+        assert_eq!(at(4).vectors, 80);
+        // Identical regardless of stream order.
+        let swapped = merge_flight_rows([b.as_slice(), a.as_slice()]);
+        assert_eq!(swapped, merged);
+    }
+
+    #[test]
+    fn vm_profiles_merge_and_resort() {
+        use symbfuzz_core::ConeRow;
+        let cone = |proc_index: u64, label: &str, execs: u64, fast: u64, op_units: u64| ConeRow {
+            proc_index,
+            label: label.into(),
+            execs,
+            fast,
+            escaped_x: execs - fast,
+            escaped_uncompiled: 0,
+            escaped_cyclic: 0,
+            op_units,
+        };
+        let a = VmProfileBlock {
+            rows: vec![cone(0, "alu", 10, 8, 100), cone(1, "pc", 10, 10, 50)],
+            op_classes: vec![("binary".into(), 40), ("store".into(), 10)],
+            total_execs: 20,
+            total_fast: 18,
+            total_escaped: 2,
+        };
+        let b = VmProfileBlock {
+            rows: vec![cone(1, "pc", 30, 30, 300)],
+            op_classes: vec![("binary".into(), 60)],
+            total_execs: 30,
+            total_fast: 30,
+            total_escaped: 0,
+        };
+        // A recorder-off campaign contributes None and disappears.
+        let merged = merge_vm_profiles([Some(&a), None, Some(&b)]).unwrap();
+        assert_eq!(merged.rows.len(), 2);
+        assert_eq!(merged.rows[0].label, "pc", "resorted hottest-first");
+        assert_eq!(merged.rows[0].execs, 40);
+        assert_eq!(merged.rows[0].op_units, 350);
+        assert_eq!(merged.rows[1].label, "alu");
+        assert_eq!(
+            merged.op_classes,
+            vec![("binary".into(), 100), ("store".into(), 10)]
+        );
+        assert_eq!(merged.total_execs, 50);
+        assert!((merged.hit_rate() - 48.0 / 50.0).abs() < 1e-12);
+        assert!(merge_vm_profiles([None, None]).is_none());
+    }
+
+    #[test]
+    fn solver_profiles_merge_hardest_first() {
+        let goal = |register: &str, conflicts: u64, escalations: Vec<u32>| GoalRow {
+            register: register.into(),
+            value: 1,
+            attempts: escalations.len() as u64,
+            sat: 1,
+            unsat: 0,
+            exhausted: 0,
+            neg_cache_hits: 2,
+            conflicts,
+            decisions: conflicts * 2,
+            propagations: conflicts * 10,
+            solver_calls: 3,
+            deepest_unroll: escalations.len() as u32,
+            escalations,
+        };
+        let a = SolverProfileBlock {
+            goals: vec![goal("easy", 5, vec![0]), goal("hard", 100, vec![0, 1])],
+            total_attempts: 3,
+            total_neg_cache_hits: 4,
+        };
+        let b = SolverProfileBlock {
+            goals: vec![goal("hard", 50, vec![2])],
+            total_attempts: 1,
+            total_neg_cache_hits: 2,
+        };
+        // A task that never solved contributes an empty default block.
+        let merged = merge_solver_profiles([&a, &b, &SolverProfileBlock::default()]);
+        assert_eq!(merged.goals.len(), 2);
+        assert_eq!(merged.goals[0].register, "hard", "hardest goal first");
+        assert_eq!(merged.goals[0].conflicts, 150);
+        assert_eq!(merged.goals[0].attempts, 3);
+        assert_eq!(merged.goals[0].deepest_unroll, 2);
+        assert_eq!(
+            merged.goals[0].escalations,
+            vec![0, 1, 2],
+            "escalation history concatenates in task order"
+        );
+        assert_eq!(merged.goals[1].register, "easy");
+        assert_eq!(merged.total_attempts, 4);
+        assert_eq!(merged.total_neg_cache_hits, 6);
     }
 
     #[test]

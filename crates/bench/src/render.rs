@@ -1,10 +1,12 @@
 //! Markdown rendering and JSON persistence for experiment results.
 
 use crate::experiments::*;
+use crate::pool::{merge_flight_rows, merge_solver_profiles, merge_telemetry, merge_vm_profiles};
 use serde::Serialize;
 use std::fs;
 use std::path::Path;
 use symbfuzz_core::CampaignResult;
+use symbfuzz_telemetry::{flight_line, status_json, write_atomic};
 
 /// Writes `value` as pretty JSON under `results/<name>.json` (relative
 /// to the workspace root when run via `cargo run`).
@@ -20,6 +22,60 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
         path,
         serde_json::to_string_pretty(value).expect("serializable"),
     )
+}
+
+/// Writes the canonical post-pool flight-recorder artifacts: every
+/// campaign's per-task sample stream merged by interval index
+/// ([`merge_flight_rows`]) into one `flight.jsonl`, and one
+/// `status.json` heartbeat built from the last merged sample, the
+/// merged telemetry block and the merged profiler sections. Because
+/// the merge folds deterministic per-task streams in item order, both
+/// artifacts are byte-identical at any `--jobs N` — this is the file
+/// CI `cmp`s across job counts. No-op when the recorder was off
+/// (nothing sampled) or when neither path is given; the `status.json`
+/// rewrite is atomic, so a concurrently polling `monitor` never sees a
+/// torn file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_flight_artifacts(
+    results: &[&CampaignResult],
+    flight_path: Option<&Path>,
+    status_path: Option<&Path>,
+) -> std::io::Result<()> {
+    let merged = merge_flight_rows(results.iter().map(|r| r.flight.as_slice()));
+    let Some(last) = merged.last() else {
+        return Ok(());
+    };
+    if let Some(path) = flight_path {
+        let mut text = String::new();
+        for row in &merged {
+            text.push_str(&flight_line(&row.to_sample()));
+            text.push('\n');
+        }
+        fs::write(path, text)?;
+    }
+    if let Some(path) = status_path {
+        let telemetry = merge_telemetry(results.iter().map(|r| &r.telemetry));
+        let mut extra = Vec::new();
+        if let Some(vm) = merge_vm_profiles(results.iter().map(|r| r.vm_profile.as_ref())) {
+            extra.push((
+                "vm_profile".to_string(),
+                serde_json::to_string(&vm).expect("serializable"),
+            ));
+        }
+        let solver = merge_solver_profiles(results.iter().map(|r| &r.solver_profile));
+        extra.push((
+            "solver_profile".to_string(),
+            serde_json::to_string(&solver).expect("serializable"),
+        ));
+        write_atomic(
+            path,
+            &status_json(&last.to_sample(), &telemetry.to_snapshot(), &extra),
+        )?;
+    }
+    Ok(())
 }
 
 fn check(b: bool) -> &'static str {

@@ -7,7 +7,10 @@
 //! collector emits), and the renderers behind the `tracedump` binary —
 //! a per-phase time table and a coverage/stagnation timeline.
 
-use symbfuzz_telemetry::{escape_json_into, Event, Mechanism, Phase, SolveStatus, UnknownReason};
+use symbfuzz_telemetry::{
+    bucket_of, escape_json_into, hist_quantile, Event, Mechanism, Phase, SolveStatus,
+    UnknownReason, HIST_BUCKETS,
+};
 
 /// One scalar value in a flat trace record.
 #[derive(Debug, Clone, PartialEq)]
@@ -234,6 +237,10 @@ pub const PHASE_KIND: &str = "Phase";
 /// (`Collector::emit_settle_metrics`).
 pub const METRICS_KIND: &str = "Metrics";
 
+/// Kind of the flight-recorder heartbeat records the sampler mirrors
+/// into the trace stream (`Sampler::maybe_sample`).
+pub const FLIGHT_KIND: &str = "Flight";
+
 /// The `(field, expected type)` schema of each record kind, beyond the
 /// common `t`/`task`/`kind` header. A `checkpoint` may be number or
 /// null; `solve_result` and `phase` are closed string enums checked
@@ -288,6 +295,16 @@ fn kind_schema(kind: &str) -> Option<&'static [(&'static str, &'static str)]> {
             ("x_island_cones", "number"),
             ("settle_sweeps", "number"),
         ]),
+        FLIGHT_KIND => Some(&[
+            ("interval", "number"),
+            ("vectors", "number"),
+            ("coverage", "number"),
+            ("stagnant", "number"),
+            ("d_vectors", "number"),
+            ("d_solver_calls", "number"),
+            ("d_settle_fast_path", "number"),
+            ("d_settle_escapes", "number"),
+        ]),
         _ => None,
     }
 }
@@ -324,7 +341,8 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
         v => return Err(format!("`kind` must be a string, got {}", v.type_name())),
     };
     let schema = kind_schema(&kind).ok_or(format!(
-        "unknown kind `{kind}` (expected one of {:?}, `{PHASE_KIND}` or `{METRICS_KIND}`)",
+        "unknown kind `{kind}` (expected one of {:?}, `{PHASE_KIND}`, `{METRICS_KIND}` \
+         or `{FLIGHT_KIND}`)",
         Event::KINDS
     ))?;
     if fields.len() != schema.len() {
@@ -403,33 +421,57 @@ fn fmt_micros(micros: u64) -> String {
     }
 }
 
-/// Renders the per-phase time table: span counts and self-time per
-/// [`Phase`], with each phase's share of the total accounted time.
+/// Renders the per-phase time table: span counts, self-time and share
+/// of the total accounted time per [`Phase`], plus p50/p90/p99 span
+/// durations estimated from the fixed log₄ histogram buckets each
+/// span's `micros` falls into (see
+/// [`symbfuzz_telemetry::hist_quantile`] — bucket-resolution estimates,
+/// deterministic and merge-stable, not exact order statistics).
 pub fn phase_table(records: &[TraceRecord]) -> String {
     let mut count = [0u64; Phase::COUNT];
     let mut micros = [0u64; Phase::COUNT];
+    let mut buckets = [[0u64; HIST_BUCKETS]; Phase::COUNT];
     for r in records.iter().filter(|r| r.kind == PHASE_KIND) {
         if let Some(p) = Phase::parse(r.str("phase")) {
             let i = Phase::ALL.iter().position(|q| *q == p).unwrap();
             count[i] += 1;
             micros[i] += r.num("micros");
+            buckets[i][bucket_of(r.num("micros"))] += 1;
         }
     }
     let total: u64 = micros.iter().sum();
-    let mut out = String::from("| Phase | spans | self time | share |\n|---|---|---|---|\n");
+    let quantiles = |b: &[u64]| {
+        format!(
+            "{} | {} | {}",
+            fmt_micros(hist_quantile(b, 0.50)),
+            fmt_micros(hist_quantile(b, 0.90)),
+            fmt_micros(hist_quantile(b, 0.99))
+        )
+    };
+    let mut out = String::from(
+        "| Phase | spans | self time | share | p50 | p90 | p99 |\n|---|---|---|---|---|---|---|\n",
+    );
     for (i, p) in Phase::ALL.iter().enumerate() {
         out.push_str(&format!(
-            "| {} | {} | {} | {:.1}% |\n",
+            "| {} | {} | {} | {:.1}% | {} |\n",
             p.name(),
             count[i],
             fmt_micros(micros[i]),
-            100.0 * micros[i] as f64 / total.max(1) as f64
+            100.0 * micros[i] as f64 / total.max(1) as f64,
+            quantiles(&buckets[i])
         ));
     }
+    let mut all = [0u64; HIST_BUCKETS];
+    for b in &buckets {
+        for (dst, src) in all.iter_mut().zip(b) {
+            *dst += src;
+        }
+    }
     out.push_str(&format!(
-        "| **total** | {} | {} | 100.0% |\n",
+        "| **total** | {} | {} | 100.0% | {} |\n",
         count.iter().sum::<u64>(),
-        fmt_micros(total)
+        fmt_micros(total),
+        quantiles(&all)
     ));
     out
 }
@@ -764,12 +806,47 @@ mod tests {
 ";
         let recs = parse_trace(text).unwrap();
         let table = phase_table(&recs);
-        assert!(table.contains("| mutate | 1 | 30µs | 30.0% |"), "{table}");
-        assert!(table.contains("| settle | 1 | 60µs | 60.0% |"), "{table}");
+        // A single span lands in one log₄ bucket, so every quantile
+        // reads the same bucket-resolution estimate (16–64µs → 63µs).
         assert!(
-            table.contains("| **total** | 3 | 100µs | 100.0% |"),
+            table.contains("| mutate | 1 | 30µs | 30.0% | 63µs | 63µs | 63µs |"),
             "{table}"
         );
+        assert!(
+            table.contains("| settle | 1 | 60µs | 60.0% | 63µs | 63µs | 63µs |"),
+            "{table}"
+        );
+        // The totals row interpolates across the merged histogram:
+        // one span in [4,16), two in [16,64).
+        assert!(
+            table.contains("| **total** | 3 | 100µs | 100.0% | 28µs | 57µs | 63µs |"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn flight_records_validate_and_round_trip() {
+        // The exact shape `Sampler::maybe_sample` mirrors into the
+        // trace stream.
+        let text = "\
+{\"t\":100,\"task\":2,\"kind\":\"Flight\",\"interval\":1,\"vectors\":1000,\"coverage\":42,\
+\"stagnant\":0,\"d_vectors\":1000,\"d_solver_calls\":3,\"d_settle_fast_path\":900,\
+\"d_settle_escapes\":100}
+";
+        let recs = parse_trace(text).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].kind, FLIGHT_KIND);
+        assert_eq!(recs[0].num("interval"), 1);
+        assert_eq!(recs[0].num("d_vectors"), 1000);
+        // Canonical re-serialization is byte-identical.
+        assert_eq!(to_json_lines(&recs), text);
+        // Flight records are heartbeat summaries, not timeline events.
+        assert_eq!(timeline(&recs), "");
+        // A truncated flight record is a schema violation.
+        assert!(parse_line(
+            "{\"t\":100,\"task\":2,\"kind\":\"Flight\",\"interval\":1,\"vectors\":1000}"
+        )
+        .is_err());
     }
 
     #[test]

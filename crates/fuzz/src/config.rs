@@ -152,6 +152,11 @@ pub struct FuzzConfig {
     /// Maximum budget-escalation level: after an exhausted solve the
     /// next attempt doubles the counter ceilings, up to `2^cap`×.
     pub escalation_cap: u32,
+    /// Flight-recorder sampling interval in input vectors (`None` =
+    /// recorder off). When set, the campaign captures one delta-
+    /// compressed metrics sample every `N` vectors (deterministic under
+    /// the manual clock) and enables the per-cone / per-goal profilers.
+    pub sample_every: Option<u64>,
 }
 
 impl Default for FuzzConfig {
@@ -173,6 +178,7 @@ impl Default for FuzzConfig {
             solver_budget: None,
             solve_wall_ms: None,
             escalation_cap: 3,
+            sample_every: None,
         }
     }
 }
@@ -204,6 +210,9 @@ impl FuzzConfig {
         if self.solver_budget == Some(0) || self.solve_wall_ms == Some(0) {
             return Err(ConfigError::ZeroSolverBudget);
         }
+        if self.sample_every == Some(0) {
+            return Err(ConfigError::ZeroSampleEvery);
+        }
         Ok(())
     }
 }
@@ -225,6 +234,9 @@ pub enum ConfigError {
     /// A solver budget of zero: every solve would exhaust immediately;
     /// use `use_solver: false` to disable guidance instead.
     ZeroSolverBudget,
+    /// `sample_every` set to zero: the recorder would sample every
+    /// vector boundary ambiguously; leave it `None` to disable.
+    ZeroSampleEvery,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -242,6 +254,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroSolverBudget => write!(
                 f,
                 "solver budget must be nonzero; set use_solver: false to disable guidance"
+            ),
+            ConfigError::ZeroSampleEvery => write!(
+                f,
+                "sample_every must be at least 1 vector; leave it unset to disable the recorder"
             ),
         }
     }
@@ -344,6 +360,14 @@ impl FuzzConfigBuilder {
         self
     }
 
+    /// Turns on the flight recorder: one metrics sample every `n`
+    /// input vectors, plus the per-cone and per-goal profilers.
+    #[must_use]
+    pub fn sample_every(mut self, n: u64) -> Self {
+        self.config.sample_every = Some(n);
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<FuzzConfig, ConfigError> {
         self.config.validate()?;
@@ -428,6 +452,10 @@ mod tests {
             FuzzConfig::builder().solver_budget(0).build().unwrap_err(),
             ConfigError::ZeroSolverBudget
         );
+        assert_eq!(
+            FuzzConfig::builder().sample_every(0).build().unwrap_err(),
+            ConfigError::ZeroSampleEvery
+        );
         // Every arm renders an informative message.
         for e in [
             ConfigError::ZeroInterval,
@@ -435,6 +463,7 @@ mod tests {
             ConfigError::SolverBudgetWithoutSolver,
             ConfigError::ZeroSolveDepth,
             ConfigError::ZeroSolverBudget,
+            ConfigError::ZeroSampleEvery,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -3,10 +3,13 @@
 use crate::config::{FuzzConfig, Strategy};
 use crate::mutate::{Granularity, Mutator};
 use crate::report::{
-    BugRecord, CampaignResult, CovMap, CoverageSample, EdgeCov, FrontierRow, GoalCov, NodeCov,
-    PropertySpec, ProvenanceRecord, ResourceStats, TelemetryBlock, COVMAP_VERSION,
+    BugRecord, CampaignResult, CovMap, CoverageSample, EdgeCov, FlightRow, FrontierRow, GoalCov,
+    NodeCov, PropertySpec, ProvenanceRecord, ResourceStats, SolverProfileBlock, TelemetryBlock,
+    VmProfileBlock, COVMAP_VERSION,
 };
 use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use symbfuzz_cfgx::{Cfg, NodeId, Provenance};
 use symbfuzz_logic::LogicVec;
@@ -15,12 +18,18 @@ use symbfuzz_props::{PropError, Property, PropertyChecker};
 use symbfuzz_ruvm::{Driver, SequenceItem, Sequencer};
 use symbfuzz_sim::{Simulator, Snapshot};
 use symbfuzz_smt::Budget;
-use symbfuzz_symexec::{ReachOutcome, SymbolicEngine};
-use symbfuzz_telemetry::{Collector, Counter, Event, Gauge, Mechanism, Phase, SolveStatus};
+use symbfuzz_symexec::{ReachOutcome, SolveProfiler, SymbolicEngine};
+use symbfuzz_telemetry::{
+    Collector, Counter, Event, Gauge, Mechanism, Phase, SampleState, Sampler, SolveStatus,
+};
 
 /// Unseen values listed per control register when building the
 /// uncovered-frontier table of the covmap artifact.
 const FRONTIER_VALUES_PER_REGISTER: usize = 8;
+
+/// Hot cones named in the VM-profile section of reports and the
+/// `status.json` heartbeat.
+const HOT_CONE_TOP_K: usize = 10;
 
 /// One symbolic solve attempt, recorded for the covmap goal log.
 struct GoalAttempt {
@@ -87,6 +96,12 @@ pub struct SymbFuzz {
     /// Defaults to a deterministic collector (manual clock driven by
     /// the vector count, null sink), so reports stay reproducible.
     telemetry: Arc<Collector>,
+    /// Flight recorder sampling the collector every
+    /// `config.sample_every` vectors (`None` = recorder off).
+    sampler: Option<Sampler>,
+    /// Per-goal solver work attribution (always collected; the rows
+    /// are a deterministic function of the campaign seed).
+    solve_profiler: SolveProfiler,
 }
 
 impl SymbFuzz {
@@ -130,6 +145,11 @@ impl SymbFuzz {
         let mut sim = Simulator::new(Arc::clone(&design));
         sim.set_collector(Some(Arc::clone(&telemetry)));
         sim.set_settle_mode(config.settle_policy.to_mode());
+        // The flight recorder pays for the per-cone VM profile too:
+        // both observers ride the same `sample_every` opt-in.
+        if config.sample_every.is_some() {
+            sim.enable_vm_profiler();
+        }
         sim.reset(config.reset_cycles);
         let granularity = match strategy {
             Strategy::RFuzz => Granularity::Bit,
@@ -165,8 +185,10 @@ impl SymbFuzz {
             sim,
             design,
             strategy,
+            sampler: config.sample_every.map(Sampler::new),
             config,
             telemetry,
+            solve_profiler: SolveProfiler::new(),
         })
     }
 
@@ -201,6 +223,51 @@ impl SymbFuzz {
             engine.set_collector(Some(Arc::clone(&telemetry)));
         }
         self.telemetry = telemetry;
+    }
+
+    /// Attaches live flight-recorder artifacts: `flight` is truncated
+    /// and appended to sample by sample, `status` is atomically
+    /// rewritten on every sample so it can be polled mid-run. No-op
+    /// unless the campaign was configured with
+    /// [`FuzzConfig::sample_every`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates creation errors for the flight file.
+    pub fn set_flight_outputs(
+        &mut self,
+        flight: Option<&Path>,
+        status: Option<&Path>,
+    ) -> io::Result<()> {
+        let Some(sampler) = &mut self.sampler else {
+            return Ok(());
+        };
+        if let Some(path) = flight {
+            sampler.set_flight_path(path)?;
+        }
+        if let Some(path) = status {
+            sampler.set_status_path(path);
+        }
+        Ok(())
+    }
+
+    /// The profiler sections appended to the `status.json` heartbeat
+    /// and attached to the campaign report: the per-cone VM profile
+    /// (when the compiled settle mode ran) and the per-goal solver
+    /// profile.
+    fn profile_sections(&self) -> Vec<(String, String)> {
+        let mut extra = Vec::new();
+        if let Some(p) = self.sim.vm_profile(HOT_CONE_TOP_K) {
+            let block = VmProfileBlock::from(p);
+            if let Ok(json) = serde_json::to_string(&block) {
+                extra.push(("vm_profile".to_string(), json));
+            }
+        }
+        let block = SolverProfileBlock::from(&self.solve_profiler);
+        if let Ok(json) = serde_json::to_string(&block) {
+            extra.push(("solver_profile".to_string(), json));
+        }
+        extra
     }
 
     /// Current coverage points.
@@ -262,6 +329,23 @@ impl SymbFuzz {
             .set_gauge(Gauge::CorpusSeeds, self.mutator.corpus_len() as u64);
         self.telemetry
             .set_gauge(Gauge::CaseCorpus, self.mutator.case_corpus_len() as u64);
+        if self.sampler.is_some() {
+            let state = SampleState {
+                vectors: self.vectors,
+                coverage: now as u64,
+                nodes: self.cfg.node_count() as u64,
+                edges: self.cfg.edge_count() as u64,
+                stagnant: self.stagnation as u64,
+            };
+            // Taken out and restored so the status heartbeat can read
+            // the profilers through `&self` while the sampler is live.
+            let mut sampler = self.sampler.take().expect("checked above");
+            if sampler.maybe_sample(&self.telemetry, &state).is_some() && sampler.has_status_path()
+            {
+                sampler.write_status(&self.profile_sections());
+            }
+            self.sampler = Some(sampler);
+        }
         if self.stagnation > self.config.threshold {
             self.telemetry.record(Event::StagnationEnter {
                 vectors: self.vectors,
@@ -308,6 +392,16 @@ impl SymbFuzz {
                 .collect(),
             telemetry: TelemetryBlock::from(self.telemetry.snapshot()),
             covmap: self.covmap(),
+            flight: self
+                .sampler
+                .as_ref()
+                .map(|s| s.samples().map(FlightRow::from).collect())
+                .unwrap_or_default(),
+            vm_profile: self
+                .sim
+                .vm_profile(HOT_CONE_TOP_K)
+                .map(VmProfileBlock::from),
+            solver_profile: SolverProfileBlock::from(&self.solve_profiler),
         }
     }
 
@@ -694,25 +788,43 @@ impl SymbFuzz {
                     return SolveStatus::Unsat;
                 }
                 let key = (checkpoint, reg, value.clone());
+                let target_value = value.to_u64().unwrap_or(0);
                 if self.neg_cache.contains(&key) {
                     self.telemetry.add(Counter::NegCacheHits, 1);
+                    let name = self.design.signal(reg).name.clone();
+                    self.solve_profiler.note_neg_cache_hit(&name, target_value);
                     continue;
                 }
                 tried += 1;
                 self.resources.solver_calls += 1;
-                let target_value = value.to_u64().unwrap_or(0);
-                let outcome = {
+                let result = {
                     let _span = self.telemetry.phase_owned(Phase::Solve);
                     let engine = self.engine.as_ref().expect("checked above");
-                    engine.solve_reach_budgeted(
+                    engine.solve_reach_profiled(
                         self.sim.values(),
                         &[(reg, value)],
                         self.config.solve_depth,
                         &budget,
                     )
                 };
+                let outcome = match result {
+                    Ok((outcome, stats)) => {
+                        let name = self.design.signal(reg).name.clone();
+                        self.solve_profiler.note_outcome(
+                            &name,
+                            target_value,
+                            self.escalation,
+                            &outcome,
+                            stats,
+                        );
+                        Some(outcome)
+                    }
+                    // An unposable goal never reached the solver; it is
+                    // cached like a proven unsat but left unprofiled.
+                    Err(_) => None,
+                };
                 match outcome {
-                    Ok(ReachOutcome::Reached(seq)) => {
+                    Some(ReachOutcome::Reached(seq)) => {
                         let items = seq
                             .iter()
                             .map(|a| SequenceItem::new(a.to_word(&self.design)));
@@ -726,13 +838,13 @@ impl SymbFuzz {
                             Some(self.note_goal(reg, target_value, checkpoint, SolveStatus::Sat));
                         return SolveStatus::Sat;
                     }
-                    Ok(ReachOutcome::Unreachable) | Err(_) => {
+                    Some(ReachOutcome::Unreachable) | None => {
                         // Proven unsat (or an unposable goal): never
                         // worth re-attempting from this rollback point.
                         self.neg_cache.insert(key);
                         self.note_goal(reg, target_value, checkpoint, SolveStatus::Unsat);
                     }
-                    Ok(ReachOutcome::Exhausted { reason, spent }) => {
+                    Some(ReachOutcome::Exhausted { reason, spent }) => {
                         self.neg_cache.insert(key);
                         self.note_goal(reg, target_value, checkpoint, SolveStatus::Unknown(reason));
                         self.telemetry.add(Counter::BudgetExhaustions, 1);
@@ -1108,6 +1220,118 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r, g.run());
+    }
+
+    #[test]
+    fn flight_recorder_samples_and_profiles_the_campaign() {
+        let d = lock_design();
+        let cfg = FuzzConfig {
+            interval: 32,
+            threshold: 1,
+            max_vectors: 20_000,
+            sample_every: Some(1_000),
+            ..FuzzConfig::default()
+        };
+        let mut f = SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, cfg, &lock_props()).unwrap();
+        let r = f.run();
+        // One sample per 1000-vector interval, intervals strictly
+        // increasing, deltas summing back to the cumulative counters.
+        assert_eq!(r.flight.len(), 20, "flight rows: {:?}", r.flight.len());
+        for w in r.flight.windows(2) {
+            assert!(w[1].interval > w[0].interval);
+            assert!(w[1].vectors > w[0].vectors);
+        }
+        let d_vectors: u64 = r.flight.iter().map(|s| s.d_counters[0]).sum();
+        assert_eq!(d_vectors, 20_000, "vector deltas reassemble the total");
+        let last = r.flight.last().unwrap();
+        assert_eq!(last.coverage, r.coverage_points);
+        // The compiled settle mode ran, so the VM profile names hot
+        // cones with their fast-path hit rates.
+        let vm = r
+            .vm_profile
+            .as_ref()
+            .expect("recorder enables the profiler");
+        assert!(!vm.rows.is_empty());
+        assert!(vm.total_execs > 0);
+        assert!(vm.rows[0].op_units >= vm.rows.last().unwrap().op_units);
+        assert!(vm.hit_rate() > 0.0, "two-state lock settles fast");
+        assert!(vm.op_classes.iter().any(|(_, n)| *n > 0));
+        // The solver profile attributes the lock goals by name.
+        assert!(r.solver_profile.total_attempts > 0);
+        assert!(r
+            .solver_profile
+            .goals
+            .iter()
+            .any(|g| g.register == "st" && g.sat > 0));
+        // Everything above is deterministic: a second campaign with the
+        // same seed reproduces the full report, recorder included.
+        let mut g = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            FuzzConfig {
+                interval: 32,
+                threshold: 1,
+                max_vectors: 20_000,
+                sample_every: Some(1_000),
+                ..FuzzConfig::default()
+            },
+            &lock_props(),
+        )
+        .unwrap();
+        assert_eq!(r, g.run());
+    }
+
+    #[test]
+    fn flight_recorder_writes_pollable_artifacts() {
+        let dir = std::env::temp_dir().join(format!("symbfuzz_flight_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let flight = dir.join("flight.jsonl");
+        let status = dir.join("status.json");
+        let d = lock_design();
+        let cfg = FuzzConfig {
+            interval: 32,
+            threshold: 1,
+            max_vectors: 5_000,
+            sample_every: Some(500),
+            ..FuzzConfig::default()
+        };
+        let mut f = SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, cfg, &lock_props()).unwrap();
+        f.set_flight_outputs(Some(&flight), Some(&status)).unwrap();
+        let r = f.run();
+        let text = std::fs::read_to_string(&flight).unwrap();
+        assert_eq!(text.lines().count(), r.flight.len());
+        assert!(text.lines().all(|l| l.starts_with("{\"v\":1,")));
+        let st = std::fs::read_to_string(&status).unwrap();
+        assert!(st.contains("\"v\":1"));
+        assert!(st.contains("\"counters\":{\"vectors\":"));
+        assert!(st.contains("\"vm_profile\":{"), "status: {st}");
+        assert!(st.contains("\"solver_profile\":{"), "status: {st}");
+        assert!(!status.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorder_off_leaves_the_report_unchanged() {
+        let d = lock_design();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(2_000),
+            &lock_props(),
+        )
+        .unwrap();
+        let r = f.run();
+        assert!(r.flight.is_empty());
+        assert!(
+            r.vm_profile.is_none(),
+            "profiler rides the sample_every opt-in"
+        );
+        // The solver profile is always collected (it is free and
+        // deterministic) so solver-using campaigns still report it.
+        assert_eq!(
+            r.solver_profile.total_attempts > 0,
+            r.resources.solver_calls > 0
+        );
     }
 
     #[test]

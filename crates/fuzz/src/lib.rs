@@ -51,6 +51,7 @@ pub use config::{ConfigError, FuzzConfig, FuzzConfigBuilder, SettlePolicy, Strat
 pub use fuzzer::SymbFuzz;
 pub use mutate::Mutator;
 pub use report::{
-    BugRecord, CampaignResult, CovMap, CoverageSample, EdgeCov, FrontierRow, GoalCov, NodeCov,
-    PhaseBlock, PropertySpec, ProvenanceRecord, ResourceStats, TelemetryBlock, COVMAP_VERSION,
+    BugRecord, CampaignResult, ConeRow, CovMap, CoverageSample, EdgeCov, FlightRow, FrontierRow,
+    GoalCov, GoalRow, NodeCov, PhaseBlock, PropertySpec, ProvenanceRecord, ResourceStats,
+    SolverProfileBlock, TelemetryBlock, VmProfileBlock, COVMAP_VERSION,
 };

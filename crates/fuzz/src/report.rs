@@ -1,7 +1,9 @@
 //! Campaign results, bug records and property specifications.
 
 use serde::{Deserialize, Serialize};
-use symbfuzz_telemetry::{MetricsSnapshot, PhaseStat};
+use symbfuzz_sim::VmProfile;
+use symbfuzz_symexec::SolveProfiler;
+use symbfuzz_telemetry::{FlightSample, MetricsSnapshot, PhaseStat};
 
 /// A security property plus its *oracle visibility*: which detection
 /// models can observe a violation of it.
@@ -352,6 +354,238 @@ impl TelemetryBlock {
     }
 }
 
+/// One flight-recorder sample (serialisable mirror of
+/// [`symbfuzz_telemetry::FlightSample`]). Vector fields are positional
+/// in the fixed telemetry schema orders; see the telemetry crate for
+/// the delta-compression contract.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlightRow {
+    /// Sample interval index (`vectors / sample_every`).
+    pub interval: u64,
+    /// Clock reading at sample time.
+    pub t: u64,
+    /// Task label of the sampled collector.
+    pub task: u64,
+    /// Input vectors consumed.
+    pub vectors: u64,
+    /// Coverage points reached.
+    pub coverage: u64,
+    /// CFG nodes covered.
+    pub nodes: u64,
+    /// CFG edges covered.
+    pub edges: u64,
+    /// Consecutive coverage-flat intervals.
+    pub stagnant: u64,
+    /// Counter deltas since the previous sample.
+    pub d_counters: Vec<u64>,
+    /// Absolute gauge levels.
+    pub gauges: Vec<u64>,
+    /// Event-count deltas since the previous sample.
+    pub d_events: Vec<u64>,
+    /// Phase self-time deltas since the previous sample.
+    pub d_phase_micros: Vec<u64>,
+}
+
+impl From<&FlightSample> for FlightRow {
+    fn from(s: &FlightSample) -> FlightRow {
+        FlightRow {
+            interval: s.interval,
+            t: s.t,
+            task: s.task,
+            vectors: s.vectors,
+            coverage: s.coverage,
+            nodes: s.nodes,
+            edges: s.edges,
+            stagnant: s.stagnant,
+            d_counters: s.d_counters.clone(),
+            gauges: s.gauges.clone(),
+            d_events: s.d_events.clone(),
+            d_phase_micros: s.d_phase_micros.clone(),
+        }
+    }
+}
+
+impl FlightRow {
+    /// Converts back to the telemetry-layer sample (for merging and
+    /// canonical [`symbfuzz_telemetry::flight_line`] rendering).
+    pub fn to_sample(&self) -> FlightSample {
+        FlightSample {
+            interval: self.interval,
+            t: self.t,
+            task: self.task,
+            vectors: self.vectors,
+            coverage: self.coverage,
+            nodes: self.nodes,
+            edges: self.edges,
+            stagnant: self.stagnant,
+            d_counters: self.d_counters.clone(),
+            gauges: self.gauges.clone(),
+            d_events: self.d_events.clone(),
+            d_phase_micros: self.d_phase_micros.clone(),
+        }
+    }
+}
+
+/// One hot-cone row of a [`VmProfileBlock`] (serialisable mirror of
+/// [`symbfuzz_sim::ConeProfile`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConeRow {
+    /// Process index in the design.
+    pub proc_index: u64,
+    /// Netlist label (first written signal of the process).
+    pub label: String,
+    /// Total dispatches of this cone.
+    pub execs: u64,
+    /// Dispatches through the word-level bytecode fast path.
+    pub fast: u64,
+    /// Interpreter escapes due to live X/Z in the input cone.
+    pub escaped_x: u64,
+    /// Interpreter escapes because the lowering rejected the process.
+    pub escaped_uncompiled: u64,
+    /// Local-fixpoint executions (combinational cycle member).
+    pub escaped_cyclic: u64,
+    /// Deterministic work charged (bytecode ops / statement weight).
+    pub op_units: u64,
+}
+
+impl ConeRow {
+    /// Fast-path hit rate of this cone, `0.0 ..= 1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.execs == 0 {
+            0.0
+        } else {
+            self.fast as f64 / self.execs as f64
+        }
+    }
+}
+
+/// The VM profiler section of a campaign report (serialisable mirror
+/// of [`symbfuzz_sim::VmProfile`]): top-K hot cones by deterministic
+/// op units, plus design-wide totals and the dynamic bytecode
+/// op-class histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VmProfileBlock {
+    /// Hottest cones by op units, hottest first.
+    pub rows: Vec<ConeRow>,
+    /// `(class name, dynamic op count)` in schema order.
+    pub op_classes: Vec<(String, u64)>,
+    /// Total cone dispatches across the design.
+    pub total_execs: u64,
+    /// Dispatches settled on the fast path.
+    pub total_fast: u64,
+    /// Dispatches that escaped to the interpreter (any reason).
+    pub total_escaped: u64,
+}
+
+impl From<VmProfile> for VmProfileBlock {
+    fn from(p: VmProfile) -> VmProfileBlock {
+        VmProfileBlock {
+            rows: p
+                .rows
+                .into_iter()
+                .map(|r| ConeRow {
+                    proc_index: r.proc_index as u64,
+                    label: r.label,
+                    execs: r.execs,
+                    fast: r.fast,
+                    escaped_x: r.escaped_x,
+                    escaped_uncompiled: r.escaped_uncompiled,
+                    escaped_cyclic: r.escaped_cyclic,
+                    op_units: r.op_units,
+                })
+                .collect(),
+            op_classes: p.op_classes,
+            total_execs: p.total_execs,
+            total_fast: p.total_fast,
+            total_escaped: p.total_escaped,
+        }
+    }
+}
+
+impl VmProfileBlock {
+    /// Design-wide fast-path hit rate, `0.0 ..= 1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_execs == 0 {
+            0.0
+        } else {
+            self.total_fast as f64 / self.total_execs as f64
+        }
+    }
+}
+
+/// One per-goal solver row (serialisable mirror of
+/// [`symbfuzz_symexec::GoalProfile`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GoalRow {
+    /// Target register name.
+    pub register: String,
+    /// Target value.
+    pub value: u64,
+    /// Reachability queries issued (cache hits excluded).
+    pub attempts: u64,
+    /// Queries that produced an input plan.
+    pub sat: u64,
+    /// Queries proven unreachable within their bound.
+    pub unsat: u64,
+    /// Queries that ran out of budget undecided.
+    pub exhausted: u64,
+    /// Times the negative cache short-circuited this goal.
+    pub neg_cache_hits: u64,
+    /// Cumulative CDCL conflicts across all attempts.
+    pub conflicts: u64,
+    /// Cumulative CDCL decisions across all attempts.
+    pub decisions: u64,
+    /// Cumulative unit propagations across all attempts.
+    pub propagations: u64,
+    /// Cumulative exact-depth solver calls.
+    pub solver_calls: u64,
+    /// Deepest unroll ever attempted for this goal.
+    pub deepest_unroll: u32,
+    /// Escalation level of each attempt, in attempt order.
+    pub escalations: Vec<u32>,
+}
+
+/// The per-goal solver-profiler section of a campaign report: goals
+/// sorted hardest-first by cumulative conflicts, plus campaign totals
+/// quantifying negative-cache effectiveness.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SolverProfileBlock {
+    /// Goal rows, hardest first (cumulative conflicts, then decisions).
+    pub goals: Vec<GoalRow>,
+    /// Total queries issued across all goals.
+    pub total_attempts: u64,
+    /// Total negative-cache short-circuits across all goals.
+    pub total_neg_cache_hits: u64,
+}
+
+impl From<&SolveProfiler> for SolverProfileBlock {
+    fn from(p: &SolveProfiler) -> SolverProfileBlock {
+        SolverProfileBlock {
+            goals: p
+                .sorted_rows()
+                .into_iter()
+                .map(|r| GoalRow {
+                    register: r.register.clone(),
+                    value: r.value,
+                    attempts: r.attempts,
+                    sat: r.sat,
+                    unsat: r.unsat,
+                    exhausted: r.exhausted,
+                    neg_cache_hits: r.neg_cache_hits,
+                    conflicts: r.conflicts,
+                    decisions: r.decisions,
+                    propagations: r.propagations,
+                    solver_calls: r.solver_calls,
+                    deepest_unroll: r.deepest_unroll,
+                    escalations: r.escalations.clone(),
+                })
+                .collect(),
+            total_attempts: p.total_attempts(),
+            total_neg_cache_hits: p.total_neg_cache_hits(),
+        }
+    }
+}
+
 /// The outcome of one fuzzing campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
@@ -386,6 +620,13 @@ pub struct CampaignResult {
     pub telemetry: TelemetryBlock,
     /// The coverage-provenance artifact (versioned).
     pub covmap: CovMap,
+    /// Flight-recorder samples (empty unless `sample_every` was set).
+    pub flight: Vec<FlightRow>,
+    /// Per-cone VM profile (present when the flight recorder enabled
+    /// the profiler and the compiled settle mode ran).
+    pub vm_profile: Option<VmProfileBlock>,
+    /// Per-goal solver profile (empty rows for solver-free campaigns).
+    pub solver_profile: SolverProfileBlock,
 }
 
 impl CampaignResult {
@@ -447,10 +688,65 @@ mod tests {
             solve_outcomes: vec![],
             telemetry: TelemetryBlock::default(),
             covmap: CovMap::empty("x", "d"),
+            flight: vec![],
+            vm_profile: None,
+            solver_profile: SolverProfileBlock::default(),
         };
         assert_eq!(r.vectors_to_reach(30), Some(50));
         assert_eq!(r.vectors_to_reach(51), None);
         assert!(!r.detected("p"));
+    }
+
+    #[test]
+    fn flight_rows_mirror_telemetry_samples() {
+        let s = FlightSample {
+            interval: 3,
+            t: 300,
+            task: 1,
+            vectors: 300,
+            coverage: 12,
+            nodes: 5,
+            edges: 7,
+            stagnant: 2,
+            d_counters: vec![100, 4],
+            gauges: vec![9],
+            d_events: vec![2, 0],
+            d_phase_micros: vec![60, 30],
+        };
+        let row = FlightRow::from(&s);
+        assert_eq!(row.to_sample(), s);
+        let j = serde_json::to_string(&row).unwrap();
+        assert_eq!(serde_json::from_str::<FlightRow>(&j).unwrap(), row);
+    }
+
+    #[test]
+    fn solver_profile_block_sorts_hardest_first() {
+        use symbfuzz_symexec::{ReachOutcome, ReachStats};
+        let mut p = SolveProfiler::new();
+        let stats = |conflicts: u64| ReachStats {
+            spent: symbfuzz_smt::BudgetSpent {
+                conflicts,
+                decisions: conflicts,
+                propagations: conflicts,
+            },
+            solver_calls: 1,
+            deepest_unroll: 2,
+        };
+        p.note_outcome("easy", 1, 0, &ReachOutcome::Unreachable, stats(1));
+        p.note_outcome("hard", 2, 0, &ReachOutcome::Unreachable, stats(50));
+        p.note_outcome("hard", 2, 1, &ReachOutcome::Reached(vec![]), stats(10));
+        p.note_neg_cache_hit("easy", 1);
+        let block = SolverProfileBlock::from(&p);
+        assert_eq!(block.goals[0].register, "hard");
+        assert_eq!(block.goals[0].escalations, vec![0, 1]);
+        assert_eq!(block.goals[0].conflicts, 60);
+        assert_eq!(block.total_attempts, 3);
+        assert_eq!(block.total_neg_cache_hits, 1);
+        let j = serde_json::to_string(&block).unwrap();
+        assert_eq!(
+            serde_json::from_str::<SolverProfileBlock>(&j).unwrap(),
+            block
+        );
     }
 
     #[test]

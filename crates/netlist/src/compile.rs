@@ -176,6 +176,102 @@ pub enum Op {
     NbaStoreBit { sig: u32, src: u16, idx: u16 },
 }
 
+/// Coarse instruction classes for profiling: every [`Op`] belongs to
+/// exactly one class, so per-cone op-class histograms partition the
+/// bytecode ([`WordCode::class_histogram`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Immediate constants (`Imm`).
+    Const,
+    /// Signal reads (`Load*`).
+    Load,
+    /// One-operand ALU ops, including reductions.
+    Unary,
+    /// Two-operand ALU ops (logic, arithmetic, comparisons).
+    Binary,
+    /// Shifts, dynamic and immediate.
+    Shift,
+    /// Conditional selects (`Mux`).
+    Mux,
+    /// Jumps and branch-coverage recording.
+    Control,
+    /// Signal writes, blocking and non-blocking.
+    Store,
+}
+
+impl OpClass {
+    /// Number of classes.
+    pub const COUNT: usize = 8;
+
+    /// All classes in index order.
+    pub const ALL: [OpClass; OpClass::COUNT] = [
+        OpClass::Const,
+        OpClass::Load,
+        OpClass::Unary,
+        OpClass::Binary,
+        OpClass::Shift,
+        OpClass::Mux,
+        OpClass::Control,
+        OpClass::Store,
+    ];
+
+    /// Stable lowercase name used in profiler tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Const => "const",
+            OpClass::Load => "load",
+            OpClass::Unary => "unary",
+            OpClass::Binary => "binary",
+            OpClass::Shift => "shift",
+            OpClass::Mux => "mux",
+            OpClass::Control => "control",
+            OpClass::Store => "store",
+        }
+    }
+
+    /// Index into [`OpClass::ALL`].
+    pub fn index(self) -> usize {
+        OpClass::ALL.iter().position(|c| *c == self).unwrap()
+    }
+}
+
+impl Op {
+    /// The profiling class this instruction belongs to.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Op::Imm { .. } => OpClass::Const,
+            Op::Load { .. } | Op::LoadPart { .. } | Op::LoadBit { .. } => OpClass::Load,
+            Op::Not { .. }
+            | Op::Neg { .. }
+            | Op::RedAnd { .. }
+            | Op::RedOr { .. }
+            | Op::RedXor { .. }
+            | Op::EqZero { .. } => OpClass::Unary,
+            Op::And { .. }
+            | Op::Or { .. }
+            | Op::Xor { .. }
+            | Op::AndImm { .. }
+            | Op::Add { .. }
+            | Op::Sub { .. }
+            | Op::Mul { .. }
+            | Op::Eq { .. }
+            | Op::Ne { .. }
+            | Op::Lt { .. }
+            | Op::Le { .. } => OpClass::Binary,
+            Op::Shl { .. } | Op::Shr { .. } | Op::ShlImm { .. } | Op::ShrImm { .. } => {
+                OpClass::Shift
+            }
+            Op::Mux { .. } => OpClass::Mux,
+            Op::Jmp { .. } | Op::Jz { .. } | Op::Jnz { .. } | Op::Record { .. } => OpClass::Control,
+            Op::Store { .. }
+            | Op::StorePart { .. }
+            | Op::StoreBit { .. }
+            | Op::NbaStore { .. }
+            | Op::NbaStoreBit { .. } => OpClass::Store,
+        }
+    }
+}
+
 /// Compiled straight-line bytecode for one process body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WordCode {
@@ -188,6 +284,19 @@ pub struct WordCode {
     /// check requires every one of these to be two-state before
     /// dispatching the fast path.
     pub reads: Vec<SignalId>,
+}
+
+impl WordCode {
+    /// Static instruction counts per [`OpClass`], in `OpClass::ALL`
+    /// order. Multiplying by a cone's execution count gives the
+    /// dynamic op-class mix without touching the hot loop.
+    pub fn class_histogram(&self) -> [u64; OpClass::COUNT] {
+        let mut hist = [0u64; OpClass::COUNT];
+        for op in &self.ops {
+            hist[op.class().index()] += 1;
+        }
+        hist
+    }
 }
 
 /// What the compiled kernel must keep observable.
@@ -1312,6 +1421,40 @@ mod tests {
             .iter()
             .flatten()
             .any(|wc| wc.ops.iter().any(|op| matches!(op, Op::NbaStore { .. }))));
+    }
+
+    #[test]
+    fn op_classes_partition_the_bytecode() {
+        let (d, c) = compiled(
+            "module m(input clk, input rst_n, input [7:0] d, output logic [7:0] q, output [7:0] y);
+               assign y = d ^ 8'hA5;
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 8'd0; else q <= q + 8'd1;
+             endmodule",
+            "m",
+            CompileOpts::default(),
+        );
+        for wc in c.procs.iter().flatten() {
+            let hist = wc.class_histogram();
+            // Every instruction lands in exactly one class.
+            assert_eq!(hist.iter().sum::<u64>(), wc.ops.len() as u64);
+            // Any executable cone ends in at least one store.
+            assert!(hist[OpClass::Store.index()] >= 1);
+        }
+        assert_eq!(OpClass::ALL.len(), OpClass::COUNT);
+        for (i, cl) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(cl.index(), i);
+        }
+        // Class names are unique (they key JSON objects).
+        let mut names: Vec<&str> = OpClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OpClass::COUNT);
+        // Cone labels name the written signal, per process.
+        let labels: Vec<String> = (0..d.processes.len()).map(|i| d.proc_label(i)).collect();
+        assert!(labels.contains(&"y".to_string()), "{labels:?}");
+        assert!(labels.contains(&"q".to_string()), "{labels:?}");
+        assert_eq!(d.proc_label(99), "proc99");
     }
 
     #[test]

@@ -414,6 +414,19 @@ impl Design {
         &self.signals[id.index()]
     }
 
+    /// A human-readable label for process `i` — the logic cone's name
+    /// in profiler tables. Named after the first signal the process
+    /// writes (already hierarchical for sub-instances), falling back
+    /// to `proc<i>` for a process with no writes or an out-of-range
+    /// index. Deterministic: derived purely from the elaborated IR.
+    pub fn proc_label(&self, i: usize) -> String {
+        self.processes
+            .get(i)
+            .and_then(|p| p.writes.first())
+            .map(|&w| self.signal(w).name.clone())
+            .unwrap_or_else(|| format!("proc{i}"))
+    }
+
     /// Iterates over top-level input ports (including clocks/resets).
     pub fn inputs(&self) -> impl Iterator<Item = SignalId> + '_ {
         self.signals

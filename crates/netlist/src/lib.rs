@@ -35,7 +35,8 @@ mod sched;
 
 pub use analysis::{classify_registers, reset_tree, DesignStats, RegClass, ResetTree};
 pub use compile::{
-    compile, word_mask, CompileOpts, CompileStats, CompiledDesign, Observability, Op, WordCode,
+    compile, word_mask, CompileOpts, CompileStats, CompiledDesign, Observability, Op, OpClass,
+    WordCode,
 };
 pub use elab::{elaborate, elaborate_src, ElabError};
 pub use ir::*;

@@ -40,11 +40,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod profiler;
 mod simulator;
 mod vcd;
 mod vcd_read;
 mod vm;
 
+pub use profiler::{ConeProfile, VmProfile, VmProfiler};
 pub use simulator::{BranchOutcome, SettleMode, SimError, Simulator, Snapshot};
 pub use vcd::VcdWriter;
 pub use vcd_read::{read_vcd, VcdParseError, VcdTrace};

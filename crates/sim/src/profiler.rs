@@ -1,0 +1,235 @@
+//! Per-cone VM profiler for the compiled settling mode.
+//!
+//! The flight recorder's campaign-level counters say *how often* the
+//! packed two-state fast path fired; this profiler says *where*. It
+//! keeps one row of relaxed plain counters per process (cone), charged
+//! from the compiled sweep's dispatch points:
+//!
+//! * **fast** — the cone ran through its word-level bytecode;
+//! * **escaped_x** — bytecode exists but an X/Z bit was live in the
+//!   input cone (an X-island), so the four-state interpreter ran;
+//! * **escaped_uncompiled** — the lowering rejected the process
+//!   (wide signal, unprovable dynamic index, …);
+//! * **escaped_cyclic** — the cone sits in a combinational cycle and
+//!   always settles through the local fixpoint.
+//!
+//! Work is charged in deterministic **op units**, not wall time: a fast
+//! execution costs the bytecode length, an interpreted one a static
+//! statement-tree weight. That keeps the profile byte-identical across
+//! `--jobs` and adds no clock reads to the hot loop. The
+//! [`VmProfile`] snapshot resolves rows to netlist names
+//! ([`Design::proc_label`]) and aggregates dynamic op-class histograms
+//! ([`WordCode::class_histogram`] × fast executions).
+
+use symbfuzz_netlist::{CompiledDesign, Design, NStmt, OpClass};
+
+/// Raw per-process counters (one row per process index).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ProcCounters {
+    execs: u64,
+    fast: u64,
+    escaped_x: u64,
+    escaped_uncompiled: u64,
+    escaped_cyclic: u64,
+    op_units: u64,
+}
+
+/// Static interpreter weight of a statement tree: one unit per node,
+/// branches charged for every arm (the interpreter may take any).
+fn stmt_weight(s: &NStmt) -> u64 {
+    match s {
+        NStmt::Block(stmts) => 1 + stmts.iter().map(stmt_weight).sum::<u64>(),
+        NStmt::If { then, els, .. } => {
+            1 + stmt_weight(then) + els.as_ref().map_or(0, |e| stmt_weight(e))
+        }
+        NStmt::Case { arms, default, .. } => {
+            1 + arms.iter().map(|(_, b)| stmt_weight(b)).sum::<u64>()
+                + default.as_ref().map_or(0, |d| stmt_weight(d))
+        }
+        NStmt::Assign { .. } => 1,
+        NStmt::Nop => 0,
+    }
+}
+
+/// The live per-cone profiler attached to a [`crate::Simulator`].
+///
+/// All counters are plain integers bumped from the single-threaded
+/// settle loop; the only cost when attached is one array index per
+/// dispatched cone.
+#[derive(Debug, Clone)]
+pub struct VmProfiler {
+    rows: Vec<ProcCounters>,
+    /// Op units charged per execution: bytecode length for compiled
+    /// procs, static statement weight otherwise.
+    fast_weight: Vec<u64>,
+    interp_weight: Vec<u64>,
+}
+
+impl VmProfiler {
+    /// Builds a profiler sized for `design`, with per-proc work
+    /// weights derived from `compiled`.
+    pub fn new(design: &Design, compiled: &CompiledDesign) -> VmProfiler {
+        let n = design.processes.len();
+        let fast_weight = (0..n)
+            .map(|i| {
+                compiled
+                    .procs
+                    .get(i)
+                    .and_then(|c| c.as_ref())
+                    .map_or(0, |c| c.ops.len() as u64)
+            })
+            .collect();
+        let interp_weight = design
+            .processes
+            .iter()
+            .map(|p| stmt_weight(&p.body).max(1))
+            .collect();
+        VmProfiler {
+            rows: vec![ProcCounters::default(); n],
+            fast_weight,
+            interp_weight,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn note_fast(&mut self, pi: usize) {
+        let r = &mut self.rows[pi];
+        r.execs += 1;
+        r.fast += 1;
+        r.op_units += self.fast_weight[pi];
+    }
+
+    #[inline]
+    pub(crate) fn note_escape_x(&mut self, pi: usize) {
+        let r = &mut self.rows[pi];
+        r.execs += 1;
+        r.escaped_x += 1;
+        r.op_units += self.interp_weight[pi];
+    }
+
+    #[inline]
+    pub(crate) fn note_escape_uncompiled(&mut self, pi: usize) {
+        let r = &mut self.rows[pi];
+        r.execs += 1;
+        r.escaped_uncompiled += 1;
+        r.op_units += self.interp_weight[pi];
+    }
+
+    #[inline]
+    pub(crate) fn note_escape_cyclic(&mut self, pi: usize) {
+        let r = &mut self.rows[pi];
+        r.execs += 1;
+        r.escaped_cyclic += 1;
+        r.op_units += self.interp_weight[pi];
+    }
+
+    /// Freezes the counters into a [`VmProfile`]: rows resolved to
+    /// netlist labels, sorted hottest-first by op units (ties broken by
+    /// process index, so the order is total and jobs-invariant), and
+    /// truncated to `top_k`. Rows that never executed are dropped.
+    pub fn profile(&self, design: &Design, compiled: &CompiledDesign, top_k: usize) -> VmProfile {
+        let mut class_totals = [0u64; OpClass::COUNT];
+        let mut rows: Vec<ConeProfile> = Vec::new();
+        let (mut execs, mut fast, mut escaped) = (0u64, 0u64, 0u64);
+        for (pi, r) in self.rows.iter().enumerate() {
+            if r.execs == 0 {
+                continue;
+            }
+            execs += r.execs;
+            fast += r.fast;
+            escaped += r.execs - r.fast;
+            if let Some(code) = compiled.procs.get(pi).and_then(|c| c.as_ref()) {
+                for (slot, n) in class_totals.iter_mut().zip(code.class_histogram()) {
+                    *slot += n * r.fast;
+                }
+            }
+            rows.push(ConeProfile {
+                proc_index: pi,
+                label: design.proc_label(pi),
+                execs: r.execs,
+                fast: r.fast,
+                escaped_x: r.escaped_x,
+                escaped_uncompiled: r.escaped_uncompiled,
+                escaped_cyclic: r.escaped_cyclic,
+                op_units: r.op_units,
+            });
+        }
+        rows.sort_by(|a, b| {
+            b.op_units
+                .cmp(&a.op_units)
+                .then(a.proc_index.cmp(&b.proc_index))
+        });
+        rows.truncate(top_k);
+        VmProfile {
+            rows,
+            op_classes: OpClass::ALL
+                .iter()
+                .zip(class_totals)
+                .map(|(c, n)| (c.name().to_string(), n))
+                .collect(),
+            total_execs: execs,
+            total_fast: fast,
+            total_escaped: escaped,
+        }
+    }
+}
+
+/// One hot-cone row of a [`VmProfile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeProfile {
+    /// Process index in the design.
+    pub proc_index: usize,
+    /// Netlist label ([`Design::proc_label`]: first written signal).
+    pub label: String,
+    /// Total dispatches of this cone.
+    pub execs: u64,
+    /// Dispatches through the word-level bytecode.
+    pub fast: u64,
+    /// Interpreter escapes due to live X/Z in the input cone.
+    pub escaped_x: u64,
+    /// Interpreter escapes because the lowering rejected the process.
+    pub escaped_uncompiled: u64,
+    /// Local-fixpoint executions (combinational cycle member).
+    pub escaped_cyclic: u64,
+    /// Deterministic work charged (bytecode ops / statement weight).
+    pub op_units: u64,
+}
+
+impl ConeProfile {
+    /// Fast-path hit rate of this cone, `0.0 ..= 1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.execs == 0 {
+            0.0
+        } else {
+            self.fast as f64 / self.execs as f64
+        }
+    }
+}
+
+/// A frozen profiler snapshot: the top-K hot cones plus design-wide
+/// totals and the dynamic bytecode op-class histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmProfile {
+    /// Hottest cones by op units, hottest first.
+    pub rows: Vec<ConeProfile>,
+    /// `(class name, dynamic op count)` in [`OpClass::ALL`] order —
+    /// static per-cone class histogram × fast executions.
+    pub op_classes: Vec<(String, u64)>,
+    /// Total cone dispatches across the design.
+    pub total_execs: u64,
+    /// Dispatches settled on the fast path.
+    pub total_fast: u64,
+    /// Dispatches that escaped to the interpreter (any reason).
+    pub total_escaped: u64,
+}
+
+impl VmProfile {
+    /// Design-wide fast-path hit rate, `0.0 ..= 1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_execs == 0 {
+            0.0
+        } else {
+            self.total_fast as f64 / self.total_execs as f64
+        }
+    }
+}

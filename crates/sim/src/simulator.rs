@@ -11,6 +11,8 @@ use symbfuzz_netlist::{
 };
 use symbfuzz_telemetry::{Collector, Counter, Gauge};
 
+use crate::profiler::{VmProfile, VmProfiler};
+
 /// How combinational logic is settled between clock edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SettleMode {
@@ -127,6 +129,8 @@ pub struct Simulator {
     x_island_hw: u64,
     /// Optional telemetry collector (steps, settles, snapshots).
     telemetry: Option<Arc<Collector>>,
+    /// Optional per-cone VM profiler (see [`crate::profiler`]).
+    vm_profiler: Option<VmProfiler>,
 }
 
 /// Non-blocking assignment pending commit.
@@ -239,6 +243,7 @@ impl Simulator {
             scratch_regs: Vec::new(),
             x_island_hw: 0,
             telemetry: None,
+            vm_profiler: None,
         };
         let _ = sim.settle_comb();
         sim
@@ -260,6 +265,46 @@ impl Simulator {
     fn count(&self, c: Counter, n: u64) {
         if let Some(t) = &self.telemetry {
             t.add(c, n);
+        }
+    }
+
+    /// Attaches the per-cone VM profiler (idempotent). Profiling data
+    /// accrues only in [`SettleMode::Compiled`], where the fast-path /
+    /// escape dispatch happens; other modes leave the rows at zero.
+    pub fn enable_vm_profiler(&mut self) {
+        if self.vm_profiler.is_none() {
+            self.vm_profiler = Some(VmProfiler::new(&self.design, &self.compiled));
+        }
+    }
+
+    /// Whether [`enable_vm_profiler`](Self::enable_vm_profiler) ran.
+    pub fn vm_profiler_enabled(&self) -> bool {
+        self.vm_profiler.is_some()
+    }
+
+    /// Snapshot of the per-cone profile (top-`top_k` hot cones), or
+    /// `None` if the profiler was never enabled.
+    pub fn vm_profile(&self, top_k: usize) -> Option<VmProfile> {
+        self.vm_profiler
+            .as_ref()
+            .map(|p| p.profile(&self.design, &self.compiled, top_k))
+    }
+
+    #[inline]
+    fn note_vm_fast(&mut self, pi: usize) {
+        if let Some(p) = &mut self.vm_profiler {
+            p.note_fast(pi);
+        }
+    }
+
+    #[inline]
+    fn note_vm_escape(&mut self, pi: usize, compiled_exists: bool) {
+        if let Some(p) = &mut self.vm_profiler {
+            if compiled_exists {
+                p.note_escape_x(pi);
+            } else {
+                p.note_escape_uncompiled(pi);
+            }
         }
     }
 
@@ -472,6 +517,11 @@ impl Simulator {
             }
             if unit.cyclic {
                 failed |= self.run_local_fixpoint(&design, &unit.procs).is_err();
+                if let Some(p) = &mut self.vm_profiler {
+                    for &cp in &unit.procs {
+                        p.note_escape_cyclic(cp as usize);
+                    }
+                }
                 continue;
             }
             let pi = unit.procs[0] as usize;
@@ -482,10 +532,12 @@ impl Simulator {
             match &compiled.procs[pi] {
                 Some(code) if self.cone_is_two_state(code) => {
                     fast += 1;
+                    self.note_vm_fast(pi);
                     self.exec_wordcode(code, &mut nba);
                 }
-                _ => {
+                other => {
                     escaped += 1;
+                    self.note_vm_escape(pi, other.is_some());
                     let p = &design.processes[pi];
                     self.exec_stmt(&p.body, &mut nba, true);
                 }
@@ -657,11 +709,13 @@ impl Simulator {
                     if let Some(code) = &compiled.procs[pidx as usize] {
                         if self.cone_is_two_state(code) {
                             fast += 1;
+                            self.note_vm_fast(pidx as usize);
                             self.exec_wordcode(code, &mut nba);
                             continue;
                         }
                     }
                     escaped += 1;
+                    self.note_vm_escape(pidx as usize, compiled.procs[pidx as usize].is_some());
                 }
                 let p = &design.processes[pidx as usize];
                 self.exec_stmt(&p.body, &mut nba, false);
@@ -1285,6 +1339,88 @@ mod tests {
         s.settle().unwrap();
         let y = s.design().signal_by_name("y").unwrap();
         assert_eq!(s.get(y).to_u64(), Some(0xA5));
+    }
+
+    #[test]
+    fn vm_profiler_attributes_fast_and_escaped_cones() {
+        let mut s = sim(
+            "module m(input clk, input rst_n, input [7:0] d,
+                      output logic [7:0] q, output [7:0] y);
+               assign y = d ^ 8'h0F;
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 8'd0; else q <= q + y;
+             endmodule",
+            "m",
+        );
+        assert!(s.vm_profile(10).is_none());
+        s.enable_vm_profiler();
+        assert!(s.vm_profiler_enabled());
+        s.reset(1);
+        for i in 0..20u64 {
+            s.apply_input_word(&LogicVec::from_u64(8, i));
+            s.step();
+        }
+        let p = s.vm_profile(10).unwrap();
+        assert!(p.total_execs > 0);
+        assert!(p.total_fast > 0, "{p:?}");
+        // Rows are hottest-first by op units and carry netlist labels.
+        assert!(p.rows.windows(2).all(|w| w[0].op_units >= w[1].op_units));
+        let labels: Vec<&str> = p.rows.iter().map(|r| r.label.as_str()).collect();
+        assert!(labels.contains(&"y"), "{labels:?}");
+        assert!(labels.contains(&"q"), "{labels:?}");
+        for r in &p.rows {
+            assert_eq!(
+                r.execs,
+                r.fast + r.escaped_x + r.escaped_uncompiled + r.escaped_cyclic
+            );
+            assert!(r.hit_rate() >= 0.0 && r.hit_rate() <= 1.0);
+        }
+        // The dynamic op-class histogram saw real bytecode work.
+        assert!(p.op_classes.iter().any(|(_, n)| *n > 0));
+        assert_eq!(p.op_classes[0].0, "const");
+        // Determinism: a fresh identical run produces the same profile.
+        let mut s2 = sim(
+            "module m(input clk, input rst_n, input [7:0] d,
+                      output logic [7:0] q, output [7:0] y);
+               assign y = d ^ 8'h0F;
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 8'd0; else q <= q + y;
+             endmodule",
+            "m",
+        );
+        s2.enable_vm_profiler();
+        s2.reset(1);
+        for i in 0..20u64 {
+            s2.apply_input_word(&LogicVec::from_u64(8, i));
+            s2.step();
+        }
+        assert_eq!(p, s2.vm_profile(10).unwrap());
+    }
+
+    #[test]
+    fn vm_profiler_counts_x_island_escapes() {
+        // q's cone stays X (never reset), so its register dispatches
+        // escape; the pure-input comb cone stays on the fast path.
+        let mut s = sim(
+            "module m(input clk, input [3:0] d, output logic [3:0] q, output [3:0] y);
+               assign y = d + 4'd1;
+               always_ff @(posedge clk) q <= q + 4'd1;
+             endmodule",
+            "m",
+        );
+        s.enable_vm_profiler();
+        for i in 0..8u64 {
+            s.apply_input_word(&LogicVec::from_u64(4, i));
+            s.step();
+        }
+        let p = s.vm_profile(10).unwrap();
+        let q = p.rows.iter().find(|r| r.label == "q").unwrap();
+        assert!(q.escaped_x > 0, "{q:?}");
+        assert_eq!(q.fast, 0);
+        let y = p.rows.iter().find(|r| r.label == "y").unwrap();
+        assert_eq!(y.escaped_x, 0);
+        assert!(y.fast > 0);
+        assert!((y.hit_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]

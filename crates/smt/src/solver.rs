@@ -306,6 +306,19 @@ impl BvSolver {
         self.pool.vars().len()
     }
 
+    /// Cumulative CDCL work this solver instance has performed, as a
+    /// [`BudgetSpent`] receipt (conflicts, decisions, propagations
+    /// since construction). Profilers diff two readings around a check
+    /// to charge that check's work to a goal.
+    pub fn spent(&self) -> BudgetSpent {
+        let s = self.blaster.solver();
+        BudgetSpent {
+            conflicts: s.conflicts(),
+            decisions: s.decisions(),
+            propagations: s.propagations(),
+        }
+    }
+
     /// CNF statistics from the blaster (vars, clauses).
     pub fn cnf_stats(&self) -> (usize, usize) {
         let s = self.blaster.stats();

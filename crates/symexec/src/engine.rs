@@ -109,9 +109,23 @@ impl ReachOutcome {
     }
 }
 
+/// Work receipt for one whole reachability query, aggregated across
+/// the geometric depth schedule — the raw material for the per-goal
+/// solver profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReachStats {
+    /// CDCL work consumed across every exact-depth solve, including
+    /// the one that decided the query.
+    pub spent: BudgetSpent,
+    /// Exact-depth SMT solves issued.
+    pub solver_calls: u32,
+    /// Deepest unroll attempted (0 if the depth ceiling was 0).
+    pub deepest_unroll: u32,
+}
+
 /// Outcome of one exact-depth budgeted solve (internal).
 enum ExactOutcome {
-    Sat(Vec<InputAssignment>),
+    Sat(Vec<InputAssignment>, BudgetSpent),
     Unsat(BudgetSpent),
     Exhausted {
         reason: UnknownReason,
@@ -308,6 +322,23 @@ impl SymbolicEngine {
         max_steps: u32,
         budget: &Budget,
     ) -> Result<ReachOutcome, ReachError> {
+        self.solve_reach_profiled(current, targets, max_steps, budget)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`solve_reach_budgeted`](Self::solve_reach_budgeted) plus a
+    /// [`ReachStats`] work receipt, accumulated on every path — Sat
+    /// included, unlike the spend carried inside
+    /// [`ReachOutcome::Exhausted`]. This is the entry point the
+    /// per-goal solver profiler uses; the plain budgeted variant is a
+    /// thin wrapper, so the two always solve identically.
+    pub fn solve_reach_profiled(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+        max_steps: u32,
+        budget: &Budget,
+    ) -> Result<(ReachOutcome, ReachStats), ReachError> {
         for t in targets {
             let s = self.design.signal(t.0);
             if t.1.has_unknown() {
@@ -321,15 +352,19 @@ impl SymbolicEngine {
                 });
             }
         }
+        let mut stats = ReachStats::default();
         let bound = budget
             .unroll_depth()
             .map_or(max_steps, |c| max_steps.min(c));
         let truncated = bound < max_steps;
         if bound == 0 {
-            return Ok(ReachOutcome::Exhausted {
-                reason: UnknownReason::UnrollDepth,
-                spent: BudgetSpent::default(),
-            });
+            return Ok((
+                ReachOutcome::Exhausted {
+                    reason: UnknownReason::UnrollDepth,
+                    spent: BudgetSpent::default(),
+                },
+                stats,
+            ));
         }
         // Geometric depth schedule: deep plans pad with idle cycles, so
         // exact-k solving at 1, 2, 4, … plus the bound itself finds any
@@ -338,15 +373,19 @@ impl SymbolicEngine {
         let mut k = 1;
         loop {
             let steps = k.min(bound);
+            stats.solver_calls += 1;
+            stats.deepest_unroll = stats.deepest_unroll.max(steps);
             let remaining = budget.remaining_after(spent_total);
             match self.solve_exact_budgeted(current, targets, steps, &remaining) {
-                ExactOutcome::Sat(seq) => return Ok(ReachOutcome::Reached(seq)),
+                ExactOutcome::Sat(seq, spent) => {
+                    stats.spent = spent_total.saturating_add(spent);
+                    return Ok((ReachOutcome::Reached(seq), stats));
+                }
                 ExactOutcome::Unsat(spent) => spent_total = spent_total.saturating_add(spent),
                 ExactOutcome::Exhausted { reason, spent } => {
-                    return Ok(ReachOutcome::Exhausted {
-                        reason,
-                        spent: spent_total.saturating_add(spent),
-                    })
+                    let spent = spent_total.saturating_add(spent);
+                    stats.spent = spent;
+                    return Ok((ReachOutcome::Exhausted { reason, spent }, stats));
                 }
             }
             if steps == bound {
@@ -354,13 +393,17 @@ impl SymbolicEngine {
             }
             k *= 2;
         }
+        stats.spent = spent_total;
         if truncated {
-            Ok(ReachOutcome::Exhausted {
-                reason: UnknownReason::UnrollDepth,
-                spent: spent_total,
-            })
+            Ok((
+                ReachOutcome::Exhausted {
+                    reason: UnknownReason::UnrollDepth,
+                    spent: spent_total,
+                },
+                stats,
+            ))
         } else {
-            Ok(ReachOutcome::Unreachable)
+            Ok((ReachOutcome::Unreachable, stats))
         }
     }
 
@@ -503,7 +546,7 @@ impl SymbolicEngine {
                     values.sort_by_key(|(s, _)| *s);
                     out.push(InputAssignment { values });
                 }
-                ExactOutcome::Sat(out)
+                ExactOutcome::Sat(out, spent)
             }
         }
     }

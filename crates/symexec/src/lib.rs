@@ -49,5 +49,7 @@
 //! ```
 
 mod engine;
+mod profiler;
 
-pub use engine::{InputAssignment, ReachError, ReachOutcome, SymbolicEngine};
+pub use engine::{InputAssignment, ReachError, ReachOutcome, ReachStats, SymbolicEngine};
+pub use profiler::{GoalProfile, SolveProfiler};

@@ -1,0 +1,200 @@
+//! Per-goal solver profiler.
+//!
+//! A *goal* is one `(register, value)` reachability target the fuzz
+//! loop keeps asking the symbolic engine about. The campaign counters
+//! say how much CDCL work the whole run consumed; this profiler
+//! attributes it goal by goal — cumulative conflicts/decisions/
+//! propagations, outcome tallies, negative-cache hits and the full
+//! escalation history (the budget level of every attempt, in order),
+//! so a stuck goal like `hard_factor`'s lock register is visible as a
+//! run of exhausted attempts at climbing budget levels.
+//!
+//! Rows live in a `Vec` in first-seen order with a side index, so
+//! iteration (and therefore serialization) is deterministic and
+//! byte-identical across `--jobs`.
+
+use crate::engine::{ReachOutcome, ReachStats};
+use std::collections::HashMap;
+
+/// Accumulated solver work for one `(register, value)` goal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GoalProfile {
+    /// Target register name.
+    pub register: String,
+    /// Target value (goals are ≤ 64 bits in the campaign loop).
+    pub value: u64,
+    /// Reachability queries issued for this goal (cache hits excluded).
+    pub attempts: u64,
+    /// Queries that produced an input plan.
+    pub sat: u64,
+    /// Queries proven unreachable within their bound.
+    pub unsat: u64,
+    /// Queries that ran out of budget undecided.
+    pub exhausted: u64,
+    /// Times the negative cache short-circuited this goal.
+    pub neg_cache_hits: u64,
+    /// Cumulative CDCL conflicts across all attempts.
+    pub conflicts: u64,
+    /// Cumulative CDCL decisions across all attempts.
+    pub decisions: u64,
+    /// Cumulative unit propagations across all attempts.
+    pub propagations: u64,
+    /// Cumulative exact-depth solver calls (depth-schedule fan-out).
+    pub solver_calls: u64,
+    /// Deepest unroll ever attempted for this goal.
+    pub deepest_unroll: u32,
+    /// Escalation level of each attempt, in attempt order — the
+    /// goal's budget-climbing history.
+    pub escalations: Vec<u32>,
+}
+
+/// Collects [`GoalProfile`] rows across a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct SolveProfiler {
+    rows: Vec<GoalProfile>,
+    index: HashMap<(String, u64), usize>,
+}
+
+impl SolveProfiler {
+    /// An empty profiler.
+    pub fn new() -> SolveProfiler {
+        SolveProfiler::default()
+    }
+
+    fn row_mut(&mut self, register: &str, value: u64) -> &mut GoalProfile {
+        let key = (register.to_string(), value);
+        let idx = *self.index.entry(key).or_insert_with(|| {
+            self.rows.push(GoalProfile {
+                register: register.to_string(),
+                value,
+                ..GoalProfile::default()
+            });
+            self.rows.len() - 1
+        });
+        &mut self.rows[idx]
+    }
+
+    /// Charges one completed reachability query to a goal.
+    pub fn note_outcome(
+        &mut self,
+        register: &str,
+        value: u64,
+        escalation: u32,
+        outcome: &ReachOutcome,
+        stats: ReachStats,
+    ) {
+        let row = self.row_mut(register, value);
+        row.attempts += 1;
+        match outcome {
+            ReachOutcome::Reached(_) => row.sat += 1,
+            ReachOutcome::Unreachable => row.unsat += 1,
+            ReachOutcome::Exhausted { .. } => row.exhausted += 1,
+        }
+        row.conflicts += stats.spent.conflicts;
+        row.decisions += stats.spent.decisions;
+        row.propagations += stats.spent.propagations;
+        row.solver_calls += u64::from(stats.solver_calls);
+        row.deepest_unroll = row.deepest_unroll.max(stats.deepest_unroll);
+        row.escalations.push(escalation);
+    }
+
+    /// Records a negative-cache short-circuit for a goal (no query was
+    /// issued; the cache remembered a prior Unsat).
+    pub fn note_neg_cache_hit(&mut self, register: &str, value: u64) {
+        self.row_mut(register, value).neg_cache_hits += 1;
+    }
+
+    /// Rows in first-seen order.
+    pub fn rows(&self) -> &[GoalProfile] {
+        &self.rows
+    }
+
+    /// Rows sorted hardest-first by cumulative conflicts (ties broken
+    /// by decisions, then first-seen order). The order is total, so it
+    /// is stable across runs.
+    pub fn sorted_rows(&self) -> Vec<&GoalProfile> {
+        let mut refs: Vec<(usize, &GoalProfile)> = self.rows.iter().enumerate().collect();
+        refs.sort_by(|(ia, a), (ib, b)| {
+            b.conflicts
+                .cmp(&a.conflicts)
+                .then(b.decisions.cmp(&a.decisions))
+                .then(ia.cmp(ib))
+        });
+        refs.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Total negative-cache hits across all goals — the cache's
+    /// effectiveness counter, next to total attempts.
+    pub fn total_neg_cache_hits(&self) -> u64 {
+        self.rows.iter().map(|r| r.neg_cache_hits).sum()
+    }
+
+    /// Total queries issued across all goals.
+    pub fn total_attempts(&self) -> u64 {
+        self.rows.iter().map(|r| r.attempts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_smt::BudgetSpent;
+    use symbfuzz_telemetry::UnknownReason;
+
+    fn stats(conflicts: u64, calls: u32, depth: u32) -> ReachStats {
+        ReachStats {
+            spent: BudgetSpent {
+                conflicts,
+                decisions: conflicts * 2,
+                propagations: conflicts * 10,
+            },
+            solver_calls: calls,
+            deepest_unroll: depth,
+        }
+    }
+
+    #[test]
+    fn goals_accumulate_and_keep_escalation_history() {
+        let mut p = SolveProfiler::new();
+        let exhausted = ReachOutcome::Exhausted {
+            reason: UnknownReason::Conflicts,
+            spent: BudgetSpent::default(),
+        };
+        p.note_outcome("lock", 1, 0, &exhausted, stats(50, 2, 2));
+        p.note_outcome("lock", 1, 1, &exhausted, stats(100, 3, 4));
+        p.note_outcome(
+            "lock",
+            1,
+            2,
+            &ReachOutcome::Reached(vec![]),
+            stats(30, 1, 1),
+        );
+        p.note_neg_cache_hit("lock", 1);
+        p.note_outcome("state", 3, 0, &ReachOutcome::Unreachable, stats(5, 2, 4));
+
+        assert_eq!(p.rows().len(), 2);
+        let lock = &p.rows()[0];
+        assert_eq!(lock.register, "lock");
+        assert_eq!(lock.attempts, 3);
+        assert_eq!((lock.sat, lock.unsat, lock.exhausted), (1, 0, 2));
+        assert_eq!(lock.escalations, vec![0, 1, 2]);
+        assert_eq!(lock.conflicts, 180);
+        assert_eq!(lock.solver_calls, 6);
+        assert_eq!(lock.deepest_unroll, 4);
+        assert_eq!(lock.neg_cache_hits, 1);
+        assert_eq!(p.total_attempts(), 4);
+        assert_eq!(p.total_neg_cache_hits(), 1);
+    }
+
+    #[test]
+    fn sorted_rows_put_hardest_goal_first() {
+        let mut p = SolveProfiler::new();
+        p.note_outcome("easy", 0, 0, &ReachOutcome::Unreachable, stats(1, 1, 1));
+        p.note_outcome("hard", 0, 0, &ReachOutcome::Unreachable, stats(999, 1, 1));
+        let sorted = p.sorted_rows();
+        assert_eq!(sorted[0].register, "hard");
+        assert_eq!(sorted[1].register, "easy");
+        // Insertion order is preserved in `rows()`.
+        assert_eq!(p.rows()[0].register, "easy");
+    }
+}

@@ -211,8 +211,11 @@ impl Phase {
 /// open-ended).
 pub const HIST_BUCKETS: usize = 12;
 
-fn bucket_of(micros: u64) -> usize {
-    // floor(log4(micros)) clamped into the bucket range; 0 → bucket 0.
+/// The histogram bucket a duration falls into: floor(log₄(micros))
+/// clamped into the bucket range; 0 → bucket 0. Shared with the
+/// quantile estimator and external histogram builders so every layer
+/// buckets identically.
+pub fn bucket_of(micros: u64) -> usize {
     let bits = 64 - micros.leading_zeros() as usize;
     (bits.saturating_sub(1) / 2).min(HIST_BUCKETS - 1)
 }
@@ -296,6 +299,22 @@ impl Collector {
     /// Labels every trace record from this collector (pool task index).
     pub fn set_task(&self, task: u64) {
         self.task.store(task, Ordering::Relaxed);
+    }
+
+    /// The task label trace records carry ([`Collector::set_task`]).
+    pub fn task(&self) -> u64 {
+        self.task.load(Ordering::Relaxed)
+    }
+
+    /// Streams one pre-formatted JSONL record to the sink, if a sink is
+    /// attached. The synthetic-record seam for layers (the flight
+    /// recorder) that format their own lines; like every record path
+    /// this is a no-op on a disabled sink.
+    pub fn trace_line(&self, line: &str) {
+        let mut sink = self.sink.lock().unwrap();
+        if sink.enabled() {
+            sink.write_line(line);
+        }
     }
 
     /// Replaces the trace sink.

@@ -22,14 +22,20 @@ mod clock;
 mod collector;
 mod event;
 mod log;
+mod sampler;
 mod sink;
 mod snapshot;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use collector::{
-    Collector, Counter, Gauge, OwnedPhaseTimer, Phase, PhaseTimer, DEFAULT_RING_CAP, HIST_BUCKETS,
+    bucket_of, Collector, Counter, Gauge, OwnedPhaseTimer, Phase, PhaseTimer, DEFAULT_RING_CAP,
+    HIST_BUCKETS,
 };
 pub use event::{escape_json_into, Event, Mechanism, SolveStatus, TimedEvent, UnknownReason};
 pub use log::{log_at, log_enabled, log_level, set_log_level, Level};
+pub use sampler::{
+    flight_line, merge_flight, status_json, write_atomic, FlightSample, SampleState, Sampler,
+    DEFAULT_SAMPLE_RING_CAP, FLIGHT_VERSION,
+};
 pub use sink::{BufferSink, FileSink, NullSink, SharedSink, StderrSink, TraceSink};
-pub use snapshot::{MetricsSnapshot, PhaseStat};
+pub use snapshot::{hist_quantile, MetricsSnapshot, PhaseStat};

@@ -32,7 +32,44 @@ pub struct MetricsSnapshot {
     pub phases: Vec<PhaseStat>,
 }
 
+/// Estimates the `q`-quantile (`0.0 ..= 1.0`) of a log₄ duration
+/// histogram ([`crate::bucket_of`] layout: bucket `i` holds durations
+/// in `[4^i, 4^(i+1))`, bucket 0 starts at 0). Linear interpolation
+/// within the crossing bucket; 0 for an empty histogram. Coarse by
+/// construction (the buckets are quarter-decades), but monotone in `q`
+/// and deterministic, which is what the phase tables need.
+pub fn hist_quantile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // 1-based rank of the sample the quantile falls on.
+    let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if (cum + n) as f64 >= rank {
+            let lo = if i == 0 { 0.0 } else { 4f64.powi(i as i32) };
+            let hi = 4f64.powi(i as i32 + 1);
+            let frac = (rank - cum as f64) / n as f64;
+            // Clamp below the exclusive upper bound so the estimate
+            // stays inside the bucket that contains the rank.
+            return (lo + frac * (hi - lo)).round().min(hi - 1.0) as u64;
+        }
+        cum += n;
+    }
+    4f64.powi(buckets.len() as i32) as u64
+}
+
 fn merge_pairs(into: &mut Vec<(String, u64)>, from: &[(String, u64)], max: bool) {
+    // Uneven inputs are legal: a task that never touched a subsystem
+    // (never solved, ran zero vectors) serialises an empty list, which
+    // contributes nothing.
+    if from.is_empty() {
+        return;
+    }
     if into.is_empty() {
         into.extend(from.iter().cloned());
         return;
@@ -51,11 +88,17 @@ fn merge_pairs(into: &mut Vec<(String, u64)>, from: &[(String, u64)], max: bool)
 impl MetricsSnapshot {
     /// Folds another snapshot into this one: counters, event counts,
     /// phase counts/self-times and histogram buckets sum; gauges take
-    /// the maximum (high-water mark across tasks).
+    /// the maximum (high-water mark across tasks). Uneven snapshots
+    /// merge gracefully: an empty section on either side defers to the
+    /// other, and a phase row missing its histogram widens to the
+    /// longer bucket vector.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         merge_pairs(&mut self.counters, &other.counters, false);
         merge_pairs(&mut self.gauges, &other.gauges, true);
         merge_pairs(&mut self.events, &other.events, false);
+        if other.phases.is_empty() {
+            return;
+        }
         if self.phases.is_empty() {
             self.phases = other.phases.clone();
             return;
@@ -65,6 +108,9 @@ impl MetricsSnapshot {
             debug_assert_eq!(dst.phase, src.phase);
             dst.count += src.count;
             dst.self_micros += src.self_micros;
+            if dst.buckets.len() < src.buckets.len() {
+                dst.buckets.resize(src.buckets.len(), 0);
+            }
             for (b, s) in dst.buckets.iter_mut().zip(&src.buckets) {
                 *b += s;
             }
@@ -166,5 +212,44 @@ mod tests {
         let s = sample(1, 1);
         assert_eq!(s.distinct_event_kinds(), 1);
         assert_eq!(s.phase_total_micros(), 6);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // Empty histogram → 0 at any quantile.
+        assert_eq!(hist_quantile(&[0; 12], 0.5), 0);
+        // All mass in one bucket: quantiles stay inside its range.
+        let mut h = [0u64; 12];
+        h[2] = 100; // durations in [16, 64)
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let v = hist_quantile(&h, q);
+            assert!((16..64).contains(&v), "q={q} → {v}");
+        }
+        assert!(hist_quantile(&h, 0.1) < hist_quantile(&h, 0.9));
+        // Mass split across buckets: the median lands in the lower
+        // bucket, the p99 in the upper.
+        let mut h = [0u64; 12];
+        h[1] = 90; // [4, 16)
+        h[4] = 10; // [256, 1024)
+        assert!((4..16).contains(&hist_quantile(&h, 0.5)));
+        assert!((256..1024).contains(&hist_quantile(&h, 0.99)));
+        // Monotone in q across the whole range.
+        let mut prev = 0;
+        for i in 0..=20 {
+            let v = hist_quantile(&h, i as f64 / 20.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantiles_match_collector_buckets() {
+        use crate::collector::bucket_of;
+        // A duration recorded through the collector's bucketing is
+        // recoverable to within its bucket by the estimator.
+        let mut h = vec![0u64; crate::HIST_BUCKETS];
+        h[bucket_of(500)] += 1;
+        let p50 = hist_quantile(&h, 0.5);
+        assert_eq!(bucket_of(p50), bucket_of(500));
     }
 }
