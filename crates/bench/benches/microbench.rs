@@ -17,7 +17,7 @@ use std::sync::Arc;
 use symbfuzz_designs::processor_benchmarks;
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{comb_schedule, compile, CompileOpts};
-use symbfuzz_sim::{SettleMode, Simulator};
+use symbfuzz_sim::{Reentry, SettleMode, Simulator};
 use symbfuzz_smt::{BvSolver, SatOutcome};
 use symbfuzz_symexec::SymbolicEngine;
 
@@ -30,7 +30,7 @@ fn sim_throughput(c: &mut Criterion) {
             &design,
             |bench, d| {
                 let mut sim = Simulator::new(Arc::clone(d));
-                sim.reset(2);
+                sim.reenter(Reentry::FullReset { cycles: 2 });
                 let word = LogicVec::from_u64(d.fuzz_width().max(1), 0x5A5A);
                 bench.iter(|| {
                     sim.apply_input_word(&word);
@@ -61,7 +61,7 @@ fn step_throughput_by_mode(c: &mut Criterion) {
             group.bench_with_input(id, &design, |bench, d| {
                 let mut sim = Simulator::new(Arc::clone(d));
                 sim.set_settle_mode(mode);
-                sim.reset(2);
+                sim.reenter(Reentry::FullReset { cycles: 2 });
                 let width = d.fuzz_width().max(1);
                 let mut i = 0u64;
                 bench.iter(|| {
@@ -91,7 +91,7 @@ fn settle_throughput_by_mode(c: &mut Criterion) {
             group.bench_with_input(id, &design, |bench, d| {
                 let mut sim = Simulator::new(Arc::clone(d));
                 sim.set_settle_mode(mode);
-                sim.reset(2);
+                sim.reenter(Reentry::FullReset { cycles: 2 });
                 let width = d.fuzz_width().max(1);
                 let mut i = 0u64;
                 bench.iter(|| {
@@ -135,7 +135,7 @@ fn vm_dispatch(c: &mut Criterion) {
         group.bench_function(label, |bench| {
             let mut sim = Simulator::new(Arc::clone(&design));
             sim.set_settle_mode(mode);
-            sim.reset(2);
+            sim.reenter(Reentry::FullReset { cycles: 2 });
             let width = design.fuzz_width().max(1);
             let mut i = 0u64;
             bench.iter(|| {
@@ -154,7 +154,7 @@ fn checkpoint_reentry(c: &mut Criterion) {
     let b = &processor_benchmarks()[0];
     let design = b.design().unwrap();
     let mut sim = Simulator::new(Arc::clone(&design));
-    sim.reset(2);
+    sim.reenter(Reentry::FullReset { cycles: 2 });
     // Walk 200 cycles into the design and checkpoint.
     let path: Vec<LogicVec> = (0..200u64)
         .map(|i| LogicVec::from_u64(design.fuzz_width().max(1), i.wrapping_mul(0x9E37)))
@@ -163,18 +163,19 @@ fn checkpoint_reentry(c: &mut Criterion) {
         sim.apply_input_word(w);
         sim.step();
     }
-    let snap = sim.snapshot();
+    let mut store = sim.snapshot_store(u64::MAX);
+    let snap = sim.fork(&mut store, None);
 
     let mut group = c.benchmark_group("checkpoint_reentry");
-    group.bench_function("snapshot_restore", |bench| {
+    group.bench_function("snapshot_enter", |bench| {
         bench.iter(|| {
-            sim.restore(&snap);
+            sim.enter(&store, snap.id);
             sim.cycle()
         });
     });
     group.bench_function("full_reset_plus_replay", |bench| {
         bench.iter(|| {
-            sim.reset(2);
+            sim.reenter(Reentry::FullReset { cycles: 2 });
             for w in &path {
                 sim.apply_input_word(w);
                 sim.step();

@@ -18,6 +18,10 @@
 //!   settling engine for every campaign (`fixpoint`, `levelized` or
 //!   `compiled`; default `compiled`) — see
 //!   [`crate::experiments::set_settle_policy`];
+//! * `--snapshot-budget N` / `--snapshot-budget=N` — byte budget for
+//!   the copy-on-write snapshot store; unique bytes beyond it trigger
+//!   oldest-first eviction
+//!   (see [`crate::experiments::set_snapshot_budget`]);
 //! * `--sample-every N` / `--sample-every=N` — flight-recorder
 //!   sampling interval in vectors; enables the sampler and the
 //!   per-cone/per-goal profilers
@@ -50,6 +54,8 @@ pub struct BenchArgs {
     pub solve_wall_ms: Option<u64>,
     /// Settle engine from `--settle-mode`, if any.
     pub settle_mode: Option<SettlePolicy>,
+    /// Snapshot-store byte budget from `--snapshot-budget`, if any.
+    pub snapshot_budget: Option<u64>,
     /// Flight-recorder interval (vectors) from `--sample-every`, if any.
     pub sample_every: Option<u64>,
     /// Merged flight-stream file from `--flight-out`, if any.
@@ -77,6 +83,7 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
     let mut solver_budget = None;
     let mut solve_wall_ms = None;
     let mut settle_mode = None;
+    let mut snapshot_budget = None;
     let mut sample_every = None;
     let mut flight_out = None;
     let mut status_out = None;
@@ -112,6 +119,10 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
                 .or(settle_mode);
         } else if let Some(v) = a.strip_prefix("--settle-mode=") {
             settle_mode = SettlePolicy::parse(v).or(settle_mode);
+        } else if a == "--snapshot-budget" {
+            snapshot_budget = args.next().and_then(|v| v.parse().ok()).or(snapshot_budget);
+        } else if let Some(v) = a.strip_prefix("--snapshot-budget=") {
+            snapshot_budget = v.parse().ok().or(snapshot_budget);
         } else if a == "--sample-every" {
             sample_every = args.next().and_then(|v| v.parse().ok()).or(sample_every);
         } else if let Some(v) = a.strip_prefix("--sample-every=") {
@@ -141,6 +152,7 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
         solver_budget,
         solve_wall_ms,
         settle_mode,
+        snapshot_budget,
         sample_every,
         flight_out,
         status_out,
@@ -164,6 +176,9 @@ pub fn parse_bench_args() -> BenchArgs {
     }
     if let Some(policy) = parsed.settle_mode {
         crate::experiments::set_settle_policy(policy);
+    }
+    if let Some(budget) = parsed.snapshot_budget {
+        crate::experiments::set_snapshot_budget(budget);
     }
     if let Some(every) = parsed.sample_every {
         crate::experiments::set_sampling(every);
@@ -240,6 +255,19 @@ mod tests {
         let d = split("--settle-mode warp");
         assert_eq!(d.settle_mode, None);
         assert!(split("42").settle_mode.is_none());
+    }
+
+    #[test]
+    fn extracts_snapshot_budget() {
+        let a = split("2000 --snapshot-budget 65536 -j 2");
+        assert_eq!(a.rest, vec!["2000".to_string()]);
+        assert_eq!(a.snapshot_budget, Some(65_536));
+        let b = split("--snapshot-budget=1048576");
+        assert_eq!(b.snapshot_budget, Some(1_048_576));
+        // Malformed values fall back to unset.
+        let c = split("--snapshot-budget plenty");
+        assert_eq!(c.snapshot_budget, None);
+        assert!(split("42").snapshot_budget.is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use symbfuzz_bench::render::save_json;
 use symbfuzz_designs::{bug_benchmarks, processor_benchmarks};
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::Design;
-use symbfuzz_sim::{SettleMode, Simulator};
+use symbfuzz_sim::{Reentry, SettleMode, Simulator};
 
 /// One design's three-way throughput measurement.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,7 +47,7 @@ struct SimBenchRow {
 fn throughput(design: &Arc<Design>, mode: SettleMode, cycles: u64) -> f64 {
     let mut sim = Simulator::new(Arc::clone(design));
     sim.set_settle_mode(mode);
-    sim.reset(2);
+    sim.reenter(Reentry::FullReset { cycles: 2 });
     let width = design.fuzz_width().max(1);
     let mut state = 0xBEEFu64;
     // Warm up caches and settle into steady state.

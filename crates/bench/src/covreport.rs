@@ -59,6 +59,13 @@ pub struct StrategyReport {
     pub snapshot_restores: u64,
     /// Cycles re-driven by reset-and-replay rollbacks.
     pub replayed_cycles: u64,
+    /// Pages physically copied into the snapshot store at fork time.
+    pub snapshot_pages_copied: u64,
+    /// Pages shared with a snapshot-tree parent instead of copied.
+    pub snapshot_pages_shared: u64,
+    /// Copy-on-write sharing ratio ×1000: logical snapshot bytes over
+    /// unique stored bytes at campaign end (1000 = no sharing).
+    pub snapshot_sharing_milli: u64,
 }
 
 /// One link of a bug's provenance chain: a covered node and the
@@ -147,6 +154,13 @@ pub fn build_report(design: &str, budget: u64, results: &[(String, CampaignResul
                     .find(|(k, _)| k == n)
                     .map_or(0, |(_, v)| *v)
             };
+            let gauge = |n: &str| {
+                r.telemetry
+                    .gauges
+                    .iter()
+                    .find(|(k, _)| k == n)
+                    .map_or(0, |(_, v)| *v)
+            };
             StrategyReport {
                 strategy: name.clone(),
                 vectors: r.vectors,
@@ -160,6 +174,9 @@ pub fn build_report(design: &str, budget: u64, results: &[(String, CampaignResul
                 full_resets: r.resources.full_resets,
                 snapshot_restores: counter("snapshot_restores"),
                 replayed_cycles: counter("replayed_cycles"),
+                snapshot_pages_copied: r.resources.snapshot_pages_copied,
+                snapshot_pages_shared: r.resources.snapshot_pages_shared,
+                snapshot_sharing_milli: gauge("snapshot_sharing_milli"),
             }
         })
         .collect();
@@ -508,16 +525,21 @@ pub fn render_html(r: &CovReport) -> String {
     out.push_str(
         "<h2>Checkpoint and partial-reset savings</h2>\n\
          <table><tr><th>strategy</th><th>rollbacks</th><th>snapshot restores</th>\
-         <th>replayed cycles</th><th>full resets</th></tr>\n",
+         <th>replayed cycles</th><th>full resets</th><th>pages copied</th>\
+         <th>pages shared</th><th>sharing ×</th></tr>\n",
     );
     for s in &r.strategies {
         out.push_str(&format!(
-            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{:.2}</td></tr>\n",
             esc(&s.strategy),
             s.rollbacks,
             s.snapshot_restores,
             s.replayed_cycles,
-            s.full_resets
+            s.full_resets,
+            s.snapshot_pages_copied,
+            s.snapshot_pages_shared,
+            s.snapshot_sharing_milli as f64 / 1000.0
         ));
     }
     out.push_str("</table>\n");
@@ -655,6 +677,9 @@ mod tests {
                 full_resets: 0,
                 snapshot_restores: 1,
                 replayed_cycles: 0,
+                snapshot_pages_copied: 4,
+                snapshot_pages_shared: 12,
+                snapshot_sharing_milli: 4000,
             }],
             bugs: vec![BugReport {
                 strategy: "SymbFuzz".into(),

@@ -78,6 +78,25 @@ pub fn settle_policy() -> SettlePolicy {
     SETTLE_POLICY.get().copied().unwrap_or_default()
 }
 
+/// The process-global snapshot-store byte budget, set once by
+/// `--snapshot-budget`.
+static SNAPSHOT_BUDGET: OnceLock<u64> = OnceLock::new();
+
+/// Bounds the copy-on-write snapshot store of every subsequent
+/// campaign in this process at `bytes` unique page bytes; beyond it
+/// the oldest snapshots are evicted first. First call wins; later
+/// calls are no-ops. Eviction order is a pure function of the campaign
+/// seed, so reports stay byte-identical at any `--jobs`.
+pub fn set_snapshot_budget(bytes: u64) {
+    let _ = SNAPSHOT_BUDGET.set(bytes);
+}
+
+/// The active snapshot budget (`None` when unset — campaigns use the
+/// [`FuzzConfig`] default).
+pub fn snapshot_budget() -> Option<u64> {
+    SNAPSHOT_BUDGET.get().copied()
+}
+
 /// The process-global flight-recorder interval, set once by
 /// `--sample-every`.
 static SAMPLING: OnceLock<u64> = OnceLock::new();
@@ -145,6 +164,9 @@ fn campaign_config(budget: u64, seed: u64) -> FuzzConfig {
     }
     if let Some(every) = sampling() {
         b = b.sample_every(every);
+    }
+    if let Some(bytes) = snapshot_budget() {
+        b = b.snapshot_mem_budget(bytes);
     }
     b.build().expect("bench campaign config is consistent")
 }
@@ -644,6 +666,9 @@ pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<Bud
             .escalation_cap(1);
         if let Some(every) = sampling() {
             b = b.sample_every(every);
+        }
+        if let Some(bytes) = snapshot_budget() {
+            b = b.snapshot_mem_budget(bytes);
         }
         let config = b.build().expect("budget profile config is consistent");
         let mut fuzzer = SymbFuzz::new(Arc::clone(design), Strategy::SymbFuzz, config, props)

@@ -17,7 +17,7 @@ use symbfuzz_core::{FuzzConfig, SettlePolicy, Strategy, SymbFuzz};
 use symbfuzz_designs::{bug_benchmarks, processor_benchmarks};
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{elaborate_src, BranchId, Design};
-use symbfuzz_sim::{SettleMode, SimError, Simulator};
+use symbfuzz_sim::{Reentry, SettleMode, SimError, Simulator};
 
 /// Deterministic input-word generator (64-bit LCG, chunked to width).
 fn next_word(width: u32, state: &mut u64) -> LogicVec {
@@ -89,13 +89,16 @@ fn assert_lockstep(design: &Arc<Design>, name: &str, cycles: u32) {
         check(&cmp, &lev, &fix, &format!("un-reset cycle {c}"));
     }
 
-    cmp.reset(2);
-    lev.reset(2);
-    fix.reset(2);
+    cmp.reenter(Reentry::FullReset { cycles: 2 });
+    lev.reenter(Reentry::FullReset { cycles: 2 });
+    fix.reenter(Reentry::FullReset { cycles: 2 });
     check(&cmp, &lev, &fix, "post-reset state");
 
     let width = design.fuzz_width();
     let mut state = 0x5EED_0BAD ^ name.len() as u64;
+    let mut store_cmp = cmp.snapshot_store(u64::MAX);
+    let mut store_lev = lev.snapshot_store(u64::MAX);
+    let mut store_fix = fix.snapshot_store(u64::MAX);
     let mut snaps = None;
     for c in 0..cycles {
         let word = next_word(width, &mut state);
@@ -107,15 +110,19 @@ fn assert_lockstep(design: &Arc<Design>, name: &str, cycles: u32) {
         fix.step();
         check(&cmp, &lev, &fix, &format!("cycle {c}"));
         if c == cycles / 2 {
-            snaps = Some((cmp.snapshot(), lev.snapshot(), fix.snapshot()));
+            snaps = Some((
+                cmp.fork(&mut store_cmp, None).id,
+                lev.fork(&mut store_lev, None).id,
+                fix.fork(&mut store_fix, None).id,
+            ));
         }
     }
 
-    // Restore the mid-run checkpoints and diverge identically again.
+    // Re-enter the mid-run checkpoints and diverge identically again.
     let (cs, ls, fs) = snaps.expect("snapshot taken");
-    cmp.restore(&cs);
-    lev.restore(&ls);
-    fix.restore(&fs);
+    cmp.enter(&store_cmp, cs);
+    lev.enter(&store_lev, ls);
+    fix.enter(&store_fix, fs);
     for c in 0..8 {
         let word = next_word(width, &mut state);
         cmp.apply_input_word(&word);

@@ -291,6 +291,46 @@ impl Cfg {
         &self.nodes[node.index()].path
     }
 
+    /// Length of a node's first-reach path from reset, in input words.
+    pub fn path_len(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].path.len()
+    }
+
+    /// Whether `anc`'s first-reach path is a (possibly equal) prefix of
+    /// `node`'s: replaying `node`'s residual suffix from `anc`'s state
+    /// lands exactly on `node`.
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        let a = &self.nodes[anc.index()].path;
+        let n = &self.nodes[node.index()].path;
+        a.len() <= n.len() && *a == n[..a.len()]
+    }
+
+    /// Among `candidates`, the one whose path is the longest prefix of
+    /// `node`'s path — the cheapest snapshot to re-enter before
+    /// replaying the residual suffix. Ties (equal path length) resolve
+    /// to the earliest candidate in iteration order, so the result is a
+    /// pure function of the argument sequence. Returns `None` when no
+    /// candidate is an ancestor (including `node` itself at distance 0,
+    /// if present among the candidates).
+    pub fn nearest_ancestor<I>(&self, node: NodeId, candidates: I) -> Option<NodeId>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        candidates
+            .into_iter()
+            .filter(|&c| self.is_ancestor(c, node))
+            .fold(None, |best: Option<NodeId>, c| match best {
+                Some(b) if self.path_len(b) >= self.path_len(c) => Some(b),
+                _ => Some(c),
+            })
+    }
+
+    /// The residual input suffix that walks from a state `from_len`
+    /// words along `node`'s first-reach path to `node` itself.
+    pub fn replay_suffix(&self, node: NodeId, from_len: usize) -> &[LogicVec] {
+        &self.nodes[node.index()].path[from_len..]
+    }
+
     /// Values of control register `i` (tuple position) never observed,
     /// bounded by the register's legal encodings and capped at
     /// `limit` candidates — the paper's "unexplored nodes" the solver
@@ -599,5 +639,57 @@ mod tests {
             cfg.observe(&frame(&d, st, 0), &w, st, pr(st));
         }
         assert!((cfg.node_coverage_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ancestry_follows_path_prefixes() {
+        let (d, mut cfg) = setup();
+        let w1 = LogicVec::from_u64(2, 1);
+        let w2 = LogicVec::from_u64(2, 2);
+        let w3 = LogicVec::from_u64(2, 3);
+        cfg.note_reset();
+        let a = cfg.observe(&frame(&d, 0, 0), &w1, 0, pr(0)).node;
+        let b = cfg.observe(&frame(&d, 1, 1), &w2, 1, pr(1)).node;
+        let c = cfg.observe(&frame(&d, 2, 2), &w3, 2, pr(2)).node;
+        // A sibling reached on a different first word after reset.
+        cfg.note_reset();
+        let s = cfg.observe(&frame(&d, 3, 3), &w2, 3, pr(3)).node;
+
+        assert!(cfg.is_ancestor(a, c) && cfg.is_ancestor(b, c));
+        assert!(cfg.is_ancestor(c, c), "a node is its own ancestor");
+        assert!(!cfg.is_ancestor(c, a), "ancestry is directional");
+        assert!(!cfg.is_ancestor(s, c), "sibling paths do not prefix");
+        assert_eq!(cfg.path_len(a), 1);
+        assert_eq!(cfg.path_len(c), 3);
+    }
+
+    #[test]
+    fn nearest_ancestor_picks_longest_prefix_deterministically() {
+        let (d, mut cfg) = setup();
+        let w1 = LogicVec::from_u64(2, 1);
+        let w2 = LogicVec::from_u64(2, 2);
+        let w3 = LogicVec::from_u64(2, 3);
+        cfg.note_reset();
+        let a = cfg.observe(&frame(&d, 0, 0), &w1, 0, pr(0)).node;
+        let b = cfg.observe(&frame(&d, 1, 1), &w2, 1, pr(1)).node;
+        let c = cfg.observe(&frame(&d, 2, 2), &w3, 2, pr(2)).node;
+        cfg.note_reset();
+        let s = cfg.observe(&frame(&d, 3, 3), &w2, 3, pr(3)).node;
+
+        // The deepest snapshotted ancestor wins regardless of order.
+        assert_eq!(cfg.nearest_ancestor(c, [a, b]), Some(b));
+        assert_eq!(cfg.nearest_ancestor(c, [b, a]), Some(b));
+        // An exact hit (node itself snapshotted) beats any strict
+        // ancestor: zero residual replay.
+        assert_eq!(cfg.nearest_ancestor(c, [a, c, b]), Some(c));
+        // Non-ancestors never match.
+        assert_eq!(cfg.nearest_ancestor(c, [s]), None);
+        assert_eq!(cfg.nearest_ancestor(a, []), None);
+
+        // The residual suffix from the winner replays only the gap.
+        let suffix = cfg.replay_suffix(c, cfg.path_len(b));
+        assert_eq!(suffix.len(), 1);
+        assert_eq!(suffix[0].to_u64(), Some(3));
+        assert_eq!(cfg.replay_suffix(c, cfg.path_len(c)).len(), 0);
     }
 }

@@ -70,7 +70,7 @@ mod tests {
     use super::*;
     use symbfuzz_logic::LogicVec;
     use symbfuzz_netlist::classify_registers;
-    use symbfuzz_sim::Simulator;
+    use symbfuzz_sim::{Reentry, Simulator};
 
     #[test]
     fn alu_elaborates_with_paper_structure() {
@@ -93,7 +93,7 @@ mod tests {
     fn alu_computes_in_both_modes() {
         let d = toy_alu();
         let mut sim = Simulator::new(d.clone());
-        sim.reset(1);
+        sim.reenter(Reentry::FullReset { cycles: 1 });
         let set = |sim: &mut Simulator, name: &str, v: u64| {
             let s = d.signal_by_name(name).unwrap();
             let w = d.signal(s).width;

@@ -659,7 +659,7 @@ mod tests {
     use super::*;
     use symbfuzz_logic::LogicVec;
     use symbfuzz_props::{Property, PropertyChecker};
-    use symbfuzz_sim::Simulator;
+    use symbfuzz_sim::{Reentry, Simulator};
 
     #[test]
     fn all_fourteen_elaborate_and_properties_parse() {
@@ -684,7 +684,7 @@ mod tests {
             let prop = Property::parse(b.name, b.property, &d).unwrap();
             let mut checker = PropertyChecker::new(vec![prop]);
             let mut sim = Simulator::new(d.clone());
-            sim.reset(2);
+            sim.reenter(Reentry::FullReset { cycles: 2 });
             checker.on_cycle(sim.cycle(), sim.values());
             let mut fired = false;
             for step in b.witness {
@@ -715,7 +715,7 @@ mod tests {
             let prop = Property::parse(b.name, b.property, &d).unwrap();
             let mut checker = PropertyChecker::new(vec![prop]);
             let mut sim = Simulator::new(d.clone());
-            sim.reset(2);
+            sim.reenter(Reentry::FullReset { cycles: 2 });
             // Drive all zeros for a while.
             sim.apply_input_word(&LogicVec::zeros(d.fuzz_width().max(1)));
             for _ in 0..20 {

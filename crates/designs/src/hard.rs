@@ -67,7 +67,7 @@ mod tests {
     use super::*;
     use symbfuzz_logic::LogicVec;
     use symbfuzz_netlist::classify_registers;
-    use symbfuzz_sim::Simulator;
+    use symbfuzz_sim::{Reentry, Simulator};
 
     #[test]
     fn product_matches_factors() {
@@ -88,7 +88,7 @@ mod tests {
 
         // A non-factor pair leaves the lock shut.
         let mut sim = Simulator::new(d.clone());
-        sim.reset(1);
+        sim.reenter(Reentry::FullReset { cycles: 1 });
         sim.set_input(a, &LogicVec::from_u64(20, 12345)).unwrap();
         sim.set_input(b, &LogicVec::from_u64(20, 54321)).unwrap();
         sim.step();
@@ -96,7 +96,7 @@ mod tests {
 
         // The factor pair walks st through 1 to 2 and opens the lock.
         let mut sim = Simulator::new(d.clone());
-        sim.reset(1);
+        sim.reenter(Reentry::FullReset { cycles: 1 });
         sim.set_input(a, &LogicVec::from_u64(20, HARD_FACTOR_P))
             .unwrap();
         sim.set_input(b, &LogicVec::from_u64(20, HARD_FACTOR_Q))

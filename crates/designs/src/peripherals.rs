@@ -187,7 +187,7 @@ mod tests {
     use symbfuzz_core::{FuzzConfig, Strategy, SymbFuzz};
     use symbfuzz_logic::LogicVec;
     use symbfuzz_props::Property;
-    use symbfuzz_sim::Simulator;
+    use symbfuzz_sim::{Reentry, Simulator};
 
     #[test]
     fn peripherals_elaborate_and_properties_parse() {
@@ -204,7 +204,7 @@ mod tests {
         let b = &peripheral_benchmarks()[0];
         let d = b.design().unwrap();
         let mut sim = Simulator::new(d.clone());
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let set = |sim: &mut Simulator, name: &str, v: u64| {
             let s = d.signal_by_name(name).unwrap();
             let w = d.signal(s).width;
@@ -234,7 +234,7 @@ mod tests {
         let b = &peripheral_benchmarks()[1];
         let d = b.design().unwrap();
         let mut sim = Simulator::new(d.clone());
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let set = |sim: &mut Simulator, name: &str, v: u64| {
             let s = d.signal_by_name(name).unwrap();
             let w = d.signal(s).width;
@@ -265,7 +265,7 @@ mod tests {
         let b = &peripheral_benchmarks()[2];
         let d = b.design().unwrap();
         let mut sim = Simulator::new(d.clone());
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let set = |sim: &mut Simulator, name: &str, v: u64| {
             let s = d.signal_by_name(name).unwrap();
             let w = d.signal(s).width;

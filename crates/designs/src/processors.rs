@@ -527,7 +527,7 @@ mod tests {
     use symbfuzz_logic::LogicVec;
     use symbfuzz_netlist::DesignStats;
     use symbfuzz_props::Property;
-    use symbfuzz_sim::Simulator;
+    use symbfuzz_sim::{Reentry, Simulator};
 
     #[test]
     fn all_processors_elaborate_with_rich_control() {
@@ -552,7 +552,7 @@ mod tests {
         let b = &processor_benchmarks()[0];
         let d = b.design().unwrap();
         let mut sim = Simulator::new(d.clone());
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let set = |sim: &mut Simulator, name: &str, v: u64| {
             let s = d.signal_by_name(name).unwrap();
             let w = d.signal(s).width;
@@ -611,7 +611,7 @@ mod tests {
         let b = &processor_benchmarks()[1];
         let d = b.design().unwrap();
         let mut sim = Simulator::new(d.clone());
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let set = |sim: &mut Simulator, name: &str, v: u64| {
             let s = d.signal_by_name(name).unwrap();
             let w = d.signal(s).width;
@@ -638,7 +638,7 @@ mod tests {
         let b = &processor_benchmarks()[2];
         let d = b.design().unwrap();
         let mut sim = Simulator::new(d.clone());
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let set = |sim: &mut Simulator, name: &str, v: u64| {
             let s = d.signal_by_name(name).unwrap();
             let w = d.signal(s).width;
@@ -665,7 +665,7 @@ mod tests {
         let b = &processor_benchmarks()[3];
         let d = b.design().unwrap();
         let mut sim = Simulator::new(d.clone());
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let set = |sim: &mut Simulator, name: &str, v: u64| {
             let s = d.signal_by_name(name).unwrap();
             let w = d.signal(s).width;

@@ -105,7 +105,11 @@ impl Strategy {
 /// Campaign parameters (paper defaults in §5 "Parameter Setup": 300
 /// cycles per interval, dumps every 3 intervals, stagnation threshold
 /// of a few intervals).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written so configs serialized before the
+/// snapshot-tree release (no `snapshot_mem_budget` /
+/// `use_ancestor_reentry` keys) still load, taking the defaults.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FuzzConfig {
     /// Clock cycles per interval `I` (one VCD dump / coverage scan).
     pub interval: u32,
@@ -125,8 +129,20 @@ pub struct FuzzConfig {
     pub solve_depth: u32,
     /// Maximum distinct targets tried per guidance round.
     pub targets_per_round: usize,
-    /// Cap on cached per-node snapshots (memory bound).
+    /// Cap on cached per-node snapshots (count bound). Deprecated in
+    /// favour of [`snapshot_mem_budget`](Self::snapshot_mem_budget),
+    /// which bounds actual bytes; still honoured for one release so
+    /// old configs keep their campaign trajectories.
     pub snapshot_cap: usize,
+    /// Byte budget for the copy-on-write snapshot store: unique page
+    /// bytes beyond this trigger oldest-first eviction. Replaces the
+    /// count-based `snapshot_cap` as the memory bound.
+    pub snapshot_mem_budget: u64,
+    /// Whether re-entry may fork the nearest snapshotted CFG ancestor
+    /// and replay only the residual suffix. Off = the pre-snapshot-tree
+    /// behaviour (exact-hit restore, else full reset + full replay) —
+    /// the A/B control for the re-entry savings experiments.
+    pub use_ancestor_reentry: bool,
     /// Testcase length (cycles per reset-to-reset test) for the
     /// baseline fuzzers and UVM random testing. SymbFuzz itself runs
     /// continuously, using checkpoints instead of per-test resets
@@ -159,6 +175,43 @@ pub struct FuzzConfig {
     pub sample_every: Option<u64>,
 }
 
+fn default_snapshot_mem_budget() -> u64 {
+    64 * 1024 * 1024
+}
+
+impl Deserialize for FuzzConfig {
+    fn from_value(v: &serde::Value) -> Result<FuzzConfig, serde::DeError> {
+        let defaults = FuzzConfig::default();
+        Ok(FuzzConfig {
+            interval: Deserialize::from_value(v.field("interval")?)?,
+            threshold: Deserialize::from_value(v.field("threshold")?)?,
+            checkpoint_fanout: Deserialize::from_value(v.field("checkpoint_fanout")?)?,
+            max_vectors: Deserialize::from_value(v.field("max_vectors")?)?,
+            seed: Deserialize::from_value(v.field("seed")?)?,
+            reset_cycles: Deserialize::from_value(v.field("reset_cycles")?)?,
+            solve_depth: Deserialize::from_value(v.field("solve_depth")?)?,
+            targets_per_round: Deserialize::from_value(v.field("targets_per_round")?)?,
+            snapshot_cap: Deserialize::from_value(v.field("snapshot_cap")?)?,
+            snapshot_mem_budget: match v.field("snapshot_mem_budget") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => defaults.snapshot_mem_budget,
+            },
+            use_ancestor_reentry: match v.field("use_ancestor_reentry") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => defaults.use_ancestor_reentry,
+            },
+            testcase_len: Deserialize::from_value(v.field("testcase_len")?)?,
+            use_checkpoints: Deserialize::from_value(v.field("use_checkpoints")?)?,
+            use_solver: Deserialize::from_value(v.field("use_solver")?)?,
+            settle_policy: Deserialize::from_value(v.field("settle_policy")?)?,
+            solver_budget: Deserialize::from_value(v.field("solver_budget")?)?,
+            solve_wall_ms: Deserialize::from_value(v.field("solve_wall_ms")?)?,
+            escalation_cap: Deserialize::from_value(v.field("escalation_cap")?)?,
+            sample_every: Deserialize::from_value(v.field("sample_every")?)?,
+        })
+    }
+}
+
 impl Default for FuzzConfig {
     fn default() -> FuzzConfig {
         FuzzConfig {
@@ -171,6 +224,8 @@ impl Default for FuzzConfig {
             solve_depth: 8,
             targets_per_round: 8,
             snapshot_cap: 256,
+            snapshot_mem_budget: default_snapshot_mem_budget(),
+            use_ancestor_reentry: true,
             testcase_len: 32,
             use_checkpoints: true,
             use_solver: true,
@@ -213,6 +268,9 @@ impl FuzzConfig {
         if self.sample_every == Some(0) {
             return Err(ConfigError::ZeroSampleEvery);
         }
+        if self.snapshot_mem_budget < 1024 {
+            return Err(ConfigError::TinySnapshotBudget);
+        }
         Ok(())
     }
 }
@@ -237,6 +295,9 @@ pub enum ConfigError {
     /// `sample_every` set to zero: the recorder would sample every
     /// vector boundary ambiguously; leave it `None` to disable.
     ZeroSampleEvery,
+    /// `snapshot_mem_budget` below 1 KiB (including zero): too small
+    /// to hold even one page, so every fork would immediately evict.
+    TinySnapshotBudget,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -258,6 +319,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroSampleEvery => write!(
                 f,
                 "sample_every must be at least 1 vector; leave it unset to disable the recorder"
+            ),
+            ConfigError::TinySnapshotBudget => write!(
+                f,
+                "snapshot_mem_budget must be at least 1024 bytes (room for one small snapshot)"
             ),
         }
     }
@@ -320,9 +385,24 @@ impl FuzzConfigBuilder {
         /// Distinct targets tried per guidance round.
         targets_per_round: usize
     );
+    /// Snapshot cache cap (count bound).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use snapshot_mem_budget — the store is bounded in bytes now"
+    )]
+    #[must_use]
+    pub fn snapshot_cap(mut self, v: usize) -> Self {
+        self.config.snapshot_cap = v;
+        self
+    }
+
     setter!(
-        /// Snapshot cache cap.
-        snapshot_cap: usize
+        /// Byte budget for the copy-on-write snapshot store.
+        snapshot_mem_budget: u64
+    );
+    setter!(
+        /// Enable nearest-ancestor snapshot re-entry (A/B control).
+        use_ancestor_reentry: bool
     );
     setter!(
         /// Baseline testcase length in cycles.
@@ -385,6 +465,26 @@ mod tests {
         assert_eq!(c.interval, 300);
         assert_eq!(c.threshold, 3);
         assert_eq!(c.checkpoint_fanout, 3);
+        assert_eq!(c.snapshot_mem_budget, 64 * 1024 * 1024);
+        assert!(c.use_ancestor_reentry);
+    }
+
+    #[test]
+    fn old_configs_without_budget_fields_still_deserialize() {
+        // A config serialized before the snapshot-tree release has no
+        // snapshot_mem_budget / use_ancestor_reentry keys; the manual
+        // Deserialize must fill in the defaults.
+        let v = Serialize::to_value(&FuzzConfig::default());
+        let serde::Value::Object(fields) = v else {
+            panic!("config serializes to an object")
+        };
+        let stripped: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "snapshot_mem_budget" && k != "use_ancestor_reentry")
+            .collect();
+        let back = FuzzConfig::from_value(&serde::Value::Object(stripped)).unwrap();
+        assert_eq!(back.snapshot_mem_budget, 64 * 1024 * 1024);
+        assert!(back.use_ancestor_reentry);
     }
 
     #[test]
@@ -456,6 +556,24 @@ mod tests {
             FuzzConfig::builder().sample_every(0).build().unwrap_err(),
             ConfigError::ZeroSampleEvery
         );
+        assert_eq!(
+            FuzzConfig::builder()
+                .snapshot_mem_budget(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::TinySnapshotBudget
+        );
+        assert_eq!(
+            FuzzConfig::builder()
+                .snapshot_mem_budget(1023)
+                .build()
+                .unwrap_err(),
+            ConfigError::TinySnapshotBudget
+        );
+        assert!(FuzzConfig::builder()
+            .snapshot_mem_budget(1024)
+            .build()
+            .is_ok());
         // Every arm renders an informative message.
         for e in [
             ConfigError::ZeroInterval,
@@ -464,6 +582,7 @@ mod tests {
             ConfigError::ZeroSolveDepth,
             ConfigError::ZeroSolverBudget,
             ConfigError::ZeroSampleEvery,
+            ConfigError::TinySnapshotBudget,
         ] {
             assert!(!e.to_string().is_empty());
         }

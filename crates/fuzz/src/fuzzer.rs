@@ -16,7 +16,7 @@ use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{classify_registers, Design, SignalId};
 use symbfuzz_props::{PropError, Property, PropertyChecker};
 use symbfuzz_ruvm::{Driver, SequenceItem, Sequencer};
-use symbfuzz_sim::{Simulator, Snapshot};
+use symbfuzz_sim::{Reentry, Simulator, SnapshotId, SnapshotStore};
 use symbfuzz_smt::Budget;
 use symbfuzz_symexec::{ReachOutcome, SolveProfiler, SymbolicEngine};
 use symbfuzz_telemetry::{
@@ -56,7 +56,18 @@ pub struct SymbFuzz {
     cfg: Cfg,
     checker: PropertyChecker,
     engine: Option<SymbolicEngine>,
-    snapshots: HashMap<NodeId, Snapshot>,
+    /// Copy-on-write snapshot tree: state pages shared with the
+    /// nearest snapshotted CFG ancestor, bounded by
+    /// `config.snapshot_mem_budget` unique bytes.
+    snap_store: SnapshotStore,
+    /// CFG node → live snapshot handle.
+    snap_ids: HashMap<NodeId, SnapshotId>,
+    /// Snapshotted nodes in insertion order — the deterministic
+    /// iteration set for ancestor search and the FIFO eviction queue.
+    snap_order: Vec<NodeId>,
+    /// High-water marks of the store (live snapshots / unique bytes).
+    peak_snapshots: usize,
+    peak_snapshot_bytes: u64,
     /// Goals that proved unsatisfiable or exhausted their budget from a
     /// given rollback point — never re-attempted this campaign.
     neg_cache: HashSet<(Option<NodeId>, SignalId, LogicVec)>,
@@ -150,7 +161,16 @@ impl SymbFuzz {
         if config.sample_every.is_some() {
             sim.enable_vm_profiler();
         }
-        sim.reset(config.reset_cycles);
+        if config.snapshot_cap != FuzzConfig::default().snapshot_cap {
+            eprintln!(
+                "warning: snapshot_cap is deprecated; prefer snapshot_mem_budget \
+                 (the snapshot store is bounded in bytes now)"
+            );
+        }
+        let snap_store = sim.snapshot_store(config.snapshot_mem_budget);
+        sim.reenter(Reentry::FullReset {
+            cycles: config.reset_cycles,
+        });
         let granularity = match strategy {
             Strategy::RFuzz => Granularity::Bit,
             Strategy::Hwfp => Granularity::Byte,
@@ -162,7 +182,11 @@ impl SymbFuzz {
             cfg: Cfg::new(Arc::clone(&design), ctrl),
             checker: PropertyChecker::new(compiled),
             engine: None,
-            snapshots: HashMap::new(),
+            snap_store,
+            snap_ids: HashMap::new(),
+            snap_order: Vec::new(),
+            peak_snapshots: 0,
+            peak_snapshot_bytes: 0,
             neg_cache: HashSet::new(),
             escalation: 0,
             solve_tally: [0; SolveStatus::SERIAL_COUNT],
@@ -323,8 +347,14 @@ impl SymbFuzz {
             self.stagnation += 1;
         }
         self.last_coverage = now;
+        self.telemetry.set_gauge(
+            Gauge::SnapshotCache,
+            self.snap_store.live_snapshots() as u64,
+        );
         self.telemetry
-            .set_gauge(Gauge::SnapshotCache, self.snapshots.len() as u64);
+            .set_gauge(Gauge::SnapshotBytes, self.snap_store.unique_bytes());
+        self.telemetry
+            .set_gauge(Gauge::SnapshotSharing, self.snap_store.sharing_milli());
         self.telemetry
             .set_gauge(Gauge::CorpusSeeds, self.mutator.corpus_len() as u64);
         self.telemetry
@@ -359,20 +389,27 @@ impl SymbFuzz {
     /// Assembles the final report without running further.
     pub fn result(&self) -> CampaignResult {
         let mut resources = self.resources;
-        resources.peak_snapshots = self.snapshots.len();
+        resources.peak_snapshots = self.peak_snapshots.max(self.snap_store.live_snapshots());
+        resources.peak_snapshot_bytes =
+            self.peak_snapshot_bytes.max(self.snap_store.unique_bytes());
+        resources.snapshot_pages_copied = self.snap_store.pages_copied_total();
+        resources.snapshot_pages_shared = self.snap_store.pages_shared_total();
+        resources.snapshot_evictions = self.snap_store.evictions();
         let state_bytes: u64 = self
             .design
             .signals
             .iter()
             .map(|s| (s.width as u64).div_ceil(8))
             .sum();
-        // Live simulator state, plus per-node snapshots (SymbFuzz), plus
-        // the mutation corpus (corpus baselines).
+        // Live simulator state, plus the snapshot store's *unique* page
+        // bytes at peak (copy-on-write sharing counted once — the old
+        // `state × (1 + snapshots)` formula assumed every snapshot was
+        // a full deep copy), plus the mutation corpus.
         let word_bytes = (self.design.fuzz_width() as u64).div_ceil(8);
         let corpus_bytes = (self.mutator.corpus_len() as u64
             + self.mutator.case_corpus_len() as u64 * self.config.testcase_len as u64)
             * word_bytes;
-        resources.peak_state_bytes = state_bytes * (1 + self.snapshots.len() as u64) + corpus_bytes;
+        resources.peak_state_bytes = state_bytes + resources.peak_snapshot_bytes + corpus_bytes;
         CampaignResult {
             fuzzer: self.strategy.name().to_string(),
             design: self.design.name.clone(),
@@ -551,8 +588,8 @@ impl SymbFuzz {
 
             match self.strategy {
                 Strategy::SymbFuzz => {
-                    if outcome.new_node && self.snapshots.len() < self.config.snapshot_cap {
-                        self.snapshots.insert(outcome.node, self.sim.snapshot());
+                    if outcome.new_node && self.snap_ids.len() < self.config.snapshot_cap {
+                        self.take_snapshot(outcome.node);
                     }
                 }
                 Strategy::RFuzz => {
@@ -660,7 +697,9 @@ impl SymbFuzz {
         let telemetry = Arc::clone(&self.telemetry);
         let _span = telemetry.phase_owned(Phase::Reset);
         self.resources.cycles += self.config.reset_cycles as u64;
-        self.sim.reset(self.config.reset_cycles);
+        self.sim.reenter(Reentry::FullReset {
+            cycles: self.config.reset_cycles,
+        });
         self.cfg.note_reset();
         self.checker.reset_history();
         self.resources.full_resets += 1;
@@ -868,50 +907,127 @@ impl SymbFuzz {
         SolveStatus::Unsat
     }
 
-    /// Re-enters a CFG node: snapshot restore when cached (microseconds,
-    /// §5.5.2), otherwise reset plus recorded input replay (§4.5). The
-    /// node becomes the active checkpoint for attribution; anything the
-    /// replayed prefix happens to cover is attributed to the
-    /// replay-prefix mechanism.
+    /// Caches the just-discovered node's state in the snapshot tree:
+    /// forks off the nearest snapshotted CFG ancestor (sharing every
+    /// unchanged page with it), then evicts oldest-first until the
+    /// store is back inside its byte budget. All bookkeeping is a pure
+    /// function of the fork/evict call sequence, so campaigns stay
+    /// byte-deterministic.
+    fn take_snapshot(&mut self, node: NodeId) {
+        let parent = self
+            .cfg
+            .nearest_ancestor(node, self.snap_order.iter().copied())
+            .and_then(|n| self.snap_ids.get(&n).copied());
+        let fork = self.sim.fork(&mut self.snap_store, parent);
+        self.snap_ids.insert(node, fork.id);
+        self.snap_order.push(node);
+        // FIFO eviction, never touching the snapshot just taken. An
+        // evicted parent's shared pages stay alive (refcounted) until
+        // the last child sharing them goes too.
+        while self.snap_store.over_budget() && self.snap_order.len() > 1 {
+            let victim = self.snap_order.remove(0);
+            let id = self.snap_ids.remove(&victim).expect("order/ids in sync");
+            self.snap_store.evict(id);
+            self.telemetry.add(Counter::SnapshotEvictions, 1);
+        }
+        self.peak_snapshots = self.peak_snapshots.max(self.snap_store.live_snapshots());
+        self.peak_snapshot_bytes = self.peak_snapshot_bytes.max(self.snap_store.unique_bytes());
+    }
+
+    /// Re-enters a CFG node through the typed [`Simulator::reenter`]
+    /// surface: enter its snapshot when cached (microseconds, §5.5.2);
+    /// otherwise enter the nearest snapshotted ancestor and replay only
+    /// the residual suffix of the node's recorded path; otherwise full
+    /// reset plus full-path replay (§4.5, and the
+    /// `use_ancestor_reentry: false` A/B arm). The node becomes the
+    /// active checkpoint for attribution; anything a replayed prefix
+    /// happens to cover is attributed to the replay-prefix mechanism.
     fn rollback_to(&mut self, node: NodeId) {
         let telemetry = Arc::clone(&self.telemetry);
         let _span = telemetry.phase_owned(Phase::Reset);
         self.resources.rollbacks += 1;
-        let prefix_len = if let Some(snap) = self.snapshots.get(&node) {
-            self.sim.restore(snap);
-            self.cfg.note_rollback(node);
-            0u64
+        let ancestor = if self.config.use_ancestor_reentry {
+            self.cfg
+                .nearest_ancestor(node, self.snap_order.iter().copied())
         } else {
-            self.resources.cycles += self.config.reset_cycles as u64;
-            self.sim.reset(self.config.reset_cycles);
-            self.cfg.note_reset();
-            self.resources.full_resets += 1;
-            let path: Vec<LogicVec> = self.cfg.replay_sequence(node).to_vec();
-            self.resources.cycles += path.len() as u64;
-            telemetry.add(Counter::ReplayedCycles, path.len() as u64);
-            let len = path.len() as u64;
-            let prov = Provenance {
-                vector: self.vectors,
-                mechanism: Mechanism::ReplayPrefix,
-                goal: None,
-                checkpoint: Some(node),
-            };
-            for word in path {
-                self.sim.apply_input_word(&word);
-                self.sim.step();
-                // Replay is observed: a deterministic simulator re-walks
-                // known ground, but any divergence is still attributed
-                // (to the replay prefix) rather than lost.
-                let outcome = self
-                    .cfg
-                    .observe(self.sim.values(), &word, self.sim.cycle(), prov);
-                self.note_coverage_events(&outcome, prov);
-            }
-            len
+            // Pre-snapshot-tree behaviour: exact hit or nothing.
+            Some(node).filter(|n| self.snap_ids.contains_key(n))
         };
+        let prefix_len = match ancestor {
+            Some(anc) if anc == node => {
+                let id = self.snap_ids[&node];
+                self.sim.reenter(Reentry::Snapshot {
+                    store: &self.snap_store,
+                    id,
+                });
+                self.cfg.note_rollback(node);
+                0u64
+            }
+            Some(anc) => {
+                let id = self.snap_ids[&anc];
+                self.sim.reenter(Reentry::Snapshot {
+                    store: &self.snap_store,
+                    id,
+                });
+                self.cfg.note_rollback(anc);
+                let suffix: Vec<LogicVec> = self
+                    .cfg
+                    .replay_suffix(node, self.cfg.path_len(anc))
+                    .to_vec();
+                self.replay_words(node, suffix)
+            }
+            None => {
+                self.resources.cycles += self.config.reset_cycles as u64;
+                self.sim.reenter(Reentry::FullReset {
+                    cycles: self.config.reset_cycles,
+                });
+                self.cfg.note_reset();
+                self.resources.full_resets += 1;
+                let path: Vec<LogicVec> = self.cfg.replay_sequence(node).to_vec();
+                self.replay_words(node, path)
+            }
+        };
+        // A miss just paid for a replay; cache the target so repeat
+        // re-entries (checkpoint lists are revisited every stagnation
+        // episode) hit the store instead of replaying again. The
+        // legacy arm never re-caches — a once-evicted node replays
+        // its full path forever, which is exactly the cost the A/B
+        // measures.
+        if prefix_len > 0
+            && self.config.use_ancestor_reentry
+            && self.snap_ids.len() < self.config.snapshot_cap
+        {
+            self.take_snapshot(node);
+        }
         telemetry.record(Event::PartialReset { prefix_len });
         self.active_checkpoint = Some(node);
         self.checker.reset_history();
+    }
+
+    /// Replays recorded input words toward `node`, observing every
+    /// step: a deterministic simulator re-walks known ground, but any
+    /// divergence is still attributed (to the replay prefix) rather
+    /// than lost. Returns the number of words replayed.
+    fn replay_words(&mut self, node: NodeId, path: Vec<LogicVec>) -> u64 {
+        self.resources.cycles += path.len() as u64;
+        self.telemetry
+            .add(Counter::ReplayedCycles, path.len() as u64);
+        let len = path.len() as u64;
+        let prov = Provenance {
+            vector: self.vectors,
+            mechanism: Mechanism::ReplayPrefix,
+            goal: None,
+            checkpoint: Some(node),
+        };
+        for word in path {
+            self.sim.apply_input_word(&word);
+            self.sim.step();
+            let outcome = self
+                .cfg
+                .observe(self.sim.values(), &word, self.sim.cycle(), prov);
+            self.note_coverage_events(&outcome, prov);
+        }
+        len
     }
 }
 

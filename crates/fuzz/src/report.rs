@@ -267,7 +267,11 @@ pub struct CoverageSample {
 }
 
 /// Work and memory accounting for the §5.2 resource comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written so reports serialized before the
+/// snapshot-tree release (no page/eviction fields) still load, taking
+/// zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub struct ResourceStats {
     /// Clock cycles simulated.
     pub cycles: u64,
@@ -275,12 +279,45 @@ pub struct ResourceStats {
     pub solver_calls: u64,
     /// Snapshots held at peak.
     pub peak_snapshots: usize,
-    /// Rough peak state memory in bytes (snapshots × state size).
+    /// Peak state memory in bytes: the live simulator state plus the
+    /// snapshot store's *unique* page bytes at its high-water mark
+    /// (copy-on-write sharing counted once), plus the corpus.
     pub peak_state_bytes: u64,
     /// Checkpoint rollbacks performed.
     pub rollbacks: u64,
     /// Full resets performed.
     pub full_resets: u64,
+    /// Pages physically copied into the snapshot store at fork time.
+    pub snapshot_pages_copied: u64,
+    /// Pages shared with a tree parent instead of copied.
+    pub snapshot_pages_shared: u64,
+    /// Snapshots evicted to stay inside `snapshot_mem_budget`.
+    pub snapshot_evictions: u64,
+    /// Unique snapshot-store bytes at the high-water mark.
+    pub peak_snapshot_bytes: u64,
+}
+
+impl Deserialize for ResourceStats {
+    fn from_value(v: &serde::Value) -> Result<ResourceStats, serde::DeError> {
+        let opt = |name: &str| -> Result<u64, serde::DeError> {
+            match v.field(name) {
+                Ok(f) => Deserialize::from_value(f),
+                Err(_) => Ok(0),
+            }
+        };
+        Ok(ResourceStats {
+            cycles: Deserialize::from_value(v.field("cycles")?)?,
+            solver_calls: Deserialize::from_value(v.field("solver_calls")?)?,
+            peak_snapshots: Deserialize::from_value(v.field("peak_snapshots")?)?,
+            peak_state_bytes: Deserialize::from_value(v.field("peak_state_bytes")?)?,
+            rollbacks: Deserialize::from_value(v.field("rollbacks")?)?,
+            full_resets: Deserialize::from_value(v.field("full_resets")?)?,
+            snapshot_pages_copied: opt("snapshot_pages_copied")?,
+            snapshot_pages_shared: opt("snapshot_pages_shared")?,
+            snapshot_evictions: opt("snapshot_evictions")?,
+            peak_snapshot_bytes: opt("peak_snapshot_bytes")?,
+        })
+    }
 }
 
 /// One phase's timing row inside a [`TelemetryBlock`] (serialisable

@@ -25,7 +25,7 @@ pub struct Violation {
 /// ```
 /// use std::sync::Arc;
 /// use symbfuzz_props::{Property, PropertyChecker};
-/// use symbfuzz_sim::Simulator;
+/// use symbfuzz_sim::{Reentry, Simulator};
 ///
 /// let d = Arc::new(symbfuzz_netlist::elaborate_src(
 ///     "module m(input clk, input rst_n, input a, output logic b);
@@ -35,7 +35,7 @@ pub struct Violation {
 /// let p = Property::parse("b_follows_a", "b == $past(a)", &d)?;
 /// let mut checker = PropertyChecker::new(vec![p]);
 /// let mut sim = Simulator::new(Arc::clone(&d));
-/// sim.reset(1);
+/// sim.reenter(Reentry::FullReset { cycles: 1 });
 /// let a = d.signal_by_name("a").unwrap();
 /// sim.set_input(a, &symbfuzz_logic::LogicVec::from_u64(1, 1))?;
 /// sim.settle()?;
@@ -136,7 +136,7 @@ mod tests {
     use std::sync::Arc;
     use symbfuzz_logic::LogicVec;
     use symbfuzz_netlist::elaborate_src;
-    use symbfuzz_sim::Simulator;
+    use symbfuzz_sim::{Reentry, Simulator};
 
     /// A UART-like DUV with the paper's Bug 11: parity error raised
     /// even when parity checking is disabled.
@@ -161,7 +161,7 @@ mod tests {
         // Listing 26: rx_parity_err |-> parity_enable.
         let p = Property::parse("uart_parity", "rx_parity_err |-> parity_enable", &d).unwrap();
         let mut checker = PropertyChecker::new(vec![p]);
-        sim.reset(1);
+        sim.reenter(Reentry::FullReset { cycles: 1 });
         // Odd-parity mismatch with parity disabled: the bug fires.
         for (sig, val) in [
             ("rx_data", 0b0000_0001u64),
@@ -185,7 +185,7 @@ mod tests {
         let (d, mut sim) = uart();
         let p = Property::parse("uart_parity", "rx_parity_err |-> parity_enable", &d).unwrap();
         let mut checker = PropertyChecker::new(vec![p]);
-        sim.reset(1);
+        sim.reenter(Reentry::FullReset { cycles: 1 });
         // Matching parity: no error flag, property vacuously true.
         for (sig, val) in [
             ("rx_data", 3u64),
@@ -246,7 +246,7 @@ mod tests {
         let p = Property::parse("follow", "b == $past(a)", &d).unwrap();
         let mut checker = PropertyChecker::new(vec![p]);
         let mut sim = Simulator::new(Arc::clone(&d));
-        sim.reset(1);
+        sim.reenter(Reentry::FullReset { cycles: 1 });
         let a = d.signal_by_name("a").unwrap();
         // Hold `a` at a defined constant: `b` samples it at each edge,
         // so b(t) == a(t-1) holds from the second frame on and the
@@ -272,7 +272,7 @@ mod tests {
         let p1 = Property::parse("parity", "rx_parity_err |-> parity_enable", &d).unwrap();
         let p2 = Property::parse("always_true", "1'b1", &d).unwrap();
         let mut checker = PropertyChecker::new(vec![p1, p2]);
-        sim.reset(1);
+        sim.reenter(Reentry::FullReset { cycles: 1 });
         for (sig, val) in [
             ("rx_data", 1u64),
             ("parity_bit", 0),

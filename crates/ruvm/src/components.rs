@@ -231,6 +231,7 @@ pub fn run_test<T: UvmTest>(test: &mut T, sim: &mut Simulator) -> String {
 mod tests {
     use super::*;
     use symbfuzz_netlist::elaborate_src;
+    use symbfuzz_sim::Reentry;
 
     fn setup() -> (Arc<Design>, Simulator) {
         let d = Arc::new(
@@ -244,7 +245,7 @@ mod tests {
             .unwrap(),
         );
         let mut sim = Simulator::new(Arc::clone(&d));
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         (d, sim)
     }
 
@@ -301,7 +302,7 @@ mod tests {
 
     impl UvmTest for SmokeTest {
         fn build(&mut self, sim: &mut Simulator) {
-            sim.reset(2);
+            sim.reenter(Reentry::FullReset { cycles: 2 });
             self.agent = Some(Agent::new(Arc::clone(&self.design), 11));
         }
         fn run(&mut self, sim: &mut Simulator) {

@@ -25,7 +25,7 @@
 //! ```
 //! use std::sync::Arc;
 //! use symbfuzz_ruvm::{Agent, Constraint, Sequencer};
-//! use symbfuzz_sim::Simulator;
+//! use symbfuzz_sim::{Reentry, Simulator};
 //! use symbfuzz_logic::LogicVec;
 //!
 //! let d = Arc::new(symbfuzz_netlist::elaborate_src(
@@ -34,7 +34,7 @@
 //!          if (!rst_n) q <= 8'd0; else q <= d;
 //!      endmodule", "m")?);
 //! let mut sim = Simulator::new(Arc::clone(&d));
-//! sim.reset(2);
+//! sim.reenter(Reentry::FullReset { cycles: 2 });
 //! let mut agent = Agent::new(Arc::clone(&d), 42);
 //! // Pin the whole data port to 0x5A, as a Listing-3-style constraint.
 //! let dport = d.signal_by_name("d").unwrap();

@@ -17,15 +17,19 @@
 //!
 //! It also provides the paper's supporting machinery: reset application
 //! driven by the [reset tree](symbfuzz_netlist::ResetTree) including
-//! *partial* resets (§4.5), [`Snapshot`]-based checkpoint/rollback,
-//! per-branch outcome instrumentation (the substrate for both the
-//! paper's edge coverage and the RFuzz-style mux coverage baseline),
-//! and a VCD dump writer (Algorithm 1 line 8 "Dump VCD").
+//! *partial* resets (§4.5), copy-on-write checkpoint/rollback through
+//! the paged [`SnapshotStore`] behind the unified
+//! [`Simulator::reenter`] entry point (the legacy deep-copy
+//! [`Snapshot`] remains as a deprecated shim), per-branch outcome
+//! instrumentation (the substrate for both the paper's edge coverage
+//! and the RFuzz-style mux coverage baseline), and a VCD dump writer
+//! (Algorithm 1 line 8 "Dump VCD").
 //!
 //! # Examples
 //!
 //! ```
 //! use symbfuzz_logic::LogicVec;
+//! use symbfuzz_sim::Reentry;
 //!
 //! let d = symbfuzz_netlist::elaborate_src(
 //!     "module counter(input clk, input rst_n, output logic [3:0] q);
@@ -33,7 +37,7 @@
 //!          if (!rst_n) q <= 4'd0; else q <= q + 4'd1;
 //!      endmodule", "counter")?;
 //! let mut sim = symbfuzz_sim::Simulator::new(d.into());
-//! sim.reset(2);
+//! sim.reenter(Reentry::FullReset { cycles: 2 });
 //! for _ in 0..5 { sim.step(); }
 //! let q = sim.design().signal_by_name("q").unwrap();
 //! assert_eq!(sim.get(q).to_u64(), Some(5));
@@ -42,11 +46,16 @@
 
 mod profiler;
 mod simulator;
+mod snapstore;
 mod vcd;
 mod vcd_read;
 mod vm;
 
 pub use profiler::{ConeProfile, VmProfile, VmProfiler};
-pub use simulator::{BranchOutcome, SettleMode, SimError, Simulator, Snapshot};
+pub use simulator::{
+    BranchOutcome, Reentry, ReentryMechanism, ReentryOutcome, SettleMode, SimError, Simulator,
+    Snapshot,
+};
+pub use snapstore::{ForkOutcome, SnapshotId, SnapshotStore, PAGE_SIGNALS};
 pub use vcd::VcdWriter;
 pub use vcd_read::{read_vcd, VcdParseError, VcdTrace};

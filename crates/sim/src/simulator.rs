@@ -12,6 +12,7 @@ use symbfuzz_netlist::{
 use symbfuzz_telemetry::{Collector, Counter, Gauge};
 
 use crate::profiler::{VmProfile, VmProfiler};
+use crate::snapstore::{ForkOutcome, SnapshotId, SnapshotStore};
 
 /// How combinational logic is settled between clock edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +69,72 @@ impl Snapshot {
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
+}
+
+/// A state re-entry request for [`Simulator::reenter`] — the one typed
+/// surface the legacy `reset` / `reset_domain` / `restore` trio
+/// collapsed into.
+#[derive(Debug, Clone, Copy)]
+pub enum Reentry<'a> {
+    /// Assert every reset domain for `cycles` clock cycles.
+    FullReset {
+        /// Cycles to hold the resets asserted.
+        cycles: u32,
+    },
+    /// Assert only the domain rooted at `reset` (§4.5 partial reset).
+    DomainReset {
+        /// The domain's reset signal.
+        reset: SignalId,
+        /// Cycles to hold the reset asserted.
+        cycles: u32,
+    },
+    /// Re-enter a stored copy-on-write snapshot.
+    Snapshot {
+        /// The store holding the snapshot.
+        store: &'a SnapshotStore,
+        /// Handle of the snapshot to enter.
+        id: SnapshotId,
+    },
+}
+
+/// Which re-entry mechanism actually ran (reported by
+/// [`Simulator::reenter`] and the fuzzer's node re-entry scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReentryMechanism {
+    /// All reset domains asserted.
+    FullReset,
+    /// One reset domain asserted.
+    DomainReset,
+    /// A stored snapshot entered directly (no replay).
+    SnapshotEnter,
+    /// A snapshotted ancestor entered, then the residual input suffix
+    /// replayed (the fuzzer's nearest-ancestor path).
+    ReplaySuffix,
+}
+
+impl ReentryMechanism {
+    /// Stable lowercase name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReentryMechanism::FullReset => "full_reset",
+            ReentryMechanism::DomainReset => "domain_reset",
+            ReentryMechanism::SnapshotEnter => "snapshot_enter",
+            ReentryMechanism::ReplaySuffix => "replay_suffix",
+        }
+    }
+}
+
+/// Mechanism and cost report of one re-entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReentryOutcome {
+    /// The mechanism that ran.
+    pub mechanism: ReentryMechanism,
+    /// Input cycles re-driven to reach the target (0 for direct
+    /// snapshot entry and for plain resets).
+    pub cycles_replayed: u64,
+    /// Pages written into the live value table (snapshot entry), or
+    /// copied at fork time — the memory-traffic side of the cost.
+    pub pages_copied: u64,
 }
 
 /// A recorded branch execution, for coverage instrumentation.
@@ -738,24 +805,117 @@ impl Simulator {
 
     /// Applies a full reset: asserts every reset signal at its active
     /// level, runs `cycles` clock cycles, then deasserts.
+    #[deprecated(since = "0.8.0", note = "use reenter(Reentry::FullReset { cycles })")]
     pub fn reset(&mut self, cycles: u32) {
-        let domains: Vec<(SignalId, Edge)> = self
-            .rtree
-            .domains
-            .iter()
-            .map(|d| (d.reset, d.active))
-            .collect();
-        self.apply_resets(&domains, cycles);
+        self.reenter(Reentry::FullReset { cycles });
     }
 
     /// Partial reset (§4.5): asserts only the domain rooted at `reset`,
     /// leaving other domains' registers untouched.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use reenter(Reentry::DomainReset { reset, cycles })"
+    )]
     pub fn reset_domain(&mut self, reset: SignalId, cycles: u32) {
-        let Some(domain) = self.rtree.domains.iter().find(|d| d.reset == reset) else {
-            return;
-        };
-        let pair = (domain.reset, domain.active);
-        self.apply_resets(&[pair], cycles);
+        self.reenter(Reentry::DomainReset { reset, cycles });
+    }
+
+    /// Re-enters simulator state through the one typed entry point:
+    /// full reset, single-domain reset, or a stored snapshot. Returns
+    /// which mechanism ran and what it cost.
+    ///
+    /// This is the API the fuzzer's checkpoint scheduler drives; the
+    /// legacy [`reset`](Self::reset) / [`reset_domain`](Self::reset_domain) /
+    /// [`restore`](Self::restore) surface delegates here.
+    pub fn reenter(&mut self, target: Reentry<'_>) -> ReentryOutcome {
+        match target {
+            Reentry::FullReset { cycles } => {
+                let domains: Vec<(SignalId, Edge)> = self
+                    .rtree
+                    .domains
+                    .iter()
+                    .map(|d| (d.reset, d.active))
+                    .collect();
+                self.apply_resets(&domains, cycles);
+                ReentryOutcome {
+                    mechanism: ReentryMechanism::FullReset,
+                    cycles_replayed: 0,
+                    pages_copied: 0,
+                }
+            }
+            Reentry::DomainReset { reset, cycles } => {
+                if let Some(d) = self.rtree.domains.iter().find(|d| d.reset == reset) {
+                    let pair = (d.reset, d.active);
+                    self.apply_resets(&[pair], cycles);
+                }
+                ReentryOutcome {
+                    mechanism: ReentryMechanism::DomainReset,
+                    cycles_replayed: 0,
+                    pages_copied: 0,
+                }
+            }
+            Reentry::Snapshot { store, id } => {
+                let pages = self.enter(store, id);
+                ReentryOutcome {
+                    mechanism: ReentryMechanism::SnapshotEnter,
+                    cycles_replayed: 0,
+                    pages_copied: pages,
+                }
+            }
+        }
+    }
+
+    /// Creates an empty copy-on-write [`SnapshotStore`] matching this
+    /// design's signal layout, with a unique-page byte budget.
+    pub fn snapshot_store(&self, budget: u64) -> SnapshotStore {
+        let widths: Vec<u32> = self.design.signals.iter().map(|s| s.width).collect();
+        SnapshotStore::new(&widths, budget)
+    }
+
+    /// Captures the current state into `store` as a child of `parent`
+    /// in the snapshot tree: pages unchanged since the parent snapshot
+    /// are shared, the rest are copied (see [`SnapshotStore::fork`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store` was created for a different design.
+    pub fn fork(&self, store: &mut SnapshotStore, parent: Option<SnapshotId>) -> ForkOutcome {
+        self.count(Counter::SnapshotsTaken, 1);
+        let out = store.fork(parent, &self.values, self.cycle);
+        self.count(Counter::SnapshotPagesCopied, out.pages_copied);
+        self.count(Counter::SnapshotPagesShared, out.pages_shared);
+        out
+    }
+
+    /// Re-enters snapshot `id` from `store`, writing only the pages
+    /// whose content differs from the live value table (and marking
+    /// exactly the changed signals dirty, so the next settle sweeps the
+    /// minimum). Returns the number of pages written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store` belongs to a different design, or `id` is
+    /// stale or evicted.
+    pub fn enter(&mut self, store: &SnapshotStore, id: SnapshotId) -> u64 {
+        self.count(Counter::SnapshotRestores, 1);
+        let mut written = 0u64;
+        for (range, page) in store.pages(id) {
+            assert!(
+                range.end <= self.values.len(),
+                "snapshot store belongs to a different design"
+            );
+            if self.values[range.clone()] != *page {
+                for (i, v) in range.zip(page) {
+                    if self.values[i] != *v {
+                        self.values[i] = v.clone();
+                        self.dirty[i] = true;
+                    }
+                }
+                written += 1;
+            }
+        }
+        self.cycle = store.cycle(id);
+        written
     }
 
     fn apply_resets(&mut self, domains: &[(SignalId, Edge)], cycles: u32) {
@@ -783,7 +943,11 @@ impl Simulator {
         let _ = self.settle_comb();
     }
 
-    /// Takes a checkpoint snapshot of the full state.
+    /// Takes a deep-copy checkpoint snapshot of the full state.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use fork through a SnapshotStore; deep copies share no pages"
+    )]
     pub fn snapshot(&self) -> Snapshot {
         self.count(Counter::SnapshotsTaken, 1);
         Snapshot {
@@ -792,11 +956,15 @@ impl Simulator {
         }
     }
 
-    /// Restores a snapshot taken on the same design.
+    /// Restores a deep-copy snapshot taken on the same design.
     ///
     /// # Panics
     ///
     /// Panics if the snapshot's signal count differs from the design's.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use reenter(Reentry::Snapshot { store, id }) via a SnapshotStore"
+    )]
     pub fn restore(&mut self, snap: &Snapshot) {
         assert_eq!(
             snap.values.len(),
@@ -1116,7 +1284,7 @@ mod tests {
         );
         let q = s.design().signal_by_name("q").unwrap();
         assert!(s.get(q).has_unknown());
-        s.reset(2);
+        s.reenter(Reentry::FullReset { cycles: 2 });
         assert_eq!(s.get(q).to_u64(), Some(0));
         s.step();
         s.step();
@@ -1149,7 +1317,7 @@ mod tests {
              endmodule",
             "m",
         );
-        s.reset(1);
+        s.reenter(Reentry::FullReset { cycles: 1 });
         let a = s.design().signal_by_name("a").unwrap();
         let b = s.design().signal_by_name("b").unwrap();
         assert_eq!((s.get(a).to_u64(), s.get(b).to_u64()), (Some(0), Some(1)));
@@ -1173,7 +1341,7 @@ mod tests {
              endmodule",
             "m",
         );
-        s.reset(1);
+        s.reenter(Reentry::FullReset { cycles: 1 });
         let d = s.design().signal_by_name("d").unwrap();
         let q = s.design().signal_by_name("q").unwrap();
         s.set_input(d, &LogicVec::from_u64(4, 5)).unwrap();
@@ -1228,7 +1396,9 @@ mod tests {
         assert_eq!(s.toggled_outcomes(), 2);
     }
 
+    // The deprecated deep-copy shims keep working for one release.
     #[test]
+    #[allow(deprecated)]
     fn snapshot_restore_round_trips() {
         let mut s = sim(
             "module m(input clk, input rst_n, output logic [7:0] q);
@@ -1257,6 +1427,92 @@ mod tests {
     }
 
     #[test]
+    fn fork_enter_round_trips_and_matches_deep_copy() {
+        let src = "module m(input clk, input rst_n, input [7:0] d,
+                            output logic [7:0] q, output logic [7:0] acc);
+                     always_ff @(posedge clk or negedge rst_n)
+                       if (!rst_n) begin q <= 8'd0; acc <= 8'd0; end
+                       else begin q <= d; acc <= acc + d; end
+                   endmodule";
+        let mut s = sim(src, "m");
+        let mut store = s.snapshot_store(u64::MAX);
+        s.reenter(Reentry::FullReset { cycles: 1 });
+        let d = s.design().signal_by_name("d").unwrap();
+        s.set_input(d, &LogicVec::from_u64(8, 3)).unwrap();
+        for _ in 0..4 {
+            s.step();
+        }
+        let root = s.fork(&mut store, None);
+        let oracle = s.values().to_vec();
+        let oracle_cycle = s.cycle();
+
+        // Run on, then fork a child of the root.
+        s.set_input(d, &LogicVec::from_u64(8, 7)).unwrap();
+        for _ in 0..3 {
+            s.step();
+        }
+        let child = s.fork(&mut store, Some(root.id));
+        assert!(child.pages_shared + child.pages_copied == root.pages_copied);
+        let child_vals = s.values().to_vec();
+
+        // Entering the root restores the oracle state bit for bit, and
+        // the resumed trajectory is deterministic.
+        let out = s.reenter(Reentry::Snapshot {
+            store: &store,
+            id: root.id,
+        });
+        assert_eq!(out.mechanism, ReentryMechanism::SnapshotEnter);
+        assert_eq!(out.cycles_replayed, 0);
+        assert_eq!(s.values(), &oracle[..]);
+        assert_eq!(s.cycle(), oracle_cycle);
+
+        // Entering the child never disturbs the root's pages.
+        s.enter(&store, child.id);
+        assert_eq!(s.values(), &child_vals[..]);
+        assert_eq!(store.materialize(root.id), oracle);
+    }
+
+    #[test]
+    fn enter_restores_all_x_state_exactly() {
+        // Power-up state: every register X. A snapshot of it must
+        // round-trip through the paged store with the X plane intact.
+        let mut s = sim(
+            "module m(input clk, input [3:0] d, output logic [3:0] q);
+               always_ff @(posedge clk) q <= q ^ d;
+             endmodule",
+            "m",
+        );
+        let mut store = s.snapshot_store(u64::MAX);
+        let powerup = s.fork(&mut store, None);
+        let oracle = s.values().to_vec();
+        let d = s.design().signal_by_name("d").unwrap();
+        s.set_input(d, &LogicVec::from_u64(4, 5)).unwrap();
+        for _ in 0..3 {
+            s.step();
+        }
+        s.enter(&store, powerup.id);
+        assert_eq!(s.values(), &oracle[..]);
+        let q = s.design().signal_by_name("q").unwrap();
+        assert!(s.get(q).to_u64().is_none(), "q must be X again");
+    }
+
+    #[test]
+    fn reenter_reset_matches_legacy_reset() {
+        let src = "module m(input clk, input rst_n, output logic [7:0] q);
+                     always_ff @(posedge clk or negedge rst_n)
+                       if (!rst_n) q <= 8'd0; else q <= q + 8'd1;
+                   endmodule";
+        let mut a = sim(src, "m");
+        let mut b = sim(src, "m");
+        let out = a.reenter(Reentry::FullReset { cycles: 2 });
+        assert_eq!(out.mechanism, ReentryMechanism::FullReset);
+        #[allow(deprecated)]
+        b.reset(2);
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.cycle(), b.cycle());
+    }
+
+    #[test]
     fn partial_reset_touches_only_one_domain() {
         let mut s = sim(
             "module m(input clk, input rst_a_n, input rst_b_n,
@@ -1268,7 +1524,7 @@ mod tests {
              endmodule",
             "m",
         );
-        s.reset(1);
+        s.reenter(Reentry::FullReset { cycles: 1 });
         for _ in 0..3 {
             s.step();
         }
@@ -1276,7 +1532,11 @@ mod tests {
         let qb = s.design().signal_by_name("qb").unwrap();
         assert_eq!(s.get(qa).to_u64(), Some(3));
         let rst_a = s.design().signal_by_name("rst_a_n").unwrap();
-        s.reset_domain(rst_a, 1);
+        let out = s.reenter(Reentry::DomainReset {
+            reset: rst_a,
+            cycles: 1,
+        });
+        assert_eq!(out.mechanism, ReentryMechanism::DomainReset);
         assert_eq!(s.get(qa).to_u64(), Some(0));
         // Domain B kept counting through the partial reset cycle.
         assert_eq!(s.get(qb).to_u64(), Some(4));
@@ -1296,7 +1556,7 @@ mod tests {
              endmodule",
             "pipe",
         );
-        s.reset(1);
+        s.reenter(Reentry::FullReset { cycles: 1 });
         let d = s.design().signal_by_name("d").unwrap();
         let q = s.design().signal_by_name("q").unwrap();
         s.set_input(d, &LogicVec::from_u64(4, 9)).unwrap();
@@ -1355,7 +1615,7 @@ mod tests {
         assert!(s.vm_profile(10).is_none());
         s.enable_vm_profiler();
         assert!(s.vm_profiler_enabled());
-        s.reset(1);
+        s.reenter(Reentry::FullReset { cycles: 1 });
         for i in 0..20u64 {
             s.apply_input_word(&LogicVec::from_u64(8, i));
             s.step();
@@ -1389,7 +1649,7 @@ mod tests {
             "m",
         );
         s2.enable_vm_profiler();
-        s2.reset(1);
+        s2.reenter(Reentry::FullReset { cycles: 1 });
         for i in 0..20u64 {
             s2.apply_input_word(&LogicVec::from_u64(8, i));
             s2.step();

@@ -1,0 +1,508 @@
+//! The copy-on-write snapshot store: paged simulator state organised
+//! as a checkpoint tree.
+//!
+//! The flat [`Snapshot`](crate::Snapshot) deep-copies every signal on
+//! every checkpoint — the cost VGF ("Fuzzing Hardware as Hardware")
+//! identifies as the throughput killer of software-simulator fuzzing.
+//! This module replaces it with the fork-server shape snapshot fuzzers
+//! use:
+//!
+//! * The value table (`Vec<LogicVec>`, one entry per signal) is chunked
+//!   into fixed-size **pages** of [`PAGE_SIGNALS`] consecutive signals.
+//! * A snapshot is a **page table** (one page index per chunk) plus the
+//!   cycle counter — the only per-snapshot metadata the simulator
+//!   needs; pending NBAs are always drained before a checkpoint is
+//!   reachable, so they never need saving.
+//! * At [`fork`](SnapshotStore::fork) time each page is compared
+//!   against the designated tree parent's page: unchanged pages are
+//!   **shared** (refcount bump, no copy), changed pages are copied.
+//!   This realises copy-on-write at capture granularity: a page is
+//!   paid for exactly when it was written after the fork point.
+//! * Snapshots form an explicit **tree** via parent handles, mirroring
+//!   the CFG checkpoint ancestry the fuzzer forks along.
+//! * [`evict`](SnapshotStore::evict) drops a snapshot's references;
+//!   pages are reclaimed when their refcount hits zero, so evicting a
+//!   parent never invalidates the children that still share its pages.
+//!
+//! Everything is slab-allocated with LIFO free lists, so the store's
+//! layout — and every byte count it reports — is a pure function of
+//! the fork/evict call sequence. Campaigns stay byte-identical at any
+//! `--jobs N`.
+
+use std::ops::Range;
+use symbfuzz_logic::LogicVec;
+
+/// Signals per page. Small enough that a single changed register only
+/// re-copies its neighbourhood — the micro designs this fuzzer targets
+/// have tens of signals, so fine pages are what make sharing possible
+/// at all — large enough that page tables stay short.
+pub const PAGE_SIGNALS: usize = 8;
+
+/// Handle to a snapshot held by a [`SnapshotStore`]. Slots are reused
+/// after eviction; the generation tag makes stale handles detectable
+/// instead of silently aliasing a newer snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnapshotId {
+    slot: u32,
+    generation: u32,
+}
+
+/// Cost report of one [`SnapshotStore::fork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForkOutcome {
+    /// Handle of the new snapshot.
+    pub id: SnapshotId,
+    /// Pages copied because their content changed since the parent
+    /// snapshot (all pages, when the fork had no parent).
+    pub pages_copied: u64,
+    /// Pages shared with the parent snapshot (refcount bump only).
+    pub pages_shared: u64,
+    /// Bytes the copied pages added to the store's unique footprint.
+    pub bytes_copied: u64,
+}
+
+struct PageSlot {
+    /// Live snapshots referencing this page (0 = free slot).
+    refs: u32,
+    /// Nominal bytes of this page's content (two `u64` planes per
+    /// signal), cached so release needs no width lookup.
+    bytes: u64,
+    values: Vec<LogicVec>,
+}
+
+struct SnapSlot {
+    live: bool,
+    generation: u32,
+    cycle: u64,
+    parent: Option<SnapshotId>,
+    /// One page index per page position.
+    table: Vec<u32>,
+}
+
+/// Byte-budgeted, refcounted store of paged simulator snapshots.
+///
+/// Created for one design shape (signal count and widths); see
+/// [`Simulator::snapshot_store`](crate::Simulator::snapshot_store).
+/// The budget is advisory — the store never refuses a fork, it only
+/// reports [`over_budget`](Self::over_budget) so the owner can pick
+/// deterministic victims for [`evict`](Self::evict).
+pub struct SnapshotStore {
+    num_signals: usize,
+    /// Nominal bytes per page position (widths vary across pages).
+    page_bytes: Vec<u64>,
+    /// Bytes of one full deep-copied state (Σ `page_bytes`).
+    state_bytes: u64,
+    budget: u64,
+    pages: Vec<PageSlot>,
+    free_pages: Vec<u32>,
+    snaps: Vec<SnapSlot>,
+    free_snaps: Vec<u32>,
+    unique_bytes: u64,
+    live: usize,
+    pages_copied_total: u64,
+    pages_shared_total: u64,
+    evictions: u64,
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("live", &self.live)
+            .field("unique_bytes", &self.unique_bytes)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+/// Nominal storage bytes of a `width`-bit signal: two 64-bit planes.
+fn signal_bytes(width: u32) -> u64 {
+    2 * (width as u64).div_ceil(64) * 8
+}
+
+impl SnapshotStore {
+    /// Creates an empty store for a design whose signals have the given
+    /// widths, with a unique-page byte budget of `budget` bytes.
+    pub fn new(widths: &[u32], budget: u64) -> SnapshotStore {
+        let page_bytes: Vec<u64> = widths
+            .chunks(PAGE_SIGNALS)
+            .map(|c| c.iter().map(|w| signal_bytes(*w)).sum())
+            .collect();
+        let state_bytes = page_bytes.iter().sum();
+        SnapshotStore {
+            num_signals: widths.len(),
+            page_bytes,
+            state_bytes,
+            budget,
+            pages: Vec::new(),
+            free_pages: Vec::new(),
+            snaps: Vec::new(),
+            free_snaps: Vec::new(),
+            unique_bytes: 0,
+            live: 0,
+            pages_copied_total: 0,
+            pages_shared_total: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Signal-index range of page position `p`.
+    fn page_range(&self, p: usize) -> Range<usize> {
+        let start = p * PAGE_SIGNALS;
+        start..(start + PAGE_SIGNALS).min(self.num_signals)
+    }
+
+    fn slot(&self, id: SnapshotId) -> &SnapSlot {
+        let s = &self.snaps[id.slot as usize];
+        assert!(
+            s.live && s.generation == id.generation,
+            "stale or evicted snapshot handle"
+        );
+        s
+    }
+
+    fn alloc_page(&mut self, values: Vec<LogicVec>, bytes: u64) -> u32 {
+        self.unique_bytes += bytes;
+        match self.free_pages.pop() {
+            Some(i) => {
+                let slot = &mut self.pages[i as usize];
+                slot.refs = 1;
+                slot.bytes = bytes;
+                slot.values = values;
+                i
+            }
+            None => {
+                self.pages.push(PageSlot {
+                    refs: 1,
+                    bytes,
+                    values,
+                });
+                (self.pages.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Captures `values` (the simulator's value table) at `cycle` as a
+    /// child of `parent` in the snapshot tree. Pages whose content is
+    /// bit-identical to the parent's are shared; the rest are copied.
+    /// A `None` (or stale) parent copies every page — the tree root
+    /// case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has a different signal count than the store
+    /// was created for.
+    pub fn fork(
+        &mut self,
+        parent: Option<SnapshotId>,
+        values: &[LogicVec],
+        cycle: u64,
+    ) -> ForkOutcome {
+        assert_eq!(
+            values.len(),
+            self.num_signals,
+            "snapshot store belongs to a different design"
+        );
+        let parent = parent.filter(|p| self.is_live(*p));
+        let npages = self.page_bytes.len();
+        let mut table = Vec::with_capacity(npages);
+        let mut copied = 0u64;
+        let mut shared = 0u64;
+        let mut bytes_copied = 0u64;
+        for p in 0..npages {
+            let range = self.page_range(p);
+            let shared_page = parent.and_then(|pid| {
+                let ppage = self.slot(pid).table[p];
+                (self.pages[ppage as usize].values[..] == values[range.clone()]).then_some(ppage)
+            });
+            match shared_page {
+                Some(i) => {
+                    self.pages[i as usize].refs += 1;
+                    shared += 1;
+                    table.push(i);
+                }
+                None => {
+                    let bytes = self.page_bytes[p];
+                    let i = self.alloc_page(values[range].to_vec(), bytes);
+                    copied += 1;
+                    bytes_copied += bytes;
+                    table.push(i);
+                }
+            }
+        }
+        let snap = SnapSlot {
+            live: true,
+            generation: 0,
+            cycle,
+            parent,
+            table,
+        };
+        let id = match self.free_snaps.pop() {
+            Some(i) => {
+                let generation = self.snaps[i as usize].generation + 1;
+                self.snaps[i as usize] = SnapSlot { generation, ..snap };
+                SnapshotId {
+                    slot: i,
+                    generation,
+                }
+            }
+            None => {
+                self.snaps.push(snap);
+                SnapshotId {
+                    slot: (self.snaps.len() - 1) as u32,
+                    generation: 0,
+                }
+            }
+        };
+        self.live += 1;
+        self.pages_copied_total += copied;
+        self.pages_shared_total += shared;
+        ForkOutcome {
+            id,
+            pages_copied: copied,
+            pages_shared: shared,
+            bytes_copied,
+        }
+    }
+
+    /// Drops snapshot `id` from the store. Its pages lose one
+    /// reference each; pages reaching zero references are reclaimed
+    /// (their bytes leave [`unique_bytes`](Self::unique_bytes)).
+    /// Returns the bytes actually freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale or already-evicted handle.
+    pub fn evict(&mut self, id: SnapshotId) -> u64 {
+        self.slot(id); // liveness check
+        let slot = &mut self.snaps[id.slot as usize];
+        slot.live = false;
+        let table = std::mem::take(&mut slot.table);
+        let mut freed = 0u64;
+        for i in table {
+            let page = &mut self.pages[i as usize];
+            page.refs -= 1;
+            if page.refs == 0 {
+                freed += page.bytes;
+                page.bytes = 0;
+                page.values = Vec::new();
+                self.free_pages.push(i);
+            }
+        }
+        self.unique_bytes -= freed;
+        self.free_snaps.push(id.slot);
+        self.live -= 1;
+        self.evictions += 1;
+        freed
+    }
+
+    /// Whether `id` names a live snapshot (false for stale handles).
+    pub fn is_live(&self, id: SnapshotId) -> bool {
+        self.snaps
+            .get(id.slot as usize)
+            .is_some_and(|s| s.live && s.generation == id.generation)
+    }
+
+    /// The cycle counter captured with snapshot `id`.
+    pub fn cycle(&self, id: SnapshotId) -> u64 {
+        self.slot(id).cycle
+    }
+
+    /// The tree parent of snapshot `id` at fork time (`None` for
+    /// roots; the parent may have been evicted since).
+    pub fn parent(&self, id: SnapshotId) -> Option<SnapshotId> {
+        self.slot(id).parent
+    }
+
+    /// Iterates snapshot `id`'s pages as (signal-index range, page
+    /// content) pairs, in signal order.
+    pub fn pages(&self, id: SnapshotId) -> impl Iterator<Item = (Range<usize>, &[LogicVec])> + '_ {
+        let slot = self.slot(id);
+        slot.table
+            .iter()
+            .enumerate()
+            .map(move |(p, &i)| (self.page_range(p), self.pages[i as usize].values.as_slice()))
+    }
+
+    /// Materialises snapshot `id` as a flat value table (the deep-copy
+    /// oracle view; the fuzzer itself enters snapshots page-wise).
+    pub fn materialize(&self, id: SnapshotId) -> Vec<LogicVec> {
+        let mut out = Vec::with_capacity(self.num_signals);
+        for (_, page) in self.pages(id) {
+            out.extend_from_slice(page);
+        }
+        out
+    }
+
+    /// Live snapshots held.
+    pub fn live_snapshots(&self) -> usize {
+        self.live
+    }
+
+    /// Bytes of unique (unshared-or-once-counted) page content held —
+    /// what the snapshots actually cost.
+    pub fn unique_bytes(&self) -> u64 {
+        self.unique_bytes
+    }
+
+    /// Bytes the live snapshots would cost as full deep copies.
+    pub fn logical_bytes(&self) -> u64 {
+        self.live as u64 * self.state_bytes
+    }
+
+    /// Bytes of one full deep-copied state.
+    pub fn state_bytes(&self) -> u64 {
+        self.state_bytes
+    }
+
+    /// Sharing ratio ×1000: [`logical_bytes`](Self::logical_bytes)
+    /// over [`unique_bytes`](Self::unique_bytes). 1000 means nothing is
+    /// shared; 0 means the store is empty.
+    pub fn sharing_milli(&self) -> u64 {
+        (self.logical_bytes() * 1000)
+            .checked_div(self.unique_bytes)
+            .unwrap_or(0)
+    }
+
+    /// The configured unique-byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Whether unique bytes exceed the budget (the owner should evict).
+    pub fn over_budget(&self) -> bool {
+        self.unique_bytes > self.budget
+    }
+
+    /// Cumulative pages copied across all forks.
+    pub fn pages_copied_total(&self) -> u64 {
+        self.pages_copied_total
+    }
+
+    /// Cumulative pages shared across all forks.
+    pub fn pages_shared_total(&self) -> u64 {
+        self.pages_shared_total
+    }
+
+    /// Snapshots evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_logic::Bit;
+
+    fn table(widths: &[u32], fill: u64) -> Vec<LogicVec> {
+        widths
+            .iter()
+            .map(|w| LogicVec::from_u64(*w, fill & ((1u64 << (*w).min(63)) - 1)))
+            .collect()
+    }
+
+    #[test]
+    fn fork_shares_unchanged_pages_with_parent() {
+        let widths = vec![8u32; 100];
+        let pages = 100u64.div_ceil(PAGE_SIGNALS as u64);
+        let mut store = SnapshotStore::new(&widths, u64::MAX);
+        let v0 = table(&widths, 0x11);
+        let root = store.fork(None, &v0, 5);
+        assert_eq!(root.pages_copied, pages);
+        assert_eq!(root.pages_shared, 0);
+
+        // Change one signal: only its page is copied, the rest share.
+        let mut v1 = v0.clone();
+        v1[40] = LogicVec::from_u64(8, 0x2A);
+        let child = store.fork(Some(root.id), &v1, 6);
+        assert_eq!(child.pages_copied, 1);
+        assert_eq!(child.pages_shared, pages - 1);
+        assert!(store.unique_bytes() < 2 * store.state_bytes());
+        assert!(store.sharing_milli() > 1000);
+        assert_eq!(store.parent(child.id), Some(root.id));
+        assert_eq!(store.cycle(child.id), 6);
+    }
+
+    #[test]
+    fn cow_isolation_against_deep_copy_oracle() {
+        let widths = vec![16u32; 70];
+        let mut store = SnapshotStore::new(&widths, u64::MAX);
+        // Root includes all-X signals — the power-up state.
+        let mut v0 = table(&widths, 7);
+        v0[0] = LogicVec::xes(16);
+        v0[69] = LogicVec::xes(16);
+        let root = store.fork(None, &v0, 1);
+        let oracle_root = v0.clone();
+
+        // Child A mutates the first page; child B the last.
+        let mut va = v0.clone();
+        va[1] = LogicVec::from_u64(16, 0xBEEF);
+        let a = store.fork(Some(root.id), &va, 2);
+        let mut vb = v0.clone();
+        vb[69] = LogicVec::from_u64(16, 0xCAFE);
+        let b = store.fork(Some(root.id), &vb, 3);
+
+        // No bleed between siblings or into the ancestor, bit for bit.
+        assert_eq!(store.materialize(root.id), oracle_root);
+        assert_eq!(store.materialize(a.id), va);
+        assert_eq!(store.materialize(b.id), vb);
+        // The X plane round-trips exactly.
+        assert_eq!(store.materialize(root.id)[0].bit(3), Bit::X);
+    }
+
+    #[test]
+    fn eviction_reclaims_refcounted_pages() {
+        let widths = vec![8u32; 64]; // 64/PAGE_SIGNALS even pages
+        let pages = (64 / PAGE_SIGNALS) as u64;
+        let mut store = SnapshotStore::new(&widths, u64::MAX);
+        let v0 = table(&widths, 1);
+        let root = store.fork(None, &v0, 0);
+        let mut v1 = v0.clone();
+        v1[0] = LogicVec::from_u64(8, 9);
+        let child = store.fork(Some(root.id), &v1, 1);
+        let full = store.state_bytes();
+        let page = full / pages;
+        assert_eq!(store.unique_bytes(), full + page);
+
+        // Evicting the parent frees only its unshared page (the one
+        // the child re-copied); the child still references the rest.
+        let freed = store.evict(root.id);
+        assert_eq!(freed, page);
+        assert_eq!(store.unique_bytes(), full);
+        assert!(!store.is_live(root.id));
+        assert_eq!(store.materialize(child.id), v1);
+
+        // Evicting the child frees the rest.
+        assert_eq!(store.evict(child.id), full);
+        assert_eq!(store.unique_bytes(), 0);
+        assert_eq!(store.live_snapshots(), 0);
+        assert_eq!(store.evictions(), 2);
+    }
+
+    #[test]
+    fn slot_reuse_is_generation_safe() {
+        let widths = vec![4u32; 8];
+        let mut store = SnapshotStore::new(&widths, u64::MAX);
+        let v = table(&widths, 3);
+        let a = store.fork(None, &v, 0);
+        store.evict(a.id);
+        let b = store.fork(None, &v, 1);
+        // Same slot, new generation: the stale handle is detectable.
+        assert!(!store.is_live(a.id));
+        assert!(store.is_live(b.id));
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn budget_is_reported_not_enforced() {
+        let widths = vec![64u32; 32]; // 512 bytes of state
+        let mut store = SnapshotStore::new(&widths, 600);
+        let a = store.fork(None, &table(&widths, 1), 0);
+        assert!(!store.over_budget());
+        store.fork(None, &table(&widths, 2), 1);
+        assert!(store.over_budget());
+        store.evict(a.id);
+        assert!(!store.over_budget());
+        assert_eq!(store.budget(), 600);
+    }
+}

@@ -113,7 +113,7 @@ impl<W: Write> VcdWriter<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Simulator;
+    use crate::{Reentry, Simulator};
     use std::sync::Arc;
     use symbfuzz_netlist::elaborate_src;
 
@@ -135,7 +135,7 @@ mod tests {
         {
             let mut vcd = VcdWriter::new(&mut buf, &d, &watch).unwrap();
             vcd.sample(0, sim.values()).unwrap();
-            sim.reset(1);
+            sim.reenter(Reentry::FullReset { cycles: 1 });
             vcd.sample(1, sim.values()).unwrap();
             let di = d.signal_by_name("d").unwrap();
             sim.set_input(di, &symbfuzz_logic::LogicVec::from_u64(4, 9))

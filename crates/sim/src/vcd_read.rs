@@ -169,7 +169,7 @@ pub fn read_vcd(text: &str) -> Result<VcdTrace, VcdParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Simulator, VcdWriter};
+    use crate::{Reentry, Simulator, VcdWriter};
     use std::sync::Arc;
     use symbfuzz_netlist::elaborate_src;
 
@@ -191,7 +191,7 @@ mod tests {
         let mut buf = Vec::new();
         {
             let mut w = VcdWriter::new(&mut buf, &d, &watch).unwrap();
-            sim.reset(1);
+            sim.reenter(Reentry::FullReset { cycles: 1 });
             let din = d.signal_by_name("d").unwrap();
             for (t, v) in [(0u64, 3u64), (1, 9), (2, 9), (3, 0)] {
                 sim.set_input(din, &symbfuzz_logic::LogicVec::from_u64(4, v))

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use symbfuzz_logic::{Bit, LogicVec};
 use symbfuzz_netlist::elaborate_src;
-use symbfuzz_sim::{SettleMode, Simulator};
+use symbfuzz_sim::{Reentry, SettleMode, Simulator};
 use symbfuzz_telemetry::{Collector, Counter, Gauge};
 
 fn pair(src: &str, top: &str) -> (Simulator, Simulator) {
@@ -60,8 +60,8 @@ fn all_x_reset_escapes_then_fast_path() {
     let d = cmp.design().signal_by_name("d").unwrap();
     cmp.set_input(d, &LogicVec::from_u64(8, 5)).unwrap();
     fix.set_input(d, &LogicVec::from_u64(8, 5)).unwrap();
-    cmp.reset(2);
-    fix.reset(2);
+    cmp.reenter(Reentry::FullReset { cycles: 2 });
+    fix.reenter(Reentry::FullReset { cycles: 2 });
     assert_eq!(cmp.values(), fix.values());
     assert!(!cmp.get(y).has_unknown(), "reset clears the cone");
 
@@ -116,8 +116,8 @@ fn mid_campaign_x_injection_escapes_only_the_island() {
     cmp.set_input(b, &LogicVec::from_u64(4, 2)).unwrap();
     fix.set_input(a, &LogicVec::from_u64(4, 1)).unwrap();
     fix.set_input(b, &LogicVec::from_u64(4, 2)).unwrap();
-    cmp.reset(1);
-    fix.reset(1);
+    cmp.reenter(Reentry::FullReset { cycles: 1 });
+    fix.reenter(Reentry::FullReset { cycles: 1 });
     assert_eq!(telemetry.gauge(Gauge::XIslandCones), 2, "power-up island");
 
     let esc0 = telemetry.get(Counter::SettleEscapes);
@@ -161,8 +161,8 @@ fn mid_campaign_x_injection_escapes_only_the_island() {
     // resumes with no further escapes once the island drains.
     cmp.set_input(a, &LogicVec::from_u64(4, 2)).unwrap();
     fix.set_input(a, &LogicVec::from_u64(4, 2)).unwrap();
-    cmp.reset(1);
-    fix.reset(1);
+    cmp.reenter(Reentry::FullReset { cycles: 1 });
+    fix.reenter(Reentry::FullReset { cycles: 1 });
     let escapes_after_clear = telemetry.get(Counter::SettleEscapes);
     for _ in 0..4 {
         cmp.step();

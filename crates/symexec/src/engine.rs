@@ -1009,7 +1009,7 @@ mod tests {
         // Replaying the solved sequence on the real simulator must land
         // in the target state.
         let mut sim = symbfuzz_sim::Simulator::new(Arc::clone(&d));
-        sim.reset(1);
+        sim.reenter(symbfuzz_sim::Reentry::FullReset { cycles: 1 });
         for step in &seq {
             sim.apply_input_word(&step.to_word(&d));
             sim.step();

@@ -50,11 +50,19 @@ pub enum Counter {
     /// Compiled-settle cone executions that escaped to the four-state
     /// interpreter (X-island live, or lowering rejected).
     SettleEscapes,
+    /// Snapshot pages copied at fork time (content differed from the
+    /// tree parent, or the snapshot had no parent).
+    SnapshotPagesCopied,
+    /// Snapshot pages shared with the tree parent at fork time (content
+    /// unchanged since the parent snapshot — the copy-on-write win).
+    SnapshotPagesShared,
+    /// Snapshots evicted from the byte-budgeted store.
+    SnapshotEvictions,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 20;
 
     /// All counters in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -75,6 +83,9 @@ impl Counter {
         Counter::NegCacheHits,
         Counter::SettleFastPath,
         Counter::SettleEscapes,
+        Counter::SnapshotPagesCopied,
+        Counter::SnapshotPagesShared,
+        Counter::SnapshotEvictions,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -97,6 +108,9 @@ impl Counter {
             Counter::NegCacheHits => "neg_cache_hits",
             Counter::SettleFastPath => "settle_fast_path",
             Counter::SettleEscapes => "settle_escapes",
+            Counter::SnapshotPagesCopied => "snapshot_pages_copied",
+            Counter::SnapshotPagesShared => "snapshot_pages_shared",
+            Counter::SnapshotEvictions => "snapshot_evictions",
         }
     }
 
@@ -120,11 +134,18 @@ pub enum Gauge {
     /// High-water mark of cones that escaped the compiled two-state
     /// fast path within a single settle (the X-island extent).
     XIslandCones,
+    /// Unique page bytes held by the snapshot store (what the
+    /// checkpoints actually cost in memory after page sharing).
+    SnapshotBytes,
+    /// Snapshot sharing ratio ×1000: logical deep-copy bytes of the
+    /// live snapshots over their unique page bytes (0 when no
+    /// snapshots are held; 1000 means no page is shared).
+    SnapshotSharing,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// All gauges in index order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -133,6 +154,8 @@ impl Gauge {
         Gauge::CaseCorpus,
         Gauge::EscalationLevel,
         Gauge::XIslandCones,
+        Gauge::SnapshotBytes,
+        Gauge::SnapshotSharing,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -143,6 +166,8 @@ impl Gauge {
             Gauge::CaseCorpus => "case_corpus",
             Gauge::EscalationLevel => "escalation_level",
             Gauge::XIslandCones => "x_island_cones",
+            Gauge::SnapshotBytes => "snapshot_bytes",
+            Gauge::SnapshotSharing => "snapshot_sharing_milli",
         }
     }
 

@@ -12,12 +12,12 @@ use symbfuzz_cfgx::{Cfg, Provenance};
 use symbfuzz_designs::toy_alu;
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::classify_registers;
-use symbfuzz_sim::{read_vcd, Simulator, VcdWriter};
+use symbfuzz_sim::{read_vcd, Reentry, Simulator, VcdWriter};
 
 fn main() {
     let design = toy_alu();
     let mut sim = Simulator::new(Arc::clone(&design));
-    sim.reset(2);
+    sim.reenter(Reentry::FullReset { cycles: 2 });
 
     // Simulate one interval, dumping every signal to a VCD buffer.
     let watch: Vec<_> = (0..design.signals.len() as u32)

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use symbfuzz_cfgx::{Cfg, Provenance};
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{classify_registers, elaborate_src, Design};
-use symbfuzz_sim::Simulator;
+use symbfuzz_sim::{Reentry, Simulator};
 
 const FSM: &str = "
 module walker(input clk, input rst_n, input [3:0] step,
@@ -29,7 +29,7 @@ endmodule";
 fn setup() -> (Arc<Design>, Simulator, Cfg) {
     let d = Arc::new(elaborate_src(FSM, "walker").unwrap());
     let mut sim = Simulator::new(Arc::clone(&d));
-    sim.reset(2);
+    sim.reenter(Reentry::FullReset { cycles: 2 });
     let ctrl = classify_registers(&d).control;
     let cfg = Cfg::new(Arc::clone(&d), ctrl);
     (d, sim, cfg)
@@ -64,7 +64,7 @@ fn replay_sequence_reenters_the_same_node() {
     // exactly to the recorded node's tuple.
     drive(&mut sim, &mut cfg, 7);
     drive(&mut sim, &mut cfg, 0);
-    sim.reset(2);
+    sim.reenter(Reentry::FullReset { cycles: 2 });
     cfg.note_reset();
     for w in &path {
         sim.apply_input_word(w);
@@ -81,14 +81,18 @@ fn snapshot_and_replay_agree_on_control_state() {
     drive(&mut sim, &mut cfg, 6);
     drive(&mut sim, &mut cfg, 7);
     let node = cfg.current().unwrap();
-    let snap = sim.snapshot();
+    let mut store = sim.snapshot_store(u64::MAX);
+    let snap = sim.fork(&mut store, None);
     let pos = d.signal_by_name("pos").unwrap();
     let at_snapshot = sim.get(pos).clone();
 
-    // Diverge, restore, compare.
+    // Diverge, re-enter the snapshot, compare.
     drive(&mut sim, &mut cfg, 1);
     drive(&mut sim, &mut cfg, 2);
-    sim.restore(&snap);
+    sim.reenter(Reentry::Snapshot {
+        store: &store,
+        id: snap.id,
+    });
     assert!(sim.get(pos).case_eq(&at_snapshot));
 
     // Reset + replay reaches the same control-register tuple (the data
@@ -96,7 +100,7 @@ fn snapshot_and_replay_agree_on_control_state() {
     // word history is replayed).
     let path: Vec<LogicVec> = cfg.replay_sequence(node).to_vec();
     let mut sim2 = Simulator::new(Arc::clone(&d));
-    sim2.reset(2);
+    sim2.reenter(Reentry::FullReset { cycles: 2 });
     for w in &path {
         sim2.apply_input_word(w);
         sim2.step();
@@ -113,13 +117,14 @@ fn rollback_extends_paths_incrementally() {
     drive(&mut sim, &mut cfg, 5);
     drive(&mut sim, &mut cfg, 6);
     let at2 = cfg.current().unwrap(); // pos == 2
-    let snap = sim.snapshot();
+    let mut store = sim.snapshot_store(u64::MAX);
+    let snap = sim.fork(&mut store, None);
     // Wander away from the checkpoint...
     drive(&mut sim, &mut cfg, 0);
     drive(&mut sim, &mut cfg, 0);
     // ...then roll both the simulator and the CFG bookkeeping back and
     // branch into a state never seen before (pos == 3).
-    sim.restore(&snap);
+    sim.enter(&store, snap.id);
     cfg.note_rollback(at2);
     drive(&mut sim, &mut cfg, 7);
     let after = cfg.current().unwrap();

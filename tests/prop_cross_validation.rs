@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use symbfuzz_logic::LogicVec;
 use symbfuzz_netlist::{elaborate_src, Design};
-use symbfuzz_sim::Simulator;
+use symbfuzz_sim::{Reentry, Simulator};
 use symbfuzz_symexec::SymbolicEngine;
 
 /// A small parameterised design family: an FSM + datapath whose exact
@@ -103,7 +103,7 @@ proptest! {
         let design = Arc::new(elaborate_src(&src, "gen").unwrap());
         let engine = SymbolicEngine::new(Arc::clone(&design));
         let mut sim = Simulator::new(Arc::clone(&design));
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let d_sig = design.signal_by_name("d").unwrap();
         let k_sig = design.signal_by_name("k").unwrap();
         // Inputs power up X; give them defined values before comparing.
@@ -146,7 +146,7 @@ proptest! {
         let design = Arc::new(elaborate_src(&src, "gen").unwrap());
         let engine = SymbolicEngine::new(Arc::clone(&design));
         let mut sim = Simulator::new(Arc::clone(&design));
-        sim.reset(2);
+        sim.reenter(Reentry::FullReset { cycles: 2 });
         let st = design.signal_by_name("st").unwrap();
         let goal = LogicVec::from_u64(3, target as u64);
         match engine.solve_reach(sim.values(), &[(st, goal.clone())], 8) {
