@@ -22,6 +22,10 @@
 //!   the copy-on-write snapshot store; unique bytes beyond it trigger
 //!   oldest-first eviction
 //!   (see [`crate::experiments::set_snapshot_budget`]);
+//! * `--introspect` — arm solver introspection for every campaign:
+//!   per-goal CDCL analytics, blame sets for failed goals, and the
+//!   cross-goal affinity matrix land in the report's `solver_scope`
+//!   block (see [`crate::experiments::set_introspection`]);
 //! * `--sample-every N` / `--sample-every=N` — flight-recorder
 //!   sampling interval in vectors; enables the sampler and the
 //!   per-cone/per-goal profilers
@@ -56,6 +60,8 @@ pub struct BenchArgs {
     pub settle_mode: Option<SettlePolicy>,
     /// Snapshot-store byte budget from `--snapshot-budget`, if any.
     pub snapshot_budget: Option<u64>,
+    /// Solver introspection armed via `--introspect`.
+    pub introspect: bool,
     /// Flight-recorder interval (vectors) from `--sample-every`, if any.
     pub sample_every: Option<u64>,
     /// Merged flight-stream file from `--flight-out`, if any.
@@ -84,6 +90,7 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
     let mut solve_wall_ms = None;
     let mut settle_mode = None;
     let mut snapshot_budget = None;
+    let mut introspect = false;
     let mut sample_every = None;
     let mut flight_out = None;
     let mut status_out = None;
@@ -123,6 +130,8 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
             snapshot_budget = args.next().and_then(|v| v.parse().ok()).or(snapshot_budget);
         } else if let Some(v) = a.strip_prefix("--snapshot-budget=") {
             snapshot_budget = v.parse().ok().or(snapshot_budget);
+        } else if a == "--introspect" {
+            introspect = true;
         } else if a == "--sample-every" {
             sample_every = args.next().and_then(|v| v.parse().ok()).or(sample_every);
         } else if let Some(v) = a.strip_prefix("--sample-every=") {
@@ -153,6 +162,7 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
         solve_wall_ms,
         settle_mode,
         snapshot_budget,
+        introspect,
         sample_every,
         flight_out,
         status_out,
@@ -179,6 +189,9 @@ pub fn parse_bench_args() -> BenchArgs {
     }
     if let Some(budget) = parsed.snapshot_budget {
         crate::experiments::set_snapshot_budget(budget);
+    }
+    if parsed.introspect {
+        crate::experiments::set_introspection(true);
     }
     if let Some(every) = parsed.sample_every {
         crate::experiments::set_sampling(every);
@@ -268,6 +281,14 @@ mod tests {
         let c = split("--snapshot-budget plenty");
         assert_eq!(c.snapshot_budget, None);
         assert!(split("42").snapshot_budget.is_none());
+    }
+
+    #[test]
+    fn extracts_introspect_flag() {
+        let a = split("2000 --introspect -j 2");
+        assert_eq!(a.rest, vec!["2000".to_string()]);
+        assert!(a.introspect);
+        assert!(!split("2000").introspect);
     }
 
     #[test]

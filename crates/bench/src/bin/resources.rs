@@ -10,11 +10,14 @@
 //! processor benchmark twice under the compiled settle engine —
 //! recorder off, then recorder on — and reports vectors/sec for each
 //! plus the on/off throughput ratio (acceptance: geomean ≥ 0.95, i.e.
-//! ≤ 5 % overhead). Earlier contents of `BENCH_telemetry.json` are
-//! preserved under the `history` key. With `--sample-every` the
-//! resource-profile campaigns also record flight samples, merged after
-//! the pool into the canonical `--flight-out` / `--status-out`
-//! artifacts (byte-identical at any `--jobs`).
+//! ≤ 5 % overhead). A second A/B pass measures solver introspection
+//! the same way (off vs `solver_introspection(true)`, same acceptance
+//! bar) and lands as `introspection_rows` /
+//! `geomean_introspection_ratio`. Earlier contents of
+//! `BENCH_telemetry.json` are preserved under the `history` key. With
+//! `--sample-every` the resource-profile campaigns also record flight
+//! samples, merged after the pool into the canonical `--flight-out` /
+//! `--status-out` artifacts (byte-identical at any `--jobs`).
 
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
@@ -46,10 +49,16 @@ struct SamplingRow {
 }
 
 /// Wall-clock vectors/sec of one campaign; `sample_every` arms the
-/// recorder and both profilers. Always the compiled settle engine
-/// (unless `--settle-mode` overrode it) so the A/B isolates recorder
-/// overhead, not engine choice.
-fn throughput(bench_index: usize, budget: u64, sample_every: Option<u64>) -> (f64, u64) {
+/// recorder and both profilers, `introspect` arms the solver-scope
+/// tracing. Always the compiled settle engine (unless `--settle-mode`
+/// overrode it) so each A/B isolates one instrument, not engine
+/// choice.
+fn throughput(
+    bench_index: usize,
+    budget: u64,
+    sample_every: Option<u64>,
+    introspect: bool,
+) -> (f64, u64) {
     let b = &processor_benchmarks()[bench_index];
     let design = b.design().expect("benchmark elaborates");
     let props = b.property_specs();
@@ -61,6 +70,9 @@ fn throughput(bench_index: usize, budget: u64, sample_every: Option<u64>) -> (f6
         .settle_policy(settle_policy());
     if let Some(every) = sample_every {
         cfg = cfg.sample_every(every);
+    }
+    if introspect {
+        cfg = cfg.solver_introspection(true);
     }
     let config = cfg.build().expect("overhead config is consistent");
     let mut fuzzer = SymbFuzz::new(Arc::clone(&design), Strategy::SymbFuzz, config, &props)
@@ -131,8 +143,8 @@ fn main() {
     println!("| Design | off vec/s | on vec/s | ratio | samples |");
     println!("|---|---|---|---|---|");
     for (i, b) in processor_benchmarks().iter().enumerate() {
-        let (off, _) = throughput(i, budget, None);
-        let (on, samples) = throughput(i, budget, Some(every));
+        let (off, _) = throughput(i, budget, None, false);
+        let (on, samples) = throughput(i, budget, Some(every), false);
         let row = SamplingRow {
             design: b.name.to_string(),
             budget,
@@ -156,11 +168,89 @@ fn main() {
          (acceptance: ≥ 0.95, i.e. ≤ 5% recorder overhead)",
         sampling_rows.len()
     );
+
+    // Solver-introspection overhead A/B: same campaign, introspection
+    // off vs on (recorder off in both arms, so only the solver scope
+    // is measured).
+    let mut introspection_rows = Vec::new();
+    println!("\n## Solver-introspection overhead ({budget} vectors per campaign)\n");
+    println!("| Design | off vec/s | on vec/s | ratio |");
+    println!("|---|---|---|---|");
+    for (i, b) in processor_benchmarks().iter().enumerate() {
+        let (off, _) = throughput(i, budget, None, false);
+        let (on, _) = throughput(i, budget, None, true);
+        let row = SamplingRow {
+            design: b.name.to_string(),
+            budget,
+            sample_every: 0,
+            vectors_per_sec_off: off,
+            vectors_per_sec_on: on,
+            ratio: on / off,
+            flight_samples: 0,
+        };
+        println!(
+            "| {} | {:.0} | {:.0} | {:.3} |",
+            row.design, off, on, row.ratio
+        );
+        introspection_rows.push(row);
+    }
+    let geomean_introspection = (introspection_rows.iter().map(|r| r.ratio.ln()).sum::<f64>()
+        / introspection_rows.len() as f64)
+        .exp();
+    println!(
+        "\ngeomean on/off throughput ratio: {geomean_introspection:.3} across {} designs \
+         (introspection is opt-in; the on-arm pays for per-failure core extraction)",
+        introspection_rows.len()
+    );
+
+    // Zero-cost-when-off check: this build's introspection-off
+    // throughput against the newest recorded rows (acceptance: geomean
+    // ≥ 0.95, i.e. the dormant instrumentation costs nothing).
+    let history = load_history();
+    let off_vs_history = history.iter().rev().find_map(|h| {
+        let Ok(Value::Array(rows)) = h.field("rows") else {
+            return None;
+        };
+        let ratios: Vec<f64> = introspection_rows
+            .iter()
+            .filter_map(|r| {
+                rows.iter().find_map(|row| {
+                    match (row.field("design"), row.field("vectors_per_sec_off")) {
+                        (Ok(Value::Str(d)), Ok(Value::Num(v))) if *d == r.design && *v > 0.0 => {
+                            Some((r.vectors_per_sec_off / *v).ln())
+                        }
+                        _ => None,
+                    }
+                })
+            })
+            .collect();
+        if ratios.is_empty() {
+            None
+        } else {
+            Some((ratios.iter().sum::<f64>() / ratios.len() as f64).exp())
+        }
+    });
+    match off_vs_history {
+        Some(r) => println!(
+            "\ngeomean introspection-off vs recorded baseline: {r:.3} \
+             (acceptance: ≥ 0.95, i.e. no cost when off)"
+        ),
+        None => println!("\nno recorded baseline rows to compare the off-arm against"),
+    }
     let out = Value::Object(vec![
         ("rows".into(), sampling_rows.to_value()),
         ("geomean_sampling_ratio".into(), Value::Num(geomean)),
+        ("introspection_rows".into(), introspection_rows.to_value()),
+        (
+            "geomean_introspection_ratio".into(),
+            Value::Num(geomean_introspection),
+        ),
+        (
+            "geomean_introspection_off_vs_history".into(),
+            off_vs_history.map_or(Value::Null, Value::Num),
+        ),
         ("telemetry".into(), merged.to_value()),
-        ("history".into(), Value::Array(load_history())),
+        ("history".into(), Value::Array(history)),
     ]);
     save_json("BENCH_telemetry", &out).expect("write results/BENCH_telemetry.json");
     flush_trace();

@@ -1,7 +1,10 @@
 //! Renders a `--trace-out` JSONL campaign trace: validates every
 //! record against the telemetry schema, then prints a per-phase time
 //! table, the compiled-settle fast-path hit rate (when the trace has
-//! `Metrics` records) and the coverage/stagnation/bug timeline.
+//! `Metrics` records), the per-goal solver cost table with p50/p90/p99
+//! per-call conflict quantiles (when the trace has `GoalSolveCost`
+//! records from an introspected campaign) and the
+//! coverage/stagnation/bug timeline.
 //!
 //! Usage: `tracedump <trace.jsonl> [--check] [--json]`
 //!
@@ -11,7 +14,9 @@
 //! syntax violation exits non-zero in every mode.
 
 use std::process::ExitCode;
-use symbfuzz_bench::trace::{parse_trace, phase_table, settle_mix_table, timeline, to_json_lines};
+use symbfuzz_bench::trace::{
+    goal_cost_table, parse_trace, phase_table, settle_mix_table, timeline, to_json_lines,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +66,11 @@ fn main() -> ExitCode {
     if !mix.is_empty() {
         println!("## Compiled-settle fast path\n");
         println!("{mix}");
+    }
+    let costs = goal_cost_table(&records);
+    if !costs.is_empty() {
+        println!("## Per-goal solver cost\n");
+        println!("{costs}");
     }
     println!("## Timeline\n");
     print!("{}", timeline(&records));

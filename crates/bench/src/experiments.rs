@@ -14,7 +14,8 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use symbfuzz_core::{
-    CampaignResult, CoverageSample, FuzzConfig, PropertySpec, SettlePolicy, Strategy, SymbFuzz,
+    CampaignResult, CoverageSample, FuzzConfig, PropertySpec, SettlePolicy, SolverProfileBlock,
+    SolverScopeBlock, Strategy, SymbFuzz,
 };
 use symbfuzz_designs::{bug_benchmarks, processor_benchmarks, Benchmark};
 use symbfuzz_netlist::{classify_registers, Design, DesignStats};
@@ -97,6 +98,25 @@ pub fn snapshot_budget() -> Option<u64> {
     SNAPSHOT_BUDGET.get().copied()
 }
 
+/// The process-global solver-introspection switch, set once by
+/// `--introspect`.
+static INTROSPECTION: OnceLock<bool> = OnceLock::new();
+
+/// Arms solver introspection for every subsequent campaign in this
+/// process: each symbolic goal then carries CDCL analytics, a
+/// structural sketch, and (for failed goals) a blame set, folded into
+/// the report's `solver_scope` block. First call wins; later calls are
+/// no-ops. Everything recorded is a pure function of the campaign
+/// seed, so introspected reports stay byte-identical at any `--jobs`.
+pub fn set_introspection(on: bool) {
+    let _ = INTROSPECTION.set(on);
+}
+
+/// Whether solver introspection is armed (off when unset).
+pub fn introspection() -> bool {
+    INTROSPECTION.get().copied().unwrap_or(false)
+}
+
 /// The process-global flight-recorder interval, set once by
 /// `--sample-every`.
 static SAMPLING: OnceLock<u64> = OnceLock::new();
@@ -167,6 +187,9 @@ fn campaign_config(budget: u64, seed: u64) -> FuzzConfig {
     }
     if let Some(bytes) = snapshot_budget() {
         b = b.snapshot_mem_budget(bytes);
+    }
+    if introspection() {
+        b = b.solver_introspection(true);
     }
     b.build().expect("bench campaign config is consistent")
 }
@@ -670,6 +693,9 @@ pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<Bud
         if let Some(bytes) = snapshot_budget() {
             b = b.snapshot_mem_budget(bytes);
         }
+        if introspection() {
+            b = b.solver_introspection(true);
+        }
         let config = b.build().expect("budget profile config is consistent");
         let mut fuzzer = SymbFuzz::new(Arc::clone(design), Strategy::SymbFuzz, config, props)
             .expect("property compiles");
@@ -699,6 +725,117 @@ pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<Bud
                 .collect(),
         }
     })
+}
+
+/// One design's merged solver-introspection profile: the scope block
+/// (cost rows, blame sets, affinity matrix) joined against the solver
+/// profile's per-status tallies for the attribution-rate headline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScopeProfileResult {
+    /// DUV name (`hard_factor` or `ibex_like`).
+    pub design: String,
+    /// Per-solve conflict ceiling the campaigns ran under.
+    pub solver_budget: u64,
+    /// Introspected campaigns merged into this profile.
+    pub campaigns: u64,
+    /// Goals with at least one budget-exhausted attempt.
+    pub exhausted_goals: u64,
+    /// Exhausted goals whose scope row carries a non-empty blame set.
+    pub exhausted_blamed: u64,
+    /// Mean sketch affinity of adjacent equal-depth goals, in milli.
+    pub mean_adjacent_affinity_milli: u64,
+    /// The merged introspection block.
+    pub scope: SolverScopeBlock,
+    /// The merged per-goal solver profile (status tallies per goal).
+    pub profile: SolverProfileBlock,
+}
+
+/// Solver-introspection profile: runs introspected SymbFuzz campaigns
+/// on the solver-hostile `hard_factor` lock (every goal a 40-bit
+/// semiprime factoring instance — exhaustion attribution territory)
+/// and the benign `ibex_like` control (satisfiable goals — affinity
+/// territory), two seeded campaigns per design fanned across the
+/// pool, then merges scope and profile blocks in task order. Seeds
+/// are fixed per campaign, so results are byte-identical at any
+/// `jobs` value.
+pub fn solverscope_profile(
+    max_vectors: u64,
+    solver_budget_ceiling: u64,
+    jobs: usize,
+) -> Vec<ScopeProfileResult> {
+    const RUNS_PER_DESIGN: usize = 2;
+    let hard_props = {
+        let (prop, expr) = symbfuzz_designs::HARD_FACTOR_PROPERTY;
+        vec![PropertySpec::assertion_only(prop, expr)]
+    };
+    let ibex = &processor_benchmarks()[0];
+    let duvs: [(&str, Arc<Design>, Vec<PropertySpec>); 2] = [
+        ("hard_factor", symbfuzz_designs::hard_factor(), hard_props),
+        (
+            ibex.name,
+            ibex.design().expect("benchmark elaborates"),
+            ibex.property_specs(),
+        ),
+    ];
+    let tasks: Vec<(usize, u64)> = (0..duvs.len())
+        .flat_map(|i| (0..RUNS_PER_DESIGN as u64).map(move |r| (i, r)))
+        .collect();
+    let results = run_pool(&tasks, jobs, |task, &(i, r)| {
+        let (_, design, props) = &duvs[i];
+        let config = FuzzConfig::builder()
+            .interval(100)
+            .threshold(1)
+            .max_vectors(max_vectors)
+            .seed(0xB0D6E7 + r * 7919)
+            .solver_budget(solver_budget_ceiling)
+            .escalation_cap(1)
+            .solver_introspection(true)
+            .build()
+            .expect("scope profile config is consistent");
+        let mut fuzzer = SymbFuzz::new(Arc::clone(design), Strategy::SymbFuzz, config, props)
+            .expect("property compiles");
+        attach_telemetry(&mut fuzzer, task);
+        let result = fuzzer.run();
+        fuzzer.telemetry().flush();
+        result
+    });
+    duvs.iter()
+        .enumerate()
+        .map(|(i, (name, _, _))| {
+            let slice = &results[i * RUNS_PER_DESIGN..(i + 1) * RUNS_PER_DESIGN];
+            let scope =
+                crate::pool::merge_solver_scopes(slice.iter().map(|r| r.solver_scope.as_ref()))
+                    .unwrap_or_default();
+            let profile =
+                crate::pool::merge_solver_profiles(slice.iter().map(|r| &r.solver_profile));
+            // Join: a goal counts as exhausted when any attempt hit the
+            // budget ceiling; it counts as attributed when its scope
+            // row carries a non-empty blame set.
+            let mut exhausted_goals = 0u64;
+            let mut exhausted_blamed = 0u64;
+            for g in profile.goals.iter().filter(|g| g.exhausted > 0) {
+                exhausted_goals += 1;
+                let blamed = scope
+                    .goals
+                    .iter()
+                    .find(|s| s.register == g.register && s.value == g.value)
+                    .is_some_and(|s| !s.blame.is_empty());
+                if blamed {
+                    exhausted_blamed += 1;
+                }
+            }
+            ScopeProfileResult {
+                design: name.to_string(),
+                solver_budget: solver_budget_ceiling,
+                campaigns: RUNS_PER_DESIGN as u64,
+                exhausted_goals,
+                exhausted_blamed,
+                mean_adjacent_affinity_milli: scope.mean_adjacent_affinity_milli,
+                scope,
+                profile,
+            }
+        })
+        .collect()
 }
 
 /// §5.2 resource profile: per-strategy resource stats on one
@@ -817,6 +954,49 @@ mod tests {
         // The benign control also terminates at its full budget.
         let ibex = rows.iter().find(|r| r.design == "ibex_like").unwrap();
         assert_eq!(ibex.vectors, 400);
+    }
+
+    /// The introspection acceptance scenario: against the factoring
+    /// lock, (nearly) every exhausted goal must be attributed to a
+    /// non-empty register blame set, and the profile — affinity matrix
+    /// and blame sets included — must be byte-identical at `--jobs 1`
+    /// and `--jobs 4`.
+    #[test]
+    fn solverscope_attributes_exhaustion_and_is_deterministic_across_jobs() {
+        let serial = serde_json::to_string(&solverscope_profile(400, 500, 1)).unwrap();
+        let wide = serde_json::to_string(&solverscope_profile(400, 500, 4)).unwrap();
+        assert_eq!(serial, wide);
+        let rows: Vec<ScopeProfileResult> = serde_json::from_str(&serial).unwrap();
+        assert_eq!(rows.len(), 2);
+        let hard = rows.iter().find(|r| r.design == "hard_factor").unwrap();
+        assert!(
+            hard.exhausted_goals >= 1,
+            "no goal exhausted its budget: {hard:?}"
+        );
+        // ≥ 90 % of exhausted goals carry a non-empty blame set.
+        assert!(
+            hard.exhausted_blamed * 10 >= hard.exhausted_goals * 9,
+            "attribution rate too low: {}/{}",
+            hard.exhausted_blamed,
+            hard.exhausted_goals
+        );
+        for g in hard.scope.goals.iter().filter(|g| !g.blame.is_empty()) {
+            assert!(
+                g.blame.windows(2).all(|w| w[0] < w[1]),
+                "blame set not in sorted name order: {:?}",
+                g.blame
+            );
+        }
+        // The benign control reports cross-goal structural affinity.
+        let ibex = rows.iter().find(|r| r.design == "ibex_like").unwrap();
+        assert!(!ibex.scope.goals.is_empty());
+        assert_eq!(
+            ibex.mean_adjacent_affinity_milli,
+            ibex.scope.mean_adjacent_affinity_milli
+        );
+        for g in &ibex.scope.goals {
+            assert!(!g.sketch.is_empty(), "goal {} has no sketch", g.register);
+        }
     }
 
     #[test]

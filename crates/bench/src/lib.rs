@@ -20,6 +20,7 @@
 //! | `tracedump` | renders / validates / re-emits (`--json`) a `--trace-out` JSONL campaign trace |
 //! | `covreport` | coverage-provenance report: covmaps + joined JSON + self-contained HTML |
 //! | `monitor` | live dashboard / `--check` / Prometheus export over `status.json` + `flight.jsonl` |
+//! | `solverscope` | solver introspection: CDCL cost ranking, exhaustion blame sets, goal-affinity heatmap |
 //!
 //! Every binary accepts a `--jobs N` (or `-j N`) flag that fans
 //! independent campaigns across a scoped-thread pool; reports are
@@ -50,6 +51,7 @@ pub mod experiments;
 pub mod monitor;
 pub mod pool;
 pub mod render;
+pub mod solverscope;
 pub mod trace;
 
 pub use args::{parse_bench_args, split_bench_args, BenchArgs};
@@ -59,13 +61,22 @@ pub use covreport::{
     COVREPORT_VERSION,
 };
 pub use experiments::{
-    budget_profile, coverage_race, detection_matrix, enable_tracing, flush_trace, sampling,
-    set_sampling, set_solver_budget, table1_rows, table3_rows, tracing_enabled, variance_profile,
-    BudgetProfileRow, DetectionRow, RaceResult, Table1Row, Table3Row, VariancePoint,
+    budget_profile, coverage_race, detection_matrix, enable_tracing, flush_trace, introspection,
+    sampling, set_introspection, set_sampling, set_solver_budget, solverscope_profile, table1_rows,
+    table3_rows, tracing_enabled, variance_profile, BudgetProfileRow, DetectionRow, RaceResult,
+    ScopeProfileResult, Table1Row, Table3Row, VariancePoint,
 };
-pub use monitor::{check_flight, check_status, render_dashboard, render_prometheus};
+pub use monitor::{
+    check_flight, check_status, parse_prometheus, render_dashboard, render_prometheus,
+};
 pub use pool::{
-    default_jobs, merge_covmap_counts, merge_flight_rows, merge_solver_profiles, merge_telemetry,
-    merge_vm_profiles, parse_jobs, run_pool,
+    default_jobs, merge_covmap_counts, merge_flight_rows, merge_solver_profiles,
+    merge_solver_scopes, merge_telemetry, merge_vm_profiles, parse_jobs, run_pool,
 };
-pub use trace::{parse_line, parse_trace, phase_table, timeline, to_json_lines, TraceRecord};
+pub use solverscope::{
+    build_scope_report, conflict_quantiles, render_scope_html, render_scope_markdown,
+    validate_bench_artifact, validate_scope_report, ScopeReport, SCOPEREPORT_VERSION,
+};
+pub use trace::{
+    goal_cost_table, parse_line, parse_trace, phase_table, timeline, to_json_lines, TraceRecord,
+};

@@ -421,6 +421,49 @@ pub fn render_prometheus(status: &Value) -> String {
     out
 }
 
+/// Parses a Prometheus text exposition back into `(series, value)`
+/// pairs, where `series` is the metric name plus its literal label
+/// block (e.g. `symbfuzz_event_total{kind="FullReset"}`). `# TYPE`
+/// comments are skipped; the round-trip partner of
+/// [`render_prometheus`].
+///
+/// # Errors
+///
+/// Returns `"line N: <why>"` for the first malformed line or
+/// duplicated series.
+pub fn parse_prometheus(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut series = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let at = |e: &str| format!("line {}: {e}", i + 1);
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at("expected `series value`"))?;
+        let bare = name.split('{').next().unwrap_or("");
+        if bare.is_empty()
+            || !bare
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(at(&format!("bad metric name `{bare}`")));
+        }
+        if name.contains('{') && !name.ends_with('}') {
+            return Err(at("unterminated label block"));
+        }
+        let value: u64 = value
+            .parse()
+            .map_err(|_| at(&format!("bad sample value `{value}`")))?;
+        if series.iter().any(|(n, _): &(String, u64)| n == name) {
+            return Err(at(&format!("duplicate series `{name}`")));
+        }
+        series.push((name.to_string(), value));
+    }
+    Ok(series)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +492,7 @@ mod tests {
             .max_vectors(5_000)
             .seed(7)
             .sample_every(500)
+            .solver_introspection(true)
             .build()
             .unwrap();
         let mut fuzzer = SymbFuzz::new(d, Strategy::SymbFuzz, cfg, &[]).unwrap();
@@ -480,6 +524,55 @@ mod tests {
         assert!(prom.contains("symbfuzz_vectors 5000"), "{prom}");
         assert!(prom.contains("symbfuzz_vectors_total 5000"), "{prom}");
         assert!(prom.contains("symbfuzz_vm_total_execs"), "{prom}");
+    }
+
+    #[test]
+    fn prometheus_exposition_round_trips_through_its_parser() {
+        let (status_text, _) = campaign_artifacts();
+        let status = check_status(&status_text).unwrap();
+        let prom = render_prometheus(&status);
+        let series = parse_prometheus(&prom).expect("exposition parses back");
+        let value = |name: &str| {
+            series
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("series `{name}` missing from:\n{prom}"))
+        };
+        // The introspection taxonomy's counters and gauge are exported
+        // under the standard naming scheme.
+        value("symbfuzz_learned_clauses_total");
+        value("symbfuzz_core_extractions_total");
+        value("symbfuzz_gauge_mean_affinity_milli");
+        // Every cumulative counter in the heartbeat survives the
+        // render → parse round trip with its value intact.
+        for (name, v) in pairs_of(&status, "counters") {
+            assert_eq!(value(&format!("symbfuzz_{}_total", prom_name(name))), v);
+        }
+        for (name, v) in pairs_of(&status, "gauges") {
+            assert_eq!(value(&format!("symbfuzz_gauge_{}", prom_name(name))), v);
+        }
+        for (name, v) in pairs_of(&status, "events") {
+            assert_eq!(
+                value(&format!("symbfuzz_event_total{{kind=\"{name}\"}}")),
+                v
+            );
+        }
+        assert_eq!(value("symbfuzz_vectors"), 5_000);
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("symbfuzz_x 1\n# TYPE symbfuzz_x gauge\n").is_ok());
+        let err = parse_prometheus("symbfuzz_x\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(parse_prometheus("bad name 1.5x\n").is_err());
+        assert!(parse_prometheus("symbfuzz_x{kind=\"a\" 1\n")
+            .unwrap_err()
+            .contains("unterminated"));
+        assert!(parse_prometheus("symbfuzz_x 1\nsymbfuzz_x 2\n")
+            .unwrap_err()
+            .contains("duplicate"));
     }
 
     #[test]

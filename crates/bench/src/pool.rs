@@ -11,7 +11,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use symbfuzz_core::{CovMap, FlightRow, SolverProfileBlock, TelemetryBlock, VmProfileBlock};
+use symbfuzz_core::{
+    CovMap, FlightRow, SolverProfileBlock, SolverScopeBlock, TelemetryBlock, VmProfileBlock,
+    SOLVERSCOPE_VERSION,
+};
 use symbfuzz_telemetry::{merge_flight, FlightSample, Mechanism, MetricsSnapshot};
 
 /// Number of workers to use when `--jobs` is not given: all available
@@ -244,6 +247,40 @@ where
             std::cmp::Reverse(g.decisions),
         )
     });
+    acc
+}
+
+/// Merges per-task solver-introspection blocks: goal rows fold by
+/// `(register, value)` in first-seen task order (see
+/// [`symbfuzz_core::ScopeGoalRow::merge`] for the per-field rules),
+/// then the affinity matrix and adjacent-affinity mean are recomputed
+/// from the merged sketches — so the result describes the merged goal
+/// order and is byte-identical at any `--jobs N`. Returns `None` when
+/// every input is `None` (introspection was off).
+pub fn merge_solver_scopes<'a, I>(blocks: I) -> Option<SolverScopeBlock>
+where
+    I: IntoIterator<Item = Option<&'a SolverScopeBlock>>,
+{
+    let mut acc: Option<SolverScopeBlock> = None;
+    for b in blocks.into_iter().flatten() {
+        let acc = acc.get_or_insert_with(|| SolverScopeBlock {
+            version: SOLVERSCOPE_VERSION,
+            ..SolverScopeBlock::default()
+        });
+        for g in &b.goals {
+            match acc
+                .goals
+                .iter_mut()
+                .find(|r| r.register == g.register && r.value == g.value)
+            {
+                Some(r) => r.merge(g),
+                None => acc.goals.push(g.clone()),
+            }
+        }
+    }
+    if let Some(acc) = &mut acc {
+        acc.recompute_affinity();
+    }
     acc
 }
 
@@ -482,6 +519,62 @@ mod tests {
         assert_eq!(merged.goals[1].register, "easy");
         assert_eq!(merged.total_attempts, 4);
         assert_eq!(merged.total_neg_cache_hits, 6);
+    }
+
+    #[test]
+    fn solver_scopes_merge_and_recompute_affinity() {
+        use symbfuzz_core::ScopeGoalRow;
+        let row = |register: &str, value: u64, sketch: Vec<u64>, blame: Vec<&str>| ScopeGoalRow {
+            register: register.into(),
+            value,
+            attempts: 1,
+            conflicts: 10,
+            learned: 5,
+            restarts: 1,
+            learned_size_hist: vec![0; 12],
+            lbd_hist: vec![0; 12],
+            call_conflict_hist: vec![1; 12],
+            restart_timeline: vec![4],
+            conflict_depth_sum: 30,
+            conflict_depth_max: 6,
+            hot_signals: vec![("k".into(), 700)],
+            blame: blame.into_iter().map(String::from).collect(),
+            sketch,
+            depth: 2,
+        };
+        let a = SolverScopeBlock {
+            version: SOLVERSCOPE_VERSION,
+            goals: vec![
+                row("st", 1, (0..100).collect(), vec!["st"]),
+                row("st", 2, (50..150).collect(), vec![]),
+            ],
+            affinity: Vec::new(),
+            mean_adjacent_affinity_milli: 0,
+        };
+        let b = SolverScopeBlock {
+            version: SOLVERSCOPE_VERSION,
+            goals: vec![row("st", 1, (0..100).collect(), vec!["lock"])],
+            affinity: Vec::new(),
+            mean_adjacent_affinity_milli: 0,
+        };
+        // A task with introspection off contributes None and vanishes.
+        let merged = merge_solver_scopes([Some(&a), None, Some(&b)]).unwrap();
+        assert_eq!(merged.goals.len(), 2);
+        assert_eq!(merged.goals[0].attempts, 2, "same goal folds");
+        assert_eq!(merged.goals[0].conflicts, 20);
+        assert_eq!(
+            merged.goals[0].blame,
+            vec!["lock".to_string(), "st".to_string()],
+            "blame sets union in name order"
+        );
+        assert_eq!(merged.affinity.len(), 2);
+        assert_eq!(merged.affinity[0][0], 1000);
+        assert!(merged.mean_adjacent_affinity_milli > 0);
+        // Task order alone decides row order; merging is associative
+        // over the same task sequence, so jobs-splits agree.
+        let again = merge_solver_scopes([Some(&a), Some(&b), None]).unwrap();
+        assert_eq!(again, merged);
+        assert!(merge_solver_scopes([None, None]).is_none());
     }
 
     #[test]

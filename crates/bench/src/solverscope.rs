@@ -1,0 +1,776 @@
+//! Solver-introspection report: joins the merged per-goal CDCL scope
+//! blocks and solver profiles of introspected campaigns into one
+//! self-contained explainability artifact (JSON + HTML) — the engine
+//! behind the `solverscope` binary.
+//!
+//! The report answers *where the solver budget went* (a cost ranking
+//! with p50/p90/p99 per-call conflict quantiles), *why failed goals
+//! failed* (assumption-core blame sets attributing `Unreachable` /
+//! `Exhausted` outcomes to concrete state registers), *which goals
+//! share structure* (the pairwise sketch-affinity heatmap), and *how
+//! the search behaved over time* (restart timelines plus learned
+//! clause size / LBD histograms). Everything derives from
+//! deterministic campaign state, so the JSON and HTML bytes are
+//! identical at any `--jobs` count.
+
+use crate::experiments::ScopeProfileResult;
+use serde::{Deserialize, Serialize, Value};
+use symbfuzz_core::{ScopeGoalRow, SOLVERSCOPE_VERSION};
+use symbfuzz_smt::{trace_hist_quantile, TRACE_HIST_BUCKETS};
+
+/// Version stamp of the report schema.
+pub const SCOPEREPORT_VERSION: u32 = 1;
+
+/// The joined solver-introspection report (versioned JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScopeReport {
+    /// Schema version ([`SCOPEREPORT_VERSION`]).
+    pub version: u32,
+    /// Input vectors per introspected campaign.
+    pub max_vectors: u64,
+    /// Per-solve conflict ceiling the campaigns ran under.
+    pub solver_budget: u64,
+    /// One entry per DUV, in [`crate::experiments::solverscope_profile`]
+    /// order (`hard_factor` first, then the processor control).
+    pub designs: Vec<ScopeProfileResult>,
+}
+
+/// Builds the report by running the introspected campaign profile.
+pub fn build_scope_report(max_vectors: u64, solver_budget: u64, jobs: usize) -> ScopeReport {
+    ScopeReport {
+        version: SCOPEREPORT_VERSION,
+        max_vectors,
+        solver_budget,
+        designs: crate::experiments::solverscope_profile(max_vectors, solver_budget, jobs),
+    }
+}
+
+/// `(p50, p90, p99)` of the per exact-depth-call conflict counts, read
+/// off the row's log₄ histogram (upper bucket edges, so conservative).
+pub fn conflict_quantiles(row: &ScopeGoalRow) -> (u64, u64, u64) {
+    (
+        trace_hist_quantile(&row.call_conflict_hist, 0.50),
+        trace_hist_quantile(&row.call_conflict_hist, 0.90),
+        trace_hist_quantile(&row.call_conflict_hist, 0.99),
+    )
+}
+
+fn check_hist(h: &[u64], what: &str) -> Result<(), String> {
+    if h.len() != TRACE_HIST_BUCKETS {
+        return Err(format!(
+            "{what}: {} histogram buckets (expected {TRACE_HIST_BUCKETS})",
+            h.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Parses and schema-checks a report JSON document: version stamps,
+/// square symmetric affinity matrices with a 1000-milli diagonal,
+/// fixed histogram widths, sorted blame sets, and attribution tallies
+/// that stay within their totals.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_scope_report(text: &str) -> Result<ScopeReport, String> {
+    let r: ScopeReport = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    if r.version != SCOPEREPORT_VERSION {
+        return Err(format!(
+            "report version {} (expected {SCOPEREPORT_VERSION})",
+            r.version
+        ));
+    }
+    for d in &r.designs {
+        let scope = &d.scope;
+        if scope.version != SOLVERSCOPE_VERSION {
+            return Err(format!(
+                "design `{}`: scope version {} (expected {SOLVERSCOPE_VERSION})",
+                d.design, scope.version
+            ));
+        }
+        if d.campaigns == 0 {
+            return Err(format!("design `{}`: zero campaigns", d.design));
+        }
+        if d.exhausted_blamed > d.exhausted_goals {
+            return Err(format!(
+                "design `{}`: {} blamed of {} exhausted goals",
+                d.design, d.exhausted_blamed, d.exhausted_goals
+            ));
+        }
+        if d.mean_adjacent_affinity_milli != scope.mean_adjacent_affinity_milli {
+            return Err(format!(
+                "design `{}`: affinity summary {} disagrees with scope block {}",
+                d.design, d.mean_adjacent_affinity_milli, scope.mean_adjacent_affinity_milli
+            ));
+        }
+        let n = scope.affinity.len();
+        if n > scope.goals.len() {
+            return Err(format!(
+                "design `{}`: {n}-row affinity over {} goals",
+                d.design,
+                scope.goals.len()
+            ));
+        }
+        for (i, row) in scope.affinity.iter().enumerate() {
+            if row.len() != n {
+                return Err(format!(
+                    "design `{}`: affinity row {i} has {} cells (expected {n})",
+                    d.design,
+                    row.len()
+                ));
+            }
+            for (j, &a) in row.iter().enumerate() {
+                if a > 1000 {
+                    return Err(format!(
+                        "design `{}`: affinity[{i}][{j}] = {a} exceeds 1000 milli",
+                        d.design
+                    ));
+                }
+                if i == j && a != 1000 {
+                    return Err(format!(
+                        "design `{}`: affinity diagonal [{i}] = {a} (expected 1000)",
+                        d.design
+                    ));
+                }
+                if scope.affinity[j][i] != a {
+                    return Err(format!(
+                        "design `{}`: affinity[{i}][{j}] asymmetric",
+                        d.design
+                    ));
+                }
+            }
+        }
+        for g in &scope.goals {
+            let what = format!("design `{}` goal `{}`={}", d.design, g.register, g.value);
+            check_hist(&g.learned_size_hist, &format!("{what} learned-size"))?;
+            check_hist(&g.lbd_hist, &format!("{what} lbd"))?;
+            check_hist(&g.call_conflict_hist, &format!("{what} call-conflict"))?;
+            if g.blame.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("{what}: blame set not strictly sorted"));
+            }
+            if g.hot_signals.iter().any(|(_, p)| *p > 1000) {
+                return Err(format!("{what}: hot-signal permille exceeds 1000"));
+            }
+            if g.conflict_depth_sum > 0 && g.conflicts == 0 {
+                return Err(format!("{what}: conflict depth without conflicts"));
+            }
+        }
+    }
+    Ok(r)
+}
+
+// --- results/ bench-artifact schema checks -------------------------------
+
+fn field<'a>(v: &'a Value, name: &str, what: &str) -> Result<&'a Value, String> {
+    match v {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("{what}: missing field `{name}`")),
+        _ => Err(format!("{what}: not a JSON object")),
+    }
+}
+
+fn finite_num(v: &Value, what: &str) -> Result<f64, String> {
+    match v {
+        Value::Num(n) if n.is_finite() => Ok(*n),
+        _ => Err(format!("{what}: not a finite number")),
+    }
+}
+
+fn check_rows<'a>(v: &'a Value, what: &str) -> Result<&'a [Value], String> {
+    match v {
+        Value::Array(rows) if !rows.is_empty() => Ok(rows),
+        Value::Array(_) => Err(format!("{what}: empty row list")),
+        _ => Err(format!("{what}: not a JSON array")),
+    }
+}
+
+/// Schema-checks one `results/BENCH_*.json` artifact by file stem:
+/// each known benchmark family must carry its headline rows and
+/// finite-positive throughput ratios; unknown `BENCH_` stems must at
+/// least parse as non-null JSON.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate_bench_artifact(stem: &str, text: &str) -> Result<(), String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("{stem}: {e}"))?;
+    match stem {
+        "BENCH_telemetry" => {
+            for row in check_rows(field(&v, "rows", stem)?, stem)? {
+                let ratio = finite_num(field(row, "ratio", stem)?, stem)?;
+                if ratio <= 0.0 {
+                    return Err(format!("{stem}: non-positive sampling ratio {ratio}"));
+                }
+            }
+            let g = finite_num(field(&v, "geomean_sampling_ratio", stem)?, stem)?;
+            if g <= 0.0 {
+                return Err(format!("{stem}: non-positive geomean {g}"));
+            }
+            // Introspection A/B rows are optional (older artifacts),
+            // but when present they obey the same shape.
+            if let Ok(rows) = field(&v, "introspection_rows", stem) {
+                for row in check_rows(rows, stem)? {
+                    let ratio = finite_num(field(row, "ratio", stem)?, stem)?;
+                    if ratio <= 0.0 {
+                        return Err(format!("{stem}: non-positive introspection ratio {ratio}"));
+                    }
+                }
+                let g = finite_num(field(&v, "geomean_introspection_ratio", stem)?, stem)?;
+                if g <= 0.0 {
+                    return Err(format!("{stem}: non-positive introspection geomean {g}"));
+                }
+            }
+        }
+        "BENCH_budget" => {
+            for row in check_rows(&v, stem)? {
+                field(row, "design", stem)?;
+                finite_num(field(row, "solver_budget", stem)?, stem)?;
+            }
+        }
+        "BENCH_sim" => {
+            check_rows(field(&v, "rows", stem)?, stem)?;
+        }
+        "BENCH_snapshot" => {
+            check_rows(field(&v, "micro", stem)?, stem)?;
+        }
+        _ => {
+            if matches!(v, Value::Null) {
+                return Err(format!("{stem}: null artifact"));
+            }
+        }
+    }
+    Ok(())
+}
+
+// --- rendering -----------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+const PALETTE: [&str; 5] = ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd"];
+
+/// White→blue fill for one affinity cell, interpolated by milli.
+fn heat_color(milli: u64) -> String {
+    let t = milli.min(1000) as f64 / 1000.0;
+    let lerp = |a: f64, b: f64| (a + (b - a) * t).round() as u8;
+    // White (255,255,255) → the palette blue (31,119,180).
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        lerp(255.0, 31.0),
+        lerp(255.0, 119.0),
+        lerp(255.0, 180.0)
+    )
+}
+
+/// The affinity heatmap as one inline SVG grid.
+fn render_heatmap(d: &ScopeProfileResult) -> String {
+    let n = d.scope.affinity.len();
+    if n == 0 {
+        return "<p>No affinity matrix (no introspected goals).</p>\n".to_string();
+    }
+    const CELL: f64 = 18.0;
+    const ML: f64 = 120.0; // left margin (goal labels)
+    const MT: f64 = 8.0;
+    let w = ML + CELL * n as f64 + 8.0;
+    let h = MT + CELL * n as f64 + 8.0;
+    let mut out =
+        format!("<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" role=\"img\">\n");
+    for (i, row) in d.scope.affinity.iter().enumerate() {
+        let g = &d.scope.goals[i];
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" class=\"axis\">{}={}</text>\n",
+            ML - 4.0,
+            MT + CELL * i as f64 + CELL * 0.7,
+            esc(&g.register),
+            g.value
+        ));
+        for (j, &a) in row.iter().enumerate() {
+            out.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{CELL}\" height=\"{CELL}\" \
+                 fill=\"{}\" stroke=\"#ddd\"><title>{}={} vs {}={}: {a}‰</title></rect>\n",
+                ML + CELL * j as f64,
+                MT + CELL * i as f64,
+                heat_color(a),
+                esc(&g.register),
+                g.value,
+                esc(&d.scope.goals[j].register),
+                d.scope.goals[j].value
+            ));
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Restart timelines of the costliest goals as one inline SVG: one
+/// polyline per goal, x = restart index, y = conflicts at restart.
+fn render_restart_curves(goals: &[&ScopeGoalRow]) -> String {
+    let curves: Vec<&&ScopeGoalRow> = goals
+        .iter()
+        .filter(|g| g.restart_timeline.len() >= 2)
+        .take(PALETTE.len())
+        .collect();
+    if curves.is_empty() {
+        return "<p>No goal restarted more than once within its budget.</p>\n".to_string();
+    }
+    const W: f64 = 640.0;
+    const H: f64 = 220.0;
+    const ML: f64 = 52.0;
+    const MB: f64 = 24.0;
+    let max_x = curves
+        .iter()
+        .map(|g| g.restart_timeline.len() - 1)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let max_y = curves
+        .iter()
+        .flat_map(|g| g.restart_timeline.iter().copied())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let x = |i: usize| ML + (W - ML - 8.0) * i as f64 / max_x as f64;
+    let y = |c: u64| (H - MB) - (H - MB - 8.0) * c as f64 / max_y as f64;
+    let mut out = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\">\n\
+         <rect x=\"{ML}\" y=\"8\" width=\"{:.1}\" height=\"{:.1}\" class=\"plot\"/>\n\
+         <text x=\"{ML}\" y=\"{:.1}\" class=\"axis\">0</text>\
+         <text x=\"{:.1}\" y=\"{:.1}\" class=\"axis\">{max_x} restarts</text>\
+         <text x=\"4\" y=\"16\" class=\"axis\">{max_y}</text>\
+         <text x=\"4\" y=\"30\" class=\"axis\">confl</text>\n",
+        W - ML - 8.0,
+        H - MB - 8.0,
+        H - 8.0,
+        W - 110.0,
+        H - 8.0,
+    );
+    for (i, g) in curves.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let points: Vec<String> = g
+            .restart_timeline
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| format!("{:.1},{:.1}", x(i), y(c)))
+            .collect();
+        out.push_str(&format!(
+            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\" points=\"{}\"/>\n",
+            points.join(" ")
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\" class=\"axis\">{}={}</text>\n",
+            ML + 6.0,
+            20.0 + 13.0 * i as f64,
+            esc(&g.register),
+            g.value
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Upper edge label of log₄ bucket `i` (`0`, `3`, `15`, `63`, …).
+fn bucket_edge(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << (2 * i)).saturating_sub(1)
+    }
+}
+
+fn render_learning_table(goals: &[&ScopeGoalRow]) -> String {
+    let mut out = String::from("<table><tr><th>goal</th><th>learned</th><th>histogram</th>");
+    for i in 0..TRACE_HIST_BUCKETS {
+        out.push_str(&format!("<th>≤{}</th>", bucket_edge(i)));
+    }
+    out.push_str("</tr>\n");
+    for g in goals.iter().filter(|g| g.learned > 0) {
+        for (label, hist) in [("clause size", &g.learned_size_hist), ("LBD", &g.lbd_hist)] {
+            out.push_str(&format!(
+                "<tr><td><code>{}</code> = {}</td><td>{}</td><td>{label}</td>",
+                esc(&g.register),
+                g.value,
+                g.learned
+            ));
+            for b in hist {
+                out.push_str(&format!("<td>{b}</td>"));
+            }
+            out.push_str("</tr>\n");
+        }
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+/// Renders the report as one self-contained HTML page: inline CSS,
+/// inline SVG, no scripts, no external references.
+pub fn render_scope_html(r: &ScopeReport) -> String {
+    let mut out = format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>solverscope</title>\n<style>\n\
+         body{{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:64em;color:#222}}\n\
+         table{{border-collapse:collapse;margin:0.8em 0}}\n\
+         th,td{{border:1px solid #bbb;padding:0.25em 0.6em;text-align:left}}\n\
+         th{{background:#f0f0f0}}\n\
+         .plot{{fill:#fafafa;stroke:#ccc}}\n\
+         .axis{{font-size:11px;fill:#555}}\n\
+         code{{background:#f4f4f4;padding:0 0.2em}}\n\
+         </style></head><body>\n\
+         <h1>Solver introspection report</h1>\n\
+         <p>Schema v{v}; {n} designs, {b} vectors per campaign, \
+         per-solve conflict ceiling {c}.</p>\n",
+        v = r.version,
+        n = r.designs.len(),
+        b = r.max_vectors,
+        c = r.solver_budget
+    );
+
+    for d in &r.designs {
+        let pct = (d.exhausted_blamed * 100)
+            .checked_div(d.exhausted_goals)
+            .unwrap_or(100);
+        out.push_str(&format!(
+            "<h2><code>{}</code></h2>\n\
+             <p>{} campaigns merged; {} of {} exhausted goals attributed to a \
+             blame set ({pct}%); mean adjacent-goal affinity {:.3}.</p>\n",
+            esc(&d.design),
+            d.campaigns,
+            d.exhausted_blamed,
+            d.exhausted_goals,
+            d.mean_adjacent_affinity_milli as f64 / 1000.0
+        ));
+
+        // Cost ranking: profile rows are already hardest-first; join
+        // each with its scope row for quantiles and depth stats.
+        out.push_str(
+            "<h3>Cost ranking</h3>\n\
+             <table><tr><th>goal</th><th>attempts</th><th>sat</th><th>unsat</th>\
+             <th>exhausted</th><th>conflicts</th><th>learned</th><th>restarts</th>\
+             <th>p50</th><th>p90</th><th>p99</th><th>depth μ/max</th>\
+             <th>hottest signal</th></tr>\n",
+        );
+        for p in &d.profile.goals {
+            let scope = d
+                .scope
+                .goals
+                .iter()
+                .find(|g| g.register == p.register && g.value == p.value);
+            let (q, depth, restarts, learned, hot) = match scope {
+                Some(g) => (
+                    conflict_quantiles(g),
+                    format!("{}/{}", g.mean_conflict_depth(), g.conflict_depth_max),
+                    g.restarts,
+                    g.learned,
+                    g.hot_signals
+                        .first()
+                        .map(|(n, p)| format!("<code>{}</code> ({p}‰)", esc(n)))
+                        .unwrap_or_else(|| "—".to_string()),
+                ),
+                None => ((0, 0, 0), "—".to_string(), 0, 0, "—".to_string()),
+            };
+            out.push_str(&format!(
+                "<tr><td><code>{}</code> = {}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{}</td><td>{}</td><td>{learned}</td><td>{restarts}</td>\
+                 <td>{}</td><td>{}</td><td>{}</td><td>{depth}</td><td>{hot}</td></tr>\n",
+                esc(&p.register),
+                p.value,
+                p.attempts,
+                p.sat,
+                p.unsat,
+                p.exhausted,
+                p.conflicts,
+                q.0,
+                q.1,
+                q.2,
+            ));
+        }
+        out.push_str("</table>\n");
+
+        out.push_str("<h3>Exhaustion blame sets</h3>\n");
+        let blamed: Vec<&ScopeGoalRow> = d
+            .scope
+            .goals
+            .iter()
+            .filter(|g| !g.blame.is_empty())
+            .collect();
+        if blamed.is_empty() {
+            out.push_str("<p>No failed goals — nothing to blame.</p>\n");
+        } else {
+            out.push_str(
+                "<table><tr><th>goal</th><th>attempts</th>\
+                 <th>blamed state registers</th></tr>\n",
+            );
+            for g in &blamed {
+                let blame = g
+                    .blame
+                    .iter()
+                    .map(|b| format!("<code>{}</code>", esc(b)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(
+                    "<tr><td><code>{}</code> = {}</td><td>{}</td><td>{blame}</td></tr>\n",
+                    esc(&g.register),
+                    g.value,
+                    g.attempts
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+
+        out.push_str("<h3>Cross-goal affinity</h3>\n");
+        out.push_str(&render_heatmap(d));
+
+        // Costliest goals drive the curves, profile order (hardest first).
+        let ranked: Vec<&ScopeGoalRow> = d
+            .profile
+            .goals
+            .iter()
+            .filter_map(|p| {
+                d.scope
+                    .goals
+                    .iter()
+                    .find(|g| g.register == p.register && g.value == p.value)
+            })
+            .collect();
+        out.push_str("<h3>Restart timelines</h3>\n");
+        out.push_str(&render_restart_curves(&ranked));
+        out.push_str("<h3>Learned-clause histograms</h3>\n");
+        out.push_str(&render_learning_table(&ranked));
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// Renders the report's Markdown summary (the `solverscope` binary's
+/// stdout): one attribution line per design plus its cost head.
+pub fn render_scope_markdown(r: &ScopeReport) -> String {
+    let mut out = format!(
+        "# Solver introspection — {} vectors, conflict ceiling {}\n\n\
+         | design | campaigns | goals | exhausted | blamed | affinity |\n\
+         |---|---|---|---|---|---|\n",
+        r.max_vectors, r.solver_budget
+    );
+    for d in &r.designs {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.3} |\n",
+            d.design,
+            d.campaigns,
+            d.scope.goals.len(),
+            d.exhausted_goals,
+            d.exhausted_blamed,
+            d.mean_adjacent_affinity_milli as f64 / 1000.0
+        ));
+    }
+    out.push('\n');
+    for d in &r.designs {
+        for p in d.profile.goals.iter().take(3) {
+            let blame = d
+                .scope
+                .goals
+                .iter()
+                .find(|g| g.register == p.register && g.value == p.value)
+                .map(|g| g.blame.join(", "))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "* {}: `{}` = {} — {} conflicts over {} attempts{}\n",
+                d.design,
+                p.register,
+                p.value,
+                p.conflicts,
+                p.attempts,
+                if blame.is_empty() {
+                    String::new()
+                } else {
+                    format!("; blames {blame}")
+                }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_core::{GoalRow, SolverProfileBlock, SolverScopeBlock};
+
+    fn row(register: &str, value: u64, blame: &[&str]) -> ScopeGoalRow {
+        ScopeGoalRow {
+            register: register.into(),
+            value,
+            attempts: 2,
+            conflicts: 40,
+            learned: 30,
+            restarts: 3,
+            learned_size_hist: vec![0; TRACE_HIST_BUCKETS],
+            lbd_hist: vec![0; TRACE_HIST_BUCKETS],
+            call_conflict_hist: {
+                let mut h = vec![0; TRACE_HIST_BUCKETS];
+                h[1] = 8; // eight calls with ≤3 conflicts
+                h[3] = 2; // two calls with ≤63 conflicts
+                h
+            },
+            restart_timeline: vec![16, 40, 90],
+            conflict_depth_sum: 200,
+            conflict_depth_max: 9,
+            hot_signals: vec![("st".into(), 1000), ("lock".into(), 420)],
+            blame: blame.iter().map(|s| s.to_string()).collect(),
+            sketch: vec![1, 2, 3],
+            depth: 4,
+        }
+    }
+
+    fn tiny_report() -> ScopeReport {
+        let mut scope = SolverScopeBlock {
+            version: SOLVERSCOPE_VERSION,
+            goals: vec![row("st", 3, &["lock", "st"]), row("st", 5, &[])],
+            affinity: Vec::new(),
+            mean_adjacent_affinity_milli: 0,
+        };
+        scope.recompute_affinity();
+        let mean = scope.mean_adjacent_affinity_milli;
+        let profile = SolverProfileBlock {
+            goals: vec![GoalRow {
+                register: "st".into(),
+                value: 3,
+                attempts: 2,
+                sat: 0,
+                unsat: 0,
+                exhausted: 2,
+                neg_cache_hits: 0,
+                conflicts: 40,
+                decisions: 80,
+                propagations: 400,
+                solver_calls: 10,
+                deepest_unroll: 4,
+                escalations: vec![0, 0],
+            }],
+            total_attempts: 2,
+            total_neg_cache_hits: 0,
+        };
+        ScopeReport {
+            version: SCOPEREPORT_VERSION,
+            max_vectors: 1_000,
+            solver_budget: 500,
+            designs: vec![ScopeProfileResult {
+                design: "hard_factor".into(),
+                solver_budget: 500,
+                campaigns: 2,
+                exhausted_goals: 1,
+                exhausted_blamed: 1,
+                mean_adjacent_affinity_milli: mean,
+                scope,
+                profile,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_report_round_trips() {
+        let r = tiny_report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back = validate_scope_report(&json).unwrap();
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&r).unwrap()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        let mut r = tiny_report();
+        r.version = 99;
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(validate_scope_report(&json)
+            .unwrap_err()
+            .contains("version"));
+
+        let mut r = tiny_report();
+        r.designs[0].scope.affinity[0][1] = 1; // breaks symmetry
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(validate_scope_report(&json)
+            .unwrap_err()
+            .contains("asymmetric"));
+
+        let mut r = tiny_report();
+        r.designs[0].scope.goals[0].blame = vec!["st".into(), "lock".into()];
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(validate_scope_report(&json).unwrap_err().contains("sorted"));
+
+        let mut r = tiny_report();
+        r.designs[0].exhausted_blamed = 7;
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(validate_scope_report(&json).unwrap_err().contains("blamed"));
+
+        let mut r = tiny_report();
+        r.designs[0].scope.goals[0].lbd_hist.pop();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(validate_scope_report(&json)
+            .unwrap_err()
+            .contains("buckets"));
+    }
+
+    #[test]
+    fn quantiles_read_log4_bucket_edges() {
+        let g = row("st", 3, &[]);
+        // 8 calls in bucket 1 (≤3), 2 in bucket 3 (≤63): p50 lands in
+        // bucket 1; p90 (9th of 10) and p99 cross into bucket 3.
+        assert_eq!(conflict_quantiles(&g), (3, 63, 63));
+    }
+
+    #[test]
+    fn html_is_self_contained_and_escaped() {
+        let mut r = tiny_report();
+        r.designs[0].scope.goals[0].hot_signals[0].0 = "a<b".into();
+        let html = render_scope_html(&r);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"), "heatmap and curves are inline SVG");
+        assert!(html.contains("a&lt;b"), "signal names must be escaped");
+        assert!(html.contains("Exhaustion blame sets"));
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://") && !html.contains("https://"));
+    }
+
+    #[test]
+    fn markdown_summarises_attribution() {
+        let md = render_scope_markdown(&tiny_report());
+        assert!(md.contains("| hard_factor | 2 | 2 | 1 | 1 |"));
+        assert!(md.contains("blames lock, st"));
+    }
+
+    #[test]
+    fn bench_artifact_checks_cover_known_families() {
+        let ok = r#"{"rows":[{"ratio":0.98}],"geomean_sampling_ratio":0.99}"#;
+        assert!(validate_bench_artifact("BENCH_telemetry", ok).is_ok());
+        let bad = r#"{"rows":[{"ratio":-1.0}],"geomean_sampling_ratio":0.99}"#;
+        assert!(validate_bench_artifact("BENCH_telemetry", bad)
+            .unwrap_err()
+            .contains("non-positive"));
+        let with_ab = r#"{"rows":[{"ratio":1.0}],"geomean_sampling_ratio":1.0,
+            "introspection_rows":[{"ratio":0.97}],"geomean_introspection_ratio":0.97}"#;
+        assert!(validate_bench_artifact("BENCH_telemetry", with_ab).is_ok());
+
+        assert!(validate_bench_artifact(
+            "BENCH_budget",
+            r#"[{"design":"hard_factor","solver_budget":500}]"#
+        )
+        .is_ok());
+        assert!(
+            validate_bench_artifact("BENCH_budget", r#"[{"design":"x"}]"#)
+                .unwrap_err()
+                .contains("solver_budget")
+        );
+        assert!(validate_bench_artifact("BENCH_sim", r#"{"rows":[{"design":"a"}]}"#).is_ok());
+        assert!(validate_bench_artifact("BENCH_snapshot", r#"{"micro":[{"x":1}]}"#).is_ok());
+        assert!(validate_bench_artifact("BENCH_future", r#"{"anything":true}"#).is_ok());
+        assert!(validate_bench_artifact("BENCH_future", "null").is_err());
+    }
+}

@@ -7,6 +7,7 @@
 //! collector emits), and the renderers behind the `tracedump` binary —
 //! a per-phase time table and a coverage/stagnation timeline.
 
+use symbfuzz_smt::trace_hist_quantile;
 use symbfuzz_telemetry::{
     bucket_of, escape_json_into, hist_quantile, Event, Mechanism, Phase, SolveStatus,
     UnknownReason, HIST_BUCKETS,
@@ -23,6 +24,9 @@ pub enum JsonVal {
     Bool(bool),
     /// `null` (only `checkpoint` uses it).
     Null,
+    /// Array of unsigned integers (only the solver-cost `hist` field
+    /// uses it — the one non-scalar in the trace schema).
+    Arr(Vec<u64>),
 }
 
 impl JsonVal {
@@ -32,6 +36,7 @@ impl JsonVal {
             JsonVal::Str(_) => "string",
             JsonVal::Bool(_) => "bool",
             JsonVal::Null => "null",
+            JsonVal::Arr(_) => "array",
         }
     }
 }
@@ -68,6 +73,14 @@ impl TraceRecord {
         match self.field(name) {
             Some(JsonVal::Str(s)) => s,
             _ => "",
+        }
+    }
+
+    /// A numeric-array field, or the empty slice when absent.
+    pub fn arr(&self, name: &str) -> &[u64] {
+        match self.field(name) {
+            Some(JsonVal::Arr(a)) => a,
+            _ => &[],
         }
     }
 }
@@ -161,6 +174,30 @@ impl<'a> Cursor<'a> {
             Some(b't') => self.literal("true", JsonVal::Bool(true)),
             Some(b'f') => self.literal("false", JsonVal::Bool(false)),
             Some(b'n') => self.literal("null", JsonVal::Null),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonVal::Arr(items));
+                }
+                loop {
+                    match self.value()? {
+                        JsonVal::Num(n) => items.push(n),
+                        v => {
+                            return Err(format!("arrays hold numbers only, got {}", v.type_name()))
+                        }
+                    }
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonVal::Arr(items));
+                        }
+                        other => return Err(format!("expected `,` or `]`, got {other:?}")),
+                    }
+                }
+            }
             Some(b) if b.is_ascii_digit() => {
                 let start = self.pos;
                 while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
@@ -288,6 +325,23 @@ fn kind_schema(kind: &str) -> Option<&'static [(&'static str, &'static str)]> {
             ("decisions", "number"),
             ("propagations", "number"),
         ]),
+        "GoalSolveCost" => Some(&[
+            ("register", "string"),
+            ("value", "number"),
+            ("status", "string"),
+            ("depth", "number"),
+            ("calls", "number"),
+            ("conflicts", "number"),
+            ("learned", "number"),
+            ("restarts", "number"),
+            ("hist", "array"),
+        ]),
+        "CoreExtracted" => Some(&[
+            ("register", "string"),
+            ("value", "number"),
+            ("core", "number"),
+            ("blamed", "number"),
+        ]),
         PHASE_KIND => Some(&[("phase", "string"), ("micros", "number")]),
         METRICS_KIND => Some(&[
             ("settle_fast_path", "number"),
@@ -375,6 +429,13 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
         return Err(format!(
             "unknown solve_result `{}` (expected one of {:?})",
             rec.str("solve_result"),
+            SolveStatus::SERIALS
+        ));
+    }
+    if rec.kind == "GoalSolveCost" && SolveStatus::parse(rec.str("status")).is_none() {
+        return Err(format!(
+            "unknown status `{}` (expected one of {:?})",
+            rec.str("status"),
             SolveStatus::SERIALS
         ));
     }
@@ -522,6 +583,97 @@ pub fn settle_mix_table(records: &[TraceRecord]) -> String {
     out
 }
 
+/// Renders the per-goal solver cost table from `GoalSolveCost`
+/// records: attempts, cumulative calls / conflicts / learned clauses /
+/// restarts per `(register, value)` goal, plus p50/p90/p99 per-call
+/// conflict quantiles read off the merged log₄ histograms (see
+/// [`symbfuzz_smt::trace_hist_quantile`] — upper-bucket-edge
+/// estimates, deterministic and merge-stable). Goals are ordered
+/// hardest first (cumulative conflicts, then calls); empty when the
+/// trace predates solver introspection.
+pub fn goal_cost_table(records: &[TraceRecord]) -> String {
+    struct Row {
+        register: String,
+        value: u64,
+        attempts: u64,
+        calls: u64,
+        conflicts: u64,
+        learned: u64,
+        restarts: u64,
+        hist: Vec<u64>,
+        last_status: String,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for r in records.iter().filter(|r| r.kind == "GoalSolveCost") {
+        let (register, value) = (r.str("register"), r.num("value"));
+        let row = match rows
+            .iter_mut()
+            .find(|g| g.register == register && g.value == value)
+        {
+            Some(g) => g,
+            None => {
+                rows.push(Row {
+                    register: register.to_string(),
+                    value,
+                    attempts: 0,
+                    calls: 0,
+                    conflicts: 0,
+                    learned: 0,
+                    restarts: 0,
+                    hist: Vec::new(),
+                    last_status: String::new(),
+                });
+                rows.last_mut().unwrap()
+            }
+        };
+        row.attempts += 1;
+        row.calls += r.num("calls");
+        row.conflicts += r.num("conflicts");
+        row.learned += r.num("learned");
+        row.restarts += r.num("restarts");
+        let hist = r.arr("hist");
+        if row.hist.len() < hist.len() {
+            row.hist.resize(hist.len(), 0);
+        }
+        for (dst, src) in row.hist.iter_mut().zip(hist) {
+            *dst += src;
+        }
+        row.last_status = r.str("status").to_string();
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort_by(|a, b| {
+        (b.conflicts, b.calls, &a.register, a.value).cmp(&(
+            a.conflicts,
+            a.calls,
+            &b.register,
+            b.value,
+        ))
+    });
+    let mut out = String::from(
+        "| goal | attempts | calls | conflicts | learned | restarts \
+         | p50 | p90 | p99 | last status |\n|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for g in &rows {
+        out.push_str(&format!(
+            "| `{}` = {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            g.register,
+            g.value,
+            g.attempts,
+            g.calls,
+            g.conflicts,
+            g.learned,
+            g.restarts,
+            trace_hist_quantile(&g.hist, 0.50),
+            trace_hist_quantile(&g.hist, 0.90),
+            trace_hist_quantile(&g.hist, 0.99),
+            g.last_status
+        ));
+    }
+    out
+}
+
 /// Renders the campaign timeline: coverage growth, stagnation entries,
 /// symbolic episodes, resets and bug detections, in record order.
 pub fn timeline(records: &[TraceRecord]) -> String {
@@ -584,7 +736,23 @@ pub fn timeline(records: &[TraceRecord]) -> String {
                 r.str("mechanism"),
                 r.num("vector")
             ),
-            _ => continue, // SmtSolve and Phase records stay in the table views.
+            "CoreExtracted" => {
+                let core = r.num("core");
+                format!(
+                    "assumption core for `{}` = {}: {} registers blamed ({})",
+                    r.str("register"),
+                    r.num("value"),
+                    r.num("blamed"),
+                    if core == 0 {
+                        "hot-signal fallback".to_string()
+                    } else {
+                        format!("core of {core}")
+                    }
+                )
+            }
+            // SmtSolve, Phase and GoalSolveCost records stay in the
+            // table views.
+            _ => continue,
         };
         out.push_str(&format!("t={:<10} task={} {}\n", r.t, r.task, line));
     }
@@ -612,6 +780,16 @@ pub fn record_to_json(r: &TraceRecord) -> String {
                 out.push('"');
                 escape_json_into(s, &mut out);
                 out.push('"');
+            }
+            JsonVal::Arr(items) => {
+                out.push('[');
+                for (i, n) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&n.to_string());
+                }
+                out.push(']');
             }
         }
     }
@@ -877,6 +1055,129 @@ mod tests {
         );
         // Traces without Metrics records render nothing.
         assert_eq!(settle_mix_table(&[]), "");
+    }
+
+    #[test]
+    fn solver_cost_records_round_trip_and_tabulate() {
+        use symbfuzz_smt::TRACE_HIST_BUCKETS;
+        let mut hist = vec![0u64; TRACE_HIST_BUCKETS];
+        hist[1] = 8; // eight calls with ≤3 conflicts
+        hist[3] = 2; // two calls with ≤63 conflicts
+        let events = [
+            Event::GoalSolveCost {
+                register: "st".into(),
+                value: 3,
+                status: SolveStatus::Unknown(UnknownReason::Conflicts),
+                depth: 4,
+                calls: 10,
+                conflicts: 40,
+                learned: 30,
+                restarts: 2,
+                hist: hist.clone(),
+            },
+            Event::GoalSolveCost {
+                register: "st".into(),
+                value: 3,
+                status: SolveStatus::Unknown(UnknownReason::Conflicts),
+                depth: 5,
+                calls: 10,
+                conflicts: 60,
+                learned: 45,
+                restarts: 3,
+                hist,
+            },
+            Event::GoalSolveCost {
+                register: "mode".into(),
+                value: 1,
+                status: SolveStatus::Sat,
+                depth: 2,
+                calls: 2,
+                conflicts: 0,
+                learned: 0,
+                restarts: 0,
+                hist: vec![0; TRACE_HIST_BUCKETS],
+            },
+            Event::CoreExtracted {
+                register: "st".into(),
+                value: 3,
+                core: 2,
+                blamed: 2,
+            },
+            Event::CoreExtracted {
+                register: "st".into(),
+                value: 7,
+                core: 0,
+                blamed: 1,
+            },
+        ];
+        let text: String = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.to_json_line(i as u64, 0) + "\n")
+            .collect();
+        let records = parse_trace(&text).unwrap();
+        // Canonical re-serialization (array field included) is
+        // byte-identical and re-validates.
+        assert_eq!(to_json_lines(&records), text);
+        assert_eq!(records[0].arr("hist").len(), TRACE_HIST_BUCKETS);
+
+        // Both attempts of the `st`=3 goal fold into one hardest-first
+        // row; the merged 20-call histogram keeps its quantile edges.
+        let table = goal_cost_table(&records);
+        assert!(
+            table
+                .contains("| `st` = 3 | 2 | 20 | 100 | 75 | 5 | 3 | 63 | 63 | unknown:conflicts |"),
+            "{table}"
+        );
+        assert!(
+            table.contains("| `mode` = 1 | 1 | 2 | 0 | 0 | 0 | 0 | 0 | 0 | sat |"),
+            "{table}"
+        );
+        let st = table.find("`st` = 3").unwrap();
+        let mode = table.find("`mode` = 1").unwrap();
+        assert!(st < mode, "hardest goal first:\n{table}");
+
+        // Core extractions narrate in the timeline; costs stay tabular.
+        let tl = timeline(&records);
+        assert!(
+            tl.contains("assumption core for `st` = 3: 2 registers blamed (core of 2)"),
+            "{tl}"
+        );
+        assert!(
+            tl.contains("assumption core for `st` = 7: 1 registers blamed (hot-signal fallback)"),
+            "{tl}"
+        );
+        assert!(!tl.contains("GoalSolveCost"));
+
+        // Traces without solver-cost records render nothing.
+        assert_eq!(goal_cost_table(&[]), "");
+    }
+
+    #[test]
+    fn solver_cost_schema_violations_are_rejected() {
+        // Unknown solve status.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"GoalSolveCost\",\"register\":\"st\",\"value\":3,\
+             \"status\":\"maybe\",\"depth\":1,\"calls\":1,\"conflicts\":0,\"learned\":0,\
+             \"restarts\":0,\"hist\":[]}"
+        )
+        .is_err());
+        // `hist` must be an array.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"GoalSolveCost\",\"register\":\"st\",\"value\":3,\
+             \"status\":\"sat\",\"depth\":1,\"calls\":1,\"conflicts\":0,\"learned\":0,\
+             \"restarts\":0,\"hist\":7}"
+        )
+        .is_err());
+        // Arrays hold numbers only.
+        assert!(parse_flat_object("{\"hist\":[\"x\"]}").is_err());
+        assert!(parse_flat_object("{\"hist\":[1,]}").is_err());
+        // Missing field.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"CoreExtracted\",\"register\":\"st\",\"value\":3,\
+             \"core\":2}"
+        )
+        .is_err());
     }
 
     #[test]

@@ -129,11 +129,6 @@ pub struct FuzzConfig {
     pub solve_depth: u32,
     /// Maximum distinct targets tried per guidance round.
     pub targets_per_round: usize,
-    /// Cap on cached per-node snapshots (count bound). Deprecated in
-    /// favour of [`snapshot_mem_budget`](Self::snapshot_mem_budget),
-    /// which bounds actual bytes; still honoured for one release so
-    /// old configs keep their campaign trajectories.
-    pub snapshot_cap: usize,
     /// Byte budget for the copy-on-write snapshot store: unique page
     /// bytes beyond this trigger oldest-first eviction. Replaces the
     /// count-based `snapshot_cap` as the memory bound.
@@ -173,6 +168,13 @@ pub struct FuzzConfig {
     /// compressed metrics sample every `N` vectors (deterministic under
     /// the manual clock) and enables the per-cone / per-goal profilers.
     pub sample_every: Option<u64>,
+    /// Solver introspection: every symbolic solve additionally records
+    /// CDCL analytics (learned-clause/LBD histograms, restart timeline,
+    /// hot signals), a structural sketch for cross-goal affinity, and a
+    /// blame set on `Unreachable`/`Exhausted` outcomes. Off by default;
+    /// when off the solver's trace hooks cost one pointer test per
+    /// conflict and nothing is allocated.
+    pub solver_introspection: bool,
 }
 
 fn default_snapshot_mem_budget() -> u64 {
@@ -191,7 +193,6 @@ impl Deserialize for FuzzConfig {
             reset_cycles: Deserialize::from_value(v.field("reset_cycles")?)?,
             solve_depth: Deserialize::from_value(v.field("solve_depth")?)?,
             targets_per_round: Deserialize::from_value(v.field("targets_per_round")?)?,
-            snapshot_cap: Deserialize::from_value(v.field("snapshot_cap")?)?,
             snapshot_mem_budget: match v.field("snapshot_mem_budget") {
                 Ok(f) => Deserialize::from_value(f)?,
                 Err(_) => defaults.snapshot_mem_budget,
@@ -208,6 +209,10 @@ impl Deserialize for FuzzConfig {
             solve_wall_ms: Deserialize::from_value(v.field("solve_wall_ms")?)?,
             escalation_cap: Deserialize::from_value(v.field("escalation_cap")?)?,
             sample_every: Deserialize::from_value(v.field("sample_every")?)?,
+            solver_introspection: match v.field("solver_introspection") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => defaults.solver_introspection,
+            },
         })
     }
 }
@@ -223,7 +228,6 @@ impl Default for FuzzConfig {
             reset_cycles: 2,
             solve_depth: 8,
             targets_per_round: 8,
-            snapshot_cap: 256,
             snapshot_mem_budget: default_snapshot_mem_budget(),
             use_ancestor_reentry: true,
             testcase_len: 32,
@@ -234,6 +238,7 @@ impl Default for FuzzConfig {
             solve_wall_ms: None,
             escalation_cap: 3,
             sample_every: None,
+            solver_introspection: false,
         }
     }
 }
@@ -385,17 +390,6 @@ impl FuzzConfigBuilder {
         /// Distinct targets tried per guidance round.
         targets_per_round: usize
     );
-    /// Snapshot cache cap (count bound).
-    #[deprecated(
-        since = "0.8.0",
-        note = "use snapshot_mem_budget — the store is bounded in bytes now"
-    )]
-    #[must_use]
-    pub fn snapshot_cap(mut self, v: usize) -> Self {
-        self.config.snapshot_cap = v;
-        self
-    }
-
     setter!(
         /// Byte budget for the copy-on-write snapshot store.
         snapshot_mem_budget: u64
@@ -448,6 +442,12 @@ impl FuzzConfigBuilder {
         self
     }
 
+    setter!(
+        /// Enable per-goal solver introspection (CDCL analytics, blame
+        /// sets, affinity sketches).
+        solver_introspection: bool
+    );
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<FuzzConfig, ConfigError> {
         self.config.validate()?;
@@ -480,11 +480,30 @@ mod tests {
         };
         let stripped: Vec<(String, serde::Value)> = fields
             .into_iter()
-            .filter(|(k, _)| k != "snapshot_mem_budget" && k != "use_ancestor_reentry")
+            .filter(|(k, _)| {
+                k != "snapshot_mem_budget"
+                    && k != "use_ancestor_reentry"
+                    && k != "solver_introspection"
+            })
             .collect();
         let back = FuzzConfig::from_value(&serde::Value::Object(stripped)).unwrap();
         assert_eq!(back.snapshot_mem_budget, 64 * 1024 * 1024);
         assert!(back.use_ancestor_reentry);
+        assert!(!back.solver_introspection);
+    }
+
+    #[test]
+    fn configs_with_the_retired_snapshot_cap_key_still_load() {
+        // snapshot_cap was removed with the deprecated count-bound
+        // shims; configs serialized while it existed carry the key and
+        // must still deserialize (the field is simply ignored).
+        let v = Serialize::to_value(&FuzzConfig::default());
+        let serde::Value::Object(mut fields) = v else {
+            panic!("config serializes to an object")
+        };
+        fields.push(("snapshot_cap".to_string(), serde::Value::Num(256.0)));
+        let back = FuzzConfig::from_value(&serde::Value::Object(fields)).unwrap();
+        assert_eq!(back, FuzzConfig::default());
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::config::{FuzzConfig, Strategy};
 use crate::mutate::{Granularity, Mutator};
 use crate::report::{
     BugRecord, CampaignResult, CovMap, CoverageSample, EdgeCov, FlightRow, FrontierRow, GoalCov,
-    NodeCov, PropertySpec, ProvenanceRecord, ResourceStats, SolverProfileBlock, TelemetryBlock,
-    VmProfileBlock, COVMAP_VERSION,
+    NodeCov, PropertySpec, ProvenanceRecord, ResourceStats, ScopeCollector, SolverProfileBlock,
+    SolverScopeBlock, TelemetryBlock, VmProfileBlock, COVMAP_VERSION,
 };
 use std::collections::{HashMap, HashSet};
 use std::io;
@@ -113,6 +113,9 @@ pub struct SymbFuzz {
     /// Per-goal solver work attribution (always collected; the rows
     /// are a deterministic function of the campaign seed).
     solve_profiler: SolveProfiler,
+    /// Per-goal CDCL introspection scopes (collected only when
+    /// `config.solver_introspection` is on).
+    scope_collector: ScopeCollector,
 }
 
 impl SymbFuzz {
@@ -161,12 +164,6 @@ impl SymbFuzz {
         if config.sample_every.is_some() {
             sim.enable_vm_profiler();
         }
-        if config.snapshot_cap != FuzzConfig::default().snapshot_cap {
-            eprintln!(
-                "warning: snapshot_cap is deprecated; prefer snapshot_mem_budget \
-                 (the snapshot store is bounded in bytes now)"
-            );
-        }
         let snap_store = sim.snapshot_store(config.snapshot_mem_budget);
         sim.reenter(Reentry::FullReset {
             cycles: config.reset_cycles,
@@ -213,6 +210,7 @@ impl SymbFuzz {
             config,
             telemetry,
             solve_profiler: SolveProfiler::new(),
+            scope_collector: ScopeCollector::new(),
         })
     }
 
@@ -290,6 +288,12 @@ impl SymbFuzz {
         let block = SolverProfileBlock::from(&self.solve_profiler);
         if let Ok(json) = serde_json::to_string(&block) {
             extra.push(("solver_profile".to_string(), json));
+        }
+        if !self.scope_collector.is_empty() {
+            let block = SolverScopeBlock::from(&self.scope_collector);
+            if let Ok(json) = serde_json::to_string(&block) {
+                extra.push(("solver_scope".to_string(), json));
+            }
         }
         extra
     }
@@ -410,6 +414,14 @@ impl SymbFuzz {
             + self.mutator.case_corpus_len() as u64 * self.config.testcase_len as u64)
             * word_bytes;
         resources.peak_state_bytes = state_bytes + resources.peak_snapshot_bytes + corpus_bytes;
+        let solver_scope = if self.scope_collector.is_empty() {
+            None
+        } else {
+            let block = SolverScopeBlock::from(&self.scope_collector);
+            self.telemetry
+                .set_gauge(Gauge::MeanAffinity, block.mean_adjacent_affinity_milli);
+            Some(block)
+        };
         CampaignResult {
             fuzzer: self.strategy.name().to_string(),
             design: self.design.name.clone(),
@@ -439,6 +451,7 @@ impl SymbFuzz {
                 .vm_profile(HOT_CONE_TOP_K)
                 .map(VmProfileBlock::from),
             solver_profile: SolverProfileBlock::from(&self.solve_profiler),
+            solver_scope,
         }
     }
 
@@ -588,7 +601,7 @@ impl SymbFuzz {
 
             match self.strategy {
                 Strategy::SymbFuzz => {
-                    if outcome.new_node && self.snap_ids.len() < self.config.snapshot_cap {
+                    if outcome.new_node {
                         self.take_snapshot(outcome.node);
                     }
                 }
@@ -839,15 +852,28 @@ impl SymbFuzz {
                 let result = {
                     let _span = self.telemetry.phase_owned(Phase::Solve);
                     let engine = self.engine.as_ref().expect("checked above");
-                    engine.solve_reach_profiled(
-                        self.sim.values(),
-                        &[(reg, value)],
-                        self.config.solve_depth,
-                        &budget,
-                    )
+                    if self.config.solver_introspection {
+                        engine
+                            .solve_reach_introspected(
+                                self.sim.values(),
+                                &[(reg, value)],
+                                self.config.solve_depth,
+                                &budget,
+                            )
+                            .map(|(outcome, stats, scope)| (outcome, stats, Some(scope)))
+                    } else {
+                        engine
+                            .solve_reach_profiled(
+                                self.sim.values(),
+                                &[(reg, value)],
+                                self.config.solve_depth,
+                                &budget,
+                            )
+                            .map(|(outcome, stats)| (outcome, stats, None))
+                    }
                 };
                 let outcome = match result {
-                    Ok((outcome, stats)) => {
+                    Ok((outcome, stats, scope)) => {
                         let name = self.design.signal(reg).name.clone();
                         self.solve_profiler.note_outcome(
                             &name,
@@ -856,6 +882,9 @@ impl SymbFuzz {
                             &outcome,
                             stats,
                         );
+                        if let Some(scope) = scope {
+                            self.note_goal_scope(&name, target_value, &outcome, stats, &scope);
+                        }
                         Some(outcome)
                     }
                     // An unposable goal never reached the solver; it is
@@ -905,6 +934,47 @@ impl SymbFuzz {
             }
         }
         SolveStatus::Unsat
+    }
+
+    /// Folds one introspected reachability query into the scope
+    /// collector and emits the corresponding telemetry: a
+    /// [`Event::GoalSolveCost`] receipt per query, a
+    /// [`Event::CoreExtracted`] attribution record for failed goals
+    /// that carry a blame set, and the learned-clause work counter.
+    fn note_goal_scope(
+        &mut self,
+        register: &str,
+        value: u64,
+        outcome: &ReachOutcome,
+        stats: symbfuzz_symexec::ReachStats,
+        scope: &symbfuzz_symexec::GoalScope,
+    ) {
+        self.scope_collector.note(register, value, scope);
+        self.telemetry
+            .add(Counter::LearnedClauses, scope.trace.learned);
+        self.telemetry.record(Event::GoalSolveCost {
+            register: register.to_string(),
+            value,
+            status: outcome.status(),
+            depth: stats.deepest_unroll as u64,
+            calls: stats.solver_calls as u64,
+            conflicts: scope.trace.conflicts,
+            learned: scope.trace.learned,
+            restarts: scope.trace.restarts,
+            hist: scope.call_conflict_hist.clone(),
+        });
+        if !matches!(outcome, ReachOutcome::Reached(_)) && !scope.blame.is_empty() {
+            self.telemetry.record(Event::CoreExtracted {
+                register: register.to_string(),
+                value,
+                core: if scope.blame_is_core {
+                    scope.blame.len() as u64
+                } else {
+                    0
+                },
+                blamed: scope.blame.len() as u64,
+            });
+        }
     }
 
     /// Caches the just-discovered node's state in the snapshot tree:
@@ -993,10 +1063,7 @@ impl SymbFuzz {
         // legacy arm never re-caches — a once-evicted node replays
         // its full path forever, which is exactly the cost the A/B
         // measures.
-        if prefix_len > 0
-            && self.config.use_ancestor_reentry
-            && self.snap_ids.len() < self.config.snapshot_cap
-        {
+        if prefix_len > 0 && self.config.use_ancestor_reentry {
             self.take_snapshot(node);
         }
         telemetry.record(Event::PartialReset { prefix_len });
@@ -1336,6 +1403,149 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r, g.run());
+    }
+
+    #[test]
+    fn introspection_attaches_a_solver_scope_block() {
+        let d = lock_design();
+        let cfg = FuzzConfig {
+            solver_introspection: true,
+            ..small_cfg(20_000)
+        };
+        let mut f = SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, cfg, &lock_props()).unwrap();
+        let r = f.run();
+        assert!(r.detected("never_open"));
+        let scope = r.solver_scope.as_ref().expect("introspection was on");
+        assert_eq!(scope.version, crate::report::SOLVERSCOPE_VERSION);
+        assert!(!scope.goals.is_empty());
+        // Every row recorded its structural sketch and conflict shape.
+        for g in &scope.goals {
+            assert!(
+                !g.sketch.is_empty(),
+                "goal {}={} has no sketch",
+                g.register,
+                g.value
+            );
+            assert!(g.attempts >= 1);
+        }
+        // Affinity matrix covers the (capped) goal list symmetrically.
+        let n = scope.goals.len().min(crate::report::AFFINITY_MAX_GOALS);
+        assert_eq!(scope.affinity.len(), n);
+        for i in 0..n {
+            assert_eq!(scope.affinity[i][i], 1000);
+            for j in 0..n {
+                assert_eq!(scope.affinity[i][j], scope.affinity[j][i]);
+            }
+        }
+        // The per-goal cost receipts landed in the event stream, and
+        // the mean-affinity gauge was published for the monitor.
+        let costs = r
+            .telemetry
+            .events
+            .iter()
+            .find(|(k, _)| k == "GoalSolveCost")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert!(costs >= 1, "events: {:?}", r.telemetry.events);
+        let gauge = r
+            .telemetry
+            .gauges
+            .iter()
+            .find(|(k, _)| k == "mean_affinity_milli")
+            .map(|(_, n)| *n);
+        assert_eq!(gauge, Some(scope.mean_adjacent_affinity_milli));
+    }
+
+    #[test]
+    fn introspection_off_leaves_the_report_unchanged() {
+        let d = lock_design();
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(20_000),
+            &lock_props(),
+        )
+        .unwrap();
+        let r = f.run();
+        assert!(r.solver_scope.is_none());
+        assert!(!r
+            .telemetry
+            .events
+            .iter()
+            .any(|(k, n)| k == "GoalSolveCost" && *n > 0));
+    }
+
+    #[test]
+    fn introspection_is_outcome_neutral_and_deterministic() {
+        let d = lock_design();
+        let on = FuzzConfig {
+            solver_introspection: true,
+            ..small_cfg(8_000)
+        };
+        let mut f = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            on.clone(),
+            &lock_props(),
+        )
+        .unwrap();
+        let a = f.run();
+        // Same campaign again: the introspection section (and the whole
+        // report) is a pure function of the seed.
+        let mut g = SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, on, &lock_props()).unwrap();
+        let b = g.run();
+        assert_eq!(a, b);
+        // Introspection observes the search without steering it: the
+        // campaign trajectory matches the uninstrumented run.
+        let mut h = SymbFuzz::new(
+            Arc::clone(&d),
+            Strategy::SymbFuzz,
+            small_cfg(8_000),
+            &lock_props(),
+        )
+        .unwrap();
+        let off = h.run();
+        assert_eq!(a.vectors, off.vectors);
+        assert_eq!(a.coverage_points, off.coverage_points);
+        assert_eq!(a.bugs, off.bugs);
+        assert_eq!(a.solve_outcomes, off.solve_outcomes);
+        assert_eq!(a.covmap, off.covmap);
+    }
+
+    #[test]
+    fn exhausted_goals_are_attributed_to_blame_sets() {
+        let d = Arc::new(elaborate_src(HARDLOCK, "hardlock").unwrap());
+        let cfg = FuzzConfig::builder()
+            .interval(32)
+            .threshold(1)
+            .max_vectors(2_000)
+            .solver_budget(500)
+            .escalation_cap(1)
+            .solver_introspection(true)
+            .build()
+            .unwrap();
+        let props = vec![PropertySpec::assertion_only(
+            "never_unlocked",
+            "unlocked == 1'b0",
+        )];
+        let mut f = SymbFuzz::new(Arc::clone(&d), Strategy::SymbFuzz, cfg, &props).unwrap();
+        let r = f.run();
+        assert!(!r.detected("never_unlocked"));
+        let scope = r.solver_scope.as_ref().expect("introspection was on");
+        // Every goal here fails (the semiprime gate is hopeless under a
+        // 500-conflict budget), so every row must carry a blame set.
+        let (blamed, total) = scope.blame_counts();
+        assert!(total >= 1);
+        assert_eq!(blamed, total, "unattributed rows: {:?}", scope.goals);
+        // Attribution records surfaced as events too.
+        let cores = r
+            .telemetry
+            .events
+            .iter()
+            .find(|(k, _)| k == "CoreExtracted")
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        assert!(cores >= 1, "events: {:?}", r.telemetry.events);
     }
 
     #[test]

@@ -53,5 +53,6 @@ pub use mutate::Mutator;
 pub use report::{
     BugRecord, CampaignResult, ConeRow, CovMap, CoverageSample, EdgeCov, FlightRow, FrontierRow,
     GoalCov, GoalRow, NodeCov, PhaseBlock, PropertySpec, ProvenanceRecord, ResourceStats,
-    SolverProfileBlock, TelemetryBlock, VmProfileBlock, COVMAP_VERSION,
+    ScopeCollector, ScopeGoalRow, SolverProfileBlock, SolverScopeBlock, TelemetryBlock,
+    VmProfileBlock, AFFINITY_MAX_GOALS, COVMAP_VERSION, SOLVERSCOPE_VERSION,
 };

@@ -1,8 +1,9 @@
 //! Campaign results, bug records and property specifications.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use symbfuzz_sim::VmProfile;
-use symbfuzz_symexec::SolveProfiler;
+use symbfuzz_symexec::{sketch_jaccard_milli, GoalScope, SolveProfiler};
 use symbfuzz_telemetry::{FlightSample, MetricsSnapshot, PhaseStat};
 
 /// A security property plus its *oracle visibility*: which detection
@@ -623,6 +624,276 @@ impl From<&SolveProfiler> for SolverProfileBlock {
     }
 }
 
+/// Version stamp of the [`SolverScopeBlock`] artifact schema.
+pub const SOLVERSCOPE_VERSION: u32 = 1;
+
+/// Goal count included in the [`SolverScopeBlock::affinity`] matrix.
+/// Rows beyond this still carry their sketches, so a merged block can
+/// recompute the matrix over the merged goal order.
+pub const AFFINITY_MAX_GOALS: usize = 32;
+
+/// One goal's solver-introspection row: the merged CDCL analytics of
+/// every reachability query that targeted this `(register, value)`
+/// pair (serialisable mirror of [`symbfuzz_symexec::GoalScope`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScopeGoalRow {
+    /// Target register name.
+    pub register: String,
+    /// Target value.
+    pub value: u64,
+    /// Introspected reachability queries folded into this row.
+    pub attempts: u64,
+    /// CDCL conflicts observed while tracing.
+    pub conflicts: u64,
+    /// Learned clauses recorded.
+    pub learned: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Log₄ histogram of learned-clause sizes.
+    pub learned_size_hist: Vec<u64>,
+    /// Log₄ histogram of learned-clause LBD.
+    pub lbd_hist: Vec<u64>,
+    /// Log₄ histogram of per exact-depth-call conflict counts.
+    pub call_conflict_hist: Vec<u64>,
+    /// Conflict count at each restart (capped timeline).
+    pub restart_timeline: Vec<u64>,
+    /// Sum of decision levels at conflict sites.
+    pub conflict_depth_sum: u64,
+    /// Deepest decision level at a conflict site.
+    pub conflict_depth_max: u64,
+    /// Hottest netlist signals `(name, permille)`, hottest first.
+    pub hot_signals: Vec<(String, u64)>,
+    /// State registers blamed for `Unreachable`/`Exhausted` outcomes,
+    /// in register-name order (empty for satisfiable goals).
+    pub blame: Vec<String>,
+    /// Bottom-K subterm digests of the deepest unrolled formula.
+    pub sketch: Vec<u64>,
+    /// Deepest unroll the sketch describes.
+    pub depth: u64,
+}
+
+impl ScopeGoalRow {
+    /// Mean decision level at conflict sites (0 when no conflicts).
+    pub fn mean_conflict_depth(&self) -> u64 {
+        self.conflict_depth_sum
+            .checked_div(self.conflicts)
+            .unwrap_or(0)
+    }
+
+    /// Folds another row for the same goal into this one: tallies and
+    /// histograms sum, the restart timeline concatenates up to the
+    /// trace cap, hot signals fold by max permille, sketches union
+    /// (sorted, truncated back to the bottom-K), blame sets union in
+    /// name order, and depth keeps the maximum. Mirrors
+    /// [`GoalScope::merge`] so pool-merged blocks match what a single
+    /// campaign would have collected.
+    pub fn merge(&mut self, other: &ScopeGoalRow) {
+        use symbfuzz_smt::RESTART_TIMELINE_CAP;
+        use symbfuzz_symexec::{HOT_SIGNALS_K, SKETCH_K};
+        self.attempts += other.attempts;
+        self.conflicts += other.conflicts;
+        self.learned += other.learned;
+        self.restarts += other.restarts;
+        for (a, b) in self
+            .learned_size_hist
+            .iter_mut()
+            .zip(&other.learned_size_hist)
+        {
+            *a += b;
+        }
+        for (a, b) in self.lbd_hist.iter_mut().zip(&other.lbd_hist) {
+            *a += b;
+        }
+        for (a, b) in self
+            .call_conflict_hist
+            .iter_mut()
+            .zip(&other.call_conflict_hist)
+        {
+            *a += b;
+        }
+        for &t in &other.restart_timeline {
+            if self.restart_timeline.len() >= RESTART_TIMELINE_CAP {
+                break;
+            }
+            self.restart_timeline.push(t);
+        }
+        self.conflict_depth_sum += other.conflict_depth_sum;
+        self.conflict_depth_max = self.conflict_depth_max.max(other.conflict_depth_max);
+        for (name, permille) in &other.hot_signals {
+            match self.hot_signals.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 = slot.1.max(*permille),
+                None => self.hot_signals.push((name.clone(), *permille)),
+            }
+        }
+        self.hot_signals
+            .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.hot_signals.truncate(HOT_SIGNALS_K);
+        for b in &other.blame {
+            if !self.blame.contains(b) {
+                self.blame.push(b.clone());
+            }
+        }
+        self.blame.sort();
+        self.sketch.extend_from_slice(&other.sketch);
+        self.sketch.sort_unstable();
+        self.sketch.dedup();
+        self.sketch.truncate(SKETCH_K);
+        self.depth = self.depth.max(other.depth);
+    }
+
+    fn from_scope(register: &str, value: u64, attempts: u64, s: &GoalScope) -> ScopeGoalRow {
+        ScopeGoalRow {
+            register: register.to_string(),
+            value,
+            attempts,
+            conflicts: s.trace.conflicts,
+            learned: s.trace.learned,
+            restarts: s.trace.restarts,
+            learned_size_hist: s.trace.learned_size_hist.to_vec(),
+            lbd_hist: s.trace.lbd_hist.to_vec(),
+            call_conflict_hist: s.call_conflict_hist.clone(),
+            restart_timeline: s.trace.restart_timeline.clone(),
+            conflict_depth_sum: s.trace.conflict_depth_sum,
+            conflict_depth_max: s.trace.conflict_depth_max as u64,
+            hot_signals: s.hot_signals.clone(),
+            blame: s.blame.clone(),
+            sketch: s.sketch.clone(),
+            depth: s.depth as u64,
+        }
+    }
+}
+
+/// The solver-introspection section of a campaign report (versioned):
+/// per-goal CDCL analytics rows in first-attempt order, plus the
+/// cross-goal structural-affinity matrix their sketches induce.
+///
+/// Determinism contract: rows keep first-attempt order (the same order
+/// at any `--jobs` count once pool-merged in task order), every field
+/// is a pure function of the campaign seed, and the affinity matrix is
+/// recomputed from the sketches after any merge — so merged blocks are
+/// byte-identical across job counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SolverScopeBlock {
+    /// Schema version ([`SOLVERSCOPE_VERSION`]).
+    pub version: u32,
+    /// Per-goal rows, first-attempt order.
+    pub goals: Vec<ScopeGoalRow>,
+    /// Pairwise sketch-Jaccard affinity in milli (0–1000) over the
+    /// first [`AFFINITY_MAX_GOALS`] goals; `affinity[i][j]` compares
+    /// `goals[i]` to `goals[j]`, diagonal pinned to 1000.
+    pub affinity: Vec<Vec<u64>>,
+    /// Mean affinity of consecutive equal-depth goal pairs, in milli
+    /// (falls back to all consecutive pairs when no two neighbours
+    /// share a depth).
+    pub mean_adjacent_affinity_milli: u64,
+}
+
+impl SolverScopeBlock {
+    /// Recomputes the affinity matrix and the adjacent-affinity mean
+    /// from the rows' sketches. Call after any row merge so the matrix
+    /// always describes the final goal order.
+    pub fn recompute_affinity(&mut self) {
+        let n = self.goals.len().min(AFFINITY_MAX_GOALS);
+        self.affinity = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            1000
+                        } else {
+                            sketch_jaccard_milli(&self.goals[i].sketch, &self.goals[j].sketch)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let pairs: Vec<u64> = self
+            .goals
+            .windows(2)
+            .filter(|w| w[0].depth == w[1].depth)
+            .map(|w| sketch_jaccard_milli(&w[0].sketch, &w[1].sketch))
+            .collect();
+        let pairs = if pairs.is_empty() {
+            self.goals
+                .windows(2)
+                .map(|w| sketch_jaccard_milli(&w[0].sketch, &w[1].sketch))
+                .collect()
+        } else {
+            pairs
+        };
+        self.mean_adjacent_affinity_milli = if pairs.is_empty() {
+            0
+        } else {
+            pairs.iter().sum::<u64>() / pairs.len() as u64
+        };
+    }
+
+    /// `(rows with a non-empty blame set, total rows)` — the raw
+    /// counts behind the exhaustion-attribution rate. Blame sets are
+    /// only extracted for failed (`Unreachable`/`Exhausted`) goals, so
+    /// joining against the solver profile's status tallies gives the
+    /// per-status rate.
+    pub fn blame_counts(&self) -> (u64, u64) {
+        let blamed = self.goals.iter().filter(|g| !g.blame.is_empty()).count() as u64;
+        (blamed, self.goals.len() as u64)
+    }
+}
+
+/// Accumulates per-goal [`GoalScope`] records during a campaign,
+/// keyed by `(register, value)` in first-seen order — the same
+/// ordering discipline as [`SolveProfiler`], which is what keeps
+/// pool-merged reports byte-identical at any `--jobs` count.
+#[derive(Debug, Default)]
+pub struct ScopeCollector {
+    rows: Vec<(String, u64, u64, GoalScope)>,
+    index: HashMap<(String, u64), usize>,
+}
+
+impl ScopeCollector {
+    /// An empty collector.
+    pub fn new() -> ScopeCollector {
+        ScopeCollector::default()
+    }
+
+    /// Folds one reachability query's scope into its goal row.
+    pub fn note(&mut self, register: &str, value: u64, scope: &GoalScope) {
+        let key = (register.to_string(), value);
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.rows[i].2 += 1;
+                self.rows[i].3.merge(scope);
+            }
+            None => {
+                self.index.insert(key, self.rows.len());
+                self.rows
+                    .push((register.to_string(), value, 1, scope.clone()));
+            }
+        }
+    }
+
+    /// Whether any query was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl From<&ScopeCollector> for SolverScopeBlock {
+    fn from(c: &ScopeCollector) -> SolverScopeBlock {
+        let mut block = SolverScopeBlock {
+            version: SOLVERSCOPE_VERSION,
+            goals: c
+                .rows
+                .iter()
+                .map(|(r, v, attempts, s)| ScopeGoalRow::from_scope(r, *v, *attempts, s))
+                .collect(),
+            affinity: Vec::new(),
+            mean_adjacent_affinity_milli: 0,
+        };
+        block.recompute_affinity();
+        block
+    }
+}
+
 /// The outcome of one fuzzing campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
@@ -664,6 +935,10 @@ pub struct CampaignResult {
     pub vm_profile: Option<VmProfileBlock>,
     /// Per-goal solver profile (empty rows for solver-free campaigns).
     pub solver_profile: SolverProfileBlock,
+    /// Solver-introspection section (present only when
+    /// [`FuzzConfig::solver_introspection`](crate::FuzzConfig) was on
+    /// and at least one reachability query ran).
+    pub solver_scope: Option<SolverScopeBlock>,
 }
 
 impl CampaignResult {
@@ -728,6 +1003,7 @@ mod tests {
             flight: vec![],
             vm_profile: None,
             solver_profile: SolverProfileBlock::default(),
+            solver_scope: None,
         };
         assert_eq!(r.vectors_to_reach(30), Some(50));
         assert_eq!(r.vectors_to_reach(51), None);
@@ -784,6 +1060,59 @@ mod tests {
             serde_json::from_str::<SolverProfileBlock>(&j).unwrap(),
             block
         );
+    }
+
+    #[test]
+    fn scope_collector_folds_and_block_round_trips() {
+        let mut a = GoalScope::new();
+        a.sketch = (0..100).collect();
+        a.depth = 2;
+        a.blame = vec!["state".into()];
+        a.hot_signals = vec![("k".into(), 1000)];
+        let mut b = GoalScope::new();
+        b.sketch = (50..150).collect();
+        b.depth = 2;
+
+        let mut c = ScopeCollector::new();
+        assert!(c.is_empty());
+        c.note("st", 7, &a);
+        c.note("st", 9, &b);
+        c.note("st", 7, &a); // re-attempt folds into the first row
+        let block = SolverScopeBlock::from(&c);
+        assert_eq!(block.version, SOLVERSCOPE_VERSION);
+        assert_eq!(block.goals.len(), 2);
+        assert_eq!(block.goals[0].register, "st");
+        assert_eq!(block.goals[0].attempts, 2);
+        assert_eq!(block.goals[0].blame, vec!["state".to_string()]);
+        assert_eq!(block.affinity.len(), 2);
+        assert_eq!(block.affinity[0][0], 1000);
+        assert_eq!(block.affinity[0][1], block.affinity[1][0]);
+        // Half-overlapping sketches at equal depth: mean adjacent
+        // affinity reflects the shared structure.
+        assert!(block.mean_adjacent_affinity_milli > 0);
+        assert_eq!(block.blame_counts(), (1, 2));
+        let j = serde_json::to_string(&block).unwrap();
+        assert_eq!(serde_json::from_str::<SolverScopeBlock>(&j).unwrap(), block);
+    }
+
+    #[test]
+    fn affinity_matrix_is_capped_and_recomputable() {
+        let mut c = ScopeCollector::new();
+        for i in 0..(AFFINITY_MAX_GOALS + 3) {
+            let mut s = GoalScope::new();
+            s.sketch = vec![i as u64];
+            s.depth = 1;
+            c.note("r", i as u64, &s);
+        }
+        let mut block = SolverScopeBlock::from(&c);
+        assert_eq!(block.goals.len(), AFFINITY_MAX_GOALS + 3);
+        assert_eq!(block.affinity.len(), AFFINITY_MAX_GOALS);
+        // Reordering rows and recomputing keeps the matrix consistent
+        // with the new order (the pool-merge contract).
+        block.goals.reverse();
+        block.recompute_affinity();
+        assert_eq!(block.affinity.len(), AFFINITY_MAX_GOALS);
+        assert_eq!(block.affinity[0][0], 1000);
     }
 
     #[test]

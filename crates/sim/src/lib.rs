@@ -19,8 +19,7 @@
 //! driven by the [reset tree](symbfuzz_netlist::ResetTree) including
 //! *partial* resets (§4.5), copy-on-write checkpoint/rollback through
 //! the paged [`SnapshotStore`] behind the unified
-//! [`Simulator::reenter`] entry point (the legacy deep-copy
-//! [`Snapshot`] remains as a deprecated shim), per-branch outcome
+//! [`Simulator::reenter`] entry point, per-branch outcome
 //! instrumentation (the substrate for both the paper's edge coverage
 //! and the RFuzz-style mux coverage baseline), and a VCD dump writer
 //! (Algorithm 1 line 8 "Dump VCD").
@@ -54,7 +53,6 @@ mod vm;
 pub use profiler::{ConeProfile, VmProfile, VmProfiler};
 pub use simulator::{
     BranchOutcome, Reentry, ReentryMechanism, ReentryOutcome, SettleMode, SimError, Simulator,
-    Snapshot,
 };
 pub use snapstore::{ForkOutcome, SnapshotId, SnapshotStore, PAGE_SIGNALS};
 pub use vcd::VcdWriter;

@@ -55,25 +55,8 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// A saved simulator state — the paper's lightweight checkpoint
-/// snapshot (§4.5): "only the essential transaction history and
-/// architectural state", i.e. every signal value plus the cycle count.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Snapshot {
-    values: Vec<LogicVec>,
-    cycle: u64,
-}
-
-impl Snapshot {
-    /// The cycle count at which this snapshot was taken.
-    pub fn cycle(&self) -> u64 {
-        self.cycle
-    }
-}
-
-/// A state re-entry request for [`Simulator::reenter`] — the one typed
-/// surface the legacy `reset` / `reset_domain` / `restore` trio
-/// collapsed into.
+/// A state re-entry request for [`Simulator::reenter`] — full reset,
+/// partial reset, or stored-snapshot restore behind one typed surface.
 #[derive(Debug, Clone, Copy)]
 pub enum Reentry<'a> {
     /// Assert every reset domain for `cycles` clock cycles.
@@ -803,30 +786,11 @@ impl Simulator {
         let _ = self.settle_comb();
     }
 
-    /// Applies a full reset: asserts every reset signal at its active
-    /// level, runs `cycles` clock cycles, then deasserts.
-    #[deprecated(since = "0.8.0", note = "use reenter(Reentry::FullReset { cycles })")]
-    pub fn reset(&mut self, cycles: u32) {
-        self.reenter(Reentry::FullReset { cycles });
-    }
-
-    /// Partial reset (§4.5): asserts only the domain rooted at `reset`,
-    /// leaving other domains' registers untouched.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use reenter(Reentry::DomainReset { reset, cycles })"
-    )]
-    pub fn reset_domain(&mut self, reset: SignalId, cycles: u32) {
-        self.reenter(Reentry::DomainReset { reset, cycles });
-    }
-
     /// Re-enters simulator state through the one typed entry point:
     /// full reset, single-domain reset, or a stored snapshot. Returns
     /// which mechanism ran and what it cost.
     ///
-    /// This is the API the fuzzer's checkpoint scheduler drives; the
-    /// legacy [`reset`](Self::reset) / [`reset_domain`](Self::reset_domain) /
-    /// [`restore`](Self::restore) surface delegates here.
+    /// This is the API the fuzzer's checkpoint scheduler drives.
     pub fn reenter(&mut self, target: Reentry<'_>) -> ReentryOutcome {
         match target {
             Reentry::FullReset { cycles } => {
@@ -941,41 +905,6 @@ impl Simulator {
             }
         }
         let _ = self.settle_comb();
-    }
-
-    /// Takes a deep-copy checkpoint snapshot of the full state.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use fork through a SnapshotStore; deep copies share no pages"
-    )]
-    pub fn snapshot(&self) -> Snapshot {
-        self.count(Counter::SnapshotsTaken, 1);
-        Snapshot {
-            values: self.values.clone(),
-            cycle: self.cycle,
-        }
-    }
-
-    /// Restores a deep-copy snapshot taken on the same design.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the snapshot's signal count differs from the design's.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use reenter(Reentry::Snapshot { store, id }) via a SnapshotStore"
-    )]
-    pub fn restore(&mut self, snap: &Snapshot) {
-        assert_eq!(
-            snap.values.len(),
-            self.values.len(),
-            "snapshot belongs to a different design"
-        );
-        self.count(Counter::SnapshotRestores, 1);
-        self.values = snap.values.clone();
-        self.cycle = snap.cycle;
-        // Every signal may have changed; the next settle sweeps fully.
-        self.mark_all_dirty();
     }
 
     // ---- execution ----------------------------------------------------------
@@ -1396,36 +1325,6 @@ mod tests {
         assert_eq!(s.toggled_outcomes(), 2);
     }
 
-    // The deprecated deep-copy shims keep working for one release.
-    #[test]
-    #[allow(deprecated)]
-    fn snapshot_restore_round_trips() {
-        let mut s = sim(
-            "module m(input clk, input rst_n, output logic [7:0] q);
-               always_ff @(posedge clk or negedge rst_n)
-                 if (!rst_n) q <= 8'd0; else q <= q + 8'd1;
-             endmodule",
-            "m",
-        );
-        s.reset(1);
-        for _ in 0..5 {
-            s.step();
-        }
-        let snap = s.snapshot();
-        let q = s.design().signal_by_name("q").unwrap();
-        assert_eq!(s.get(q).to_u64(), Some(5));
-        for _ in 0..7 {
-            s.step();
-        }
-        assert_eq!(s.get(q).to_u64(), Some(12));
-        s.restore(&snap);
-        assert_eq!(s.get(q).to_u64(), Some(5));
-        assert_eq!(s.cycle(), snap.cycle());
-        // Resuming from the snapshot is deterministic.
-        s.step();
-        assert_eq!(s.get(q).to_u64(), Some(6));
-    }
-
     #[test]
     fn fork_enter_round_trips_and_matches_deep_copy() {
         let src = "module m(input clk, input rst_n, input [7:0] d,
@@ -1497,7 +1396,7 @@ mod tests {
     }
 
     #[test]
-    fn reenter_reset_matches_legacy_reset() {
+    fn reenter_full_reset_is_deterministic() {
         let src = "module m(input clk, input rst_n, output logic [7:0] q);
                      always_ff @(posedge clk or negedge rst_n)
                        if (!rst_n) q <= 8'd0; else q <= q + 8'd1;
@@ -1506,8 +1405,9 @@ mod tests {
         let mut b = sim(src, "m");
         let out = a.reenter(Reentry::FullReset { cycles: 2 });
         assert_eq!(out.mechanism, ReentryMechanism::FullReset);
-        #[allow(deprecated)]
-        b.reset(2);
+        let q = a.design().signal_by_name("q").unwrap();
+        assert_eq!(a.get(q).to_u64(), Some(0));
+        b.reenter(Reentry::FullReset { cycles: 2 });
         assert_eq!(a.values(), b.values());
         assert_eq!(a.cycle(), b.cycle());
     }

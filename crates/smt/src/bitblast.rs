@@ -329,6 +329,26 @@ impl BitBlaster {
     pub fn lits_of(&self, t: TermId) -> Option<&[Lit]> {
         self.map.get(&t).map(|v| v.as_slice())
     }
+
+    /// Attributes SAT variables back to the blasted terms whose bit
+    /// vectors contain them, as `(var, term, bit_index)`. When several
+    /// terms share a literal (gate/extract sharing), the smallest
+    /// [`TermId`] wins, so attribution is deterministic. Introspection
+    /// path only — builds a reverse index over the whole blast map.
+    pub fn attribute_vars(&self, vars: &[u32]) -> Vec<(u32, TermId, u32)> {
+        let mut reverse: HashMap<u32, (TermId, u32)> = HashMap::new();
+        for (&t, lits) in &self.map {
+            for (i, l) in lits.iter().enumerate() {
+                let slot = reverse.entry(l.var()).or_insert((t, i as u32));
+                if t < slot.0 {
+                    *slot = (t, i as u32);
+                }
+            }
+        }
+        vars.iter()
+            .filter_map(|&v| reverse.get(&v).map(|&(t, i)| (v, t, i)))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -52,9 +52,13 @@ mod budget;
 mod sat;
 mod solver;
 mod term;
+mod trace;
 
 pub use bitblast::{BitBlaster, Cnf};
 pub use budget::{Budget, BudgetSpent};
 pub use sat::{Lit, SatResult, SatSolver};
 pub use solver::{render_term, BvSolver, Model, SatOutcome, SolverError};
 pub use term::{TermId, TermKind, TermPool};
+pub use trace::{
+    trace_bucket, trace_hist_quantile, SolveTrace, RESTART_TIMELINE_CAP, TRACE_HIST_BUCKETS,
+};

@@ -7,6 +7,7 @@
 //! work spent, leaving the solver reusable (learned clauses are kept).
 
 use crate::budget::{Budget, BudgetSpent};
+use crate::trace::SolveTrace;
 use std::fmt;
 use symbfuzz_telemetry::UnknownReason;
 
@@ -110,6 +111,9 @@ pub struct SatSolver {
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    /// Opt-in CDCL analytics; `None` (the default) costs one null test
+    /// per conflict/restart and nothing else.
+    trace: Option<Box<SolveTrace>>,
 }
 
 impl SatSolver {
@@ -152,6 +156,63 @@ impl SatSolver {
     /// Number of unit propagations performed so far (diagnostics).
     pub fn propagations(&self) -> u64 {
         self.propagations
+    }
+
+    /// Arms CDCL introspection: subsequent searches record learned
+    /// clause size/LBD histograms, the restart timeline and
+    /// conflict-depth statistics into a [`SolveTrace`]. Idempotent;
+    /// tracing stays on until [`take_trace`](Self::take_trace).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Box::default());
+        }
+    }
+
+    /// The accumulated trace, if tracing is armed.
+    pub fn trace(&self) -> Option<&SolveTrace> {
+        self.trace.as_deref()
+    }
+
+    /// Takes the accumulated trace (with the current top-`k` hot
+    /// variables filled in) and re-arms a fresh one, or returns `None`
+    /// if tracing was never enabled.
+    pub fn take_trace(&mut self, k: usize) -> Option<SolveTrace> {
+        let hot = self.hot_vars(k);
+        self.trace.take().map(|mut t| {
+            t.hot_vars = hot;
+            self.trace = Some(Box::default());
+            *t
+        })
+    }
+
+    /// The `k` most VSIDS-active variables as `(var,
+    /// activity_permille)`, hottest first, ties broken by variable
+    /// index for determinism. Activity is scaled to 0..=1000 of the
+    /// hottest variable so the figures survive internal rescaling.
+    pub fn hot_vars(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut ranked: Vec<(u32, f64)> = self
+            .activity
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a > 0.0)
+            .map(|(v, &a)| (v as u32, a))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        let top = ranked.first().map(|&(_, a)| a).unwrap_or(1.0);
+        ranked
+            .into_iter()
+            .map(|(v, a)| (v, (a / top * 1000.0).round() as u64))
+            .collect()
+    }
+
+    /// Distinct decision levels among `lits` (the learned clause's
+    /// LBD, "literal block distance"). Trace-path only.
+    fn lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var() as usize]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
     }
 
     fn value(&self, l: Lit) -> i8 {
@@ -447,6 +508,13 @@ impl SatSolver {
                 }
                 let _ = confl;
                 let (learned, bj) = self.analyze(confl);
+                if self.trace.is_some() {
+                    let lbd = self.lbd(&learned);
+                    let depth = self.decision_level();
+                    if let Some(t) = &mut self.trace {
+                        t.note_learned(learned.len(), lbd, depth);
+                    }
+                }
                 let bj = bj.max(assumptions.len() as u32);
                 self.cancel_until(bj);
                 let assert_lit = learned[0];
@@ -466,6 +534,10 @@ impl SatSolver {
                 if conflicts_until_restart == 0 {
                     restart_count += 1;
                     conflicts_until_restart = luby(restart_count) * 128;
+                    let at = self.conflicts;
+                    if let Some(t) = &mut self.trace {
+                        t.note_restart(at);
+                    }
                     self.cancel_until(assumptions.len() as u32);
                 }
                 // Install pending assumptions as decisions.
@@ -730,6 +802,39 @@ mod tests {
         pigeonhole(&mut s1, 4, 3);
         pigeonhole(&mut s2, 4, 3);
         assert_eq!(s1.solve(), s2.solve_budgeted(&[], &Budget::unlimited()));
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_records_learning_when_armed() {
+        let mut s = SatSolver::new();
+        pigeonhole(&mut s, 5, 4);
+        assert!(s.trace().is_none());
+        assert!(s.take_trace(4).is_none());
+        s.enable_trace();
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let t = s.take_trace(4).unwrap();
+        assert!(t.learned >= 1, "no learned clauses recorded: {t:?}");
+        assert_eq!(t.conflicts, t.learned);
+        assert!(t.conflict_depth_max >= 1);
+        assert!(t.learned_size_hist.iter().sum::<u64>() >= 1);
+        assert!(t.lbd_hist.iter().sum::<u64>() >= 1);
+        assert!(!t.hot_vars.is_empty());
+        assert_eq!(t.hot_vars[0].1, 1000, "hottest var is the scale anchor");
+        // take_trace re-arms a fresh trace.
+        let fresh = s.trace().unwrap();
+        assert_eq!(fresh.learned, 0);
+    }
+
+    #[test]
+    fn traced_and_untraced_searches_agree() {
+        let mut plain = SatSolver::new();
+        let mut traced = SatSolver::new();
+        pigeonhole(&mut plain, 4, 3);
+        pigeonhole(&mut traced, 4, 3);
+        traced.enable_trace();
+        assert_eq!(plain.solve(), traced.solve());
+        assert_eq!(plain.conflicts(), traced.conflicts());
+        assert_eq!(plain.decisions(), traced.decisions());
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Dependency-equation construction and SMT-backed input search.
 
+use crate::scope::{
+    signal_of_term_name, GoalScope, BLAME_MAX_ASSUMPTIONS, HOT_SIGNALS_K, SKETCH_K,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use symbfuzz_hdl::{BinaryOp, Edge, UnaryOp};
@@ -7,8 +10,14 @@ use symbfuzz_logic::{Bit, LogicVec};
 use symbfuzz_netlist::{
     reset_tree, Design, NExpr, NLValue, NStmt, ProcKind, ResetTree, SignalId, SignalKind,
 };
-use symbfuzz_smt::{BitBlaster, Budget, BudgetSpent, SatResult, TermId, TermKind, TermPool};
+use symbfuzz_smt::{BitBlaster, Budget, BudgetSpent, Lit, SatResult, TermId, TermKind, TermPool};
 use symbfuzz_telemetry::{Collector, Counter, Event, SolveStatus, UnknownReason};
+
+/// Conflict ceiling for each blame-extraction solve (the initial
+/// assumption check and every greedy drop-one probe). Small by design:
+/// blame is best-effort diagnostics and must not compete with the
+/// campaign's own solving budget.
+const BLAME_CONFLICT_CAP: u64 = 2_000;
 
 /// A concrete input stimulus produced by the solver: one value per
 /// top-level input (clocks excluded, resets held inactive).
@@ -339,6 +348,58 @@ impl SymbolicEngine {
         max_steps: u32,
         budget: &Budget,
     ) -> Result<(ReachOutcome, ReachStats), ReachError> {
+        self.solve_reach_inner(current, targets, max_steps, budget, None)
+    }
+
+    /// [`solve_reach_profiled`](Self::solve_reach_profiled) plus a
+    /// [`GoalScope`] introspection record: merged CDCL trace, hot
+    /// signals, structural sketch, and — for `Unreachable`/`Exhausted`
+    /// outcomes — a blame set of state registers (assumption-core-lite
+    /// under `BLAME_CONFLICT_CAP` conflicts per probe, falling back
+    /// to the hottest signals when the core query is itself undecided).
+    ///
+    /// Tracing changes nothing about the search, so the outcome and
+    /// stats match the uninstrumented path exactly; the extra blame
+    /// query runs on a separate solver and spends none of `budget`.
+    pub fn solve_reach_introspected(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+        max_steps: u32,
+        budget: &Budget,
+    ) -> Result<(ReachOutcome, ReachStats, GoalScope), ReachError> {
+        let mut scope = GoalScope::new();
+        let (outcome, stats) =
+            self.solve_reach_inner(current, targets, max_steps, budget, Some(&mut scope))?;
+        if !matches!(outcome, ReachOutcome::Reached(_)) {
+            let depth = stats.deepest_unroll.max(1);
+            if let Some(core) = self.blame_targets(current, targets, depth, budget) {
+                scope.blame = core;
+                scope.blame_is_core = true;
+                if let Some(t) = &self.telemetry {
+                    t.add(Counter::CoreExtractions, 1);
+                }
+            }
+            if scope.blame.is_empty() {
+                // Core extraction was undecided (or vacuous): blame the
+                // hottest signals so exhausted goals still point at
+                // *something* actionable.
+                scope.blame = scope.hot_signals.iter().map(|(n, _)| n.clone()).collect();
+                scope.blame.sort();
+                scope.blame.dedup();
+            }
+        }
+        Ok((outcome, stats, scope))
+    }
+
+    fn solve_reach_inner(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+        max_steps: u32,
+        budget: &Budget,
+        mut scope: Option<&mut GoalScope>,
+    ) -> Result<(ReachOutcome, ReachStats), ReachError> {
         for t in targets {
             let s = self.design.signal(t.0);
             if t.1.has_unknown() {
@@ -376,7 +437,13 @@ impl SymbolicEngine {
             stats.solver_calls += 1;
             stats.deepest_unroll = stats.deepest_unroll.max(steps);
             let remaining = budget.remaining_after(spent_total);
-            match self.solve_exact_budgeted(current, targets, steps, &remaining) {
+            match self.solve_exact_budgeted(
+                current,
+                targets,
+                steps,
+                &remaining,
+                scope.as_deref_mut(),
+            ) {
                 ExactOutcome::Sat(seq, spent) => {
                     stats.spent = spent_total.saturating_add(spent);
                     return Ok((ReachOutcome::Reached(seq), stats));
@@ -413,11 +480,20 @@ impl SymbolicEngine {
         targets: &[(SignalId, LogicVec)],
         steps: u32,
         budget: &Budget,
+        scope: Option<&mut GoalScope>,
     ) -> ExactOutcome {
         let node_cap = budget.term_nodes();
         let over_cap = |pool: &TermPool| node_cap.is_some_and(|cap| pool.len() > cap);
         let mut pool = self.pool.clone();
         let mut blaster = BitBlaster::new();
+        if scope.is_some() {
+            blaster.solver_mut().enable_trace();
+        }
+        // Introspection-only bookkeeping (empty/no-op when `scope` is
+        // off): per-frame structural digests plus a shared hash memo
+        // reused for the final subterm sketch.
+        let mut frame_digests: Vec<u64> = Vec::new();
+        let mut hash_memo: HashMap<TermId, u64> = HashMap::new();
 
         // State terms at step 0: constants where defined; X bits free.
         let mut state: HashMap<TermId, TermId> = HashMap::new(); // cur var -> term
@@ -476,6 +552,18 @@ impl SymbolicEngine {
             }
             state = new_state;
             step_inputs.push(these);
+            if scope.is_some() {
+                let mut hs: Vec<u64> = state
+                    .values()
+                    .map(|&t| pool.structural_hash(t, &mut hash_memo))
+                    .collect();
+                hs.sort_unstable();
+                let mut d = 0xcbf2_9ce4_8422_2325u64;
+                for h in hs {
+                    d = (d ^ h).wrapping_mul(0x100_0000_01b3);
+                }
+                frame_digests.push(d);
+            }
             // The working pool grows monotonically with depth; stop
             // before blasting a formula the budget says is too big.
             if over_cap(&pool) {
@@ -522,6 +610,31 @@ impl SymbolicEngine {
                 micros: t.now_micros().saturating_sub(t0),
             });
         }
+        if let Some(scope) = scope {
+            if let Some(trace) = blaster.solver_mut().take_trace(HOT_SIGNALS_K * 4) {
+                let vars: Vec<u32> = trace.hot_vars.iter().map(|(v, _)| *v).collect();
+                let mut named: Vec<(String, u64)> = Vec::new();
+                for (v, t, _bit) in blaster.attribute_vars(&vars) {
+                    if let TermKind::Var(name, _) = pool.kind(t) {
+                        if let Some(sig) = signal_of_term_name(name) {
+                            let permille = trace
+                                .hot_vars
+                                .iter()
+                                .find(|(hv, _)| *hv == v)
+                                .map_or(0, |(_, p)| *p);
+                            named.push((sig.to_string(), permille));
+                        }
+                    }
+                }
+                scope.note_hot_signals(&named);
+                scope.note_call(&trace);
+            }
+            let mut roots: Vec<TermId> = state.values().copied().collect();
+            roots.sort_unstable();
+            let mut digests = pool.subterm_digests(&roots, &mut hash_memo);
+            digests.truncate(SKETCH_K);
+            scope.note_structure(steps, digests, frame_digests);
+        }
         match result {
             SatResult::Unsat => ExactOutcome::Unsat(spent),
             SatResult::Unknown { reason, spent } => ExactOutcome::Exhausted { reason, spent },
@@ -549,6 +662,135 @@ impl SymbolicEngine {
                 ExactOutcome::Sat(out, spent)
             }
         }
+    }
+
+    /// Attempts to attribute an `Unreachable`/`Exhausted` outcome to a
+    /// set of state registers: re-poses the exact-depth query with up
+    /// to [`BLAME_MAX_ASSUMPTIONS`] fully-defined registers bound via
+    /// *assumptions* rather than assertions, then greedily minimizes
+    /// the assumption set while the query stays Unsat.
+    ///
+    /// Returns `None` when the blame query is satisfiable (the target
+    /// only fails at other depths), undecided within
+    /// [`BLAME_CONFLICT_CAP`] conflicts, or too large to rebuild under
+    /// the budget's term-node ceiling. Candidate registers are taken in
+    /// name order and the core preserves that order, so the result is
+    /// deterministic.
+    fn blame_targets(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+        steps: u32,
+        budget: &Budget,
+    ) -> Option<Vec<String>> {
+        let node_cap = budget.term_nodes();
+        let over_cap = |pool: &TermPool| node_cap.is_some_and(|cap| pool.len() > cap);
+        let mut pool = self.pool.clone();
+        let mut blaster = BitBlaster::new();
+
+        // State at step 0: candidate registers get a fresh symbol plus
+        // an assumption literal pinning it to its concrete value; the
+        // rest are seeded exactly as the plain exact solve does.
+        let mut regs: Vec<(SignalId, TermId)> =
+            self.cur_vars.iter().map(|(&r, &v)| (r, v)).collect();
+        regs.sort_by(|a, b| {
+            self.design
+                .signal(a.0)
+                .name
+                .cmp(&self.design.signal(b.0).name)
+        });
+        let mut state: HashMap<TermId, TermId> = HashMap::new();
+        let mut assumptions: Vec<(String, Lit)> = Vec::new();
+        for (reg, var) in regs {
+            let v = &current[reg.index()];
+            let name = self.design.signal(reg).name.clone();
+            if !v.has_unknown() && assumptions.len() < BLAME_MAX_ASSUMPTIONS {
+                let fresh = pool.var(format!("x0.{name}"), v.width());
+                let c = pool.constant(v.clone());
+                let eqt = pool.eq(fresh, c);
+                let lit = blaster.lits(&pool, eqt)[0];
+                assumptions.push((name, lit));
+                state.insert(var, fresh);
+            } else if !v.has_unknown() {
+                let c = pool.constant(v.clone());
+                state.insert(var, c);
+            } else {
+                let fresh = pool.var(format!("x0.{name}"), v.width());
+                for i in 0..v.width() {
+                    let b = v.bit(i);
+                    if !b.is_unknown() {
+                        let bitterm = pool.extract(fresh, i, 1);
+                        let cb = pool.const_u64(1, (b == Bit::One) as u64);
+                        let eqt = pool.eq(bitterm, cb);
+                        blaster.assert_true(&pool, eqt);
+                    }
+                }
+                state.insert(var, fresh);
+            }
+        }
+        if assumptions.is_empty() {
+            return None;
+        }
+
+        // Unroll to the requested depth, resets pinned inactive.
+        for t in 0..steps {
+            let mut subst_map = state.clone();
+            for (&sig, &var) in &self.input_vars {
+                let s = self.design.signal(sig);
+                let fresh = pool.var(format!("in@{t}.{}", s.name), s.width);
+                subst_map.insert(var, fresh);
+                if s.is_reset {
+                    let inactive = self.reset_inactive_level(sig);
+                    let c = pool.const_u64(s.width, inactive);
+                    let eqt = pool.eq(fresh, c);
+                    blaster.assert_true(&pool, eqt);
+                }
+            }
+            let mut memo = HashMap::new();
+            let mut new_state = HashMap::new();
+            for (&reg, &var) in &self.cur_vars {
+                let substituted = subst(&mut pool, self.eqs[&reg], &subst_map, &mut memo);
+                new_state.insert(var, substituted);
+            }
+            state = new_state;
+            if over_cap(&pool) {
+                return None;
+            }
+        }
+        for (reg, value) in targets {
+            let var = self.cur_vars[reg];
+            let term = state[&var];
+            let c = pool.constant(value.clone());
+            let eqt = pool.eq(term, c);
+            blaster.assert_true(&pool, eqt);
+        }
+
+        let probe_budget = Budget::unlimited().with_conflicts(BLAME_CONFLICT_CAP);
+        let lits: Vec<Lit> = assumptions.iter().map(|(_, l)| *l).collect();
+        match blaster.solver_mut().solve_budgeted(&lits, &probe_budget) {
+            SatResult::Unsat => {}
+            SatResult::Sat(_) | SatResult::Unknown { .. } => return None,
+        }
+        // Greedy drop-one minimization: remove an assumption whenever
+        // the rest stay Unsat. Probes that come back Sat or undecided
+        // keep their assumption, so the result over-approximates a
+        // minimal core but never under-blames.
+        let mut i = 0;
+        while assumptions.len() > 1 && i < assumptions.len() {
+            let probe: Vec<Lit> = assumptions
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, (_, l))| *l)
+                .collect();
+            match blaster.solver_mut().solve_budgeted(&probe, &probe_budget) {
+                SatResult::Unsat => {
+                    assumptions.remove(i);
+                }
+                SatResult::Sat(_) | SatResult::Unknown { .. } => i += 1,
+            }
+        }
+        Some(assumptions.into_iter().map(|(n, _)| n).collect())
     }
 
     fn reset_inactive_level(&self, sig: SignalId) -> u64 {
@@ -1247,6 +1489,83 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn introspected_reach_matches_profiled_and_records_structure() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let targets = [(st, LogicVec::from_u64(3, 3))];
+        let budget = Budget::unlimited();
+        let (plain, plain_stats) = e
+            .solve_reach_profiled(&zero_state(&d), &targets, 4, &budget)
+            .unwrap();
+        let (traced, stats, scope) = e
+            .solve_reach_introspected(&zero_state(&d), &targets, 4, &budget)
+            .unwrap();
+        // Tracing must not change the search.
+        assert_eq!(plain, traced);
+        assert_eq!(plain_stats, stats);
+        // Structure was recorded for the deepest call.
+        assert!(scope.depth >= 1);
+        assert!(!scope.sketch.is_empty());
+        assert_eq!(scope.frame_digests.len() as u32, scope.depth);
+        // Every exact-depth call landed in the per-call histogram.
+        let calls: u64 = scope.call_conflict_hist.iter().sum();
+        assert_eq!(calls, u64::from(stats.solver_calls));
+        // Satisfiable goals carry no blame.
+        assert!(scope.blame.is_empty());
+    }
+
+    #[test]
+    fn unreachable_goals_carry_a_register_blame_set() {
+        // From state 2 the FSM forcibly moves to 3, so state 0 is
+        // unreachable in one step — and the blame is the current value
+        // of `state` itself.
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let mut state = zero_state(&d);
+        state[st.index()] = LogicVec::from_u64(3, 2);
+        let (outcome, _, scope) = e
+            .solve_reach_introspected(
+                &state,
+                &[(st, LogicVec::from_u64(3, 0))],
+                1,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(outcome, ReachOutcome::Unreachable);
+        assert_eq!(scope.blame, vec!["state".to_string()]);
+    }
+
+    #[test]
+    fn neighbouring_goals_share_sketch_structure() {
+        let e = engine(FSM, "fsm");
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let budget = Budget::unlimited();
+        let (_, _, a) = e
+            .solve_reach_introspected(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 1))],
+                1,
+                &budget,
+            )
+            .unwrap();
+        let (_, _, b) = e
+            .solve_reach_introspected(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 2))],
+                1,
+                &budget,
+            )
+            .unwrap();
+        // Same register, same depth, different value: the unrolled
+        // formulas share almost all their structure.
+        let j = crate::scope::sketch_jaccard_milli(&a.sketch, &b.sketch);
+        assert!(j >= 500, "affinity {j} unexpectedly low");
     }
 
     #[test]

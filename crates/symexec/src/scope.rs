@@ -1,0 +1,260 @@
+//! Per-goal solver introspection: merged CDCL traces, structural
+//! sketches, and blame sets.
+//!
+//! When introspection is enabled, every reachability query carries a
+//! [`GoalScope`] alongside its [`ReachStats`](crate::ReachStats)
+//! receipt: the merged [`SolveTrace`] across the geometric depth
+//! schedule, a histogram of per-call conflict counts, the hottest
+//! VSIDS variables mapped back to netlist signal names, a bottom-K
+//! sketch of the unrolled formula's subterm digests (the raw material
+//! for cross-goal affinity), and — for `Unreachable`/`Exhausted`
+//! outcomes — a *blame set* of state registers whose concrete values
+//! make the target unreachable.
+//!
+//! Everything here is deterministic: sketches are sorted digest sets,
+//! hot signals sort by (permille desc, name asc), and blame sets keep
+//! register-name order, so merged reports are byte-identical at any
+//! `--jobs` count.
+
+use symbfuzz_smt::{trace_bucket, SolveTrace, TRACE_HIST_BUCKETS};
+
+/// Bottom-K sketch size for subterm digests. 128 digests estimate the
+/// Jaccard similarity of two formulas to within a few percent while
+/// keeping `CampaignResult` blocks small.
+pub const SKETCH_K: usize = 128;
+
+/// Hot-signal list length carried per goal.
+pub const HOT_SIGNALS_K: usize = 8;
+
+/// Maximum state registers posed as assumptions in a blame query.
+pub const BLAME_MAX_ASSUMPTIONS: usize = 16;
+
+/// Introspection record for one whole reachability query (every
+/// exact-depth solve of the schedule merged).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GoalScope {
+    /// Merged CDCL analytics across the depth schedule.
+    pub trace: SolveTrace,
+    /// Histogram of *per exact-depth call* conflict counts, log₄
+    /// buckets (same bucketing as the trace histograms) — the shape of
+    /// how hard individual calls were, as opposed to the total.
+    pub call_conflict_hist: Vec<u64>,
+    /// Hottest netlist signals by VSIDS activity: `(signal name,
+    /// permille of the hottest variable's activity)`, sorted by
+    /// (permille desc, name asc), at most [`HOT_SIGNALS_K`] entries.
+    pub hot_signals: Vec<(String, u64)>,
+    /// State registers implicated in an `Unreachable`/`Exhausted`
+    /// outcome (assumption-core-lite), in register-name order. Empty
+    /// for satisfiable goals or when extraction ran out of budget.
+    pub blame: Vec<String>,
+    /// Whether [`blame`](Self::blame) came from a real assumption-core
+    /// extraction (`true`) or the hot-signal fallback (`false`).
+    pub blame_is_core: bool,
+    /// Bottom-[`SKETCH_K`] of the sorted subterm structural digests of
+    /// the deepest unrolled formula.
+    pub sketch: Vec<u64>,
+    /// Structural digest of each unrolled frame's state (deepest call),
+    /// frame 1 first.
+    pub frame_digests: Vec<u64>,
+    /// Deepest unroll the sketch and frame digests describe.
+    pub depth: u32,
+}
+
+impl GoalScope {
+    /// A scope with the conflict histogram sized and zeroed.
+    pub fn new() -> GoalScope {
+        GoalScope {
+            call_conflict_hist: vec![0; TRACE_HIST_BUCKETS],
+            ..GoalScope::default()
+        }
+    }
+
+    /// Folds one exact-depth call's trace into the scope.
+    pub fn note_call(&mut self, trace: &SolveTrace) {
+        if self.call_conflict_hist.len() != TRACE_HIST_BUCKETS {
+            self.call_conflict_hist = vec![0; TRACE_HIST_BUCKETS];
+        }
+        self.call_conflict_hist[trace_bucket(trace.conflicts)] += 1;
+        self.trace.merge(trace);
+    }
+
+    /// Merges a batch of named hot signals, keeping the maximum
+    /// permille per name, then re-sorting and truncating to
+    /// [`HOT_SIGNALS_K`].
+    pub fn note_hot_signals(&mut self, named: &[(String, u64)]) {
+        for (name, permille) in named {
+            match self.hot_signals.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 = slot.1.max(*permille),
+                None => self.hot_signals.push((name.clone(), *permille)),
+            }
+        }
+        self.hot_signals
+            .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.hot_signals.truncate(HOT_SIGNALS_K);
+    }
+
+    /// Installs the sketch and frame digests for a call at `depth`,
+    /// keeping only the deepest call's view of the formula.
+    pub fn note_structure(&mut self, depth: u32, sketch: Vec<u64>, frame_digests: Vec<u64>) {
+        if depth >= self.depth {
+            self.depth = depth;
+            self.sketch = sketch;
+            self.frame_digests = frame_digests;
+        }
+    }
+
+    /// Merges another scope (e.g. re-attempts of the same goal):
+    /// traces and histograms sum, hot signals fold by max, the deeper
+    /// structure wins, and blame sets union in sorted order.
+    pub fn merge(&mut self, other: &GoalScope) {
+        self.trace.merge(&other.trace);
+        if self.call_conflict_hist.len() != TRACE_HIST_BUCKETS {
+            self.call_conflict_hist = vec![0; TRACE_HIST_BUCKETS];
+        }
+        for (i, n) in other.call_conflict_hist.iter().enumerate() {
+            if i < self.call_conflict_hist.len() {
+                self.call_conflict_hist[i] += n;
+            }
+        }
+        self.note_hot_signals(&other.hot_signals);
+        if other.depth >= self.depth && !other.sketch.is_empty() {
+            self.depth = other.depth;
+            self.sketch = other.sketch.clone();
+            self.frame_digests = other.frame_digests.clone();
+        }
+        for b in &other.blame {
+            if !self.blame.contains(b) {
+                self.blame.push(b.clone());
+            }
+        }
+        self.blame.sort();
+        self.blame_is_core |= other.blame_is_core;
+    }
+}
+
+/// Estimates the Jaccard similarity of the digest sets behind two
+/// bottom-K sketches, in milli (0–1000).
+///
+/// Both inputs must be sorted, deduplicated bottom-K sets (as
+/// [`GoalScope::sketch`] stores them). The estimator is the classic
+/// KMV one: take the K smallest digests of the union and count how
+/// many appear in both sketches. Returns 0 when either sketch is
+/// empty.
+pub fn sketch_jaccard_milli(a: &[u64], b: &[u64]) -> u64 {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let k = SKETCH_K.min(a.len() + b.len());
+    // Merge the two sorted sets, keeping the k smallest distinct
+    // digests and counting those present in both.
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut taken = 0usize;
+    let mut both = 0usize;
+    while taken < k && (i < a.len() || j < b.len()) {
+        if i < a.len() && j < b.len() && a[i] == b[j] {
+            both += 1;
+            i += 1;
+            j += 1;
+        } else if j >= b.len() || (i < a.len() && a[i] < b[j]) {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        taken += 1;
+    }
+    if taken == 0 {
+        return 0;
+    }
+    (both as u64 * 1000) / taken as u64
+}
+
+/// Parses an engine term name back to the netlist signal it stands
+/// for: `cur.foo`, `x0.foo`, `in.foo`, `in@3.foo` and `float.foo` all
+/// map to `foo`; synthetic `xlit.N` symbols map to `None`.
+pub fn signal_of_term_name(name: &str) -> Option<&str> {
+    for prefix in ["cur.", "x0.", "in.", "float."] {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            return Some(rest);
+        }
+    }
+    if let Some(rest) = name.strip_prefix("in@") {
+        if let Some(dot) = rest.find('.') {
+            if rest[..dot].chars().all(|c| c.is_ascii_digit()) {
+                return Some(&rest[dot + 1..]);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_names_map_back_to_signals() {
+        assert_eq!(signal_of_term_name("cur.state"), Some("state"));
+        assert_eq!(signal_of_term_name("x0.lock"), Some("lock"));
+        assert_eq!(signal_of_term_name("in.cmd"), Some("cmd"));
+        assert_eq!(signal_of_term_name("in@12.cmd"), Some("cmd"));
+        assert_eq!(signal_of_term_name("float.wire_a"), Some("wire_a"));
+        assert_eq!(signal_of_term_name("xlit.7"), None);
+        assert_eq!(signal_of_term_name("in@x.cmd"), None);
+        assert_eq!(signal_of_term_name("unprefixed"), None);
+    }
+
+    #[test]
+    fn hot_signals_fold_by_max_and_stay_bounded() {
+        let mut s = GoalScope::new();
+        s.note_hot_signals(&[("b".into(), 400), ("a".into(), 400)]);
+        s.note_hot_signals(&[("b".into(), 900)]);
+        assert_eq!(s.hot_signals[0], ("b".to_string(), 900));
+        assert_eq!(s.hot_signals[1], ("a".to_string(), 400));
+        let many: Vec<(String, u64)> = (0..20).map(|i| (format!("s{i:02}"), 100 + i)).collect();
+        s.note_hot_signals(&many);
+        assert_eq!(s.hot_signals.len(), HOT_SIGNALS_K);
+    }
+
+    #[test]
+    fn structure_keeps_the_deepest_call() {
+        let mut s = GoalScope::new();
+        s.note_structure(2, vec![1, 2], vec![10, 20]);
+        s.note_structure(1, vec![9], vec![90]);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.sketch, vec![1, 2]);
+        s.note_structure(4, vec![3], vec![30, 40, 50, 60]);
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.frame_digests.len(), 4);
+    }
+
+    #[test]
+    fn jaccard_estimates_overlap() {
+        let a: Vec<u64> = (0..100).collect();
+        assert_eq!(sketch_jaccard_milli(&a, &a), 1000);
+        let b: Vec<u64> = (100..200).collect();
+        assert_eq!(sketch_jaccard_milli(&a, &b), 0);
+        // Half-overlapping sets: 50 shared of 100 distinct → ~333 milli
+        // (J = 50/150), estimated over the union's bottom-k.
+        let c: Vec<u64> = (50..150).collect();
+        let j = sketch_jaccard_milli(&a, &c);
+        assert!((250..=450).contains(&j), "got {j}");
+        assert_eq!(sketch_jaccard_milli(&a, &[]), 0);
+    }
+
+    #[test]
+    fn merge_unions_blame_and_sums_histograms() {
+        let mut a = GoalScope::new();
+        a.blame = vec!["lock".into()];
+        a.call_conflict_hist[0] = 1;
+        a.note_structure(1, vec![7], vec![70]);
+        let mut b = GoalScope::new();
+        b.blame = vec!["counter".into(), "lock".into()];
+        b.call_conflict_hist[0] = 2;
+        b.note_structure(3, vec![8, 9], vec![80, 90, 91]);
+        a.merge(&b);
+        assert_eq!(a.blame, vec!["counter".to_string(), "lock".to_string()]);
+        assert_eq!(a.call_conflict_hist[0], 3);
+        assert_eq!(a.depth, 3);
+        assert_eq!(a.sketch, vec![8, 9]);
+    }
+}

@@ -58,11 +58,16 @@ pub enum Counter {
     SnapshotPagesShared,
     /// Snapshots evicted from the byte-budgeted store.
     SnapshotEvictions,
+    /// Clauses learned by traced CDCL searches (0 when solver
+    /// introspection is off).
+    LearnedClauses,
+    /// Assumption-core-lite extractions performed on failed goals.
+    CoreExtractions,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 22;
 
     /// All counters in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -86,6 +91,8 @@ impl Counter {
         Counter::SnapshotPagesCopied,
         Counter::SnapshotPagesShared,
         Counter::SnapshotEvictions,
+        Counter::LearnedClauses,
+        Counter::CoreExtractions,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -111,6 +118,8 @@ impl Counter {
             Counter::SnapshotPagesCopied => "snapshot_pages_copied",
             Counter::SnapshotPagesShared => "snapshot_pages_shared",
             Counter::SnapshotEvictions => "snapshot_evictions",
+            Counter::LearnedClauses => "learned_clauses",
+            Counter::CoreExtractions => "core_extractions",
         }
     }
 
@@ -141,11 +150,16 @@ pub enum Gauge {
     /// live snapshots over their unique page bytes (0 when no
     /// snapshots are held; 1000 means no page is shared).
     SnapshotSharing,
+    /// Mean adjacent-goal structural affinity ×1000 (shared-subterm
+    /// ratio between neighbouring CFG goals at equal unroll depth;
+    /// 0 when solver introspection is off or fewer than two goals
+    /// were profiled).
+    MeanAffinity,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All gauges in index order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -156,6 +170,7 @@ impl Gauge {
         Gauge::XIslandCones,
         Gauge::SnapshotBytes,
         Gauge::SnapshotSharing,
+        Gauge::MeanAffinity,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -168,6 +183,7 @@ impl Gauge {
             Gauge::XIslandCones => "x_island_cones",
             Gauge::SnapshotBytes => "snapshot_bytes",
             Gauge::SnapshotSharing => "snapshot_sharing_milli",
+            Gauge::MeanAffinity => "mean_affinity_milli",
         }
     }
 

@@ -284,13 +284,51 @@ pub enum Event {
         /// The mechanism that generated the covering input word.
         mechanism: Mechanism,
     },
+    /// Solver introspection: the aggregated CDCL cost of one symbolic
+    /// goal's whole depth schedule (emitted once per goal when
+    /// introspection is on).
+    GoalSolveCost {
+        /// Target register the goal drives.
+        register: String,
+        /// Target value.
+        value: u64,
+        /// Final verdict of the schedule.
+        status: SolveStatus,
+        /// Deepest unroll depth attempted.
+        depth: u64,
+        /// Solver calls the schedule issued.
+        calls: u64,
+        /// Total CDCL conflicts across the schedule.
+        conflicts: u64,
+        /// Learned clauses recorded.
+        learned: u64,
+        /// Restarts performed.
+        restarts: u64,
+        /// Log₄ histogram of per-call conflict costs (12 buckets),
+        /// for p50/p90/p99 quantile rendering in `tracedump`.
+        hist: Vec<u64>,
+    },
+    /// Solver introspection: an assumption-core-lite extraction
+    /// attributed a failed goal to a blame set of signals.
+    CoreExtracted {
+        /// Target register the goal drives.
+        register: String,
+        /// Target value.
+        value: u64,
+        /// Assumptions surviving greedy minimization (0 = attribution
+        /// fell back to hot-signal blame).
+        core: u64,
+        /// Signals in the resulting blame set.
+        blamed: u64,
+    },
 }
 
 impl Event {
     /// Number of event kinds.
-    pub const KIND_COUNT: usize = 10;
+    pub const KIND_COUNT: usize = 12;
 
-    /// Every event kind, in `kind_index` order.
+    /// Every event kind, in `kind_index` order (append-only: indices
+    /// are part of the trace schema).
     pub const KINDS: [&'static str; Event::KIND_COUNT] = [
         "CoverageDelta",
         "StagnationEnter",
@@ -302,6 +340,8 @@ impl Event {
         "BudgetExhausted",
         "NodeCovered",
         "EdgeCovered",
+        "GoalSolveCost",
+        "CoreExtracted",
     ];
 
     /// The schema discriminator for this event.
@@ -322,6 +362,8 @@ impl Event {
             Event::BudgetExhausted { .. } => 7,
             Event::NodeCovered { .. } => 8,
             Event::EdgeCovered { .. } => 9,
+            Event::GoalSolveCost { .. } => 10,
+            Event::CoreExtracted { .. } => 11,
         }
     }
 
@@ -438,6 +480,47 @@ impl Event {
                     mechanism.name()
                 );
             }
+            Event::GoalSolveCost {
+                register,
+                value,
+                status,
+                depth,
+                calls,
+                conflicts,
+                learned,
+                restarts,
+                hist,
+            } => {
+                s.push_str(",\"register\":\"");
+                escape_json_into(register, &mut s);
+                let _ = write!(
+                    s,
+                    "\",\"value\":{value},\"status\":\"{}\",\"depth\":{depth},\
+                     \"calls\":{calls},\"conflicts\":{conflicts},\"learned\":{learned},\
+                     \"restarts\":{restarts},\"hist\":[",
+                    status.serial()
+                );
+                for (i, b) in hist.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{b}");
+                }
+                s.push(']');
+            }
+            Event::CoreExtracted {
+                register,
+                value,
+                core,
+                blamed,
+            } => {
+                s.push_str(",\"register\":\"");
+                escape_json_into(register, &mut s);
+                let _ = write!(
+                    s,
+                    "\",\"value\":{value},\"core\":{core},\"blamed\":{blamed}"
+                );
+            }
         }
         s.push('}');
         s
@@ -524,6 +607,23 @@ mod tests {
                 vector: 40,
                 mechanism: Mechanism::ReplayPrefix,
             },
+            Event::GoalSolveCost {
+                register: "r".into(),
+                value: 1,
+                status: SolveStatus::Unknown(UnknownReason::Conflicts),
+                depth: 4,
+                calls: 3,
+                conflicts: 99,
+                learned: 80,
+                restarts: 2,
+                hist: vec![0; 12],
+            },
+            Event::CoreExtracted {
+                register: "r".into(),
+                value: 1,
+                core: 2,
+                blamed: 3,
+            },
         ];
         assert_eq!(all.len(), Event::KIND_COUNT);
         for (i, e) in all.iter().enumerate() {
@@ -584,6 +684,38 @@ mod tests {
             e.to_json_line(17, 2),
             "{\"t\":17,\"task\":2,\"kind\":\"EdgeCovered\",\"edge\":2,\"src\":0,\"dst\":5,\
              \"vector\":17,\"mechanism\":\"solver\"}"
+        );
+    }
+
+    #[test]
+    fn solver_introspection_lines_are_well_formed() {
+        let e = Event::GoalSolveCost {
+            register: "state".into(),
+            value: 3,
+            status: SolveStatus::Unknown(UnknownReason::Conflicts),
+            depth: 4,
+            calls: 3,
+            conflicts: 120,
+            learned: 100,
+            restarts: 1,
+            hist: vec![0, 1, 2],
+        };
+        assert_eq!(
+            e.to_json_line(9, 1),
+            "{\"t\":9,\"task\":1,\"kind\":\"GoalSolveCost\",\"register\":\"state\",\
+             \"value\":3,\"status\":\"unknown:conflicts\",\"depth\":4,\"calls\":3,\
+             \"conflicts\":120,\"learned\":100,\"restarts\":1,\"hist\":[0,1,2]}"
+        );
+        let e = Event::CoreExtracted {
+            register: "lock\"r".into(),
+            value: 7,
+            core: 2,
+            blamed: 2,
+        };
+        assert_eq!(
+            e.to_json_line(1, 0),
+            "{\"t\":1,\"task\":0,\"kind\":\"CoreExtracted\",\"register\":\"lock\\\"r\",\
+             \"value\":7,\"core\":2,\"blamed\":2}"
         );
     }
 
