@@ -34,7 +34,21 @@
 //!   `flight.jsonl` destination (requires `--sample-every`);
 //! * `--status-out PATH` / `--status-out=PATH` — `status.json`
 //!   heartbeat destination, atomically rewritten and pollable mid-run
-//!   (requires `--sample-every`).
+//!   (requires `--sample-every`);
+//! * `--incremental` — keep warm solver sessions across goals sharing
+//!   an unrolled frame (assumption-based incremental solving plus the
+//!   bitblast cache) — see [`crate::experiments::set_incremental`];
+//! * `--solver-cache-budget N` / `--solver-cache-budget=N` — byte
+//!   budget for the warm-session bitblast cache; least-recently-used
+//!   sessions are evicted beyond it
+//!   (see [`crate::experiments::set_solver_cache_budget`]);
+//! * `--portfolio N` / `--portfolio=N` — race each budgeted
+//!   reachability query across `N` budget profiles (2–4); the
+//!   canonical lowest-index winner keeps reports deterministic
+//!   (see [`crate::experiments::set_portfolio`]);
+//! * `--affinity` — order each guidance round's goal batch by
+//!   KMV-sketch affinity (implies `--introspect`) — see
+//!   [`crate::experiments::set_affinity`].
 
 use crate::pool::split_jobs;
 use std::path::PathBuf;
@@ -68,6 +82,14 @@ pub struct BenchArgs {
     pub flight_out: Option<PathBuf>,
     /// Status heartbeat file from `--status-out`, if any.
     pub status_out: Option<PathBuf>,
+    /// Incremental solving armed via `--incremental`.
+    pub incremental: bool,
+    /// Bitblast-cache byte budget from `--solver-cache-budget`, if any.
+    pub solver_cache_budget: Option<u64>,
+    /// Portfolio width from `--portfolio`, if any.
+    pub portfolio: Option<u32>,
+    /// Affinity-ordered goal batching armed via `--affinity`.
+    pub affinity: bool,
 }
 
 impl BenchArgs {
@@ -94,6 +116,10 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
     let mut sample_every = None;
     let mut flight_out = None;
     let mut status_out = None;
+    let mut incremental = false;
+    let mut solver_cache_budget = None;
+    let mut portfolio = None;
+    let mut affinity = false;
     let mut passthrough = Vec::new();
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -148,6 +174,21 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
             }
         } else if let Some(v) = a.strip_prefix("--status-out=") {
             status_out = Some(PathBuf::from(v));
+        } else if a == "--incremental" {
+            incremental = true;
+        } else if a == "--solver-cache-budget" {
+            solver_cache_budget = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .or(solver_cache_budget);
+        } else if let Some(v) = a.strip_prefix("--solver-cache-budget=") {
+            solver_cache_budget = v.parse().ok().or(solver_cache_budget);
+        } else if a == "--portfolio" {
+            portfolio = args.next().and_then(|v| v.parse().ok()).or(portfolio);
+        } else if let Some(v) = a.strip_prefix("--portfolio=") {
+            portfolio = v.parse().ok().or(portfolio);
+        } else if a == "--affinity" {
+            affinity = true;
         } else {
             passthrough.push(a);
         }
@@ -166,6 +207,10 @@ pub fn split_bench_args<A: Iterator<Item = String>>(args: A) -> BenchArgs {
         sample_every,
         flight_out,
         status_out,
+        incremental,
+        solver_cache_budget,
+        portfolio,
+        affinity,
     }
 }
 
@@ -201,6 +246,21 @@ pub fn parse_bench_args() -> BenchArgs {
             parsed.flight_out.as_deref(),
             parsed.status_out.as_deref(),
         );
+    }
+    if parsed.incremental {
+        crate::experiments::set_incremental(true);
+    }
+    if let Some(bytes) = parsed.solver_cache_budget {
+        crate::experiments::set_solver_cache_budget(bytes);
+    }
+    if let Some(width) = parsed.portfolio {
+        crate::experiments::set_portfolio(width);
+    }
+    if parsed.affinity {
+        // Affinity ordering keys on introspection sketches, so arm
+        // both (the config builder rejects one without the other).
+        crate::experiments::set_affinity(true);
+        crate::experiments::set_introspection(true);
     }
     parsed
 }
@@ -319,6 +379,27 @@ mod tests {
         assert_eq!(c.sample_every, None);
         assert!(c.flight_out.is_none() && c.status_out.is_none());
         assert_eq!(split("--sample-every often").sample_every, None);
+    }
+
+    #[test]
+    fn extracts_incremental_solver_flags() {
+        let a = split("2000 --incremental --solver-cache-budget 4096 --portfolio 3 --affinity");
+        assert_eq!(a.rest, vec!["2000".to_string()]);
+        assert!(a.incremental);
+        assert_eq!(a.solver_cache_budget, Some(4096));
+        assert_eq!(a.portfolio, Some(3));
+        assert!(a.affinity);
+        let b = split("--solver-cache-budget=1048576 --portfolio=2");
+        assert!(!b.incremental && !b.affinity);
+        assert_eq!(b.solver_cache_budget, Some(1_048_576));
+        assert_eq!(b.portfolio, Some(2));
+        // Malformed values fall back to unset.
+        let c = split("--portfolio wide --solver-cache-budget big");
+        assert_eq!(c.portfolio, None);
+        assert_eq!(c.solver_cache_budget, None);
+        let d = split("42");
+        assert!(!d.incremental && !d.affinity);
+        assert!(d.portfolio.is_none() && d.solver_cache_budget.is_none());
     }
 
     #[test]

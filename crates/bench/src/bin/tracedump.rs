@@ -3,7 +3,9 @@
 //! table, the compiled-settle fast-path hit rate (when the trace has
 //! `Metrics` records), the per-goal solver cost table with p50/p90/p99
 //! per-call conflict quantiles (when the trace has `GoalSolveCost`
-//! records from an introspected campaign) and the
+//! records from an introspected campaign), the bitblast-cache hit
+//! rate and per-profile portfolio wins (when the trace has
+//! `SolverCache` records from an incremental campaign) and the
 //! coverage/stagnation/bug timeline.
 //!
 //! Usage: `tracedump <trace.jsonl> [--check] [--json]`
@@ -15,7 +17,8 @@
 
 use std::process::ExitCode;
 use symbfuzz_bench::trace::{
-    goal_cost_table, parse_trace, phase_table, settle_mix_table, timeline, to_json_lines,
+    goal_cost_table, parse_trace, phase_table, settle_mix_table, solver_cache_table, timeline,
+    to_json_lines,
 };
 
 fn main() -> ExitCode {
@@ -71,6 +74,11 @@ fn main() -> ExitCode {
     if !costs.is_empty() {
         println!("## Per-goal solver cost\n");
         println!("{costs}");
+    }
+    let cache = solver_cache_table(&records);
+    if !cache.is_empty() {
+        println!("## Solver cache & portfolio\n");
+        println!("{cache}");
     }
     println!("## Timeline\n");
     print!("{}", timeline(&records));

@@ -14,13 +14,16 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use symbfuzz_core::{
-    CampaignResult, CoverageSample, FuzzConfig, PropertySpec, SettlePolicy, SolverProfileBlock,
-    SolverScopeBlock, Strategy, SymbFuzz,
+    CampaignResult, CoverageSample, FuzzConfig, FuzzConfigBuilder, PortfolioBlock, PropertySpec,
+    SettlePolicy, SolverCacheBlock, SolverProfileBlock, SolverScopeBlock, Strategy, SymbFuzz,
 };
 use symbfuzz_designs::{bug_benchmarks, processor_benchmarks, Benchmark};
-use symbfuzz_netlist::{classify_registers, Design, DesignStats};
+use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::{classify_registers, Design, DesignStats, SignalId};
+use symbfuzz_sim::{Reentry, Simulator};
+use symbfuzz_smt::Budget;
 use symbfuzz_symexec::SymbolicEngine;
-use symbfuzz_telemetry::{Collector, SharedSink};
+use symbfuzz_telemetry::{Collector, SharedSink, SolveStatus};
 
 /// The process-global trace writer, set once by `--trace-out`. All
 /// pool tasks fan into it through [`SharedSink`] (whole lines under a
@@ -117,6 +120,97 @@ pub fn introspection() -> bool {
     INTROSPECTION.get().copied().unwrap_or(false)
 }
 
+/// The process-global incremental-solving switch, set once by
+/// `--incremental`.
+static INCREMENTAL: OnceLock<bool> = OnceLock::new();
+
+/// Arms incremental solving for every subsequent campaign in this
+/// process: goals sharing an unrolled frame reuse one warm solver via
+/// assumption literals, and transition-relation bitblasts are cached
+/// per frame. First call wins; later calls are no-ops. Session reuse
+/// is a pure function of the campaign seed, so reports stay
+/// byte-identical at any `--jobs`.
+pub fn set_incremental(on: bool) {
+    let _ = INCREMENTAL.set(on);
+}
+
+/// Whether incremental solving is armed (off when unset).
+pub fn incremental() -> bool {
+    INCREMENTAL.get().copied().unwrap_or(false)
+}
+
+/// The process-global portfolio width, set once by `--portfolio`.
+static PORTFOLIO: OnceLock<u32> = OnceLock::new();
+
+/// Races every budgeted reachability query of every subsequent
+/// campaign across `width` budget profiles (0 = off, 2..=4 profiles).
+/// First call wins; later calls are no-ops. The canonical
+/// lowest-index-winner rule keeps raced reports byte-identical at any
+/// `--jobs`.
+pub fn set_portfolio(width: u32) {
+    let _ = PORTFOLIO.set(width);
+}
+
+/// The active portfolio width (`None` when unset).
+pub fn portfolio() -> Option<u32> {
+    PORTFOLIO.get().copied()
+}
+
+/// The process-global affinity-ordering switch, set once by
+/// `--affinity`.
+static AFFINITY: OnceLock<bool> = OnceLock::new();
+
+/// Orders each guidance round's goal batch by KMV-sketch affinity so
+/// structurally similar goals hit a warm solver back to back. Implies
+/// solver introspection (the ordering keys on the sketches it
+/// collects). First call wins; later calls are no-ops.
+pub fn set_affinity(on: bool) {
+    let _ = AFFINITY.set(on);
+}
+
+/// Whether affinity-ordered goal batching is armed (off when unset).
+pub fn affinity() -> bool {
+    AFFINITY.get().copied().unwrap_or(false)
+}
+
+/// The process-global bitblast-cache byte budget, set once by
+/// `--solver-cache-budget`.
+static SOLVER_CACHE_BUDGET: OnceLock<u64> = OnceLock::new();
+
+/// Bounds the warm-session bitblast cache of every subsequent
+/// campaign at `bytes` estimated clause bytes; beyond it the
+/// least-recently-used sessions are evicted. First call wins; later
+/// calls are no-ops. Eviction order is a pure function of the
+/// campaign seed, so reports stay byte-identical at any `--jobs`.
+pub fn set_solver_cache_budget(bytes: u64) {
+    let _ = SOLVER_CACHE_BUDGET.set(bytes);
+}
+
+/// The active bitblast-cache budget (`None` when unset — campaigns
+/// use the [`FuzzConfig`] default).
+pub fn solver_cache_budget() -> Option<u64> {
+    SOLVER_CACHE_BUDGET.get().copied()
+}
+
+/// Applies the incremental/portfolio/affinity/cache-budget globals to
+/// a campaign builder — the shared tail of every experiment's config.
+/// `--affinity` forces introspection on, which the builder requires.
+fn apply_solver_knobs(mut b: FuzzConfigBuilder) -> FuzzConfigBuilder {
+    if incremental() {
+        b = b.incremental_solving(true);
+    }
+    if let Some(bytes) = solver_cache_budget() {
+        b = b.solver_cache_budget(bytes);
+    }
+    if let Some(width) = portfolio() {
+        b = b.portfolio(width);
+    }
+    if affinity() {
+        b = b.affinity_ordering(true).solver_introspection(true);
+    }
+    b
+}
+
 /// The process-global flight-recorder interval, set once by
 /// `--sample-every`.
 static SAMPLING: OnceLock<u64> = OnceLock::new();
@@ -191,6 +285,7 @@ fn campaign_config(budget: u64, seed: u64) -> FuzzConfig {
     if introspection() {
         b = b.solver_introspection(true);
     }
+    b = apply_solver_knobs(b);
     b.build().expect("bench campaign config is consistent")
 }
 
@@ -250,8 +345,10 @@ fn run(
     let result = fuzzer.run();
     // One summary record per campaign with the settle-engine mix so
     // `tracedump` can report the fast-path hit rate (no-op when the
-    // collector has no sink, i.e. tracing is off).
+    // collector has no sink, i.e. tracing is off), plus the solver
+    // cache / portfolio summary when those features are armed.
     fuzzer.telemetry().emit_settle_metrics();
+    fuzzer.emit_solver_metrics();
     fuzzer.telemetry().flush();
     result
 }
@@ -633,7 +730,7 @@ pub fn speedup(bench_index: usize, budget: u64, jobs: usize) -> SpeedupResult {
 /// lock at one per-solve conflict ceiling.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BudgetProfileRow {
-    /// DUV name (`hard_factor` or `ibex_like`).
+    /// DUV name (`hard_factor`, `ibex_like` or `goalfabric`).
     pub design: String,
     /// Per-solve conflict ceiling.
     pub solver_budget: u64,
@@ -646,35 +743,60 @@ pub struct BudgetProfileRow {
     pub budget_exhaustions: u64,
     /// Goals skipped because a prior attempt already failed.
     pub neg_cache_hits: u64,
+    /// Transition-relation frames reused from the bitblast cache
+    /// (zero unless `--incremental`).
+    pub bitblast_cache_hits: u64,
+    /// Frames substituted and bitblasted fresh.
+    pub bitblast_cache_misses: u64,
+    /// Warm-session goal-reuse rate in permille.
+    pub session_reuse_milli: u64,
+    /// Portfolio wins per profile index (empty unless `--portfolio`).
+    pub portfolio_wins: Vec<u64>,
     /// Non-zero `SolveStatus` tallies, in schema order.
     pub solve_outcomes: Vec<(String, u64)>,
 }
 
-/// Coverage-vs-budget profile: runs SymbFuzz once per conflict
-/// ceiling in `budgets` on two DUVs, one pool task per campaign. The
-/// deliberately solver-hostile [`symbfuzz_designs::hard_factor`] lock
-/// makes every symbolic goal a 40-bit semiprime factoring instance,
-/// so each of its campaigns demonstrates graceful degradation: the
-/// solver returns unknown, telemetry records `BudgetExhausted`, and
-/// fuzzing continues on random mutation to the full vector budget.
-/// `ibex_like` is the benign control: its dependency equations solve
-/// well inside even the smallest ceiling, showing budgets cost nothing
-/// when the solver succeeds. Seeds are fixed per campaign, so rows
-/// are byte-identical at any `jobs` value.
-pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<BudgetProfileRow> {
+/// The three budget-profile DUVs: the solver-hostile factoring lock,
+/// the benign `ibex_like` control, and the goal-dense
+/// [`symbfuzz_designs::goal_fabric`] (many shallow sibling goals off
+/// one shared multiplier — the incremental-solver A/B fixture).
+fn profile_duvs() -> [(&'static str, Arc<Design>, Vec<PropertySpec>); 3] {
     let hard_props = {
         let (prop, expr) = symbfuzz_designs::HARD_FACTOR_PROPERTY;
         vec![PropertySpec::assertion_only(prop, expr)]
     };
+    let fabric_props = {
+        let (prop, expr) = symbfuzz_designs::GOAL_FABRIC_PROPERTY;
+        vec![PropertySpec::assertion_only(prop, expr)]
+    };
     let ibex = &processor_benchmarks()[0];
-    let duvs: [(&str, Arc<Design>, Vec<PropertySpec>); 2] = [
+    [
         ("hard_factor", symbfuzz_designs::hard_factor(), hard_props),
         (
             ibex.name,
             ibex.design().expect("benchmark elaborates"),
             ibex.property_specs(),
         ),
-    ];
+        ("goalfabric", symbfuzz_designs::goal_fabric(), fabric_props),
+    ]
+}
+
+/// Coverage-vs-budget profile: runs SymbFuzz once per conflict
+/// ceiling in `budgets` on three DUVs, one pool task per campaign.
+/// The deliberately solver-hostile [`symbfuzz_designs::hard_factor`]
+/// lock makes every symbolic goal a 40-bit semiprime factoring
+/// instance, so each of its campaigns demonstrates graceful
+/// degradation: the solver returns unknown, telemetry records
+/// `BudgetExhausted`, and fuzzing continues on random mutation to the
+/// full vector budget. `ibex_like` is the benign control: its
+/// dependency equations solve well inside even the smallest ceiling,
+/// showing budgets cost nothing when the solver succeeds. `goalfabric`
+/// is the goal-dense fixture whose many sibling goals share one
+/// unrolled frame — the design the incremental-solver knobs are
+/// measured on. Seeds are fixed per campaign, so rows are
+/// byte-identical at any `jobs` value.
+pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<BudgetProfileRow> {
+    let duvs = profile_duvs();
     let tasks: Vec<(usize, u64)> = (0..duvs.len())
         .flat_map(|i| budgets.iter().map(move |&b| (i, b)))
         .collect();
@@ -696,12 +818,14 @@ pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<Bud
         if introspection() {
             b = b.solver_introspection(true);
         }
+        b = apply_solver_knobs(b);
         let config = b.build().expect("budget profile config is consistent");
         let mut fuzzer = SymbFuzz::new(Arc::clone(design), Strategy::SymbFuzz, config, props)
             .expect("property compiles");
         attach_telemetry(&mut fuzzer, task);
         attach_flight_outputs(&mut fuzzer, task);
         let r = fuzzer.run();
+        fuzzer.emit_solver_metrics();
         fuzzer.telemetry().flush();
         let counter = |name: &str| {
             r.telemetry
@@ -710,6 +834,7 @@ pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<Bud
                 .find(|(n, _)| n == name)
                 .map_or(0, |(_, v)| *v)
         };
+        let cache = r.solver_cache.unwrap_or_default();
         BudgetProfileRow {
             design: name.to_string(),
             solver_budget: ceiling,
@@ -717,6 +842,13 @@ pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<Bud
             coverage_points: r.coverage_points,
             budget_exhaustions: counter("budget_exhaustions"),
             neg_cache_hits: counter("neg_cache_hits"),
+            bitblast_cache_hits: cache.frame_hits,
+            bitblast_cache_misses: cache.frame_misses,
+            session_reuse_milli: cache.reuse_milli,
+            portfolio_wins: r
+                .portfolio
+                .as_ref()
+                .map_or_else(Vec::new, |p| p.wins.clone()),
             solve_outcomes: r
                 .solve_outcomes
                 .iter()
@@ -732,7 +864,7 @@ pub fn budget_profile(budgets: &[u64], max_vectors: u64, jobs: usize) -> Vec<Bud
 /// profile's per-status tallies for the attribution-rate headline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScopeProfileResult {
-    /// DUV name (`hard_factor` or `ibex_like`).
+    /// DUV name (`hard_factor`, `ibex_like` or `goalfabric`).
     pub design: String,
     /// Per-solve conflict ceiling the campaigns ran under.
     pub solver_budget: u64,
@@ -748,54 +880,50 @@ pub struct ScopeProfileResult {
     pub scope: SolverScopeBlock,
     /// The merged per-goal solver profile (status tallies per goal).
     pub profile: SolverProfileBlock,
+    /// The merged bitblast-cache block (`None` unless `--incremental`
+    /// armed incremental solving for these campaigns).
+    pub solver_cache: Option<SolverCacheBlock>,
+    /// The merged portfolio block (`None` unless `--portfolio` armed
+    /// racing for these campaigns).
+    pub portfolio: Option<PortfolioBlock>,
 }
 
 /// Solver-introspection profile: runs introspected SymbFuzz campaigns
 /// on the solver-hostile `hard_factor` lock (every goal a 40-bit
-/// semiprime factoring instance — exhaustion attribution territory)
-/// and the benign `ibex_like` control (satisfiable goals — affinity
-/// territory), two seeded campaigns per design fanned across the
-/// pool, then merges scope and profile blocks in task order. Seeds
-/// are fixed per campaign, so results are byte-identical at any
-/// `jobs` value.
+/// semiprime factoring instance — exhaustion attribution territory),
+/// the benign `ibex_like` control (satisfiable goals — affinity
+/// territory) and the goal-dense `goalfabric` fixture (sibling goals
+/// sharing one frame — session-reuse territory), two seeded campaigns
+/// per design fanned across the pool, then merges scope, profile,
+/// cache and portfolio blocks in task order. Seeds are fixed per
+/// campaign, so results are byte-identical at any `jobs` value.
 pub fn solverscope_profile(
     max_vectors: u64,
     solver_budget_ceiling: u64,
     jobs: usize,
 ) -> Vec<ScopeProfileResult> {
     const RUNS_PER_DESIGN: usize = 2;
-    let hard_props = {
-        let (prop, expr) = symbfuzz_designs::HARD_FACTOR_PROPERTY;
-        vec![PropertySpec::assertion_only(prop, expr)]
-    };
-    let ibex = &processor_benchmarks()[0];
-    let duvs: [(&str, Arc<Design>, Vec<PropertySpec>); 2] = [
-        ("hard_factor", symbfuzz_designs::hard_factor(), hard_props),
-        (
-            ibex.name,
-            ibex.design().expect("benchmark elaborates"),
-            ibex.property_specs(),
-        ),
-    ];
+    let duvs = profile_duvs();
     let tasks: Vec<(usize, u64)> = (0..duvs.len())
         .flat_map(|i| (0..RUNS_PER_DESIGN as u64).map(move |r| (i, r)))
         .collect();
     let results = run_pool(&tasks, jobs, |task, &(i, r)| {
         let (_, design, props) = &duvs[i];
-        let config = FuzzConfig::builder()
+        let mut b = FuzzConfig::builder()
             .interval(100)
             .threshold(1)
             .max_vectors(max_vectors)
             .seed(0xB0D6E7 + r * 7919)
             .solver_budget(solver_budget_ceiling)
             .escalation_cap(1)
-            .solver_introspection(true)
-            .build()
-            .expect("scope profile config is consistent");
+            .solver_introspection(true);
+        b = apply_solver_knobs(b);
+        let config = b.build().expect("scope profile config is consistent");
         let mut fuzzer = SymbFuzz::new(Arc::clone(design), Strategy::SymbFuzz, config, props)
             .expect("property compiles");
         attach_telemetry(&mut fuzzer, task);
         let result = fuzzer.run();
+        fuzzer.emit_solver_metrics();
         fuzzer.telemetry().flush();
         result
     });
@@ -808,6 +936,10 @@ pub fn solverscope_profile(
                     .unwrap_or_default();
             let profile =
                 crate::pool::merge_solver_profiles(slice.iter().map(|r| &r.solver_profile));
+            let solver_cache =
+                crate::pool::merge_solver_caches(slice.iter().map(|r| r.solver_cache.as_ref()));
+            let portfolio =
+                crate::pool::merge_portfolios(slice.iter().map(|r| r.portfolio.as_ref()));
             // Join: a goal counts as exhausted when any attempt hit the
             // budget ceiling; it counts as attributed when its scope
             // row carries a non-empty blame set.
@@ -833,9 +965,244 @@ pub fn solverscope_profile(
                 mean_adjacent_affinity_milli: scope.mean_adjacent_affinity_milli,
                 scope,
                 profile,
+                solver_cache,
+                portfolio,
             }
         })
         .collect()
+}
+
+/// One per-goal A/B row of the incremental-solver experiment: the
+/// CDCL conflicts a goal cost per verdict under a cold solver versus
+/// the warm cached session, joined on `(register, value)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverCacheRow {
+    /// Target register name.
+    pub register: String,
+    /// Target value.
+    pub value: u64,
+    /// Cumulative conflicts in the baseline (cold-solver) arm.
+    pub cold_conflicts: u64,
+    /// Cumulative conflicts in the incremental arm.
+    pub warm_conflicts: u64,
+    /// Verdicts (sat + unsat) the baseline arm reached.
+    pub cold_verdicts: u64,
+    /// Verdicts the incremental arm reached.
+    pub warm_verdicts: u64,
+    /// Smoothed cold/warm conflicts-per-verdict ratio in milli
+    /// (`(cold_cpv + 1) / (warm_cpv + 1) × 1000`; > 1000 means the
+    /// warm session was cheaper).
+    pub ratio_milli: u64,
+}
+
+/// One design's incremental-solver A/B result: the same deterministic
+/// goal sweep solved twice — cold solver per query versus warm
+/// incremental sessions + bitblast cache — per-goal conflict ratios,
+/// and the geomean headline the PR's acceptance bar keys on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverCacheResult {
+    /// DUV name (`goalfabric` or `ibex_like`).
+    pub design: String,
+    /// Per-query conflict ceiling both arms ran under.
+    pub solver_budget: u64,
+    /// Per-goal A/B rows (goals with a verdict in both arms), in
+    /// sweep order.
+    pub goals: Vec<SolverCacheRow>,
+    /// Baseline conflicts per verdict across all joined goals, milli.
+    pub cold_conflicts_per_verdict_milli: u64,
+    /// Incremental conflicts per verdict across all joined goals, milli.
+    pub warm_conflicts_per_verdict_milli: u64,
+    /// Geometric mean of the per-goal smoothed ratios, in milli
+    /// (≥ 2000 = the ≥ 2× reduction the acceptance bar requires).
+    pub geomean_conflict_ratio_milli: u64,
+    /// The warm arm's bitblast-cache block.
+    pub cache: SolverCacheBlock,
+    /// Reserved: the fixed sweep never races budget profiles (that
+    /// would change the conflict accounting under test), so this stays
+    /// `None`; campaign-level portfolio wins are reported by
+    /// `solverscope` and the budget table instead.
+    pub portfolio: Option<PortfolioBlock>,
+}
+
+/// Runs one design's cold-vs-warm sweep: the identical query sequence
+/// against a fresh-per-query engine and a cache-armed engine.
+fn sweep_solver_ab(
+    name: &str,
+    design: &Arc<Design>,
+    stimulus_cycles: u64,
+    ceiling: u64,
+) -> SolverCacheResult {
+    /// Depth ceiling of every query's geometric unroll schedule.
+    const SWEEP_DEPTH: u32 = 4;
+    // Start states: post-reset, plus a snapshot after a burst of
+    // deterministic pseudo-random stimulus — deduped on the *register
+    // projection* (the only part of a state the solver sees), because
+    // random words never advance the fabric's lanes, and re-posing a
+    // query from a register-identical state would hand the warm arm a
+    // free assumption re-check for a goal no campaign would re-pose
+    // (a reached value is no longer unseen).
+    let reg_projection = |state: &[LogicVec]| -> Vec<LogicVec> {
+        design
+            .signals
+            .iter()
+            .zip(state.iter())
+            .filter(|(s, _)| s.is_register)
+            .map(|(_, v)| v.clone())
+            .collect()
+    };
+    let mut sim = Simulator::new(Arc::clone(design));
+    sim.reenter(Reentry::FullReset { cycles: 1 });
+    let mut states: Vec<Vec<LogicVec>> = vec![sim.values().to_vec()];
+    let width = design.fuzz_width();
+    let mut lcg = 0xCAC4E5EEDu64;
+    for _ in 0..stimulus_cycles.min(32) {
+        let mut word = LogicVec::zeros(0);
+        let mut remaining = width;
+        while remaining > 0 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let take = remaining.min(64);
+            word = LogicVec::concat(&LogicVec::from_u64(take, lcg), &word);
+            remaining -= take;
+        }
+        sim.apply_input_word(&word);
+        sim.step();
+    }
+    let advanced = sim.values().to_vec();
+    if reg_projection(&advanced) != reg_projection(&states[0]) {
+        states.push(advanced);
+    }
+    // Goals: every control register × the values 1..=3 that fit its
+    // width, register-major — sibling values of one register batch
+    // consecutively, exactly how a guidance round poses them.
+    let rc = classify_registers(design);
+    let mut goals: Vec<(SignalId, u64)> = Vec::new();
+    for &reg in &rc.control {
+        let w = design.signal(reg).width;
+        for v in 1..=3u64 {
+            if w >= 64 || v < (1u64 << w) {
+                goals.push((reg, v));
+            }
+        }
+    }
+    let budget = Budget::unlimited().with_conflicts(ceiling);
+    let cold = SymbolicEngine::new(Arc::clone(design));
+    let mut warm = SymbolicEngine::new(Arc::clone(design));
+    warm.set_solver_cache(Some(solver_cache_budget().unwrap_or(16 << 20)));
+
+    let mut tallies: Vec<(u64, u64, u64, u64)> = vec![(0, 0, 0, 0); goals.len()];
+    for state in &states {
+        for (k, &(reg, value)) in goals.iter().enumerate() {
+            let w = design.signal(reg).width;
+            let tgt = [(reg, LogicVec::from_u64(w, value))];
+            let Ok((oc, sc)) = cold.solve_reach_profiled(state, &tgt, SWEEP_DEPTH, &budget) else {
+                continue;
+            };
+            let Ok((ow, sw)) = warm.solve_reach_profiled(state, &tgt, SWEEP_DEPTH, &budget) else {
+                continue;
+            };
+            let t = &mut tallies[k];
+            t.0 += sc.spent.conflicts;
+            t.1 += sw.spent.conflicts;
+            t.2 += u64::from(matches!(oc.status(), SolveStatus::Sat | SolveStatus::Unsat));
+            t.3 += u64::from(matches!(ow.status(), SolveStatus::Sat | SolveStatus::Unsat));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (k, &(reg, value)) in goals.iter().enumerate() {
+        let (cold_conflicts, warm_conflicts, cold_verdicts, warm_verdicts) = tallies[k];
+        if cold_verdicts == 0 || warm_verdicts == 0 {
+            continue;
+        }
+        let cold_cpv = cold_conflicts as f64 / cold_verdicts as f64;
+        let warm_cpv = warm_conflicts as f64 / warm_verdicts as f64;
+        let ratio = (cold_cpv + 1.0) / (warm_cpv + 1.0);
+        rows.push(SolverCacheRow {
+            register: design.signal(reg).name.clone(),
+            value,
+            cold_conflicts,
+            warm_conflicts,
+            cold_verdicts,
+            warm_verdicts,
+            ratio_milli: (ratio * 1000.0).round() as u64,
+        });
+    }
+    let cpv_milli = |pick: fn(&SolverCacheRow) -> (u64, u64)| {
+        let (conflicts, verdicts) = rows.iter().fold((0u64, 0u64), |(c, v), g| {
+            let (gc, gv) = pick(g);
+            (c + gc, v + gv)
+        });
+        (conflicts * 1000).checked_div(verdicts).unwrap_or(0)
+    };
+    let geomean = if rows.is_empty() {
+        1000
+    } else {
+        let sum_ln: f64 = rows
+            .iter()
+            .map(|g| (g.ratio_milli.max(1) as f64 / 1000.0).ln())
+            .sum();
+        ((sum_ln / rows.len() as f64).exp() * 1000.0).round() as u64
+    };
+    let stats = warm.cache_stats();
+    SolverCacheResult {
+        design: name.to_string(),
+        solver_budget: ceiling,
+        cold_conflicts_per_verdict_milli: cpv_milli(|g| (g.cold_conflicts, g.cold_verdicts)),
+        warm_conflicts_per_verdict_milli: cpv_milli(|g| (g.warm_conflicts, g.warm_verdicts)),
+        geomean_conflict_ratio_milli: geomean,
+        goals: rows,
+        cache: SolverCacheBlock {
+            frame_hits: stats.frame_hits,
+            frame_misses: stats.frame_misses,
+            evictions: stats.evictions,
+            goals: stats.goals,
+            reused_goals: stats.reused_goals,
+            reuse_milli: (stats.reused_goals * 1000)
+                .checked_div(stats.goals)
+                .unwrap_or(0),
+        },
+        portfolio: None,
+    }
+}
+
+/// Incremental-solver A/B: poses the *identical* deterministic query
+/// sequence twice per DUV — once against a baseline engine that
+/// bit-blasts every exact-depth check from scratch, once against an
+/// engine with incremental [`SolverSession`](symbfuzz_smt::SolverSession)s
+/// and the byte-budgeted bitblast cache armed — and reports per-goal
+/// conflicts-to-verdict ratios joined on `(register, value)`.
+///
+/// A campaign-level A/B cannot isolate the solver layer: warm sessions
+/// legitimately return *different models* (same verdicts), so the two
+/// campaigns inject different stimulus and diverge onto incomparable
+/// goal sequences after the first solve. Holding the query script
+/// fixed makes the solver the only variable. The script itself is
+/// shaped like a guidance round — all sibling values of each control
+/// register, batched register-major from a reachable state — and
+/// never repeats an exact `(state, goal)` query, since the fuzzer's
+/// negative cache would deduplicate those (a repeat would hand the
+/// warm arm a free assumption re-check).
+///
+/// The DUVs are the goal-dense `goalfabric` (nested per-lane goals off
+/// one shared multiplier — where warm sessions pay off) and the benign
+/// `ibex_like` control (near-propagation goals — where session
+/// overhead shows up honestly). `max_vectors` bounds the stimulus
+/// burst that samples the second start state. Everything is
+/// deterministic, so results are byte-identical at any `jobs` value.
+pub fn solvercache_profile(
+    max_vectors: u64,
+    solver_budget_ceiling: u64,
+    jobs: usize,
+) -> Vec<SolverCacheResult> {
+    let duvs = profile_duvs();
+    // duvs[2] = goalfabric, duvs[1] = ibex_like.
+    let picks = [2usize, 1];
+    run_pool(&picks, jobs, |_task, &i| {
+        let (name, design, _) = &duvs[i];
+        sweep_solver_ab(name, design, max_vectors, solver_budget_ceiling)
+    })
 }
 
 /// §5.2 resource profile: per-strategy resource stats on one
@@ -940,7 +1307,7 @@ mod tests {
         let wide = serde_json::to_string(&budget_profile(&[10_000], 400, 4)).unwrap();
         assert_eq!(serial, wide);
         let rows: Vec<BudgetProfileRow> = serde_json::from_str(&serial).unwrap();
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 3);
         let r = rows.iter().find(|r| r.design == "hard_factor").unwrap();
         assert_eq!(r.vectors, 400, "campaign must run to its full budget");
         assert!(r.budget_exhaustions >= 1, "no solve hit the ceiling: {r:?}");
@@ -967,7 +1334,7 @@ mod tests {
         let wide = serde_json::to_string(&solverscope_profile(400, 500, 4)).unwrap();
         assert_eq!(serial, wide);
         let rows: Vec<ScopeProfileResult> = serde_json::from_str(&serial).unwrap();
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 3);
         let hard = rows.iter().find(|r| r.design == "hard_factor").unwrap();
         assert!(
             hard.exhausted_goals >= 1,
@@ -996,6 +1363,35 @@ mod tests {
         );
         for g in &ibex.scope.goals {
             assert!(!g.sketch.is_empty(), "goal {} has no sketch", g.register);
+        }
+    }
+
+    /// The incremental-solver acceptance scenario: the A/B joins at
+    /// least one verdict-reaching goal per DUV, the warm arm reuses
+    /// sessions on the goal-dense fabric, and the report is
+    /// byte-identical at any `--jobs`.
+    #[test]
+    fn solvercache_profile_joins_goals_and_is_deterministic_across_jobs() {
+        let serial = serde_json::to_string(&solvercache_profile(400, 20_000, 1)).unwrap();
+        let wide = serde_json::to_string(&solvercache_profile(400, 20_000, 4)).unwrap();
+        assert_eq!(serial, wide);
+        let rows: Vec<SolverCacheResult> = serde_json::from_str(&serial).unwrap();
+        assert_eq!(rows.len(), 2);
+        let fabric = rows.iter().find(|r| r.design == "goalfabric").unwrap();
+        assert!(!fabric.goals.is_empty(), "no joined goals: {fabric:?}");
+        assert!(
+            fabric.cache.goals > 0,
+            "warm arm issued no cached checks: {:?}",
+            fabric.cache
+        );
+        assert!(
+            fabric.cache.reused_goals > 0,
+            "warm arm never reused a session: {:?}",
+            fabric.cache
+        );
+        for g in &fabric.goals {
+            assert!(g.cold_verdicts > 0 && g.warm_verdicts > 0, "{g:?}");
+            assert!(g.ratio_milli > 0, "{g:?}");
         }
     }
 

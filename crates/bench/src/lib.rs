@@ -30,9 +30,11 @@
 //! `--trace-out PATH` (stream a wall-clock JSONL campaign trace, see
 //! [`trace`]), `--solver-budget N` (per-solve conflict ceiling with
 //! graceful degradation to random mutation), `--solve-wall-ms N`
-//! (per-solve wall-clock ceiling; non-deterministic), and the flight
+//! (per-solve wall-clock ceiling; non-deterministic), the flight
 //! recorder's `--sample-every N` / `--flight-out PATH` /
-//! `--status-out PATH` (see [`monitor`]); all are handled by
+//! `--status-out PATH` (see [`monitor`]), and the incremental-solver
+//! knobs `--incremental` / `--solver-cache-budget BYTES` /
+//! `--portfolio N` / `--affinity`; all are handled by
 //! [`args::parse_bench_args`].
 //!
 //! # Examples
@@ -61,22 +63,26 @@ pub use covreport::{
     COVREPORT_VERSION,
 };
 pub use experiments::{
-    budget_profile, coverage_race, detection_matrix, enable_tracing, flush_trace, introspection,
-    sampling, set_introspection, set_sampling, set_solver_budget, solverscope_profile, table1_rows,
-    table3_rows, tracing_enabled, variance_profile, BudgetProfileRow, DetectionRow, RaceResult,
-    ScopeProfileResult, Table1Row, Table3Row, VariancePoint,
+    affinity, budget_profile, coverage_race, detection_matrix, enable_tracing, flush_trace,
+    incremental, introspection, portfolio, sampling, set_affinity, set_incremental,
+    set_introspection, set_portfolio, set_sampling, set_solver_budget, set_solver_cache_budget,
+    solver_cache_budget, solvercache_profile, solverscope_profile, table1_rows, table3_rows,
+    tracing_enabled, variance_profile, BudgetProfileRow, DetectionRow, RaceResult,
+    ScopeProfileResult, SolverCacheResult, SolverCacheRow, Table1Row, Table3Row, VariancePoint,
 };
 pub use monitor::{
     check_flight, check_status, parse_prometheus, render_dashboard, render_prometheus,
 };
 pub use pool::{
-    default_jobs, merge_covmap_counts, merge_flight_rows, merge_solver_profiles,
-    merge_solver_scopes, merge_telemetry, merge_vm_profiles, parse_jobs, run_pool,
+    default_jobs, merge_covmap_counts, merge_flight_rows, merge_portfolios, merge_solver_caches,
+    merge_solver_profiles, merge_solver_scopes, merge_telemetry, merge_vm_profiles, parse_jobs,
+    run_pool,
 };
 pub use solverscope::{
     build_scope_report, conflict_quantiles, render_scope_html, render_scope_markdown,
     validate_bench_artifact, validate_scope_report, ScopeReport, SCOPEREPORT_VERSION,
 };
 pub use trace::{
-    goal_cost_table, parse_line, parse_trace, phase_table, timeline, to_json_lines, TraceRecord,
+    goal_cost_table, parse_line, parse_trace, phase_table, solver_cache_table, timeline,
+    to_json_lines, TraceRecord,
 };

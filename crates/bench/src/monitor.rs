@@ -493,6 +493,7 @@ mod tests {
             .seed(7)
             .sample_every(500)
             .solver_introspection(true)
+            .incremental_solving(true)
             .build()
             .unwrap();
         let mut fuzzer = SymbFuzz::new(d, Strategy::SymbFuzz, cfg, &[]).unwrap();
@@ -544,6 +545,12 @@ mod tests {
         value("symbfuzz_learned_clauses_total");
         value("symbfuzz_core_extractions_total");
         value("symbfuzz_gauge_mean_affinity_milli");
+        // So are the incremental-solver taxonomy additions (the
+        // campaign above runs with `incremental_solving` on).
+        value("symbfuzz_bitblast_cache_hits_total");
+        value("symbfuzz_bitblast_cache_misses_total");
+        value("symbfuzz_portfolio_races_won_total");
+        value("symbfuzz_gauge_solver_session_reuse_milli");
         // Every cumulative counter in the heartbeat survives the
         // render → parse round trip with its value intact.
         for (name, v) in pairs_of(&status, "counters") {

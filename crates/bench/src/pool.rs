@@ -12,8 +12,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use symbfuzz_core::{
-    CovMap, FlightRow, SolverProfileBlock, SolverScopeBlock, TelemetryBlock, VmProfileBlock,
-    SOLVERSCOPE_VERSION,
+    CovMap, FlightRow, PortfolioBlock, SolverCacheBlock, SolverProfileBlock, SolverScopeBlock,
+    TelemetryBlock, VmProfileBlock, SOLVERSCOPE_VERSION,
 };
 use symbfuzz_telemetry::{merge_flight, FlightSample, Mechanism, MetricsSnapshot};
 
@@ -284,6 +284,48 @@ where
     acc
 }
 
+/// Merges per-task bitblast-cache blocks: all tallies sum, then the
+/// session-reuse rate is recomputed from the merged totals (a mean of
+/// per-task permille rates would weight idle campaigns equally with
+/// busy ones). `None` inputs (campaigns run without
+/// `incremental_solving`) contribute nothing; the merge is `None`
+/// only when every input is.
+pub fn merge_solver_caches<'a, I>(blocks: I) -> Option<SolverCacheBlock>
+where
+    I: IntoIterator<Item = Option<&'a SolverCacheBlock>>,
+{
+    let mut acc: Option<SolverCacheBlock> = None;
+    for b in blocks.into_iter().flatten() {
+        let acc = acc.get_or_insert_with(SolverCacheBlock::default);
+        acc.frame_hits += b.frame_hits;
+        acc.frame_misses += b.frame_misses;
+        acc.evictions += b.evictions;
+        acc.goals += b.goals;
+        acc.reused_goals += b.reused_goals;
+    }
+    if let Some(acc) = &mut acc {
+        acc.reuse_milli = (acc.reused_goals * 1000)
+            .checked_div(acc.goals)
+            .unwrap_or(0);
+    }
+    acc
+}
+
+/// Merges per-task portfolio blocks (races and per-profile wins sum,
+/// width keeps the maximum — see [`PortfolioBlock::merge`]). `None`
+/// inputs (campaigns run without racing) contribute nothing; the
+/// merge is `None` only when every input is.
+pub fn merge_portfolios<'a, I>(blocks: I) -> Option<PortfolioBlock>
+where
+    I: IntoIterator<Item = Option<&'a PortfolioBlock>>,
+{
+    let mut acc: Option<PortfolioBlock> = None;
+    for b in blocks.into_iter().flatten() {
+        acc.get_or_insert_with(PortfolioBlock::default).merge(b);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +361,55 @@ mod tests {
         assert!(run_pool(&empty, 8, |_, &x| x).is_empty());
         let one = [7u8];
         assert_eq!(run_pool(&one, 64, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn solver_caches_merge_and_recompute_reuse() {
+        let a = SolverCacheBlock {
+            frame_hits: 6,
+            frame_misses: 2,
+            evictions: 1,
+            goals: 10,
+            reused_goals: 8,
+            reuse_milli: 800,
+        };
+        let b = SolverCacheBlock {
+            frame_hits: 0,
+            frame_misses: 2,
+            evictions: 0,
+            goals: 10,
+            reused_goals: 0,
+            reuse_milli: 0,
+        };
+        let merged = merge_solver_caches([Some(&a), None, Some(&b)]).unwrap();
+        assert_eq!(merged.frame_hits, 6);
+        assert_eq!(merged.frame_misses, 4);
+        assert_eq!(merged.evictions, 1);
+        assert_eq!(merged.goals, 20);
+        // Recomputed from the merged totals (8/20), not averaged
+        // per-task (which would read 400 here too — but only by luck;
+        // an idle task must not drag the pooled rate down).
+        assert_eq!(merged.reuse_milli, 400);
+        assert!(merge_solver_caches([None, None]).is_none());
+    }
+
+    #[test]
+    fn portfolios_merge_by_profile_index() {
+        let a = PortfolioBlock {
+            width: 2,
+            races: 3,
+            wins: vec![2, 1],
+        };
+        let b = PortfolioBlock {
+            width: 3,
+            races: 4,
+            wins: vec![1, 0, 3],
+        };
+        let merged = merge_portfolios([Some(&a), Some(&b), None]).unwrap();
+        assert_eq!(merged.width, 3);
+        assert_eq!(merged.races, 7);
+        assert_eq!(merged.wins, vec![3, 1, 3]);
+        assert!(merge_portfolios([None]).is_none());
     }
 
     #[test]

@@ -111,7 +111,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 pub fn render_budget_profile(rows: &[BudgetProfileRow]) -> String {
     let mut out = String::from(
         "| design | conflict budget | vectors | coverage | exhaustions | \
-         neg-cache hits | outcomes |\n|---|---|---|---|---|---|---|\n",
+         neg-cache hits | cache h/m | reuse | portfolio wins | outcomes |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n",
     );
     for r in rows {
         let outcomes = r
@@ -120,8 +121,27 @@ pub fn render_budget_profile(rows: &[BudgetProfileRow]) -> String {
             .map(|(s, n)| format!("{s}:{n}"))
             .collect::<Vec<_>>()
             .join(" ");
+        let cache_total = r.bitblast_cache_hits + r.bitblast_cache_misses;
+        let (cache, reuse) = if cache_total == 0 {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (
+                format!("{}/{}", r.bitblast_cache_hits, r.bitblast_cache_misses),
+                format!("{:.3}", r.session_reuse_milli as f64 / 1000.0),
+            )
+        };
+        let wins = if r.portfolio_wins.is_empty() {
+            "-".to_string()
+        } else {
+            r.portfolio_wins
+                .iter()
+                .enumerate()
+                .map(|(i, w)| format!("P{i}:{w}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {cache} | {reuse} | {wins} | {} |\n",
             r.design,
             r.solver_budget,
             r.vectors,
@@ -130,6 +150,57 @@ pub fn render_budget_profile(rows: &[BudgetProfileRow]) -> String {
             r.neg_cache_hits,
             outcomes
         ));
+    }
+    out
+}
+
+/// Renders the incremental-solver A/B as Markdown: the geomean
+/// conflicts-to-verdict headline per design plus the hardest joined
+/// goals.
+pub fn render_solvercache_profile(rows: &[SolverCacheResult]) -> String {
+    let mut out = String::from(
+        "| design | goals | cold confl/verdict | warm confl/verdict | geomean ratio | \
+         cache h/m | reuse | portfolio wins |\n|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let wins = match &r.portfolio {
+            Some(p) => p
+                .wins
+                .iter()
+                .enumerate()
+                .map(|(i, w)| format!("P{i}:{w}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | {:.3}× | {}/{} | {:.3} | {wins} |\n",
+            r.design,
+            r.goals.len(),
+            r.cold_conflicts_per_verdict_milli as f64 / 1000.0,
+            r.warm_conflicts_per_verdict_milli as f64 / 1000.0,
+            r.geomean_conflict_ratio_milli as f64 / 1000.0,
+            r.cache.frame_hits,
+            r.cache.frame_misses,
+            r.cache.reuse_milli as f64 / 1000.0,
+        ));
+    }
+    out.push('\n');
+    for r in rows {
+        for g in r.goals.iter().take(3) {
+            out.push_str(&format!(
+                "* {}: `{}` = {} — {} conflicts over {} verdicts cold vs {} over {} warm \
+                 ({:.3}× cheaper)\n",
+                r.design,
+                g.register,
+                g.value,
+                g.cold_conflicts,
+                g.cold_verdicts,
+                g.warm_conflicts,
+                g.warm_verdicts,
+                g.ratio_milli as f64 / 1000.0,
+            ));
+        }
     }
     out
 }
@@ -310,6 +381,57 @@ mod tests {
         let csv = render_fig4a_csv(&race);
         assert_eq!(csv.lines().next(), Some("vectors,A,B"));
         assert_eq!(csv.lines().nth(1), Some("10,5,7"));
+    }
+
+    #[test]
+    fn budget_and_solvercache_renderers_show_cache_columns() {
+        let row = BudgetProfileRow {
+            design: "goalfabric".into(),
+            solver_budget: 500,
+            vectors: 400,
+            coverage_points: 30,
+            budget_exhaustions: 0,
+            neg_cache_hits: 1,
+            bitblast_cache_hits: 9,
+            bitblast_cache_misses: 3,
+            session_reuse_milli: 750,
+            portfolio_wins: vec![2, 1],
+            solve_outcomes: vec![("sat".into(), 4)],
+        };
+        let md = render_budget_profile(&[row]);
+        assert!(md.contains("| 9/3 | 0.750 | P0:2 P1:1 |"), "{md}");
+
+        let ab = SolverCacheResult {
+            design: "goalfabric".into(),
+            solver_budget: 500,
+            goals: vec![SolverCacheRow {
+                register: "l0".into(),
+                value: 1,
+                cold_conflicts: 60,
+                warm_conflicts: 10,
+                cold_verdicts: 2,
+                warm_verdicts: 2,
+                ratio_milli: 5167,
+            }],
+            cold_conflicts_per_verdict_milli: 30_000,
+            warm_conflicts_per_verdict_milli: 5_000,
+            geomean_conflict_ratio_milli: 5167,
+            cache: symbfuzz_core::SolverCacheBlock {
+                frame_hits: 9,
+                frame_misses: 3,
+                evictions: 0,
+                goals: 12,
+                reused_goals: 9,
+                reuse_milli: 750,
+            },
+            portfolio: None,
+        };
+        let md = render_solvercache_profile(&[ab]);
+        assert!(
+            md.contains("| 30.000 | 5.000 | 5.167× | 9/3 | 0.750 | - |"),
+            "{md}"
+        );
+        assert!(md.contains("`l0` = 1"), "{md}");
     }
 
     #[test]

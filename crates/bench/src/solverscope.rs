@@ -18,8 +18,9 @@ use serde::{Deserialize, Serialize, Value};
 use symbfuzz_core::{ScopeGoalRow, SOLVERSCOPE_VERSION};
 use symbfuzz_smt::{trace_hist_quantile, TRACE_HIST_BUCKETS};
 
-/// Version stamp of the report schema.
-pub const SCOPEREPORT_VERSION: u32 = 1;
+/// Version stamp of the report schema (v2 added the per-design
+/// `solver_cache` and `portfolio` blocks).
+pub const SCOPEREPORT_VERSION: u32 = 2;
 
 /// The joined solver-introspection report (versioned JSON).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,7 +32,8 @@ pub struct ScopeReport {
     /// Per-solve conflict ceiling the campaigns ran under.
     pub solver_budget: u64,
     /// One entry per DUV, in [`crate::experiments::solverscope_profile`]
-    /// order (`hard_factor` first, then the processor control).
+    /// order (`hard_factor` first, then the processor control, then
+    /// the goal-dense fabric).
     pub designs: Vec<ScopeProfileResult>,
 }
 
@@ -156,6 +158,36 @@ pub fn validate_scope_report(text: &str) -> Result<ScopeReport, String> {
                 return Err(format!("{what}: conflict depth without conflicts"));
             }
         }
+        if let Some(c) = &d.solver_cache {
+            if c.reused_goals > c.goals {
+                return Err(format!(
+                    "design `{}`: {} reused of {} cached goals",
+                    d.design, c.reused_goals, c.goals
+                ));
+            }
+            if c.reuse_milli > 1000 {
+                return Err(format!(
+                    "design `{}`: session reuse {} exceeds 1000 milli",
+                    d.design, c.reuse_milli
+                ));
+            }
+        }
+        if let Some(p) = &d.portfolio {
+            if p.wins.len() != p.width as usize {
+                return Err(format!(
+                    "design `{}`: {} win tallies for portfolio width {}",
+                    d.design,
+                    p.wins.len(),
+                    p.width
+                ));
+            }
+            if p.wins.iter().sum::<u64>() > p.races {
+                return Err(format!(
+                    "design `{}`: more portfolio wins than races",
+                    d.design
+                ));
+            }
+        }
     }
     Ok(r)
 }
@@ -229,6 +261,25 @@ pub fn validate_bench_artifact(stem: &str, text: &str) -> Result<(), String> {
             for row in check_rows(&v, stem)? {
                 field(row, "design", stem)?;
                 finite_num(field(row, "solver_budget", stem)?, stem)?;
+            }
+        }
+        "BENCH_solvercache" => {
+            for row in check_rows(&v, stem)? {
+                field(row, "design", stem)?;
+                let g = finite_num(field(row, "geomean_conflict_ratio_milli", stem)?, stem)?;
+                if g <= 0.0 {
+                    return Err(format!("{stem}: non-positive geomean ratio {g}"));
+                }
+                for goal in match field(row, "goals", stem)? {
+                    Value::Array(goals) => goals.as_slice(),
+                    _ => return Err(format!("{stem}: `goals` is not an array")),
+                } {
+                    field(goal, "register", stem)?;
+                    let r = finite_num(field(goal, "ratio_milli", stem)?, stem)?;
+                    if r <= 0.0 {
+                        return Err(format!("{stem}: non-positive goal ratio {r}"));
+                    }
+                }
             }
         }
         "BENCH_sim" => {
@@ -446,6 +497,33 @@ pub fn render_scope_html(r: &ScopeReport) -> String {
             d.exhausted_goals,
             d.mean_adjacent_affinity_milli as f64 / 1000.0
         ));
+        if let Some(c) = &d.solver_cache {
+            out.push_str(&format!(
+                "<p>Bitblast cache: {} frame hits / {} misses \
+                 ({:.1}% hit rate), {} evictions; {} of {} goal checks \
+                 answered on a warm session ({:.1}% reuse).</p>\n",
+                c.frame_hits,
+                c.frame_misses,
+                c.hit_rate_milli() as f64 / 10.0,
+                c.evictions,
+                c.reused_goals,
+                c.goals,
+                c.reuse_milli as f64 / 10.0
+            ));
+        }
+        if let Some(p) = &d.portfolio {
+            let wins = p
+                .wins
+                .iter()
+                .enumerate()
+                .map(|(i, w)| format!("P{i}: {w}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "<p>Portfolio: {} races across {} budget profiles — wins {wins}.</p>\n",
+                p.races, p.width
+            ));
+        }
 
         // Cost ranking: profile rows are already hardest-first; join
         // each with its scope row for quantiles and depth stats.
@@ -554,13 +632,30 @@ pub fn render_scope_html(r: &ScopeReport) -> String {
 pub fn render_scope_markdown(r: &ScopeReport) -> String {
     let mut out = format!(
         "# Solver introspection — {} vectors, conflict ceiling {}\n\n\
-         | design | campaigns | goals | exhausted | blamed | affinity |\n\
-         |---|---|---|---|---|---|\n",
+         | design | campaigns | goals | exhausted | blamed | affinity | cache hit | reuse | portfolio wins |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
         r.max_vectors, r.solver_budget
     );
     for d in &r.designs {
+        let (hit, reuse) = match &d.solver_cache {
+            Some(c) => (
+                format!("{:.1}%", c.hit_rate_milli() as f64 / 10.0),
+                format!("{:.3}", c.reuse_milli as f64 / 1000.0),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let wins = match &d.portfolio {
+            Some(p) => p
+                .wins
+                .iter()
+                .enumerate()
+                .map(|(i, w)| format!("P{i}:{w}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            None => "-".to_string(),
+        };
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {:.3} |\n",
+            "| {} | {} | {} | {} | {} | {:.3} | {hit} | {reuse} | {wins} |\n",
             d.design,
             d.campaigns,
             d.scope.goals.len(),
@@ -669,6 +764,19 @@ mod tests {
                 mean_adjacent_affinity_milli: mean,
                 scope,
                 profile,
+                solver_cache: Some(symbfuzz_core::SolverCacheBlock {
+                    frame_hits: 6,
+                    frame_misses: 2,
+                    evictions: 1,
+                    goals: 10,
+                    reused_goals: 8,
+                    reuse_milli: 800,
+                }),
+                portfolio: Some(symbfuzz_core::PortfolioBlock {
+                    width: 2,
+                    races: 5,
+                    wins: vec![3, 2],
+                }),
             }],
         }
     }
@@ -716,6 +824,27 @@ mod tests {
         assert!(validate_scope_report(&json)
             .unwrap_err()
             .contains("buckets"));
+
+        // v2 additions: cache reuse and portfolio tallies must be
+        // internally consistent.
+        let mut r = tiny_report();
+        r.designs[0].solver_cache.as_mut().unwrap().reused_goals = 99;
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(validate_scope_report(&json).unwrap_err().contains("reused"));
+
+        let mut r = tiny_report();
+        r.designs[0].portfolio.as_mut().unwrap().wins = vec![3];
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(validate_scope_report(&json)
+            .unwrap_err()
+            .contains("win tallies"));
+
+        let mut r = tiny_report();
+        r.designs[0].portfolio.as_mut().unwrap().wins = vec![9, 9];
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(validate_scope_report(&json)
+            .unwrap_err()
+            .contains("more portfolio wins"));
     }
 
     #[test]
@@ -742,7 +871,12 @@ mod tests {
     #[test]
     fn markdown_summarises_attribution() {
         let md = render_scope_markdown(&tiny_report());
-        assert!(md.contains("| hard_factor | 2 | 2 | 1 | 1 |"));
+        // 6/8 frame hits = 75.0 %, 800 milli reuse, portfolio wins by
+        // profile index.
+        assert!(
+            md.contains("| hard_factor | 2 | 2 | 1 | 1 | 1.000 | 75.0% | 0.800 | P0:3 P1:2 |"),
+            "{md}"
+        );
         assert!(md.contains("blames lock, st"));
     }
 
@@ -768,6 +902,19 @@ mod tests {
                 .unwrap_err()
                 .contains("solver_budget")
         );
+        let sc = r#"[{"design":"goalfabric","geomean_conflict_ratio_milli":2400,
+            "goals":[{"register":"l0","ratio_milli":3100}]}]"#;
+        assert!(validate_bench_artifact("BENCH_solvercache", sc).is_ok());
+        let sc_bad = r#"[{"design":"goalfabric","geomean_conflict_ratio_milli":0,"goals":[]}]"#;
+        assert!(validate_bench_artifact("BENCH_solvercache", sc_bad)
+            .unwrap_err()
+            .contains("non-positive geomean"));
+        let sc_goal = r#"[{"design":"goalfabric","geomean_conflict_ratio_milli":1200,
+            "goals":[{"register":"l0","ratio_milli":0}]}]"#;
+        assert!(validate_bench_artifact("BENCH_solvercache", sc_goal)
+            .unwrap_err()
+            .contains("non-positive goal ratio"));
+
         assert!(validate_bench_artifact("BENCH_sim", r#"{"rows":[{"design":"a"}]}"#).is_ok());
         assert!(validate_bench_artifact("BENCH_snapshot", r#"{"micro":[{"x":1}]}"#).is_ok());
         assert!(validate_bench_artifact("BENCH_future", r#"{"anything":true}"#).is_ok());

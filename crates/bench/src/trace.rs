@@ -278,6 +278,11 @@ pub const METRICS_KIND: &str = "Metrics";
 /// into the trace stream (`Sampler::maybe_sample`).
 pub const FLIGHT_KIND: &str = "Flight";
 
+/// Kind of the once-per-campaign incremental-solver summary record
+/// (`Collector::emit_solver_cache_metrics`): bitblast-cache counters,
+/// session-reuse gauge and per-profile portfolio win tallies.
+pub const SOLVER_CACHE_KIND: &str = "SolverCache";
+
 /// The `(field, expected type)` schema of each record kind, beyond the
 /// common `t`/`task`/`kind` header. A `checkpoint` may be number or
 /// null; `solve_result` and `phase` are closed string enums checked
@@ -359,6 +364,13 @@ fn kind_schema(kind: &str) -> Option<&'static [(&'static str, &'static str)]> {
             ("d_settle_fast_path", "number"),
             ("d_settle_escapes", "number"),
         ]),
+        SOLVER_CACHE_KIND => Some(&[
+            ("bitblast_cache_hits", "number"),
+            ("bitblast_cache_misses", "number"),
+            ("session_reuse_milli", "number"),
+            ("portfolio_races", "number"),
+            ("portfolio_wins", "array"),
+        ]),
         _ => None,
     }
 }
@@ -395,8 +407,8 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
         v => return Err(format!("`kind` must be a string, got {}", v.type_name())),
     };
     let schema = kind_schema(&kind).ok_or(format!(
-        "unknown kind `{kind}` (expected one of {:?}, `{PHASE_KIND}`, `{METRICS_KIND}` \
-         or `{FLIGHT_KIND}`)",
+        "unknown kind `{kind}` (expected one of {:?}, `{PHASE_KIND}`, `{METRICS_KIND}`, \
+         `{FLIGHT_KIND}` or `{SOLVER_CACHE_KIND}`)",
         Event::KINDS
     ))?;
     if fields.len() != schema.len() {
@@ -580,6 +592,74 @@ pub fn settle_mix_table(records: &[TraceRecord]) -> String {
         "| **all** | {tf} | {te} | {} | {ti} | {ts} |\n",
         rate(tf, te)
     ));
+    out
+}
+
+/// Renders the incremental-solver summary from the once-per-campaign
+/// `SolverCache` records: per-task bitblast-cache hits/misses with the
+/// hit rate, the warm-session reuse ratio, and — when the campaign
+/// raced a portfolio — per-profile win columns, plus a totals row.
+/// Empty when the trace predates the incremental solver (no
+/// `SolverCache` records).
+pub fn solver_cache_table(records: &[TraceRecord]) -> String {
+    let rows: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| r.kind == SOLVER_CACHE_KIND)
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let rate = |hits: u64, misses: u64| -> String {
+        let total = hits + misses;
+        if total == 0 {
+            "-".into()
+        } else {
+            format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+        }
+    };
+    let profiles = rows
+        .iter()
+        .map(|r| r.arr("portfolio_wins").len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::from("| task | cache hits | misses | hit rate | session reuse | races |");
+    for i in 0..profiles {
+        out.push_str(&format!(" P{i} wins |"));
+    }
+    out.push_str("\n|---|---|---|---|---|---|");
+    out.push_str(&"---|".repeat(profiles));
+    out.push('\n');
+    let (mut th, mut tm, mut tr) = (0u64, 0u64, 0u64);
+    let mut tw = vec![0u64; profiles];
+    for r in &rows {
+        let (hits, misses) = (r.num("bitblast_cache_hits"), r.num("bitblast_cache_misses"));
+        let wins = r.arr("portfolio_wins");
+        out.push_str(&format!(
+            "| {} | {hits} | {misses} | {} | {:.3} | {} |",
+            r.task,
+            rate(hits, misses),
+            r.num("session_reuse_milli") as f64 / 1000.0,
+            r.num("portfolio_races"),
+        ));
+        for i in 0..profiles {
+            out.push_str(&format!(" {} |", wins.get(i).copied().unwrap_or(0)));
+        }
+        out.push('\n');
+        th += hits;
+        tm += misses;
+        tr += r.num("portfolio_races");
+        for (dst, src) in tw.iter_mut().zip(wins) {
+            *dst += *src;
+        }
+    }
+    out.push_str(&format!(
+        "| **all** | {th} | {tm} | {} | — | {tr} |",
+        rate(th, tm)
+    ));
+    for w in &tw {
+        out.push_str(&format!(" {w} |"));
+    }
+    out.push('\n');
     out
 }
 
@@ -1055,6 +1135,51 @@ mod tests {
         );
         // Traces without Metrics records render nothing.
         assert_eq!(settle_mix_table(&[]), "");
+    }
+
+    #[test]
+    fn solver_cache_records_validate_and_tabulate() {
+        // The exact shape `Collector::emit_solver_cache_metrics` writes.
+        let text = "\
+{\"t\":1,\"task\":0,\"kind\":\"SolverCache\",\"bitblast_cache_hits\":30,\
+\"bitblast_cache_misses\":10,\"session_reuse_milli\":800,\"portfolio_races\":5,\
+\"portfolio_wins\":[3,2]}
+{\"t\":2,\"task\":1,\"kind\":\"SolverCache\",\"bitblast_cache_hits\":0,\
+\"bitblast_cache_misses\":0,\"session_reuse_milli\":0,\"portfolio_races\":0,\
+\"portfolio_wins\":[]}
+";
+        let recs = parse_trace(text).unwrap();
+        let table = solver_cache_table(&recs);
+        assert!(
+            table.contains("| 0 | 30 | 10 | 75.0% | 0.800 | 5 | 3 | 2 |"),
+            "{table}"
+        );
+        // A task with an empty wins array zero-fills the profile columns.
+        assert!(
+            table.contains("| 1 | 0 | 0 | - | 0.000 | 0 | 0 | 0 |"),
+            "{table}"
+        );
+        // Totals sum counters and per-profile wins across tasks.
+        assert!(
+            table.contains("| **all** | 30 | 10 | 75.0% | — | 5 | 3 | 2 |"),
+            "{table}"
+        );
+        // Canonical re-serialization round-trips.
+        assert_eq!(to_json_lines(&recs), text);
+        // Missing fields are a schema violation.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"SolverCache\",\"bitblast_cache_hits\":1}"
+        )
+        .is_err());
+        // A non-array wins field is a schema violation too.
+        assert!(parse_line(
+            "{\"t\":1,\"task\":0,\"kind\":\"SolverCache\",\"bitblast_cache_hits\":1,\
+\"bitblast_cache_misses\":1,\"session_reuse_milli\":0,\"portfolio_races\":0,\
+\"portfolio_wins\":7}"
+        )
+        .is_err());
+        // Traces without SolverCache records render nothing.
+        assert_eq!(solver_cache_table(&[]), "");
     }
 
     #[test]

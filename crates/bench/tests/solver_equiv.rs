@@ -1,0 +1,227 @@
+//! Incremental-vs-fresh solver equivalence, goal by goal.
+//!
+//! The frame cache ([`SymbolicEngine::set_solver_cache`]) is only an
+//! optimisation if it is *observably identical* to the fresh-solver
+//! path it replaces: the same Sat / Unsat / Unknown-reason verdict for
+//! every `(state, goal, depth)` query, with the same shortest plan
+//! length on Sat (models may legitimately differ — warm sessions carry
+//! learned clauses that steer CDCL to a different witness). That must
+//! hold through mid-campaign session resets (the portfolio racer drops
+//! loser state) and under a starvation-level byte budget that evicts
+//! every session between queries.
+//!
+//! Swept deterministically over the toy ALU, the goal-dense fabric and
+//! a Table-1 bug benchmark, then property-tested on the toy ALU with
+//! proptest-chosen states and goal values.
+
+use std::sync::Arc;
+use symbfuzz_designs::{bug_benchmarks, goal_fabric, toy_alu};
+use symbfuzz_logic::LogicVec;
+use symbfuzz_netlist::{Design, SignalId};
+use symbfuzz_sim::{Reentry, Simulator};
+use symbfuzz_smt::Budget;
+use symbfuzz_symexec::{ReachOutcome, SymbolicEngine};
+
+/// Deterministic input-word generator (64-bit LCG, chunked to width).
+fn next_word(width: u32, state: &mut u64) -> LogicVec {
+    let mut out = LogicVec::zeros(0);
+    let mut remaining = width;
+    while remaining > 0 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let take = remaining.min(64);
+        out = LogicVec::concat(&LogicVec::from_u64(take, *state), &out);
+        remaining -= take;
+    }
+    out
+}
+
+/// Reachable states to pose goals from: the post-reset state plus
+/// snapshots after a few cycles of deterministic random stimulus.
+fn sample_states(design: &Arc<Design>, seed: u64) -> Vec<Vec<LogicVec>> {
+    let mut sim = Simulator::new(Arc::clone(design));
+    sim.reenter(Reentry::FullReset { cycles: 2 });
+    let mut states = vec![sim.values().to_vec()];
+    let width = design.fuzz_width();
+    let mut lcg = seed;
+    for cycle in 0..5u32 {
+        let word = next_word(width, &mut lcg);
+        sim.apply_input_word(&word);
+        sim.step();
+        if cycle == 1 || cycle == 4 {
+            states.push(sim.values().to_vec());
+        }
+    }
+    states
+}
+
+/// Narrow registers make good goals: wide ones (the fabric's 24-bit
+/// product) turn a verdict check into a multiplier-UNSAT endurance run.
+fn goal_registers(design: &Arc<Design>, max_width: u32, cap: usize) -> Vec<SignalId> {
+    let mut regs: Vec<SignalId> = design
+        .signals
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_register && s.width <= max_width)
+        .map(|(i, _)| SignalId(i as u32))
+        .collect();
+    regs.truncate(cap);
+    regs
+}
+
+/// Poses one query against both engines and asserts verdict (and, on
+/// Sat, shortest-plan-length) equality.
+fn assert_same_verdict(
+    fresh: &SymbolicEngine,
+    warm: &SymbolicEngine,
+    state: &[LogicVec],
+    goal: (SignalId, LogicVec),
+    max_steps: u32,
+    budget: &Budget,
+    what: &str,
+) {
+    let name = &fresh.design().signal(goal.0).name;
+    let f = fresh
+        .solve_reach_budgeted(state, &[(goal.0, goal.1.clone())], max_steps, budget)
+        .unwrap_or_else(|e| panic!("{what}: fresh solve of {name} failed: {e}"));
+    let w = warm
+        .solve_reach_budgeted(state, &[(goal.0, goal.1.clone())], max_steps, budget)
+        .unwrap_or_else(|e| panic!("{what}: warm solve of {name} failed: {e}"));
+    assert_eq!(
+        f.status(),
+        w.status(),
+        "{what}: verdict diverges on goal {name} == {:?}",
+        goal.1.to_u64()
+    );
+    if let (ReachOutcome::Reached(fs), ReachOutcome::Reached(ws)) = (&f, &w) {
+        assert_eq!(
+            fs.len(),
+            ws.len(),
+            "{what}: shortest plan length diverges on goal {name}"
+        );
+    }
+}
+
+/// Full deterministic sweep of one design: every sampled state crossed
+/// with every goal, under an unlimited budget and an unroll-depth
+/// ceiling, with a session reset halfway through.
+fn sweep_design(design: Arc<Design>, label: &str, cache_budget: u64) -> SymbolicEngine {
+    let fresh = SymbolicEngine::new(Arc::clone(&design));
+    let mut warm = SymbolicEngine::new(Arc::clone(&design));
+    warm.set_solver_cache(Some(cache_budget));
+    let states = sample_states(&design, 0x5EED ^ label.len() as u64);
+    let regs = goal_registers(&design, 8, 5);
+    assert!(!regs.is_empty(), "{label}: no narrow registers to target");
+    let unlimited = Budget::unlimited();
+    let shallow = Budget::unlimited().with_unroll_depth(1);
+    let mut queries = 0u32;
+    for (si, state) in states.iter().enumerate() {
+        for &reg in &regs {
+            let w = design.signal(reg).width;
+            let mut values = vec![0u64, 1, (1u64 << w.min(63)) - 1];
+            values.dedup();
+            for v in values {
+                let goal = (reg, LogicVec::from_u64(w, v));
+                assert_same_verdict(
+                    &fresh,
+                    &warm,
+                    state,
+                    goal.clone(),
+                    3,
+                    &unlimited,
+                    &format!("{label} state {si} unlimited"),
+                );
+                assert_same_verdict(
+                    &fresh,
+                    &warm,
+                    state,
+                    goal,
+                    3,
+                    &shallow,
+                    &format!("{label} state {si} depth-1"),
+                );
+                queries += 1;
+                if queries == 8 {
+                    // The portfolio racer drops loser sessions
+                    // mid-campaign; equivalence must survive it.
+                    warm.reset_solver_cache();
+                }
+            }
+        }
+    }
+    warm
+}
+
+#[test]
+fn incremental_matches_fresh_on_toy_alu() {
+    let warm = sweep_design(toy_alu(), "toy_alu", 1 << 20);
+    let stats = warm.cache_stats();
+    assert!(stats.goals > 0, "cache never consulted: {stats:?}");
+    assert!(
+        stats.reused_goals > 0,
+        "no goal ever reused a warm session: {stats:?}"
+    );
+    assert!(
+        stats.frame_hits > 0,
+        "no frame ever reused a warm unroll: {stats:?}"
+    );
+}
+
+#[test]
+fn incremental_matches_fresh_on_goal_fabric() {
+    let warm = sweep_design(goal_fabric(), "goalfabric", 1 << 20);
+    let stats = warm.cache_stats();
+    assert!(stats.reused_goals > 0, "fabric sweep never warm: {stats:?}");
+}
+
+#[test]
+fn incremental_matches_fresh_on_bug_benchmark() {
+    let bug = &bug_benchmarks()[0];
+    let design = bug.design().expect("bug benchmark elaborates");
+    sweep_design(design, bug.name, 1 << 20);
+}
+
+#[test]
+fn incremental_matches_fresh_under_starvation_eviction() {
+    // A one-byte budget evicts every session as soon as the sweep runs:
+    // verdicts must still match even though nothing ever stays warm.
+    let warm = sweep_design(toy_alu(), "toy_alu/starved", 1);
+    let stats = warm.cache_stats();
+    assert!(
+        stats.evictions > 0,
+        "starvation budget never evicted: {stats:?}"
+    );
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Arbitrary stimulus seeds and goal values on the toy ALU:
+        /// the warm engine's verdict always matches the fresh one.
+        #[test]
+        fn toy_alu_verdicts_match(seed in any::<u64>(), raw in any::<u64>(), depth in 1u32..4) {
+            let design = toy_alu();
+            let fresh = SymbolicEngine::new(Arc::clone(&design));
+            let mut warm = SymbolicEngine::new(Arc::clone(&design));
+            warm.set_solver_cache(Some(1 << 20));
+            let states = sample_states(&design, seed);
+            let regs = goal_registers(&design, 8, 4);
+            let budget = Budget::unlimited();
+            for state in &states {
+                for &reg in &regs {
+                    let w = design.signal(reg).width;
+                    let v = raw & ((1u64 << w.min(63)) - 1);
+                    let goal = (reg, LogicVec::from_u64(w, v));
+                    assert_same_verdict(
+                        &fresh, &warm, state, goal, depth, &budget, "proptest",
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! A goal-dense fixture for the incremental-solver experiments.
+//!
+//! The fabric below is the structural opposite of
+//! [`hard_factor`](crate::hard_factor): instead of one goal that no
+//! budget can crack, it exposes *many sibling goals that all hang off
+//! the same expensive arithmetic*. Eight 2-bit lane FSMs each walk a
+//! three-stage chain; a lane advances one stage when one shared
+//! 24-bit product equals the stage's per-lane semiprime, whose two
+//! prime factors are 12-bit — every guard is a small factoring
+//! instance (exactly two models, `(p, q)` and `(q, p)`), hard enough
+//! that CDCL pays real conflicts but decidable well inside campaign
+//! budgets, unlike `hard_factor`'s 40-bit wall. So:
+//!
+//! * every lane goal unrolls the *same* transition relation — the
+//!   multiplier is bitblasted once per frame and shared by every goal
+//!   posed from that state, which is exactly what the frame cache and
+//!   assumption-based [`SolverSession`](symbfuzz_smt::SolverSession)
+//!   amortize — and the conflicts a lane's factoring search learns
+//!   are multiplier lemmas that prune every sibling lane's search;
+//! * the goals per lane are *nested*: reaching stage `k` means
+//!   satisfying every guard of stages `1..=k` in order, so the
+//!   witness path for `l_i = k` strictly extends the path for
+//!   `l_i = k-1`. A warm session that just solved the `k-1` goal
+//!   answers the `k` goal by extending a search it has already
+//!   pruned; a cold solver re-factors the whole prefix from scratch.
+//!   That nesting is the A/B fixture for the conflicts-to-verdict
+//!   reduction measurements, and it mirrors how guided campaigns
+//!   actually pose goals — sibling values of one register, batched
+//!   from one checkpoint state.
+//!
+//! Every stage is genuinely satisfiable: lane `i`'s stage constants
+//! are products of two 12-bit primes, so driving `a` and `b` to the
+//! factors advances the lane in one cycle.
+
+use std::sync::Arc;
+use symbfuzz_netlist::{elaborate_src, Design};
+
+/// Lane FSMs in the fabric (one control register each).
+pub const GOAL_FABRIC_LANES: u32 = 8;
+
+/// RTL of the goal fabric. The two 12-bit inputs feed one shared
+/// 24-bit multiplier; lane `i` advances from stage `k-1` to stage `k`
+/// when the product equals its stage-`k` semiprime (factor pairs in
+/// the table below). Stages are sticky: a lane that reached a stage
+/// holds there until the next stage's guard matches, and stage 3 is
+/// terminal.
+///
+/// | lane | stage 1             | stage 2             | stage 3             |
+/// |------|---------------------|---------------------|---------------------|
+/// | l0   | 4028033 = 2003·2011 | 4088459 = 2017·2027 | 5143823 = 2267·2269 |
+/// | l1   | 4137131 = 2029·2039 | 4235339 = 2053·2063 | 5184713 = 2273·2281 |
+/// | l2   | 4305589 = 2069·2081 | 4347221 = 2083·2087 | 5244091 = 2287·2293 |
+/// | l3   | 4384811 = 2089·2099 | 4460543 = 2111·2113 | 5303773 = 2297·2309 |
+/// | l4   | 4536899 = 2129·2131 | 4575317 = 2137·2141 | 5391563 = 2311·2333 |
+/// | l5   | 4613879 = 2143·2153 | 4708819 = 2161·2179 | 5475599 = 2339·2341 |
+/// | l6   | 4862021 = 2203·2207 | 4915073 = 2213·2221 | 5517797 = 2347·2351 |
+/// | l7   | 5008643 = 2237·2239 | 5048993 = 2243·2251 | 5588447 = 2357·2371 |
+pub const GOAL_FABRIC_RTL: &str = "
+module goalfabric(
+  input clk, input rst_n,
+  input [11:0] a, input [11:0] b,
+  output logic [1:0] l0, output logic [1:0] l1,
+  output logic [1:0] l2, output logic [1:0] l3,
+  output logic [1:0] l4, output logic [1:0] l5,
+  output logic [1:0] l6, output logic [1:0] l7,
+  output logic jackpot);
+  logic [23:0] aw;
+  logic [23:0] bw;
+  logic [23:0] p;
+  assign aw = a;
+  assign bw = b;
+  assign p = aw * bw;
+  always_ff @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      l0 <= 2'd0; l1 <= 2'd0; l2 <= 2'd0; l3 <= 2'd0;
+      l4 <= 2'd0; l5 <= 2'd0; l6 <= 2'd0; l7 <= 2'd0;
+    end
+    else begin
+      case (l0)
+        2'd0: if (p == 24'd4028033) l0 <= 2'd1;
+        2'd1: if (p == 24'd4088459) l0 <= 2'd2; else l0 <= 2'd1;
+        2'd2: if (p == 24'd5143823) l0 <= 2'd3; else l0 <= 2'd2;
+        default: l0 <= l0;
+      endcase
+      case (l1)
+        2'd0: if (p == 24'd4137131) l1 <= 2'd1;
+        2'd1: if (p == 24'd4235339) l1 <= 2'd2; else l1 <= 2'd1;
+        2'd2: if (p == 24'd5184713) l1 <= 2'd3; else l1 <= 2'd2;
+        default: l1 <= l1;
+      endcase
+      case (l2)
+        2'd0: if (p == 24'd4305589) l2 <= 2'd1;
+        2'd1: if (p == 24'd4347221) l2 <= 2'd2; else l2 <= 2'd1;
+        2'd2: if (p == 24'd5244091) l2 <= 2'd3; else l2 <= 2'd2;
+        default: l2 <= l2;
+      endcase
+      case (l3)
+        2'd0: if (p == 24'd4384811) l3 <= 2'd1;
+        2'd1: if (p == 24'd4460543) l3 <= 2'd2; else l3 <= 2'd1;
+        2'd2: if (p == 24'd5303773) l3 <= 2'd3; else l3 <= 2'd2;
+        default: l3 <= l3;
+      endcase
+      case (l4)
+        2'd0: if (p == 24'd4536899) l4 <= 2'd1;
+        2'd1: if (p == 24'd4575317) l4 <= 2'd2; else l4 <= 2'd1;
+        2'd2: if (p == 24'd5391563) l4 <= 2'd3; else l4 <= 2'd2;
+        default: l4 <= l4;
+      endcase
+      case (l5)
+        2'd0: if (p == 24'd4613879) l5 <= 2'd1;
+        2'd1: if (p == 24'd4708819) l5 <= 2'd2; else l5 <= 2'd1;
+        2'd2: if (p == 24'd5475599) l5 <= 2'd3; else l5 <= 2'd2;
+        default: l5 <= l5;
+      endcase
+      case (l6)
+        2'd0: if (p == 24'd4862021) l6 <= 2'd1;
+        2'd1: if (p == 24'd4915073) l6 <= 2'd2; else l6 <= 2'd1;
+        2'd2: if (p == 24'd5517797) l6 <= 2'd3; else l6 <= 2'd2;
+        default: l6 <= l6;
+      endcase
+      case (l7)
+        2'd0: if (p == 24'd5008643) l7 <= 2'd1;
+        2'd1: if (p == 24'd5048993) l7 <= 2'd2; else l7 <= 2'd1;
+        2'd2: if (p == 24'd5588447) l7 <= 2'd3; else l7 <= 2'd2;
+        default: l7 <= l7;
+      endcase
+    end
+  end
+  always_comb jackpot = (l0 == 2'd2) && (l4 == 2'd2);
+endmodule";
+
+/// The detection property: lanes 0 and 4 never both sit at stage 2.
+/// Random stimulus has to factor four 24-bit semiprimes in order (two
+/// models each out of 2^24 input words); guided campaigns solve each
+/// stage in one query.
+pub const GOAL_FABRIC_PROPERTY: (&str, &str) = ("never_jackpot", "jackpot == 1'b0");
+
+/// Elaborates the goal fabric.
+///
+/// # Panics
+///
+/// Never — the source is a compile-time constant covered by tests.
+pub fn goal_fabric() -> Arc<Design> {
+    Arc::new(elaborate_src(GOAL_FABRIC_RTL, "goalfabric").expect("goal fabric must elaborate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbfuzz_logic::LogicVec;
+    use symbfuzz_netlist::classify_registers;
+    use symbfuzz_sim::{Reentry, Simulator};
+
+    #[test]
+    fn lanes_walk_their_stages_and_the_jackpot_opens() {
+        let d = goal_fabric();
+        let a = d.signal_by_name("a").unwrap();
+        let b = d.signal_by_name("b").unwrap();
+        let l0 = d.signal_by_name("l0").unwrap();
+        let l4 = d.signal_by_name("l4").unwrap();
+        let jackpot = d.signal_by_name("jackpot").unwrap();
+
+        let mut sim = Simulator::new(d.clone());
+        sim.reenter(Reentry::FullReset { cycles: 1 });
+        let drive = |sim: &mut Simulator, av: u64, bv: u64| {
+            sim.set_input(a, &LogicVec::from_u64(12, av)).unwrap();
+            sim.set_input(b, &LogicVec::from_u64(12, bv)).unwrap();
+            sim.step();
+        };
+        // Lane 0's stage semiprimes, by their factor pairs.
+        drive(&mut sim, 2003, 2011);
+        drive(&mut sim, 2017, 2027);
+        // Lane 4's, with the factors swapped (the other model).
+        drive(&mut sim, 2131, 2129);
+        drive(&mut sim, 2141, 2137);
+        assert_eq!(sim.get(l0).to_u64(), Some(2));
+        assert_eq!(sim.get(l4).to_u64(), Some(2));
+        assert_eq!(sim.get(jackpot).to_u64(), Some(1));
+        // Stage 3 extends the chain (and closes the jackpot again).
+        drive(&mut sim, 2267, 2269);
+        assert_eq!(sim.get(l0).to_u64(), Some(3));
+        assert_eq!(sim.get(jackpot).to_u64(), Some(0));
+        // Stage 3 is terminal.
+        drive(&mut sim, 2003, 2011);
+        assert_eq!(sim.get(l0).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn a_miss_holds_a_lane_at_its_stage() {
+        let d = goal_fabric();
+        let a = d.signal_by_name("a").unwrap();
+        let b = d.signal_by_name("b").unwrap();
+        let l0 = d.signal_by_name("l0").unwrap();
+        let mut sim = Simulator::new(d.clone());
+        sim.reenter(Reentry::FullReset { cycles: 1 });
+        sim.set_input(a, &LogicVec::from_u64(12, 2003)).unwrap();
+        sim.set_input(b, &LogicVec::from_u64(12, 2011)).unwrap();
+        sim.step();
+        assert_eq!(sim.get(l0).to_u64(), Some(1));
+        // A wrong stage-2 word holds the lane (sticky), it never
+        // falls back to 0.
+        sim.set_input(b, &LogicVec::from_u64(12, 2027)).unwrap();
+        sim.step();
+        assert_eq!(sim.get(l0).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn every_lane_is_a_control_register() {
+        let d = goal_fabric();
+        let rc = classify_registers(&d);
+        let names: Vec<&str> = rc
+            .control
+            .iter()
+            .map(|s| d.signal(*s).name.as_str())
+            .collect();
+        for i in 0..GOAL_FABRIC_LANES {
+            let lane = format!("l{i}");
+            assert!(names.contains(&lane.as_str()), "control: {names:?}");
+        }
+        assert!(
+            names.len() as u32 >= GOAL_FABRIC_LANES,
+            "goal-dense fixture must expose at least one control register per lane"
+        );
+    }
+}

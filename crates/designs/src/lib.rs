@@ -33,6 +33,7 @@
 
 mod alu;
 mod bugs;
+mod fabric;
 mod hard;
 mod peripherals;
 mod processors;
@@ -40,6 +41,7 @@ mod soc;
 
 pub use alu::toy_alu;
 pub use bugs::{bug_benchmarks, BugBenchmark};
+pub use fabric::{goal_fabric, GOAL_FABRIC_LANES, GOAL_FABRIC_PROPERTY, GOAL_FABRIC_RTL};
 pub use hard::{
     hard_factor, HARD_FACTOR_P, HARD_FACTOR_PRODUCT, HARD_FACTOR_PROPERTY, HARD_FACTOR_Q,
     HARD_FACTOR_RTL,

@@ -175,10 +175,37 @@ pub struct FuzzConfig {
     /// when off the solver's trace hooks cost one pointer test per
     /// conflict and nothing is allocated.
     pub solver_introspection: bool,
+    /// Incremental solving: keep one warm SAT solver per unrolled
+    /// frame alive across goals (assumption-based `check_assuming`),
+    /// memoizing the transition-relation CNF so the geometric depth
+    /// schedule only blasts the new frame. Verdict-equivalent to fresh
+    /// solving; off by default (the A/B control for the solver-cache
+    /// experiments).
+    pub incremental_solving: bool,
+    /// Byte budget for the bitblast/session cache used by
+    /// `incremental_solving`: when the cached sessions' estimated
+    /// footprint exceeds this, least-recently-used frames are evicted.
+    pub solver_cache_budget: u64,
+    /// Portfolio width: race this many budget profiles per solve on
+    /// scoped threads (small-budget/restart-heavy probes alongside the
+    /// full budget), first definitive answer wins under the canonical
+    /// lowest-index rule — campaign reports stay byte-identical at any
+    /// thread count. `0` disables racing; widths of 2–4 are accepted.
+    pub portfolio: u32,
+    /// Affinity-ordered goal batching: reorder each guidance round's
+    /// targets by structural-sketch similarity (greedy nearest-neighbor
+    /// chaining over the KMV sketches) so goals sharing logic hit a
+    /// warm solver session back to back. Requires
+    /// `solver_introspection` for the sketches; off by default.
+    pub affinity_ordering: bool,
 }
 
 fn default_snapshot_mem_budget() -> u64 {
     64 * 1024 * 1024
+}
+
+fn default_solver_cache_budget() -> u64 {
+    16 * 1024 * 1024
 }
 
 impl Deserialize for FuzzConfig {
@@ -213,6 +240,22 @@ impl Deserialize for FuzzConfig {
                 Ok(f) => Deserialize::from_value(f)?,
                 Err(_) => defaults.solver_introspection,
             },
+            incremental_solving: match v.field("incremental_solving") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => defaults.incremental_solving,
+            },
+            solver_cache_budget: match v.field("solver_cache_budget") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => defaults.solver_cache_budget,
+            },
+            portfolio: match v.field("portfolio") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => defaults.portfolio,
+            },
+            affinity_ordering: match v.field("affinity_ordering") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => defaults.affinity_ordering,
+            },
         })
     }
 }
@@ -239,6 +282,10 @@ impl Default for FuzzConfig {
             escalation_cap: 3,
             sample_every: None,
             solver_introspection: false,
+            incremental_solving: false,
+            solver_cache_budget: default_solver_cache_budget(),
+            portfolio: 0,
+            affinity_ordering: false,
         }
     }
 }
@@ -276,6 +323,15 @@ impl FuzzConfig {
         if self.snapshot_mem_budget < 1024 {
             return Err(ConfigError::TinySnapshotBudget);
         }
+        if self.solver_cache_budget < 1024 {
+            return Err(ConfigError::TinySolverCacheBudget);
+        }
+        if self.portfolio == 1 || self.portfolio > 4 {
+            return Err(ConfigError::BadPortfolioWidth);
+        }
+        if self.affinity_ordering && !self.solver_introspection {
+            return Err(ConfigError::AffinityWithoutIntrospection);
+        }
         Ok(())
     }
 }
@@ -303,6 +359,18 @@ pub enum ConfigError {
     /// `snapshot_mem_budget` below 1 KiB (including zero): too small
     /// to hold even one page, so every fork would immediately evict.
     TinySnapshotBudget,
+    /// `solver_cache_budget` below 1 KiB (including zero): too small
+    /// to hold even one warm frame, so every solve would immediately
+    /// evict; set `incremental_solving: false` to disable reuse.
+    TinySolverCacheBudget,
+    /// `portfolio` width of 1 (a one-horse race is just the plain
+    /// solve — use 0) or above 4 (beyond the budget ladder's useful
+    /// spread).
+    BadPortfolioWidth,
+    /// `affinity_ordering` without `solver_introspection`: the
+    /// structural sketches the ordering keys on are only collected
+    /// when introspection is enabled.
+    AffinityWithoutIntrospection,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -328,6 +396,19 @@ impl std::fmt::Display for ConfigError {
             ConfigError::TinySnapshotBudget => write!(
                 f,
                 "snapshot_mem_budget must be at least 1024 bytes (room for one small snapshot)"
+            ),
+            ConfigError::TinySolverCacheBudget => write!(
+                f,
+                "solver_cache_budget must be at least 1024 bytes (room for one warm frame); \
+                 set incremental_solving: false to disable reuse"
+            ),
+            ConfigError::BadPortfolioWidth => {
+                write!(f, "portfolio width must be 0 (off) or 2..=4 profiles")
+            }
+            ConfigError::AffinityWithoutIntrospection => write!(
+                f,
+                "affinity_ordering requires solver_introspection (the ordering keys on the \
+                 structural sketches introspection collects)"
             ),
         }
     }
@@ -447,6 +528,27 @@ impl FuzzConfigBuilder {
         /// sets, affinity sketches).
         solver_introspection: bool
     );
+    setter!(
+        /// Keep warm solver sessions across goals sharing an unrolled
+        /// frame (assumption-based incremental solving + bitblast
+        /// cache).
+        incremental_solving: bool
+    );
+    setter!(
+        /// Byte budget for the warm-session bitblast cache (LRU
+        /// eviction above it).
+        solver_cache_budget: u64
+    );
+    setter!(
+        /// Portfolio width: race this many budget profiles per solve
+        /// (0 = off, 2..=4 accepted).
+        portfolio: u32
+    );
+    setter!(
+        /// Reorder guidance targets by structural-sketch affinity
+        /// (requires `solver_introspection`).
+        affinity_ordering: bool
+    );
 
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<FuzzConfig, ConfigError> {
@@ -484,12 +586,20 @@ mod tests {
                 k != "snapshot_mem_budget"
                     && k != "use_ancestor_reentry"
                     && k != "solver_introspection"
+                    && k != "incremental_solving"
+                    && k != "solver_cache_budget"
+                    && k != "portfolio"
+                    && k != "affinity_ordering"
             })
             .collect();
         let back = FuzzConfig::from_value(&serde::Value::Object(stripped)).unwrap();
         assert_eq!(back.snapshot_mem_budget, 64 * 1024 * 1024);
         assert!(back.use_ancestor_reentry);
         assert!(!back.solver_introspection);
+        assert!(!back.incremental_solving);
+        assert_eq!(back.solver_cache_budget, 16 * 1024 * 1024);
+        assert_eq!(back.portfolio, 0);
+        assert!(!back.affinity_ordering);
     }
 
     #[test]
@@ -593,6 +703,40 @@ mod tests {
             .snapshot_mem_budget(1024)
             .build()
             .is_ok());
+        assert_eq!(
+            FuzzConfig::builder()
+                .solver_cache_budget(1023)
+                .build()
+                .unwrap_err(),
+            ConfigError::TinySolverCacheBudget
+        );
+        assert!(FuzzConfig::builder()
+            .solver_cache_budget(1024)
+            .build()
+            .is_ok());
+        assert_eq!(
+            FuzzConfig::builder().portfolio(1).build().unwrap_err(),
+            ConfigError::BadPortfolioWidth
+        );
+        assert_eq!(
+            FuzzConfig::builder().portfolio(5).build().unwrap_err(),
+            ConfigError::BadPortfolioWidth
+        );
+        for w in [0u32, 2, 3, 4] {
+            assert!(FuzzConfig::builder().portfolio(w).build().is_ok());
+        }
+        assert_eq!(
+            FuzzConfig::builder()
+                .affinity_ordering(true)
+                .build()
+                .unwrap_err(),
+            ConfigError::AffinityWithoutIntrospection
+        );
+        assert!(FuzzConfig::builder()
+            .affinity_ordering(true)
+            .solver_introspection(true)
+            .build()
+            .is_ok());
         // Every arm renders an informative message.
         for e in [
             ConfigError::ZeroInterval,
@@ -602,6 +746,9 @@ mod tests {
             ConfigError::ZeroSolverBudget,
             ConfigError::ZeroSampleEvery,
             ConfigError::TinySnapshotBudget,
+            ConfigError::TinySolverCacheBudget,
+            ConfigError::BadPortfolioWidth,
+            ConfigError::AffinityWithoutIntrospection,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use symbfuzz_sim::VmProfile;
-use symbfuzz_symexec::{sketch_jaccard_milli, GoalScope, SolveProfiler};
+use symbfuzz_symexec::{sketch_jaccard_milli, GoalScope, SolveProfiler, SolverCacheStats};
 use symbfuzz_telemetry::{FlightSample, MetricsSnapshot, PhaseStat};
 
 /// A security property plus its *oracle visibility*: which detection
@@ -875,6 +875,15 @@ impl ScopeCollector {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// The merged structural sketch recorded for a goal, if the goal
+    /// was ever solved with introspection on — the lookup behind
+    /// affinity-ordered goal batching.
+    pub fn sketch_of(&self, register: &str, value: u64) -> Option<&[u64]> {
+        self.index
+            .get(&(register.to_string(), value))
+            .map(|&i| self.rows[i].3.sketch.as_slice())
+    }
 }
 
 impl From<&ScopeCollector> for SolverScopeBlock {
@@ -894,8 +903,86 @@ impl From<&ScopeCollector> for SolverScopeBlock {
     }
 }
 
+/// The incremental-solver cache section of a campaign report
+/// (serialisable mirror of [`symbfuzz_symexec::SolverCacheStats`]):
+/// frame-level bitblast reuse and warm-session goal reuse. Present
+/// only when `incremental_solving` was on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SolverCacheBlock {
+    /// Unrolled frames reused from a warm session.
+    pub frame_hits: u64,
+    /// Frames substituted and bitblasted fresh.
+    pub frame_misses: u64,
+    /// Sessions dropped by the byte-budget eviction sweep.
+    pub evictions: u64,
+    /// Exact-depth checks issued through the cache.
+    pub goals: u64,
+    /// Checks answered on a warm solver (learned clauses retained).
+    pub reused_goals: u64,
+    /// Session-reuse rate in permille (`reused_goals / goals`).
+    pub reuse_milli: u64,
+}
+
+impl SolverCacheBlock {
+    /// Frame-level cache hit rate in permille
+    /// (`frame_hits / (frame_hits + frame_misses)`, 0 when idle).
+    pub fn hit_rate_milli(&self) -> u64 {
+        let total = self.frame_hits + self.frame_misses;
+        (self.frame_hits * 1000).checked_div(total).unwrap_or(0)
+    }
+}
+
+impl From<SolverCacheStats> for SolverCacheBlock {
+    fn from(s: SolverCacheStats) -> SolverCacheBlock {
+        SolverCacheBlock {
+            frame_hits: s.frame_hits,
+            frame_misses: s.frame_misses,
+            evictions: s.evictions,
+            goals: s.goals,
+            reused_goals: s.reused_goals,
+            reuse_milli: s.reuse_milli(),
+        }
+    }
+}
+
+/// The portfolio-racing section of a campaign report: how many races
+/// ran and which budget profile won each, by profile index (profile 0
+/// is the cheapest restart-heavy probe, the last profile carries the
+/// full budget). Present only when `portfolio >= 2`. The canonical
+/// lowest-index winner rule keeps every figure byte-identical at any
+/// thread count.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PortfolioBlock {
+    /// Profiles raced per solve.
+    pub width: u32,
+    /// Races run (one per budgeted reachability query).
+    pub races: u64,
+    /// Wins per profile index (`wins.len() == width`).
+    pub wins: Vec<u64>,
+}
+
+impl PortfolioBlock {
+    /// Merges another block (pool aggregation across campaigns):
+    /// races and per-profile wins sum; width keeps the maximum, with
+    /// shorter win vectors zero-extended.
+    pub fn merge(&mut self, other: &PortfolioBlock) {
+        self.width = self.width.max(other.width);
+        self.races += other.races;
+        if self.wins.len() < other.wins.len() {
+            self.wins.resize(other.wins.len(), 0);
+        }
+        for (a, b) in self.wins.iter_mut().zip(&other.wins) {
+            *a += b;
+        }
+    }
+}
+
 /// The outcome of one fuzzing campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written so reports serialized before the
+/// incremental-solver release (no `solver_cache` / `portfolio` keys)
+/// still load, taking `None`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignResult {
     /// Strategy name.
     pub fuzzer: String,
@@ -939,6 +1026,44 @@ pub struct CampaignResult {
     /// [`FuzzConfig::solver_introspection`](crate::FuzzConfig) was on
     /// and at least one reachability query ran).
     pub solver_scope: Option<SolverScopeBlock>,
+    /// Incremental-solver cache section (present only when
+    /// `incremental_solving` was on).
+    pub solver_cache: Option<SolverCacheBlock>,
+    /// Portfolio-racing section (present only when `portfolio >= 2`).
+    pub portfolio: Option<PortfolioBlock>,
+}
+
+impl Deserialize for CampaignResult {
+    fn from_value(v: &serde::Value) -> Result<CampaignResult, serde::DeError> {
+        Ok(CampaignResult {
+            fuzzer: Deserialize::from_value(v.field("fuzzer")?)?,
+            design: Deserialize::from_value(v.field("design")?)?,
+            vectors: Deserialize::from_value(v.field("vectors")?)?,
+            coverage_points: Deserialize::from_value(v.field("coverage_points")?)?,
+            nodes: Deserialize::from_value(v.field("nodes")?)?,
+            edges: Deserialize::from_value(v.field("edges")?)?,
+            node_coverage_ratio: Deserialize::from_value(v.field("node_coverage_ratio")?)?,
+            edge_coverage_ratio: Deserialize::from_value(v.field("edge_coverage_ratio")?)?,
+            bugs: Deserialize::from_value(v.field("bugs")?)?,
+            series: Deserialize::from_value(v.field("series")?)?,
+            resources: Deserialize::from_value(v.field("resources")?)?,
+            solve_outcomes: Deserialize::from_value(v.field("solve_outcomes")?)?,
+            telemetry: Deserialize::from_value(v.field("telemetry")?)?,
+            covmap: Deserialize::from_value(v.field("covmap")?)?,
+            flight: Deserialize::from_value(v.field("flight")?)?,
+            vm_profile: Deserialize::from_value(v.field("vm_profile")?)?,
+            solver_profile: Deserialize::from_value(v.field("solver_profile")?)?,
+            solver_scope: Deserialize::from_value(v.field("solver_scope")?)?,
+            solver_cache: match v.field("solver_cache") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => None,
+            },
+            portfolio: match v.field("portfolio") {
+                Ok(f) => Deserialize::from_value(f)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl CampaignResult {
@@ -1004,10 +1129,75 @@ mod tests {
             vm_profile: None,
             solver_profile: SolverProfileBlock::default(),
             solver_scope: None,
+            solver_cache: None,
+            portfolio: None,
         };
         assert_eq!(r.vectors_to_reach(30), Some(50));
         assert_eq!(r.vectors_to_reach(51), None);
         assert!(!r.detected("p"));
+        // Round-trips, and reports serialized before the
+        // incremental-solver release (no solver_cache / portfolio
+        // keys) still load with both sections absent.
+        let j = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<CampaignResult>(&j).unwrap(), r);
+        let serde::Value::Object(fields) = Serialize::to_value(&r) else {
+            panic!("report serializes to an object")
+        };
+        let stripped: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "solver_cache" && k != "portfolio")
+            .collect();
+        let back = CampaignResult::from_value(&serde::Value::Object(stripped)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn solver_cache_block_mirrors_stats_and_rates() {
+        let stats = SolverCacheStats {
+            frame_hits: 30,
+            frame_misses: 10,
+            evictions: 2,
+            goals: 8,
+            reused_goals: 6,
+        };
+        let block = SolverCacheBlock::from(stats);
+        assert_eq!(block.frame_hits, 30);
+        assert_eq!(block.reuse_milli, 750);
+        assert_eq!(block.hit_rate_milli(), 750);
+        assert_eq!(SolverCacheBlock::default().hit_rate_milli(), 0);
+        let j = serde_json::to_string(&block).unwrap();
+        assert_eq!(serde_json::from_str::<SolverCacheBlock>(&j).unwrap(), block);
+    }
+
+    #[test]
+    fn portfolio_block_merges_by_profile_index() {
+        let mut a = PortfolioBlock {
+            width: 2,
+            races: 5,
+            wins: vec![3, 2],
+        };
+        let b = PortfolioBlock {
+            width: 3,
+            races: 4,
+            wins: vec![1, 0, 3],
+        };
+        a.merge(&b);
+        assert_eq!(a.width, 3);
+        assert_eq!(a.races, 9);
+        assert_eq!(a.wins, vec![4, 2, 3]);
+        let j = serde_json::to_string(&a).unwrap();
+        assert_eq!(serde_json::from_str::<PortfolioBlock>(&j).unwrap(), a);
+    }
+
+    #[test]
+    fn scope_collector_exposes_goal_sketches() {
+        let mut s = GoalScope::new();
+        s.sketch = vec![1, 2, 3];
+        let mut c = ScopeCollector::new();
+        c.note("st", 7, &s);
+        assert_eq!(c.sketch_of("st", 7), Some(&[1u64, 2, 3][..]));
+        assert_eq!(c.sketch_of("st", 8), None);
+        assert_eq!(c.sketch_of("other", 7), None);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Parallel portfolio racing of budget profiles.
+//!
+//! A portfolio poses the same query under several [`Budget`] profiles
+//! at once — small-budget/restart-heavy probes alongside the full
+//! budget — on scoped threads, and takes the first *definitive* answer.
+//! Losers are cancelled cooperatively through the budget's abort flag
+//! ([`Budget::with_abort`]).
+//!
+//! # Determinism
+//!
+//! The winner is chosen by the **canonical winner rule**: the lowest
+//! profile index whose result is definitive at join time, *not* the
+//! first to cross the finish line. A runner only raises the abort
+//! flags of **higher**-indexed runners, so:
+//!
+//! * a runner with index `i` can only be aborted by some definitive
+//!   runner `j < i` — and any such `j` outranks `i` anyway;
+//! * therefore the winner was never aborted, ran its deterministic
+//!   budget to its deterministic conclusion, and both the winner's
+//!   identity and its result are pure functions of the query — at any
+//!   thread count, on any scheduler.
+//!
+//! Losers above the winner may have been interrupted at an arbitrary
+//! point; their results (and any solver state they mutated) must be
+//! discarded, never reported.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a portfolio race produced.
+#[derive(Debug)]
+pub struct RaceOutcome<R> {
+    /// Lowest profile index with a definitive answer, or `None` when
+    /// every profile came back indefinite.
+    pub winner: Option<usize>,
+    /// Every profile's result, by index. `None` only if a runner
+    /// panicked.
+    pub results: Vec<Option<R>>,
+}
+
+/// A runner in a portfolio race: receives its abort flag (to weave
+/// into its [`Budget`](crate::Budget) via
+/// [`with_abort`](crate::Budget::with_abort)) and returns its result.
+pub type Runner<'a, R> = Box<dyn FnOnce(&Arc<AtomicBool>) -> R + Send + 'a>;
+
+/// Races `runners` on scoped threads; `definitive` classifies results.
+///
+/// When runner `j` finishes with a definitive answer it raises the
+/// abort flags of all runners with index `> j`. At join, the winner is
+/// the lowest definitive index (see the module docs for why this is
+/// deterministic). With a single runner no threads are spawned.
+pub fn race<R: Send>(
+    runners: Vec<Runner<'_, R>>,
+    definitive: impl Fn(&R) -> bool + Sync,
+) -> RaceOutcome<R> {
+    let n = runners.len();
+    if n <= 1 {
+        let flag = Arc::new(AtomicBool::new(false));
+        let results: Vec<Option<R>> = runners.into_iter().map(|r| Some(r(&flag))).collect();
+        let winner = results
+            .iter()
+            .position(|r| r.as_ref().is_some_and(&definitive));
+        return RaceOutcome { winner, results };
+    }
+    let flags: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for (i, runner) in runners.into_iter().enumerate() {
+            let flags = &flags;
+            let slots = &slots;
+            let definitive = &definitive;
+            s.spawn(move || {
+                let r = runner(&flags[i]);
+                if definitive(&r) {
+                    for f in &flags[i + 1..] {
+                        f.store(true, Ordering::Relaxed);
+                    }
+                }
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    let results: Vec<Option<R>> = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    let winner = results
+        .iter()
+        .position(|r| r.as_ref().is_some_and(&definitive));
+    RaceOutcome { winner, results }
+}
+
+/// The standard budget ladder for an `n`-profile portfolio: profile
+/// `i` gets the base counter ceilings divided by `4^(n-1-i)` (minimum
+/// 1), so early profiles are cheap restart-heavy probes and the last
+/// profile carries the full budget. Structural ceilings (term nodes,
+/// unroll depth) and the wall deadline ride along unchanged.
+pub fn budget_ladder(base: &crate::Budget, n: u32) -> Vec<crate::Budget> {
+    (0..n)
+        .map(|i| {
+            let div = 4u64.saturating_pow(n - 1 - i);
+            let mut b = base.clone();
+            if let Some(c) = base.conflicts() {
+                b = b.with_conflicts((c / div).max(1));
+            }
+            if let Some(d) = base.decisions() {
+                b = b.with_decisions((d / div).max(1));
+            }
+            if let Some(p) = base.propagations() {
+                b = b.with_propagations((p / div).max(1));
+            }
+            b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_winner_is_lowest_definitive_index() {
+        // Profile 1 finishes first and definitively, but profile 0 is
+        // also definitive: 0 wins at join regardless of timing.
+        let runners: Vec<Runner<'_, u32>> = vec![
+            Box::new(|_flag| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                10
+            }),
+            Box::new(|_flag| 11),
+        ];
+        let out = race(runners, |r| *r < 100);
+        assert_eq!(out.winner, Some(0));
+        assert_eq!(out.results[0], Some(10));
+        assert_eq!(out.results[1], Some(11));
+    }
+
+    #[test]
+    fn definitive_answer_aborts_higher_profiles_only() {
+        // Runner 0 answers definitively at once; runner 1 spins until
+        // its abort flag is raised — the race can only terminate if the
+        // cancellation actually propagates upward.
+        let runners: Vec<Runner<'_, i32>> = vec![
+            Box::new(|_flag| 1),
+            Box::new(|flag| {
+                while !flag.load(Ordering::Relaxed) {
+                    std::hint::spin_loop();
+                }
+                -1 // aborted: indefinite
+            }),
+        ];
+        let out = race(runners, |r| *r > 0);
+        assert_eq!(out.winner, Some(0));
+        assert_eq!(out.results[1], Some(-1));
+    }
+
+    #[test]
+    fn all_indefinite_yields_no_winner() {
+        let runners: Vec<Runner<'_, i32>> = vec![Box::new(|_| -1), Box::new(|_| -2)];
+        let out = race(runners, |r| *r > 0);
+        assert_eq!(out.winner, None);
+        assert_eq!(out.results, vec![Some(-1), Some(-2)]);
+    }
+
+    #[test]
+    fn single_runner_races_inline() {
+        let runners: Vec<Runner<'_, u8>> = vec![Box::new(|_| 7)];
+        let out = race(runners, |r| *r == 7);
+        assert_eq!(out.winner, Some(0));
+    }
+
+    #[test]
+    fn budget_ladder_scales_counters_geometrically() {
+        let base = crate::Budget::unlimited()
+            .with_conflicts(16_000)
+            .with_unroll_depth(8);
+        let ladder = budget_ladder(&base, 3);
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0].conflicts(), Some(1_000));
+        assert_eq!(ladder[1].conflicts(), Some(4_000));
+        assert_eq!(ladder[2].conflicts(), Some(16_000));
+        for b in &ladder {
+            assert_eq!(b.unroll_depth(), Some(8));
+        }
+        // An unlimited base stays unlimited at every rung.
+        let ladder = budget_ladder(&crate::Budget::unlimited(), 2);
+        assert!(ladder.iter().all(|b| b.conflicts().is_none()));
+    }
+}

@@ -3,6 +3,7 @@
 use crate::scope::{
     signal_of_term_name, GoalScope, BLAME_MAX_ASSUMPTIONS, HOT_SIGNALS_K, SKETCH_K,
 };
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 use symbfuzz_hdl::{BinaryOp, Edge, UnaryOp};
@@ -10,8 +11,10 @@ use symbfuzz_logic::{Bit, LogicVec};
 use symbfuzz_netlist::{
     reset_tree, Design, NExpr, NLValue, NStmt, ProcKind, ResetTree, SignalId, SignalKind,
 };
-use symbfuzz_smt::{BitBlaster, Budget, BudgetSpent, Lit, SatResult, TermId, TermKind, TermPool};
-use symbfuzz_telemetry::{Collector, Counter, Event, SolveStatus, UnknownReason};
+use symbfuzz_smt::{
+    BitBlaster, Budget, BudgetSpent, Lit, SatResult, SolverSession, TermId, TermKind, TermPool,
+};
+use symbfuzz_telemetry::{Collector, Counter, Event, Gauge, SolveStatus, UnknownReason};
 
 /// Conflict ceiling for each blame-extraction solve (the initial
 /// assumption check and every greedy drop-one probe). Small by design:
@@ -132,6 +135,79 @@ pub struct ReachStats {
     pub deepest_unroll: u32,
 }
 
+/// Cumulative statistics of the engine's frame cache (see
+/// [`SymbolicEngine::set_solver_cache`]). All figures are pure
+/// functions of the query sequence, so they stay byte-identical at any
+/// `--jobs` value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverCacheStats {
+    /// Unrolled frames reused from a warm session instead of being
+    /// re-substituted and re-blasted.
+    pub frame_hits: u64,
+    /// Frames unrolled and blasted fresh.
+    pub frame_misses: u64,
+    /// Sessions dropped by the byte-budget eviction sweep.
+    pub evictions: u64,
+    /// Exact-depth checks issued through the cache.
+    pub goals: u64,
+    /// Checks answered on a warm solver (learned clauses retained from
+    /// an earlier goal on the same frame).
+    pub reused_goals: u64,
+}
+
+impl SolverCacheStats {
+    /// Session-reuse rate in permille: `reused_goals / goals`.
+    pub fn reuse_milli(&self) -> u64 {
+        (self.reused_goals * 1000)
+            .checked_div(self.goals)
+            .unwrap_or(0)
+    }
+}
+
+/// One warm incremental session: an unrolled frame chain over a fixed
+/// start state, shared by every goal posed from that state.
+#[derive(Debug, Clone)]
+struct FrameSession {
+    /// Cache key: design fingerprint folded with the start state.
+    key: u64,
+    /// Whether CDCL tracing is armed (traced and untraced sessions are
+    /// cached separately so introspection stays opt-in).
+    traced: bool,
+    sess: SolverSession,
+    /// `states[k]` maps each current-state var to its term after `k`
+    /// unroll steps (`states[0]` is the seeded start state).
+    states: Vec<HashMap<TermId, TermId>>,
+    /// Per-step input symbols, for model extraction.
+    step_inputs: Vec<Vec<(SignalId, TermId)>>,
+    /// Structural digest per frame (traced sessions only).
+    frame_digests: Vec<u64>,
+    /// Shared structural-hash memo for digests and sketches.
+    hash_memo: HashMap<TermId, u64>,
+    /// CNF size at the previous telemetry report, so warm calls record
+    /// only the *newly blasted* vars/clauses.
+    last_vars: usize,
+    last_clauses: usize,
+    /// LRU stamp for eviction.
+    last_used: u64,
+}
+
+/// The engine's term/bitblast cache: warm sessions keyed by
+/// `(design fingerprint, start state, traced)`, evicted
+/// least-recently-used when their summed [`BitBlaster::approx_bytes`]
+/// estimate exceeds the byte budget.
+#[derive(Debug, Clone)]
+struct FrameCache {
+    budget_bytes: u64,
+    fingerprint: u64,
+    sessions: Vec<FrameSession>,
+    tick: u64,
+    stats: SolverCacheStats,
+}
+
+fn fnv_fold(d: u64, x: u64) -> u64 {
+    (d ^ x).wrapping_mul(0x100_0000_01b3)
+}
+
 /// Outcome of one exact-depth budgeted solve (internal).
 enum ExactOutcome {
     Sat(Vec<InputAssignment>, BudgetSpent),
@@ -158,6 +234,9 @@ pub struct SymbolicEngine {
     cur_vars: HashMap<SignalId, TermId>,
     /// Optional telemetry collector (SMT solve events + CDCL counters).
     telemetry: Option<Arc<Collector>>,
+    /// Opt-in incremental frame cache (`None` = fresh solver per
+    /// exact-depth query, the pre-cache behaviour).
+    cache: RefCell<Option<FrameCache>>,
 }
 
 impl SymbolicEngine {
@@ -194,6 +273,7 @@ impl SymbolicEngine {
             input_vars,
             cur_vars,
             telemetry: None,
+            cache: RefCell::new(None),
         };
 
         // Settle combinational logic symbolically (bounded fixpoint —
@@ -250,6 +330,92 @@ impl SymbolicEngine {
     /// CNF size and outcome, plus CDCL work counters.
     pub fn set_collector(&mut self, telemetry: Option<Arc<Collector>>) {
         self.telemetry = telemetry;
+    }
+
+    /// Arms (or disarms) the incremental frame cache.
+    ///
+    /// With `Some(budget_bytes)`, exact-depth queries run on warm
+    /// [`SolverSession`]s keyed by `(design fingerprint, start state)`:
+    /// the unrolled transition relation is substituted and bit-blasted
+    /// once per frame, goals sharing a start state reuse it as
+    /// assumption checks, and learned clauses carry across sibling
+    /// goals. Sessions are evicted least-recently-used once their
+    /// estimated footprint exceeds the byte budget.
+    ///
+    /// Verdicts (Sat / Unsat / Unknown-reason) match the fresh-solver
+    /// path exactly for unlimited budgets and for the unroll-depth and
+    /// conflicts-0 ceilings; only the *work to reach them* changes.
+    /// `None` (the default) disarms the cache and restores pre-cache
+    /// behaviour bit for bit.
+    pub fn set_solver_cache(&mut self, budget_bytes: Option<u64>) {
+        *self.cache.borrow_mut() = budget_bytes.map(|b| FrameCache {
+            budget_bytes: b,
+            fingerprint: self.design_fingerprint(),
+            sessions: Vec::new(),
+            tick: 0,
+            stats: SolverCacheStats::default(),
+        });
+    }
+
+    /// Cumulative cache statistics (zeros when the cache is disarmed).
+    pub fn cache_stats(&self) -> SolverCacheStats {
+        self.cache
+            .borrow()
+            .as_ref()
+            .map(|c| c.stats)
+            .unwrap_or_default()
+    }
+
+    /// Drops every warm session but keeps the cache armed and its
+    /// cumulative statistics. Used by the portfolio racer to discard
+    /// the (nondeterministically aborted) solver state of losing
+    /// profiles.
+    pub fn reset_solver_cache(&self) {
+        if let Some(c) = self.cache.borrow_mut().as_mut() {
+            c.sessions.clear();
+        }
+    }
+
+    /// A structural digest of the design's dependency equations: the
+    /// design half of the frame-cache key. Two engines over the same
+    /// elaborated design agree; any change to an equation changes it.
+    pub fn design_fingerprint(&self) -> u64 {
+        let mut memo = HashMap::new();
+        let mut regs: Vec<SignalId> = self.eqs.keys().copied().collect();
+        regs.sort_unstable();
+        let mut d = 0xcbf2_9ce4_8422_2325u64;
+        for reg in regs {
+            for b in self.design.signal(reg).name.bytes() {
+                d = fnv_fold(d, u64::from(b));
+            }
+            d = fnv_fold(d, self.pool.structural_hash(self.eqs[&reg], &mut memo));
+        }
+        d
+    }
+
+    /// The state half of the frame-cache key: a digest of every
+    /// register's concrete (or partially-X) value, folded over the
+    /// design fingerprint in sorted-register order.
+    fn state_key(&self, fingerprint: u64, current: &[LogicVec]) -> u64 {
+        let mut regs: Vec<SignalId> = self.cur_vars.keys().copied().collect();
+        regs.sort_unstable();
+        let mut d = fingerprint;
+        for reg in regs {
+            let v = &current[reg.index()];
+            d = fnv_fold(d, reg.index() as u64);
+            for i in 0..v.width() {
+                let b = v.bit(i);
+                let code = if b.is_unknown() {
+                    3
+                } else if b == Bit::One {
+                    2
+                } else {
+                    1
+                };
+                d = fnv_fold(d, code);
+            }
+        }
+        d
     }
 
     /// The dependency equation (next-state term) for a register.
@@ -482,6 +648,9 @@ impl SymbolicEngine {
         budget: &Budget,
         scope: Option<&mut GoalScope>,
     ) -> ExactOutcome {
+        if self.cache.borrow().is_some() {
+            return self.solve_exact_cached(current, targets, steps, budget, scope);
+        }
         let node_cap = budget.term_nodes();
         let over_cap = |pool: &TermPool| node_cap.is_some_and(|cap| pool.len() > cap);
         let mut pool = self.pool.clone();
@@ -662,6 +831,275 @@ impl SymbolicEngine {
                 ExactOutcome::Sat(out, spent)
             }
         }
+    }
+
+    /// The warm-session variant of
+    /// [`solve_exact_budgeted`](Self::solve_exact_budgeted): looks up
+    /// (or seeds) the [`FrameSession`] for the current start state,
+    /// extends its frame chain to `steps` if needed, and poses the
+    /// targets as an assumption check on the shared solver. Iteration
+    /// is in sorted signal order throughout, so the session's CNF is a
+    /// pure function of the query sequence.
+    fn solve_exact_cached(
+        &self,
+        current: &[LogicVec],
+        targets: &[(SignalId, LogicVec)],
+        steps: u32,
+        budget: &Budget,
+        scope: Option<&mut GoalScope>,
+    ) -> ExactOutcome {
+        let node_cap = budget.term_nodes();
+        let traced = scope.is_some();
+        let mut borrow = self.cache.borrow_mut();
+        let cache = borrow
+            .as_mut()
+            .expect("cached path requires an armed cache");
+        let key = self.state_key(cache.fingerprint, current);
+        let FrameCache {
+            budget_bytes,
+            sessions,
+            tick,
+            stats,
+            ..
+        } = cache;
+
+        let mut sorted_regs: Vec<SignalId> = self.cur_vars.keys().copied().collect();
+        sorted_regs.sort_unstable();
+
+        let si = match sessions
+            .iter()
+            .position(|s| s.key == key && s.traced == traced)
+        {
+            Some(i) => i,
+            None => {
+                // Miss: seed a fresh session at step 0. Constants where
+                // the state is defined; X bits free with defined bits
+                // pinned by permanent assertions.
+                let mut sess = SolverSession::from_pool(self.pool.clone());
+                if traced {
+                    sess.enable_trace();
+                }
+                let mut state0: HashMap<TermId, TermId> = HashMap::new();
+                for &reg in &sorted_regs {
+                    let var = self.cur_vars[&reg];
+                    let v = &current[reg.index()];
+                    if !v.has_unknown() {
+                        let c = sess.pool_mut().constant(v.clone());
+                        state0.insert(var, c);
+                    } else {
+                        let name = self.design.signal(reg).name.clone();
+                        let fresh = sess.pool_mut().var(format!("x0.{name}"), v.width());
+                        for i in 0..v.width() {
+                            let b = v.bit(i);
+                            if !b.is_unknown() {
+                                let p = sess.pool_mut();
+                                let bitterm = p.extract(fresh, i, 1);
+                                let cb = p.const_u64(1, (b == Bit::One) as u64);
+                                let eqt = p.eq(bitterm, cb);
+                                sess.assert_term(eqt);
+                            }
+                        }
+                        state0.insert(var, fresh);
+                    }
+                }
+                sessions.push(FrameSession {
+                    key,
+                    traced,
+                    sess,
+                    states: vec![state0],
+                    step_inputs: Vec::new(),
+                    frame_digests: Vec::new(),
+                    hash_memo: HashMap::new(),
+                    last_vars: 0,
+                    last_clauses: 0,
+                    last_used: 0,
+                });
+                sessions.len() - 1
+            }
+        };
+        let fs = &mut sessions[si];
+        fs.last_used = *tick;
+        *tick += 1;
+        let warm = fs.sess.goals_checked() > 0;
+
+        let over_cap = |pool: &TermPool| node_cap.is_some_and(|cap| pool.len() > cap);
+        if over_cap(fs.sess.pool()) {
+            return ExactOutcome::Exhausted {
+                reason: UnknownReason::TermNodes,
+                spent: BudgetSpent::default(),
+            };
+        }
+
+        // Frame accounting: frames 1..=steps are needed; whatever the
+        // session already unrolled is a hit, the rest are misses.
+        let have = (fs.states.len() - 1) as u32;
+        let hits = u64::from(have.min(steps));
+        let misses = u64::from(steps - have.min(steps));
+        stats.frame_hits += hits;
+        stats.frame_misses += misses;
+        stats.goals += 1;
+        stats.reused_goals += u64::from(warm);
+
+        let mut sorted_inputs: Vec<SignalId> = self.input_vars.keys().copied().collect();
+        sorted_inputs.sort_unstable();
+        while (fs.states.len() as u32) <= steps {
+            let t = fs.states.len() as u32 - 1;
+            let mut subst_map = fs.states.last().unwrap().clone();
+            let mut these = Vec::new();
+            for &sig in &sorted_inputs {
+                let var = self.input_vars[&sig];
+                let s = self.design.signal(sig);
+                let fresh = fs
+                    .sess
+                    .pool_mut()
+                    .var(format!("in@{t}.{}", s.name), s.width);
+                subst_map.insert(var, fresh);
+                these.push((sig, fresh));
+                if s.is_reset {
+                    let inactive = self.reset_inactive_level(sig);
+                    let p = fs.sess.pool_mut();
+                    let c = p.const_u64(s.width, inactive);
+                    let eqt = p.eq(fresh, c);
+                    fs.sess.assert_term(eqt);
+                }
+            }
+            let mut memo = HashMap::new();
+            let mut new_state = HashMap::new();
+            for &reg in &sorted_regs {
+                let var = self.cur_vars[&reg];
+                let substituted = subst(fs.sess.pool_mut(), self.eqs[&reg], &subst_map, &mut memo);
+                new_state.insert(var, substituted);
+            }
+            if traced {
+                let mut hs: Vec<u64> = new_state
+                    .values()
+                    .map(|&t| fs.sess.pool().structural_hash(t, &mut fs.hash_memo))
+                    .collect();
+                hs.sort_unstable();
+                let mut d = 0xcbf2_9ce4_8422_2325u64;
+                for h in hs {
+                    d = fnv_fold(d, h);
+                }
+                fs.frame_digests.push(d);
+            }
+            fs.states.push(new_state);
+            fs.step_inputs.push(these);
+            if over_cap(fs.sess.pool()) {
+                return ExactOutcome::Exhausted {
+                    reason: UnknownReason::TermNodes,
+                    spent: BudgetSpent::default(),
+                };
+            }
+        }
+
+        // Targets on the state after `steps` cycles, as assumptions.
+        let mut target_terms = Vec::new();
+        for (reg, value) in targets {
+            let var = self.cur_vars[reg];
+            let term = fs.states[steps as usize][&var];
+            let p = fs.sess.pool_mut();
+            let c = p.constant(value.clone());
+            target_terms.push(p.eq(term, c));
+        }
+
+        let t0 = self.telemetry.as_ref().map(|t| t.now_micros());
+        let (result, spent) = fs.sess.check_assuming(&target_terms, budget);
+        if let (Some(tel), Some(t0)) = (&self.telemetry, t0) {
+            let cnf = fs.sess.cnf_stats();
+            let (dv, dc) = (
+                cnf.num_vars - fs.last_vars,
+                cnf.num_clauses - fs.last_clauses,
+            );
+            fs.last_vars = cnf.num_vars;
+            fs.last_clauses = cnf.num_clauses;
+            tel.add(Counter::SolverCalls, 1);
+            tel.add(Counter::SatVars, dv as u64);
+            tel.add(Counter::SatClauses, dc as u64);
+            tel.add(Counter::SatDecisions, spent.decisions);
+            tel.add(Counter::SatConflicts, spent.conflicts);
+            tel.add(Counter::BitblastCacheHits, hits);
+            tel.add(Counter::BitblastCacheMisses, misses);
+            tel.set_gauge(Gauge::SolverSessionReuse, stats.reuse_milli());
+            tel.record(Event::SmtSolve {
+                vars: dv as u64,
+                clauses: dc as u64,
+                sat: matches!(result, SatResult::Sat(_)),
+                micros: tel.now_micros().saturating_sub(t0),
+            });
+        }
+        if let Some(scope) = scope {
+            if let Some(trace) = fs.sess.take_trace(HOT_SIGNALS_K * 4) {
+                let vars: Vec<u32> = trace.hot_vars.iter().map(|(v, _)| *v).collect();
+                let mut named: Vec<(String, u64)> = Vec::new();
+                for (v, t, _bit) in fs.sess.blaster().attribute_vars(&vars) {
+                    if let TermKind::Var(name, _) = fs.sess.pool().kind(t) {
+                        if let Some(sig) = signal_of_term_name(name) {
+                            let permille = trace
+                                .hot_vars
+                                .iter()
+                                .find(|(hv, _)| *hv == v)
+                                .map_or(0, |(_, p)| *p);
+                            named.push((sig.to_string(), permille));
+                        }
+                    }
+                }
+                scope.note_hot_signals(&named);
+                scope.note_call(&trace);
+            }
+            let mut roots: Vec<TermId> = fs.states[steps as usize].values().copied().collect();
+            roots.sort_unstable();
+            let mut digests = fs.sess.pool().subterm_digests(&roots, &mut fs.hash_memo);
+            digests.truncate(SKETCH_K);
+            scope.note_structure(steps, digests, fs.frame_digests[..steps as usize].to_vec());
+        }
+
+        let outcome = match result {
+            SatResult::Unsat => ExactOutcome::Unsat(spent),
+            SatResult::Unknown { reason, .. } => ExactOutcome::Exhausted { reason, spent },
+            SatResult::Sat(raw) => {
+                let mut out = Vec::new();
+                for these in &fs.step_inputs[..steps as usize] {
+                    let mut values = Vec::new();
+                    for (sig, var) in these {
+                        let s = self.design.signal(*sig);
+                        if s.is_reset || s.is_clock {
+                            continue;
+                        }
+                        let mut v = LogicVec::zeros(s.width);
+                        if let Some(lits) = fs.sess.blaster().lits_of(*var) {
+                            for (i, l) in lits.iter().enumerate() {
+                                let b = raw[l.var() as usize] == l.is_pos();
+                                v.set_bit(i as u32, Bit::from_bool(b));
+                            }
+                        }
+                        values.push((*sig, v));
+                    }
+                    values.sort_by_key(|(s, _)| *s);
+                    out.push(InputAssignment { values });
+                }
+                ExactOutcome::Sat(out, spent)
+            }
+        };
+
+        // Byte-budget eviction, least-recently-used first. The sweep
+        // may evict the session just used (a later call re-seeds it);
+        // either way memory stays bounded and the order is a pure
+        // function of the query sequence.
+        loop {
+            let total: u64 = sessions.iter().map(|s| s.sess.approx_bytes()).sum();
+            if total <= *budget_bytes || sessions.is_empty() {
+                break;
+            }
+            let lru = sessions
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .unwrap();
+            sessions.remove(lru);
+            stats.evictions += 1;
+        }
+        outcome
     }
 
     /// Attempts to attribute an `Unreachable`/`Exhausted` outcome to a
@@ -1566,6 +2004,157 @@ mod tests {
         // formulas share almost all their structure.
         let j = crate::scope::sketch_jaccard_milli(&a.sketch, &b.sketch);
         assert!(j >= 500, "affinity {j} unexpectedly low");
+    }
+
+    #[test]
+    fn cached_reach_matches_fresh_verdicts_and_replays() {
+        let fresh = engine(FSM, "fsm");
+        let mut cached = engine(FSM, "fsm");
+        cached.set_solver_cache(Some(16 << 20));
+        let d = Arc::clone(fresh.design());
+        let st = d.signal_by_name("state").unwrap();
+        // Sibling goals from the same start state: every FSM state
+        // value, reachable or not, at several bounds.
+        for bound in [1u32, 4] {
+            for val in 0..8u64 {
+                let targets = [(st, LogicVec::from_u64(3, val))];
+                let f = fresh
+                    .solve_reach_budgeted(&zero_state(&d), &targets, bound, &Budget::unlimited())
+                    .unwrap();
+                let c = cached
+                    .solve_reach_budgeted(&zero_state(&d), &targets, bound, &Budget::unlimited())
+                    .unwrap();
+                assert_eq!(
+                    f.status(),
+                    c.status(),
+                    "verdict mismatch for state={val} bound={bound}"
+                );
+                // A warm solver may return a different (equally valid)
+                // model: validate by replaying on the simulator.
+                if let ReachOutcome::Reached(seq) = &c {
+                    let mut sim = symbfuzz_sim::Simulator::new(Arc::clone(&d));
+                    sim.reenter(symbfuzz_sim::Reentry::FullReset { cycles: 1 });
+                    for step in seq {
+                        sim.apply_input_word(&step.to_word(&d));
+                        sim.step();
+                    }
+                    assert_eq!(sim.get(st).to_u64(), Some(val), "replay missed state {val}");
+                }
+            }
+        }
+        let stats = cached.cache_stats();
+        assert!(stats.goals > 0);
+        assert!(
+            stats.reused_goals > 0,
+            "sibling goals never reused: {stats:?}"
+        );
+        assert!(stats.frame_hits > 0, "no frame reuse: {stats:?}");
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.reuse_milli() > 0);
+    }
+
+    #[test]
+    fn cached_reach_budget_ceilings_match_fresh() {
+        let fresh = engine(FSM, "fsm");
+        let mut cached = engine(FSM, "fsm");
+        cached.set_solver_cache(Some(16 << 20));
+        let d = Arc::clone(fresh.design());
+        let st = d.signal_by_name("state").unwrap();
+        let targets = [(st, LogicVec::from_u64(3, 3))];
+        // Unroll-depth ceiling: truncation happens before solving, so
+        // the outcomes agree exactly.
+        let budget = Budget::unlimited().with_unroll_depth(1);
+        let f = fresh
+            .solve_reach_budgeted(&zero_state(&d), &targets, 4, &budget)
+            .unwrap();
+        let c = cached
+            .solve_reach_budgeted(&zero_state(&d), &targets, 4, &budget)
+            .unwrap();
+        assert_eq!(f.status(), c.status());
+        // Conflicts-0: trips on the very first check either way.
+        let budget = Budget::unlimited().with_conflicts(0);
+        let c = cached
+            .solve_reach_budgeted(&zero_state(&d), &targets, 4, &budget)
+            .unwrap();
+        assert_eq!(c.status(), SolveStatus::Unknown(UnknownReason::Conflicts));
+    }
+
+    #[test]
+    fn cache_eviction_and_reset_preserve_verdicts() {
+        let mut e = engine(FSM, "fsm");
+        // A budget far below one session's footprint: every call seeds,
+        // solves, then evicts — correct, just never warm.
+        e.set_solver_cache(Some(1024));
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        for val in [1u64, 2, 3] {
+            let out = e
+                .solve_reach_budgeted(
+                    &zero_state(&d),
+                    &[(st, LogicVec::from_u64(3, val))],
+                    4,
+                    &Budget::unlimited(),
+                )
+                .unwrap();
+            assert!(matches!(out, ReachOutcome::Reached(_)), "state {val}");
+        }
+        assert!(e.cache_stats().evictions > 0, "{:?}", e.cache_stats());
+        // Explicit reset mid-campaign: verdicts unchanged after.
+        e.set_solver_cache(Some(16 << 20));
+        let before = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 3))],
+                4,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        e.reset_solver_cache();
+        let after = e
+            .solve_reach_budgeted(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 3))],
+                4,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(before.status(), after.status());
+    }
+
+    #[test]
+    fn cached_introspection_still_records_structure() {
+        let mut e = engine(FSM, "fsm");
+        e.set_solver_cache(Some(16 << 20));
+        let d = Arc::clone(e.design());
+        let st = d.signal_by_name("state").unwrap();
+        let (outcome, stats, scope) = e
+            .solve_reach_introspected(
+                &zero_state(&d),
+                &[(st, LogicVec::from_u64(3, 3))],
+                4,
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert!(matches!(outcome, ReachOutcome::Reached(_)));
+        assert!(scope.depth >= 1);
+        assert!(!scope.sketch.is_empty());
+        assert_eq!(scope.frame_digests.len() as u32, scope.depth);
+        assert!(stats.solver_calls >= 1);
+    }
+
+    #[test]
+    fn design_fingerprint_is_stable_and_design_sensitive() {
+        let a = engine(FSM, "fsm");
+        let b = engine(FSM, "fsm");
+        assert_eq!(a.design_fingerprint(), b.design_fingerprint());
+        let c = engine(
+            "module m(input clk, input rst_n, input [3:0] d, output logic [3:0] q);
+               always_ff @(posedge clk or negedge rst_n)
+                 if (!rst_n) q <= 4'd0; else q <= d;
+             endmodule",
+            "m",
+        );
+        assert_ne!(a.design_fingerprint(), c.design_fingerprint());
     }
 
     #[test]

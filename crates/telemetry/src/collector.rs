@@ -63,11 +63,20 @@ pub enum Counter {
     LearnedClauses,
     /// Assumption-core-lite extractions performed on failed goals.
     CoreExtractions,
+    /// Unrolled frames served from the solver-session bitblast cache
+    /// (the frame's transition-relation CNF was already blasted).
+    BitblastCacheHits,
+    /// Unrolled frames blasted fresh because the cache had no session
+    /// at that depth (or caching is off).
+    BitblastCacheMisses,
+    /// Portfolio races where a profile returned a definitive verdict
+    /// (the canonical winner was Sat or Unsat, not Unknown).
+    PortfolioRacesWon,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 25;
 
     /// All counters in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -93,6 +102,9 @@ impl Counter {
         Counter::SnapshotEvictions,
         Counter::LearnedClauses,
         Counter::CoreExtractions,
+        Counter::BitblastCacheHits,
+        Counter::BitblastCacheMisses,
+        Counter::PortfolioRacesWon,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -120,6 +132,9 @@ impl Counter {
             Counter::SnapshotEvictions => "snapshot_evictions",
             Counter::LearnedClauses => "learned_clauses",
             Counter::CoreExtractions => "core_extractions",
+            Counter::BitblastCacheHits => "bitblast_cache_hits",
+            Counter::BitblastCacheMisses => "bitblast_cache_misses",
+            Counter::PortfolioRacesWon => "portfolio_races_won",
         }
     }
 
@@ -155,11 +170,15 @@ pub enum Gauge {
     /// 0 when solver introspection is off or fewer than two goals
     /// were profiled).
     MeanAffinity,
+    /// Solver-session reuse ratio ×1000: goals answered by a warm
+    /// incremental session over all session-path goals (0 when
+    /// incremental solving is off).
+    SolverSessionReuse,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All gauges in index order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -171,6 +190,7 @@ impl Gauge {
         Gauge::SnapshotBytes,
         Gauge::SnapshotSharing,
         Gauge::MeanAffinity,
+        Gauge::SolverSessionReuse,
     ];
 
     /// Stable snake_case name used in snapshots and reports.
@@ -184,6 +204,7 @@ impl Gauge {
             Gauge::SnapshotBytes => "snapshot_bytes",
             Gauge::SnapshotSharing => "snapshot_sharing_milli",
             Gauge::MeanAffinity => "mean_affinity_milli",
+            Gauge::SolverSessionReuse => "solver_session_reuse_milli",
         }
     }
 
@@ -427,6 +448,33 @@ impl Collector {
             self.get(Counter::SettleEscapes),
             self.gauge(Gauge::XIslandCones),
             self.get(Counter::SettleSweeps),
+        );
+        sink.write_line(&line);
+    }
+
+    /// Streams one `SolverCache` summary record to the sink: the
+    /// bitblast-cache hit/miss counters, the session-reuse gauge and
+    /// the portfolio race tallies (`races` races decided, `wins[i]`
+    /// won by budget profile `i`), so `tracedump` can report the
+    /// cache hit rate and per-profile win columns. Call once at
+    /// campaign end; no-op when no sink is attached.
+    pub fn emit_solver_cache_metrics(&self, races: u64, wins: &[u64]) {
+        let mut sink = self.sink.lock().unwrap();
+        if !sink.enabled() {
+            return;
+        }
+        let t = self.clock.now_micros();
+        let wins = wins
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let line = format!(
+            "{{\"t\":{t},\"task\":{},\"kind\":\"SolverCache\",\"bitblast_cache_hits\":{},\"bitblast_cache_misses\":{},\"session_reuse_milli\":{},\"portfolio_races\":{races},\"portfolio_wins\":[{wins}]}}",
+            self.task.load(Ordering::Relaxed),
+            self.get(Counter::BitblastCacheHits),
+            self.get(Counter::BitblastCacheMisses),
+            self.gauge(Gauge::SolverSessionReuse),
         );
         sink.write_line(&line);
     }

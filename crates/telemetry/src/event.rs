@@ -22,11 +22,15 @@ pub enum UnknownReason {
     TermNodes,
     /// The unroll-depth ceiling truncated the search.
     UnrollDepth,
+    /// Another portfolio profile answered first and raised the abort
+    /// flag (deterministic given the canonical-winner rule: losers'
+    /// partial results are discarded, never reported).
+    Aborted,
 }
 
 impl UnknownReason {
     /// Number of reasons.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every reason, in a fixed order.
     pub const ALL: [UnknownReason; UnknownReason::COUNT] = [
@@ -36,6 +40,7 @@ impl UnknownReason {
         UnknownReason::WallClock,
         UnknownReason::TermNodes,
         UnknownReason::UnrollDepth,
+        UnknownReason::Aborted,
     ];
 
     /// Stable string used in the JSONL schema and campaign JSON.
@@ -47,6 +52,7 @@ impl UnknownReason {
             UnknownReason::WallClock => "wall_clock",
             UnknownReason::TermNodes => "term_nodes",
             UnknownReason::UnrollDepth => "unroll_depth",
+            UnknownReason::Aborted => "aborted",
         }
     }
 
@@ -95,6 +101,7 @@ impl SolveStatus {
         "unknown:wall_clock",
         "unknown:term_nodes",
         "unknown:unroll_depth",
+        "unknown:aborted",
     ];
 
     /// Stable string used in the JSONL schema and campaign JSON.
